@@ -1,0 +1,10 @@
+-- Functions stored in a recursive datatype and extracted again — the
+-- Section 6 territory where the datatype congruences (≈1 vs ≈2) differ:
+--   stcfa corpus/closures_in_lists.ml --call-sites --policy c1
+--   stcfa corpus/closures_in_lists.ml --call-sites --policy c2
+datatype flist = FNil | FCons of (int -> int) * flist;
+fun head xs = fn d => case xs of FCons(g, t) => g | FNil => d;
+val ops = FCons(fn a => a + 1, FCons(fn b => b * 2, FNil));
+val other = FCons(fn c => c - 7, FNil);
+val u = print (head ops (fn z => z) 10);
+head other (fn z => z) 50

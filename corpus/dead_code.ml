@@ -1,0 +1,5 @@
+-- Reachability-aware analysis fodder:
+--   stcfa corpus/dead_code.ml --live --called-once
+let val unused = fn x => (fn y => y) (x + 1) in
+  (fn z => z * z) 6
+end

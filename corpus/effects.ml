@@ -1,0 +1,7 @@
+-- Effects flow through higher-order calls (Section 8):
+--   stcfa corpus/effects.ml --effects --live
+fun applyTo x = fn f => f x;
+val noisy = fn n => let val u = print n in n end;
+val quiet = fn n => n + 1;
+val dead = fn n => let val u = print (n * 100) in n end;
+applyTo 5 noisy + applyTo 6 quiet

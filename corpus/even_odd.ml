@@ -1,0 +1,5 @@
+-- Mutual recursion via `and` (desugared to a recursive pack).
+fun even n = if n = 0 then true else odd (n - 1)
+and odd n = if n = 0 then false else even (n - 1);
+val u = print (if even 10 then 1 else 0);
+even 7

@@ -1,0 +1,11 @@
+-- Classic higher-order plumbing: compose, twice, flip.
+fun compose f = fn g => fn x => f (g x);
+fun twice f = fn x => f (f x);
+fun flip f = fn a => fn b => f b a;
+val inc = fn n => n + 1;
+val dbl = fn n => n * 2;
+val mix = compose inc dbl;
+val u1 = print (mix 10);          -- 21
+val u2 = print (twice mix 3);     -- 15
+val u3 = print (flip (fn a => fn b => a - b) 1 10);  -- 9
+twice (compose dbl inc) 1          -- dbl(inc(dbl(inc 1))) = 10

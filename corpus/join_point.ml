@@ -1,0 +1,9 @@
+-- The Section 2 join-point pattern: the shared identity merges the
+-- label sets of everything passed through it. Compare:
+--   stcfa corpus/join_point.ml --call-sites --analysis sub
+--   stcfa corpus/join_point.ml --call-sites --analysis poly
+fun f x = x;
+val r1 = f (fn a => a + 1);
+val r2 = f (fn b => b * 2);
+val r3 = f (fn c => c - 3);
+r1 (r2 (r3 100))

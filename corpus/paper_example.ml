@@ -1,0 +1,4 @@
+-- The worked example from Section 3 of Heintze & McAllester (PLDI 1997):
+-- (λx.(x x)) (λ'y.y). Try:
+--   stcfa corpus/paper_example.ml --labels --call-sites --dot
+(fn x => x x) (fn y => y)

@@ -1,0 +1,200 @@
+//! Linear-time called-once analysis (abstract, third bullet): "identify
+//! all functions called from only one call-site".
+//!
+//! A label `l` is called from call site `a = (e₁ e₂)` when `l ∈ L(e₁)`.
+//! Counting call sites per label by querying every site is quadratic; the
+//! linear algorithm runs a 1-limited *site*-set propagation in the flow
+//! direction of the subtransitive graph: seed each operator node with its
+//! application site, saturate at two sites ("many"), and read the answer
+//! off at each abstraction's node.
+
+use stcfa_core::{Analysis, NodeId};
+use stcfa_lambda::{ExprId, ExprKind, Label, Program};
+
+/// How many call sites can call one function.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CallSites {
+    /// The function is never called (dead, or only passed around).
+    None,
+    /// Exactly one call site (the inlining/specialization candidate).
+    One(ExprId),
+    /// Two or more call sites.
+    Many,
+}
+
+impl CallSites {
+    fn merge(&mut self, other: CallSites) -> bool {
+        use CallSites::*;
+        let next = match (*self, other) {
+            (None, x) | (x, None) => x,
+            (One(a), One(b)) if a == b => One(a),
+            _ => Many,
+        };
+        if next != *self {
+            *self = next;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Per-label call-site counts.
+#[derive(Clone, Debug)]
+pub struct CalledOnce {
+    per_label: Vec<CallSites>,
+}
+
+impl CalledOnce {
+    /// Runs the linear-time propagation.
+    pub fn run(program: &Program, analysis: &Analysis) -> CalledOnce {
+        let n = analysis.node_count();
+        let mut ann: Vec<CallSites> = vec![CallSites::None; n];
+        let mut work: Vec<u32> = Vec::new();
+        let mut queued = vec![false; n];
+        // Seed: each application site marks its operator's node.
+        for e in program.exprs() {
+            if let ExprKind::App { func, .. } = program.kind(e) {
+                let f = analysis.node_of_expr(*func);
+                if ann[f.index()].merge(CallSites::One(e)) && !queued[f.index()] {
+                    queued[f.index()] = true;
+                    work.push(f.index() as u32);
+                }
+            }
+        }
+        // Propagate towards value sources (forward along edges): if node n
+        // may be called from sites S, everything n evaluates to may be too.
+        while let Some(i) = work.pop() {
+            queued[i as usize] = false;
+            let current = ann[i as usize];
+            for &s in analysis.succs(NodeId::from_index(i as usize)) {
+                if ann[s as usize].merge(current) && !queued[s as usize] {
+                    queued[s as usize] = true;
+                    work.push(s);
+                }
+            }
+        }
+        let per_label = program
+            .all_labels()
+            .map(|l| ann[analysis.node_of_label(l).index()])
+            .collect();
+        CalledOnce { per_label }
+    }
+
+    /// The quadratic reference: query `L(e₁)` at every application site.
+    pub fn via_queries(program: &Program, analysis: &Analysis) -> CalledOnce {
+        let mut per_label = vec![CallSites::None; program.label_count()];
+        for e in program.exprs() {
+            if let ExprKind::App { func, .. } = program.kind(e) {
+                for l in analysis.labels_of(*func) {
+                    per_label[l.index()].merge(CallSites::One(e));
+                }
+            }
+        }
+        CalledOnce { per_label }
+    }
+
+    /// Call-site summary for `l`.
+    pub fn of(&self, l: Label) -> CallSites {
+        self.per_label[l.index()]
+    }
+
+    /// Labels called from exactly one site.
+    pub fn called_once(&self) -> Vec<(Label, ExprId)> {
+        self.per_label
+            .iter()
+            .enumerate()
+            .filter_map(|(i, cs)| match cs {
+                CallSites::One(site) => Some((Label::from_index(i), *site)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Labels never called from any site (dead or escaping-only functions).
+    pub fn never_called(&self) -> Vec<Label> {
+        self.per_label
+            .iter()
+            .enumerate()
+            .filter(|&(_i, cs)| matches!(cs, CallSites::None)).map(|(i, _cs)| Label::from_index(i))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stcfa_core::Analysis;
+    use stcfa_lambda::Program;
+
+    fn run(src: &str) -> (Program, Analysis, CalledOnce) {
+        let p = Program::parse(src).unwrap();
+        let a = Analysis::run(&p).unwrap();
+        let c = CalledOnce::run(&p, &a);
+        (p, a, c)
+    }
+
+    #[test]
+    fn single_call_site() {
+        let (p, _, c) = run("(fn x => x + 1) 2");
+        let l = p.all_labels().next().unwrap();
+        assert!(matches!(c.of(l), CallSites::One(_)));
+        assert_eq!(c.called_once().len(), 1);
+    }
+
+    #[test]
+    fn never_called_function() {
+        let (p, _, c) = run("let val dead = fn x => x in 1 end");
+        let l = p.all_labels().next().unwrap();
+        assert_eq!(c.of(l), CallSites::None);
+        assert_eq!(c.never_called(), vec![l]);
+    }
+
+    #[test]
+    fn two_call_sites_is_many() {
+        let (p, _, c) = run("fun id x = x; val a = id 1; val b = id 2; b");
+        // id's lambda is called from two sites.
+        let id_label = p.all_labels().next().unwrap();
+        assert_eq!(c.of(id_label), CallSites::Many);
+    }
+
+    #[test]
+    fn same_site_through_merge_stays_one() {
+        // Both branches produce different functions, called at one site.
+        let (p, _, c) = run("(if true then fn a => a else fn b => b) 1");
+        for l in p.all_labels() {
+            assert!(matches!(c.of(l), CallSites::One(_)), "label {l:?}");
+        }
+    }
+
+    #[test]
+    fn matches_quadratic_reference() {
+        let corpus = [
+            "(fn x => x + 1) 2",
+            "fun id x = x; val a = id 1; val b = id 2; b",
+            "fun apply f = fn x => f x; apply (fn n => n) 7",
+            "let val t = fn s => s s in t (fn w => w) end",
+            "(if true then fn a => a else fn b => b) 1",
+            "fun compose f = fn g => fn x => f (g x); compose (fn a => a) (fn b => b) (fn c => c)",
+            "let val dead = fn x => x in (fn y => y) 1 end",
+        ];
+        for src in corpus {
+            let p = Program::parse(src).unwrap();
+            let a = Analysis::run(&p).unwrap();
+            let fast = CalledOnce::run(&p, &a);
+            let slow = CalledOnce::via_queries(&p, &a);
+            for l in p.all_labels() {
+                assert_eq!(fast.of(l), slow.of(l), "label {l:?} in {src:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn higher_order_callee_counted_at_indirect_site() {
+        // `f` is called inside apply: the argument function's call site is
+        // apply's internal application, once.
+        let (p, _, c) = run("fun apply f = fn x => f x; apply (fn n => n) 7");
+        let arg_label = p.all_labels().last().unwrap();
+        assert!(matches!(c.of(arg_label), CallSites::One(_)));
+    }
+}

@@ -1,0 +1,277 @@
+//! Dead-binding elimination — a compiler pass combining two of the
+//! linear-time analyses: a `let`/`letrec` binding can be removed when its
+//! binder has no variable occurrences **and** its right-hand side is
+//! effect-free (by the Section 8 effects analysis, so that eliminating it
+//! cannot drop observable behaviour). Removing one binding can strand
+//! others, so the pass iterates to a fixed point.
+
+use stcfa_core::Analysis;
+use stcfa_lambda::{
+    CaseArm, ExprId, ExprKind, Literal, Program, ProgramBuilder, TyExpr, VarId,
+};
+
+use crate::effects::{effects, Effects};
+
+/// Statistics of one elimination run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DeadCodeStats {
+    /// Bindings removed across all rounds.
+    pub removed_bindings: usize,
+    /// Fixed-point rounds taken.
+    pub rounds: usize,
+}
+
+/// Removes dead, pure bindings until none remain. Returns the cleaned
+/// program and statistics.
+pub fn eliminate_dead_bindings(program: &Program) -> (Program, DeadCodeStats) {
+    let mut current = program.clone();
+    let mut stats = DeadCodeStats::default();
+    loop {
+        let analysis = match Analysis::run(&current) {
+            Ok(a) => a,
+            // Unbounded-type program: be conservative, change nothing.
+            Err(_) => return (current, stats),
+        };
+        let eff = effects(&current, &analysis);
+        let dead = find_dead_bindings(&current, &eff);
+        if dead.is_empty() {
+            return (current, stats);
+        }
+        stats.removed_bindings += dead.len();
+        stats.rounds += 1;
+        current = remove_bindings(&current, &dead);
+    }
+}
+
+/// The `let`/`letrec` expressions whose binder is never referenced
+/// (self-references inside a `letrec`'s own lambda do not count — they
+/// disappear together with the binding) and whose right-hand side is pure.
+fn find_dead_bindings(program: &Program, eff: &Effects) -> Vec<ExprId> {
+    let mut used = vec![false; program.var_count()];
+    for e in program.exprs() {
+        if let ExprKind::Var(v) = program.kind(e) {
+            used[v.index()] = true;
+        }
+    }
+    program
+        .exprs()
+        .filter(|&e| match program.kind(e) {
+            ExprKind::Let { binder, rhs, .. } => {
+                !used[binder.index()] && !eff.is_effectful(*rhs)
+            }
+            ExprKind::LetRec { binder, lambda, .. } => {
+                if used[binder.index()] {
+                    // Discount occurrences inside the recursive lambda.
+                    let inside = stcfa_core::expand::subtree(program, *lambda);
+                    !program.exprs().any(|o| {
+                        matches!(program.kind(o), ExprKind::Var(v) if v == binder)
+                            && !inside.contains(&o)
+                    })
+                } else {
+                    true
+                }
+            }
+            _ => false,
+        })
+        .collect()
+}
+
+/// Rebuilds the program with each binding in `dead` replaced by its body.
+fn remove_bindings(program: &Program, dead: &[ExprId]) -> Program {
+    let mut c = Remover {
+        src: program,
+        b: ProgramBuilder::new(),
+        var_map: vec![None; program.var_count()],
+        dead,
+    };
+    // Copy the datatype environment.
+    let env = program.data_env();
+    for d in env.datas() {
+        let name = program.interner().resolve(env.data(d).name).to_owned();
+        let nd = c.b.declare_data(&name);
+        for &con in &env.data(d).cons.clone() {
+            let cname = program.interner().resolve(env.con(con).name).to_owned();
+            let tys: Vec<TyExpr> = env.con(con).arg_tys.to_vec();
+            c.b.declare_con(nd, &cname, tys);
+        }
+    }
+    let root = c.copy(program.root());
+    c.b.finish(root).expect("dead-code elimination preserves validity")
+}
+
+struct Remover<'a> {
+    src: &'a Program,
+    b: ProgramBuilder,
+    var_map: Vec<Option<VarId>>,
+    dead: &'a [ExprId],
+}
+
+impl Remover<'_> {
+    fn fresh_like(&mut self, old: VarId) -> VarId {
+        let name = self.src.var_name(old).to_owned();
+        let nv = self.b.fresh_var(&name);
+        self.var_map[old.index()] = Some(nv);
+        nv
+    }
+
+    fn copy(&mut self, e: ExprId) -> ExprId {
+        if self.dead.contains(&e) {
+            // Drop the binding (and its pure/unreferenced rhs).
+            match self.src.kind(e).clone() {
+                ExprKind::Let { body, .. } | ExprKind::LetRec { body, .. } => {
+                    return self.copy(body);
+                }
+                _ => unreachable!("dead list contains only bindings"),
+            }
+        }
+        match self.src.kind(e).clone() {
+            ExprKind::Var(v) => {
+                let nv = self.var_map[v.index()].expect("in scope");
+                self.b.var(nv)
+            }
+            ExprKind::Lam { param, body, .. } => {
+                let np = self.fresh_like(param);
+                let nb = self.copy(body);
+                self.b.lam(np, nb)
+            }
+            ExprKind::App { func, arg } => {
+                let f = self.copy(func);
+                let a = self.copy(arg);
+                self.b.app(f, a)
+            }
+            ExprKind::Let { binder, rhs, body } => {
+                let nr = self.copy(rhs);
+                let nb = self.fresh_like(binder);
+                let nbody = self.copy(body);
+                self.b.let_(nb, nr, nbody)
+            }
+            ExprKind::LetRec { binder, lambda, body } => {
+                let nb = self.fresh_like(binder);
+                let nl = self.copy(lambda);
+                let nbody = self.copy(body);
+                self.b.letrec(nb, nl, nbody)
+            }
+            ExprKind::If { cond, then_branch, else_branch } => {
+                let c = self.copy(cond);
+                let t = self.copy(then_branch);
+                let e2 = self.copy(else_branch);
+                self.b.if_(c, t, e2)
+            }
+            ExprKind::Record(items) => {
+                let n: Vec<ExprId> = items.iter().map(|&i| self.copy(i)).collect();
+                self.b.record(n)
+            }
+            ExprKind::Proj { index, tuple } => {
+                let t = self.copy(tuple);
+                self.b.proj(index, t)
+            }
+            ExprKind::Con { con, args } => {
+                let n: Vec<ExprId> = args.iter().map(|&a| self.copy(a)).collect();
+                self.b.con(con, n)
+            }
+            ExprKind::Case { scrutinee, arms, default } => {
+                let s = self.copy(scrutinee);
+                let narms: Vec<_> = arms
+                    .iter()
+                    .map(|arm: &CaseArm| {
+                        let nb: Vec<VarId> =
+                            arm.binders.iter().map(|&b| self.fresh_like(b)).collect();
+                        let body = self.copy(arm.body);
+                        (arm.con, nb, body)
+                    })
+                    .collect();
+                let nd = default.map(|d| self.copy(d));
+                self.b.case(s, narms, nd)
+            }
+            ExprKind::Lit(Literal::Int(n)) => self.b.int(n),
+            ExprKind::Lit(Literal::Bool(v)) => self.b.bool(v),
+            ExprKind::Lit(Literal::Unit) => self.b.unit(),
+            ExprKind::Prim { op, args } => {
+                let n: Vec<ExprId> = args.iter().map(|&a| self.copy(a)).collect();
+                self.b.prim(op, n)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stcfa_lambda::eval::{eval, EvalOptions};
+
+    fn outputs(p: &Program) -> (String, Vec<i64>) {
+        let out = eval(p, EvalOptions::default()).unwrap();
+        (format!("{:?}", out.value), out.outputs)
+    }
+
+    #[test]
+    fn removes_unused_pure_binding() {
+        let p = Program::parse("let val dead = fn x => x in 42 end").unwrap();
+        let (q, stats) = eliminate_dead_bindings(&p);
+        assert_eq!(stats.removed_bindings, 1);
+        assert!(q.size() < p.size());
+        assert!(matches!(q.kind(q.root()), ExprKind::Lit(Literal::Int(42))));
+    }
+
+    #[test]
+    fn keeps_effectful_bindings() {
+        let p = Program::parse("let val noisy = print 1 in 42 end").unwrap();
+        let (q, stats) = eliminate_dead_bindings(&p);
+        assert_eq!(stats.removed_bindings, 0);
+        assert_eq!(q.size(), p.size());
+        assert_eq!(outputs(&p), outputs(&q));
+    }
+
+    #[test]
+    fn cascades_through_chains() {
+        // c uses b uses a; none are used by the result: all three go, but
+        // only after the uses disappear round by round.
+        let p = Program::parse(
+            "let val a = fn x => x in\n\
+             let val b = fn y => a y in\n\
+             let val c = fn z => b z in\n\
+             7 end end end",
+        )
+        .unwrap();
+        let (q, stats) = eliminate_dead_bindings(&p);
+        assert_eq!(stats.removed_bindings, 3);
+        assert!(stats.rounds >= 1);
+        assert!(matches!(q.kind(q.root()), ExprKind::Lit(Literal::Int(7))));
+    }
+
+    #[test]
+    fn preserves_behaviour_on_mixed_programs() {
+        let srcs = [
+            "fun used x = x + 1; let val dead = fn q => q in print (used 1) end",
+            "val keep = print 5; let val drop = (1, 2) in 9 end",
+            "fun f n = if n = 0 then 0 else f (n - 1); let val g = fn u => u in f 3 end",
+        ];
+        for src in srcs {
+            let p = Program::parse(src).unwrap();
+            let (q, _) = eliminate_dead_bindings(&p);
+            assert_eq!(outputs(&p), outputs(&q), "behaviour changed for {src:?}");
+        }
+    }
+
+    #[test]
+    fn dead_letrec_is_removed_even_if_self_referencing() {
+        // loop references itself but nothing else references loop: the
+        // self-occurrence vanishes with the binding.
+        let p = Program::parse("val rec loop = fn x => loop x; 3").unwrap();
+        let (q, stats) = eliminate_dead_bindings(&p);
+        assert_eq!(stats.removed_bindings, 1);
+        assert!(matches!(q.kind(q.root()), ExprKind::Lit(Literal::Int(3))));
+        assert_eq!(outputs(&p), outputs(&q));
+    }
+
+    #[test]
+    fn live_letrec_is_kept() {
+        let p = Program::parse(
+            "fun f n = if n = 0 then 0 else f (n - 1); f 2",
+        )
+        .unwrap();
+        let (q, stats) = eliminate_dead_bindings(&p);
+        assert_eq!(stats.removed_bindings, 0);
+        assert_eq!(outputs(&p), outputs(&q));
+    }
+}

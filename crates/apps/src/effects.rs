@@ -1,0 +1,303 @@
+//! Linear-time effects analysis (paper, Section 8).
+//!
+//! "Find the side-effecting expressions in a program." The naive pipeline —
+//! run CFA, materialize the functions callable from every call site, then
+//! post-process — is at least quadratic because the intermediate
+//! representation is quadratic. The paper's alternative runs directly on
+//! the subtransitive graph with a *colouring*:
+//!
+//! - (a) an application `(e₁ e₂)` is red if `e₁`, `e₂` or `ran(e₁)` is red;
+//! - (b) a node `ran(e)` is red if it has an edge `ran(e) → e′` with `e′`
+//!   red.
+//!
+//! plus the structural seeds/propagation (side-effecting primitives are
+//! red; an expression with a red evaluated sub-expression is red — a
+//! λ-abstraction does *not* evaluate its body). This is one reverse
+//! reachability over a linear-size structure, hence linear time.
+//!
+//! [`effects_via_cfa0`] is the quadratic reference pipeline used to verify
+//! that the colouring computes exactly the same set.
+
+use stcfa_cfa0::Cfa0;
+use stcfa_core::{Analysis, NodeId, NodeKind};
+use stcfa_lambda::{ExprId, ExprKind, Label, Program};
+
+/// Result of the effects analysis: per-occurrence "may have a side effect
+/// when evaluated".
+#[derive(Clone, Debug)]
+pub struct Effects {
+    red: Vec<bool>,
+}
+
+impl Effects {
+    /// Whether evaluating `e` may perform a side effect.
+    pub fn is_effectful(&self, e: ExprId) -> bool {
+        self.red[e.index()]
+    }
+
+    /// All effectful occurrences, in id order.
+    pub fn effectful_exprs(&self) -> Vec<ExprId> {
+        self.red
+            .iter()
+            .enumerate()
+            .filter(|&(_i, &r)| r).map(|(i, &_r)| ExprId::from_index(i))
+            .collect()
+    }
+
+    /// Number of effectful occurrences.
+    pub fn count(&self) -> usize {
+        self.red.iter().filter(|&&r| r).count()
+    }
+}
+
+/// One unit of colouring work.
+enum Item {
+    Expr(ExprId),
+    RanNode(NodeId),
+}
+
+/// Runs the linear-time colouring on the subtransitive graph.
+pub fn effects(program: &Program, analysis: &Analysis) -> Effects {
+    let n_exprs = program.size();
+    let n_nodes = analysis.node_count();
+
+    // Parent links restricted to *evaluated* children (a lambda's body is
+    // not evaluated when the lambda is).
+    let mut parent: Vec<Option<ExprId>> = vec![None; n_exprs];
+    for e in program.exprs() {
+        match program.kind(e) {
+            ExprKind::Lam { .. } => {}
+            _ => program.for_each_child(e, |c| parent[c.index()] = Some(e)),
+        }
+    }
+
+    // Reverse index: for every node, the ran-nodes with an edge to it.
+    let mut ran_preds: Vec<Vec<u32>> = vec![Vec::new(); n_nodes];
+    // Applications watching each ran-node (rule (a), third disjunct).
+    let mut apps_by_ran: Vec<Vec<ExprId>> = vec![Vec::new(); n_nodes];
+    let nodes = analysis.nodes();
+    for id in nodes.ids() {
+        if matches!(nodes.kind(id), NodeKind::Ran(_)) {
+            for &s in analysis.succs(id) {
+                ran_preds[s as usize].push(id.index() as u32);
+            }
+        }
+    }
+    for e in program.exprs() {
+        if let ExprKind::App { func, .. } = program.kind(e) {
+            let fnode = analysis.node_of_expr(*func);
+            if let Some(r) = nodes.get(NodeKind::Ran(fnode)) {
+                apps_by_ran[r.index()].push(e);
+            }
+        }
+    }
+
+    let mut red_expr = vec![false; n_exprs];
+    let mut red_node = vec![false; n_nodes];
+    let mut work: Vec<Item> = Vec::new();
+
+    // Seeds: applications of side-effecting primitives.
+    for e in program.exprs() {
+        if let ExprKind::Prim { op, .. } = program.kind(e) {
+            if op.is_effectful() {
+                red_expr[e.index()] = true;
+                work.push(Item::Expr(e));
+            }
+        }
+    }
+
+    while let Some(item) = work.pop() {
+        match item {
+            Item::Expr(e) => {
+                // Structural propagation to the evaluating parent.
+                if let Some(p) = parent[e.index()] {
+                    if !red_expr[p.index()] {
+                        red_expr[p.index()] = true;
+                        work.push(Item::Expr(p));
+                    }
+                }
+                // Rule (b): ran-nodes pointing at this expression's node.
+                // Variable occurrences map to binder nodes, and looking a
+                // variable up has no effect, so only non-var expressions
+                // transmit (their node kind is `Expr`).
+                let n = analysis.node_of_expr(e);
+                if matches!(nodes.kind(n), NodeKind::Expr(_)) {
+                    for &r in &ran_preds[n.index()] {
+                        if !red_node[r as usize] {
+                            red_node[r as usize] = true;
+                            work.push(Item::RanNode(NodeId::from_index(r as usize)));
+                        }
+                    }
+                }
+            }
+            Item::RanNode(r) => {
+                // Rule (a): applications whose operator's ran is red.
+                for &app in &apps_by_ran[r.index()] {
+                    if !red_expr[app.index()] {
+                        red_expr[app.index()] = true;
+                        work.push(Item::Expr(app));
+                    }
+                }
+                // Rule (b), transitively: ran-nodes pointing at this one.
+                for &q in &ran_preds[r.index()] {
+                    if !red_node[q as usize] {
+                        red_node[q as usize] = true;
+                        work.push(Item::RanNode(NodeId::from_index(q as usize)));
+                    }
+                }
+            }
+        }
+    }
+
+    Effects { red: red_expr }
+}
+
+/// The quadratic reference: run full CFA, then iterate the textbook
+/// effects conditions to fixpoint. Used to validate [`effects`].
+pub fn effects_via_cfa0(program: &Program, cfa: &Cfa0) -> Effects {
+    let n = program.size();
+    let mut red = vec![false; n];
+    // Pre-compute call targets per application.
+    let targets: Vec<Option<Vec<Label>>> =
+        program.exprs().map(|e| cfa.call_targets(program, e)).collect();
+    loop {
+        let mut changed = false;
+        for e in program.exprs() {
+            if red[e.index()] {
+                continue;
+            }
+            let mut now_red = false;
+            match program.kind(e) {
+                ExprKind::Prim { op, args } => {
+                    now_red = op.is_effectful()
+                        || args.iter().any(|a| red[a.index()]);
+                }
+                ExprKind::Lam { .. } => {}
+                ExprKind::App { func, arg } => {
+                    now_red = red[func.index()] || red[arg.index()];
+                    if !now_red {
+                        if let Some(ls) = &targets[e.index()] {
+                            for l in ls {
+                                let lam = program.lam_of_label(*l);
+                                if let ExprKind::Lam { body, .. } = program.kind(lam) {
+                                    if red[body.index()] {
+                                        now_red = true;
+                                        break;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                _ => {
+                    let mut any = false;
+                    program.for_each_child(e, |c| any |= red[c.index()]);
+                    now_red = any;
+                }
+            }
+            if now_red {
+                red[e.index()] = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            return Effects { red };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stcfa_cfa0::Cfa0;
+    use stcfa_core::Analysis;
+    use stcfa_lambda::Program;
+
+    fn both(src: &str) -> (Program, Effects, Effects) {
+        let p = Program::parse(src).unwrap();
+        let a = Analysis::run(&p).unwrap();
+        let fast = effects(&p, &a);
+        let slow = effects_via_cfa0(&p, &Cfa0::analyze(&p));
+        (p, fast, slow)
+    }
+
+    fn assert_agree(src: &str) {
+        let (p, fast, slow) = both(src);
+        for e in p.exprs() {
+            assert_eq!(
+                fast.is_effectful(e),
+                slow.is_effectful(e),
+                "colouring disagrees with reference at {e:?} ({:?}) in {src:?}",
+                p.kind(e)
+            );
+        }
+    }
+
+    #[test]
+    fn direct_effects() {
+        let (p, fast, _) = both("print 1");
+        assert!(fast.is_effectful(p.root()));
+        let (p2, fast2, _) = both("1 + 2");
+        assert!(!fast2.is_effectful(p2.root()));
+    }
+
+    #[test]
+    fn effects_flow_through_calls() {
+        // Calling a function whose body prints is effectful.
+        let (p, fast, _) = both("(fn x => print x) 3");
+        assert!(fast.is_effectful(p.root()));
+        // Merely *mentioning* the function is not.
+        let (p2, fast2, _) = both("let val f = fn x => print x in 1 end");
+        assert!(!fast2.is_effectful(p2.root()));
+    }
+
+    #[test]
+    fn effects_through_higher_order_flow() {
+        // The printer reaches the call site through `apply`.
+        let src = "\
+            fun apply f = fn x => f x;\n\
+            apply (fn n => print n) 7";
+        let (p, fast, _) = both(src);
+        assert!(fast.is_effectful(p.root()));
+    }
+
+    #[test]
+    fn pure_higher_order_program_is_clean() {
+        let src = "fun apply f = fn x => f x; apply (fn n => n + 1) 7";
+        let (p, fast, _) = both(src);
+        assert!(!fast.is_effectful(p.root()));
+    }
+
+    #[test]
+    fn matches_reference_on_corpus() {
+        for src in [
+            "print 1",
+            "(fn x => print x) 3",
+            "fun apply f = fn x => f x; apply (fn n => print n) 7",
+            "fun apply f = fn x => f x; apply (fn n => n + 1) 7",
+            "if 1 < 2 then print 1 else 2",
+            "let val f = fn x => print x in f end",
+            "let val f = fn x => print x in f 1 end",
+            "(fn p => #1 p) ((fn x => print x), (fn y => y)) 5",
+            "fun id x = x; (id (fn u => print u)) 3",
+            "val u = readint; u + 1",
+            "(fn f => fn g => g f) (fn a => print a) (fn h => h 1)",
+        ] {
+            assert_agree(src);
+        }
+    }
+
+    #[test]
+    fn effect_inside_unreached_branch_still_flagged() {
+        // May-analysis: both branches count.
+        let (p, fast, _) = both("if true then 1 else print 2");
+        assert!(fast.is_effectful(p.root()));
+    }
+
+    #[test]
+    fn count_and_listing() {
+        let (_, fast, _) = both("val a = print 1; val b = print 2; 3");
+        assert!(fast.count() >= 2);
+        assert_eq!(fast.effectful_exprs().len(), fast.count());
+    }
+}

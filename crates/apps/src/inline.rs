@@ -1,0 +1,367 @@
+//! Function inlining driven by the linear-time analyses — the motivating
+//! consumer the paper names for k-limited and called-once CFA ("Examples of
+//! these kinds of applications include inlining and specialization").
+//!
+//! A call site is an *inline candidate* when
+//!
+//! 1. 1-limited CFA reports exactly one callable function there, and
+//! 2. called-once analysis reports that function is called from exactly
+//!    that site (so inlining cannot duplicate work), and
+//! 3. the operator is a variable or a literal abstraction (so dropping it
+//!    loses no effects), and
+//! 4. every free variable of the function body is in scope at the site
+//!    (checked during the rewrite).
+//!
+//! [`inline_once`] rewrites `(e₁ e₂)` to `let x = e₂ in body end` with
+//! fresh binders, producing a new valid [`Program`].
+
+use std::error::Error;
+use std::fmt;
+
+use stcfa_core::Analysis;
+use stcfa_lambda::{
+    ExprId, ExprKind, Label, Literal, Program, ProgramBuilder, TyExpr, VarId,
+};
+
+use crate::called_once::{CallSites, CalledOnce};
+use crate::klimited::KLimited;
+
+/// An application site that can be safely inlined.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Candidate {
+    /// The application `(e₁ e₂)`.
+    pub site: ExprId,
+    /// The unique function called there.
+    pub label: Label,
+}
+
+/// Why a rewrite was refused.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum InlineError {
+    /// The site is not an application.
+    NotAnApplication(ExprId),
+    /// More than one (or no) function can be called at the site.
+    NotUnique(ExprId),
+    /// The function is called from more than this site.
+    NotCalledOnce(Label),
+    /// The operator expression could have effects we would drop.
+    OperatorNotTrivial(ExprId),
+    /// A free variable of the body is not in scope at the site.
+    OutOfScope {
+        /// The function body's free variable.
+        var: String,
+    },
+}
+
+impl fmt::Display for InlineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InlineError::NotAnApplication(e) => write!(f, "{e:?} is not an application"),
+            InlineError::NotUnique(e) => {
+                write!(f, "call site {e:?} does not have a unique target")
+            }
+            InlineError::NotCalledOnce(l) => {
+                write!(f, "function {l:?} is called from more than one site")
+            }
+            InlineError::OperatorNotTrivial(e) => {
+                write!(f, "operator at {e:?} is not a variable or abstraction")
+            }
+            InlineError::OutOfScope { var } => {
+                write!(f, "free variable `{var}` of the body is not in scope at the site")
+            }
+        }
+    }
+}
+
+impl Error for InlineError {}
+
+/// Finds all inline candidates using the two linear-time analyses.
+pub fn find_candidates(program: &Program, analysis: &Analysis) -> Vec<Candidate> {
+    let kl = KLimited::run(analysis, 1);
+    let co = CalledOnce::run(program, analysis);
+    let mut out = Vec::new();
+    for site in program.app_sites() {
+        let ExprKind::App { func, .. } = program.kind(site) else { unreachable!() };
+        if !matches!(program.kind(*func), ExprKind::Var(_) | ExprKind::Lam { .. }) {
+            continue;
+        }
+        let label = match kl.of_expr(analysis, *func).as_small() {
+            Some([l]) => *l,
+            _ => continue,
+        };
+        if co.of(label) == CallSites::One(site) {
+            out.push(Candidate { site, label });
+        }
+    }
+    out
+}
+
+/// Rewrites one candidate call site `(e₁ e₂)` into
+/// `let x = e₂ in body end`, returning the new program.
+pub fn inline_once(
+    program: &Program,
+    analysis: &Analysis,
+    site: ExprId,
+) -> Result<Program, InlineError> {
+    let ExprKind::App { func, .. } = program.kind(site) else {
+        return Err(InlineError::NotAnApplication(site));
+    };
+    if !matches!(program.kind(*func), ExprKind::Var(_) | ExprKind::Lam { .. }) {
+        return Err(InlineError::OperatorNotTrivial(site));
+    }
+    let kl = KLimited::run(analysis, 1);
+    let label = match kl.of_expr(analysis, *func).as_small() {
+        Some([l]) => *l,
+        _ => return Err(InlineError::NotUnique(site)),
+    };
+    let co = CalledOnce::run(program, analysis);
+    if co.of(label) != CallSites::One(site) {
+        return Err(InlineError::NotCalledOnce(label));
+    }
+    let lam = program.lam_of_label(label);
+    let ExprKind::Lam { param, body, .. } = program.kind(lam) else {
+        unreachable!("labels map to abstractions")
+    };
+    let mut copier = Copier {
+        src: program,
+        b: ProgramBuilder::new(),
+        var_map: vec![None; program.var_count()],
+        site,
+        lam_param: *param,
+        lam_body: *body,
+        error: None,
+    };
+    copier.copy_data_env();
+    let root = copier.copy(program.root());
+    if let Some(e) = copier.error {
+        return Err(e);
+    }
+    Ok(copier
+        .b
+        .finish(root)
+        .expect("inlining preserves program validity"))
+}
+
+struct Copier<'a> {
+    src: &'a Program,
+    b: ProgramBuilder,
+    var_map: Vec<Option<VarId>>,
+    site: ExprId,
+    lam_param: VarId,
+    lam_body: ExprId,
+    error: Option<InlineError>,
+}
+
+impl Copier<'_> {
+    fn copy_data_env(&mut self) {
+        let env = self.src.data_env();
+        for d in env.datas() {
+            let name = self.src.interner().resolve(env.data(d).name).to_owned();
+            let nd = self.b.declare_data(&name);
+            debug_assert_eq!(nd, d, "datatype ids are preserved in order");
+            for &c in &env.data(d).cons.clone() {
+                let cname = self.src.interner().resolve(env.con(c).name).to_owned();
+                let tys: Vec<TyExpr> = env.con(c).arg_tys.to_vec();
+                let nc = self.b.declare_con(nd, &cname, tys);
+                debug_assert_eq!(nc, c, "constructor ids are preserved in order");
+            }
+        }
+    }
+
+    fn fresh_like(&mut self, old: VarId) -> VarId {
+        let name = self.src.var_name(old).to_owned();
+        let nv = self.b.fresh_var(&name);
+        self.var_map[old.index()] = Some(nv);
+        nv
+    }
+
+    fn copy(&mut self, e: ExprId) -> ExprId {
+        if e == self.site {
+            return self.copy_inlined_site(e);
+        }
+        match self.src.kind(e).clone() {
+            ExprKind::Var(v) => match self.var_map[v.index()] {
+                Some(nv) => self.b.var(nv),
+                None => {
+                    if self.error.is_none() {
+                        self.error = Some(InlineError::OutOfScope {
+                            var: self.src.var_name(v).to_owned(),
+                        });
+                    }
+                    self.b.unit() // placeholder; the error aborts the result
+                }
+            },
+            ExprKind::Lam { param, body, .. } => {
+                let np = self.fresh_like(param);
+                let nb = self.copy(body);
+                self.b.lam(np, nb)
+            }
+            ExprKind::App { func, arg } => {
+                let nf = self.copy(func);
+                let na = self.copy(arg);
+                self.b.app(nf, na)
+            }
+            ExprKind::Let { binder, rhs, body } => {
+                let nr = self.copy(rhs);
+                let nb = self.fresh_like(binder);
+                let nbody = self.copy(body);
+                self.b.let_(nb, nr, nbody)
+            }
+            ExprKind::LetRec { binder, lambda, body } => {
+                let nb = self.fresh_like(binder);
+                let nl = self.copy(lambda);
+                let nbody = self.copy(body);
+                self.b.letrec(nb, nl, nbody)
+            }
+            ExprKind::If { cond, then_branch, else_branch } => {
+                let nc = self.copy(cond);
+                let nt = self.copy(then_branch);
+                let ne = self.copy(else_branch);
+                self.b.if_(nc, nt, ne)
+            }
+            ExprKind::Record(items) => {
+                let nitems: Vec<ExprId> = items.iter().map(|&i| self.copy(i)).collect();
+                self.b.record(nitems)
+            }
+            ExprKind::Proj { index, tuple } => {
+                let nt = self.copy(tuple);
+                self.b.proj(index, nt)
+            }
+            ExprKind::Con { con, args } => {
+                let nargs: Vec<ExprId> = args.iter().map(|&a| self.copy(a)).collect();
+                self.b.con(con, nargs)
+            }
+            ExprKind::Case { scrutinee, arms, default } => {
+                let ns = self.copy(scrutinee);
+                let narms: Vec<_> = arms
+                    .iter()
+                    .map(|arm| {
+                        let nbinders: Vec<VarId> =
+                            arm.binders.iter().map(|&b| self.fresh_like(b)).collect();
+                        let nbody = self.copy(arm.body);
+                        (arm.con, nbinders, nbody)
+                    })
+                    .collect();
+                let ndefault = default.map(|d| self.copy(d));
+                self.b.case(ns, narms, ndefault)
+            }
+            ExprKind::Lit(Literal::Int(n)) => self.b.int(n),
+            ExprKind::Lit(Literal::Bool(v)) => self.b.bool(v),
+            ExprKind::Lit(Literal::Unit) => self.b.unit(),
+            ExprKind::Prim { op, args } => {
+                let nargs: Vec<ExprId> = args.iter().map(|&a| self.copy(a)).collect();
+                self.b.prim(op, nargs)
+            }
+        }
+    }
+
+    /// `(e₁ e₂)` becomes `let x = e₂ in body end`.
+    fn copy_inlined_site(&mut self, site: ExprId) -> ExprId {
+        let ExprKind::App { arg, .. } = self.src.kind(site).clone() else {
+            unreachable!("site is an application")
+        };
+        let narg = self.copy(arg);
+        let nparam = self.fresh_like(self.lam_param);
+        let nbody = self.copy(self.lam_body);
+        self.b.let_(nparam, narg, nbody)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stcfa_lambda::eval::{eval, EvalOptions, Value};
+
+    fn run_i64(p: &Program) -> (i64, Vec<i64>) {
+        let out = eval(p, EvalOptions::default()).unwrap();
+        match out.value {
+            Value::Int(n) => (n, out.outputs),
+            other => panic!("expected int, got {other:?}"),
+        }
+    }
+
+    fn analyze(p: &Program) -> Analysis {
+        Analysis::run(p).unwrap()
+    }
+
+    #[test]
+    fn finds_beta_redex_candidate() {
+        let p = Program::parse("(fn x => x + 1) 2").unwrap();
+        let a = analyze(&p);
+        let cands = find_candidates(&p, &a);
+        assert_eq!(cands.len(), 1);
+        assert_eq!(cands[0].site, p.root());
+    }
+
+    #[test]
+    fn inline_preserves_semantics() {
+        let cases = [
+            "(fn x => x + 1) 2",
+            "let val f = fn x => x * 2 in f 21 end",
+            "fun helper n = n + 10; helper 32",
+            "let val f = fn x => let val u = print x in x end in f 5 end",
+        ];
+        for src in cases {
+            let p = Program::parse(src).unwrap();
+            let a = analyze(&p);
+            let cands = find_candidates(&p, &a);
+            assert!(!cands.is_empty(), "no candidates in {src:?}");
+            let before = run_i64(&p);
+            let q = inline_once(&p, &a, cands[0].site).unwrap_or_else(|e| panic!("{src:?}: {e}"));
+            // No application remains at the rewritten site's position when
+            // the program was a single redex.
+            let after = run_i64(&q);
+            assert_eq!(before, after, "inlining changed behaviour of {src:?}");
+        }
+    }
+
+    #[test]
+    fn twice_called_function_is_rejected() {
+        let p = Program::parse("fun id x = x; val a = id 1; val b = id 2; b").unwrap();
+        let a = analyze(&p);
+        assert!(find_candidates(&p, &a).is_empty());
+        let site = p.app_sites()[0];
+        assert!(matches!(
+            inline_once(&p, &a, site),
+            Err(InlineError::NotCalledOnce(_))
+        ));
+    }
+
+    #[test]
+    fn non_application_is_rejected() {
+        let p = Program::parse("(fn x => x + 1) 2").unwrap();
+        let a = analyze(&p);
+        let lit = p
+            .exprs()
+            .find(|&e| matches!(p.kind(e), ExprKind::Lit(Literal::Int(2))))
+            .unwrap();
+        assert!(matches!(
+            inline_once(&p, &a, lit),
+            Err(InlineError::NotAnApplication(_))
+        ));
+    }
+
+    #[test]
+    fn inlined_program_is_smaller_or_equal_in_apps() {
+        let p = Program::parse("let val f = fn x => x + 1 in f 41 end").unwrap();
+        let a = analyze(&p);
+        let cands = find_candidates(&p, &a);
+        let q = inline_once(&p, &a, cands[0].site).unwrap();
+        assert!(q.app_sites().len() < p.app_sites().len());
+        assert_eq!(run_i64(&q).0, 42);
+    }
+
+    #[test]
+    fn effects_in_argument_are_preserved_in_order() {
+        let p =
+            Program::parse("let val f = fn x => x + 1 in f (let val u = print 7 in 8 end) end")
+                .unwrap();
+        let a = analyze(&p);
+        let cands = find_candidates(&p, &a);
+        let q = inline_once(&p, &a, cands[0].site).unwrap();
+        let (val_before, out_before) = run_i64(&p);
+        let (val_after, out_after) = run_i64(&q);
+        assert_eq!(val_before, val_after);
+        assert_eq!(out_before, out_after);
+    }
+}

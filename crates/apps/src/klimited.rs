@@ -1,0 +1,213 @@
+//! Linear-time k-limited CFA (paper, Section 9).
+//!
+//! "In many applications of CFA, we are only interested in knowing
+//! information about call sites where a small number of functions can be
+//! called … We annotate each node with a value that is either a small set
+//! or the token *many*," seeded at abstraction nodes with singletons and
+//! propagated backwards along edges. Each node's annotation can grow at
+//! most `k + 1` times, so change propagation gives a linear-time
+//! algorithm.
+
+use stcfa_core::{Analysis, NodeId};
+use stcfa_lambda::{ExprId, ExprKind, Label, Program};
+
+/// A label set bounded at `k`: either the exact (small) set or "many".
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum KSet {
+    /// At most `k` labels, sorted.
+    Small(Vec<Label>),
+    /// More than `k` labels reach this point.
+    Many,
+}
+
+impl KSet {
+    /// The exact labels, if few enough.
+    pub fn as_small(&self) -> Option<&[Label]> {
+        match self {
+            KSet::Small(v) => Some(v),
+            KSet::Many => None,
+        }
+    }
+
+    /// Whether this is the `Many` token.
+    pub fn is_many(&self) -> bool {
+        matches!(self, KSet::Many)
+    }
+
+    /// Merges `other` into `self` under the bound `k`; returns `true` on
+    /// change.
+    fn merge(&mut self, other: &KSet, k: usize) -> bool {
+        match (&mut *self, other) {
+            (KSet::Many, _) => false,
+            (slot, KSet::Many) => {
+                *slot = KSet::Many;
+                true
+            }
+            (KSet::Small(mine), KSet::Small(theirs)) => {
+                let mut changed = false;
+                for l in theirs {
+                    if let Err(pos) = mine.binary_search(l) {
+                        mine.insert(pos, *l);
+                        changed = true;
+                    }
+                }
+                if mine.len() > k {
+                    *self = KSet::Many;
+                    return true;
+                }
+                changed
+            }
+        }
+    }
+}
+
+/// The k-limited annotation of every graph node.
+#[derive(Clone, Debug)]
+pub struct KLimited {
+    k: usize,
+    ann: Vec<KSet>,
+}
+
+impl KLimited {
+    /// Runs the k-limited propagation over the subtransitive graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` (a 0-limited analysis answers nothing).
+    pub fn run(analysis: &Analysis, k: usize) -> KLimited {
+        assert!(k > 0, "k must be positive");
+        let n = analysis.node_count();
+        let mut ann: Vec<KSet> = vec![KSet::Small(Vec::new()); n];
+        let mut work: Vec<u32> = Vec::new();
+        let mut queued = vec![false; n];
+        for i in 0..n {
+            let id = NodeId::from_index(i);
+            if let Some(l) = analysis.label_of_node(id) {
+                ann[i] = KSet::Small(vec![l]);
+                work.push(i as u32);
+                queued[i] = true;
+            }
+        }
+        // Backwards propagation: a node's annotation absorbs its
+        // successors' (successors point towards value sources).
+        while let Some(i) = work.pop() {
+            queued[i as usize] = false;
+            let current = ann[i as usize].clone();
+            for &p in analysis.preds(NodeId::from_index(i as usize)) {
+                if ann[p as usize].merge(&current, k) && !queued[p as usize] {
+                    queued[p as usize] = true;
+                    work.push(p);
+                }
+            }
+        }
+        KLimited { k, ann }
+    }
+
+    /// The bound this analysis ran with.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The annotation of an arbitrary node.
+    pub fn of_node(&self, n: NodeId) -> &KSet {
+        &self.ann[n.index()]
+    }
+
+    /// The k-limited `L(e)`.
+    pub fn of_expr(&self, analysis: &Analysis, e: ExprId) -> &KSet {
+        self.of_node(analysis.node_of_expr(e))
+    }
+
+    /// The k-limited call targets of application `app`, or `None` if it is
+    /// not an application.
+    pub fn call_targets(
+        &self,
+        program: &Program,
+        analysis: &Analysis,
+        app: ExprId,
+    ) -> Option<&KSet> {
+        match program.kind(app) {
+            ExprKind::App { func, .. } => Some(self.of_expr(analysis, *func)),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stcfa_core::Analysis;
+    use stcfa_lambda::Program;
+
+    /// The reference semantics: truncate the full reachability answer.
+    fn assert_matches_full(src: &str, k: usize) {
+        let p = Program::parse(src).unwrap();
+        let a = Analysis::run(&p).unwrap();
+        let kl = KLimited::run(&a, k);
+        for e in p.exprs() {
+            let full = a.labels_of(e);
+            let got = kl.of_expr(&a, e);
+            if full.len() <= k {
+                assert_eq!(
+                    got.as_small(),
+                    Some(full.as_slice()),
+                    "k-limited disagrees at {e:?} in {src:?}"
+                );
+            } else {
+                assert!(got.is_many(), "expected Many at {e:?} in {src:?}, got {got:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_truncated_full_analysis() {
+        let corpus = [
+            "(fn x => x x) (fn y => y)",
+            "fun id x = x; val a = id (fn u => u); val b = id (fn v => v); a",
+            "if true then fn a => a else if false then fn b => b else fn c => c",
+            "let val t = fn s => s s in t (fn w => w) end",
+            "#1 ((fn x => x), (fn y => y))",
+        ];
+        for src in corpus {
+            for k in 1..=3 {
+                assert_matches_full(src, k);
+            }
+        }
+    }
+
+    #[test]
+    fn many_token_appears_when_sets_overflow() {
+        // Four functions join at one variable; k = 2 must say Many.
+        let src = "\
+            fun id x = x;\n\
+            val a = id (fn p => p);\n\
+            val b = id (fn q => q);\n\
+            val c = id (fn r => r);\n\
+            val d = id (fn s => s);\n\
+            a";
+        let p = Program::parse(src).unwrap();
+        let a = Analysis::run(&p).unwrap();
+        let kl = KLimited::run(&a, 2);
+        assert!(kl.of_expr(&a, p.root()).is_many());
+        let kl4 = KLimited::run(&a, 4);
+        assert_eq!(kl4.of_expr(&a, p.root()).as_small().unwrap().len(), 4);
+    }
+
+    #[test]
+    fn unique_call_targets_for_inlining() {
+        let src = "(fn x => x + 1) 2";
+        let p = Program::parse(src).unwrap();
+        let a = Analysis::run(&p).unwrap();
+        let kl = KLimited::run(&a, 1);
+        let t = kl.call_targets(&p, &a, p.root()).unwrap();
+        assert_eq!(t.as_small().unwrap().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        let p = Program::parse("1").unwrap();
+        let a = Analysis::run(&p).unwrap();
+        let _ = KLimited::run(&a, 0);
+    }
+}

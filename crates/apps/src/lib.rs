@@ -1,0 +1,48 @@
+//! Linear-time CFA-consuming applications (paper, Sections 8–9 and the
+//! abstract).
+//!
+//! The paper's thesis is that the "all calls from all call sites" view of
+//! CFA is the wrong interface: consumers should run directly on the
+//! subtransitive graph, never materializing the quadratic table. This
+//! crate implements the paper's three consumers plus the optimization they
+//! motivate:
+//!
+//! - [`mod@effects`] — which expressions may have side effects (Section 8), by
+//!   graph colouring; with a quadratic reference implementation for
+//!   differential testing.
+//! - [`klimited`] — per-call-site function sets cut off at `k` with a
+//!   "many" token (Section 9).
+//! - [`called_once`] — functions called from exactly one call site
+//!   (abstract, third bullet).
+//! - [`callgraph`] — per-function call-graph construction (reachability,
+//!   recursion detection).
+//! - [`deadcode`] — dead-binding elimination driven by the effects
+//!   analysis.
+//! - [`inline`] — an inliner that combines 1-limited and called-once
+//!   analysis and rewrites the program.
+//!
+//! ```
+//! use stcfa_lambda::Program;
+//! use stcfa_core::Analysis;
+//! use stcfa_apps::effects::effects;
+//!
+//! let p = Program::parse("(fn x => print x) 3").unwrap();
+//! let a = Analysis::run(&p).unwrap();
+//! assert!(effects(&p, &a).is_effectful(p.root()));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod called_once;
+pub mod callgraph;
+pub mod deadcode;
+pub mod effects;
+pub mod inline;
+pub mod klimited;
+
+pub use called_once::{CallSites, CalledOnce};
+pub use callgraph::CallGraph;
+pub use deadcode::{eliminate_dead_bindings, DeadCodeStats};
+pub use effects::{effects, effects_via_cfa0, Effects};
+pub use inline::{find_candidates, inline_once, Candidate, InlineError};
+pub use klimited::{KLimited, KSet};

@@ -1,0 +1,46 @@
+//! E2 / paper Table 1: the parameterized cubic benchmark.
+//!
+//! Regenerates the three measured quantities of the paper's first table —
+//! SBA (cubic baseline) analysis time, the linear algorithm's build+close
+//! time, and the quadratic cost of listing all functions from all
+//! non-trivial call sites.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use stcfa_core::Analysis;
+use stcfa_lambda::ExprKind;
+use stcfa_sba::Sba;
+use stcfa_workloads::cubic;
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    for &n in &[1usize, 4, 16, 64] {
+        let p = cubic::program(n);
+        group.bench_with_input(BenchmarkId::new("sba_total", n), &p, |b, p| {
+            b.iter(|| black_box(Sba::analyze(p)))
+        });
+        group.bench_with_input(BenchmarkId::new("subtransitive_build_close", n), &p, |b, p| {
+            b.iter(|| black_box(Analysis::run(p).unwrap()))
+        });
+        let a = Analysis::run(&p).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("query_all_nontrivial", n),
+            &(&p, &a),
+            |b, (p, a)| {
+                b.iter(|| {
+                    let mut pairs = 0usize;
+                    for app in p.nontrivial_apps() {
+                        let ExprKind::App { func, .. } = p.kind(app) else { unreachable!() };
+                        pairs += a.labels_of(*func).len();
+                    }
+                    black_box(pairs)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

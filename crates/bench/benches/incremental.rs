@@ -1,0 +1,59 @@
+//! Incremental analysis: the cost of keeping up with a growing session
+//! (update per fragment) vs re-analyzing from scratch at each step.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use stcfa_core::incremental::IncrementalAnalysis;
+use stcfa_lambda::session::SessionProgram;
+
+fn build_session(fragments: usize) -> Vec<String> {
+    let mut out = vec!["fun id x = x;".to_owned()];
+    for i in 0..fragments {
+        out.push(format!("val v{i} = id (fn q{i} => q{i} + {i});"));
+    }
+    out
+}
+
+fn bench_incremental(c: &mut Criterion) {
+    let mut group = c.benchmark_group("incremental");
+    group.sample_size(10);
+    for &n in &[16usize, 64] {
+        let fragments = build_session(n);
+        group.bench_with_input(
+            BenchmarkId::new("update_per_fragment", n),
+            &fragments,
+            |b, fragments| {
+                b.iter(|| {
+                    let mut session = SessionProgram::new();
+                    let mut a = IncrementalAnalysis::new(Default::default());
+                    for f in fragments {
+                        session.define(f).unwrap();
+                        a.update(&session).unwrap();
+                    }
+                    black_box(a.node_count())
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("rescratch_per_fragment", n),
+            &fragments,
+            |b, fragments| {
+                b.iter(|| {
+                    let mut session = SessionProgram::new();
+                    let mut last = 0usize;
+                    for f in fragments {
+                        session.define(f).unwrap();
+                        let mut a = IncrementalAnalysis::new(Default::default());
+                        a.update(&session).unwrap();
+                        last = a.node_count();
+                    }
+                    black_box(last)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_incremental);
+criterion_main!(benches);

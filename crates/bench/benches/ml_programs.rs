@@ -1,0 +1,35 @@
+//! E3 / paper Table 2: the `life` and `lexgen` benchmark substitutes, each
+//! analyzed by the SBA baseline, the linear-time subtransitive algorithm,
+//! and (for reference) the almost-linear equality-based analysis.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use stcfa_core::Analysis;
+use stcfa_lambda::Program;
+use stcfa_sba::Sba;
+use stcfa_unify::UnifyCfa;
+use stcfa_workloads::{lexgen, life};
+
+fn bench_table2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    let programs: Vec<(&str, Program)> = vec![
+        ("life", life::program()),
+        ("lexgen", lexgen::program()),
+    ];
+    for (name, p) in &programs {
+        group.bench_with_input(BenchmarkId::new("sba_total", name), p, |b, p| {
+            b.iter(|| black_box(Sba::analyze(p)))
+        });
+        group.bench_with_input(BenchmarkId::new("subtransitive_total", name), p, |b, p| {
+            b.iter(|| black_box(Analysis::run(p).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("unify_total", name), p, |b, p| {
+            b.iter(|| black_box(UnifyCfa::analyze(p)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! E1 / the Section 2 complexity table: the four control-flow queries,
+//! standard algorithm vs subtransitive graph, at two program sizes (the
+//! scaling *ratio* is the result; absolute numbers depend on the host).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use stcfa_cfa0::Cfa0;
+use stcfa_core::Analysis;
+use stcfa_workloads::cubic;
+
+fn bench_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("queries");
+    group.sample_size(10);
+    for &n in &[16usize, 64] {
+        let p = cubic::program(n);
+        // The standard algorithm answers any query by computing everything.
+        group.bench_with_input(BenchmarkId::new("std_any_query", n), &p, |b, p| {
+            b.iter(|| black_box(Cfa0::analyze(p)))
+        });
+        let a = Analysis::run(&p).unwrap();
+        let e = p.root();
+        let l = p.all_labels().next().unwrap();
+        group.bench_with_input(BenchmarkId::new("new_member", n), &a, |b, a| {
+            b.iter(|| black_box(a.label_reaches(e, l)))
+        });
+        group.bench_with_input(BenchmarkId::new("new_labels_of", n), &a, |b, a| {
+            b.iter(|| black_box(a.labels_of(e)))
+        });
+        group.bench_with_input(BenchmarkId::new("new_inverse", n), &a, |b, a| {
+            b.iter(|| black_box(a.exprs_with_label(l)))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("new_all_label_sets", n),
+            &(&p, &a),
+            |b, (p, a)| b.iter(|| black_box(a.all_label_sets(p))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_queries);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Regenerates the paper's tables (and the repository's additional
+//! experiments) as plain text, one section per experiment id from
+//! DESIGN.md.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p stcfa-bench --bin tables            # all experiments
+//! cargo run --release -p stcfa-bench --bin tables -- --e2    # just Table 1
+//! cargo run --release -p stcfa-bench --bin tables -- --quick # fewer repetitions
+//! ```
+
+use stcfa_bench::experiments::{self, Runs};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let runs = if quick { Runs(2) } else { Runs(10) };
+    let wanted: Vec<&str> = args
+        .iter()
+        .filter(|a| a.starts_with("--e"))
+        .map(|a| a.trim_start_matches("--"))
+        .collect();
+
+    type Experiment = fn(Runs) -> String;
+    let selected: Vec<(&str, Experiment)> = vec![
+        ("e1", experiments::e1_query_complexity as Experiment),
+        ("e2", experiments::e2_cubic_benchmark),
+        ("e3", experiments::e3_ml_programs),
+        ("e4", experiments::e4_effects),
+        ("e5", experiments::e5_klimited),
+        ("e6", experiments::e6_called_once),
+        ("e7", experiments::e7_constants),
+        ("e8", experiments::e8_congruences),
+        ("e9", experiments::e9_unification),
+        ("e10", experiments::e10_hybrid),
+        ("e11", experiments::e11_polyvariance),
+        ("e12", experiments::e12_incremental),
+    ];
+
+    println!(
+        "# Subtransitive CFA — experiment tables\n\
+         (fastest of {} runs per measurement, release timings)\n",
+        runs.0
+    );
+    for (id, f) in selected {
+        if wanted.is_empty() || wanted.contains(&id) {
+            println!("{}", f(runs));
+        }
+    }
+}

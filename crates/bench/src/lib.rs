@@ -1,0 +1,164 @@
+//! Shared harness for the benchmark suite: timing helpers, measurement
+//! records for each experiment in DESIGN.md's per-experiment index, and a
+//! plain-text table renderer that mimics the paper's Tables 1 and 2.
+//!
+//! Criterion benches (under `benches/`) give statistically careful
+//! timings; the `tables` binary (under `src/bin/`) regenerates the paper's
+//! tables directly, printing one section per experiment id (E1–E11).
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub mod experiments;
+
+/// Runs `f` once and returns its result with the elapsed wall-clock time.
+pub fn time<R>(f: impl FnOnce() -> R) -> (R, Duration) {
+    let t = Instant::now();
+    let r = f();
+    (r, t.elapsed())
+}
+
+/// Runs `f` several times and returns the minimum elapsed time (the
+/// paper's methodology: "timings … represent the fastest of 10 runs").
+pub fn best_of<R>(runs: usize, mut f: impl FnMut() -> R) -> (R, Duration) {
+    assert!(runs > 0);
+    let (mut out, mut best) = time(&mut f);
+    for _ in 1..runs {
+        let (r, d) = time(&mut f);
+        if d < best {
+            best = d;
+            out = r;
+        }
+    }
+    (out, best)
+}
+
+/// Formats a duration in adaptive units.
+pub fn fmt_duration(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else {
+        format!("{:.1} µs", s * 1e6)
+    }
+}
+
+/// Least-squares slope of `log y` against `log x` — the empirical growth
+/// exponent of a measurement series (`≈1` linear, `≈2` quadratic,
+/// `≈3` cubic).
+///
+/// # Panics
+///
+/// Panics if fewer than two points are given or any coordinate is
+/// non-positive.
+pub fn fit_exponent(points: &[(f64, f64)]) -> f64 {
+    assert!(points.len() >= 2, "need at least two points");
+    let logs: Vec<(f64, f64)> = points
+        .iter()
+        .map(|&(x, y)| {
+            assert!(x > 0.0 && y > 0.0, "log-log fit needs positive data");
+            (x.ln(), y.ln())
+        })
+        .collect();
+    let n = logs.len() as f64;
+    let sx: f64 = logs.iter().map(|p| p.0).sum();
+    let sy: f64 = logs.iter().map(|p| p.1).sum();
+    let sxx: f64 = logs.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = logs.iter().map(|p| p.0 * p.1).sum();
+    (n * sxy - sx * sy) / (n * sxx - sx * sx)
+}
+
+/// A plain-text table with a title, column headers and string rows.
+#[derive(Debug, Default)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: &str, headers: &[&str]) -> Table {
+        Table {
+            title: title.to_owned(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header arity).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("## {}\n\n", self.title));
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            let mut s = String::from("|");
+            for (c, w) in cells.iter().zip(widths) {
+                s.push_str(&format!(" {c:>w$} |"));
+            }
+            s.push('\n');
+            s
+        };
+        out.push_str(&line(&self.headers, &widths));
+        out.push('|');
+        for w in &widths {
+            out.push_str(&format!("{}|", "-".repeat(w + 2)));
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&line(row, &widths));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("demo", &["n", "time"]);
+        t.row(vec!["1".into(), "2 ms".into()]);
+        t.row(vec!["100".into(), "2000 ms".into()]);
+        let r = t.render();
+        assert!(r.contains("## demo"));
+        assert!(r.lines().count() >= 5);
+    }
+
+    #[test]
+    fn best_of_returns_at_least_sleep_time() {
+        let (_, d) = best_of(3, || std::thread::sleep(Duration::from_micros(50)));
+        assert!(d >= Duration::from_micros(50));
+    }
+
+    #[test]
+    fn fit_exponent_recovers_powers() {
+        let lin: Vec<(f64, f64)> = (1..=6).map(|i| (i as f64, 3.0 * i as f64)).collect();
+        assert!((fit_exponent(&lin) - 1.0).abs() < 1e-9);
+        let cubic: Vec<(f64, f64)> =
+            (1..=6).map(|i| (i as f64, 0.5 * (i as f64).powi(3))).collect();
+        assert!((fit_exponent(&cubic) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert!(fmt_duration(Duration::from_secs(2)).ends_with(" s"));
+        assert!(fmt_duration(Duration::from_millis(5)).ends_with(" ms"));
+        assert!(fmt_duration(Duration::from_micros(5)).ends_with(" µs"));
+    }
+}

@@ -1,0 +1,123 @@
+//! Machine-independent scaling-shape assertions: the headline complexity
+//! claims of the paper, checked on *deterministic work counters* (never
+//! wall-clock), so they hold on any host.
+
+use stcfa_bench::fit_exponent;
+use stcfa_core::Analysis;
+use stcfa_sba::Sba;
+use stcfa_workloads::{cubic, join_point};
+
+const SIZES: [usize; 5] = [8, 16, 32, 64, 128];
+/// Smaller sweep for the deliberately superlinear baselines (debug-mode
+/// cubic work at n=128 alone takes ~a minute).
+const BASELINE_SIZES: [usize; 4] = [8, 16, 32, 64];
+
+#[test]
+fn sba_work_is_superquadratic_on_the_cubic_family() {
+    let points: Vec<(f64, f64)> = BASELINE_SIZES
+        .iter()
+        .map(|&n| {
+            let p = cubic::program(n);
+            let w = Sba::analyze(&p).stats().work_units;
+            (p.size() as f64, w as f64)
+        })
+        .collect();
+    let k = fit_exponent(&points);
+    assert!(
+        k > 2.3,
+        "expected (near-)cubic work growth for SBA, measured exponent {k:.2}"
+    );
+}
+
+#[test]
+fn subtransitive_graph_is_linear_on_the_cubic_family() {
+    let nodes: Vec<(f64, f64)> = SIZES
+        .iter()
+        .map(|&n| {
+            let p = cubic::program(n);
+            let a = Analysis::run(&p).unwrap();
+            (p.size() as f64, a.node_count() as f64)
+        })
+        .collect();
+    let k = fit_exponent(&nodes);
+    assert!(
+        (0.85..=1.15).contains(&k),
+        "expected linear node growth, measured exponent {k:.2}"
+    );
+    let edges: Vec<(f64, f64)> = SIZES
+        .iter()
+        .map(|&n| {
+            let p = cubic::program(n);
+            let a = Analysis::run(&p).unwrap();
+            (p.size() as f64, a.edge_count() as f64)
+        })
+        .collect();
+    let k = fit_exponent(&edges);
+    assert!(
+        (0.85..=1.2).contains(&k),
+        "expected linear edge growth, measured exponent {k:.2}"
+    );
+}
+
+#[test]
+fn close_phase_work_is_linear_on_join_points() {
+    // The paper's explanation for standard CFA's observed non-linearity;
+    // the subtransitive close phase must stay linear on it.
+    let points: Vec<(f64, f64)> = SIZES
+        .iter()
+        .map(|&n| {
+            let p = join_point::program(n);
+            let a = Analysis::run(&p).unwrap();
+            (p.size() as f64, a.stats().edges_processed as f64)
+        })
+        .collect();
+    let k = fit_exponent(&points);
+    assert!(
+        (0.85..=1.2).contains(&k),
+        "expected linear closure work, measured exponent {k:.2}"
+    );
+}
+
+#[test]
+fn query_all_output_is_quadratic_on_the_cubic_family() {
+    // "All calls from all call sites" is quadratic *output*: O(n) sites
+    // with O(n) callees each.
+    let points: Vec<(f64, f64)> = SIZES
+        .iter()
+        .map(|&n| {
+            let p = cubic::program(n);
+            let a = Analysis::run(&p).unwrap();
+            let mut pairs = 0usize;
+            for app in p.nontrivial_apps() {
+                let stcfa_lambda::ExprKind::App { func, .. } = p.kind(app) else {
+                    unreachable!()
+                };
+                pairs += a.labels_of(*func).len();
+            }
+            (p.size() as f64, pairs as f64)
+        })
+        .collect();
+    let k = fit_exponent(&points);
+    assert!(
+        (1.8..=2.2).contains(&k),
+        "expected quadratic pair output, measured exponent {k:.2}"
+    );
+}
+
+#[test]
+fn cubic_baseline_activations_grow_superlinearly() {
+    // The standard algorithm's own work counters on the same family.
+    let points: Vec<(f64, f64)> = BASELINE_SIZES
+        .iter()
+        .map(|&n| {
+            let p = cubic::program(n);
+            let cfa = stcfa_cfa0::Cfa0::analyze(&p);
+            (p.size() as f64, cfa.stats().propagations as f64)
+        })
+        .collect();
+    let k = fit_exponent(&points);
+    assert!(
+        k > 1.5,
+        "expected superlinear propagation work for the cubic baseline, got {k:.2}"
+    );
+}

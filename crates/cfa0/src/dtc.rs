@@ -1,0 +1,316 @@
+//! The DTC ("dynamic transitive closure") transition system — the paper's
+//! Section 3 reformulation of standard CFA as deduction rules over program
+//! nodes:
+//!
+//! ```text
+//! (ABS)    λˡx.e → λˡx.e
+//! (APP-1)  e₁ →* λˡx.e  ⟹  x → e₂            (for each (e₁ e₂) in P)
+//! (APP-2)  e₁ →* λˡx.e  ⟹  (e₁ e₂) → e       (for each (e₁ e₂) in P)
+//! (TRANS)  e₁ → e₂, e₂ → e₃  ⟹  e₁ → e₃
+//! ```
+//!
+//! An edge `e → e′` means "anything derivable from `e′` is derivable from
+//! `e`"; TRANS may be restricted to abstraction right-endpoints, which is
+//! how this implementation works: it maintains, per node, the set of
+//! abstractions reachable so far, and fires APP-1/APP-2 when one arrives at
+//! an operator position. Transitive closure is thus *intertwined* with edge
+//! addition — exactly the coupling the subtransitive algorithm removes.
+//!
+//! Supported forms: the lambda calculus plus `let`/`letrec`/`if` and inert
+//! literals/primitives. Records and datatypes are out of scope here (the
+//! paper presents DTC for the pure calculus); use [`crate::Cfa0`] for the
+//! full language.
+
+use std::error::Error;
+use std::fmt;
+
+use stcfa_graph::{BitSet, Worklist};
+use stcfa_lambda::{ExprId, ExprKind, Label, Program, VarId};
+
+/// DTC is defined on the lambda fragment only.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnsupportedConstruct {
+    /// The offending occurrence.
+    pub at: ExprId,
+    /// Which construct it was.
+    pub construct: &'static str,
+}
+
+impl fmt::Display for UnsupportedConstruct {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "DTC supports only the lambda fragment; found {} at {:?}",
+            self.construct, self.at
+        )
+    }
+}
+
+impl Error for UnsupportedConstruct {}
+
+/// Work counters for the DTC run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DtcStats {
+    /// Edges added (basic + APP-derived).
+    pub edges: u64,
+    /// Label propagations along edges.
+    pub propagations: u64,
+}
+
+/// The computed DTC relation: per-node reachable abstraction labels.
+#[derive(Clone, Debug)]
+pub struct Dtc {
+    /// Node layout: exprs `0..n`, binders `n..n+v`.
+    n_exprs: usize,
+    reach: Vec<BitSet>,
+    stats: DtcStats,
+}
+
+impl Dtc {
+    /// Runs DTC to fixpoint.
+    pub fn analyze(program: &Program) -> Result<Dtc, UnsupportedConstruct> {
+        DtcSolver::new(program)?.run()
+    }
+
+    /// `L(e)`: abstraction labels derivable from expression occurrence `e`,
+    /// sorted.
+    pub fn labels(&self, e: ExprId) -> Vec<Label> {
+        self.reach[e.index()].iter().map(Label::from_index).collect()
+    }
+
+    /// Labels derivable from binder `v`, sorted.
+    pub fn var_labels(&self, v: VarId) -> Vec<Label> {
+        self.reach[self.n_exprs + v.index()].iter().map(Label::from_index).collect()
+    }
+
+    /// Work counters.
+    pub fn stats(&self) -> DtcStats {
+        self.stats
+    }
+}
+
+struct DtcSolver<'a> {
+    program: &'a Program,
+    /// Forward edges node → node ("derivable from").
+    succs: Vec<Vec<u32>>,
+    /// Reverse edges, to propagate reach-set growth to predecessors.
+    preds: Vec<Vec<u32>>,
+    reach: Vec<BitSet>,
+    /// For each expression: the applications in which it is the operator.
+    apps_with_func: Vec<Vec<ExprId>>,
+    /// Per (operator-node) the labels already fired for its applications.
+    fired: Vec<BitSet>,
+    worklist: Worklist,
+    stats: DtcStats,
+}
+
+impl<'a> DtcSolver<'a> {
+    fn new(program: &'a Program) -> Result<Self, UnsupportedConstruct> {
+        for e in program.exprs() {
+            let construct = match program.kind(e) {
+                ExprKind::Record(_) => Some("record"),
+                ExprKind::Proj { .. } => Some("projection"),
+                ExprKind::Con { .. } => Some("constructor"),
+                ExprKind::Case { .. } => Some("case"),
+                _ => None,
+            };
+            if let Some(construct) = construct {
+                return Err(UnsupportedConstruct { at: e, construct });
+            }
+        }
+        let n = program.size();
+        let v = program.var_count();
+        let labels = program.label_count();
+        let mut apps_with_func = vec![Vec::new(); n];
+        for e in program.exprs() {
+            if let ExprKind::App { func, .. } = program.kind(e) {
+                apps_with_func[func.index()].push(e);
+            }
+        }
+        Ok(DtcSolver {
+            program,
+            succs: vec![Vec::new(); n + v],
+            preds: vec![Vec::new(); n + v],
+            reach: (0..n + v).map(|_| BitSet::new(labels)).collect(),
+            apps_with_func,
+            fired: (0..n).map(|_| BitSet::new(labels)).collect(),
+            worklist: Worklist::new(n + v),
+            stats: DtcStats::default(),
+        })
+    }
+
+    fn expr_node(&self, e: ExprId) -> usize {
+        e.index()
+    }
+
+    fn binder_node(&self, v: VarId) -> usize {
+        self.program.size() + v.index()
+    }
+
+    /// Adds edge `u → v` and pulls `v`'s current reach into `u`.
+    fn add_edge(&mut self, u: usize, v: usize) {
+        self.succs[u].push(v as u32);
+        self.preds[v].push(u as u32);
+        self.stats.edges += 1;
+        self.pull(u, v);
+    }
+
+    /// `reach[u] ∪= reach[v]`, enqueueing `u` on change.
+    fn pull(&mut self, u: usize, v: usize) {
+        if u == v {
+            return;
+        }
+        self.stats.propagations += 1;
+        let changed = if u < v {
+            let (a, b) = self.reach.split_at_mut(v);
+            a[u].union_with(&b[0])
+        } else {
+            let (a, b) = self.reach.split_at_mut(u);
+            b[0].union_with(&a[v])
+        };
+        if changed {
+            self.worklist.push(u);
+        }
+    }
+
+    fn run(mut self) -> Result<Dtc, UnsupportedConstruct> {
+        // Basic edges and ABS seeds.
+        for e in self.program.exprs() {
+            let en = self.expr_node(e);
+            match self.program.kind(e) {
+                ExprKind::Var(v) => {
+                    let bn = self.binder_node(*v);
+                    self.add_edge(en, bn);
+                }
+                ExprKind::Lam { label, .. } => {
+                    if self.reach[en].insert(label.index()) {
+                        self.worklist.push(en);
+                    }
+                }
+                ExprKind::Let { binder, rhs, body } => {
+                    let bn = self.binder_node(*binder);
+                    self.add_edge(bn, self.expr_node(*rhs));
+                    self.add_edge(en, self.expr_node(*body));
+                }
+                ExprKind::LetRec { binder, lambda, body } => {
+                    let bn = self.binder_node(*binder);
+                    self.add_edge(bn, self.expr_node(*lambda));
+                    self.add_edge(en, self.expr_node(*body));
+                }
+                ExprKind::If { then_branch, else_branch, .. } => {
+                    self.add_edge(en, self.expr_node(*then_branch));
+                    self.add_edge(en, self.expr_node(*else_branch));
+                }
+                ExprKind::App { .. } | ExprKind::Lit(_) | ExprKind::Prim { .. } => {}
+                _ => unreachable!("rejected in new()"),
+            }
+        }
+
+        // Fixpoint: propagate reach sets backwards, firing APP rules.
+        while let Some(u) = self.worklist.pop() {
+            // Fire APP-1/APP-2 for operators whose reach gained labels.
+            if u < self.program.size() {
+                let e = ExprId::from_index(u);
+                if !self.apps_with_func[u].is_empty() {
+                    let fresh: Vec<usize> = self.reach[u]
+                        .iter()
+                        .filter(|&l| !self.fired[u].contains(l))
+                        .collect();
+                    for l in fresh {
+                        self.fired[u].insert(l);
+                        let lam = self.program.lam_of_label(Label::from_index(l));
+                        let ExprKind::Lam { param, body, .. } = self.program.kind(lam) else {
+                            unreachable!("label table maps to lams")
+                        };
+                        let (param, body) = (*param, *body);
+                        let apps = self.apps_with_func[e.index()].clone();
+                        for app in apps {
+                            let ExprKind::App { arg, .. } = self.program.kind(app) else {
+                                unreachable!()
+                            };
+                            // APP-1: x → e₂
+                            let pn = self.binder_node(param);
+                            self.add_edge(pn, self.expr_node(*arg));
+                            // APP-2: (e₁ e₂) → body
+                            self.add_edge(self.expr_node(app), self.expr_node(body));
+                        }
+                    }
+                }
+            }
+            // TRANS (restricted): predecessors pull the grown set.
+            let preds = self.preds[u].clone();
+            for p in preds {
+                self.pull(p as usize, u);
+            }
+        }
+
+        Ok(Dtc { n_exprs: self.program.size(), reach: self.reach, stats: self.stats })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::labelsets::Cfa0;
+    use stcfa_lambda::Program;
+
+    #[test]
+    fn paper_example() {
+        // (λx.(x x)) (λ'y.y): the paper derives
+        // (λx.(x x)) (λ'y.y) → λ'y.y via TRANS.
+        let p = Program::parse("(fn x => x x) (fn y => y)").unwrap();
+        let dtc = Dtc::analyze(&p).unwrap();
+        let root_labels = dtc.labels(p.root());
+        assert_eq!(root_labels.len(), 1);
+        assert_eq!(root_labels[0].index(), 1);
+    }
+
+    #[test]
+    fn rejects_datatypes() {
+        let p = Program::parse("datatype t = A; A").unwrap();
+        assert!(Dtc::analyze(&p).is_err());
+    }
+
+    #[test]
+    fn agrees_with_cfa0_on_lambda_fragment() {
+        let sources = [
+            "(fn x => x x) (fn y => y)",
+            "fun id x = x; val a = id (fn u => u); val b = id (fn v => v); b a",
+            "(fn f => fn g => f (g (fn z => z))) (fn p => p) (fn q => q)",
+            "if true then fn a => a else fn b => b",
+            "let val t = fn s => s s in t (fn w => w) end",
+            "fun loop x = loop x; loop (fn n => n)",
+        ];
+        for src in sources {
+            let p = Program::parse(src).unwrap();
+            let dtc = Dtc::analyze(&p).unwrap();
+            let cfa = Cfa0::analyze(&p);
+            for e in p.exprs() {
+                assert_eq!(
+                    dtc.labels(e),
+                    cfa.labels(&p, e),
+                    "DTC and standard CFA disagree at {e:?} in {src:?}"
+                );
+            }
+            for v in p.vars() {
+                assert_eq!(dtc.var_labels(v), cfa.var_labels(&p, v));
+            }
+        }
+    }
+
+    #[test]
+    fn abstractions_reach_themselves() {
+        let p = Program::parse("fn x => x").unwrap();
+        let dtc = Dtc::analyze(&p).unwrap();
+        assert_eq!(dtc.labels(p.root()).len(), 1);
+    }
+
+    #[test]
+    fn edge_counting() {
+        let p = Program::parse("(fn x => x) (fn y => y)").unwrap();
+        let dtc = Dtc::analyze(&p).unwrap();
+        // APP fires exactly once (one lam reaches the operator): 2 edges,
+        // plus the 2 var→binder basic edges.
+        assert_eq!(dtc.stats().edges, 4);
+    }
+}

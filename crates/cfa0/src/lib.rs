@@ -1,0 +1,37 @@
+//! Standard (cubic-time) control-flow analysis — the paper's baseline.
+//!
+//! Two formulations of the same analysis, both from Heintze & McAllester
+//! (PLDI 1997):
+//!
+//! - [`Cfa0`] ([`labelsets`]) — the classic least-fixed-point computation of
+//!   per-occurrence label sets (`L(e)`), extended to records and datatype
+//!   constructors. This is the ground truth every other analysis in the
+//!   workspace is tested against.
+//! - [`LiveCfa0`] ([`live`]) — a reachability-aware variant (the
+//!   introduction's "treatment of dead-code" dimension): λ bodies and case
+//!   arms are analyzed only once something can actually reach them.
+//! - [`Dtc`] ([`dtc`]) — the Section 3 deduction system over program nodes
+//!   (ABS / APP-1 / APP-2 / TRANS) whose transitive closure *is* standard
+//!   CFA; it makes explicit that the standard algorithm intertwines closure
+//!   with edge addition, the coupling the subtransitive algorithm breaks.
+//!
+//! ```
+//! use stcfa_lambda::Program;
+//! use stcfa_cfa0::Cfa0;
+//!
+//! let p = Program::parse("(fn x => x x) (fn y => y)").unwrap();
+//! let cfa = Cfa0::analyze(&p);
+//! assert_eq!(cfa.labels(&p, p.root()).len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod dtc;
+pub mod labelsets;
+pub mod live;
+pub mod sites;
+
+pub use dtc::{Dtc, DtcStats, UnsupportedConstruct};
+pub use labelsets::{Cfa0, Cfa0Stats};
+pub use live::{LiveCfa0, LiveCfa0Stats};
+pub use sites::SiteTable;

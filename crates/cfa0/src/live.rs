@@ -1,0 +1,467 @@
+//! Reachability-aware ("dead-code-sensitive") CFA — the second design
+//! dimension in the paper's introduction: "does the analysis take into
+//! account which pieces of a program can actually be called?"
+//!
+//! [`crate::Cfa0`] (and the subtransitive graph) analyze every expression,
+//! reachable or not. This variant interleaves a *liveness* computation
+//! with the flow analysis, under call-by-value may-evaluation:
+//!
+//! - the root is live; evaluating a construct makes its evaluated children
+//!   live (a λ's body is **not** evaluated with the λ);
+//! - a λ body becomes live only when the λ flows into the operator of a
+//!   *live* application — and only then are the call edges added;
+//! - a `case` arm's body becomes live only when a matching construction
+//!   flows into a live scrutinee (`if` branches stay conservatively live —
+//!   we do not track boolean values).
+//!
+//! The result is both a liveness verdict per occurrence and flow sets that
+//! are never larger than the standard analysis's (dead code cannot
+//! pollute).
+
+use stcfa_graph::{BitSet, Worklist};
+use stcfa_lambda::{ExprId, ExprKind, Label, Program, VarId};
+
+use crate::sites::SiteTable;
+
+/// Work counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LiveCfa0Stats {
+    /// Expressions that became live.
+    pub live_exprs: usize,
+    /// Word-level set unions.
+    pub propagations: u64,
+    /// Dynamic edges added by application/projection/case firing.
+    pub dynamic_edges: u64,
+}
+
+/// The reachability-aware analysis result.
+#[derive(Clone, Debug)]
+pub struct LiveCfa0 {
+    sites: SiteTable,
+    expr_sets: Vec<BitSet>,
+    var_sets: Vec<BitSet>,
+    live: Vec<bool>,
+    stats: LiveCfa0Stats,
+}
+
+impl LiveCfa0 {
+    /// Runs the interleaved liveness + flow fixpoint.
+    pub fn analyze(program: &Program) -> LiveCfa0 {
+        Solver::new(program).run()
+    }
+
+    /// Whether occurrence `e` may be evaluated.
+    pub fn is_live(&self, e: ExprId) -> bool {
+        self.live[e.index()]
+    }
+
+    /// All live occurrences, in id order.
+    pub fn live_exprs(&self) -> Vec<ExprId> {
+        self.live
+            .iter()
+            .enumerate()
+            .filter(|&(_i, &l)| l).map(|(i, &_l)| ExprId::from_index(i))
+            .collect()
+    }
+
+    /// `L(e)` under the live analysis, sorted. Empty for dead code.
+    pub fn labels(&self, program: &Program, e: ExprId) -> Vec<Label> {
+        self.labels_of_set(program, &self.expr_sets[e.index()])
+    }
+
+    /// Labels reaching binder `v`.
+    pub fn var_labels(&self, program: &Program, v: VarId) -> Vec<Label> {
+        self.labels_of_set(program, &self.var_sets[v.index()])
+    }
+
+    fn labels_of_set(&self, program: &Program, set: &BitSet) -> Vec<Label> {
+        let mut out: Vec<Label> = set
+            .iter()
+            .filter_map(|s| self.sites.label_of_site(program, s))
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Work counters.
+    pub fn stats(&self) -> LiveCfa0Stats {
+        self.stats
+    }
+}
+
+enum Listener {
+    App { app: ExprId },
+    Proj { index: u32, proj_var: u32 },
+    Case { case_expr: ExprId },
+}
+
+struct Solver<'a> {
+    program: &'a Program,
+    sites: SiteTable,
+    sets: Vec<BitSet>,
+    edges: Vec<Vec<u32>>,
+    listeners: Vec<Listener>,
+    watchers: Vec<Vec<u32>>,
+    handled: Vec<BitSet>,
+    live: Vec<bool>,
+    live_queue: Vec<ExprId>,
+    /// λ bodies already made live by some call.
+    body_live: Vec<bool>,
+    worklist: Worklist,
+    stats: LiveCfa0Stats,
+}
+
+impl<'a> Solver<'a> {
+    fn new(program: &'a Program) -> Self {
+        let n = program.size();
+        let v = program.var_count();
+        let sites = SiteTable::build(program);
+        let nsites = sites.len();
+        Solver {
+            program,
+            sites,
+            sets: (0..n + v).map(|_| BitSet::new(nsites)).collect(),
+            edges: vec![Vec::new(); n + v],
+            listeners: Vec::new(),
+            watchers: vec![Vec::new(); n + v],
+            handled: Vec::new(),
+            live: vec![false; n],
+            live_queue: Vec::new(),
+            body_live: vec![false; program.label_count()],
+            worklist: Worklist::new(n + v),
+            stats: LiveCfa0Stats::default(),
+        }
+    }
+
+    fn expr_var(&self, e: ExprId) -> u32 {
+        e.index() as u32
+    }
+
+    fn binder_var(&self, v: VarId) -> u32 {
+        (self.program.size() + v.index()) as u32
+    }
+
+    fn mark_live(&mut self, e: ExprId) {
+        if !self.live[e.index()] {
+            self.live[e.index()] = true;
+            self.live_queue.push(e);
+        }
+    }
+
+    fn edge(&mut self, from: u32, to: u32) {
+        self.edges[from as usize].push(to);
+        self.propagate(from, to);
+    }
+
+    fn propagate(&mut self, from: u32, to: u32) {
+        if from == to {
+            return;
+        }
+        self.stats.propagations += 1;
+        let (from, to) = (from as usize, to as usize);
+        let changed = if from < to {
+            let (a, b) = self.sets.split_at_mut(to);
+            b[0].union_with(&a[from])
+        } else {
+            let (a, b) = self.sets.split_at_mut(from);
+            a[to].union_with(&b[0])
+        };
+        if changed {
+            self.worklist.push(to);
+        }
+    }
+
+    fn seed(&mut self, var: u32, site: usize) {
+        if self.sets[var as usize].insert(site) {
+            self.worklist.push(var as usize);
+        }
+    }
+
+    fn listen(&mut self, watch: u32, l: Listener) {
+        let id = self.listeners.len() as u32;
+        self.listeners.push(l);
+        self.handled.push(BitSet::new(self.sites.len()));
+        self.watchers[watch as usize].push(id);
+        // Catch up on sites already present.
+        self.worklist.push(watch as usize);
+    }
+
+    /// Installs the constraints of a newly live expression.
+    fn process_live(&mut self, e: ExprId) {
+        self.stats.live_exprs += 1;
+        let ev = self.expr_var(e);
+        match self.program.kind(e).clone() {
+            ExprKind::Var(v) => {
+                self.edge(self.binder_var(v), ev);
+            }
+            ExprKind::Lam { .. } => {
+                let site = self.sites.site_of(e).expect("lam site");
+                self.seed(ev, site);
+                // The body becomes live only when the λ is applied.
+            }
+            ExprKind::App { func, arg } => {
+                self.mark_live(func);
+                self.mark_live(arg);
+                self.listen(self.expr_var(func), Listener::App { app: e });
+            }
+            ExprKind::Let { binder, rhs, body } => {
+                self.mark_live(rhs);
+                self.mark_live(body);
+                self.edge(self.expr_var(rhs), self.binder_var(binder));
+                self.edge(self.expr_var(body), ev);
+            }
+            ExprKind::LetRec { binder, lambda, body } => {
+                self.mark_live(lambda);
+                self.mark_live(body);
+                self.edge(self.expr_var(lambda), self.binder_var(binder));
+                self.edge(self.expr_var(body), ev);
+            }
+            ExprKind::If { cond, then_branch, else_branch } => {
+                self.mark_live(cond);
+                self.mark_live(then_branch);
+                self.mark_live(else_branch);
+                self.edge(self.expr_var(then_branch), ev);
+                self.edge(self.expr_var(else_branch), ev);
+            }
+            ExprKind::Record(items) => {
+                for &i in items.iter() {
+                    self.mark_live(i);
+                }
+                let site = self.sites.site_of(e).expect("record site");
+                self.seed(ev, site);
+            }
+            ExprKind::Proj { index, tuple } => {
+                self.mark_live(tuple);
+                self.listen(
+                    self.expr_var(tuple),
+                    Listener::Proj { index, proj_var: ev },
+                );
+            }
+            ExprKind::Con { args, .. } => {
+                for &a in args.iter() {
+                    self.mark_live(a);
+                }
+                let site = self.sites.site_of(e).expect("con site");
+                self.seed(ev, site);
+            }
+            ExprKind::Case { scrutinee, arms, default } => {
+                self.mark_live(scrutinee);
+                if let Some(d) = default {
+                    // Conservative: we do not track which constructors are
+                    // absent, so the wildcard stays live.
+                    self.mark_live(d);
+                    self.edge(self.expr_var(d), ev);
+                }
+                if !arms.is_empty() {
+                    self.listen(self.expr_var(scrutinee), Listener::Case { case_expr: e });
+                }
+            }
+            ExprKind::Prim { args, .. } => {
+                for &a in args.iter() {
+                    self.mark_live(a);
+                }
+            }
+            ExprKind::Lit(_) => {}
+        }
+    }
+
+    fn run(mut self) -> LiveCfa0 {
+        self.mark_live(self.program.root());
+        loop {
+            if let Some(e) = self.live_queue.pop() {
+                self.process_live(e);
+            } else if let Some(u) = self.worklist.pop() {
+                let edges = std::mem::take(&mut self.edges[u]);
+                for &w in &edges {
+                    self.propagate(u as u32, w);
+                }
+                self.edges[u] = edges;
+                let watcher_ids = self.watchers[u].clone();
+                for lid in watcher_ids {
+                    let fresh: Vec<usize> = self.sets[u]
+                        .iter()
+                        .filter(|&s| !self.handled[lid as usize].contains(s))
+                        .collect();
+                    for s in fresh {
+                        self.handled[lid as usize].insert(s);
+                        self.fire(lid, s);
+                    }
+                }
+            } else {
+                break;
+            }
+        }
+        LiveCfa0 {
+            sites: self.sites,
+            var_sets: self.sets.split_off(self.program.size()),
+            expr_sets: self.sets,
+            live: self.live,
+            stats: self.stats,
+        }
+    }
+
+    fn fire(&mut self, lid: u32, site: usize) {
+        self.stats.dynamic_edges += 1;
+        let site_expr = self.sites.expr(site);
+        match self.listeners[lid as usize] {
+            Listener::App { app } => {
+                let ExprKind::App { arg, .. } = self.program.kind(app) else {
+                    unreachable!()
+                };
+                let arg = *arg;
+                if let ExprKind::Lam { label, param, body } = self.program.kind(site_expr) {
+                    let (label, param, body) = (*label, *param, *body);
+                    if !self.body_live[label.index()] {
+                        self.body_live[label.index()] = true;
+                    }
+                    self.mark_live(body);
+                    let pv = self.binder_var(param);
+                    let bv = self.expr_var(body);
+                    self.edge(self.expr_var(arg), pv);
+                    self.edge(bv, self.expr_var(app));
+                }
+            }
+            Listener::Proj { index, proj_var } => {
+                if let ExprKind::Record(items) = self.program.kind(site_expr) {
+                    if let Some(&field) = items.get(index as usize) {
+                        let fv = self.expr_var(field);
+                        self.edge(fv, proj_var);
+                    }
+                }
+            }
+            Listener::Case { case_expr } => {
+                if let ExprKind::Con { con, args } = self.program.kind(site_expr) {
+                    let con = *con;
+                    let args: Vec<ExprId> = args.to_vec();
+                    let ExprKind::Case { arms, .. } = self.program.kind(case_expr).clone()
+                    else {
+                        unreachable!()
+                    };
+                    for arm in arms.iter().filter(|arm| arm.con == con) {
+                        self.mark_live(arm.body);
+                        self.edge(self.expr_var(arm.body), self.expr_var(case_expr));
+                        for (&b, &a) in arm.binders.iter().zip(args.iter()) {
+                            self.edge(self.expr_var(a), self.binder_var(b));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::labelsets::Cfa0;
+    use stcfa_lambda::Program;
+
+    #[test]
+    fn every_lambda_called_means_everything_live() {
+        // Every abstraction here is applied, so liveness covers the whole
+        // program and the analysis coincides with the standard one.
+        let src = "(fn x => x x) (fn y => y)";
+        let p = Program::parse(src).unwrap();
+        let live = LiveCfa0::analyze(&p);
+        let full = Cfa0::analyze(&p);
+        for e in p.exprs() {
+            assert!(live.is_live(e), "{e:?} should be live");
+            assert_eq!(live.labels(&p, e), full.labels(&p, e), "at {e:?}");
+        }
+    }
+
+    #[test]
+    fn live_expressions_match_standard_cfa() {
+        for src in [
+            "fun id x = x; val a = id (fn u => u); val b = id (fn v => v); a b",
+            "#1 ((fn x => x), (fn y => y)) 2",
+            "datatype w = W of (int -> int); (case W(fn x => x) of W(f) => f) 1",
+        ] {
+            let p = Program::parse(src).unwrap();
+            let live = LiveCfa0::analyze(&p);
+            let full = Cfa0::analyze(&p);
+            assert!(live.is_live(p.root()));
+            for e in live.live_exprs() {
+                assert_eq!(live.labels(&p, e), full.labels(&p, e), "at {e:?} in {src:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn uncalled_lambda_bodies_are_dead() {
+        let p = Program::parse("let val dead = fn x => (fn y => y) 1 in 2 end").unwrap();
+        let live = LiveCfa0::analyze(&p);
+        // The outer lambda is constructed (its rhs is evaluated)…
+        let outer = p
+            .exprs()
+            .find(|&e| {
+                matches!(p.kind(e), ExprKind::Lam { param, .. } if p.var_name(*param) == "x")
+            })
+            .unwrap();
+        assert!(live.is_live(outer));
+        // …but its body — and the inner lambda — are never evaluated.
+        let ExprKind::Lam { body, .. } = p.kind(outer) else { unreachable!() };
+        assert!(!live.is_live(*body), "uncalled body must be dead");
+    }
+
+    #[test]
+    fn unmatched_case_arms_are_dead() {
+        let src = "datatype t = A | B;\n\
+                   case A of A => 1 | B => (fn q => q) 2";
+        let p = Program::parse(src).unwrap();
+        let live = LiveCfa0::analyze(&p);
+        // The B arm's application never becomes live: no B value flows.
+        let b_app = p
+            .app_sites()
+            .into_iter()
+            .next()
+            .expect("the B arm has the only application");
+        assert!(!live.is_live(b_app));
+        // But the standard analysis does analyze it.
+        let full = Cfa0::analyze(&p);
+        assert_eq!(full.labels(&p, b_app).len(), 0);
+    }
+
+    #[test]
+    fn live_sets_never_exceed_standard_sets() {
+        for src in [
+            "let val dead = fn x => x in (fn y => y) (fn z => z) end",
+            "fun f x = x; val g = fn h => h 1; 5",
+            "datatype t = A | B; case A of A => fn u => u | B => fn v => v",
+        ] {
+            let p = Program::parse(src).unwrap();
+            let live = LiveCfa0::analyze(&p);
+            let full = Cfa0::analyze(&p);
+            for e in p.exprs() {
+                let l = live.labels(&p, e);
+                let f = full.labels(&p, e);
+                for lab in &l {
+                    assert!(f.contains(lab), "live invented {lab:?} at {e:?} in {src:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn call_through_dead_region_is_not_analyzed() {
+        // g is only called from inside dead's body: the call edge never
+        // materializes, so u's binder set stays empty.
+        let src = "\
+            fun g u = u;\n\
+            let val dead = fn x => g (fn w => w) in 3 end";
+        let p = Program::parse(src).unwrap();
+        let live = LiveCfa0::analyze(&p);
+        let u = p.vars().find(|&v| p.var_name(v) == "u").unwrap();
+        assert!(live.var_labels(&p, u).is_empty());
+        let full = Cfa0::analyze(&p);
+        assert_eq!(full.var_labels(&p, u).len(), 1, "standard CFA sees the dead call");
+    }
+
+    #[test]
+    fn stats_track_liveness() {
+        let p = Program::parse("let val dead = fn x => x in 1 end").unwrap();
+        let live = LiveCfa0::analyze(&p);
+        assert!(live.stats().live_exprs < p.size());
+        assert_eq!(live.live_exprs().len(), live.stats().live_exprs);
+    }
+}

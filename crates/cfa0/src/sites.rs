@@ -1,0 +1,95 @@
+//! Abstract-value sites shared by the inclusion-based analyses.
+//!
+//! In monovariant inclusion-based CFA, the abstract values flowing through
+//! a program are its *creation sites*: abstractions (identified by their
+//! label), record constructions and datatype constructions. This module
+//! gives each such site a dense id so analyses can use bit sets.
+
+use stcfa_lambda::{ExprId, ExprKind, Label, Program};
+
+/// Dense numbering of the value-creation sites of one program.
+#[derive(Clone, Debug)]
+pub struct SiteTable {
+    /// Site id → creating expression.
+    sites: Vec<ExprId>,
+    /// Expression index → site id (dense; `u32::MAX` = not a site).
+    site_of_expr: Vec<u32>,
+}
+
+const NOT_A_SITE: u32 = u32::MAX;
+
+impl SiteTable {
+    /// Numbers the sites of `program`.
+    pub fn build(program: &Program) -> Self {
+        let mut sites = Vec::new();
+        let mut site_of_expr = vec![NOT_A_SITE; program.size()];
+        for id in program.exprs() {
+            if matches!(
+                program.kind(id),
+                ExprKind::Lam { .. } | ExprKind::Record(_) | ExprKind::Con { .. }
+            ) {
+                site_of_expr[id.index()] =
+                    u32::try_from(sites.len()).expect("site count overflow");
+                sites.push(id);
+            }
+        }
+        SiteTable { sites, site_of_expr }
+    }
+
+    /// Number of sites.
+    pub fn len(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Whether the program has no sites.
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+
+    /// The creating expression of a site.
+    pub fn expr(&self, site: usize) -> ExprId {
+        self.sites[site]
+    }
+
+    /// The site id of a creating expression, if it is one.
+    pub fn site_of(&self, id: ExprId) -> Option<usize> {
+        match self.site_of_expr[id.index()] {
+            NOT_A_SITE => None,
+            s => Some(s as usize),
+        }
+    }
+
+    /// The abstraction label of a site, if the site is an abstraction.
+    pub fn label_of_site(&self, program: &Program, site: usize) -> Option<Label> {
+        program.label_of(self.sites[site])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stcfa_lambda::Program;
+
+    #[test]
+    fn numbers_lams_records_cons() {
+        let p = Program::parse(
+            "datatype t = C of int;\n\
+             ((fn x => x), C(1), 7)",
+        )
+        .unwrap();
+        let sites = SiteTable::build(&p);
+        // one lam + one con + the outer record = 3 sites
+        assert_eq!(sites.len(), 3);
+        for s in 0..sites.len() {
+            assert_eq!(sites.site_of(sites.expr(s)), Some(s));
+        }
+    }
+
+    #[test]
+    fn literals_are_not_sites() {
+        let p = Program::parse("1 + 2").unwrap();
+        let sites = SiteTable::build(&p);
+        assert!(sites.is_empty());
+        assert_eq!(sites.site_of(p.root()), None);
+    }
+}

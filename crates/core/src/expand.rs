@@ -1,0 +1,323 @@
+//! Syntactic let-expansion — the reference semantics for polyvariance.
+//!
+//! Section 7 of the paper defines the goal of its polyvariant extension as
+//! "equivalent to doing a monomorphic analysis of the let-expanded P,
+//! without doing the explicit let-expansion". This module *does* the
+//! explicit expansion (one level: every outer use of a `let`/`letrec`-bound
+//! abstraction is replaced by a fresh copy of that abstraction), together
+//! with the label- and occurrence-provenance maps needed to project the
+//! expanded analysis back onto the original program. The polyvariant
+//! analysis is differentially tested against it.
+
+use std::collections::HashMap;
+
+use stcfa_lambda::{
+    ExprId, ExprKind, Label, Literal, Program, ProgramBuilder, TyExpr, VarId,
+};
+
+/// A let-expanded program with provenance back to the original.
+#[derive(Clone, Debug)]
+pub struct Expanded {
+    /// The expanded program.
+    pub program: Program,
+    /// For each label of the expanded program: the original label it copies
+    /// (originals map to themselves).
+    pub label_origin: Vec<Label>,
+    /// For each original expression occurrence: its copy in the expanded
+    /// program. `None` for the replaced variable occurrences (they became
+    /// whole lambda copies) — their node is the new lambda itself, also
+    /// recorded here.
+    pub expr_map: Vec<ExprId>,
+}
+
+impl Expanded {
+    /// Projects a set of expanded-program labels back to original labels
+    /// (sorted, deduplicated).
+    pub fn originals(&self, labels: &[Label]) -> Vec<Label> {
+        let mut out: Vec<Label> =
+            labels.iter().map(|l| self.label_origin[l.index()]).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+/// Which binders should be expanded: `let`/`letrec`-bound abstractions
+/// with at least `min_uses` variable occurrences outside their own body.
+pub fn expandable_binders(program: &Program, min_uses: usize) -> Vec<(VarId, ExprId)> {
+    let mut out = Vec::new();
+    for e in program.exprs() {
+        let (binder, lam) = match program.kind(e) {
+            ExprKind::Let { binder, rhs, .. }
+                if matches!(program.kind(*rhs), ExprKind::Lam { .. }) =>
+            {
+                (*binder, *rhs)
+            }
+            ExprKind::LetRec { binder, lambda, .. } => (*binder, *lambda),
+            _ => continue,
+        };
+        let inside = subtree(program, lam);
+        let uses = program
+            .exprs()
+            .filter(|&o| {
+                matches!(program.kind(o), ExprKind::Var(v) if *v == binder)
+                    && !inside.contains(&o)
+            })
+            .count();
+        if uses >= min_uses {
+            out.push((binder, lam));
+        }
+    }
+    out
+}
+
+/// The set of expressions in the subtree rooted at `root`.
+pub fn subtree(program: &Program, root: ExprId) -> std::collections::HashSet<ExprId> {
+    let mut set = std::collections::HashSet::new();
+    let mut stack = vec![root];
+    while let Some(e) = stack.pop() {
+        if set.insert(e) {
+            program.for_each_child(e, |c| stack.push(c));
+        }
+    }
+    set
+}
+
+/// Expands every binder in `targets` (see [`expandable_binders`]): each
+/// outer occurrence of the binder becomes a fresh copy of its abstraction
+/// (fresh binders, fresh labels, recorded provenance).
+pub fn let_expand(program: &Program, targets: &[(VarId, ExprId)]) -> Expanded {
+    // occurrence -> lambda to copy there
+    let mut replace: HashMap<ExprId, ExprId> = HashMap::new();
+    for &(binder, lam) in targets {
+        let inside = subtree(program, lam);
+        for o in program.exprs() {
+            if matches!(program.kind(o), ExprKind::Var(v) if *v == binder)
+                && !inside.contains(&o)
+            {
+                replace.insert(o, lam);
+            }
+        }
+    }
+
+    let mut c = ExpandCopier {
+        src: program,
+        b: ProgramBuilder::new(),
+        var_map: vec![None; program.var_count()],
+        replace,
+        label_origin: Vec::new(),
+        expr_map: vec![ExprId::from_index(0); program.size()],
+        origin_stack: Vec::new(),
+    };
+    // Copy the datatype environment verbatim.
+    let env = program.data_env();
+    for d in env.datas() {
+        let name = program.interner().resolve(env.data(d).name).to_owned();
+        let nd = c.b.declare_data(&name);
+        debug_assert_eq!(nd, d);
+        for &con in &env.data(d).cons.clone() {
+            let cname = program.interner().resolve(env.con(con).name).to_owned();
+            let tys: Vec<TyExpr> = env.con(con).arg_tys.to_vec();
+            c.b.declare_con(nd, &cname, tys);
+        }
+    }
+    let root = c.copy(program.root());
+    let expanded = c.b.finish(root).expect("expansion preserves validity");
+    Expanded {
+        program: expanded,
+        label_origin: c.label_origin,
+        expr_map: c.expr_map,
+    }
+}
+
+struct ExpandCopier<'a> {
+    src: &'a Program,
+    b: ProgramBuilder,
+    var_map: Vec<Option<VarId>>,
+    replace: HashMap<ExprId, ExprId>,
+    /// New label index -> original label.
+    label_origin: Vec<Label>,
+    expr_map: Vec<ExprId>,
+    /// While copying a replacement lambda, the occurrence does not record
+    /// positions for inner nodes (they are copies, not originals).
+    origin_stack: Vec<()>,
+}
+
+impl ExpandCopier<'_> {
+    fn record(&mut self, old: ExprId, new: ExprId) -> ExprId {
+        if self.origin_stack.is_empty() {
+            self.expr_map[old.index()] = new;
+        }
+        new
+    }
+
+    fn copy(&mut self, e: ExprId) -> ExprId {
+        if let Some(&lam) = self.replace.get(&e) {
+            // Replace the occurrence with a fresh copy of the lambda.
+            // Save/restore the binder substitutions it introduces.
+            self.origin_stack.push(());
+            let saved = self.var_map.clone();
+            let new = self.copy_structural(lam);
+            self.var_map = saved;
+            self.origin_stack.pop();
+            return self.record(e, new);
+        }
+        let new = self.copy_structural(e);
+        self.record(e, new)
+    }
+
+    fn copy_structural(&mut self, e: ExprId) -> ExprId {
+        match self.src.kind(e).clone() {
+            ExprKind::Var(v) => {
+                let nv = self.var_map[v.index()].expect("scoped variable");
+                self.b.var(nv)
+            }
+            ExprKind::Lam { label, param, body } => {
+                let np = self.fresh_like(param);
+                let nb = self.copy(body);
+                let new = self.b.lam(np, nb);
+                // The builder assigned the next label; record provenance.
+                let orig = self.original_of(label);
+                self.label_origin.push(orig);
+                new
+            }
+            ExprKind::App { func, arg } => {
+                let nf = self.copy(func);
+                let na = self.copy(arg);
+                self.b.app(nf, na)
+            }
+            ExprKind::Let { binder, rhs, body } => {
+                let nr = self.copy(rhs);
+                let nb = self.fresh_like(binder);
+                let nbody = self.copy(body);
+                self.b.let_(nb, nr, nbody)
+            }
+            ExprKind::LetRec { binder, lambda, body } => {
+                let nb = self.fresh_like(binder);
+                let nl = self.copy(lambda);
+                let nbody = self.copy(body);
+                self.b.letrec(nb, nl, nbody)
+            }
+            ExprKind::If { cond, then_branch, else_branch } => {
+                let nc = self.copy(cond);
+                let nt = self.copy(then_branch);
+                let ne = self.copy(else_branch);
+                self.b.if_(nc, nt, ne)
+            }
+            ExprKind::Record(items) => {
+                let n: Vec<ExprId> = items.iter().map(|&i| self.copy(i)).collect();
+                self.b.record(n)
+            }
+            ExprKind::Proj { index, tuple } => {
+                let nt = self.copy(tuple);
+                self.b.proj(index, nt)
+            }
+            ExprKind::Con { con, args } => {
+                let n: Vec<ExprId> = args.iter().map(|&a| self.copy(a)).collect();
+                self.b.con(con, n)
+            }
+            ExprKind::Case { scrutinee, arms, default } => {
+                let ns = self.copy(scrutinee);
+                let narms: Vec<_> = arms
+                    .iter()
+                    .map(|arm| {
+                        let nb: Vec<VarId> =
+                            arm.binders.iter().map(|&b| self.fresh_like(b)).collect();
+                        let nbody = self.copy(arm.body);
+                        (arm.con, nb, nbody)
+                    })
+                    .collect();
+                let nd = default.map(|d| self.copy(d));
+                self.b.case(ns, narms, nd)
+            }
+            ExprKind::Lit(Literal::Int(n)) => self.b.int(n),
+            ExprKind::Lit(Literal::Bool(v)) => self.b.bool(v),
+            ExprKind::Lit(Literal::Unit) => self.b.unit(),
+            ExprKind::Prim { op, args } => {
+                let n: Vec<ExprId> = args.iter().map(|&a| self.copy(a)).collect();
+                self.b.prim(op, n)
+            }
+        }
+    }
+
+    /// The original label behind `label` of the *source* program (sources
+    /// map to themselves).
+    fn original_of(&self, label: Label) -> Label {
+        label
+    }
+
+    fn fresh_like(&mut self, old: VarId) -> VarId {
+        let name = self.src.var_name(old).to_owned();
+        let nv = self.b.fresh_var(&name);
+        self.var_map[old.index()] = Some(nv);
+        nv
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Analysis;
+
+    #[test]
+    fn expansion_duplicates_the_lambda() {
+        let p = Program::parse(
+            "fun id x = x; val a = id (fn u => u); val b = id (fn v => v); a",
+        )
+        .unwrap();
+        let targets = expandable_binders(&p, 2);
+        assert_eq!(targets.len(), 1);
+        let ex = let_expand(&p, &targets);
+        // Two extra copies of id's lambda.
+        assert_eq!(ex.program.label_count(), p.label_count() + 2);
+        // All copied labels trace back to id's label.
+        let id_label = p.label_of(targets[0].1).unwrap();
+        let copies = ex
+            .label_origin
+            .iter()
+            .filter(|&&o| o == id_label)
+            .count();
+        assert_eq!(copies, 3, "the original plus two copies");
+    }
+
+    #[test]
+    fn expanded_analysis_is_more_precise() {
+        let p = Program::parse(
+            "fun id x = x; val a = id (fn u => u); val b = id (fn v => v); a",
+        )
+        .unwrap();
+        let mono = Analysis::run(&p).unwrap();
+        assert_eq!(mono.labels_of(p.root()).len(), 2, "monovariant merges");
+        let targets = expandable_binders(&p, 2);
+        let ex = let_expand(&p, &targets);
+        let expanded_analysis = Analysis::run(&ex.program).unwrap();
+        let root_labels = expanded_analysis.labels_of(ex.program.root());
+        let originals = ex.originals(&root_labels);
+        assert_eq!(originals.len(), 1, "expansion separates the two calls");
+    }
+
+    #[test]
+    fn expansion_keeps_recursion_intact() {
+        let p = Program::parse(
+            "fun f n = if n = 0 then 0 else f (n - 1); val a = f 1; val b = f 2; a + b",
+        )
+        .unwrap();
+        let targets = expandable_binders(&p, 2);
+        let ex = let_expand(&p, &targets);
+        // The copies contain the recursive call to the *shared* binder.
+        let out = stcfa_lambda::eval::eval(
+            &ex.program,
+            stcfa_lambda::eval::EvalOptions::default(),
+        )
+        .unwrap();
+        assert!(matches!(out.value, stcfa_lambda::eval::Value::Int(0)));
+    }
+
+    #[test]
+    fn no_targets_is_identity_modulo_ids() {
+        let p = Program::parse("(fn x => x) 1").unwrap();
+        let ex = let_expand(&p, &[]);
+        assert_eq!(ex.program.size(), p.size());
+        assert_eq!(ex.program.label_count(), p.label_count());
+    }
+}

@@ -1,0 +1,172 @@
+//! Storage for the subtransitive control-flow graph: adjacency in both
+//! directions, edge deduplication, the pending work queues of the
+//! demand-driven close phase, and per-node demand registrations.
+
+use std::collections::{HashSet, VecDeque};
+
+use stcfa_lambda::{ConId, DataId};
+
+use crate::node::NodeId;
+
+/// An operator whose application to a node has been *demanded* (received an
+/// incoming edge), in the sense of the primed closure rules CLOSE-DOM′ /
+/// CLOSE-RAN′ (and their record/datatype analogues).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DemandOp {
+    /// `dom(·)` — contravariant.
+    Dom,
+    /// `ran(·)` — covariant.
+    Ran,
+    /// `proj_j(·)` — covariant.
+    Proj(u32),
+    /// `c_i⁻¹(·)` — covariant (Exact policy, or ≈₂ non-datatype slots).
+    Decon(ConId, u32),
+    /// Merged datatype extraction for datatype `D` — covariant (≈₂ class
+    /// chains).
+    DeconData(DataId),
+}
+
+/// Mutable graph state shared by the build and close phases.
+#[derive(Clone, Debug, Default)]
+pub struct SubGraph {
+    succs: Vec<Vec<u32>>,
+    preds: Vec<Vec<u32>>,
+    edge_set: HashSet<u64>,
+    /// Edges whose closure consequences have not been drawn yet.
+    pub(crate) pending_edges: VecDeque<(NodeId, NodeId)>,
+    /// Demand registrations not yet retro-fired.
+    pub(crate) pending_demands: VecDeque<(NodeId, DemandOp)>,
+    /// Per node: operators demanded on it (small vectors; bounded by the
+    /// type size in bounded-type programs).
+    demands: Vec<Vec<DemandOp>>,
+    edge_count: usize,
+}
+
+impl SubGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Grows per-node storage to cover `n` nodes.
+    pub fn ensure_nodes(&mut self, n: usize) {
+        if self.succs.len() < n {
+            self.succs.resize(n, Vec::new());
+            self.preds.resize(n, Vec::new());
+            self.demands.resize(n, Vec::new());
+        }
+    }
+
+    /// Number of nodes currently covered.
+    pub fn node_count(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// Number of distinct edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Adds `u → v` if new, enqueueing it for closure processing.
+    /// Self-loops are ignored. Returns `true` if the edge was new.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+        if u == v {
+            return false;
+        }
+        let key = ((u.index() as u64) << 32) | v.index() as u64;
+        if !self.edge_set.insert(key) {
+            return false;
+        }
+        self.ensure_nodes(u.index().max(v.index()) + 1);
+        self.succs[u.index()].push(v.index() as u32);
+        self.preds[v.index()].push(u.index() as u32);
+        self.edge_count += 1;
+        self.pending_edges.push_back((u, v));
+        true
+    }
+
+    /// Whether `u → v` is present.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        let key = ((u.index() as u64) << 32) | v.index() as u64;
+        self.edge_set.contains(&key)
+    }
+
+    /// Successors of `u` (value sources: reachability along `succs` finds
+    /// the values of `u`).
+    pub fn succs(&self, u: NodeId) -> &[u32] {
+        &self.succs[u.index()]
+    }
+
+    /// Predecessors of `u` (value consumers).
+    pub fn preds(&self, u: NodeId) -> &[u32] {
+        &self.preds[u.index()]
+    }
+
+    /// Records that `op` is demanded on `n`. Returns `true` if this is a
+    /// new registration (the caller must then retro-fire over the current
+    /// adjacency).
+    pub fn register_demand(&mut self, n: NodeId, op: DemandOp) -> bool {
+        self.ensure_nodes(n.index() + 1);
+        let list = &mut self.demands[n.index()];
+        if list.contains(&op) {
+            return false;
+        }
+        list.push(op);
+        true
+    }
+
+    /// Whether `op` is demanded on `n`.
+    pub fn is_demanded(&self, n: NodeId, op: DemandOp) -> bool {
+        self.demands.get(n.index()).is_some_and(|l| l.contains(&op))
+    }
+
+    /// The operators demanded on `n`.
+    pub fn demands(&self, n: NodeId) -> &[DemandOp] {
+        static EMPTY: [DemandOp; 0] = [];
+        self.demands.get(n.index()).map_or(&EMPTY[..], |l| l.as_slice())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::from_index(i)
+    }
+
+    #[test]
+    fn edges_deduplicate_and_enqueue() {
+        let mut g = SubGraph::new();
+        assert!(g.add_edge(n(0), n(1)));
+        assert!(!g.add_edge(n(0), n(1)));
+        assert!(!g.add_edge(n(2), n(2)), "self loops ignored");
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.pending_edges.len(), 1);
+        assert!(g.has_edge(n(0), n(1)));
+        assert!(!g.has_edge(n(1), n(0)));
+    }
+
+    #[test]
+    fn adjacency_both_directions() {
+        let mut g = SubGraph::new();
+        g.add_edge(n(0), n(1));
+        g.add_edge(n(2), n(1));
+        assert_eq!(g.succs(n(0)), &[1]);
+        assert_eq!(g.preds(n(1)), &[0, 2]);
+        assert!(g.succs(n(1)).is_empty());
+    }
+
+    #[test]
+    fn demand_registration_deduplicates() {
+        let mut g = SubGraph::new();
+        assert!(g.register_demand(n(3), DemandOp::Dom));
+        assert!(!g.register_demand(n(3), DemandOp::Dom));
+        assert!(g.register_demand(n(3), DemandOp::Proj(0)));
+        assert!(g.register_demand(n(3), DemandOp::Proj(1)));
+        assert!(g.is_demanded(n(3), DemandOp::Dom));
+        assert!(!g.is_demanded(n(3), DemandOp::Ran));
+        assert_eq!(g.demands(n(3)).len(), 3);
+        assert!(g.demands(n(99)).is_empty());
+    }
+}

@@ -1,0 +1,92 @@
+//! The hybrid driver sketched in the paper's conclusion: "Our algorithm
+//! could potentially be combined with the standard cubic-time CFA algorithm
+//! to obtain a hybrid algorithm that terminates for arbitrary programs but
+//! is linear for bounded-type programs."
+//!
+//! [`HybridCfa::run`] first attempts the subtransitive analysis under its
+//! node budget; if the budget is exceeded (the program behaves like an
+//! unbounded-type program) it falls back to the standard cubic algorithm,
+//! which always terminates.
+
+use stcfa_cfa0::Cfa0;
+use stcfa_lambda::{ExprId, Label, Program};
+
+use crate::analysis::{Analysis, AnalysisError, AnalysisOptions};
+
+/// Result of the hybrid analysis: which engine answered.
+// The size asymmetry between the two variants is inherent (a whole graph vs
+// a set table) and HybridCfa values are created once per analysis, never
+// stored in bulk.
+#[allow(clippy::large_enum_variant)]
+#[derive(Clone, Debug)]
+pub enum HybridCfa {
+    /// The linear-time subtransitive analysis succeeded.
+    Subtransitive(Analysis),
+    /// The node budget was exceeded; answers come from the cubic baseline.
+    Fallback {
+        /// The error that triggered the fallback.
+        reason: AnalysisError,
+        /// The cubic-analysis result.
+        cfa: Cfa0,
+    },
+}
+
+impl HybridCfa {
+    /// Runs the subtransitive analysis, falling back to standard CFA if the
+    /// node budget is exceeded.
+    pub fn run(program: &Program, options: AnalysisOptions) -> HybridCfa {
+        match Analysis::run_with(program, options) {
+            Ok(a) => HybridCfa::Subtransitive(a),
+            Err(reason) => {
+                HybridCfa::Fallback { reason, cfa: Cfa0::analyze(program) }
+            }
+        }
+    }
+
+    /// `L(e)`, from whichever engine ran.
+    pub fn labels_of(&self, program: &Program, e: ExprId) -> Vec<Label> {
+        match self {
+            HybridCfa::Subtransitive(a) => a.labels_of(e),
+            HybridCfa::Fallback { cfa, .. } => cfa.labels(program, e),
+        }
+    }
+
+    /// Whether the linear engine answered.
+    pub fn is_linear(&self) -> bool {
+        matches!(self, HybridCfa::Subtransitive(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::DatatypePolicy;
+
+    #[test]
+    fn bounded_programs_use_the_linear_engine() {
+        let p = Program::parse("fun id x = x; id (fn u => u)").unwrap();
+        let h = HybridCfa::run(&p, AnalysisOptions::default());
+        assert!(h.is_linear());
+        assert_eq!(h.labels_of(&p, p.root()).len(), 1);
+    }
+
+    #[test]
+    fn fallback_answers_when_budget_is_tiny() {
+        let p = Program::parse("(fn x => x x) (fn y => y y)").unwrap();
+        let h = HybridCfa::run(
+            &p,
+            AnalysisOptions {
+                policy: DatatypePolicy::Exact,
+                max_nodes: Some(8), // far below even the build-phase size
+            },
+        );
+        assert!(!h.is_linear(), "an 8-node budget cannot fit the build phase");
+        // The cubic engine answers: Ω never returns, so the root set is
+        // empty, but every expression agrees with a direct Cfa0 run.
+        let cfa = Cfa0::analyze(&p);
+        for e in p.exprs() {
+            assert_eq!(h.labels_of(&p, e), cfa.labels(&p, e));
+        }
+        assert!(h.labels_of(&p, p.root()).is_empty(), "Ω has no value");
+    }
+}

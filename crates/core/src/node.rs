@@ -1,0 +1,317 @@
+//! Nodes of the subtransitive control-flow graph.
+//!
+//! Section 3 of the paper extends the program's expression nodes with
+//! *constructed* nodes `dom(n)` and `ran(n)`; Section 6 adds record
+//! projections `proj_j(n)` and per-constructor de-constructors `c_i⁻¹(n)`.
+//! This module hash-conses all of them into a dense [`NodeId`] space and
+//! implements the two datatype node *congruences* (≈₁ and ≈₂) the paper
+//! uses to bound the node count in the presence of recursive datatypes.
+
+use std::collections::HashMap;
+
+use stcfa_lambda::{ConId, DataId, ExprId, Program, TyExpr, VarId};
+
+/// Identity of one node in the subtransitive graph.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Dense index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Creates a node id from a dense index (as returned in adjacency
+    /// lists by [`crate::Analysis::succs`]/[`crate::Analysis::preds`]).
+    pub fn from_index(i: usize) -> Self {
+        NodeId(u32::try_from(i).expect("node count overflow"))
+    }
+}
+
+/// How to treat (recursive) datatypes — the Section 6 accuracy/complexity
+/// trade-off.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum DatatypePolicy {
+    /// Ignore datatypes: a function stored in a data structure and later
+    /// extracted could be *any* abstraction in the program. Linear, very
+    /// coarse ("One possibility is to ignore recursive data types…").
+    Forget,
+    /// The paper's coarser congruence ≈₁: de-constructor nodes are merged
+    /// by the *type* of the extracted component (datatype-typed components
+    /// collapse to one node per datatype; other components to one node per
+    /// constructor slot). Linear node count for bounded-type programs.
+    ///
+    /// This is the default: it matches the paper's recommended operating
+    /// point for a linear-time analysis with datatypes.
+    #[default]
+    Congruence1,
+    /// The paper's finer congruence ≈₂: de-constructor chains are merged
+    /// only when they extract the same datatype from the same *base node*.
+    /// Strictly more accurate than ≈₁; up to quadratic nodes in general,
+    /// linear if datatype nesting depth is bounded.
+    Congruence2,
+    /// No congruence at all: exact de-constructor nodes. Matches standard
+    /// CFA precision but need not terminate on recursive datatypes — use
+    /// together with a node budget (see `AnalysisOptions::max_nodes`).
+    Exact,
+}
+
+/// The shape of one node.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum NodeKind {
+    /// A program expression occurrence. Variable occurrences are
+    /// canonicalized to their [`NodeKind::Binder`] instead.
+    Expr(ExprId),
+    /// A binder `x` (the paper treats each distinct bound variable as a
+    /// node).
+    Binder(VarId),
+    /// `dom(n)` — the arguments of the abstractions `n` may evaluate to.
+    Dom(NodeId),
+    /// `ran(n)` — the results of the abstractions `n` may evaluate to.
+    Ran(NodeId),
+    /// `proj_j(n)` — field `j` of the records `n` may evaluate to.
+    Proj(u32, NodeId),
+    /// `c_i⁻¹(n)` — argument `i` of constructor `c` of the constructions
+    /// `n` may evaluate to (policy [`DatatypePolicy::Exact`], or ≈₂ when
+    /// the component type is not a datatype).
+    DeCon {
+        /// The constructor.
+        con: ConId,
+        /// Zero-based argument index.
+        index: u32,
+        /// The node being de-constructed.
+        of: NodeId,
+    },
+    /// ≈₁ class node: *all* datatype-typed positions of datatype `D`.
+    DataClass(DataId),
+    /// ≈₁ class node: the non-datatype-typed slot `(c, i)` of a
+    /// constructor.
+    Slot(ConId, u32),
+    /// ≈₂ class node: all datatype-typed de-constructor chains of datatype
+    /// `D` hanging off the same base node.
+    DeConClass {
+        /// The extracted datatype.
+        data: DataId,
+        /// The base (expression/binder/class) node of the chain.
+        base: NodeId,
+    },
+    /// [`DatatypePolicy::Forget`] sink: "could be any abstraction".
+    TopFun,
+}
+
+/// Hash-consing table for nodes, plus the base-node map the ≈₂ congruence
+/// needs.
+#[derive(Clone, Debug, Default)]
+pub struct NodeTable {
+    kinds: Vec<NodeKind>,
+    /// Base node of each node: for `α(n)` with `α` a (possibly empty)
+    /// sequence of operators, the underlying basic node.
+    bases: Vec<NodeId>,
+    interned: HashMap<NodeKind, NodeId>,
+}
+
+impl NodeTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.kinds.is_empty()
+    }
+
+    /// The shape of `id`.
+    #[inline]
+    pub fn kind(&self, id: NodeId) -> NodeKind {
+        self.kinds[id.index()]
+    }
+
+    /// The base node of `id` (itself, for basic nodes).
+    #[inline]
+    pub fn base(&self, id: NodeId) -> NodeId {
+        self.bases[id.index()]
+    }
+
+    /// Interns a node, computing its base from its shape.
+    pub fn intern(&mut self, kind: NodeKind) -> NodeId {
+        if let Some(&id) = self.interned.get(&kind) {
+            return id;
+        }
+        let id = NodeId::from_index(self.kinds.len());
+        let base = match kind {
+            NodeKind::Expr(_)
+            | NodeKind::Binder(_)
+            | NodeKind::DataClass(_)
+            | NodeKind::Slot(..)
+            | NodeKind::TopFun => id,
+            NodeKind::Dom(n) | NodeKind::Ran(n) | NodeKind::Proj(_, n) => self.base(n),
+            NodeKind::DeCon { of, .. } => self.base(of),
+            NodeKind::DeConClass { base, .. } => base,
+        };
+        self.kinds.push(kind);
+        self.bases.push(base);
+        self.interned.insert(kind, id);
+        id
+    }
+
+    /// Looks a node up without creating it.
+    pub fn get(&self, kind: NodeKind) -> Option<NodeId> {
+        self.interned.get(&kind).copied()
+    }
+
+    /// Iterates over all node ids.
+    pub fn ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.kinds.len()).map(NodeId::from_index)
+    }
+
+    /// The canonical de-constructor node for extracting argument `index`
+    /// of constructor `con` from node `of`, under `policy`.
+    ///
+    /// Under [`DatatypePolicy::Forget`] this returns `None` — extraction is
+    /// not tracked (callers connect to [`NodeKind::TopFun`] instead).
+    pub fn decon(
+        &mut self,
+        program: &Program,
+        policy: DatatypePolicy,
+        con: ConId,
+        index: u32,
+        of: NodeId,
+    ) -> Option<NodeId> {
+        let arg_ty = &program.data_env().con(con).arg_tys[index as usize];
+        match policy {
+            DatatypePolicy::Forget => None,
+            DatatypePolicy::Congruence1 => Some(match arg_ty {
+                TyExpr::Data(d) => self.intern(NodeKind::DataClass(*d)),
+                _ => self.intern(NodeKind::Slot(con, index)),
+            }),
+            DatatypePolicy::Congruence2 => Some(match arg_ty {
+                TyExpr::Data(d) => {
+                    let base = self.base(of);
+                    self.intern(NodeKind::DeConClass { data: *d, base })
+                }
+                _ => self.intern(NodeKind::DeCon { con, index, of }),
+            }),
+            DatatypePolicy::Exact => Some(self.intern(NodeKind::DeCon { con, index, of })),
+        }
+    }
+
+    /// Whether a ≈₂-style congruence makes this node's de-constructor
+    /// children independent of the flow of `of` (so no closure rule is
+    /// needed through it). True exactly for ≈₁ canonical nodes.
+    pub fn is_class(&self, id: NodeId) -> bool {
+        matches!(
+            self.kind(id),
+            NodeKind::DataClass(_) | NodeKind::Slot(..) | NodeKind::TopFun
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stcfa_lambda::Program;
+
+    fn list_program() -> Program {
+        Program::parse(
+            "datatype flist = FNil | FCons of (int -> int) * flist;\n\
+             FCons(fn x => x, FNil)",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn interning_deduplicates() {
+        let mut t = NodeTable::new();
+        let e = t.intern(NodeKind::Expr(ExprId::from_index(0)));
+        let d1 = t.intern(NodeKind::Dom(e));
+        let d2 = t.intern(NodeKind::Dom(e));
+        assert_eq!(d1, d2);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(NodeKind::Dom(e)), Some(d1));
+        assert_eq!(t.get(NodeKind::Ran(e)), None);
+    }
+
+    #[test]
+    fn bases_follow_operator_chains() {
+        let mut t = NodeTable::new();
+        let e = t.intern(NodeKind::Expr(ExprId::from_index(7)));
+        let d = t.intern(NodeKind::Dom(e));
+        let rd = t.intern(NodeKind::Ran(d));
+        let p = t.intern(NodeKind::Proj(0, rd));
+        assert_eq!(t.base(e), e);
+        assert_eq!(t.base(d), e);
+        assert_eq!(t.base(rd), e);
+        assert_eq!(t.base(p), e);
+    }
+
+    #[test]
+    fn congruence1_merges_by_type() {
+        let p = list_program();
+        let env = p.data_env();
+        let fcons = env.con_by_name(p.interner().get("FCons").unwrap()).unwrap();
+        let mut t = NodeTable::new();
+        let a = t.intern(NodeKind::Expr(ExprId::from_index(0)));
+        let b = t.intern(NodeKind::Expr(ExprId::from_index(1)));
+        // Tail slots (datatype) merge into one class regardless of parent.
+        let ta = t.decon(&p, DatatypePolicy::Congruence1, fcons, 1, a).unwrap();
+        let tb = t.decon(&p, DatatypePolicy::Congruence1, fcons, 1, b).unwrap();
+        assert_eq!(ta, tb);
+        assert!(t.is_class(ta));
+        // Head slots (function type) merge per constructor slot.
+        let ha = t.decon(&p, DatatypePolicy::Congruence1, fcons, 0, a).unwrap();
+        let hb = t.decon(&p, DatatypePolicy::Congruence1, fcons, 0, b).unwrap();
+        assert_eq!(ha, hb);
+        assert_ne!(ha, ta);
+    }
+
+    #[test]
+    fn congruence2_merges_per_base() {
+        let p = list_program();
+        let env = p.data_env();
+        let fcons = env.con_by_name(p.interner().get("FCons").unwrap()).unwrap();
+        let mut t = NodeTable::new();
+        let a = t.intern(NodeKind::Expr(ExprId::from_index(0)));
+        let b = t.intern(NodeKind::Expr(ExprId::from_index(1)));
+        let pol = DatatypePolicy::Congruence2;
+        // cdr(a) and cdr(cdr(a)) merge (same base), cdr(b) stays apart.
+        let ta = t.decon(&p, pol, fcons, 1, a).unwrap();
+        let tta = t.decon(&p, pol, fcons, 1, ta).unwrap();
+        let tb = t.decon(&p, pol, fcons, 1, b).unwrap();
+        assert_eq!(ta, tta);
+        assert_ne!(ta, tb);
+        // Heads off merged tails are distinguished by base via the parent.
+        let ha = t.decon(&p, pol, fcons, 0, ta).unwrap();
+        let hb = t.decon(&p, pol, fcons, 0, tb).unwrap();
+        assert_ne!(ha, hb);
+    }
+
+    #[test]
+    fn exact_never_merges_distinct_parents() {
+        let p = list_program();
+        let env = p.data_env();
+        let fcons = env.con_by_name(p.interner().get("FCons").unwrap()).unwrap();
+        let mut t = NodeTable::new();
+        let a = t.intern(NodeKind::Expr(ExprId::from_index(0)));
+        let pol = DatatypePolicy::Exact;
+        let ta = t.decon(&p, pol, fcons, 1, a).unwrap();
+        let tta = t.decon(&p, pol, fcons, 1, ta).unwrap();
+        assert_ne!(ta, tta, "exact policy keeps the chain growing");
+    }
+
+    #[test]
+    fn forget_tracks_nothing() {
+        let p = list_program();
+        let env = p.data_env();
+        let fcons = env.con_by_name(p.interner().get("FCons").unwrap()).unwrap();
+        let mut t = NodeTable::new();
+        let a = t.intern(NodeKind::Expr(ExprId::from_index(0)));
+        assert_eq!(t.decon(&p, DatatypePolicy::Forget, fcons, 1, a), None);
+    }
+}

@@ -1,0 +1,228 @@
+//! Propositions 1 & 2 (paper, Section 3): the transitive closure of the
+//! subtransitive graph gives *exactly* the results of standard CFA.
+//!
+//! For every expression occurrence and every binder, `labels_of` computed
+//! by reachability on the LC′ graph must equal the label sets of the cubic
+//! algorithm — on the lambda/let/letrec/if/record fragment under any
+//! policy, and on datatype programs under [`DatatypePolicy::Exact`]. The
+//! congruences ≈₁/≈₂ and `Forget` must over-approximate (never lose a
+//! label standard CFA finds).
+
+use stcfa_cfa0::Cfa0;
+use stcfa_core::{Analysis, AnalysisOptions, DatatypePolicy};
+use stcfa_lambda::Program;
+
+/// Programs in the lambda/let/letrec/if/record fragment (no datatypes):
+/// every policy must match standard CFA exactly.
+const EXACT_FRAGMENT: &[&str] = &[
+    "(fn x => x x) (fn y => y)",
+    "(fn i => i) (fn z => z)",
+    "fn f => fn x => f (f x)",
+    "fun id x = x; val a = id (fn u => u); val b = id (fn v => v); a",
+    "(fn f => fn g => f (g (fn z => z))) (fn p => p) (fn q => q)",
+    "if true then fn a => a else fn b => b",
+    "let val t = fn s => s s in t (fn w => w) end",
+    "fun loop x = loop x; loop (fn n => n)",
+    "fun compose f = fn g => fn x => f (g x);\
+     compose (fn a => a) (fn b => b) (fn c => c)",
+    "#1 ((fn x => x), (fn y => y))",
+    "#2 ((fn x => x), (fn y => y))",
+    "let val p = ((fn a => a), ((fn b => b), (fn c => c))) in #1 (#2 p) end",
+    "(fn p => #1 p) ((fn x => x), (fn y => y))",
+    "fun twice f = fn x => f (f x); twice (fn h => h) (fn k => k)",
+    "val church2 = fn f => fn x => f (f x); church2 (fn s => s) (fn z => z)",
+    "fun apply f = fn x => f x; apply (fn m => m) (fn n => n)",
+    "(fn cond => if true then cond (fn l => l) else cond (fn r => r)) (fn h => h)",
+    "fun fact n = if n = 0 then 1 else n * fact (n - 1); fact 5",
+    "val u = print 1; (fn x => x) (fn y => y)",
+    // Deep record nesting with functions inside.
+    "let val q = ((fn a => a), (fn b => b)) in (#1 q) (#2 q) end",
+    // The paper's cubic-benchmark cell, size 1.
+    "fun fs x = x; fun bs x = x; fun f1 x = x; fun b1 x = x;\
+     val x1 = b1 (fs f1); val y1 = (bs b1) f1; y1",
+    // Mutual recursion through the `and` desugaring (pack + wrappers).
+    "fun even n = if n = 0 then true else odd (n - 1)\n\
+     and odd n = if n = 0 then false else even (n - 1);\n\
+     if even 4 then fn t => t else fn f => f",
+    // Higher-order result positions.
+    "fun const k = fn u => k; (const (fn a => a)) (fn b => b)",
+    "(fn f => (f (fn x => x), f (fn y => y))) (fn z => z)",
+];
+
+/// Non-recursive datatype programs: `Exact` must match standard CFA.
+const EXACT_DATATYPES: &[&str] = &[
+    "datatype wrap = W of (int -> int); case W(fn x => x) of W(f) => f",
+    "datatype choice = L of (int -> int) | R of (int -> int);\n\
+     case L(fn a => a) of L(f) => f | R(g) => g",
+    "datatype pairbox = P of (int -> int) * (int -> int);\n\
+     case P(fn a => a, fn b => b) of P(f, g) => f",
+    "datatype pairbox = P of (int -> int) * (int -> int);\n\
+     case P(fn a => a, fn b => b) of P(f, g) => g",
+    "datatype opt = None | Some of (int -> int);\n\
+     fun get o = case o of Some(f) => f | None => fn d => d;\n\
+     get (Some(fn x => x + 1))",
+];
+
+/// Recursive datatype programs whose *exact* de-constructor closure is
+/// finite: Exact must match standard CFA.
+const RECURSIVE_DATATYPES: &[&str] = &[
+    "datatype flist = FNil | FCons of (int -> int) * flist;\n\
+     fun head xs = case xs of FCons(f, t) => f | FNil => fn z => z;\n\
+     head (FCons(fn a => a + 1, FCons(fn b => b * 2, FNil)))",
+    "datatype flist = FNil | FCons of (int -> int) * flist;\n\
+     val xs = FCons(fn a => a, FCons(fn b => b, FNil));\n\
+     case xs of FCons(f, t) => (case t of FCons(g, u) => g | FNil => f) | FNil => fn z => z",
+];
+
+/// Recursive-traversal programs whose exact closure is *infinite* (the
+/// de-constructor chains keep growing — the 2-NPDA-hardness territory of
+/// Section 6): only the congruences terminate, and they must be sound.
+const UNBOUNDED_DATATYPES: &[&str] = &[
+    "datatype flist = FNil | FCons of (int -> int) * flist;\n\
+     fun nth xs = case xs of FCons(f, t) => nth t | FNil => fn z => z;\n\
+     nth (FCons(fn a => a, FNil))",
+    "datatype tree = Leaf of (int -> int) | Node of tree * tree;\n\
+     fun left t = case t of Node(l, r) => left l | Leaf(f) => f;\n\
+     left (Node(Leaf(fn a => a), Leaf(fn b => b)))",
+];
+
+fn assert_exact(src: &str, policy: DatatypePolicy) {
+    let p = Program::parse(src).unwrap_or_else(|e| panic!("parse {src:?}: {e}"));
+    let a = Analysis::run_with(&p, AnalysisOptions { policy, max_nodes: None })
+        .unwrap_or_else(|e| panic!("analysis {src:?}: {e}"));
+    a.check_invariants()
+        .unwrap_or_else(|e| panic!("closure invariants violated for {src:?}: {e}"));
+    let cfa = Cfa0::analyze(&p);
+    for e in p.exprs() {
+        assert_eq!(
+            a.labels_of(e),
+            cfa.labels(&p, e),
+            "label sets differ at {e:?} ({:?}) under {policy:?} in {src:?}",
+            p.kind(e),
+        );
+    }
+    for v in p.vars() {
+        assert_eq!(
+            a.labels_of_binder(v),
+            cfa.var_labels(&p, v),
+            "binder sets differ at {v:?} (`{}`) under {policy:?} in {src:?}",
+            p.var_name(v),
+        );
+    }
+}
+
+fn assert_sound(src: &str, policy: DatatypePolicy) {
+    let p = Program::parse(src).unwrap_or_else(|e| panic!("parse {src:?}: {e}"));
+    let a = Analysis::run_with(&p, AnalysisOptions { policy, max_nodes: None })
+        .unwrap_or_else(|e| panic!("analysis {src:?}: {e}"));
+    let cfa = Cfa0::analyze(&p);
+    for e in p.exprs() {
+        let sub = a.labels_of(e);
+        for l in cfa.labels(&p, e) {
+            assert!(
+                sub.contains(&l),
+                "policy {policy:?} lost label {l:?} at {e:?} in {src:?}",
+            );
+        }
+    }
+}
+
+#[test]
+fn lambda_fragment_matches_standard_cfa_under_every_policy() {
+    for src in EXACT_FRAGMENT {
+        for policy in [
+            DatatypePolicy::Forget,
+            DatatypePolicy::Congruence1,
+            DatatypePolicy::Congruence2,
+            DatatypePolicy::Exact,
+        ] {
+            assert_exact(src, policy);
+        }
+    }
+}
+
+#[test]
+fn nonrecursive_datatypes_match_under_exact_policy() {
+    for src in EXACT_DATATYPES {
+        assert_exact(src, DatatypePolicy::Exact);
+    }
+}
+
+#[test]
+fn nonrecursive_datatypes_are_sound_under_congruences() {
+    for src in EXACT_DATATYPES {
+        for policy in [
+            DatatypePolicy::Forget,
+            DatatypePolicy::Congruence1,
+            DatatypePolicy::Congruence2,
+        ] {
+            assert_sound(src, policy);
+        }
+    }
+}
+
+#[test]
+fn recursive_datatypes_match_under_exact_policy() {
+    // These particular programs have finite exact closures.
+    for src in RECURSIVE_DATATYPES {
+        assert_exact(src, DatatypePolicy::Exact);
+    }
+}
+
+#[test]
+fn recursive_datatypes_are_sound_under_congruences() {
+    for src in RECURSIVE_DATATYPES.iter().chain(UNBOUNDED_DATATYPES) {
+        for policy in [
+            DatatypePolicy::Forget,
+            DatatypePolicy::Congruence1,
+            DatatypePolicy::Congruence2,
+        ] {
+            assert_sound(src, policy);
+        }
+    }
+}
+
+#[test]
+fn untyped_programs_exceed_the_budget_as_the_paper_predicts() {
+    // Ω has no simple type; Section 4: "For untyped (or recursively typed)
+    // programs, there is no bound, and our algorithm may not terminate."
+    let p = Program::parse("(fn x => x x) (fn x => x x)").unwrap();
+    let r = Analysis::run(&p);
+    assert!(matches!(r, Err(stcfa_core::AnalysisError::BudgetExceeded { .. })));
+    // Same for exact traversal of a recursive datatype.
+    for src in UNBOUNDED_DATATYPES {
+        let p = Program::parse(src).unwrap();
+        let r = Analysis::run_with(
+            &p,
+            AnalysisOptions { policy: DatatypePolicy::Exact, max_nodes: Some(10_000) },
+        );
+        assert!(matches!(r, Err(stcfa_core::AnalysisError::BudgetExceeded { .. })));
+    }
+}
+
+#[test]
+fn congruence2_is_at_least_as_precise_as_congruence1() {
+    for src in EXACT_DATATYPES.iter().chain(RECURSIVE_DATATYPES) {
+        let p = Program::parse(src).unwrap();
+        let a1 = Analysis::run_with(
+            &p,
+            AnalysisOptions { policy: DatatypePolicy::Congruence1, max_nodes: None },
+        )
+        .unwrap();
+        let a2 = Analysis::run_with(
+            &p,
+            AnalysisOptions { policy: DatatypePolicy::Congruence2, max_nodes: None },
+        )
+        .unwrap();
+        for e in p.exprs() {
+            let l1 = a1.labels_of(e);
+            let l2 = a2.labels_of(e);
+            for l in &l2 {
+                assert!(
+                    l1.contains(l),
+                    "≈₂ found {l:?} at {e:?} that ≈₁ missed in {src:?} — ≈₁ must be coarser",
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,391 @@
+//! A compact directed graph over dense `usize` node ids.
+
+use crate::bitset::BitSet;
+
+/// Adjacency-list directed graph. Nodes are `0..node_count()`.
+///
+/// `add_edge` does **not** deduplicate (the analyses deduplicate at a higher
+/// level, where they must anyway to drive their worklists); use
+/// [`DiGraph::add_edge_dedup`] or [`DiGraph::dedup_edges`] when set
+/// semantics are needed.
+#[derive(Clone, Debug, Default)]
+pub struct DiGraph {
+    succs: Vec<Vec<u32>>,
+    edge_count: usize,
+}
+
+impl DiGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a graph with `n` isolated nodes.
+    pub fn with_nodes(n: usize) -> Self {
+        DiGraph { succs: vec![Vec::new(); n], edge_count: 0 }
+    }
+
+    /// Adds an isolated node, returning its id.
+    pub fn add_node(&mut self) -> usize {
+        self.succs.push(Vec::new());
+        self.succs.len() - 1
+    }
+
+    /// Grows the graph to at least `n` nodes.
+    pub fn ensure_nodes(&mut self, n: usize) {
+        if self.succs.len() < n {
+            self.succs.resize(n, Vec::new());
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// Number of edges (counting duplicates).
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Adds the edge `from → to` without checking for duplicates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range.
+    #[inline]
+    pub fn add_edge(&mut self, from: usize, to: usize) {
+        assert!(to < self.succs.len(), "edge target {to} out of range");
+        self.succs[from].push(to as u32);
+        self.edge_count += 1;
+    }
+
+    /// Adds `from → to` unless already present (linear scan of `from`'s
+    /// successors). Returns `true` if the edge was added.
+    pub fn add_edge_dedup(&mut self, from: usize, to: usize) -> bool {
+        assert!(to < self.succs.len(), "edge target {to} out of range");
+        if self.succs[from].contains(&(to as u32)) {
+            return false;
+        }
+        self.succs[from].push(to as u32);
+        self.edge_count += 1;
+        true
+    }
+
+    /// Whether the edge `from → to` is present.
+    pub fn has_edge(&self, from: usize, to: usize) -> bool {
+        self.succs.get(from).is_some_and(|s| s.contains(&(to as u32)))
+    }
+
+    /// Successors of `node`.
+    #[inline]
+    pub fn succs(&self, node: usize) -> &[u32] {
+        &self.succs[node]
+    }
+
+    /// Removes duplicate edges.
+    pub fn dedup_edges(&mut self) {
+        let mut total = 0;
+        for s in &mut self.succs {
+            s.sort_unstable();
+            s.dedup();
+            total += s.len();
+        }
+        self.edge_count = total;
+    }
+
+    /// The reversed graph.
+    pub fn reverse(&self) -> DiGraph {
+        let mut rev = DiGraph::with_nodes(self.node_count());
+        for (u, succs) in self.succs.iter().enumerate() {
+            for &v in succs {
+                rev.add_edge(v as usize, u);
+            }
+        }
+        rev
+    }
+
+    /// Set of nodes reachable from `start` (including `start`), by BFS.
+    pub fn reachable_from(&self, start: usize) -> BitSet {
+        self.reachable_from_many([start])
+    }
+
+    /// Set of nodes reachable from any of `starts`.
+    pub fn reachable_from_many(&self, starts: impl IntoIterator<Item = usize>) -> BitSet {
+        let mut seen = BitSet::new(self.node_count());
+        let mut queue: Vec<usize> = Vec::new();
+        for s in starts {
+            if seen.insert(s) {
+                queue.push(s);
+            }
+        }
+        while let Some(u) = queue.pop() {
+            for &v in &self.succs[u] {
+                if seen.insert(v as usize) {
+                    queue.push(v as usize);
+                }
+            }
+        }
+        seen
+    }
+
+    /// A topological-ish DFS postorder over the whole graph (cycles allowed;
+    /// each node appears exactly once).
+    pub fn postorder(&self) -> Vec<usize> {
+        let n = self.node_count();
+        let mut order = Vec::with_capacity(n);
+        let mut seen = BitSet::new(n);
+        // Iterative DFS: (node, next-successor-index).
+        let mut stack: Vec<(usize, usize)> = Vec::new();
+        for root in 0..n {
+            if !seen.insert(root) {
+                continue;
+            }
+            stack.push((root, 0));
+            while let Some(&mut (u, ref mut i)) = stack.last_mut() {
+                if *i < self.succs[u].len() {
+                    let v = self.succs[u][*i] as usize;
+                    *i += 1;
+                    if seen.insert(v) {
+                        stack.push((v, 0));
+                    }
+                } else {
+                    order.push(u);
+                    stack.pop();
+                }
+            }
+        }
+        order
+    }
+
+    /// Strongly connected components (iterative Tarjan). Returns
+    /// `(component_of_node, component_count)`; component ids are in reverse
+    /// topological order of the condensation (a component's id is greater
+    /// than those of components it can reach).
+    pub fn sccs(&self) -> (Vec<usize>, usize) {
+        const UNVISITED: usize = usize::MAX;
+        let n = self.node_count();
+        let mut index = vec![UNVISITED; n];
+        let mut lowlink = vec![0usize; n];
+        let mut on_stack = BitSet::new(n);
+        let mut stack: Vec<usize> = Vec::new();
+        let mut comp = vec![UNVISITED; n];
+        let mut next_index = 0usize;
+        let mut comp_count = 0usize;
+        // call stack frames: (node, next successor position)
+        let mut frames: Vec<(usize, usize)> = Vec::new();
+
+        for root in 0..n {
+            if index[root] != UNVISITED {
+                continue;
+            }
+            frames.push((root, 0));
+            index[root] = next_index;
+            lowlink[root] = next_index;
+            next_index += 1;
+            stack.push(root);
+            on_stack.insert(root);
+
+            while let Some(&mut (u, ref mut i)) = frames.last_mut() {
+                if *i < self.succs[u].len() {
+                    let v = self.succs[u][*i] as usize;
+                    *i += 1;
+                    if index[v] == UNVISITED {
+                        index[v] = next_index;
+                        lowlink[v] = next_index;
+                        next_index += 1;
+                        stack.push(v);
+                        on_stack.insert(v);
+                        frames.push((v, 0));
+                    } else if on_stack.contains(v) {
+                        lowlink[u] = lowlink[u].min(index[v]);
+                    }
+                } else {
+                    if lowlink[u] == index[u] {
+                        loop {
+                            let w = stack.pop().expect("tarjan stack invariant");
+                            on_stack.remove(w);
+                            comp[w] = comp_count;
+                            if w == u {
+                                break;
+                            }
+                        }
+                        comp_count += 1;
+                    }
+                    frames.pop();
+                    if let Some(&(parent, _)) = frames.last() {
+                        lowlink[parent] = lowlink[parent].min(lowlink[u]);
+                    }
+                }
+            }
+        }
+        (comp, comp_count)
+    }
+
+    /// Full transitive closure as one reachability set per node (includes
+    /// the node itself). `O(n²/64 · n + n·m)` time, `O(n²/64)` space —
+    /// intended for ground-truth testing and the quadratic "all label sets"
+    /// experiment, not for inner loops.
+    pub fn transitive_closure(&self) -> Vec<BitSet> {
+        let n = self.node_count();
+        let (comp, comp_count) = self.sccs();
+        // Condensation successors.
+        let mut cond_succs: Vec<Vec<usize>> = vec![Vec::new(); comp_count];
+        for u in 0..n {
+            for &v in &self.succs[u] {
+                let (cu, cv) = (comp[u], comp[v as usize]);
+                if cu != cv {
+                    cond_succs[cu].push(cv);
+                }
+            }
+        }
+        for s in &mut cond_succs {
+            s.sort_unstable();
+            s.dedup();
+        }
+        // Members per component.
+        let mut members: Vec<Vec<usize>> = vec![Vec::new(); comp_count];
+        for u in 0..n {
+            members[comp[u]].push(u);
+        }
+        // Tarjan numbers components in reverse topological order: component 0
+        // can reach only itself, so process ids in increasing order.
+        let mut comp_reach: Vec<BitSet> = (0..comp_count).map(|_| BitSet::new(n)).collect();
+        for c in 0..comp_count {
+            let mut set = BitSet::new(n);
+            for &m in &members[c] {
+                set.insert(m);
+            }
+            for &s in &cond_succs[c] {
+                debug_assert!(s < c, "condensation order violated");
+                set.union_with(&comp_reach[s]);
+            }
+            comp_reach[c] = set;
+        }
+        (0..n).map(|u| comp_reach[comp[u]].clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> DiGraph {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+        let mut g = DiGraph::with_nodes(4);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        g.add_edge(1, 3);
+        g.add_edge(2, 3);
+        g
+    }
+
+    #[test]
+    fn reachability_on_diamond() {
+        let g = diamond();
+        let r = g.reachable_from(0);
+        assert_eq!(r.iter().collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        let r1 = g.reachable_from(1);
+        assert_eq!(r1.iter().collect::<Vec<_>>(), vec![1, 3]);
+    }
+
+    #[test]
+    fn reverse_flips_edges() {
+        let g = diamond().reverse();
+        assert!(g.has_edge(3, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 1));
+        assert_eq!(g.edge_count(), 4);
+    }
+
+    #[test]
+    fn dedup() {
+        let mut g = DiGraph::with_nodes(2);
+        g.add_edge(0, 1);
+        assert!(!g.add_edge_dedup(0, 1));
+        g.add_edge(0, 1);
+        assert_eq!(g.edge_count(), 2);
+        g.dedup_edges();
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn sccs_on_cycle() {
+        // 0 -> 1 -> 2 -> 0, 2 -> 3
+        let mut g = DiGraph::with_nodes(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 0);
+        g.add_edge(2, 3);
+        let (comp, count) = g.sccs();
+        assert_eq!(count, 2);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[1], comp[2]);
+        assert_ne!(comp[0], comp[3]);
+        // reverse-topological numbering: the sink {3} gets the smaller id
+        assert!(comp[3] < comp[0]);
+    }
+
+    #[test]
+    fn transitive_closure_matches_reachability() {
+        let mut g = DiGraph::with_nodes(6);
+        for (u, v) in [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (5, 3)] {
+            g.add_edge(u, v);
+        }
+        let tc = g.transitive_closure();
+        for (u, closure) in tc.iter().enumerate() {
+            let direct = g.reachable_from(u);
+            assert_eq!(
+                closure.iter().collect::<Vec<_>>(),
+                direct.iter().collect::<Vec<_>>(),
+                "closure mismatch at node {u}"
+            );
+        }
+    }
+
+    #[test]
+    fn postorder_visits_all_once() {
+        let g = diamond();
+        let order = g.postorder();
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3]);
+        // 3 must come before 1 and 2 (its predecessors) in postorder.
+        let pos = |x: usize| order.iter().position(|&u| u == x).unwrap();
+        assert!(pos(3) < pos(1));
+        assert!(pos(3) < pos(0));
+    }
+
+    #[test]
+    fn self_loop_is_single_component() {
+        let mut g = DiGraph::with_nodes(2);
+        g.add_edge(0, 0);
+        g.add_edge(0, 1);
+        let (comp, count) = g.sccs();
+        assert_eq!(count, 2);
+        assert_ne!(comp[0], comp[1]);
+        let tc = g.transitive_closure();
+        assert!(tc[0].contains(0));
+        assert!(tc[0].contains(1));
+        assert!(!tc[1].contains(0));
+    }
+
+    #[test]
+    fn ensure_and_add_nodes() {
+        let mut g = DiGraph::new();
+        assert_eq!(g.add_node(), 0);
+        g.ensure_nodes(5);
+        assert_eq!(g.node_count(), 5);
+        g.ensure_nodes(2);
+        assert_eq!(g.node_count(), 5);
+    }
+
+    #[test]
+    fn reachable_from_many_unions_sources() {
+        let mut g = DiGraph::with_nodes(5);
+        g.add_edge(0, 1);
+        g.add_edge(2, 3);
+        let r = g.reachable_from_many([0, 2]);
+        assert!(r.contains(1) && r.contains(3) && !r.contains(4));
+    }
+}

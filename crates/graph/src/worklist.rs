@@ -1,0 +1,91 @@
+//! A LIFO worklist with membership tracking over dense indices.
+
+/// A worklist of dense `usize` items that never holds the same item twice.
+///
+/// Fixed-point loops (the cubic CFA, the SBA solver, the subtransitive
+/// close phase) all share this shape: push an item when it becomes dirty,
+/// pop until empty, never enqueue an item already pending.
+#[derive(Clone, Debug)]
+pub struct Worklist {
+    stack: Vec<usize>,
+    queued: Vec<bool>,
+}
+
+impl Worklist {
+    /// Creates a worklist for items `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        Worklist { stack: Vec::new(), queued: vec![false; capacity] }
+    }
+
+    /// Grows the capacity to at least `capacity`.
+    pub fn ensure_capacity(&mut self, capacity: usize) {
+        if self.queued.len() < capacity {
+            self.queued.resize(capacity, false);
+        }
+    }
+
+    /// Enqueues `item` unless already pending. Returns `true` if enqueued.
+    pub fn push(&mut self, item: usize) -> bool {
+        if self.queued[item] {
+            return false;
+        }
+        self.queued[item] = true;
+        self.stack.push(item);
+        true
+    }
+
+    /// Pops the most recently pushed pending item.
+    pub fn pop(&mut self) -> Option<usize> {
+        let item = self.stack.pop()?;
+        self.queued[item] = false;
+        Some(item)
+    }
+
+    /// Whether nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.stack.is_empty()
+    }
+
+    /// Number of pending items.
+    pub fn len(&self) -> usize {
+        self.stack.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deduplicates_pending_items() {
+        let mut w = Worklist::new(4);
+        assert!(w.push(1));
+        assert!(!w.push(1));
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.pop(), Some(1));
+        // After popping, the item may be pushed again.
+        assert!(w.push(1));
+        assert_eq!(w.pop(), Some(1));
+        assert_eq!(w.pop(), None);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn lifo_order() {
+        let mut w = Worklist::new(4);
+        w.push(0);
+        w.push(1);
+        w.push(2);
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), Some(1));
+        assert_eq!(w.pop(), Some(0));
+    }
+
+    #[test]
+    fn grows() {
+        let mut w = Worklist::new(1);
+        w.ensure_capacity(10);
+        assert!(w.push(9));
+        assert_eq!(w.pop(), Some(9));
+    }
+}

@@ -1,0 +1,516 @@
+//! A call-by-value evaluator with label-preserving closures.
+//!
+//! The paper defines control-flow soundness against arbitrary-order
+//! β-reduction; call-by-value executions are a subset of those reductions,
+//! so any dynamic behaviour observed here must be predicted by a sound CFA.
+//! The evaluator therefore records an [`EvalTrace`]: for every application
+//! `(e₁ e₂)` that actually fires, the label of the applied closure — the
+//! ground truth that `label ∈ L(e₁)` for property tests.
+
+use std::error::Error;
+use std::fmt;
+use std::rc::Rc;
+
+use crate::ast::{ConId, ExprId, ExprKind, Label, Literal, PrimOp, Program, VarId};
+
+/// A runtime value.
+#[derive(Clone, Debug)]
+pub enum Value {
+    /// Integer.
+    Int(i64),
+    /// Boolean.
+    Bool(bool),
+    /// Unit.
+    Unit,
+    /// A function closure; carries the label of its abstraction.
+    Closure(Rc<Closure>),
+    /// A record (tuple) value.
+    Record(Rc<[Value]>),
+    /// A constructed datatype value.
+    Con {
+        /// The constructor.
+        con: ConId,
+        /// Constructor arguments.
+        args: Rc<[Value]>,
+    },
+}
+
+impl Value {
+    /// The abstraction label, if this is a closure.
+    pub fn label(&self) -> Option<Label> {
+        match self {
+            Value::Closure(c) => Some(c.label),
+            _ => None,
+        }
+    }
+}
+
+/// A function closure.
+#[derive(Debug)]
+pub struct Closure {
+    /// Label of the abstraction this closure came from.
+    pub label: Label,
+    /// Parameter binder.
+    pub param: VarId,
+    /// Body expression.
+    pub body: ExprId,
+    env: Env,
+}
+
+/// Persistent environment: a linked list of bindings. Recursive bindings
+/// are represented lazily so no interior mutability (or `Rc` cycle) is
+/// needed.
+#[derive(Clone, Debug, Default)]
+struct Env(Option<Rc<EnvNode>>);
+
+#[derive(Debug)]
+enum EnvNode {
+    Bind { var: VarId, value: Value, next: Env },
+    /// `letrec f = λ…`: looking up `f` re-creates the closure with this
+    /// same environment, so the recursion is tied lazily.
+    Rec { var: VarId, label: Label, param: VarId, body: ExprId, next: Env },
+}
+
+impl Env {
+    fn bind(&self, var: VarId, value: Value) -> Env {
+        Env(Some(Rc::new(EnvNode::Bind { var, value, next: self.clone() })))
+    }
+
+    fn bind_rec(&self, var: VarId, label: Label, param: VarId, body: ExprId) -> Env {
+        Env(Some(Rc::new(EnvNode::Rec { var, label, param, body, next: self.clone() })))
+    }
+
+    fn lookup(&self, var: VarId) -> Option<Value> {
+        let mut cur = self;
+        loop {
+            match cur.0.as_deref()? {
+                EnvNode::Bind { var: v, value, next } => {
+                    if *v == var {
+                        return Some(value.clone());
+                    }
+                    cur = next;
+                }
+                EnvNode::Rec { var: v, label, param, body, next } => {
+                    if *v == var {
+                        return Some(Value::Closure(Rc::new(Closure {
+                            label: *label,
+                            param: *param,
+                            body: *body,
+                            env: cur.clone(),
+                        })));
+                    }
+                    cur = next;
+                }
+            }
+        }
+    }
+}
+
+/// Why evaluation stopped abnormally.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EvalError {
+    /// The step budget was exhausted (the program may diverge).
+    OutOfFuel,
+    /// A dynamic type error (applying a non-function, projecting a
+    /// non-record, …). Well-typed programs never hit this.
+    TypeError {
+        /// Where it happened.
+        at: ExprId,
+        /// What went wrong.
+        message: String,
+    },
+    /// Integer division by zero.
+    DivByZero(ExprId),
+    /// A `case` with no matching arm and no wildcard.
+    MatchFailure(ExprId),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::OutOfFuel => write!(f, "evaluation ran out of fuel"),
+            EvalError::TypeError { at, message } => {
+                write!(f, "dynamic type error at {at:?}: {message}")
+            }
+            EvalError::DivByZero(at) => write!(f, "division by zero at {at:?}"),
+            EvalError::MatchFailure(at) => write!(f, "no matching case arm at {at:?}"),
+        }
+    }
+}
+
+impl Error for EvalError {}
+
+/// What actually happened during one evaluation, for checking analyses
+/// against ground truth.
+#[derive(Clone, Debug, Default)]
+pub struct EvalTrace {
+    /// For each application that fired: the operator occurrence `e₁` of the
+    /// application `(e₁ e₂)` and the label of the closure that was applied.
+    pub calls: Vec<(ExprId, Label)>,
+    /// Expression occurrences at which a side effect executed.
+    pub effects: Vec<ExprId>,
+    /// Every expression occurrence that was evaluated at least once, in
+    /// id order — ground truth for liveness/dead-code analyses.
+    pub evaluated: Vec<ExprId>,
+}
+
+/// Evaluation knobs.
+#[derive(Clone, Debug)]
+pub struct EvalOptions {
+    /// Maximum number of evaluation steps before [`EvalError::OutOfFuel`].
+    pub fuel: u64,
+    /// Values returned by successive `readint`s (then zeros).
+    pub inputs: Vec<i64>,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        EvalOptions { fuel: 100_000, inputs: Vec::new() }
+    }
+}
+
+/// Result of a successful evaluation.
+#[derive(Clone, Debug)]
+pub struct EvalOutcome {
+    /// Final value of the root expression.
+    pub value: Value,
+    /// Integers printed, in order.
+    pub outputs: Vec<i64>,
+    /// Ground-truth call/effect trace.
+    pub trace: EvalTrace,
+}
+
+struct Machine<'a> {
+    program: &'a Program,
+    fuel: u64,
+    inputs: std::vec::IntoIter<i64>,
+    outputs: Vec<i64>,
+    trace: EvalTrace,
+    evaluated: Vec<bool>,
+}
+
+/// Evaluates `program` under call-by-value with the given options.
+pub fn eval(program: &Program, options: EvalOptions) -> Result<EvalOutcome, EvalError> {
+    let mut m = Machine {
+        program,
+        fuel: options.fuel,
+        inputs: options.inputs.into_iter(),
+        outputs: Vec::new(),
+        trace: EvalTrace::default(),
+        evaluated: vec![false; program.size()],
+    };
+    let value = m.eval(program.root(), &Env::default())?;
+    m.trace.evaluated = m
+        .evaluated
+        .iter()
+        .enumerate()
+        .filter(|&(_i, &v)| v).map(|(i, &_v)| ExprId::from_index(i))
+        .collect();
+    Ok(EvalOutcome { value, outputs: m.outputs, trace: m.trace })
+}
+
+impl Machine<'_> {
+    fn tick(&mut self) -> Result<(), EvalError> {
+        if self.fuel == 0 {
+            return Err(EvalError::OutOfFuel);
+        }
+        self.fuel -= 1;
+        Ok(())
+    }
+
+    fn type_error<T>(&self, at: ExprId, message: impl Into<String>) -> Result<T, EvalError> {
+        Err(EvalError::TypeError { at, message: message.into() })
+    }
+
+    fn eval(&mut self, id: ExprId, env: &Env) -> Result<Value, EvalError> {
+        self.tick()?;
+        self.evaluated[id.index()] = true;
+        match self.program.kind(id) {
+            ExprKind::Var(v) => match env.lookup(*v) {
+                Some(val) => Ok(val),
+                None => self.type_error(id, "unbound variable at runtime"),
+            },
+            ExprKind::Lit(Literal::Int(n)) => Ok(Value::Int(*n)),
+            ExprKind::Lit(Literal::Bool(b)) => Ok(Value::Bool(*b)),
+            ExprKind::Lit(Literal::Unit) => Ok(Value::Unit),
+            ExprKind::Lam { label, param, body } => Ok(Value::Closure(Rc::new(Closure {
+                label: *label,
+                param: *param,
+                body: *body,
+                env: env.clone(),
+            }))),
+            ExprKind::App { func, arg } => {
+                let fv = self.eval(*func, env)?;
+                let av = self.eval(*arg, env)?;
+                match fv {
+                    Value::Closure(c) => {
+                        self.trace.calls.push((*func, c.label));
+                        let inner = c.env.bind(c.param, av);
+                        self.eval(c.body, &inner)
+                    }
+                    other => self.type_error(id, format!("applied non-function {other:?}")),
+                }
+            }
+            ExprKind::Let { binder, rhs, body } => {
+                let rv = self.eval(*rhs, env)?;
+                let inner = env.bind(*binder, rv);
+                self.eval(*body, &inner)
+            }
+            ExprKind::LetRec { binder, lambda, body } => {
+                let ExprKind::Lam { label, param, body: lam_body } = self.program.kind(*lambda)
+                else {
+                    return self.type_error(id, "letrec rhs is not a lambda");
+                };
+                let inner = env.bind_rec(*binder, *label, *param, *lam_body);
+                self.eval(*body, &inner)
+            }
+            ExprKind::If { cond, then_branch, else_branch } => {
+                match self.eval(*cond, env)? {
+                    Value::Bool(true) => self.eval(*then_branch, env),
+                    Value::Bool(false) => self.eval(*else_branch, env),
+                    other => self.type_error(id, format!("if on non-boolean {other:?}")),
+                }
+            }
+            ExprKind::Record(items) => {
+                let mut vals = Vec::with_capacity(items.len());
+                for &e in items.iter() {
+                    vals.push(self.eval(e, env)?);
+                }
+                Ok(Value::Record(vals.into()))
+            }
+            ExprKind::Proj { index, tuple } => match self.eval(*tuple, env)? {
+                Value::Record(vals) => match vals.get(*index as usize) {
+                    Some(v) => Ok(v.clone()),
+                    None => self.type_error(id, "projection index out of range"),
+                },
+                other => self.type_error(id, format!("projection from non-record {other:?}")),
+            },
+            ExprKind::Con { con, args } => {
+                let mut vals = Vec::with_capacity(args.len());
+                for &e in args.iter() {
+                    vals.push(self.eval(e, env)?);
+                }
+                Ok(Value::Con { con: *con, args: vals.into() })
+            }
+            ExprKind::Case { scrutinee, arms, default } => {
+                let sv = self.eval(*scrutinee, env)?;
+                let Value::Con { con, args } = &sv else {
+                    return self.type_error(id, format!("case on non-datatype {sv:?}"));
+                };
+                for arm in arms.iter() {
+                    if arm.con == *con {
+                        let mut inner = env.clone();
+                        for (&b, v) in arm.binders.iter().zip(args.iter()) {
+                            inner = inner.bind(b, v.clone());
+                        }
+                        return self.eval(arm.body, &inner);
+                    }
+                }
+                match default {
+                    Some(d) => self.eval(*d, env),
+                    None => Err(EvalError::MatchFailure(id)),
+                }
+            }
+            ExprKind::Prim { op, args } => {
+                let mut vals = Vec::with_capacity(args.len());
+                for &e in args.iter() {
+                    vals.push(self.eval(e, env)?);
+                }
+                self.prim(id, *op, &vals)
+            }
+        }
+    }
+
+    fn int_arg(&self, at: ExprId, v: &Value) -> Result<i64, EvalError> {
+        match v {
+            Value::Int(n) => Ok(*n),
+            other => self.type_error(at, format!("expected int, got {other:?}")),
+        }
+    }
+
+    fn prim(&mut self, at: ExprId, op: PrimOp, args: &[Value]) -> Result<Value, EvalError> {
+        if op.is_effectful() {
+            self.trace.effects.push(at);
+        }
+        match op {
+            PrimOp::Add => {
+                let (a, b) = (self.int_arg(at, &args[0])?, self.int_arg(at, &args[1])?);
+                Ok(Value::Int(a.wrapping_add(b)))
+            }
+            PrimOp::Sub => {
+                let (a, b) = (self.int_arg(at, &args[0])?, self.int_arg(at, &args[1])?);
+                Ok(Value::Int(a.wrapping_sub(b)))
+            }
+            PrimOp::Mul => {
+                let (a, b) = (self.int_arg(at, &args[0])?, self.int_arg(at, &args[1])?);
+                Ok(Value::Int(a.wrapping_mul(b)))
+            }
+            PrimOp::Div => {
+                let (a, b) = (self.int_arg(at, &args[0])?, self.int_arg(at, &args[1])?);
+                if b == 0 {
+                    Err(EvalError::DivByZero(at))
+                } else {
+                    Ok(Value::Int(a.wrapping_div(b)))
+                }
+            }
+            PrimOp::Lt => {
+                let (a, b) = (self.int_arg(at, &args[0])?, self.int_arg(at, &args[1])?);
+                Ok(Value::Bool(a < b))
+            }
+            PrimOp::Leq => {
+                let (a, b) = (self.int_arg(at, &args[0])?, self.int_arg(at, &args[1])?);
+                Ok(Value::Bool(a <= b))
+            }
+            PrimOp::IntEq => {
+                let (a, b) = (self.int_arg(at, &args[0])?, self.int_arg(at, &args[1])?);
+                Ok(Value::Bool(a == b))
+            }
+            PrimOp::Not => match &args[0] {
+                Value::Bool(b) => Ok(Value::Bool(!b)),
+                other => self.type_error(at, format!("not on {other:?}")),
+            },
+            PrimOp::Print => {
+                let n = self.int_arg(at, &args[0])?;
+                self.outputs.push(n);
+                Ok(Value::Unit)
+            }
+            PrimOp::ReadInt => Ok(Value::Int(self.inputs.next().unwrap_or(0))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn run(src: &str) -> EvalOutcome {
+        let p = parse(src).unwrap();
+        eval(&p, EvalOptions::default()).unwrap()
+    }
+
+    fn run_int(src: &str) -> i64 {
+        match run(src).value {
+            Value::Int(n) => n,
+            other => panic!("expected int, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(run_int("1 + 2 * 3"), 7);
+        assert_eq!(run_int("10 div 3"), 3);
+        assert_eq!(run_int("10 - 2 - 3"), 5);
+    }
+
+    #[test]
+    fn higher_order_functions() {
+        assert_eq!(run_int("(fn f => f (f 1)) (fn x => x + 1)"), 3);
+        assert_eq!(run_int("let val twice = fn f => fn x => f (f x) in twice (fn n => n * 2) 3 end"), 12);
+    }
+
+    #[test]
+    fn recursion() {
+        assert_eq!(
+            run_int("fun fact n = if n = 0 then 1 else n * fact (n - 1); fact 6"),
+            720
+        );
+    }
+
+    #[test]
+    fn nested_recursion() {
+        // even/odd encoded with an inner recursive helper.
+        assert_eq!(
+            run_int(
+                "fun even n = \n\
+                   let fun odd m = if m = 0 then false else even (m - 1) in\n\
+                     if n = 0 then true else odd (n - 1)\n\
+                   end;\n\
+                 if even 10 then 1 else 0"
+            ),
+            1
+        );
+    }
+
+    #[test]
+    fn datatypes() {
+        assert_eq!(
+            run_int(
+                "datatype intlist = Nil | Cons of int * intlist;\n\
+                 fun sum xs = case xs of Cons(h, t) => h + sum t | Nil => 0;\n\
+                 sum (Cons(1, Cons(2, Cons(3, Nil))))"
+            ),
+            6
+        );
+    }
+
+    #[test]
+    fn records() {
+        assert_eq!(run_int("#2 (1, 42, true)"), 42);
+        assert_eq!(run_int("let val p = (1, (2, 3)) in #1 (#2 p) end"), 2);
+    }
+
+    #[test]
+    fn effects_are_traced() {
+        let out = run("val u = print 1; val v = print 2; 3");
+        assert_eq!(out.outputs, vec![1, 2]);
+        assert_eq!(out.trace.effects.len(), 2);
+    }
+
+    #[test]
+    fn readint_consumes_inputs() {
+        let p = parse("readint + readint").unwrap();
+        let out = eval(&p, EvalOptions { fuel: 1000, inputs: vec![10, 20] }).unwrap();
+        match out.value {
+            Value::Int(30) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn calls_are_traced_with_labels() {
+        let p = parse("(fn x => x) 5").unwrap();
+        let out = eval(&p, EvalOptions::default()).unwrap();
+        assert_eq!(out.trace.calls.len(), 1);
+        let (func_occ, label) = out.trace.calls[0];
+        // The operator occurrence is the lambda itself here.
+        assert_eq!(p.label_of(func_occ), Some(label));
+    }
+
+    #[test]
+    fn divergence_runs_out_of_fuel() {
+        let p = parse("val rec loop = fn x => loop x; loop 1").unwrap();
+        assert_eq!(
+            eval(&p, EvalOptions { fuel: 1000, inputs: vec![] }).unwrap_err(),
+            EvalError::OutOfFuel
+        );
+    }
+
+    #[test]
+    fn self_application_of_identity() {
+        let out = run("(fn x => x x) (fn y => y)");
+        assert!(matches!(out.value, Value::Closure(_)));
+        assert_eq!(out.trace.calls.len(), 2);
+    }
+
+    #[test]
+    fn match_failure() {
+        let p = parse("datatype t = A | B; case A of B => 1").unwrap();
+        assert!(matches!(
+            eval(&p, EvalOptions::default()).unwrap_err(),
+            EvalError::MatchFailure(_)
+        ));
+    }
+
+    #[test]
+    fn div_by_zero() {
+        let p = parse("1 div 0").unwrap();
+        assert!(matches!(eval(&p, EvalOptions::default()).unwrap_err(), EvalError::DivByZero(_)));
+    }
+
+    #[test]
+    fn shadowed_binders_evaluate_innermost() {
+        assert_eq!(run_int("let val x = 1 in let val x = 2 in x end end"), 2);
+        assert_eq!(run_int("(fn x => (fn x => x) 9) 1"), 9);
+    }
+}

@@ -1,0 +1,131 @@
+//! String interning.
+//!
+//! Identifiers (variables, constructors, datatypes) are interned into
+//! [`Symbol`]s — small copyable handles — so the rest of the system can
+//! compare and hash names in `O(1)` and store them in dense tables.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An interned string handle.
+///
+/// Symbols are only meaningful relative to the [`Interner`] (and hence the
+/// [`crate::Program`]) that produced them.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(u32);
+
+impl Symbol {
+    /// Returns the dense index of this symbol.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Symbol({})", self.0)
+    }
+}
+
+/// A deduplicating string table.
+///
+/// ```
+/// use stcfa_lambda::intern::Interner;
+///
+/// let mut interner = Interner::new();
+/// let a = interner.intern("map");
+/// let b = interner.intern("map");
+/// assert_eq!(a, b);
+/// assert_eq!(interner.resolve(a), "map");
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct Interner {
+    strings: Vec<String>,
+    map: HashMap<String, Symbol>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `s`, returning the existing symbol if it was seen before.
+    pub fn intern(&mut self, s: &str) -> Symbol {
+        if let Some(&sym) = self.map.get(s) {
+            return sym;
+        }
+        let sym = Symbol(u32::try_from(self.strings.len()).expect("interner overflow"));
+        self.strings.push(s.to_owned());
+        self.map.insert(s.to_owned(), sym);
+        sym
+    }
+
+    /// Returns the string for `sym`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sym` was produced by a different interner and is out of
+    /// range for this one.
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.strings[sym.index()]
+    }
+
+    /// Looks up a string without interning it.
+    pub fn get(&self, s: &str) -> Option<Symbol> {
+        self.map.get(s).copied()
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Whether no strings have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_deduplicates() {
+        let mut i = Interner::new();
+        let a = i.intern("x");
+        let b = i.intern("y");
+        let c = i.intern("x");
+        assert_eq!(a, c);
+        assert_ne!(a, b);
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let mut i = Interner::new();
+        let names = ["foo", "bar", "baz", ""];
+        let syms: Vec<_> = names.iter().map(|n| i.intern(n)).collect();
+        for (n, s) in names.iter().zip(&syms) {
+            assert_eq!(i.resolve(*s), *n);
+        }
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut i = Interner::new();
+        assert!(i.get("missing").is_none());
+        let s = i.intern("present");
+        assert_eq!(i.get("present"), Some(s));
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn empty_interner() {
+        let i = Interner::new();
+        assert!(i.is_empty());
+        assert_eq!(i.len(), 0);
+    }
+}

@@ -1,0 +1,408 @@
+//! Lexer for the ML-flavoured surface syntax.
+//!
+//! Comments are `(* ... *)` (nesting) and `-- ...` to end of line.
+
+use std::fmt;
+
+/// A source position (byte offset plus 1-based line/column).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Pos {
+    /// Byte offset into the source.
+    pub offset: usize,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Token kinds.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tok {
+    /// Lower-case identifier (variables, datatype names).
+    LIdent(String),
+    /// Upper-case identifier (constructors).
+    UIdent(String),
+    /// Integer literal.
+    Int(i64),
+    /// Keyword.
+    Kw(Kw),
+    /// `=>`
+    FatArrow,
+    /// `->`
+    Arrow,
+    /// `=`
+    Equals,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `|`
+    Bar,
+    /// `#`
+    Hash,
+    /// `*`
+    Star,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `<`
+    Lt,
+    /// `<=`
+    Leq,
+    /// `;`
+    Semi,
+    /// `_`
+    Underscore,
+    /// End of input.
+    Eof,
+}
+
+/// Reserved words.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Kw {
+    Fn,
+    Fun,
+    Val,
+    Rec,
+    Let,
+    In,
+    End,
+    If,
+    Then,
+    Else,
+    Case,
+    Of,
+    Datatype,
+    True,
+    False,
+    Not,
+    Print,
+    Readint,
+    Div,
+    And,
+    Int,
+    Bool,
+    Unit,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::LIdent(s) | Tok::UIdent(s) => write!(f, "`{s}`"),
+            Tok::Int(n) => write!(f, "`{n}`"),
+            Tok::Kw(k) => write!(f, "`{k:?}`"),
+            Tok::FatArrow => write!(f, "`=>`"),
+            Tok::Arrow => write!(f, "`->`"),
+            Tok::Equals => write!(f, "`=`"),
+            Tok::LParen => write!(f, "`(`"),
+            Tok::RParen => write!(f, "`)`"),
+            Tok::Comma => write!(f, "`,`"),
+            Tok::Bar => write!(f, "`|`"),
+            Tok::Hash => write!(f, "`#`"),
+            Tok::Star => write!(f, "`*`"),
+            Tok::Plus => write!(f, "`+`"),
+            Tok::Minus => write!(f, "`-`"),
+            Tok::Lt => write!(f, "`<`"),
+            Tok::Leq => write!(f, "`<=`"),
+            Tok::Semi => write!(f, "`;`"),
+            Tok::Underscore => write!(f, "`_`"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A lexical error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LexError {
+    /// Where the error occurred.
+    pub pos: Pos,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes `source`, returning tokens with their positions. The final
+/// token is always [`Tok::Eof`].
+pub fn lex(source: &str) -> Result<Vec<(Tok, Pos)>, LexError> {
+    let bytes = source.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    macro_rules! pos {
+        () => {
+            Pos { offset: i, line, col }
+        };
+    }
+    macro_rules! advance {
+        ($n:expr) => {{
+            for _ in 0..$n {
+                if i < bytes.len() {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        col = 1;
+                    } else {
+                        col += 1;
+                    }
+                    i += 1;
+                }
+            }
+        }};
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => advance!(1),
+            b'-' if bytes.get(i + 1) == Some(&b'-') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    advance!(1);
+                }
+            }
+            b'(' if bytes.get(i + 1) == Some(&b'*') => {
+                let start = pos!();
+                let mut depth = 1usize;
+                advance!(2);
+                while depth > 0 {
+                    if i >= bytes.len() {
+                        return Err(LexError {
+                            pos: start,
+                            message: "unterminated comment".into(),
+                        });
+                    }
+                    if bytes[i] == b'(' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        advance!(2);
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b')') {
+                        depth -= 1;
+                        advance!(2);
+                    } else {
+                        advance!(1);
+                    }
+                }
+            }
+            b'(' => {
+                toks.push((Tok::LParen, pos!()));
+                advance!(1);
+            }
+            b')' => {
+                toks.push((Tok::RParen, pos!()));
+                advance!(1);
+            }
+            b',' => {
+                toks.push((Tok::Comma, pos!()));
+                advance!(1);
+            }
+            b'|' => {
+                toks.push((Tok::Bar, pos!()));
+                advance!(1);
+            }
+            b'#' => {
+                toks.push((Tok::Hash, pos!()));
+                advance!(1);
+            }
+            b'*' => {
+                toks.push((Tok::Star, pos!()));
+                advance!(1);
+            }
+            b'+' => {
+                toks.push((Tok::Plus, pos!()));
+                advance!(1);
+            }
+            b';' => {
+                toks.push((Tok::Semi, pos!()));
+                advance!(1);
+            }
+            b'_' if !matches!(bytes.get(i + 1), Some(&b) if b.is_ascii_alphanumeric() || b == b'_') =>
+            {
+                toks.push((Tok::Underscore, pos!()));
+                advance!(1);
+            }
+            b'-' if bytes.get(i + 1) == Some(&b'>') => {
+                toks.push((Tok::Arrow, pos!()));
+                advance!(2);
+            }
+            b'-' => {
+                toks.push((Tok::Minus, pos!()));
+                advance!(1);
+            }
+            b'=' if bytes.get(i + 1) == Some(&b'>') => {
+                toks.push((Tok::FatArrow, pos!()));
+                advance!(2);
+            }
+            b'=' => {
+                toks.push((Tok::Equals, pos!()));
+                advance!(1);
+            }
+            b'<' if bytes.get(i + 1) == Some(&b'=') => {
+                toks.push((Tok::Leq, pos!()));
+                advance!(2);
+            }
+            b'<' => {
+                toks.push((Tok::Lt, pos!()));
+                advance!(1);
+            }
+            b'0'..=b'9' => {
+                let p = pos!();
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    advance!(1);
+                }
+                let text = &source[start..i];
+                let value: i64 = text.parse().map_err(|_| LexError {
+                    pos: p,
+                    message: format!("integer literal `{text}` out of range"),
+                })?;
+                toks.push((Tok::Int(value), p));
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let p = pos!();
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'\'')
+                {
+                    advance!(1);
+                }
+                let text = &source[start..i];
+                let tok = match text {
+                    "fn" => Tok::Kw(Kw::Fn),
+                    "fun" => Tok::Kw(Kw::Fun),
+                    "val" => Tok::Kw(Kw::Val),
+                    "rec" => Tok::Kw(Kw::Rec),
+                    "let" => Tok::Kw(Kw::Let),
+                    "in" => Tok::Kw(Kw::In),
+                    "end" => Tok::Kw(Kw::End),
+                    "if" => Tok::Kw(Kw::If),
+                    "then" => Tok::Kw(Kw::Then),
+                    "else" => Tok::Kw(Kw::Else),
+                    "case" => Tok::Kw(Kw::Case),
+                    "of" => Tok::Kw(Kw::Of),
+                    "datatype" => Tok::Kw(Kw::Datatype),
+                    "true" => Tok::Kw(Kw::True),
+                    "false" => Tok::Kw(Kw::False),
+                    "not" => Tok::Kw(Kw::Not),
+                    "print" => Tok::Kw(Kw::Print),
+                    "readint" => Tok::Kw(Kw::Readint),
+                    "div" => Tok::Kw(Kw::Div),
+                    "and" => Tok::Kw(Kw::And),
+                    "int" => Tok::Kw(Kw::Int),
+                    "bool" => Tok::Kw(Kw::Bool),
+                    "unit" => Tok::Kw(Kw::Unit),
+                    _ if text.starts_with(|c: char| c.is_ascii_uppercase()) => {
+                        Tok::UIdent(text.to_owned())
+                    }
+                    _ => Tok::LIdent(text.to_owned()),
+                };
+                toks.push((tok, p));
+            }
+            other => {
+                return Err(LexError {
+                    pos: pos!(),
+                    message: format!("unexpected character `{}`", other as char),
+                });
+            }
+        }
+    }
+    toks.push((Tok::Eof, pos!()));
+    Ok(toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|(t, _)| t).collect()
+    }
+
+    #[test]
+    fn lexes_lambda() {
+        assert_eq!(
+            kinds("fn x => x"),
+            vec![
+                Tok::Kw(Kw::Fn),
+                Tok::LIdent("x".into()),
+                Tok::FatArrow,
+                Tok::LIdent("x".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn distinguishes_arrows_and_minus() {
+        assert_eq!(kinds("- -> =>"), vec![Tok::Minus, Tok::Arrow, Tok::FatArrow, Tok::Eof]);
+    }
+
+    #[test]
+    fn distinguishes_lt_leq_eq() {
+        assert_eq!(kinds("< <= ="), vec![Tok::Lt, Tok::Leq, Tok::Equals, Tok::Eof]);
+    }
+
+    #[test]
+    fn lexes_comments() {
+        assert_eq!(
+            kinds("1 (* hi (* nested *) there *) 2 -- line\n3"),
+            vec![Tok::Int(1), Tok::Int(2), Tok::Int(3), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn unterminated_comment_errors() {
+        assert!(lex("(* oops").is_err());
+    }
+
+    #[test]
+    fn tracks_positions() {
+        let toks = lex("a\n  b").unwrap();
+        assert_eq!(toks[0].1.line, 1);
+        assert_eq!(toks[0].1.col, 1);
+        assert_eq!(toks[1].1.line, 2);
+        assert_eq!(toks[1].1.col, 3);
+    }
+
+    #[test]
+    fn underscore_vs_identifier() {
+        assert_eq!(kinds("_ _x x_"), vec![
+            Tok::Underscore,
+            Tok::LIdent("_x".into()),
+            Tok::LIdent("x_".into()),
+            Tok::Eof
+        ]);
+    }
+
+    #[test]
+    fn uident_vs_lident() {
+        assert_eq!(
+            kinds("Cons nil"),
+            vec![Tok::UIdent("Cons".into()), Tok::LIdent("nil".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn primes_in_identifiers() {
+        assert_eq!(kinds("x' f''"), vec![
+            Tok::LIdent("x'".into()),
+            Tok::LIdent("f''".into()),
+            Tok::Eof
+        ]);
+    }
+}

@@ -1,0 +1,1177 @@
+//! Recursive-descent parser for the ML-flavoured surface syntax.
+//!
+//! The grammar, informally:
+//!
+//! ```text
+//! program  := decl* expr?
+//! decl     := "datatype" lid "=" conbind ("|" conbind)* [";"]
+//!           | "fun" lid lid+ "=" expr [";"]            -- recursive, curried
+//!           | "val" lid "=" expr [";"]
+//!           | "val" "rec" lid "=" expr [";"]           -- rhs must be `fn`
+//! conbind  := UId ["of" tyarg ("*" tyarg)*]
+//! tyarg    := tyatom ["->" tyarg]
+//! tyatom   := "int" | "bool" | "unit" | lid | "(" tyarg ")"
+//! expr     := "fn" lid "=>" expr
+//!           | "let" decl+ "in" expr "end"
+//!           | "if" expr "then" expr "else" expr
+//!           | "case" expr "of" ["|"] arm ("|" arm)*
+//!           | cmp
+//! arm      := UId ["(" lid ("," lid)* ")"] "=>" expr | "_" "=>" expr
+//! cmp      := add [("<" | "<=" | "=") add]
+//! add      := mul (("+" | "-") mul)*
+//! mul      := appexpr (("*" | "div") appexpr)*
+//! appexpr  := atom+                                     -- application
+//! atom     := lid | UId ["(" expr ("," expr)* ")"] | literal
+//!           | "(" ")" | "(" expr ")" | "(" expr ("," expr)+ ")"
+//!           | "#" INT atom | "not" atom | "print" atom | "readint"
+//! ```
+//!
+//! Top-level and `let` declarations desugar to nested `let`/`letrec`; `fun`
+//! with several parameters curries. A program with no final expression
+//! evaluates to `()`.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::ast::{ConId, DataId, ExprId, ExprKind, PrimOp, Program, TyExpr, VarId};
+use crate::builder::ProgramBuilder;
+use crate::lexer::{lex, Kw, LexError, Pos, Tok};
+use crate::validate::ValidateError;
+
+/// A parse (or lex, or validation) failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Position of the offending token (line 0 for post-parse validation
+    /// errors).
+    pub pos: Pos,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}: {}", self.pos, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError { pos: e.pos, message: e.message }
+    }
+}
+
+const NOWHERE: Pos = Pos { offset: 0, line: 0, col: 0 };
+
+impl From<ValidateError> for ParseError {
+    fn from(e: ValidateError) -> Self {
+        ParseError { pos: NOWHERE, message: e.to_string() }
+    }
+}
+
+/// Parses a complete program.
+pub fn parse(source: &str) -> Result<Program, ParseError> {
+    let toks = lex(source)?;
+    let mut p = Parser {
+        toks,
+        idx: 0,
+        b: ProgramBuilder::new(),
+        scopes: HashMap::new(),
+    };
+    let root = p.decl_block(BlockKind::TopLevel)?;
+    p.expect(&Tok::Eof)?;
+    Ok(p.b.finish(root)?)
+}
+
+/// One freshly parsed session binding (see [`crate::session`]).
+#[derive(Clone, Debug)]
+pub struct RawBinding {
+    /// Source name.
+    pub name: String,
+    /// The fresh binder.
+    pub binder: VarId,
+    /// The bound expression.
+    pub rhs: ExprId,
+    /// Whether the binding is recursive.
+    pub recursive: bool,
+}
+
+/// One freshly parsed fragment: top-level bindings and/or a value.
+#[derive(Clone, Debug)]
+pub struct RawFragment {
+    /// Bindings introduced, in order.
+    pub bindings: Vec<RawBinding>,
+    /// The trailing value expression, if any.
+    pub value: Option<ExprId>,
+}
+
+/// Parses a REPL-style fragment into an existing program arena (taken
+/// apart and reassembled through [`ProgramBuilder::from_program`]), with
+/// `scope` giving the top-level names already in force. The fragment's
+/// bindings are *not* wrapped in `let` expressions — the caller records
+/// them (see [`crate::session::SessionProgram`]).
+pub fn parse_fragment(
+    program: &mut Program,
+    scope: &HashMap<String, VarId>,
+    source: &str,
+) -> Result<RawFragment, ParseError> {
+    let toks = lex(source)?;
+    let placeholder = ProgramBuilder::new().finish_unchecked(None);
+    let owned = std::mem::replace(program, placeholder);
+    let mut scopes: HashMap<String, Vec<VarId>> = HashMap::new();
+    for (name, &var) in scope {
+        scopes.insert(name.clone(), vec![var]);
+    }
+    let mut p = Parser { toks, idx: 0, b: ProgramBuilder::from_program(owned), scopes };
+
+    let result = p.fragment();
+    // Reassemble the arena whether or not parsing succeeded; the session
+    // layer discards the scratch copy on error.
+    *program = p.b.finish_unchecked(None);
+    result
+}
+
+impl Parser {
+    /// `fragment := (datatype-decl | fun-binding | val-binding)* expr?`
+    fn fragment(&mut self) -> Result<RawFragment, ParseError> {
+        let mut bindings = Vec::new();
+        loop {
+            match self.peek() {
+                Tok::Kw(Kw::Datatype) => self.datatype_decl()?,
+                Tok::Kw(Kw::Fun) => {
+                    self.bump();
+                    let names = self.scan_fun_group()?;
+                    if names.len() == 1 {
+                        let (name, binder, rhs) = self.fun_binding()?;
+                        // Stays bound: later bindings and the value see it.
+                        bindings.push(RawBinding { name, binder, rhs, recursive: true });
+                    } else {
+                        let group = self.mutual_group(&names)?;
+                        bindings.push(RawBinding {
+                            name: "$pack".into(),
+                            binder: group.pack,
+                            rhs: group.pack_lam,
+                            recursive: true,
+                        });
+                        for (name, binder, rhs) in group.outer {
+                            self.scopes.entry(name.clone()).or_default().push(binder);
+                            bindings.push(RawBinding { name, binder, rhs, recursive: false });
+                        }
+                    }
+                }
+                Tok::Kw(Kw::Val) => {
+                    self.bump();
+                    let (name, binder, rhs, recursive) = self.val_binding()?;
+                    bindings.push(RawBinding { name, binder, rhs, recursive });
+                }
+                _ => break,
+            }
+        }
+        let value = if self.peek() == &Tok::Eof { None } else { Some(self.expr()?) };
+        self.expect(&Tok::Eof)?;
+        Ok(RawFragment { bindings, value })
+    }
+}
+
+enum BlockKind {
+    TopLevel,
+    Let,
+}
+
+/// The desugared pieces of an `and`-connected `fun` group.
+struct MutualGroup {
+    /// The hidden recursive pack binder.
+    pack: VarId,
+    /// `λ$d. let wrappers in (member₁, …, memberₙ)`.
+    pack_lam: ExprId,
+    /// Outer wrappers `(name, binder, rhs)` for the continuation.
+    outer: Vec<(String, VarId, ExprId)>,
+}
+
+struct Parser {
+    toks: Vec<(Tok, Pos)>,
+    idx: usize,
+    b: ProgramBuilder,
+    /// name -> stack of binders currently in scope (innermost last).
+    scopes: HashMap<String, Vec<VarId>>,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.idx].0
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.toks[(self.idx + 1).min(self.toks.len() - 1)].0
+    }
+
+    fn pos(&self) -> Pos {
+        self.toks[self.idx].1
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.idx].0.clone();
+        if self.idx + 1 < self.toks.len() {
+            self.idx += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError { pos: self.pos(), message: message.into() })
+    }
+
+    fn expect(&mut self, tok: &Tok) -> Result<(), ParseError> {
+        if self.peek() == tok {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(format!("expected {tok}, found {}", self.peek()))
+        }
+    }
+
+    fn expect_kw(&mut self, kw: Kw) -> Result<(), ParseError> {
+        self.expect(&Tok::Kw(kw))
+    }
+
+    fn lident(&mut self) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            Tok::LIdent(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => self.err(format!("expected identifier, found {other}")),
+        }
+    }
+
+    // --- scope management -------------------------------------------------
+
+    fn bind(&mut self, name: &str) -> VarId {
+        let v = self.b.fresh_var(name);
+        self.scopes.entry(name.to_owned()).or_default().push(v);
+        v
+    }
+
+    fn unbind(&mut self, name: &str) {
+        let stack = self.scopes.get_mut(name).expect("unbind of unbound name");
+        stack.pop().expect("unbind of empty scope stack");
+    }
+
+    fn lookup(&self, name: &str) -> Option<VarId> {
+        self.scopes.get(name).and_then(|s| s.last().copied())
+    }
+
+    // --- declarations ------------------------------------------------------
+
+    /// Parses a sequence of declarations followed by the block body, and
+    /// builds the nested `let`/`letrec` expression.
+    fn decl_block(&mut self, kind: BlockKind) -> Result<ExprId, ParseError> {
+        match self.peek().clone() {
+            Tok::Kw(Kw::Datatype) => {
+                self.datatype_decl()?;
+                self.decl_block(kind)
+            }
+            Tok::Kw(Kw::Fun) => {
+                self.bump();
+                let names = self.scan_fun_group()?;
+                if names.len() == 1 {
+                    let (fname, f, lam) = self.fun_binding()?;
+                    let rest = self.decl_block(kind)?;
+                    self.unbind(&fname);
+                    Ok(self.b.letrec(f, lam, rest))
+                } else {
+                    let group = self.mutual_group(&names)?;
+                    for ((name, binder, _), _) in group.outer.iter().zip(&names) {
+                        self.scopes.entry(name.clone()).or_default().push(*binder);
+                    }
+                    let rest = self.decl_block(kind)?;
+                    for name in names.iter().rev() {
+                        self.unbind(name);
+                    }
+                    let mut body = rest;
+                    for (_, binder, rhs) in group.outer.iter().rev() {
+                        body = self.b.let_(*binder, *rhs, body);
+                    }
+                    Ok(self.b.letrec(group.pack, group.pack_lam, body))
+                }
+            }
+            Tok::Kw(Kw::Val) => {
+                self.bump();
+                let (name, v, rhs, recursive) = self.val_binding()?;
+                let rest = self.decl_block(kind)?;
+                self.unbind(&name);
+                Ok(if recursive {
+                    self.b.letrec(v, rhs, rest)
+                } else {
+                    self.b.let_(v, rhs, rest)
+                })
+            }
+            _ => match kind {
+                BlockKind::TopLevel => {
+                    if self.peek() == &Tok::Eof {
+                        Ok(self.b.unit())
+                    } else {
+                        self.expr()
+                    }
+                }
+                BlockKind::Let => {
+                    self.expect_kw(Kw::In)?;
+                    let body = self.expr()?;
+                    self.expect_kw(Kw::End)?;
+                    Ok(body)
+                }
+            },
+        }
+    }
+
+    /// Token-level lookahead from just after `fun`: the names of the
+    /// `and`-connected group (length 1 when there is no `and`). `let`/`end`
+    /// nesting is tracked so that `and` inside nested blocks is ignored;
+    /// `and` cannot otherwise occur inside expressions (it is a keyword).
+    fn scan_fun_group(&self) -> Result<Vec<String>, ParseError> {
+        let mut names = Vec::new();
+        let mut i = self.idx;
+        match &self.toks[i].0 {
+            Tok::LIdent(s) => names.push(s.clone()),
+            other => {
+                return Err(ParseError {
+                    pos: self.toks[i].1,
+                    message: format!("expected function name, found {other}"),
+                })
+            }
+        }
+        i += 1;
+        let mut depth = 0i32;
+        loop {
+            match &self.toks[i].0 {
+                Tok::Kw(Kw::Let) => depth += 1,
+                Tok::Kw(Kw::End) => {
+                    if depth == 0 {
+                        break;
+                    }
+                    depth -= 1;
+                }
+                Tok::Kw(Kw::And) if depth == 0 => {
+                    i += 1;
+                    match &self.toks[i].0 {
+                        Tok::LIdent(s) => names.push(s.clone()),
+                        other => {
+                            return Err(ParseError {
+                                pos: self.toks[i].1,
+                                message: format!(
+                                    "expected function name after `and`, found {other}"
+                                ),
+                            })
+                        }
+                    }
+                }
+                Tok::Kw(Kw::Fun | Kw::Val | Kw::Datatype | Kw::In) if depth == 0 => break,
+                Tok::Semi if depth == 0 => break,
+                Tok::Eof => break,
+                _ => {}
+            }
+            i += 1;
+        }
+        Ok(names)
+    }
+
+    /// One eta-wrapper `λa. (#index (pack 0)) a` — the indirection through
+    /// which a member of a mutual-recursion group is reached.
+    fn wrapper_lam(&mut self, pack: VarId, index: u32) -> ExprId {
+        let a = self.b.fresh_var("$a");
+        let packv = self.b.var(pack);
+        let zero = self.b.int(0);
+        let call = self.b.app(packv, zero);
+        let proj = self.b.proj(index, call);
+        let av = self.b.var(a);
+        let app = self.b.app(proj, av);
+        self.b.lam(a, app)
+    }
+
+    /// Parses an `and`-connected `fun` group, desugaring to a single
+    /// recursive *pack*:
+    ///
+    /// ```text
+    /// fun f x = E and g y = F
+    /// ⟹ letrec $pack = λ$d.
+    ///       let f = λa.(#1 ($pack 0)) a in
+    ///       let g = λa.(#2 ($pack 0)) a in
+    ///       (λx.E, λy.F)
+    ///    in let f = λa.(#1 ($pack 0)) a in
+    ///       let g = λa.(#2 ($pack 0)) a in …
+    /// ```
+    ///
+    /// Bodies `E`/`F` see the group through the eta-wrappers, so mutual
+    /// calls flow through one extra abstraction (visible to CFA consumers
+    /// as a wrapper label). The group is monomorphic within itself and
+    /// generalized outside — SML's typing of `and`.
+    fn mutual_group(&mut self, names: &[String]) -> Result<MutualGroup, ParseError> {
+        let pack = self.b.fresh_var("$pack");
+        let d = self.b.fresh_var("$d");
+        // Inner wrappers, in scope for the group bodies.
+        let inner: Vec<(VarId, ExprId)> = (0..names.len())
+            .map(|i| {
+                let w = self.b.fresh_var(&names[i]);
+                let lam = self.wrapper_lam(pack, i as u32);
+                (w, lam)
+            })
+            .collect();
+        for (name, (w, _)) in names.iter().zip(&inner) {
+            self.scopes.entry(name.clone()).or_default().push(*w);
+        }
+        // Parse each member.
+        let mut lams = Vec::new();
+        for (i, expected) in names.iter().enumerate() {
+            if i > 0 {
+                self.expect(&Tok::Kw(Kw::And))?;
+            }
+            let got = self.lident()?;
+            if &got != expected {
+                return self.err(format!(
+                    "mutual-recursion scan expected `{expected}`, found `{got}`"
+                ));
+            }
+            let mut params = Vec::new();
+            while let Tok::LIdent(_) = self.peek() {
+                params.push(self.lident()?);
+            }
+            if params.is_empty() {
+                return self.err("`fun` needs at least one parameter");
+            }
+            let pvars: Vec<VarId> = params.iter().map(|p| self.bind(p)).collect();
+            self.expect(&Tok::Equals)?;
+            let mut body = self.expr()?;
+            for p in params.iter().rev() {
+                self.unbind(p);
+            }
+            for &pv in pvars.iter().skip(1).rev() {
+                body = self.b.lam(pv, body);
+            }
+            lams.push(self.b.lam(pvars[0], body));
+        }
+        if self.peek() == &Tok::Semi {
+            self.bump();
+        }
+        for name in names.iter().rev() {
+            self.unbind(name);
+        }
+        let tuple = self.b.record(lams);
+        let mut inner_body = tuple;
+        for (w, wl) in inner.iter().rev() {
+            inner_body = self.b.let_(*w, *wl, inner_body);
+        }
+        let pack_lam = self.b.lam(d, inner_body);
+        // Fresh outer wrappers for the continuation.
+        let outer = names
+            .iter()
+            .enumerate()
+            .map(|(i, name)| {
+                let o = self.b.fresh_var(name);
+                let rhs = self.wrapper_lam(pack, i as u32);
+                (name.clone(), o, rhs)
+            })
+            .collect();
+        Ok(MutualGroup { pack, pack_lam, outer })
+    }
+
+    /// Parses `f p₁ … pₙ = body [;]` after the `fun` keyword. The binder
+    /// stays in scope for the caller to release (or keep, for fragments).
+    fn fun_binding(&mut self) -> Result<(String, VarId, ExprId), ParseError> {
+        let fname = self.lident()?;
+        let f = self.bind(&fname);
+        let mut params = Vec::new();
+        while let Tok::LIdent(_) = self.peek() {
+            let pname = self.lident()?;
+            params.push(pname);
+        }
+        if params.is_empty() {
+            return self.err("`fun` needs at least one parameter");
+        }
+        let param_vars: Vec<VarId> = params.iter().map(|p| self.bind(p)).collect();
+        self.expect(&Tok::Equals)?;
+        let mut body = self.expr()?;
+        for pname in params.iter().rev() {
+            self.unbind(pname);
+        }
+        // Curry: fn p1 => fn p2 => ... => body.
+        for &pv in param_vars.iter().skip(1).rev() {
+            body = self.b.lam(pv, body);
+        }
+        let lam = self.b.lam(param_vars[0], body);
+        if self.peek() == &Tok::Semi {
+            self.bump();
+        }
+        Ok((fname, f, lam))
+    }
+
+    /// Parses `[rec] x = rhs [;]` after the `val` keyword. The binder
+    /// stays in scope for the caller to release (or keep, for fragments).
+    fn val_binding(&mut self) -> Result<(String, VarId, ExprId, bool), ParseError> {
+        let recursive = if self.peek() == &Tok::Kw(Kw::Rec) {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        let name = self.lident()?;
+        let (v, rhs) = if recursive {
+            let v = self.bind(&name);
+            self.expect(&Tok::Equals)?;
+            let rhs = self.expr()?;
+            if !matches!(self.b.kind(rhs), ExprKind::Lam { .. }) {
+                return self.err("`val rec` right-hand side must be `fn`");
+            }
+            (v, rhs)
+        } else {
+            self.expect(&Tok::Equals)?;
+            let rhs = self.expr()?;
+            let v = self.bind(&name);
+            (v, rhs)
+        };
+        if self.peek() == &Tok::Semi {
+            self.bump();
+        }
+        Ok((name, v, rhs, recursive))
+    }
+
+    fn datatype_decl(&mut self) -> Result<(), ParseError> {
+        self.expect_kw(Kw::Datatype)?;
+        let name = self.lident()?;
+        let sym_exists = {
+            let s = self.b.intern(&name);
+            self.b.data_env().data_by_name(s).is_some()
+        };
+        if sym_exists {
+            return self.err(format!("datatype `{name}` is declared twice"));
+        }
+        let data = self.b.declare_data(&name);
+        self.expect(&Tok::Equals)?;
+        loop {
+            self.conbind(data)?;
+            if self.peek() == &Tok::Bar {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if self.peek() == &Tok::Semi {
+            self.bump();
+        }
+        Ok(())
+    }
+
+    fn conbind(&mut self, data: DataId) -> Result<(), ParseError> {
+        let name = match self.peek().clone() {
+            Tok::UIdent(s) => {
+                self.bump();
+                s
+            }
+            other => return self.err(format!("expected constructor name, found {other}")),
+        };
+        let exists = {
+            let s = self.b.intern(&name);
+            self.b.data_env().con_by_name(s).is_some()
+        };
+        if exists {
+            return self.err(format!("constructor `{name}` is declared twice"));
+        }
+        let mut arg_tys = Vec::new();
+        if self.peek() == &Tok::Kw(Kw::Of) {
+            self.bump();
+            loop {
+                arg_tys.push(self.tyarg()?);
+                if self.peek() == &Tok::Star {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.b.declare_con(data, &name, arg_tys);
+        Ok(())
+    }
+
+    fn tyarg(&mut self) -> Result<TyExpr, ParseError> {
+        let lhs = self.tyatom()?;
+        if self.peek() == &Tok::Arrow {
+            self.bump();
+            let rhs = self.tyarg()?;
+            Ok(TyExpr::Arrow(Box::new(lhs), Box::new(rhs)))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn tyatom(&mut self) -> Result<TyExpr, ParseError> {
+        match self.peek().clone() {
+            Tok::Kw(Kw::Int) => {
+                self.bump();
+                Ok(TyExpr::Int)
+            }
+            Tok::Kw(Kw::Bool) => {
+                self.bump();
+                Ok(TyExpr::Bool)
+            }
+            Tok::Kw(Kw::Unit) => {
+                self.bump();
+                Ok(TyExpr::Unit)
+            }
+            Tok::LIdent(name) => {
+                self.bump();
+                let sym = self.b.intern(&name);
+                match self.b.data_env().data_by_name(sym) {
+                    Some(d) => Ok(TyExpr::Data(d)),
+                    None => self.err(format!("unknown type `{name}`")),
+                }
+            }
+            Tok::LParen => {
+                self.bump();
+                // Allow tuple types inside parens: (t1 * t2 * ...).
+                let mut parts = vec![self.tyarg()?];
+                while self.peek() == &Tok::Star {
+                    self.bump();
+                    parts.push(self.tyarg()?);
+                }
+                self.expect(&Tok::RParen)?;
+                if parts.len() == 1 {
+                    Ok(parts.pop().expect("one part"))
+                } else {
+                    Ok(TyExpr::Tuple(parts.into()))
+                }
+            }
+            other => self.err(format!("expected type, found {other}")),
+        }
+    }
+
+    // --- expressions --------------------------------------------------------
+
+    fn expr(&mut self) -> Result<ExprId, ParseError> {
+        match self.peek().clone() {
+            Tok::Kw(Kw::Fn) => {
+                self.bump();
+                let name = self.lident()?;
+                let v = self.bind(&name);
+                self.expect(&Tok::FatArrow)?;
+                let body = self.expr()?;
+                self.unbind(&name);
+                Ok(self.b.lam(v, body))
+            }
+            Tok::Kw(Kw::Let) => {
+                self.bump();
+                self.decl_block(BlockKind::Let)
+            }
+            Tok::Kw(Kw::If) => {
+                self.bump();
+                let cond = self.expr()?;
+                self.expect_kw(Kw::Then)?;
+                let t = self.expr()?;
+                self.expect_kw(Kw::Else)?;
+                let e = self.expr()?;
+                Ok(self.b.if_(cond, t, e))
+            }
+            Tok::Kw(Kw::Case) => {
+                self.bump();
+                let scrutinee = self.expr()?;
+                self.expect_kw(Kw::Of)?;
+                if self.peek() == &Tok::Bar {
+                    self.bump();
+                }
+                let mut arms: Vec<(ConId, Vec<VarId>, ExprId)> = Vec::new();
+                let mut default = None;
+                loop {
+                    if self.peek() == &Tok::Underscore {
+                        self.bump();
+                        self.expect(&Tok::FatArrow)?;
+                        default = Some(self.expr()?);
+                        if self.peek() == &Tok::Bar {
+                            return self.err("wildcard arm must be last");
+                        }
+                        break;
+                    }
+                    let con_name = match self.peek().clone() {
+                        Tok::UIdent(s) => {
+                            self.bump();
+                            s
+                        }
+                        other => {
+                            return self.err(format!("expected case pattern, found {other}"))
+                        }
+                    };
+                    let con = {
+                        let sym = self.b.intern(&con_name);
+                        match self.b.data_env().con_by_name(sym) {
+                            Some(c) => c,
+                            None => {
+                                return self
+                                    .err(format!("unknown constructor `{con_name}` in pattern"))
+                            }
+                        }
+                    };
+                    let arity = self.b.data_env().arity(con);
+                    let mut names = Vec::new();
+                    if self.peek() == &Tok::LParen {
+                        self.bump();
+                        loop {
+                            names.push(self.lident()?);
+                            if self.peek() == &Tok::Comma {
+                                self.bump();
+                            } else {
+                                break;
+                            }
+                        }
+                        self.expect(&Tok::RParen)?;
+                    }
+                    if names.len() != arity {
+                        return self.err(format!(
+                            "constructor `{con_name}` has arity {arity}, pattern binds {}",
+                            names.len()
+                        ));
+                    }
+                    let binders: Vec<VarId> = names.iter().map(|n| self.bind(n)).collect();
+                    self.expect(&Tok::FatArrow)?;
+                    let body = self.expr()?;
+                    for n in names.iter().rev() {
+                        self.unbind(n);
+                    }
+                    arms.push((con, binders, body));
+                    if self.peek() == &Tok::Bar {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                Ok(self.b.case(scrutinee, arms, default))
+            }
+            _ => self.cmp(),
+        }
+    }
+
+    fn cmp(&mut self) -> Result<ExprId, ParseError> {
+        let lhs = self.add()?;
+        let op = match self.peek() {
+            Tok::Lt => PrimOp::Lt,
+            Tok::Leq => PrimOp::Leq,
+            Tok::Equals => PrimOp::IntEq,
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.add()?;
+        Ok(self.b.prim(op, vec![lhs, rhs]))
+    }
+
+    fn add(&mut self) -> Result<ExprId, ParseError> {
+        let mut lhs = self.mul()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => PrimOp::Add,
+                Tok::Minus => PrimOp::Sub,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.mul()?;
+            lhs = self.b.prim(op, vec![lhs, rhs]);
+        }
+    }
+
+    fn mul(&mut self) -> Result<ExprId, ParseError> {
+        let mut lhs = self.appexpr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => PrimOp::Mul,
+                Tok::Kw(Kw::Div) => PrimOp::Div,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.appexpr()?;
+            lhs = self.b.prim(op, vec![lhs, rhs]);
+        }
+    }
+
+    fn starts_atom(&self) -> bool {
+        matches!(
+            self.peek(),
+            Tok::LIdent(_)
+                | Tok::UIdent(_)
+                | Tok::Int(_)
+                | Tok::LParen
+                | Tok::Hash
+                | Tok::Kw(Kw::True)
+                | Tok::Kw(Kw::False)
+                | Tok::Kw(Kw::Not)
+                | Tok::Kw(Kw::Print)
+                | Tok::Kw(Kw::Readint)
+        )
+    }
+
+    fn appexpr(&mut self) -> Result<ExprId, ParseError> {
+        let mut head = self.atom()?;
+        while self.starts_atom() {
+            let arg = self.atom()?;
+            head = self.b.app(head, arg);
+        }
+        Ok(head)
+    }
+
+    fn atom(&mut self) -> Result<ExprId, ParseError> {
+        match self.peek().clone() {
+            Tok::LIdent(name) => {
+                self.bump();
+                match self.lookup(&name) {
+                    Some(v) => Ok(self.b.var(v)),
+                    None => self.err(format!("unbound variable `{name}`")),
+                }
+            }
+            Tok::UIdent(name) => {
+                self.bump();
+                let con = {
+                    let sym = self.b.intern(&name);
+                    match self.b.data_env().con_by_name(sym) {
+                        Some(c) => c,
+                        None => return self.err(format!("unknown constructor `{name}`")),
+                    }
+                };
+                let arity = self.b.data_env().arity(con);
+                if arity == 0 {
+                    return Ok(self.b.con(con, Vec::new()));
+                }
+                self.expect(&Tok::LParen)?;
+                let mut args = vec![self.expr()?];
+                while self.peek() == &Tok::Comma {
+                    self.bump();
+                    args.push(self.expr()?);
+                }
+                self.expect(&Tok::RParen)?;
+                if args.len() == arity {
+                    Ok(self.b.con(con, args))
+                } else if arity == 1 && args.len() > 1 {
+                    // C(a, b) for a unary constructor takes one tuple.
+                    let tuple = self.b.record(args);
+                    Ok(self.b.con(con, vec![tuple]))
+                } else {
+                    self.err(format!(
+                        "constructor `{name}` has arity {arity}, got {} arguments",
+                        args.len()
+                    ))
+                }
+            }
+            Tok::Int(n) => {
+                self.bump();
+                Ok(self.b.int(n))
+            }
+            Tok::Kw(Kw::True) => {
+                self.bump();
+                Ok(self.b.bool(true))
+            }
+            Tok::Kw(Kw::False) => {
+                self.bump();
+                Ok(self.b.bool(false))
+            }
+            Tok::Kw(Kw::Not) => {
+                self.bump();
+                let a = self.atom()?;
+                Ok(self.b.prim(PrimOp::Not, vec![a]))
+            }
+            Tok::Kw(Kw::Print) => {
+                self.bump();
+                let a = self.atom()?;
+                Ok(self.b.prim(PrimOp::Print, vec![a]))
+            }
+            Tok::Kw(Kw::Readint) => {
+                self.bump();
+                // Allow an optional `()` argument for readability.
+                if self.peek() == &Tok::LParen && self.peek2() == &Tok::RParen {
+                    self.bump();
+                    self.bump();
+                }
+                Ok(self.b.prim(PrimOp::ReadInt, Vec::new()))
+            }
+            Tok::Hash => {
+                self.bump();
+                let index = match self.peek().clone() {
+                    Tok::Int(n) if n >= 1 => {
+                        self.bump();
+                        n as u32
+                    }
+                    other => {
+                        return self
+                            .err(format!("expected positive field index after `#`, found {other}"))
+                    }
+                };
+                let tuple = self.atom()?;
+                Ok(self.b.proj(index - 1, tuple))
+            }
+            Tok::LParen => {
+                self.bump();
+                if self.peek() == &Tok::RParen {
+                    self.bump();
+                    return Ok(self.b.unit());
+                }
+                let mut items = vec![self.expr()?];
+                while self.peek() == &Tok::Comma {
+                    self.bump();
+                    items.push(self.expr()?);
+                }
+                self.expect(&Tok::RParen)?;
+                if items.len() == 1 {
+                    Ok(items.pop().expect("one item"))
+                } else {
+                    Ok(self.b.record(items))
+                }
+            }
+            other => self.err(format!("expected expression, found {other}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{ExprKind, Literal};
+
+    fn parse_ok(src: &str) -> Program {
+        match parse(src) {
+            Ok(p) => p,
+            Err(e) => panic!("parse of {src:?} failed: {e}"),
+        }
+    }
+
+    #[test]
+    fn parses_self_application() {
+        let p = parse_ok("(fn x => x x) (fn y => y)");
+        assert_eq!(p.label_count(), 2);
+        assert!(matches!(p.kind(p.root()), ExprKind::App { .. }));
+    }
+
+    #[test]
+    fn application_is_left_associative() {
+        let p = parse_ok("fn f => fn x => f x x");
+        // body of inner lam: ((f x) x)
+        let ExprKind::Lam { body: outer, .. } = p.kind(p.root()) else {
+            panic!()
+        };
+        let ExprKind::Lam { body, .. } = p.kind(*outer) else { panic!() };
+        let ExprKind::App { func, .. } = p.kind(*body) else { panic!() };
+        assert!(matches!(p.kind(*func), ExprKind::App { .. }));
+    }
+
+    #[test]
+    fn parses_top_level_decls() {
+        let p = parse_ok(
+            "fun id x = x;\n\
+             val y = id id;\n\
+             y",
+        );
+        assert!(matches!(p.kind(p.root()), ExprKind::LetRec { .. }));
+    }
+
+    #[test]
+    fn fun_curries() {
+        let p = parse_ok("fun k x y = x; k");
+        let ExprKind::LetRec { lambda, .. } = p.kind(p.root()) else {
+            panic!()
+        };
+        let ExprKind::Lam { body, .. } = p.kind(*lambda) else { panic!() };
+        assert!(matches!(p.kind(*body), ExprKind::Lam { .. }));
+    }
+
+    #[test]
+    fn parses_let_blocks() {
+        let p = parse_ok("let val x = 1 fun f y = y in f x end");
+        assert!(matches!(p.kind(p.root()), ExprKind::Let { .. }));
+    }
+
+    #[test]
+    fn parses_datatypes_and_case() {
+        let p = parse_ok(
+            "datatype intlist = Nil | Cons of int * intlist;\n\
+             val xs = Cons(1, Cons(2, Nil));\n\
+             case xs of Cons(h, t) => h | Nil => 0",
+        );
+        assert_eq!(p.data_env().data_count(), 1);
+        assert_eq!(p.data_env().con_count(), 2);
+    }
+
+    #[test]
+    fn rejects_unbound_variable() {
+        assert!(parse("x").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_constructor() {
+        assert!(parse("Mystery(1)").is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_pattern_arity() {
+        let src = "datatype t = C of int; case C(1) of C => 2";
+        assert!(parse(src).is_err());
+    }
+
+    #[test]
+    fn shadowing_resolves_to_innermost() {
+        let p = parse_ok("fn x => fn x => x");
+        let ExprKind::Lam { param: outer_param, body, .. } = p.kind(p.root()) else {
+            panic!()
+        };
+        let ExprKind::Lam { param: inner_param, body: inner_body, .. } = p.kind(*body) else {
+            panic!()
+        };
+        assert_ne!(outer_param, inner_param);
+        let ExprKind::Var(v) = p.kind(*inner_body) else { panic!() };
+        assert_eq!(v, inner_param);
+    }
+
+    #[test]
+    fn parses_arithmetic_with_precedence() {
+        let p = parse_ok("1 + 2 * 3 < 10");
+        let ExprKind::Prim { op: PrimOp::Lt, args } = p.kind(p.root()) else {
+            panic!()
+        };
+        let ExprKind::Prim { op: PrimOp::Add, args: add_args } = p.kind(args[0]) else {
+            panic!()
+        };
+        assert!(
+            matches!(p.kind(add_args[1]), ExprKind::Prim { op: PrimOp::Mul, .. }),
+            "multiplication should bind tighter than addition"
+        );
+    }
+
+    #[test]
+    fn parses_records_and_projection() {
+        let p = parse_ok("#1 (1, true, ())");
+        let ExprKind::Proj { index, tuple } = p.kind(p.root()) else {
+            panic!()
+        };
+        assert_eq!(*index, 0);
+        let ExprKind::Record(items) = p.kind(*tuple) else { panic!() };
+        assert_eq!(items.len(), 3);
+    }
+
+    #[test]
+    fn parses_effects() {
+        let p = parse_ok("print (readint + 1)");
+        assert!(matches!(p.kind(p.root()), ExprKind::Prim { op: PrimOp::Print, .. }));
+    }
+
+    #[test]
+    fn val_rec_requires_fn() {
+        assert!(parse("val rec f = 1; f").is_err());
+        assert!(parse("val rec f = fn x => f x; f").is_ok());
+    }
+
+    #[test]
+    fn empty_program_is_unit() {
+        let p = parse_ok("");
+        assert!(matches!(p.kind(p.root()), ExprKind::Lit(Literal::Unit)));
+    }
+
+    #[test]
+    fn comments_are_ignored() {
+        let p = parse_ok("(* a comment *) 42 -- trailing");
+        assert!(matches!(p.kind(p.root()), ExprKind::Lit(Literal::Int(42))));
+    }
+
+    #[test]
+    fn unary_constructor_with_tuple_sugar() {
+        let p = parse_ok("datatype t = Boxed of (int * bool); Boxed(1, true)");
+        let ExprKind::Con { args, .. } = p.kind(p.root()) else { panic!() };
+        assert_eq!(args.len(), 1);
+        assert!(matches!(p.kind(args[0]), ExprKind::Record(_)));
+    }
+
+    #[test]
+    fn if_then_else() {
+        let p = parse_ok("if 1 < 2 then 3 else 4");
+        assert!(matches!(p.kind(p.root()), ExprKind::If { .. }));
+    }
+
+    #[test]
+    fn reports_position() {
+        let err = parse("fn x =>\n  y").unwrap_err();
+        assert_eq!(err.pos.line, 2);
+    }
+
+    const EVEN_ODD: &str = "\
+        fun even n = if n = 0 then true else odd (n - 1)\n\
+        and odd n = if n = 0 then false else even (n - 1);\n\
+        even 10";
+
+    #[test]
+    fn parses_mutual_recursion() {
+        let p = parse_ok(EVEN_ODD);
+        // The desugaring introduces the pack letrec at the root.
+        assert!(matches!(p.kind(p.root()), ExprKind::LetRec { .. }));
+    }
+
+    #[test]
+    fn mutual_recursion_evaluates() {
+        use crate::eval::{eval, EvalOptions, Value};
+        let p = parse_ok(EVEN_ODD);
+        let out = eval(&p, EvalOptions::default()).unwrap();
+        assert!(matches!(out.value, Value::Bool(true)));
+        let p2 = parse_ok(&EVEN_ODD.replace("even 10", "odd 10"));
+        let out2 = eval(&p2, EvalOptions::default()).unwrap();
+        assert!(matches!(out2.value, Value::Bool(false)));
+    }
+
+    #[test]
+    fn three_way_mutual_group() {
+        use crate::eval::{eval, EvalOptions, Value};
+        let src = "\
+            fun a n = if n = 0 then 0 else b (n - 1)\n\
+            and b n = if n = 0 then 1 else c (n - 1)\n\
+            and c n = if n = 0 then 2 else a (n - 1);\n\
+            a 7";
+        let p = parse_ok(src);
+        // a 7 → b 6 → c 5 → a 4 → b 3 → c 2 → a 1 → b 0 = 1.
+        let out = eval(&p, EvalOptions::default()).unwrap();
+        assert!(matches!(out.value, Value::Int(1)));
+    }
+
+    #[test]
+    fn and_inside_nested_let_blocks_is_scoped_correctly() {
+        use crate::eval::{eval, EvalOptions, Value};
+        // The outer group's first body contains a nested single `fun`
+        // inside a let-block; the scanner must not treat the nested
+        // declarations as group members.
+        let src = "\
+            fun outer n =\n\
+              let fun helper k = k * 2 in\n\
+                if n = 0 then helper 1 else partner (n - 1)\n\
+              end\n\
+            and partner n = outer n + 1;\n\
+            outer 2";
+        let p = parse_ok(src);
+        // outer 2 → partner 1 → outer 1 + 1 → (partner 0) + 1 → (outer 0 + 1) + 1
+        //        → (helper 1 + 1) + 1 = 4.
+        let out = eval(&p, EvalOptions::default()).unwrap();
+        assert!(matches!(out.value, Value::Int(4)));
+    }
+
+    #[test]
+    fn mutual_recursion_in_let_blocks() {
+        use crate::eval::{eval, EvalOptions, Value};
+        let src = "\
+            let fun ping n = if n = 0 then 1 else pong (n - 1)\n\
+                and pong n = if n = 0 then 2 else ping (n - 1)\n\
+            in ping 3 end";
+        let p = parse_ok(src);
+        let out = eval(&p, EvalOptions::default()).unwrap();
+        assert!(matches!(out.value, Value::Int(2)));
+    }
+
+    #[test]
+    fn and_group_round_trips_through_pretty() {
+        let p = parse_ok(EVEN_ODD);
+        let printed = p.to_source();
+        let q = parse(&printed).unwrap_or_else(|e| panic!("{e}\n{printed}"));
+        assert_eq!(p.size(), q.size());
+    }
+
+    #[test]
+    fn and_requires_function_name() {
+        assert!(parse("fun f x = x and 3 y = y; 0").is_err());
+    }
+}

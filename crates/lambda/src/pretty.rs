@@ -1,0 +1,385 @@
+//! Pretty-printing back to surface syntax.
+//!
+//! The output of [`pretty`] re-parses to a structurally identical program
+//! (same tree shape, labels and binder structure; ids may be renumbered),
+//! which the round-trip tests rely on. Binder names are disambiguated with
+//! a numeric suffix when a source name is reused.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::ast::{ExprId, ExprKind, Literal, PrimOp, Program, TyExpr, VarId};
+
+/// Precedence levels, loosest (0) to tightest (5 = atom).
+const LVL_EXPR: u8 = 0;
+const LVL_CMP: u8 = 1;
+const LVL_ADD: u8 = 2;
+const LVL_MUL: u8 = 3;
+const LVL_APP: u8 = 4;
+const LVL_ATOM: u8 = 5;
+
+/// Renders `program` as parseable surface syntax, including its `datatype`
+/// declarations.
+pub fn pretty(program: &Program) -> String {
+    let names = binder_names(program);
+    let mut out = String::new();
+    let env = program.data_env();
+    for d in env.datas() {
+        let info = env.data(d);
+        write!(out, "datatype {} = ", program.interner().resolve(info.name)).unwrap();
+        for (i, &c) in info.cons.iter().enumerate() {
+            if i > 0 {
+                out.push_str(" | ");
+            }
+            let con = env.con(c);
+            out.push_str(program.interner().resolve(con.name));
+            if !con.arg_tys.is_empty() {
+                out.push_str(" of ");
+                for (j, t) in con.arg_tys.iter().enumerate() {
+                    if j > 0 {
+                        out.push_str(" * ");
+                    }
+                    ty_expr(program, t, &mut out);
+                }
+            }
+        }
+        out.push_str(";\n");
+    }
+    let mut p = Printer { program, names: &names, out };
+    p.expr(program.root(), LVL_EXPR);
+    p.out
+}
+
+fn ty_expr(program: &Program, t: &TyExpr, out: &mut String) {
+    match t {
+        TyExpr::Int => out.push_str("int"),
+        TyExpr::Bool => out.push_str("bool"),
+        TyExpr::Unit => out.push_str("unit"),
+        TyExpr::Data(d) => {
+            out.push_str(program.interner().resolve(program.data_env().data(*d).name))
+        }
+        TyExpr::Arrow(a, b) => {
+            out.push('(');
+            ty_expr(program, a, out);
+            out.push_str(" -> ");
+            ty_expr(program, b, out);
+            out.push(')');
+        }
+        TyExpr::Tuple(parts) => {
+            out.push('(');
+            for (i, p) in parts.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(" * ");
+                }
+                ty_expr(program, p, out);
+            }
+            out.push(')');
+        }
+    }
+}
+
+/// Chooses a printable, collision-free name for every binder.
+fn binder_names(program: &Program) -> Vec<String> {
+    const KEYWORDS: &[&str] = &[
+        "fn", "fun", "val", "rec", "let", "in", "end", "if", "then", "else", "case", "of",
+        "datatype", "true", "false", "not", "print", "readint", "div", "and", "int", "bool",
+        "unit",
+    ];
+    let mut counts: HashMap<&str, usize> = HashMap::new();
+    for v in program.vars() {
+        *counts.entry(program.var_name(v)).or_default() += 1;
+    }
+    program
+        .vars()
+        .map(|v| {
+            let raw = program.var_name(v);
+            let base: String = if raw.is_empty()
+                || raw.starts_with(|c: char| !c.is_ascii_lowercase())
+                || KEYWORDS.contains(&raw)
+                || !raw.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '\'')
+            {
+                format!("v_{raw}")
+                    .chars()
+                    .filter(|c| c.is_ascii_alphanumeric() || *c == '_')
+                    .collect()
+            } else {
+                raw.to_owned()
+            };
+            if counts.get(raw).copied().unwrap_or(0) > 1 || base != raw {
+                format!("{base}_{}", v.index())
+            } else {
+                base
+            }
+        })
+        .collect()
+}
+
+struct Printer<'a> {
+    program: &'a Program,
+    names: &'a [String],
+    out: String,
+}
+
+impl Printer<'_> {
+    fn name(&self, v: VarId) -> &str {
+        &self.names[v.index()]
+    }
+
+    fn paren(&mut self, needed: bool, f: impl FnOnce(&mut Self)) {
+        if needed {
+            self.out.push('(');
+        }
+        f(self);
+        if needed {
+            self.out.push(')');
+        }
+    }
+
+    fn expr(&mut self, id: ExprId, min_lvl: u8) {
+        let program = self.program;
+        match program.kind(id) {
+            ExprKind::Var(v) => {
+                let name = self.name(*v).to_owned();
+                self.out.push_str(&name);
+            }
+            ExprKind::Lit(Literal::Int(n)) => {
+                if *n < 0 {
+                    // Negative literals need parens under application/ops.
+                    self.paren(min_lvl > LVL_ADD, |p| {
+                        write!(p.out, "0 - {}", n.unsigned_abs()).unwrap()
+                    });
+                } else {
+                    write!(self.out, "{n}").unwrap();
+                }
+            }
+            ExprKind::Lit(Literal::Bool(b)) => write!(self.out, "{b}").unwrap(),
+            ExprKind::Lit(Literal::Unit) => self.out.push_str("()"),
+            ExprKind::Lam { param, body, .. } => {
+                let param = *param;
+                let body = *body;
+                self.paren(min_lvl > LVL_EXPR, |p| {
+                    let name = p.name(param).to_owned();
+                    write!(p.out, "fn {name} => ").unwrap();
+                    p.expr(body, LVL_EXPR);
+                });
+            }
+            ExprKind::App { func, arg } => {
+                let (func, arg) = (*func, *arg);
+                self.paren(min_lvl > LVL_APP, |p| {
+                    p.expr(func, LVL_APP);
+                    p.out.push(' ');
+                    p.expr(arg, LVL_ATOM);
+                });
+            }
+            ExprKind::Let { binder, rhs, body } => {
+                let (binder, rhs, body) = (*binder, *rhs, *body);
+                self.paren(min_lvl > LVL_EXPR, |p| {
+                    let name = p.name(binder).to_owned();
+                    write!(p.out, "let val {name} = ").unwrap();
+                    p.expr(rhs, LVL_EXPR);
+                    p.out.push_str(" in ");
+                    p.expr(body, LVL_EXPR);
+                    p.out.push_str(" end");
+                });
+            }
+            ExprKind::LetRec { binder, lambda, body } => {
+                let (binder, lambda, body) = (*binder, *lambda, *body);
+                self.paren(min_lvl > LVL_EXPR, |p| {
+                    let name = p.name(binder).to_owned();
+                    write!(p.out, "let val rec {name} = ").unwrap();
+                    p.expr(lambda, LVL_EXPR);
+                    p.out.push_str(" in ");
+                    p.expr(body, LVL_EXPR);
+                    p.out.push_str(" end");
+                });
+            }
+            ExprKind::If { cond, then_branch, else_branch } => {
+                let (c, t, e) = (*cond, *then_branch, *else_branch);
+                self.paren(min_lvl > LVL_EXPR, |p| {
+                    p.out.push_str("if ");
+                    p.expr(c, LVL_EXPR);
+                    p.out.push_str(" then ");
+                    p.expr(t, LVL_EXPR);
+                    p.out.push_str(" else ");
+                    p.expr(e, LVL_EXPR);
+                });
+            }
+            ExprKind::Record(items) => {
+                let items: Vec<ExprId> = items.to_vec();
+                self.out.push('(');
+                for (i, e) in items.into_iter().enumerate() {
+                    if i > 0 {
+                        self.out.push_str(", ");
+                    }
+                    self.expr(e, LVL_EXPR);
+                }
+                self.out.push(')');
+            }
+            ExprKind::Proj { index, tuple } => {
+                let (index, tuple) = (*index, *tuple);
+                self.paren(min_lvl > LVL_APP, |p| {
+                    write!(p.out, "#{} ", index + 1).unwrap();
+                    p.expr(tuple, LVL_ATOM);
+                });
+            }
+            ExprKind::Con { con, args } => {
+                let name = self
+                    .program
+                    .interner()
+                    .resolve(self.program.data_env().con(*con).name)
+                    .to_owned();
+                let args: Vec<ExprId> = args.to_vec();
+                self.out.push_str(&name);
+                if !args.is_empty() {
+                    self.out.push('(');
+                    for (i, a) in args.into_iter().enumerate() {
+                        if i > 0 {
+                            self.out.push_str(", ");
+                        }
+                        self.expr(a, LVL_EXPR);
+                    }
+                    self.out.push(')');
+                }
+            }
+            ExprKind::Case { scrutinee, arms, default } => {
+                let scrutinee = *scrutinee;
+                let arms = arms.clone();
+                let default = *default;
+                self.paren(min_lvl > LVL_EXPR, |p| {
+                    p.out.push_str("case ");
+                    p.expr(scrutinee, LVL_EXPR);
+                    p.out.push_str(" of ");
+                    for (i, arm) in arms.iter().enumerate() {
+                        if i > 0 {
+                            p.out.push_str(" | ");
+                        }
+                        let name = p
+                            .program
+                            .interner()
+                            .resolve(p.program.data_env().con(arm.con).name)
+                            .to_owned();
+                        p.out.push_str(&name);
+                        if !arm.binders.is_empty() {
+                            p.out.push('(');
+                            for (j, &b) in arm.binders.iter().enumerate() {
+                                if j > 0 {
+                                    p.out.push_str(", ");
+                                }
+                                let n = p.name(b).to_owned();
+                                p.out.push_str(&n);
+                            }
+                            p.out.push(')');
+                        }
+                        p.out.push_str(" => ");
+                        // Arm bodies that are themselves case/fn would
+                        // swallow following `|`; parenthesize defensively.
+                        p.expr(arm.body, LVL_CMP);
+                    }
+                    if let Some(d) = default {
+                        if !arms.is_empty() {
+                            p.out.push_str(" | ");
+                        }
+                        p.out.push_str("_ => ");
+                        p.expr(d, LVL_EXPR);
+                    }
+                });
+            }
+            ExprKind::Prim { op, args } => {
+                let op = *op;
+                let args: Vec<ExprId> = args.to_vec();
+                match op {
+                    PrimOp::Add | PrimOp::Sub => self.paren(min_lvl > LVL_ADD, |p| {
+                        p.expr(args[0], LVL_ADD);
+                        write!(p.out, " {} ", op.name()).unwrap();
+                        p.expr(args[1], LVL_MUL);
+                    }),
+                    PrimOp::Mul | PrimOp::Div => self.paren(min_lvl > LVL_MUL, |p| {
+                        p.expr(args[0], LVL_MUL);
+                        write!(p.out, " {} ", op.name()).unwrap();
+                        p.expr(args[1], LVL_APP);
+                    }),
+                    PrimOp::Lt | PrimOp::Leq | PrimOp::IntEq => {
+                        self.paren(min_lvl > LVL_CMP, |p| {
+                            p.expr(args[0], LVL_ADD);
+                            write!(p.out, " {} ", op.name()).unwrap();
+                            p.expr(args[1], LVL_ADD);
+                        })
+                    }
+                    PrimOp::Not | PrimOp::Print => self.paren(min_lvl > LVL_APP, |p| {
+                        write!(p.out, "{} ", op.name()).unwrap();
+                        p.expr(args[0], LVL_ATOM);
+                    }),
+                    PrimOp::ReadInt => self.out.push_str("readint"),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    /// Structural equality of two programs up to id renumbering: compare
+    /// pretty-printed normal forms after one round trip.
+    fn round_trip(src: &str) {
+        let p1 = parse(src).unwrap_or_else(|e| panic!("{e}"));
+        let printed1 = pretty(&p1);
+        let p2 = parse(&printed1).unwrap_or_else(|e| panic!("re-parse of {printed1:?}: {e}"));
+        let printed2 = pretty(&p2);
+        assert_eq!(printed1, printed2, "pretty is not a normal form for {src:?}");
+        assert_eq!(p1.size(), p2.size(), "round trip changed size for {src:?}");
+        assert_eq!(p1.label_count(), p2.label_count());
+    }
+
+    #[test]
+    fn round_trips_lambda_core() {
+        round_trip("(fn x => x x) (fn y => y)");
+        round_trip("fn f => fn x => f (f x)");
+        round_trip("let val x = 1 in x + x end");
+    }
+
+    #[test]
+    fn round_trips_arith_precedence() {
+        round_trip("1 + 2 * 3 - 4 div 2");
+        round_trip("(1 + 2) * 3");
+        round_trip("1 < 2");
+        round_trip("not (1 = 2)");
+    }
+
+    #[test]
+    fn round_trips_declarations() {
+        round_trip("fun id x = x; val y = id id; y");
+        round_trip("fun k x y = x; k 1 2");
+        round_trip("val rec loop = fn x => loop x; loop");
+    }
+
+    #[test]
+    fn round_trips_datatypes() {
+        round_trip(
+            "datatype intlist = Nil | Cons of int * intlist;\n\
+             fun sum xs = case xs of Cons(h, t) => h + sum t | Nil => 0;\n\
+             sum (Cons(1, Cons(2, Nil)))",
+        );
+    }
+
+    #[test]
+    fn round_trips_records_and_effects() {
+        round_trip("#2 (1, (2, 3))");
+        round_trip("print (readint + 1)");
+        round_trip("(fn p => #1 p) (1, true)");
+    }
+
+    #[test]
+    fn round_trips_shadowing() {
+        round_trip("fn x => fn x => x x");
+        round_trip("let val x = 1 in let val x = 2 in x end end");
+    }
+
+    #[test]
+    fn round_trips_if() {
+        round_trip("if true then 1 else 2");
+        round_trip("(if true then fn x => x else fn y => y) 3");
+    }
+}

@@ -1,0 +1,201 @@
+//! Incremental (REPL-style) program growth.
+//!
+//! A [`SessionProgram`] accumulates *fragments* — batches of top-level
+//! declarations and/or a value expression — into one append-only arena.
+//! Names defined by earlier fragments are visible to later ones (with
+//! shadowing); each fragment's trees are validated on entry. Unlike
+//! [`crate::Program`]'s single rooted tree, a session is a *forest*: one
+//! root per binding right-hand side and per value expression, plus a
+//! table of session bindings. The subtransitive analysis is flow-based and
+//! never needs a distinguished root, which is what makes the paper's
+//! "incremental" remark practical: see `stcfa-core`'s `IncrementalAnalysis`.
+
+use std::collections::HashMap;
+
+use crate::ast::{ExprId, Program, VarId};
+use crate::lexer::Pos;
+use crate::parser::{parse_fragment, ParseError};
+use crate::validate;
+
+/// One accepted fragment: what it defined, and its value expression.
+#[derive(Clone, Debug)]
+pub struct Fragment {
+    /// Bindings introduced, in order.
+    pub bindings: Vec<SessionBinding>,
+    /// The trailing value expression, if the fragment had one.
+    pub value: Option<ExprId>,
+}
+
+/// A top-level session binding.
+#[derive(Clone, Debug)]
+pub struct SessionBinding {
+    /// Source name.
+    pub name: String,
+    /// The binder (referenced by later fragments).
+    pub binder: VarId,
+    /// The bound expression.
+    pub rhs: ExprId,
+    /// Whether the binding is recursive (`fun` / `val rec`).
+    pub recursive: bool,
+}
+
+/// An append-only program plus its top-level scope.
+#[derive(Clone, Debug)]
+pub struct SessionProgram {
+    program: Program,
+    /// Latest binder for each top-level name.
+    scope: HashMap<String, VarId>,
+    /// All session bindings in definition order.
+    bindings: Vec<SessionBinding>,
+    /// Value expressions of fragments, in order.
+    values: Vec<ExprId>,
+}
+
+impl Default for SessionProgram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SessionProgram {
+    /// Creates an empty session.
+    pub fn new() -> SessionProgram {
+        let program = crate::builder::ProgramBuilder::new()
+            .finish_unchecked(None);
+        SessionProgram {
+            program,
+            scope: HashMap::new(),
+            bindings: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// The current (forest) program. Its `root()` is meaningless; use the
+    /// fragment records instead.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// All bindings defined so far.
+    pub fn bindings(&self) -> &[SessionBinding] {
+        &self.bindings
+    }
+
+    /// Looks up a top-level name.
+    pub fn lookup(&self, name: &str) -> Option<VarId> {
+        self.scope.get(name).copied()
+    }
+
+    /// Parses and appends one fragment (declarations and/or an
+    /// expression). On error the session is unchanged.
+    pub fn define(&mut self, source: &str) -> Result<Fragment, ParseError> {
+        // Parse into a scratch copy so errors cannot corrupt the arena.
+        let mut scratch = self.program.clone();
+        let raw = parse_fragment(&mut scratch, &self.scope, source)?;
+        // Validate the new trees (scope/shape checks for the new exprs,
+        // with session binders ambient).
+        let mut ambient: Vec<VarId> = self.bindings.iter().map(|b| b.binder).collect();
+        ambient.extend(raw.bindings.iter().map(|b| b.binder));
+        let mut roots: Vec<ExprId> = raw.bindings.iter().map(|b| b.rhs).collect();
+        roots.extend(raw.value);
+        validate::validate_forest(&scratch, &roots, &ambient).map_err(|e| ParseError {
+            pos: Pos { offset: 0, line: 0, col: 0 },
+            message: e.to_string(),
+        })?;
+        // Commit.
+        self.program = scratch;
+        for b in &raw.bindings {
+            self.scope.insert(b.name.clone(), b.binder);
+        }
+        let fragment = Fragment {
+            bindings: raw
+                .bindings
+                .iter()
+                .map(|b| SessionBinding {
+                    name: b.name.clone(),
+                    binder: b.binder,
+                    rhs: b.rhs,
+                    recursive: b.recursive,
+                })
+                .collect(),
+            value: raw.value,
+        };
+        self.bindings.extend(fragment.bindings.iter().cloned());
+        self.values.extend(raw.value);
+        Ok(fragment)
+    }
+
+    /// Value expressions of all fragments so far.
+    pub fn values(&self) -> &[ExprId] {
+        &self.values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defines_and_references_across_fragments() {
+        let mut s = SessionProgram::new();
+        let f1 = s.define("fun id x = x;").unwrap();
+        assert_eq!(f1.bindings.len(), 1);
+        assert!(f1.value.is_none());
+        let f2 = s.define("id (fn u => u)").unwrap();
+        assert!(f2.value.is_some());
+        assert_eq!(s.bindings().len(), 1);
+        assert_eq!(s.values().len(), 1);
+    }
+
+    #[test]
+    fn shadowing_rebinds_for_later_fragments() {
+        let mut s = SessionProgram::new();
+        s.define("val x = 1;").unwrap();
+        let first = s.lookup("x").unwrap();
+        s.define("val x = 2;").unwrap();
+        let second = s.lookup("x").unwrap();
+        assert_ne!(first, second);
+    }
+
+    #[test]
+    fn unknown_names_are_rejected_without_corruption() {
+        let mut s = SessionProgram::new();
+        let size_before = s.program().size();
+        assert!(s.define("missing 1").is_err());
+        assert_eq!(s.program().size(), size_before, "failed define must not grow the arena");
+        // The session still works afterwards.
+        s.define("val ok = 3;").unwrap();
+    }
+
+    #[test]
+    fn datatypes_persist_across_fragments() {
+        let mut s = SessionProgram::new();
+        s.define("datatype t = A | B of int;").unwrap();
+        let f = s.define("case B(1) of B(n) => n | A => 0").unwrap();
+        assert!(f.value.is_some());
+    }
+
+    #[test]
+    fn recursive_bindings() {
+        let mut s = SessionProgram::new();
+        let f = s.define("fun fact n = if n = 0 then 1 else n * fact (n - 1);").unwrap();
+        assert!(f.bindings[0].recursive);
+        s.define("fact 5").unwrap();
+    }
+
+    #[test]
+    fn mutual_recursion_fragments() {
+        let mut s = SessionProgram::new();
+        let f = s
+            .define(
+                "fun even n = if n = 0 then true else odd (n - 1)\n\
+                 and odd n = if n = 0 then false else even (n - 1);",
+            )
+            .unwrap();
+        // The pack plus the two wrappers.
+        assert_eq!(f.bindings.len(), 3);
+        assert!(s.lookup("even").is_some());
+        assert!(s.lookup("odd").is_some());
+        s.define("even 4").unwrap();
+    }
+}

@@ -1,0 +1,368 @@
+//! Monovariant set-based analysis (Heintze, LFP 1994) — the baseline the
+//! paper benchmarks against in its Section 10 ("an implementation of
+//! set-based analysis (SBA), run in monovariant mode (a generalization of
+//! the standard CFA algorithm)").
+//!
+//! The implementation is a classic explicit set-constraint solver:
+//!
+//! 1. one pass over the program *collects* constraints — memberships
+//!    `{site} ⊆ V`, copies `V ⊆ W`, and conditional constraints for
+//!    application, projection and `case`;
+//! 2. a worklist *solves* them, propagating **one abstract value at a
+//!    time** (sets are hash sets, not machine-word bit sets).
+//!
+//! Per-element propagation is deliberate: it makes the solver's "units of
+//! work" counter (`SbaStats::work_units`) reflect the true `O(n³)`
+//! element-wise cost that the paper's Table 1 reports for SBA, where the
+//! subtransitive algorithm's work stays linear.
+
+use std::collections::HashSet;
+
+use stcfa_lambda::{ExprId, ExprKind, Label, Program, VarId};
+
+/// Work counters, the machine-independent measure used in the paper's
+/// Table 1 ("a measure of the units of work involved").
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SbaStats {
+    /// Constraints collected from the program text.
+    pub constraints: u64,
+    /// Conditional constraints instantiated during solving.
+    pub instantiated: u64,
+    /// Attempted element insertions (the headline work-unit count).
+    pub work_units: u64,
+    /// Insertions that actually grew a set.
+    pub insertions: u64,
+}
+
+/// The set-based analysis result.
+#[derive(Clone, Debug)]
+pub struct Sba {
+    n_exprs: usize,
+    /// Per set variable (exprs then binders): reaching creation sites,
+    /// identified by the creating expression.
+    sets: Vec<HashSet<u32>>,
+    stats: SbaStats,
+}
+
+/// A set variable: expression occurrences first, then binders.
+type Var = u32;
+
+/// Copy constraint `from ⊆ to`, plus the three conditional forms.
+enum Conditional {
+    /// `(e₁ e₂)`: for each abstraction in the watched operator set, bind
+    /// and return.
+    App { arg: Var, result: Var },
+    /// `#j e`: for each record in the watched set, copy its field `j`.
+    Proj { index: u32, result: Var },
+    /// `case e of …`: for each construction in the watched set, bind
+    /// matching arms.
+    Case { case_expr: ExprId },
+}
+
+impl Sba {
+    /// Collects and solves the set constraints of `program`.
+    pub fn analyze(program: &Program) -> Sba {
+        let n = program.size();
+        let nv = program.var_count();
+        let mut solver = Solver {
+            program,
+            sets: vec![HashSet::new(); n + nv],
+            copies: vec![Vec::new(); n + nv],
+            conditionals: Vec::new(),
+            watch: vec![Vec::new(); n + nv],
+            fired: Vec::new(),
+            dirty: Vec::new(),
+            on_dirty: vec![false; n + nv],
+            stats: SbaStats::default(),
+        };
+        solver.collect();
+        solver.solve();
+        Sba { n_exprs: n, sets: solver.sets, stats: solver.stats }
+    }
+
+    /// `L(e)`: abstraction labels in the set of expression `e`, sorted.
+    pub fn labels(&self, program: &Program, e: ExprId) -> Vec<Label> {
+        self.labels_of_set(program, &self.sets[e.index()])
+    }
+
+    /// Labels bound to binder `v`, sorted.
+    pub fn var_labels(&self, program: &Program, v: VarId) -> Vec<Label> {
+        self.labels_of_set(program, &self.sets[self.n_exprs + v.index()])
+    }
+
+    fn labels_of_set(&self, program: &Program, set: &HashSet<u32>) -> Vec<Label> {
+        let mut out: Vec<Label> = set
+            .iter()
+            .filter_map(|&s| program.label_of(ExprId::from_index(s as usize)))
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Work counters.
+    pub fn stats(&self) -> SbaStats {
+        self.stats
+    }
+
+    /// Writes out the control-flow information for all non-trivial
+    /// applications — the benchmark task in the paper's Section 10 — and
+    /// returns how many (site, label) pairs were listed.
+    pub fn report_nontrivial_apps(&self, program: &Program) -> usize {
+        let mut pairs = 0;
+        for app in program.nontrivial_apps() {
+            if let ExprKind::App { func, .. } = program.kind(app) {
+                pairs += self.labels(program, *func).len();
+            }
+        }
+        pairs
+    }
+}
+
+struct Solver<'a> {
+    program: &'a Program,
+    sets: Vec<HashSet<u32>>,
+    /// Static copy edges `v → list of supersets`.
+    copies: Vec<Vec<Var>>,
+    conditionals: Vec<Conditional>,
+    /// Conditional ids watching each variable.
+    watch: Vec<Vec<u32>>,
+    /// Per conditional: sites already instantiated.
+    fired: Vec<HashSet<u32>>,
+    dirty: Vec<Var>,
+    on_dirty: Vec<bool>,
+    stats: SbaStats,
+}
+
+impl<'a> Solver<'a> {
+    fn expr_var(&self, e: ExprId) -> Var {
+        e.index() as Var
+    }
+
+    fn binder_var(&self, v: VarId) -> Var {
+        (self.program.size() + v.index()) as Var
+    }
+
+    fn copy(&mut self, from: Var, to: Var) {
+        self.copies[from as usize].push(to);
+        self.stats.constraints += 1;
+    }
+
+    fn conditional(&mut self, watch: Var, c: Conditional) {
+        let id = self.conditionals.len() as u32;
+        self.conditionals.push(c);
+        self.fired.push(HashSet::new());
+        self.watch[watch as usize].push(id);
+        self.stats.constraints += 1;
+    }
+
+    fn seed(&mut self, v: Var, site: ExprId) {
+        self.insert(v, site.index() as u32);
+    }
+
+    fn insert(&mut self, v: Var, site: u32) {
+        self.stats.work_units += 1;
+        if self.sets[v as usize].insert(site) {
+            self.stats.insertions += 1;
+            self.mark(v);
+        }
+    }
+
+    fn mark(&mut self, v: Var) {
+        if !self.on_dirty[v as usize] {
+            self.on_dirty[v as usize] = true;
+            self.dirty.push(v);
+        }
+    }
+
+    fn collect(&mut self) {
+        for e in self.program.exprs() {
+            let ev = self.expr_var(e);
+            match self.program.kind(e) {
+                ExprKind::Var(v) => {
+                    let bv = self.binder_var(*v);
+                    self.copy(bv, ev);
+                }
+                ExprKind::Lam { .. } | ExprKind::Record(_) | ExprKind::Con { .. } => {
+                    self.seed(ev, e);
+                    self.stats.constraints += 1;
+                }
+                ExprKind::App { func, arg } => {
+                    let c = Conditional::App { arg: self.expr_var(*arg), result: ev };
+                    self.conditional(self.expr_var(*func), c);
+                }
+                ExprKind::Let { binder, rhs, body } => {
+                    self.copy(self.expr_var(*rhs), self.binder_var(*binder));
+                    self.copy(self.expr_var(*body), ev);
+                }
+                ExprKind::LetRec { binder, lambda, body } => {
+                    self.copy(self.expr_var(*lambda), self.binder_var(*binder));
+                    self.copy(self.expr_var(*body), ev);
+                }
+                ExprKind::If { then_branch, else_branch, .. } => {
+                    self.copy(self.expr_var(*then_branch), ev);
+                    self.copy(self.expr_var(*else_branch), ev);
+                }
+                ExprKind::Proj { index, tuple } => {
+                    let c = Conditional::Proj { index: *index, result: ev };
+                    self.conditional(self.expr_var(*tuple), c);
+                }
+                ExprKind::Case { scrutinee, arms, default } => {
+                    for arm in arms.iter() {
+                        self.copy(self.expr_var(arm.body), ev);
+                    }
+                    if let Some(d) = default {
+                        self.copy(self.expr_var(*d), ev);
+                    }
+                    if !arms.is_empty() {
+                        let c = Conditional::Case { case_expr: e };
+                        self.conditional(self.expr_var(*scrutinee), c);
+                    }
+                }
+                ExprKind::Lit(_) | ExprKind::Prim { .. } => {}
+            }
+        }
+    }
+
+    fn solve(&mut self) {
+        while let Some(v) = self.dirty.pop() {
+            self.on_dirty[v as usize] = false;
+            // Element-wise copy propagation.
+            let elems: Vec<u32> = self.sets[v as usize].iter().copied().collect();
+            let targets = self.copies[v as usize].clone();
+            for &t in &targets {
+                for &s in &elems {
+                    self.insert(t, s);
+                }
+            }
+            // Conditional instantiation.
+            let watchers = self.watch[v as usize].clone();
+            for cid in watchers {
+                let fresh: Vec<u32> = self.sets[v as usize]
+                    .iter()
+                    .copied()
+                    .filter(|s| !self.fired[cid as usize].contains(s))
+                    .collect();
+                for site in fresh {
+                    self.fired[cid as usize].insert(site);
+                    self.instantiate(cid, site);
+                }
+            }
+        }
+    }
+
+    fn instantiate(&mut self, cid: u32, site: u32) {
+        self.stats.instantiated += 1;
+        let site_expr = ExprId::from_index(site as usize);
+        match self.conditionals[cid as usize] {
+            Conditional::App { arg, result } => {
+                if let ExprKind::Lam { param, body, .. } = self.program.kind(site_expr) {
+                    let pv = self.binder_var(*param);
+                    let bv = self.expr_var(*body);
+                    self.copy(arg, pv);
+                    self.copy(bv, result);
+                    self.mark(arg);
+                    self.mark(bv);
+                }
+            }
+            Conditional::Proj { index, result } => {
+                if let ExprKind::Record(items) = self.program.kind(site_expr) {
+                    if let Some(&field) = items.get(index as usize) {
+                        let fv = self.expr_var(field);
+                        self.copy(fv, result);
+                        self.mark(fv);
+                    }
+                }
+            }
+            Conditional::Case { case_expr } => {
+                if let ExprKind::Con { con, args } = self.program.kind(site_expr) {
+                    let con = *con;
+                    let args: Vec<ExprId> = args.to_vec();
+                    if let ExprKind::Case { arms, .. } = self.program.kind(case_expr) {
+                        let new_copies: Vec<(Var, Var)> = arms
+                            .iter()
+                            .filter(|arm| arm.con == con)
+                            .flat_map(|arm| {
+                                arm.binders
+                                    .iter()
+                                    .zip(args.iter())
+                                    .map(|(&b, &a)| (self.expr_var(a), self.binder_var(b)))
+                                    .collect::<Vec<_>>()
+                            })
+                            .collect();
+                        for (from, to) in new_copies {
+                            self.copy(from, to);
+                            self.mark(from);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stcfa_lambda::Program;
+
+    fn root_labels(src: &str) -> usize {
+        let p = Program::parse(src).unwrap();
+        Sba::analyze(&p).labels(&p, p.root()).len()
+    }
+
+    #[test]
+    fn basic_flow() {
+        assert_eq!(root_labels("(fn x => x x) (fn y => y)"), 1);
+        assert_eq!(root_labels("if true then fn a => a else fn b => b"), 2);
+        assert_eq!(root_labels("1 + 2"), 0);
+    }
+
+    #[test]
+    fn records_and_cases() {
+        assert_eq!(root_labels("#1 ((fn x => x), (fn y => y))"), 1);
+        assert_eq!(
+            root_labels(
+                "datatype w = W of (int -> int); case W(fn x => x) of W(f) => f"
+            ),
+            1
+        );
+    }
+
+    #[test]
+    fn work_units_grow_superlinearly_on_the_cubic_benchmark() {
+        // Two sizes of the paper's benchmark: work should grow much faster
+        // than the size ratio.
+        let small = cubic_benchmark(4);
+        let large = cubic_benchmark(16);
+        let ps = Program::parse(&small).unwrap();
+        let pl = Program::parse(&large).unwrap();
+        let ws = Sba::analyze(&ps).stats().work_units as f64;
+        let wl = Sba::analyze(&pl).stats().work_units as f64;
+        let size_ratio = pl.size() as f64 / ps.size() as f64; // ≈ 4
+        assert!(
+            wl / ws > 2.0 * size_ratio,
+            "expected superlinear work growth, got {} vs size ratio {}",
+            wl / ws,
+            size_ratio
+        );
+    }
+
+    fn cubic_benchmark(n: usize) -> String {
+        let mut s = String::from("fun fs x = x;\nfun bs x = x;\n");
+        for i in 1..=n {
+            s.push_str(&format!("fun f{i} x = x;\n"));
+            s.push_str(&format!("fun b{i} x = x;\n"));
+            s.push_str(&format!("val x{i} = b{i} (fs f{i});\n"));
+            s.push_str(&format!("val y{i} = (bs b{i}) f{i};\n"));
+        }
+        s.push('0');
+        s
+    }
+
+    #[test]
+    fn report_counts_pairs() {
+        let p = Program::parse("fun id x = x; val a = id (fn u => u); a (fn w => w)").unwrap();
+        let sba = Sba::analyze(&p);
+        assert!(sba.report_nontrivial_apps(&p) >= 1);
+    }
+}

@@ -1,0 +1,22 @@
+//! Monovariant set-based analysis — the paper's benchmark baseline.
+//!
+//! See [`analysis`] for the constraint solver and [`Sba`] for the public
+//! interface. The solver propagates abstract values one element at a time
+//! and counts its work, so the cubic growth the paper's Table 1 shows for
+//! SBA is directly observable via [`SbaStats`].
+//!
+//! ```
+//! use stcfa_lambda::Program;
+//! use stcfa_sba::Sba;
+//!
+//! let p = Program::parse("(fn x => x x) (fn y => y)").unwrap();
+//! let sba = Sba::analyze(&p);
+//! assert_eq!(sba.labels(&p, p.root()).len(), 1);
+//! assert!(sba.stats().work_units > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+
+pub use analysis::{Sba, SbaStats};

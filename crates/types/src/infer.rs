@@ -1,0 +1,693 @@
+//! Hindley–Milner type inference with let-polymorphism.
+//!
+//! The subtransitive analysis never consults types ("our algorithm only
+//! needs to know that the appropriate types exist — it does not need to
+//! know what they are", Section 4); this module exists for everything
+//! *around* the algorithm: establishing that a workload really is a
+//! bounded-type program, computing the `k`/`k_avg` constants of
+//! Sections 4–5, and validating generated benchmark programs.
+//!
+//! Standard Algorithm-W machinery: mutable unification variables with
+//! level-based generalization at `let`, monomorphic recursion at `letrec`
+//! (generalized in the body, as in ML), and deferred resolution for record
+//! projections (`#j e` needs `e`'s tuple type to be determined elsewhere,
+//! since the system has no row polymorphism).
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::rc::Rc;
+
+use stcfa_lambda::{ExprId, ExprKind, Literal, PrimOp, Program, TyExpr, VarId};
+
+use crate::ty::Ty;
+
+/// A type error with a human-readable description.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TypeError {
+    /// The expression the error is attached to.
+    pub at: ExprId,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "type error at {:?}: {}", self.at, self.message)
+    }
+}
+
+impl Error for TypeError {}
+
+/// The result of inference: a monotype for every occurrence and binder.
+///
+/// For a let-polymorphic binder the recorded type is the generalized body
+/// type (quantified variables appear as [`Ty::Var`]); each *use* records
+/// its instantiation, which is exactly the "induced monotypes in the
+/// let-expansion" that McAllester-style boundedness measures (Section 5).
+#[derive(Clone, Debug)]
+pub struct TypedProgram {
+    /// Type of each expression occurrence.
+    pub expr_tys: Vec<Ty>,
+    /// Type of each binder.
+    pub binder_tys: Vec<Ty>,
+}
+
+impl TypedProgram {
+    /// Infers types for `program`.
+    pub fn infer(program: &Program) -> Result<TypedProgram, TypeError> {
+        Infer::new(program).run()
+    }
+
+    /// The type of an expression occurrence.
+    pub fn ty(&self, e: ExprId) -> &Ty {
+        &self.expr_tys[e.index()]
+    }
+
+    /// The type of a binder.
+    pub fn binder_ty(&self, v: VarId) -> &Ty {
+        &self.binder_tys[v.index()]
+    }
+}
+
+/// Internal unification reference.
+type TRef = u32;
+
+#[derive(Clone, Debug)]
+enum TyNode {
+    Unbound { level: u32 },
+    Link(TRef),
+    Int,
+    Bool,
+    Unit,
+    Data(stcfa_lambda::DataId),
+    Arrow(TRef, TRef),
+    Tuple(Vec<TRef>),
+}
+
+/// A type scheme: quantified unification variables plus a body reference.
+#[derive(Clone, Debug)]
+struct Scheme {
+    vars: Vec<TRef>,
+    body: TRef,
+}
+
+struct Infer<'a> {
+    program: &'a Program,
+    store: Vec<TyNode>,
+    level: u32,
+    schemes: Vec<Option<Scheme>>,
+    expr_refs: Vec<TRef>,
+    binder_refs: Vec<TRef>,
+    /// Deferred projection constraints: (at, tuple, index, result).
+    projections: Vec<(ExprId, TRef, u32, TRef)>,
+}
+
+impl<'a> Infer<'a> {
+    fn new(program: &'a Program) -> Self {
+        Infer {
+            program,
+            store: Vec::new(),
+            level: 0,
+            schemes: vec![None; program.var_count()],
+            expr_refs: vec![0; program.size()],
+            binder_refs: vec![0; program.var_count()],
+            projections: Vec::new(),
+        }
+    }
+
+    fn fresh(&mut self) -> TRef {
+        let r = self.store.len() as TRef;
+        self.store.push(TyNode::Unbound { level: self.level });
+        r
+    }
+
+    fn mk(&mut self, node: TyNode) -> TRef {
+        let r = self.store.len() as TRef;
+        self.store.push(node);
+        r
+    }
+
+    fn resolve(&self, mut r: TRef) -> TRef {
+        while let TyNode::Link(next) = self.store[r as usize] {
+            r = next;
+        }
+        r
+    }
+
+    fn err<T>(&self, at: ExprId, message: impl Into<String>) -> Result<T, TypeError> {
+        Err(TypeError { at, message: message.into() })
+    }
+
+    fn unify(&mut self, at: ExprId, a: TRef, b: TRef) -> Result<(), TypeError> {
+        let (ra, rb) = (self.resolve(a), self.resolve(b));
+        if ra == rb {
+            return Ok(());
+        }
+        match (self.store[ra as usize].clone(), self.store[rb as usize].clone()) {
+            (TyNode::Unbound { level }, _) => {
+                self.occurs(at, ra, rb, level)?;
+                self.store[ra as usize] = TyNode::Link(rb);
+                Ok(())
+            }
+            (_, TyNode::Unbound { level }) => {
+                self.occurs(at, rb, ra, level)?;
+                self.store[rb as usize] = TyNode::Link(ra);
+                Ok(())
+            }
+            (TyNode::Int, TyNode::Int)
+            | (TyNode::Bool, TyNode::Bool)
+            | (TyNode::Unit, TyNode::Unit) => Ok(()),
+            (TyNode::Data(d1), TyNode::Data(d2)) if d1 == d2 => Ok(()),
+            (TyNode::Arrow(a1, b1), TyNode::Arrow(a2, b2)) => {
+                self.unify(at, a1, a2)?;
+                self.unify(at, b1, b2)
+            }
+            (TyNode::Tuple(p1), TyNode::Tuple(p2)) if p1.len() == p2.len() => {
+                for (x, y) in p1.into_iter().zip(p2) {
+                    self.unify(at, x, y)?;
+                }
+                Ok(())
+            }
+            (x, y) => self.err(
+                at,
+                format!("cannot unify {} with {}", self.describe(&x), self.describe(&y)),
+            ),
+        }
+    }
+
+    fn describe(&self, node: &TyNode) -> String {
+        match node {
+            TyNode::Unbound { .. } | TyNode::Link(_) => "_".into(),
+            TyNode::Int => "int".into(),
+            TyNode::Bool => "bool".into(),
+            TyNode::Unit => "unit".into(),
+            TyNode::Data(d) => self
+                .program
+                .interner()
+                .resolve(self.program.data_env().data(*d).name)
+                .to_owned(),
+            TyNode::Arrow(..) => "a function type".into(),
+            TyNode::Tuple(parts) => format!("a {}-tuple", parts.len()),
+        }
+    }
+
+    /// Occurs check plus level adjustment when binding `var := t`.
+    fn occurs(&mut self, at: ExprId, var: TRef, t: TRef, var_level: u32) -> Result<(), TypeError> {
+        let r = self.resolve(t);
+        if r == var {
+            return self.err(at, "infinite (recursive) type");
+        }
+        match self.store[r as usize].clone() {
+            TyNode::Unbound { level } => {
+                if level > var_level {
+                    self.store[r as usize] = TyNode::Unbound { level: var_level };
+                }
+                Ok(())
+            }
+            TyNode::Arrow(a, b) => {
+                self.occurs(at, var, a, var_level)?;
+                self.occurs(at, var, b, var_level)
+            }
+            TyNode::Tuple(parts) => {
+                for p in parts {
+                    self.occurs(at, var, p, var_level)?;
+                }
+                Ok(())
+            }
+            _ => Ok(()),
+        }
+    }
+
+    fn generalize(&self, t: TRef, vars: &mut Vec<TRef>, forbidden: &HashMap<TRef, ()>) {
+        let r = self.resolve(t);
+        match self.store[r as usize].clone() {
+            TyNode::Unbound { level } if level > self.level
+                && !vars.contains(&r) && !forbidden.contains_key(&r) => {
+                    vars.push(r);
+                }
+            TyNode::Arrow(a, b) => {
+                self.generalize(a, vars, forbidden);
+                self.generalize(b, vars, forbidden);
+            }
+            TyNode::Tuple(parts) => {
+                for p in parts {
+                    self.generalize(p, vars, forbidden);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Variables that must not be quantified: anything still entangled in a
+    /// pending projection constraint. Quantifying them would disconnect
+    /// later resolutions from earlier instantiations.
+    fn projection_locked_vars(&self) -> HashMap<TRef, ()> {
+        let mut out = HashMap::new();
+        for &(_, tuple, _, result) in &self.projections {
+            self.collect_unbound(tuple, &mut out);
+            self.collect_unbound(result, &mut out);
+        }
+        out
+    }
+
+    fn collect_unbound(&self, t: TRef, out: &mut HashMap<TRef, ()>) {
+        let r = self.resolve(t);
+        match self.store[r as usize].clone() {
+            TyNode::Unbound { .. } => {
+                out.insert(r, ());
+            }
+            TyNode::Arrow(a, b) => {
+                self.collect_unbound(a, out);
+                self.collect_unbound(b, out);
+            }
+            TyNode::Tuple(parts) => {
+                for p in parts {
+                    self.collect_unbound(p, out);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Resolves the projection constraints whose tuple type is now known;
+    /// keeps the rest pending (they may resolve later). Called before each
+    /// generalization and, strictly, at the end of inference.
+    fn try_solve_projections(&mut self, strict: bool) -> Result<(), TypeError> {
+        let mut remaining = std::mem::take(&mut self.projections);
+        loop {
+            let mut progress = false;
+            let mut next = Vec::new();
+            for (at, tuple, index, result) in remaining {
+                let r = self.resolve(tuple);
+                match self.store[r as usize].clone() {
+                    TyNode::Tuple(parts) => {
+                        match parts.get(index as usize) {
+                            Some(&field) => self.unify(at, result, field)?,
+                            None => {
+                                return self.err(
+                                    at,
+                                    format!(
+                                        "projection #{} out of range for a {}-tuple",
+                                        index + 1,
+                                        parts.len()
+                                    ),
+                                )
+                            }
+                        }
+                        progress = true;
+                    }
+                    TyNode::Unbound { .. } => next.push((at, tuple, index, result)),
+                    other => {
+                        return self.err(
+                            at,
+                            format!("projection from non-record {}", self.describe(&other)),
+                        )
+                    }
+                }
+            }
+            if next.is_empty() {
+                self.projections = next;
+                return Ok(());
+            }
+            if !progress {
+                if strict {
+                    let (at, ..) = next[0];
+                    return self.err(
+                        at,
+                        "ambiguous record projection: the tuple's type is never determined",
+                    );
+                }
+                self.projections = next;
+                return Ok(());
+            }
+            remaining = next;
+        }
+    }
+
+    fn instantiate(&mut self, scheme: &Scheme) -> TRef {
+        if scheme.vars.is_empty() {
+            return scheme.body;
+        }
+        let mut map: HashMap<TRef, TRef> = HashMap::new();
+        for &v in &scheme.vars {
+            let f = self.fresh();
+            map.insert(v, f);
+        }
+        self.copy(scheme.body, &map)
+    }
+
+    fn copy(&mut self, t: TRef, map: &HashMap<TRef, TRef>) -> TRef {
+        let r = self.resolve(t);
+        if let Some(&m) = map.get(&r) {
+            return m;
+        }
+        match self.store[r as usize].clone() {
+            TyNode::Arrow(a, b) => {
+                let a2 = self.copy(a, map);
+                let b2 = self.copy(b, map);
+                self.mk(TyNode::Arrow(a2, b2))
+            }
+            TyNode::Tuple(parts) => {
+                let parts2: Vec<TRef> = parts.into_iter().map(|p| self.copy(p, map)).collect();
+                self.mk(TyNode::Tuple(parts2))
+            }
+            _ => r,
+        }
+    }
+
+    fn tyexpr_ref(&mut self, t: &TyExpr) -> TRef {
+        match t {
+            TyExpr::Int => self.mk(TyNode::Int),
+            TyExpr::Bool => self.mk(TyNode::Bool),
+            TyExpr::Unit => self.mk(TyNode::Unit),
+            TyExpr::Data(d) => self.mk(TyNode::Data(*d)),
+            TyExpr::Arrow(a, b) => {
+                let a2 = self.tyexpr_ref(a);
+                let b2 = self.tyexpr_ref(b);
+                self.mk(TyNode::Arrow(a2, b2))
+            }
+            TyExpr::Tuple(parts) => {
+                let parts2: Vec<TRef> = parts.iter().map(|p| self.tyexpr_ref(p)).collect();
+                self.mk(TyNode::Tuple(parts2))
+            }
+        }
+    }
+
+    fn run(mut self) -> Result<TypedProgram, TypeError> {
+        let root = self.program.root();
+        let root_ref = self.infer(root)?;
+        let _ = root_ref;
+        self.try_solve_projections(true)?;
+        // Extract final monotypes.
+        let mut var_names: HashMap<TRef, u32> = HashMap::new();
+        let expr_tys: Vec<Ty> = (0..self.program.size())
+            .map(|i| self.extract(self.expr_refs[i], &mut var_names))
+            .collect();
+        let binder_tys: Vec<Ty> = (0..self.program.var_count())
+            .map(|i| self.extract(self.binder_refs[i], &mut var_names))
+            .collect();
+        Ok(TypedProgram { expr_tys, binder_tys })
+    }
+
+    fn extract(&self, t: TRef, var_names: &mut HashMap<TRef, u32>) -> Ty {
+        let r = self.resolve(t);
+        match self.store[r as usize].clone() {
+            TyNode::Unbound { .. } => {
+                let next = var_names.len() as u32;
+                Ty::Var(*var_names.entry(r).or_insert(next))
+            }
+            TyNode::Link(_) => unreachable!("resolved"),
+            TyNode::Int => Ty::Int,
+            TyNode::Bool => Ty::Bool,
+            TyNode::Unit => Ty::Unit,
+            TyNode::Data(d) => Ty::Data(d),
+            TyNode::Arrow(a, b) => Ty::Arrow(
+                Rc::new(self.extract(a, var_names)),
+                Rc::new(self.extract(b, var_names)),
+            ),
+            TyNode::Tuple(parts) => Ty::Tuple(
+                parts.into_iter().map(|p| self.extract(p, var_names)).collect::<Vec<_>>().into(),
+            ),
+        }
+    }
+
+    fn bind_mono(&mut self, v: VarId, r: TRef) {
+        self.binder_refs[v.index()] = r;
+        self.schemes[v.index()] = Some(Scheme { vars: Vec::new(), body: r });
+    }
+
+    fn infer(&mut self, e: ExprId) -> Result<TRef, TypeError> {
+        let t = self.infer_kind(e)?;
+        self.expr_refs[e.index()] = t;
+        Ok(t)
+    }
+
+    fn infer_kind(&mut self, e: ExprId) -> Result<TRef, TypeError> {
+        match self.program.kind(e).clone() {
+            ExprKind::Lit(Literal::Int(_)) => Ok(self.mk(TyNode::Int)),
+            ExprKind::Lit(Literal::Bool(_)) => Ok(self.mk(TyNode::Bool)),
+            ExprKind::Lit(Literal::Unit) => Ok(self.mk(TyNode::Unit)),
+            ExprKind::Var(v) => {
+                let scheme = self.schemes[v.index()]
+                    .clone()
+                    .unwrap_or_else(|| panic!("binder {v:?} used before bound"));
+                Ok(self.instantiate(&scheme))
+            }
+            ExprKind::Lam { param, body, .. } => {
+                let p = self.fresh();
+                self.bind_mono(param, p);
+                let b = self.infer(body)?;
+                Ok(self.mk(TyNode::Arrow(p, b)))
+            }
+            ExprKind::App { func, arg } => {
+                let f = self.infer(func)?;
+                let a = self.infer(arg)?;
+                let r = self.fresh();
+                let want = self.mk(TyNode::Arrow(a, r));
+                self.unify(e, f, want)?;
+                Ok(r)
+            }
+            ExprKind::Let { binder, rhs, body } => {
+                self.level += 1;
+                let r = self.infer(rhs)?;
+                self.level -= 1;
+                self.try_solve_projections(false)?;
+                let forbidden = self.projection_locked_vars();
+                let mut vars = Vec::new();
+                self.generalize(r, &mut vars, &forbidden);
+                self.binder_refs[binder.index()] = r;
+                self.schemes[binder.index()] = Some(Scheme { vars, body: r });
+                self.infer(body)
+            }
+            ExprKind::LetRec { binder, lambda, body } => {
+                self.level += 1;
+                let f = self.fresh();
+                self.bind_mono(binder, f);
+                let l = self.infer(lambda)?;
+                self.unify(e, f, l)?;
+                self.level -= 1;
+                self.try_solve_projections(false)?;
+                let forbidden = self.projection_locked_vars();
+                let mut vars = Vec::new();
+                self.generalize(f, &mut vars, &forbidden);
+                self.schemes[binder.index()] = Some(Scheme { vars, body: f });
+                self.infer(body)
+            }
+            ExprKind::If { cond, then_branch, else_branch } => {
+                let c = self.infer(cond)?;
+                let bool_t = self.mk(TyNode::Bool);
+                self.unify(e, c, bool_t)?;
+                let t = self.infer(then_branch)?;
+                let f = self.infer(else_branch)?;
+                self.unify(e, t, f)?;
+                Ok(t)
+            }
+            ExprKind::Record(items) => {
+                let parts: Vec<TRef> =
+                    items.iter().map(|&i| self.infer(i)).collect::<Result<_, _>>()?;
+                Ok(self.mk(TyNode::Tuple(parts)))
+            }
+            ExprKind::Proj { index, tuple } => {
+                let t = self.infer(tuple)?;
+                let r = self.fresh();
+                self.projections.push((e, t, index, r));
+                Ok(r)
+            }
+            ExprKind::Con { con, args } => {
+                let info = self.program.data_env().con(con).clone();
+                for (i, &a) in args.iter().enumerate() {
+                    let at = self.infer(a)?;
+                    let want = self.tyexpr_ref(&info.arg_tys[i]);
+                    self.unify(e, at, want)?;
+                }
+                Ok(self.mk(TyNode::Data(info.data)))
+            }
+            ExprKind::Case { scrutinee, arms, default } => {
+                let s = self.infer(scrutinee)?;
+                let result = self.fresh();
+                if let Some(arm) = arms.first() {
+                    let d = self.program.data_env().con(arm.con).data;
+                    let want = self.mk(TyNode::Data(d));
+                    self.unify(e, s, want)?;
+                }
+                for arm in arms.iter() {
+                    let info = self.program.data_env().con(arm.con).clone();
+                    for (i, &b) in arm.binders.iter().enumerate() {
+                        let t = self.tyexpr_ref(&info.arg_tys[i]);
+                        self.bind_mono(b, t);
+                    }
+                    let bt = self.infer(arm.body)?;
+                    self.unify(e, result, bt)?;
+                }
+                if let Some(d) = default {
+                    let dt = self.infer(d)?;
+                    self.unify(e, result, dt)?;
+                }
+                Ok(result)
+            }
+            ExprKind::Prim { op, args } => {
+                let arg_refs: Vec<TRef> =
+                    args.iter().map(|&a| self.infer(a)).collect::<Result<_, _>>()?;
+                let (wants, result): (Vec<TyNode>, TyNode) = match op {
+                    PrimOp::Add | PrimOp::Sub | PrimOp::Mul | PrimOp::Div => {
+                        (vec![TyNode::Int, TyNode::Int], TyNode::Int)
+                    }
+                    PrimOp::Lt | PrimOp::Leq | PrimOp::IntEq => {
+                        (vec![TyNode::Int, TyNode::Int], TyNode::Bool)
+                    }
+                    PrimOp::Not => (vec![TyNode::Bool], TyNode::Bool),
+                    PrimOp::Print => (vec![TyNode::Int], TyNode::Unit),
+                    PrimOp::ReadInt => (Vec::new(), TyNode::Int),
+                };
+                for (&got, want) in arg_refs.iter().zip(wants) {
+                    let w = self.mk(want);
+                    self.unify(e, got, w)?;
+                }
+                Ok(self.mk(result))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stcfa_lambda::Program;
+
+    fn infer_root(src: &str) -> Ty {
+        let p = Program::parse(src).unwrap();
+        let t = TypedProgram::infer(&p).unwrap_or_else(|e| panic!("{src:?}: {e}"));
+        t.ty(p.root()).clone()
+    }
+
+    #[test]
+    fn literals_and_arithmetic() {
+        assert_eq!(infer_root("1 + 2"), Ty::Int);
+        assert_eq!(infer_root("1 < 2"), Ty::Bool);
+        assert_eq!(infer_root("()"), Ty::Unit);
+        assert_eq!(infer_root("print 3"), Ty::Unit);
+    }
+
+    #[test]
+    fn lambda_and_application() {
+        assert_eq!(infer_root("(fn x => x + 1) 2"), Ty::Int);
+        let t = infer_root("fn x => x + 1");
+        assert_eq!(t, Ty::arrow(Ty::Int, Ty::Int));
+    }
+
+    #[test]
+    fn let_polymorphism() {
+        // id used at two different types — requires generalization.
+        assert_eq!(infer_root("let val id = fn x => x in (id (fn b => b)) (id 1) end"), Ty::Int);
+        assert_eq!(infer_root("fun id x = x; val n = id 1; val b = id true; n"), Ty::Int);
+    }
+
+    #[test]
+    fn monomorphic_lambda_params_reject_polymorphic_use() {
+        // λ-bound variables are monomorphic: f used at two types fails.
+        let p = Program::parse("(fn f => (f 1, f true)) (fn x => x)").unwrap();
+        assert!(TypedProgram::infer(&p).is_err());
+    }
+
+    #[test]
+    fn occurs_check_rejects_self_application() {
+        let p = Program::parse("fn x => x x").unwrap();
+        assert!(TypedProgram::infer(&p).is_err());
+    }
+
+    #[test]
+    fn recursion() {
+        assert_eq!(
+            infer_root("fun fact n = if n = 0 then 1 else n * fact (n - 1); fact 5"),
+            Ty::Int
+        );
+    }
+
+    #[test]
+    fn records_and_projection() {
+        assert_eq!(infer_root("#2 (1, true)"), Ty::Bool);
+        assert_eq!(infer_root("(fn p => #1 p) (1, true)"), Ty::Int);
+    }
+
+    #[test]
+    fn ambiguous_projection_is_an_error() {
+        let p = Program::parse("fn p => #1 p").unwrap();
+        assert!(TypedProgram::infer(&p).is_err());
+    }
+
+    #[test]
+    fn out_of_range_projection_is_an_error() {
+        let p = Program::parse("#3 (1, 2)").unwrap();
+        assert!(TypedProgram::infer(&p).is_err());
+    }
+
+    #[test]
+    fn datatypes() {
+        let src = "datatype intlist = Nil | Cons of int * intlist;\n\
+                   fun sum xs = case xs of Cons(h, t) => h + sum t | Nil => 0;\n\
+                   sum (Cons(1, Nil))";
+        assert_eq!(infer_root(src), Ty::Int);
+    }
+
+    #[test]
+    fn case_arm_mismatch_is_an_error() {
+        let src = "datatype t = A | B; case A of A => 1 | B => true";
+        let p = Program::parse(src).unwrap();
+        assert!(TypedProgram::infer(&p).is_err());
+    }
+
+    #[test]
+    fn if_branches_must_agree() {
+        let p = Program::parse("if true then 1 else false").unwrap();
+        assert!(TypedProgram::infer(&p).is_err());
+    }
+
+    #[test]
+    fn binder_types_are_recorded() {
+        let p = Program::parse("fun id x = x; id 3").unwrap();
+        let t = TypedProgram::infer(&p).unwrap();
+        // id's recorded (generalized) type is 'a -> 'a.
+        let id_binder = p.vars().find(|&v| p.var_name(v) == "id").unwrap();
+        match t.binder_ty(id_binder) {
+            Ty::Arrow(a, b) => assert_eq!(a, b),
+            other => panic!("expected arrow, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn projections_resolve_before_generalization() {
+        // Regression: a binding whose type contains a *pending* projection
+        // constraint (here: the `and` desugaring's `#1 ($pack 0)` wrappers,
+        // whose tuple type is determined only later) used to be generalized
+        // over the constraint's variables, disconnecting later resolution
+        // from earlier instantiations — `r` came out as a free type
+        // variable instead of `bool`.
+        let p = Program::parse(
+            "fun even n = if n = 0 then true else odd (n - 1)\n\
+             and odd n = if n = 0 then false else even (n - 1);\n\
+             val r = even 4; r",
+        )
+        .unwrap();
+        let t = TypedProgram::infer(&p).unwrap();
+        assert_eq!(*t.ty(p.root()), Ty::Bool);
+        let r = p.vars().find(|&v| p.var_name(v) == "r").unwrap();
+        assert_eq!(*t.binder_ty(r), Ty::Bool);
+    }
+
+    #[test]
+    fn polymorphic_instantiations_differ_per_use() {
+        let p = Program::parse("fun id x = x; val a = id 1; val b = id true; ()").unwrap();
+        let t = TypedProgram::infer(&p).unwrap();
+        // Find the two `id` occurrences and check their instantiated types.
+        let id_binder = p.vars().find(|&v| p.var_name(v) == "id").unwrap();
+        let uses: Vec<Ty> = p
+            .exprs()
+            .filter(|&e| matches!(p.kind(e), ExprKind::Var(v) if *v == id_binder))
+            .map(|e| t.ty(e).clone())
+            .collect();
+        assert_eq!(uses.len(), 2);
+        assert!(uses.contains(&Ty::arrow(Ty::Int, Ty::Int)));
+        assert!(uses.contains(&Ty::arrow(Ty::Bool, Ty::Bool)));
+    }
+}

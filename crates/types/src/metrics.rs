@@ -1,0 +1,130 @@
+//! Type-boundedness metrics (Sections 2, 4 and 5 of the paper).
+//!
+//! The paper's complexity result is parameterized by the class `P_k` of
+//! programs whose occurrence monotypes have tree size at most `k`; the
+//! tighter bound observed in practice is `k_avg · |P|`, where `k_avg` is
+//! the *average* type-tree size over program nodes ("One of the principal
+//! concerns of our implementation was the size of this constant … typically
+//! around 2 or 3").
+
+use stcfa_lambda::Program;
+
+use crate::infer::TypedProgram;
+use crate::ty::Ty;
+
+/// Aggregate type-size measures of one program.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TypeMetrics {
+    /// Maximum type-tree size over all occurrences: the program is in `P_k`
+    /// for every `k ≥ max_size`.
+    pub max_size: usize,
+    /// Average type-tree size over all occurrences (`k_avg`).
+    pub avg_size: f64,
+    /// Maximum type order.
+    pub max_order: usize,
+    /// Maximum curried arity.
+    pub max_arity: usize,
+    /// Number of occurrences measured.
+    pub occurrences: usize,
+}
+
+impl TypeMetrics {
+    /// Computes the metrics from an inference result.
+    pub fn compute(program: &Program, typed: &TypedProgram) -> TypeMetrics {
+        let mut max_size = 0usize;
+        let mut total = 0usize;
+        let mut max_order = 0usize;
+        let mut max_arity = 0usize;
+        let mut count = 0usize;
+        let mut measure = |t: &Ty| {
+            let s = t.size();
+            max_size = max_size.max(s);
+            total += s;
+            max_order = max_order.max(t.order());
+            max_arity = max_arity.max(t.arity());
+            count += 1;
+        };
+        for e in program.exprs() {
+            measure(typed.ty(e));
+        }
+        for v in program.vars() {
+            measure(typed.binder_ty(v));
+        }
+        TypeMetrics {
+            max_size,
+            avg_size: if count == 0 { 0.0 } else { total as f64 / count as f64 },
+            max_order,
+            max_arity,
+            occurrences: count,
+        }
+    }
+
+    /// Whether the program is in the bounded-type class `P_k`.
+    pub fn is_k_bounded(&self, k: usize) -> bool {
+        self.max_size <= k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stcfa_lambda::Program;
+
+    fn metrics(src: &str) -> TypeMetrics {
+        let p = Program::parse(src).unwrap();
+        let t = TypedProgram::infer(&p).unwrap();
+        TypeMetrics::compute(&p, &t)
+    }
+
+    #[test]
+    fn first_order_programs_have_tiny_types() {
+        let m = metrics("fun fact n = if n = 0 then 1 else n * fact (n - 1); fact 5");
+        assert_eq!(m.max_order, 1);
+        assert_eq!(m.max_arity, 1);
+        assert!(m.max_size <= 3);
+        assert!(m.is_k_bounded(3));
+        assert!(!m.is_k_bounded(2));
+    }
+
+    #[test]
+    fn the_cubic_benchmark_is_type_bounded() {
+        // The paper's point: this family is in P_k for a *constant* k even
+        // as it grows, yet the standard algorithm is cubic on it.
+        let gen = |n: usize| {
+            let mut src = String::from("fun fs x = x;\nfun bs x = x;\n");
+            for i in 1..=n {
+                src.push_str(&format!(
+                    "fun f{i} x = x;\nfun b{i} x = x;\nval x{i} = b{i} (fs f{i});\nval y{i} = (bs b{i}) f{i};\n"
+                ));
+            }
+            src.push('0');
+            src
+        };
+        let small = metrics(&gen(2));
+        let large = metrics(&gen(16));
+        assert_eq!(
+            small.max_size, large.max_size,
+            "max type size must not grow with program size"
+        );
+        assert!(large.is_k_bounded(small.max_size));
+        assert!(
+            large.avg_size < 6.0,
+            "k_avg {} should be a small constant (paper: 2–3)",
+            large.avg_size
+        );
+    }
+
+    #[test]
+    fn higher_order_increases_order() {
+        let m = metrics("fun twice f = fn x => f (f x); twice (fn n => n + 1) 0");
+        assert!(m.max_order >= 2);
+        assert!(m.max_arity >= 2);
+    }
+
+    #[test]
+    fn average_tracks_occurrences() {
+        let m = metrics("1");
+        assert_eq!(m.occurrences, 1);
+        assert_eq!(m.avg_size, 1.0);
+    }
+}

@@ -1,0 +1,172 @@
+//! Monotypes and the size/order/arity measures of Section 2 and Section 4.
+
+use std::fmt;
+use std::rc::Rc;
+
+use stcfa_lambda::{DataId, Program};
+
+/// A monotype. Type variables that remain after inference are implicitly
+/// universally quantified (they came from a generalized `let`).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Ty {
+    /// `int`
+    Int,
+    /// `bool`
+    Bool,
+    /// `unit`
+    Unit,
+    /// A declared datatype.
+    Data(DataId),
+    /// `t₁ -> t₂`
+    Arrow(Rc<Ty>, Rc<Ty>),
+    /// `t₁ * … * tₙ`
+    Tuple(Rc<[Ty]>),
+    /// A type variable.
+    Var(u32),
+}
+
+impl Ty {
+    /// Builds an arrow type.
+    pub fn arrow(a: Ty, b: Ty) -> Ty {
+        Ty::Arrow(Rc::new(a), Rc::new(b))
+    }
+
+    /// The *tree size* of the type — the measure the paper bounds by `k`
+    /// for bounded-type programs. Leaves (base types, datatypes, variables)
+    /// count 1; `->` and tuple constructors count 1 plus their children.
+    pub fn size(&self) -> usize {
+        match self {
+            Ty::Int | Ty::Bool | Ty::Unit | Ty::Data(_) | Ty::Var(_) => 1,
+            Ty::Arrow(a, b) => 1 + a.size() + b.size(),
+            Ty::Tuple(parts) => 1 + parts.iter().map(Ty::size).sum::<usize>(),
+        }
+    }
+
+    /// The *order* of the type: base types have order 0, and
+    /// `order(a -> b) = max(order(a) + 1, order(b))`. The paper's
+    /// bounded-type class can equivalently bound order and arity.
+    pub fn order(&self) -> usize {
+        match self {
+            Ty::Int | Ty::Bool | Ty::Unit | Ty::Data(_) | Ty::Var(_) => 0,
+            Ty::Arrow(a, b) => (a.order() + 1).max(b.order()),
+            Ty::Tuple(parts) => parts.iter().map(Ty::order).max().unwrap_or(0),
+        }
+    }
+
+    /// The *arity* of the type, counted so that "currying increases
+    /// argument count rather than order" (paper, Section 1): the length of
+    /// the maximal arrow spine, recursively maximized over components.
+    pub fn arity(&self) -> usize {
+        fn spine(t: &Ty) -> usize {
+            match t {
+                Ty::Arrow(_, b) => 1 + spine(b),
+                _ => 0,
+            }
+        }
+        let here = spine(self);
+        let inner = match self {
+            Ty::Arrow(a, b) => a.arity().max(b.arity_under_spine()),
+            Ty::Tuple(parts) => parts.iter().map(Ty::arity).max().unwrap_or(0),
+            _ => 0,
+        };
+        here.max(inner)
+    }
+
+    fn arity_under_spine(&self) -> usize {
+        match self {
+            Ty::Arrow(a, b) => a.arity().max(b.arity_under_spine()),
+            other => other.arity(),
+        }
+    }
+
+    /// Renders the type using the program's datatype names.
+    pub fn display<'a>(&'a self, program: &'a Program) -> TyDisplay<'a> {
+        TyDisplay { ty: self, program }
+    }
+}
+
+/// Helper for rendering types with datatype names resolved.
+pub struct TyDisplay<'a> {
+    ty: &'a Ty,
+    program: &'a Program,
+}
+
+impl fmt::Display for TyDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn go(t: &Ty, program: &Program, f: &mut fmt::Formatter<'_>, atom: bool) -> fmt::Result {
+            match t {
+                Ty::Int => write!(f, "int"),
+                Ty::Bool => write!(f, "bool"),
+                Ty::Unit => write!(f, "unit"),
+                Ty::Var(v) => write!(f, "'t{v}"),
+                Ty::Data(d) => {
+                    write!(f, "{}", program.interner().resolve(program.data_env().data(*d).name))
+                }
+                Ty::Arrow(a, b) => {
+                    if atom {
+                        write!(f, "(")?;
+                    }
+                    go(a, program, f, true)?;
+                    write!(f, " -> ")?;
+                    go(b, program, f, false)?;
+                    if atom {
+                        write!(f, ")")?;
+                    }
+                    Ok(())
+                }
+                Ty::Tuple(parts) => {
+                    write!(f, "(")?;
+                    for (i, p) in parts.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, " * ")?;
+                        }
+                        go(p, program, f, false)?;
+                    }
+                    write!(f, ")")
+                }
+            }
+        }
+        go(self.ty, self.program, f, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn i() -> Ty {
+        Ty::Int
+    }
+
+    #[test]
+    fn size_counts_tree_nodes() {
+        assert_eq!(i().size(), 1);
+        assert_eq!(Ty::arrow(i(), i()).size(), 3);
+        // (int -> int) -> int list-ish: ((int -> int) -> (int -> int))
+        let t = Ty::arrow(Ty::arrow(i(), i()), Ty::arrow(i(), i()));
+        assert_eq!(t.size(), 7);
+        let tup = Ty::Tuple(vec![i(), i(), i()].into());
+        assert_eq!(tup.size(), 4);
+    }
+
+    #[test]
+    fn order_counts_arrow_nesting_on_the_left() {
+        assert_eq!(i().order(), 0);
+        assert_eq!(Ty::arrow(i(), i()).order(), 1);
+        // (int -> int) -> int has order 2.
+        assert_eq!(Ty::arrow(Ty::arrow(i(), i()), i()).order(), 2);
+        // int -> (int -> int) stays order 1 (currying).
+        assert_eq!(Ty::arrow(i(), Ty::arrow(i(), i())).order(), 1);
+    }
+
+    #[test]
+    fn arity_counts_curried_arguments() {
+        // The paper's example: (Int -> Int) -> Int list -> Int list has
+        // arity 2 and order 2 (we use plain Int for the list type here).
+        let map_ty = Ty::arrow(Ty::arrow(i(), i()), Ty::arrow(i(), i()));
+        assert_eq!(map_ty.arity(), 2);
+        assert_eq!(map_ty.order(), 2);
+        assert_eq!(i().arity(), 0);
+        assert_eq!(Ty::arrow(i(), i()).arity(), 1);
+    }
+}

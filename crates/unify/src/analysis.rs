@@ -1,0 +1,361 @@
+//! Equality-based ("unification") control-flow analysis.
+//!
+//! The paper's introduction cites Bondorf & Jørgensen's almost-linear-time
+//! equality-based flow analysis as what implementors used *instead of*
+//! inclusion-based CFA to escape the cubic bottleneck — at the price of
+//! accuracy, because every flow constraint `V(a) ⊇ V(b)` is strengthened to
+//! an equality `V(a) = V(b)`. This crate implements that baseline in
+//! Steensgaard style: a union-find over flow classes, where each class
+//! carries the abstraction labels it contains plus *signatures* (a
+//! function's parameter/result classes, record field classes, constructor
+//! argument classes) that are unified recursively when classes merge.
+//!
+//! The paper's point — demonstrated by experiment E9 in this repository —
+//! is that the subtransitive algorithm achieves (almost) the same running
+//! time *without* this loss of precision.
+
+use std::collections::{HashMap, HashSet};
+
+use stcfa_lambda::{ConId, ExprId, ExprKind, Label, Program, VarId};
+
+/// Work counters for the unification run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct UnifyStats {
+    /// Union operations that merged two distinct classes.
+    pub unions: u64,
+    /// Total unification requests (including no-ops).
+    pub requests: u64,
+    /// Classes allocated (program variables plus signature holes).
+    pub classes: usize,
+}
+
+/// The analysis result: a flow partition of the program.
+#[derive(Clone, Debug)]
+pub struct UnifyCfa {
+    n_exprs: usize,
+    parent: Vec<u32>,
+    labels: Vec<HashSet<u32>>,
+    stats: UnifyStats,
+}
+
+#[derive(Clone, Debug, Default)]
+struct Sig {
+    /// `(dom, ran)` if the class is ever used as a function.
+    func: Option<(u32, u32)>,
+    /// Record field classes.
+    fields: HashMap<u32, u32>,
+    /// Constructor argument classes.
+    con_args: HashMap<(ConId, u32), u32>,
+}
+
+impl UnifyCfa {
+    /// Runs the equality-based analysis.
+    pub fn analyze(program: &Program) -> UnifyCfa {
+        let mut s = Solver {
+            parent: Vec::new(),
+            rank: Vec::new(),
+            labels: Vec::new(),
+            sigs: Vec::new(),
+            queue: Vec::new(),
+            stats: UnifyStats::default(),
+        };
+        let n = program.size() + program.var_count();
+        for _ in 0..n {
+            s.fresh();
+        }
+        s.collect(program);
+        s.stats.classes = s.parent.len();
+        UnifyCfa {
+            n_exprs: program.size(),
+            parent: {
+                // Path-compress everything for O(1) queries afterwards.
+                let len = s.parent.len();
+                for i in 0..len {
+                    s.find(i as u32);
+                }
+                s.parent.clone()
+            },
+            labels: s.labels,
+            stats: s.stats,
+        }
+    }
+
+    fn root(&self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            x = self.parent[x as usize];
+        }
+        x
+    }
+
+    /// `L(e)` under the equality-based analysis, sorted. Always a superset
+    /// of inclusion-based CFA's answer.
+    pub fn labels(&self, e: ExprId) -> Vec<Label> {
+        self.labels_of_class(self.root(e.index() as u32))
+    }
+
+    /// Labels of binder `v`, sorted.
+    pub fn var_labels(&self, v: VarId) -> Vec<Label> {
+        self.labels_of_class(self.root((self.n_exprs + v.index()) as u32))
+    }
+
+    fn labels_of_class(&self, root: u32) -> Vec<Label> {
+        let mut out: Vec<Label> = self.labels[root as usize]
+            .iter()
+            .map(|&l| Label::from_index(l as usize))
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Whether two expressions ended up in the same flow class.
+    pub fn same_class(&self, a: ExprId, b: ExprId) -> bool {
+        self.root(a.index() as u32) == self.root(b.index() as u32)
+    }
+
+    /// Work counters.
+    pub fn stats(&self) -> UnifyStats {
+        self.stats
+    }
+}
+
+struct Solver {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+    labels: Vec<HashSet<u32>>,
+    sigs: Vec<Sig>,
+    /// Pending unifications (avoids deep recursion on signature merges).
+    queue: Vec<(u32, u32)>,
+    stats: UnifyStats,
+}
+
+impl Solver {
+    fn fresh(&mut self) -> u32 {
+        let id = self.parent.len() as u32;
+        self.parent.push(id);
+        self.rank.push(0);
+        self.labels.push(HashSet::new());
+        self.sigs.push(Sig::default());
+        id
+    }
+
+    fn find(&mut self, x: u32) -> u32 {
+        let p = self.parent[x as usize];
+        if p == x {
+            return x;
+        }
+        let root = self.find(p);
+        self.parent[x as usize] = root;
+        root
+    }
+
+    fn unify(&mut self, a: u32, b: u32) {
+        self.queue.push((a, b));
+        while let Some((a, b)) = self.queue.pop() {
+            self.stats.requests += 1;
+            let (mut ra, mut rb) = (self.find(a), self.find(b));
+            if ra == rb {
+                continue;
+            }
+            self.stats.unions += 1;
+            if self.rank[ra as usize] < self.rank[rb as usize] {
+                std::mem::swap(&mut ra, &mut rb);
+            }
+            if self.rank[ra as usize] == self.rank[rb as usize] {
+                self.rank[ra as usize] += 1;
+            }
+            self.parent[rb as usize] = ra;
+            // Merge labels (move the smaller set).
+            let moved = std::mem::take(&mut self.labels[rb as usize]);
+            self.labels[ra as usize].extend(moved);
+            // Merge signatures, queueing recursive unifications.
+            let sig_b = std::mem::take(&mut self.sigs[rb as usize]);
+            let sig_a = &mut self.sigs[ra as usize];
+            match (&mut sig_a.func, sig_b.func) {
+                (Some((d1, r1)), Some((d2, r2))) => {
+                    self.queue.push((*d1, d2));
+                    self.queue.push((*r1, r2));
+                }
+                (slot @ None, Some(f)) => *slot = Some(f),
+                _ => {}
+            }
+            for (k, c2) in sig_b.fields {
+                match sig_a.fields.get(&k) {
+                    Some(&c1) => self.queue.push((c1, c2)),
+                    None => {
+                        sig_a.fields.insert(k, c2);
+                    }
+                }
+            }
+            for (k, c2) in sig_b.con_args {
+                match sig_a.con_args.get(&k) {
+                    Some(&c1) => self.queue.push((c1, c2)),
+                    None => {
+                        sig_a.con_args.insert(k, c2);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The function signature of `x`'s class, created on demand.
+    fn fn_sig(&mut self, x: u32) -> (u32, u32) {
+        let r = self.find(x);
+        if let Some(sig) = self.sigs[r as usize].func {
+            return sig;
+        }
+        let d = self.fresh();
+        let ran = self.fresh();
+        // `fresh` may not have invalidated `r` (no unions), safe to re-index.
+        self.sigs[r as usize].func = Some((d, ran));
+        (d, ran)
+    }
+
+    fn field_sig(&mut self, x: u32, index: u32) -> u32 {
+        let r = self.find(x);
+        if let Some(&c) = self.sigs[r as usize].fields.get(&index) {
+            return c;
+        }
+        let c = self.fresh();
+        self.sigs[r as usize].fields.insert(index, c);
+        c
+    }
+
+    fn con_sig(&mut self, x: u32, con: ConId, index: u32) -> u32 {
+        let r = self.find(x);
+        if let Some(&c) = self.sigs[r as usize].con_args.get(&(con, index)) {
+            return c;
+        }
+        let c = self.fresh();
+        self.sigs[r as usize].con_args.insert((con, index), c);
+        c
+    }
+
+    fn collect(&mut self, program: &Program) {
+        let ev = |e: ExprId| e.index() as u32;
+        let bv = |v: VarId| (program.size() + v.index()) as u32;
+        for e in program.exprs() {
+            match program.kind(e) {
+                ExprKind::Var(v) => self.unify(ev(e), bv(*v)),
+                ExprKind::Lam { label, param, body } => {
+                    // Labels live at the class root.
+                    let r = self.find(ev(e));
+                    self.labels[r as usize].insert(label.index() as u32);
+                    let (d, ran) = self.fn_sig(ev(e));
+                    self.unify(bv(*param), d);
+                    self.unify(ev(*body), ran);
+                }
+                ExprKind::App { func, arg } => {
+                    let (d, ran) = self.fn_sig(ev(*func));
+                    self.unify(ev(*arg), d);
+                    self.unify(ev(e), ran);
+                }
+                ExprKind::Let { binder, rhs, body } => {
+                    self.unify(bv(*binder), ev(*rhs));
+                    self.unify(ev(e), ev(*body));
+                }
+                ExprKind::LetRec { binder, lambda, body } => {
+                    self.unify(bv(*binder), ev(*lambda));
+                    self.unify(ev(e), ev(*body));
+                }
+                ExprKind::If { then_branch, else_branch, .. } => {
+                    self.unify(ev(e), ev(*then_branch));
+                    self.unify(ev(e), ev(*else_branch));
+                }
+                ExprKind::Record(items) => {
+                    for (j, &item) in items.iter().enumerate() {
+                        let f = self.field_sig(ev(e), j as u32);
+                        self.unify(ev(item), f);
+                    }
+                }
+                ExprKind::Proj { index, tuple } => {
+                    let f = self.field_sig(ev(*tuple), *index);
+                    self.unify(ev(e), f);
+                }
+                ExprKind::Con { con, args } => {
+                    for (i, &arg) in args.iter().enumerate() {
+                        let c = self.con_sig(ev(e), *con, i as u32);
+                        self.unify(ev(arg), c);
+                    }
+                }
+                ExprKind::Case { scrutinee, arms, default } => {
+                    for arm in arms.iter() {
+                        for (i, &b) in arm.binders.iter().enumerate() {
+                            let c = self.con_sig(ev(*scrutinee), arm.con, i as u32);
+                            self.unify(bv(b), c);
+                        }
+                        self.unify(ev(e), ev(arm.body));
+                    }
+                    if let Some(d) = default {
+                        self.unify(ev(e), ev(*d));
+                    }
+                }
+                ExprKind::Lit(_) | ExprKind::Prim { .. } => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stcfa_lambda::Program;
+
+    #[test]
+    fn identity_application() {
+        let p = Program::parse("(fn i => i) (fn z => z)").unwrap();
+        let u = UnifyCfa::analyze(&p);
+        assert_eq!(u.labels(p.root()).len(), 1);
+    }
+
+    #[test]
+    fn equality_merges_call_sites_coarsely() {
+        // id applied to two different functions: inclusion CFA gives two
+        // labels at each use; equality-based merges the *argument classes*
+        // too, so both arguments see both labels.
+        let src = "\
+            fun id x = x;\n\
+            val a = id (fn u => u);\n\
+            val b = id (fn v => v);\n\
+            a";
+        let p = Program::parse(src).unwrap();
+        let u = UnifyCfa::analyze(&p);
+        let lams: Vec<_> = p
+            .exprs()
+            .filter(|&e| matches!(p.kind(e), ExprKind::Lam { .. }))
+            .collect();
+        // The two argument lambdas land in one class.
+        let (u_lam, v_lam) = (lams[1], lams[2]);
+        assert!(u.same_class(u_lam, v_lam), "equality analysis merges id's arguments");
+        assert!(u.labels(p.root()).len() >= 2);
+    }
+
+    #[test]
+    fn branches_are_merged() {
+        let p = Program::parse("if true then fn a => a else fn b => b").unwrap();
+        let u = UnifyCfa::analyze(&p);
+        assert_eq!(u.labels(p.root()).len(), 2);
+    }
+
+    #[test]
+    fn records_and_datatypes() {
+        let p = Program::parse("#1 ((fn x => x), (fn y => y))").unwrap();
+        let u = UnifyCfa::analyze(&p);
+        // Fields are separate classes, so projection stays precise here.
+        assert_eq!(u.labels(p.root()).len(), 1);
+
+        let p2 = Program::parse(
+            "datatype w = W of (int -> int); case W(fn x => x) of W(f) => f",
+        )
+        .unwrap();
+        let u2 = UnifyCfa::analyze(&p2);
+        assert_eq!(u2.labels(p2.root()).len(), 1);
+    }
+
+    #[test]
+    fn stats_count_unions() {
+        let p = Program::parse("(fn x => x) (fn y => y)").unwrap();
+        let u = UnifyCfa::analyze(&p);
+        assert!(u.stats().unions > 0);
+        assert!(u.stats().classes >= p.size());
+    }
+}

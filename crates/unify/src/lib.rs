@@ -1,0 +1,21 @@
+//! Equality-based (almost-linear, unification) control-flow analysis — the
+//! "fast but coarse" alternative the paper's introduction contrasts with.
+//!
+//! ```
+//! use stcfa_lambda::Program;
+//! use stcfa_unify::UnifyCfa;
+//!
+//! let p = Program::parse("(fn i => i) (fn z => z)").unwrap();
+//! let u = UnifyCfa::analyze(&p);
+//! assert_eq!(u.labels(p.root()).len(), 1);
+//! ```
+//!
+//! Its label sets always contain inclusion-based CFA's (tested in this
+//! workspace's integration suite); experiment E9 quantifies the precision
+//! it gives up — the loss the subtransitive algorithm shows is unnecessary.
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+
+pub use analysis::{UnifyCfa, UnifyStats};

@@ -1,0 +1,149 @@
+//! Parser-combinator workload: the classic "closures returning closures"
+//! stress for control-flow analysis. Every combinator (`pseq`, `palt`,
+//! `pmany`, `pmap`) both consumes and produces parser closures, so call
+//! targets can only be resolved by tracking functions through multiple
+//! levels of higher-order flow and through a result datatype — a shape
+//! that defeats syntactic call-graph construction entirely.
+
+use stcfa_lambda::Program;
+
+/// The program source.
+pub const SOURCE: &str = r#"
+-- A parser is a function ints -> presult: it consumes a prefix of the
+-- input token list and either fails or yields a value and the rest.
+datatype ints = TNil | TCons of int * ints;
+datatype presult = PFail | POk of int * ints;
+
+-- Primitive: match one exact token.
+fun tok t = fn input =>
+  case input of
+    TCons(h, rest) => (if h = t then POk(h, rest) else PFail)
+  | TNil => PFail;
+
+-- Primitive: any token, yielding its value.
+fun anyTok input =
+  case input of TCons(h, rest) => POk(h, rest) | TNil => PFail;
+
+-- Sequence two parsers, combining results with f.
+fun pseq p = fn q => fn f => fn input =>
+  case p input of
+    POk(a, rest) =>
+      (case q rest of
+         POk(b, rest2) => POk(f a b, rest2)
+       | PFail => PFail)
+  | PFail => PFail;
+
+-- Ordered choice.
+fun palt p = fn q => fn input =>
+  case p input of
+    POk(a, rest) => POk(a, rest)
+  | PFail => q input;
+
+-- Map a function over a parser's result.
+fun pmap f = fn p => fn input =>
+  case p input of
+    POk(a, rest) => POk(f a, rest)
+  | PFail => PFail;
+
+-- Zero-or-more repetitions, summing the results.
+fun pmany p = fn input =>
+  case p input of
+    POk(a, rest) =>
+      (case pmany p rest of
+         POk(b, rest2) => POk(a + b, rest2)
+       | PFail => POk(a, rest))
+  | PFail => POk(0, input);
+
+-- A tiny grammar over tokens (1 = '(', 2 = ')', digits are 10+d):
+--   expr   := group | number
+--   group  := '(' expr ')'
+--   number := any token, value minus 10
+fun number input = pmap (fn d => d - 10) anyTok input;
+fun expr input =
+  palt (fn i => group i) number input
+and group input =
+  pseq (tok 1) (fn i => pseq (fn j => expr j) (tok 2) (fn v => fn cls => v) i)
+       (fn open_ => fn v => v)
+       input;
+
+fun runParser p = fn input =>
+  case p input of POk(v, rest) => v | PFail => 0 - 1;
+
+-- "(( 15 ))" as tokens: ( ( 15 ) )
+val input1 = TCons(1, TCons(1, TCons(15, TCons(2, TCons(2, TNil)))));
+val u1 = print (runParser (fn i => expr i) input1);   -- 5
+
+-- "7 8 9" summed by pmany(number)
+val input2 = TCons(17, TCons(18, TCons(19, TNil)));
+val u2 = print (runParser (pmany (fn i => number i)) input2);  -- 24
+
+runParser (fn i => expr i) input1 + runParser (pmany (fn i => number i)) input2
+"#;
+
+/// The parsed program.
+pub fn program() -> Program {
+    Program::parse(SOURCE).expect("combinator source parses")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stcfa_lambda::eval::{eval, EvalOptions, Value};
+    use stcfa_types::TypedProgram;
+
+    #[test]
+    fn parses_and_typechecks() {
+        let p = program();
+        TypedProgram::infer(&p).expect("combinators are well-typed");
+    }
+
+    #[test]
+    fn parses_the_sample_inputs() {
+        let p = program();
+        let out = eval(&p, EvalOptions { fuel: 10_000_000, inputs: vec![] }).unwrap();
+        assert_eq!(out.outputs, vec![5, 24]);
+        let Value::Int(v) = out.value else { panic!() };
+        assert_eq!(v, 29);
+    }
+
+    #[test]
+    fn higher_order_targets_resolve() {
+        // The parser closures passed through pseq/palt/pmap must be found
+        // at the combinators' internal call sites.
+        let p = program();
+        let a = stcfa_core::Analysis::run(&p).expect("bounded-type");
+        let cfa = stcfa_cfa0::Cfa0::analyze(&p);
+        let mut polymorphic_sites = 0;
+        for app in p.app_sites() {
+            let stcfa_lambda::ExprKind::App { func, .. } = p.kind(app) else {
+                unreachable!()
+            };
+            let reference = cfa.labels(&p, *func);
+            if reference.len() >= 2 {
+                polymorphic_sites += 1;
+            }
+            let got = a.labels_of(*func);
+            for l in reference {
+                assert!(got.contains(&l), "missing {l:?} at {func:?}");
+            }
+        }
+        assert!(
+            polymorphic_sites >= 3,
+            "combinator internals should have several polymorphic call sites, \
+             found {polymorphic_sites}"
+        );
+    }
+
+    #[test]
+    fn dynamic_calls_are_predicted() {
+        let p = program();
+        let a = stcfa_core::Analysis::run(&p).unwrap();
+        let out = eval(&p, EvalOptions { fuel: 10_000_000, inputs: vec![] }).unwrap();
+        for (func_occ, label) in &out.trace.calls {
+            assert!(
+                a.labels_of(*func_occ).contains(label),
+                "missed dynamic call of {label:?} at {func_occ:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! The paper's parameterized worst-case benchmark (Section 10, Table 1).
+//!
+//! > "The benchmark of size 1 consists of:
+//! >
+//! > ```text
+//! > fun fs x = x
+//! > fun bs x = x
+//! > fun f1 x = x
+//! > fun b1 x = x
+//! > val x1 = b1 (fs f1)
+//! > val y1 = (bs b1) f1
+//! > ```
+//! >
+//! > and the benchmark of size n consists of the first two lines of the
+//! > above code and n copies of the last four lines, with f1, b1, x1 and y1
+//! > appropriately renamed."
+//!
+//! Every copy funnels its `fᵢ`/`bᵢ` through the shared `fs`/`bs`, so the
+//! standard algorithm's label sets at the shared functions grow linearly
+//! and its total work cubically, while the program stays bounded-type (the
+//! subtransitive graph stays linear).
+
+use stcfa_lambda::Program;
+
+/// Surface syntax of the size-`n` benchmark.
+pub fn source(n: usize) -> String {
+    let mut s = String::with_capacity(32 + n * 96);
+    s.push_str("fun fs x = x;\nfun bs x = x;\n");
+    for i in 1..=n {
+        s.push_str(&format!("fun f{i} x = x;\n"));
+        s.push_str(&format!("fun b{i} x = x;\n"));
+        s.push_str(&format!("val x{i} = b{i} (fs f{i});\n"));
+        s.push_str(&format!("val y{i} = (bs b{i}) f{i};\n"));
+    }
+    // A final expression so the program is complete; y_n is the paper's
+    // last binding.
+    s.push('0');
+    s
+}
+
+/// The parsed size-`n` benchmark.
+///
+/// # Panics
+///
+/// Never panics for `n ≥ 1`: the generated source is well-formed by
+/// construction.
+pub fn program(n: usize) -> Program {
+    Program::parse(&source(n)).expect("generated cubic benchmark parses")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_at_several_sizes() {
+        for n in [1, 2, 8, 32] {
+            let p = program(n);
+            // 2 shared + 2n copies of fun => 2n + 2 lambdas.
+            assert_eq!(p.label_count(), 2 * n + 2);
+        }
+    }
+
+    #[test]
+    fn size_grows_linearly() {
+        let s1 = program(8).size();
+        let s2 = program(16).size();
+        let per_copy = (s2 - s1) / 8;
+        assert!(per_copy > 0);
+        assert_eq!(s2 - s1, per_copy * 8, "per-copy cost is exactly constant");
+    }
+
+    #[test]
+    fn is_well_typed_and_bounded() {
+        let p = program(6);
+        let typed = stcfa_types::TypedProgram::infer(&p).expect("benchmark is ML-typable");
+        let m = stcfa_types::TypeMetrics::compute(&p, &typed);
+        let p2 = program(12);
+        let typed2 = stcfa_types::TypedProgram::infer(&p2).unwrap();
+        let m2 = stcfa_types::TypeMetrics::compute(&p2, &typed2);
+        assert_eq!(m.max_size, m2.max_size, "bounded-type family");
+    }
+}

@@ -1,0 +1,185 @@
+//! The paper's Section 5 footnote family: programs whose *polytypes* stay
+//! small (Henglein-bounded) while the monotypes of their let-expansion
+//! grow exponentially (McAllester-unbounded).
+//!
+//! > "Consider the program consisting of n functions where the first
+//! > function f0 is just the identity function, and f_{i+1} is defined to
+//! > be λx.(f_i f_i) x. This program has bounded type using Henglein's
+//! > definition, but the monotypes in the let-expansion of the program
+//! > have exponential tree size."
+//!
+//! Every `fᵢ` has the scheme `∀a. a → a` (size 3), but expanding the
+//! self-application `fᵢ fᵢ` instantiates the inner `fᵢ` at `(a→a)→(a→a)`,
+//! doubling per level. This family is why the paper adopts McAllester's
+//! definition for its complexity bound.
+//!
+//! **Reproduction finding.** On the *unexpanded* program, the literal LC′
+//! rules do not terminate for `n ≥ 2`: both occurrences in `fᵢ fᵢ` are the
+//! same variable node, so APP-1 adds the self-edge `dom(fᵢ) → fᵢ`, and the
+//! demand-driven closure then ratchets `dom`/`ran` towers upward without
+//! bound (each conclusion edge is itself the demand enabling the next
+//! level). The paper's Section 5 termination argument maps constructed
+//! nodes to positions in the let-expansion's type trees — which requires
+//! the two occurrences to be *distinguished*, exactly what let-expansion
+//! (or polyvariance) does. The tests below pin all three behaviours: the
+//! node budget catches the divergence, the hybrid driver still answers,
+//! and analyzing the explicitly let-expanded program terminates.
+
+use stcfa_lambda::Program;
+
+/// The size-`n` family: `f0 = id`, `f_{i+1} = λx.(f_i f_i) x`, ending in
+/// `f_n 0`.
+pub fn source(n: usize) -> String {
+    let mut s = String::from("fun f0 x = x;\n");
+    for i in 0..n {
+        s.push_str(&format!("fun f{} x = (f{i} f{i}) x;\n", i + 1));
+    }
+    s.push_str(&format!("f{n} 0"));
+    s
+}
+
+/// The parsed size-`n` program.
+pub fn program(n: usize) -> Program {
+    Program::parse(&source(n)).expect("generated henglein family parses")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stcfa_types::{TypeMetrics, TypedProgram};
+
+    #[test]
+    fn every_member_is_well_typed_with_small_schemes() {
+        for n in [1usize, 3, 5] {
+            let p = program(n);
+            let typed = TypedProgram::infer(&p).unwrap();
+            // Each fᵢ's recorded (generalized) type is a → a: size 3.
+            for v in p.vars().filter(|v| p.var_name(*v).starts_with('f')) {
+                assert_eq!(
+                    typed.binder_ty(v).size(),
+                    3,
+                    "Henglein-small scheme for {}",
+                    p.var_name(v)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn direct_occurrence_monotypes_stay_small() {
+        // Without expansion, the per-occurrence instantiations are one
+        // level deep: fᵢ's uses sit at (a→a)→(a→a), size 7, for every i —
+        // the Henglein view under which the family looks bounded.
+        for n in [2usize, 4, 6] {
+            let p = program(n);
+            let typed = TypedProgram::infer(&p).unwrap();
+            let m = TypeMetrics::compute(&p, &typed);
+            assert_eq!(m.max_size, 7, "n={n}");
+        }
+    }
+
+    #[test]
+    fn base_case_terminates() {
+        let p = program(1);
+        let a = stcfa_core::Analysis::run(&p).unwrap();
+        let cfa = stcfa_cfa0::Cfa0::analyze(&p);
+        for e in p.exprs() {
+            assert_eq!(a.labels_of(e), cfa.labels(&p, e), "at {e:?}");
+        }
+    }
+
+    #[test]
+    fn monovariant_closure_diverges_for_n_at_least_2() {
+        // The reproduction finding documented in the module docs: the
+        // self-application's shared variable node makes the literal LC′
+        // closure ratchet unboundedly; the budget reports it.
+        let p = program(2);
+        let r = stcfa_core::Analysis::run_with(
+            &p,
+            stcfa_core::AnalysisOptions { max_nodes: Some(200_000), ..Default::default() },
+        );
+        assert!(matches!(r, Err(stcfa_core::AnalysisError::BudgetExceeded { .. })));
+    }
+
+    #[test]
+    fn papers_own_section5_example_also_diverges() {
+        // "fun id x = x; val y = ((id id) id) 1" — the example the paper
+        // uses to introduce induced monotypes — contains the same
+        // polymorphic self-application and also defeats the monovariant
+        // closure; the hybrid driver answers via the cubic engine.
+        let p = Program::parse("fun id x = x; val y = ((id id) id) 1; y").unwrap();
+        let r = stcfa_core::Analysis::run_with(
+            &p,
+            stcfa_core::AnalysisOptions { max_nodes: Some(100_000), ..Default::default() },
+        );
+        assert!(matches!(r, Err(stcfa_core::AnalysisError::BudgetExceeded { .. })));
+        let h = stcfa_core::hybrid::HybridCfa::run(&p, Default::default());
+        assert!(!h.is_linear());
+        let cfa = stcfa_cfa0::Cfa0::analyze(&p);
+        for e in p.exprs() {
+            assert_eq!(h.labels_of(&p, e), cfa.labels(&p, e));
+        }
+    }
+
+    #[test]
+    fn hybrid_still_answers_exactly() {
+        let p = program(2);
+        let h = stcfa_core::hybrid::HybridCfa::run(&p, Default::default());
+        assert!(!h.is_linear(), "falls back to the cubic engine");
+        let cfa = stcfa_cfa0::Cfa0::analyze(&p);
+        for e in p.exprs() {
+            assert_eq!(h.labels_of(&p, e), cfa.labels(&p, e));
+        }
+    }
+
+    #[test]
+    fn let_expansion_restores_termination() {
+        // Distinguishing the occurrences (as the Section 5 argument
+        // presupposes) breaks the self-edge: the expanded program analyzes
+        // fine, with node counts tracking the (exponential-in-n but
+        // finite) expanded type positions.
+        use stcfa_core::expand::{expandable_binders, let_expand};
+        for n in [2usize, 3] {
+            let mut p = program(n);
+            for _ in 0..=n {
+                let targets = expandable_binders(&p, 2);
+                if targets.is_empty() {
+                    break;
+                }
+                p = let_expand(&p, &targets).program;
+            }
+            let a = stcfa_core::Analysis::run_with(
+                &p,
+                stcfa_core::AnalysisOptions {
+                    max_nodes: Some(1_000_000),
+                    ..Default::default()
+                },
+            )
+            .expect("expanded program is bounded");
+            assert!(a.node_count() < 1000, "n={n}: {}", a.node_count());
+        }
+    }
+
+    #[test]
+    fn expanded_monotypes_grow_exponentially() {
+        // The McAllester view: after expansion the deepest instantiation
+        // roughly doubles per level — the footnote's exponential tree size.
+        use stcfa_core::expand::{expandable_binders, let_expand};
+        let deepest = |n: usize| {
+            let mut p = program(n);
+            for _ in 0..=n {
+                let targets = expandable_binders(&p, 2);
+                if targets.is_empty() {
+                    break;
+                }
+                p = let_expand(&p, &targets).program;
+            }
+            let typed = TypedProgram::infer(&p).unwrap();
+            TypeMetrics::compute(&p, &typed).max_size
+        };
+        let (d2, d3, d4) = (deepest(2), deepest(3), deepest(4));
+        assert!(d3 > d2);
+        assert!(d4 > d3);
+        assert!(d4 >= 2 * d3 - 8, "expected ~doubling: {d2}, {d3}, {d4}");
+    }
+}

@@ -1,0 +1,96 @@
+//! The join-point program family from the paper's Section 2:
+//!
+//! ```text
+//! fun f x = ...
+//! ... (f x1) ...
+//! ... (f x2) ...
+//! ```
+//!
+//! "Since the number of calls to function f can linearly increase with
+//! program size, the information collected for x can grow linearly — in
+//! effect, x acts like a join point … if x is returned then all of the
+//! information joined by x can flow back to the call sites." This family
+//! is the paper's explanation for why the standard algorithm is observed
+//! to be *non-linear* (if rarely cubic) in practice.
+
+use stcfa_lambda::Program;
+
+/// A program where one shared identity function is called with `calls`
+/// distinct abstractions, and every result is used.
+pub fn source(calls: usize) -> String {
+    let mut s = String::from("fun f x = x;\n");
+    for i in 1..=calls {
+        s.push_str(&format!("val r{i} = f (fn a{i} => a{i});\n"));
+    }
+    // Apply each returned function once so the joined flow is consumed.
+    for i in 1..=calls {
+        s.push_str(&format!("val u{i} = r{i} 0;\n"));
+    }
+    s.push('0');
+    s
+}
+
+/// The parsed join-point program.
+pub fn program(calls: usize) -> Program {
+    Program::parse(&source(calls)).expect("generated join-point program parses")
+}
+
+/// The join-point family with side effects inside the joined functions —
+/// the Section 8 stress case: deciding which applications are effectful
+/// requires control-flow information at every one of the `calls` sites,
+/// and the standard pipeline's label sets there grow linearly.
+pub fn source_with_effects(calls: usize) -> String {
+    let mut s = String::from("fun f x = x;\n");
+    for i in 1..=calls {
+        // Odd-numbered functions print; even ones are pure.
+        if i % 2 == 1 {
+            s.push_str(&format!(
+                "val r{i} = f (fn a{i} => let val w{i} = print a{i} in a{i} end);\n"
+            ));
+        } else {
+            s.push_str(&format!("val r{i} = f (fn a{i} => a{i} + {i});\n"));
+        }
+    }
+    for i in 1..=calls {
+        s.push_str(&format!("val u{i} = r{i} 0;\n"));
+    }
+    s.push('0');
+    s
+}
+
+/// The parsed effectful join-point program.
+pub fn program_with_effects(calls: usize) -> Program {
+    Program::parse(&source_with_effects(calls)).expect("generated program parses")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stcfa_cfa0::Cfa0;
+    use stcfa_core::Analysis;
+
+    #[test]
+    fn join_point_collects_all_arguments() {
+        let p = program(5);
+        let a = Analysis::run(&p).unwrap();
+        let cfa = Cfa0::analyze(&p);
+        // x (f's parameter) joins all five argument abstractions.
+        let x = p.vars().find(|&v| p.var_name(v) == "x").unwrap();
+        assert_eq!(a.labels_of_binder(x).len(), 5);
+        assert_eq!(cfa.var_labels(&p, x).len(), 5);
+    }
+
+    #[test]
+    fn subtransitive_graph_stays_linear_on_join_points() {
+        let small = Analysis::run(&program(8)).unwrap();
+        let large = Analysis::run(&program(32)).unwrap();
+        let e1 = small.edge_count() as f64;
+        let e2 = large.edge_count() as f64;
+        // Edges grow ~4x for 4x the size (linear), not ~16x (quadratic).
+        assert!(
+            e2 / e1 < 8.0,
+            "edge growth {e2}/{e1} = {} should be roughly linear",
+            e2 / e1
+        );
+    }
+}

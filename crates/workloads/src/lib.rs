@@ -1,0 +1,25 @@
+//! Workload generators for benchmarking and property-testing the
+//! subtransitive CFA workspace.
+//!
+//! - [`cubic`] — the paper's parameterized worst-case family (Table 1);
+//! - [`funlist`] — functions stored in recursive data structures (the
+//!   Section 6 congruence stress case);
+//! - [`join_point`] — the Section 2 join-point pattern behind the
+//!   "observed non-linear behaviour" of standard CFA;
+//! - [`synth`] — seeded random well-typed, terminating programs for
+//!   differential and soundness property tests;
+//! - [`life`] / [`lexgen`] — substitutes for the paper's two SML
+//!   benchmarks (Table 2), with the substitution rationale documented in
+//!   DESIGN.md.
+
+#![warn(missing_docs)]
+
+pub mod combinators;
+pub mod cubic;
+pub mod funlist;
+pub mod henglein;
+pub mod join_point;
+pub mod lexgen;
+pub mod life;
+pub mod stdlib;
+pub mod synth;

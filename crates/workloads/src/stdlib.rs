@@ -1,0 +1,185 @@
+//! A "standard library" workload: a realistic, feature-complete ML program
+//! (list combinators, options, an arithmetic-expression interpreter,
+//! Church numerals) used as a broad-coverage corpus for differential tests
+//! and as a mid-size benchmark input.
+
+use stcfa_lambda::Program;
+
+/// The program source.
+pub const SOURCE: &str = r#"
+-- ---------- integer lists ----------
+datatype ilist = INil | ICons of int * ilist;
+
+fun map f = fn xs =>
+  case xs of ICons(h, t) => ICons(f h, map f t) | INil => INil;
+
+fun filter p = fn xs =>
+  case xs of
+    ICons(h, t) => (if p h then ICons(h, filter p t) else filter p t)
+  | INil => INil;
+
+fun foldl f = fn z => fn xs =>
+  case xs of ICons(h, t) => foldl f (f z h) t | INil => z;
+
+fun foldr f = fn z => fn xs =>
+  case xs of ICons(h, t) => f h (foldr f z t) | INil => z;
+
+fun append xs = fn ys =>
+  case xs of ICons(h, t) => ICons(h, append t ys) | INil => ys;
+
+fun reverse xs = foldl (fn acc => fn h => ICons(h, acc)) INil xs;
+
+fun length xs = foldl (fn n => fn h => n + 1) 0 xs;
+
+fun member x = fn xs =>
+  case xs of
+    ICons(h, t) => (if h = x then true else member x t)
+  | INil => false;
+
+fun insert x = fn xs =>
+  case xs of
+    ICons(h, t) => (if x <= h then ICons(x, ICons(h, t)) else ICons(h, insert x t))
+  | INil => ICons(x, INil);
+
+fun sort xs = foldl (fn acc => fn h => insert h acc) INil xs;
+
+fun upto a = fn b => if b < a then INil else ICons(a, upto (a + 1) b);
+
+fun sum xs = foldl (fn x => fn y => x + y) 0 xs;
+
+-- ---------- options ----------
+datatype iopt = None | Some of int;
+
+fun getOr d = fn o => case o of Some(v) => v | None => d;
+
+fun find p = fn xs =>
+  case xs of
+    ICons(h, t) => (if p h then Some(h) else find p t)
+  | INil => None;
+
+-- ---------- an arithmetic-expression interpreter ----------
+datatype aexp =
+    Num of int
+  | Add2 of aexp * aexp
+  | Mul2 of aexp * aexp
+  | Neg of aexp;
+
+fun aeval e =
+  case e of
+    Num(n) => n
+  | Add2(a, b) => aeval a + aeval b
+  | Mul2(a, b) => aeval a * aeval b
+  | Neg(a) => 0 - aeval a;
+
+fun asize e =
+  case e of
+    Num(n) => 1
+  | Add2(a, b) => 1 + asize a + asize b
+  | Mul2(a, b) => 1 + asize a + asize b
+  | Neg(a) => 1 + asize a;
+
+-- constant folding: an optimization pass inside the workload
+fun afold e =
+  case e of
+    Add2(a, b) =>
+      (let val fa = afold a  val fb = afold b in
+        case fa of
+          Num(x) => (case fb of Num(y) => Num(x + y) | _ => Add2(fa, fb))
+        | _ => Add2(fa, fb)
+      end)
+  | Mul2(a, b) =>
+      (let val fa = afold a  val fb = afold b in
+        case fa of
+          Num(x) => (case fb of Num(y) => Num(x * y) | _ => Mul2(fa, fb))
+        | _ => Mul2(fa, fb)
+      end)
+  | Neg(a) =>
+      (let val fa = afold a in
+        case fa of Num(x) => Num(0 - x) | _ => Neg(fa)
+      end)
+  | _ => e;
+
+-- ---------- Church numerals (higher-order stress) ----------
+fun church n = fn f => fn x => if n = 0 then x else church (n - 1) f (f x);
+fun unchurch c = c (fn k => k + 1) 0;
+fun cadd a = fn b => fn f => fn x => a f (b f x);
+fun cmul a = fn b => fn f => a (b f);
+
+-- ---------- driver ----------
+val nums = upto 1 10;
+val evens = filter (fn n => n - (n div 2) * 2 = 0) nums;
+val doubled = map (fn n => n * 2) evens;
+val total = sum doubled;
+val u1 = print total;
+
+val sorted = sort (ICons(3, ICons(1, ICons(2, INil))));
+val u2 = print (length sorted);
+val u3 = print (getOr 0 (find (fn n => 2 < n) sorted));
+
+val expr = Add2(Mul2(Num(3), Num(4)), Neg(Num(2)));
+val u4 = print (aeval expr);
+val u5 = print (aeval (afold expr));
+val u6 = print (asize (afold expr));
+
+val three = church 3;
+val four = church 4;
+val u7 = print (unchurch (cadd three four));
+val u8 = print (unchurch (cmul three four));
+
+total + aeval expr
+"#;
+
+/// The parsed program.
+pub fn program() -> Program {
+    Program::parse(SOURCE).expect("stdlib source parses")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stcfa_lambda::eval::{eval, EvalOptions, Value};
+    use stcfa_types::TypedProgram;
+
+    #[test]
+    fn parses_and_typechecks() {
+        let p = program();
+        assert!(p.size() > 450, "got {}", p.size());
+        TypedProgram::infer(&p).expect("stdlib is well-typed");
+    }
+
+    #[test]
+    fn computes_the_expected_answers() {
+        let p = program();
+        let out = eval(&p, EvalOptions { fuel: 10_000_000, inputs: vec![] }).unwrap();
+        // evens of 1..10 = [2,4,6,8,10]; doubled sums to 60.
+        // sorted list has 3 elements; first >2 in sorted [1,2,3] is 3.
+        // 3*4 + (−2) = 10; folded agrees; folded size is 1.
+        // church: 3+4=7, 3*4=12.
+        assert_eq!(out.outputs, vec![60, 3, 3, 10, 10, 1, 7, 12]);
+        let Value::Int(v) = out.value else { panic!() };
+        assert_eq!(v, 70);
+    }
+
+    #[test]
+    fn subtransitive_matches_cubic_at_call_sites() {
+        let p = program();
+        let a = stcfa_core::Analysis::run(&p).expect("bounded-type");
+        let cfa = stcfa_cfa0::Cfa0::analyze(&p);
+        for app in p.app_sites() {
+            let stcfa_lambda::ExprKind::App { func, .. } = p.kind(app) else {
+                unreachable!()
+            };
+            let got = a.labels_of(*func);
+            for l in cfa.labels(&p, *func) {
+                assert!(got.contains(&l), "missing {l:?} at {func:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn nesting_levels_are_flat() {
+        // All three datatypes only mention themselves: max level 0.
+        let p = program();
+        assert_eq!(p.data_env().max_nesting_level(), 0);
+    }
+}

@@ -1,0 +1,416 @@
+//! Random well-typed bounded-type program generation.
+//!
+//! The generator is *type-directed*: it draws a goal type from a pool whose
+//! depth is bounded by [`SynthConfig::max_type_depth`], then builds a term
+//! of that type, so every generated program is simply typed — i.e. lies in
+//! the paper's `P_k` class for a `k` controlled by the configuration — and
+//! evaluates without dynamic type errors. Recursive functions follow a
+//! structurally-decreasing counter pattern, so generated programs also
+//! *terminate*, which the differential/soundness property tests rely on.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use stcfa_lambda::{ConId, ExprId, PrimOp, Program, ProgramBuilder, TyExpr, VarId};
+
+/// Generator parameters.
+#[derive(Clone, Debug)]
+pub struct SynthConfig {
+    /// RNG seed: same seed, same program.
+    pub seed: u64,
+    /// Approximate number of AST nodes to produce.
+    pub target_size: usize,
+    /// Bound on generated type depth (hence on the type-size constant `k`).
+    pub max_type_depth: usize,
+    /// Probability that an integer leaf is wrapped in a `print` effect.
+    pub effect_prob: f64,
+    /// Maximum record width (0 disables records).
+    pub max_tuple_width: usize,
+    /// Whether to declare and use a (non-recursive) datatype, exercising
+    /// constructor/`case` flow. Non-recursive so that even the `Exact`
+    /// datatype policy terminates, keeping the full differential-equality
+    /// property applicable.
+    pub datatypes: bool,
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        SynthConfig {
+            seed: 0,
+            target_size: 200,
+            max_type_depth: 2,
+            effect_prob: 0.1,
+            max_tuple_width: 3,
+            datatypes: true,
+        }
+    }
+}
+
+/// The small structural type universe of the generator.
+#[derive(Clone, PartialEq, Eq, Debug)]
+enum STy {
+    Int,
+    Bool,
+    Arrow(Box<STy>, Box<STy>),
+    Tuple(Vec<STy>),
+    /// The generator's fixed datatype
+    /// `datatype syn = S0 | S1 of int | S2 of (int -> int) * int`.
+    Data,
+}
+
+/// Constructors of the generator's datatype, in declaration order.
+#[derive(Clone, Copy)]
+struct SynData {
+    s0: ConId,
+    s1: ConId,
+    s2: ConId,
+}
+
+/// Generates a program from the configuration.
+///
+/// The program is a chain of top-level `let` bindings (so size scales
+/// linearly with [`SynthConfig::target_size`]) whose right-hand sides are
+/// depth-bounded random terms, followed by a final expression that can use
+/// all of them.
+pub fn generate(config: &SynthConfig) -> Program {
+    let mut b = ProgramBuilder::new();
+    let data = if config.datatypes {
+        let d = b.declare_data("syn");
+        let s0 = b.declare_con(d, "S0", vec![]);
+        let s1 = b.declare_con(d, "S1", vec![TyExpr::Int]);
+        let s2 = b.declare_con(
+            d,
+            "S2",
+            vec![TyExpr::Arrow(Box::new(TyExpr::Int), Box::new(TyExpr::Int)), TyExpr::Int],
+        );
+        Some(SynData { s0, s1, s2 })
+    } else {
+        None
+    };
+    let mut g = Gen {
+        rng: SmallRng::seed_from_u64(config.seed),
+        b,
+        env: Vec::new(),
+        budget: config.target_size as isize,
+        config: config.clone(),
+        fresh: 0,
+        data,
+    };
+    // Top-level binding chain.
+    let mut bindings: Vec<(VarId, ExprId)> = Vec::new();
+    while g.budget > 0 {
+        let ty = g.random_type(g.config.max_type_depth);
+        let rhs = g.expr(&ty, 5);
+        let name = g.fresh_name("top");
+        let binder = g.b.fresh_var(&name);
+        g.env.push((binder, ty));
+        bindings.push((binder, rhs));
+    }
+    let goal = g.random_type(g.config.max_type_depth);
+    g.budget = 32; // allow the final expression a little room
+    let mut body = g.expr(&goal, 5);
+    for (binder, rhs) in bindings.into_iter().rev() {
+        body = g.b.let_(binder, rhs, body);
+    }
+    g.b.finish(body).expect("generated program is well-formed")
+}
+
+struct Gen {
+    rng: SmallRng,
+    b: ProgramBuilder,
+    env: Vec<(VarId, STy)>,
+    budget: isize,
+    config: SynthConfig,
+    fresh: u32,
+    data: Option<SynData>,
+}
+
+impl Gen {
+    fn fresh_name(&mut self, prefix: &str) -> String {
+        self.fresh += 1;
+        format!("{prefix}{}", self.fresh)
+    }
+
+    fn random_type(&mut self, depth: usize) -> STy {
+        if depth == 0 {
+            return match self.rng.gen_range(0..10) {
+                0..=6 => STy::Int,
+                7..=8 => STy::Bool,
+                _ if self.data.is_some() => STy::Data,
+                _ => STy::Int,
+            };
+        }
+        match self.rng.gen_range(0..11) {
+            0..=3 => STy::Int,
+            4 => STy::Bool,
+            5..=7 => {
+                let a = self.random_type(depth - 1);
+                let b = self.random_type(depth - 1);
+                STy::Arrow(Box::new(a), Box::new(b))
+            }
+            8 if self.data.is_some() => STy::Data,
+            _ if self.config.max_tuple_width >= 2 => {
+                let w = self.rng.gen_range(2..=self.config.max_tuple_width);
+                STy::Tuple((0..w).map(|_| self.random_type(depth - 1)).collect())
+            }
+            _ => STy::Int,
+        }
+    }
+
+    /// Builds an expression of type `ty`; `depth` bounds term recursion.
+    fn expr(&mut self, ty: &STy, depth: usize) -> ExprId {
+        self.budget -= 1;
+        if depth == 0 || self.budget <= 0 {
+            return self.leaf(ty);
+        }
+        // Candidate productions, weighted.
+        match self.rng.gen_range(0..13) {
+            0 | 1 => self.leaf(ty),
+            2 | 3 => self.lookup_env(ty).unwrap_or_else(|| self.leaf(ty)),
+            4 | 5 => self.application(ty, depth),
+            6 | 7 => self.let_binding(ty, depth),
+            8 => self.conditional(ty, depth),
+            9 => self.projection(ty, depth),
+            10 => self.recursion(ty, depth),
+            11 if self.data.is_some() => self.case_of_data(ty, depth),
+            _ => match ty {
+                STy::Arrow(a, b) => self.lambda(a, b, depth),
+                STy::Tuple(parts) => self.tuple(parts.clone(), depth),
+                _ => self.arith(ty, depth),
+            },
+        }
+    }
+
+    /// `case <data> of S0 => e | S1(n) => e | S2(f, k) => e [| _ => e]`.
+    fn case_of_data(&mut self, ty: &STy, depth: usize) -> ExprId {
+        let data = self.data.expect("guarded by caller");
+        let scrutinee = self.expr(&STy::Data, depth - 1);
+        let arm0 = (data.s0, Vec::new(), self.expr(ty, depth - 1));
+        let n_name = self.fresh_name("n");
+        let n = self.b.fresh_var(&n_name);
+        self.env.push((n, STy::Int));
+        let body1 = self.expr(ty, depth - 1);
+        self.env.pop();
+        let arm1 = (data.s1, vec![n], body1);
+        let f_name = self.fresh_name("f");
+        let f = self.b.fresh_var(&f_name);
+        let k_name = self.fresh_name("k");
+        let k = self.b.fresh_var(&k_name);
+        self.env.push((f, STy::Arrow(Box::new(STy::Int), Box::new(STy::Int))));
+        self.env.push((k, STy::Int));
+        let body2 = self.expr(ty, depth - 1);
+        self.env.pop();
+        self.env.pop();
+        let arm2 = (data.s2, vec![f, k], body2);
+        self.b.case(scrutinee, vec![arm0, arm1, arm2], None)
+    }
+
+    fn leaf(&mut self, ty: &STy) -> ExprId {
+        // Effects are injected before consulting the environment, so their
+        // density stays proportional to program size even when most leaves
+        // become variable references.
+        if matches!(ty, STy::Int) && self.rng.gen_bool(self.config.effect_prob) {
+            // let u = print v in v end
+            let value = self.rng.gen_range(0..100);
+            let v1 = self.b.int(value);
+            let pr = self.b.prim(PrimOp::Print, vec![v1]);
+            let name = self.fresh_name("u");
+            let u = self.b.fresh_var(&name);
+            let v2 = self.b.int(value);
+            return self.b.let_(u, pr, v2);
+        }
+        if let Some(e) = self.lookup_env(ty) {
+            return e;
+        }
+        match ty {
+            STy::Int => {
+                let value = self.rng.gen_range(0..100);
+                self.b.int(value)
+            }
+            STy::Bool => {
+                let v = self.rng.gen_bool(0.5);
+                self.b.bool(v)
+            }
+            STy::Arrow(a, b) => {
+                let (a, b) = (a.clone(), b.clone());
+                self.lambda(&a, &b, 1)
+            }
+            STy::Tuple(parts) => self.tuple(parts.clone(), 1),
+            STy::Data => {
+                let data = self.data.expect("Data type only drawn when enabled");
+                match self.rng.gen_range(0..3) {
+                    0 => self.b.con(data.s0, vec![]),
+                    1 => {
+                        let n = self.expr(&STy::Int, 0);
+                        self.b.con(data.s1, vec![n])
+                    }
+                    _ => {
+                        let f = self
+                            .expr(&STy::Arrow(Box::new(STy::Int), Box::new(STy::Int)), 1);
+                        let k = self.expr(&STy::Int, 0);
+                        self.b.con(data.s2, vec![f, k])
+                    }
+                }
+            }
+        }
+    }
+
+    fn lookup_env(&mut self, ty: &STy) -> Option<ExprId> {
+        let matches: Vec<VarId> = self
+            .env
+            .iter()
+            .filter(|(_, t)| t == ty)
+            .map(|(v, _)| *v)
+            .collect();
+        if matches.is_empty() {
+            return None;
+        }
+        let pick = matches[self.rng.gen_range(0..matches.len())];
+        Some(self.b.var(pick))
+    }
+
+    fn lambda(&mut self, a: &STy, b: &STy, depth: usize) -> ExprId {
+        let name = self.fresh_name("x");
+        let param = self.b.fresh_var(&name);
+        self.env.push((param, a.clone()));
+        let body = self.expr(b, depth.saturating_sub(1));
+        self.env.pop();
+        self.b.lam(param, body)
+    }
+
+    fn tuple(&mut self, parts: Vec<STy>, depth: usize) -> ExprId {
+        let items: Vec<ExprId> =
+            parts.iter().map(|p| self.expr(p, depth.saturating_sub(1))).collect();
+        self.b.record(items)
+    }
+
+    fn application(&mut self, ty: &STy, depth: usize) -> ExprId {
+        let arg_ty = self.random_type(self.config.max_type_depth.saturating_sub(1));
+        let fun_ty = STy::Arrow(Box::new(arg_ty.clone()), Box::new(ty.clone()));
+        let f = self.expr(&fun_ty, depth - 1);
+        let a = self.expr(&arg_ty, depth - 1);
+        self.b.app(f, a)
+    }
+
+    fn let_binding(&mut self, ty: &STy, depth: usize) -> ExprId {
+        let bound_ty = self.random_type(self.config.max_type_depth);
+        let rhs = self.expr(&bound_ty, depth - 1);
+        let name = self.fresh_name("v");
+        let binder = self.b.fresh_var(&name);
+        self.env.push((binder, bound_ty));
+        let body = self.expr(ty, depth - 1);
+        self.env.pop();
+        self.b.let_(binder, rhs, body)
+    }
+
+    fn conditional(&mut self, ty: &STy, depth: usize) -> ExprId {
+        let c = self.expr(&STy::Bool, depth - 1);
+        let t = self.expr(ty, depth - 1);
+        let e = self.expr(ty, depth - 1);
+        self.b.if_(c, t, e)
+    }
+
+    fn projection(&mut self, ty: &STy, depth: usize) -> ExprId {
+        if self.config.max_tuple_width < 2 {
+            return self.leaf(ty);
+        }
+        // Build a tuple with `ty` at a known position, then project it.
+        let width = self.rng.gen_range(2..=self.config.max_tuple_width);
+        let slot = self.rng.gen_range(0..width);
+        let parts: Vec<STy> = (0..width)
+            .map(|i| if i == slot { ty.clone() } else { self.random_type(0) })
+            .collect();
+        let tup = self.tuple(parts, depth - 1);
+        self.b.proj(slot as u32, tup)
+    }
+
+    /// `letrec f = fn n => if n = 0 then base else f (n - 1) in f k` — a
+    /// structurally terminating recursion returning `ty`.
+    fn recursion(&mut self, ty: &STy, depth: usize) -> ExprId {
+        let fname = self.fresh_name("rec");
+        let f = self.b.fresh_var(&fname);
+        let nname = self.fresh_name("n");
+        let n = self.b.fresh_var(&nname);
+
+        // Only `n` joins the general environment: if `f` did, random call
+        // sites could apply it to large computed integers and blow the
+        // (unbounded-stack) recursion depth.
+        self.env.push((n, STy::Int));
+        let nv = self.b.var(n);
+        let zero = self.b.int(0);
+        let cond = self.b.prim(PrimOp::IntEq, vec![nv, zero]);
+        let base = self.expr(ty, depth.saturating_sub(1));
+        let fv = self.b.var(f);
+        let nv2 = self.b.var(n);
+        let one = self.b.int(1);
+        let dec = self.b.prim(PrimOp::Sub, vec![nv2, one]);
+        let call = self.b.app(fv, dec);
+        let body = self.b.if_(cond, base, call);
+        self.env.pop(); // n
+        let lam = self.b.lam(n, body);
+
+        // letrec f = lam in f k
+        let fv2 = self.b.var(f);
+        let k = self.rng.gen_range(0..5);
+        let kv = self.b.int(k);
+        let use_site = self.b.app(fv2, kv);
+        self.b.letrec(f, lam, use_site)
+    }
+
+    fn arith(&mut self, ty: &STy, depth: usize) -> ExprId {
+        match ty {
+            STy::Int => {
+                let a = self.expr(&STy::Int, depth - 1);
+                let b = self.expr(&STy::Int, depth - 1);
+                let op = [PrimOp::Add, PrimOp::Sub, PrimOp::Mul][self.rng.gen_range(0..3)];
+                self.b.prim(op, vec![a, b])
+            }
+            STy::Bool => {
+                let a = self.expr(&STy::Int, depth - 1);
+                let b = self.expr(&STy::Int, depth - 1);
+                let op = [PrimOp::Lt, PrimOp::Leq, PrimOp::IntEq][self.rng.gen_range(0..3)];
+                self.b.prim(op, vec![a, b])
+            }
+            other => self.leaf(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stcfa_lambda::eval::{eval, EvalOptions};
+    use stcfa_types::TypedProgram;
+
+    #[test]
+    fn generated_programs_are_well_typed() {
+        for seed in 0..30 {
+            let p = generate(&SynthConfig { seed, ..Default::default() });
+            TypedProgram::infer(&p)
+                .unwrap_or_else(|e| panic!("seed {seed} generated ill-typed program: {e}"));
+        }
+    }
+
+    #[test]
+    fn generated_programs_terminate() {
+        for seed in 0..30 {
+            let p = generate(&SynthConfig { seed, ..Default::default() });
+            eval(&p, EvalOptions { fuel: 1_000_000, inputs: vec![] })
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn determinism() {
+        let cfg = SynthConfig { seed: 42, ..Default::default() };
+        let a = generate(&cfg).to_source();
+        let b = generate(&cfg).to_source();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn size_scales_with_target() {
+        let small = generate(&SynthConfig { seed: 7, target_size: 100, ..Default::default() });
+        let large = generate(&SynthConfig { seed: 7, target_size: 2000, ..Default::default() });
+        assert!(large.size() > small.size());
+    }
+}

@@ -1,0 +1,81 @@
+//! A guided tour of the paper's Section 3 worked example:
+//! `(λx.(x x)) (λ'x'.x')`.
+//!
+//! Prints the build-phase edges (ABS-1/ABS-2/APP-1/APP-2), the close-phase
+//! edges the demand-driven rules add, and the multi-step path that replaces
+//! DTC's single transition `(λx.(x x)) (λ'x'.x') → λ'x'.x'`.
+//!
+//! Run with: `cargo run --example paper_walkthrough`
+
+use stcfa::cfa0::Dtc;
+use stcfa::core::{Analysis, NodeId, NodeKind};
+use stcfa::lambda::Program;
+
+fn describe(analysis: &Analysis, program: &Program, n: NodeId) -> String {
+    match analysis.nodes().kind(n) {
+        NodeKind::Expr(e) => match program.kind(e) {
+            stcfa::lambda::ExprKind::Lam { param, .. } => {
+                format!("λ{}", program.var_name(*param))
+            }
+            stcfa::lambda::ExprKind::App { .. } => {
+                if e == program.root() {
+                    "(λx.(x x) λy.y)".into()
+                } else {
+                    "(x x)".into()
+                }
+            }
+            other => format!("{other:?}"),
+        },
+        NodeKind::Binder(v) => program.var_name(v).to_string(),
+        NodeKind::Dom(p) => format!("dom({})", describe(analysis, program, p)),
+        NodeKind::Ran(p) => format!("ran({})", describe(analysis, program, p)),
+        other => format!("{other:?}"),
+    }
+}
+
+fn main() {
+    let program = Program::parse("(fn x => x x) (fn y => y)").unwrap();
+    let analysis = Analysis::run(&program).unwrap();
+    let stats = analysis.stats();
+
+    println!("program: (λx.(x x)) (λ'y.y)\n");
+    println!(
+        "build phase: {} nodes, {} edges; close phase adds {} nodes, {} edges\n",
+        stats.build_nodes, stats.build_edges, stats.close_nodes, stats.close_edges
+    );
+
+    println!("all edges of the subtransitive graph (consumer → producer):");
+    for i in 0..analysis.node_count() {
+        let n = NodeId::from_index(i);
+        for &s in analysis.succs(n) {
+            println!(
+                "  {} → {}",
+                describe(&analysis, &program, n),
+                describe(&analysis, &program, NodeId::from_index(s as usize))
+            );
+        }
+    }
+
+    // The headline result: reachability on this graph equals standard CFA.
+    let labels = analysis.labels_of(program.root());
+    println!("\nL(root) via graph reachability: {labels:?}");
+
+    // The multi-step path that witnesses it — the paper's Section 3
+    // derivation, recovered mechanically.
+    let path = analysis
+        .witness_path(program.root(), labels[0])
+        .expect("the label is reachable");
+    println!("\nwitness path (the paper's multi-step LC derivation):");
+    for (i, &n) in path.iter().enumerate() {
+        let arrow = if i == 0 { "  " } else { "→ " };
+        println!("  {arrow}{}", describe(&analysis, &program, n));
+    }
+
+    let dtc = Dtc::analyze(&program).unwrap();
+    println!("L(root) via the DTC system:    {:?}", dtc.labels(program.root()));
+    assert_eq!(labels, dtc.labels(program.root()));
+    println!(
+        "\nDTC adds the transition root → λy in one (cubic) step; the\n\
+         subtransitive graph spells it as a multi-step path — Proposition 1."
+    );
+}

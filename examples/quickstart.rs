@@ -1,0 +1,60 @@
+//! Quickstart: parse a program, run the linear-time subtransitive CFA, and
+//! ask the four queries from the paper's Section 2 table.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use stcfa::core::Analysis;
+use stcfa::lambda::{ExprKind, Program};
+
+fn main() {
+    // The paper's Section 3 worked example, plus a little context.
+    let source = "\
+        fun id x = x;\n\
+        val f = id (fn a => a + 1);\n\
+        val g = id (fn b => b * 2);\n\
+        f (g 10)";
+    let program = Program::parse(source).expect("parses");
+    println!("program ({} syntax nodes):\n{source}\n", program.size());
+
+    // One linear-time pass builds the subtransitive graph.
+    let analysis = Analysis::run(&program).expect("bounded-type program");
+    let stats = analysis.stats();
+    println!(
+        "subtransitive graph: {} build nodes + {} close nodes, {} edges\n",
+        stats.build_nodes,
+        stats.close_nodes,
+        stats.edges()
+    );
+
+    // Query 1: L(e) for the root — one reachability, O(graph).
+    let root_labels = analysis.labels_of(program.root());
+    println!("L(root) = {:?}  (the program evaluates to an int: no functions)", root_labels);
+
+    // Query 2: call targets at every application site.
+    println!("\ncall targets per application site:");
+    for app in program.app_sites() {
+        let ExprKind::App { func, .. } = program.kind(app) else { unreachable!() };
+        let targets = analysis.labels_of(*func);
+        let names: Vec<String> = targets
+            .iter()
+            .map(|l| {
+                let lam = program.lam_of_label(*l);
+                let ExprKind::Lam { param, .. } = program.kind(lam) else { unreachable!() };
+                format!("fn {} => …", program.var_name(*param))
+            })
+            .collect();
+        println!("  {app:?}: {names:?}");
+    }
+
+    // Query 3: is a specific label possible at a site? (early-exit search)
+    let first_label = program.all_labels().next().expect("has a lambda");
+    println!(
+        "\nlabel {:?} possible at root? {}",
+        first_label,
+        analysis.label_reaches(program.root(), first_label)
+    );
+
+    // Query 4: the inverse — everywhere a given abstraction can show up.
+    let sites = analysis.exprs_with_label(first_label);
+    println!("expressions that may evaluate to {first_label:?}: {} occurrences", sites.len());
+}

@@ -1,0 +1,538 @@
+//! Command-line front end: run the paper's analyses on a source file.
+//!
+//! ```text
+//! stcfa <FILE|-> [COMMANDS] [OPTIONS]
+//!
+//! COMMANDS (any combination; default: --summary)
+//!   --summary          program and subtransitive-graph statistics
+//!   --labels           L(root): the abstractions the program can evaluate to
+//!   --call-sites       call targets at every application site
+//!   --effects          the may-have-side-effects report (paper §8)
+//!   --k-limited <k>    call targets cut off at k with "many" (paper §9)
+//!   --called-once      functions called from exactly one / no call site
+//!   --inline           repeatedly inline unique called-once targets; print program
+//!   --types            type metrics: k_avg, k_max, order, arity (paper §4–5)
+//!   --boundedness      direct vs McAllester (let-expanded) type bounds (§5)
+//!   --eval             run the program under call-by-value
+//!   --live             reachability report (dead λ-bodies and case arms)
+//!   --witness          for each label in L(root): the graph path proving it
+//!   --dot              emit the subtransitive graph in Graphviz syntax
+//!
+//! REPL MODE
+//!   --repl             read fragments from stdin (one per line, `;;` to
+//!                      submit multi-line input), analyzing incrementally
+//!
+//! OPTIONS
+//!   --analysis <sub|poly|hybrid|cfa0|sba|unify>   engine for label queries (default sub)
+//!   --policy <c1|c2|exact|forget>                 datatype congruence (default c1)
+//!   --max-nodes <n>                               close-phase node budget
+//!   --fuel <n>                                    evaluation step budget (default 10^7)
+//! ```
+
+use std::io::Read as _;
+use std::process::ExitCode;
+
+use stcfa::apps::{effects, find_candidates, inline_once, CallSites, CalledOnce, KLimited};
+use stcfa::cfa0::Cfa0;
+use stcfa::core::hybrid::HybridCfa;
+use stcfa::core::{dot, Analysis, AnalysisOptions, DatatypePolicy, PolyAnalysis};
+use stcfa::lambda::eval::{eval, EvalOptions, Value};
+use stcfa::lambda::{ExprId, ExprKind, Label, Program};
+use stcfa::sba::Sba;
+use stcfa::types::{TypeMetrics, TypedProgram};
+use stcfa::unify::UnifyCfa;
+
+struct Options {
+    path: String,
+    commands: Vec<Command>,
+    engine: EngineKind,
+    policy: DatatypePolicy,
+    max_nodes: Option<usize>,
+    fuel: u64,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Command {
+    Summary,
+    Labels,
+    CallSites,
+    Effects,
+    KLimited(usize),
+    CalledOnce,
+    Inline,
+    Types,
+    Boundedness,
+    Eval,
+    Live,
+    Witness,
+    Dot,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum EngineKind {
+    Sub,
+    Poly,
+    Hybrid,
+    Cfa0,
+    Sba,
+    Unify,
+}
+
+/// Uniform label-query interface over the six engines.
+enum Engine {
+    Sub(Analysis),
+    Poly(PolyAnalysis),
+    Hybrid(HybridCfa),
+    Cfa0(Cfa0),
+    Sba(Sba),
+    Unify(UnifyCfa),
+}
+
+impl Engine {
+    fn name(&self) -> &'static str {
+        match self {
+            Engine::Sub(_) => "subtransitive (linear)",
+            Engine::Poly(_) => "polyvariant subtransitive",
+            Engine::Hybrid(h) => {
+                if h.is_linear() {
+                    "hybrid → subtransitive"
+                } else {
+                    "hybrid → cubic fallback"
+                }
+            }
+            Engine::Cfa0(_) => "standard 0-CFA (cubic)",
+            Engine::Sba(_) => "set-based analysis",
+            Engine::Unify(_) => "equality-based (unification)",
+        }
+    }
+
+    fn labels_of(&self, program: &Program, e: ExprId) -> Vec<Label> {
+        match self {
+            Engine::Sub(a) => a.labels_of(e),
+            Engine::Poly(a) => a.labels_of(e),
+            Engine::Hybrid(h) => h.labels_of(program, e),
+            Engine::Cfa0(c) => c.labels(program, e),
+            Engine::Sba(s) => s.labels(program, e),
+            Engine::Unify(u) => u.labels(e),
+        }
+    }
+}
+
+fn usage() -> &'static str {
+    "usage: stcfa <FILE|-> [--summary|--labels|--call-sites|--effects|\
+     --k-limited <k>|--called-once|--inline|--types|--boundedness|--eval|--live|--witness|--dot]*\n\
+     \t[--analysis sub|poly|hybrid|cfa0|sba|unify] [--policy c1|c2|exact|forget]\n\
+     \t[--max-nodes <n>] [--fuel <n>]\n\
+     \tor: stcfa --repl    (incremental session on stdin)"
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut path = None;
+    let mut commands = Vec::new();
+    let mut engine = EngineKind::Sub;
+    let mut policy = DatatypePolicy::Congruence1;
+    let mut max_nodes = None;
+    let mut fuel = 10_000_000u64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--summary" => commands.push(Command::Summary),
+            "--labels" => commands.push(Command::Labels),
+            "--call-sites" => commands.push(Command::CallSites),
+            "--effects" => commands.push(Command::Effects),
+            "--called-once" => commands.push(Command::CalledOnce),
+            "--inline" => commands.push(Command::Inline),
+            "--types" => commands.push(Command::Types),
+            "--boundedness" => commands.push(Command::Boundedness),
+            "--eval" => commands.push(Command::Eval),
+            "--live" => commands.push(Command::Live),
+            "--witness" => commands.push(Command::Witness),
+            "--dot" => commands.push(Command::Dot),
+            "--k-limited" => {
+                let k = it
+                    .next()
+                    .ok_or("--k-limited needs a value")?
+                    .parse::<usize>()
+                    .map_err(|e| format!("--k-limited: {e}"))?;
+                commands.push(Command::KLimited(k));
+            }
+            "--analysis" => {
+                engine = match it.next().map(String::as_str) {
+                    Some("sub") => EngineKind::Sub,
+                    Some("poly") => EngineKind::Poly,
+                    Some("hybrid") => EngineKind::Hybrid,
+                    Some("cfa0") => EngineKind::Cfa0,
+                    Some("sba") => EngineKind::Sba,
+                    Some("unify") => EngineKind::Unify,
+                    other => return Err(format!("unknown analysis {other:?}")),
+                };
+            }
+            "--policy" => {
+                policy = match it.next().map(String::as_str) {
+                    Some("c1") => DatatypePolicy::Congruence1,
+                    Some("c2") => DatatypePolicy::Congruence2,
+                    Some("exact") => DatatypePolicy::Exact,
+                    Some("forget") => DatatypePolicy::Forget,
+                    other => return Err(format!("unknown policy {other:?}")),
+                };
+            }
+            "--max-nodes" => {
+                max_nodes = Some(
+                    it.next()
+                        .ok_or("--max-nodes needs a value")?
+                        .parse()
+                        .map_err(|e| format!("--max-nodes: {e}"))?,
+                );
+            }
+            "--fuel" => {
+                fuel = it
+                    .next()
+                    .ok_or("--fuel needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--fuel: {e}"))?;
+            }
+            "--help" | "-h" => return Err(usage().to_owned()),
+            other if path.is_none() && !other.starts_with("--") => {
+                path = Some(other.to_owned());
+            }
+            other => return Err(format!("unexpected argument `{other}`\n{}", usage())),
+        }
+    }
+    let path = path.ok_or_else(|| usage().to_owned())?;
+    if commands.is_empty() {
+        commands.push(Command::Summary);
+    }
+    Ok(Options { path, commands, engine, policy, max_nodes, fuel })
+}
+
+fn lam_name(program: &Program, l: Label) -> String {
+    let lam = program.lam_of_label(l);
+    let ExprKind::Lam { param, .. } = program.kind(lam) else { unreachable!() };
+    format!("λ{}#{}", program.var_name(*param), l.index())
+}
+
+fn repl() -> Result<(), String> {
+    use stcfa::core::incremental::IncrementalAnalysis;
+    use stcfa::lambda::session::SessionProgram;
+
+    let mut session = SessionProgram::new();
+    let mut analysis = IncrementalAnalysis::new(Default::default());
+    let mut buffer = String::new();
+    let stdin = std::io::stdin();
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let n = std::io::BufRead::read_line(&mut stdin.lock(), &mut line)
+            .map_err(|e| e.to_string())?;
+        if n == 0 {
+            return Ok(()); // EOF
+        }
+        let trimmed = line.trim_end();
+        // `;;` submits accumulated multi-line input; otherwise each
+        // non-empty line is its own fragment.
+        if let Some(head) = trimmed.strip_suffix(";;") {
+            buffer.push_str(head);
+        } else if !buffer.is_empty() {
+            buffer.push_str(trimmed);
+            buffer.push('\n');
+            continue;
+        } else {
+            buffer.push_str(trimmed);
+        }
+        let source = std::mem::take(&mut buffer);
+        if source.trim().is_empty() {
+            continue;
+        }
+        match session.define(&source) {
+            Err(e) => eprintln!("error: {e}"),
+            Ok(fragment) => match analysis.update(&session) {
+                Err(e) => eprintln!("analysis error: {e}"),
+                Ok(delta) => {
+                    for b in &fragment.bindings {
+                        let n =
+                            analysis.labels_of_binder(session.program(), b.binder).len();
+                        println!("{} : {} possible function(s)", b.name, n);
+                    }
+                    if let Some(v) = fragment.value {
+                        let labels = analysis.labels_of(session.program(), v);
+                        println!("value : {} possible function(s)", labels.len());
+                    }
+                    println!(
+                        "[+{} nodes, +{} edges; total {}]",
+                        delta.new_nodes,
+                        delta.new_edges,
+                        analysis.node_count()
+                    );
+                }
+            },
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--repl") {
+        return repl();
+    }
+    let options = parse_args(&args)?;
+
+    let source = if options.path == "-" {
+        let mut s = String::new();
+        std::io::stdin().read_to_string(&mut s).map_err(|e| e.to_string())?;
+        s
+    } else {
+        std::fs::read_to_string(&options.path)
+            .map_err(|e| format!("{}: {e}", options.path))?
+    };
+    let program = Program::parse(&source).map_err(|e| e.to_string())?;
+
+    let analysis_options = AnalysisOptions { policy: options.policy, max_nodes: options.max_nodes };
+    // Commands other than pure label queries run on the subtransitive graph.
+    let needs_graph = options.commands.iter().any(|c| {
+        matches!(
+            c,
+            Command::Summary
+                | Command::Effects
+                | Command::KLimited(_)
+                | Command::CalledOnce
+                | Command::Inline
+                | Command::Witness
+                | Command::Dot
+        )
+    });
+    let graph = if needs_graph {
+        Some(Analysis::run_with(&program, analysis_options).map_err(|e| e.to_string())?)
+    } else {
+        None
+    };
+
+    let needs_engine = options
+        .commands
+        .iter()
+        .any(|c| matches!(c, Command::Labels | Command::CallSites | Command::Summary));
+    let engine = if !needs_engine {
+        None
+    } else {
+        Some(match options.engine {
+        EngineKind::Sub => {
+            Engine::Sub(Analysis::run_with(&program, analysis_options).map_err(|e| e.to_string())?)
+        }
+        EngineKind::Poly => Engine::Poly(
+            PolyAnalysis::run_with(
+                &program,
+                stcfa::core::PolyOptions { base: analysis_options, ..Default::default() },
+            )
+            .map_err(|e| e.to_string())?,
+        ),
+        EngineKind::Hybrid => Engine::Hybrid(HybridCfa::run(&program, analysis_options)),
+        EngineKind::Cfa0 => Engine::Cfa0(Cfa0::analyze(&program)),
+        EngineKind::Sba => Engine::Sba(Sba::analyze(&program)),
+            EngineKind::Unify => Engine::Unify(UnifyCfa::analyze(&program)),
+        })
+    };
+
+    for command in &options.commands {
+        match command {
+            Command::Summary => {
+                let a = graph.as_ref().expect("graph built");
+                let s = a.stats();
+                println!("program: {} syntax nodes, {} abstractions, {} application sites",
+                    program.size(), program.label_count(), program.app_sites().len());
+                println!(
+                    "graph:   {} nodes ({} build + {} close), {} edges ({} build + {} close)",
+                    s.nodes(), s.build_nodes, s.close_nodes,
+                    s.edges(), s.build_edges, s.close_edges
+                );
+                println!("engine:  {}", engine.as_ref().expect("summary needs the engine").name());
+            }
+            Command::Labels => {
+                let engine = engine.as_ref().expect("labels needs the engine");
+                let labels = engine.labels_of(&program, program.root());
+                if labels.is_empty() {
+                    println!("L(root) = {{}} (the program's value is not a function)");
+                } else {
+                    let names: Vec<String> =
+                        labels.iter().map(|&l| lam_name(&program, l)).collect();
+                    println!("L(root) = {{{}}}", names.join(", "));
+                }
+            }
+            Command::CallSites => {
+                let engine = engine.as_ref().expect("call-sites needs the engine");
+                println!("call targets per application site ({}):", engine.name());
+                for app in program.app_sites() {
+                    let ExprKind::App { func, .. } = program.kind(app) else { unreachable!() };
+                    let names: Vec<String> = engine
+                        .labels_of(&program, *func)
+                        .iter()
+                        .map(|&l| lam_name(&program, l))
+                        .collect();
+                    println!("  site@{}: {{{}}}", app.index(), names.join(", "));
+                }
+            }
+            Command::Effects => {
+                let a = graph.as_ref().expect("graph built");
+                let eff = effects(&program, a);
+                println!(
+                    "effects: {} of {} occurrences may have side effects",
+                    eff.count(),
+                    program.size()
+                );
+                println!(
+                    "root {} effectful",
+                    if eff.is_effectful(program.root()) { "IS" } else { "is NOT" }
+                );
+            }
+            Command::KLimited(k) => {
+                let a = graph.as_ref().expect("graph built");
+                let kl = KLimited::run(a, *k);
+                println!("{k}-limited call targets:");
+                for app in program.app_sites() {
+                    let set = kl.call_targets(&program, a, app).expect("app site");
+                    match set.as_small() {
+                        Some(ls) => {
+                            let names: Vec<String> =
+                                ls.iter().map(|&l| lam_name(&program, l)).collect();
+                            println!("  site@{}: {{{}}}", app.index(), names.join(", "));
+                        }
+                        None => println!("  site@{}: many", app.index()),
+                    }
+                }
+            }
+            Command::CalledOnce => {
+                let a = graph.as_ref().expect("graph built");
+                let co = CalledOnce::run(&program, a);
+                for l in program.all_labels() {
+                    let verdict = match co.of(l) {
+                        CallSites::None => "never called".to_owned(),
+                        CallSites::One(site) => format!("called once (site@{})", site.index()),
+                        CallSites::Many => "called from several sites".to_owned(),
+                    };
+                    println!("  {}: {verdict}", lam_name(&program, l));
+                }
+            }
+            Command::Inline => {
+                let mut current = program.clone();
+                let mut rounds = 0usize;
+                loop {
+                    let a = Analysis::run_with(&current, analysis_options)
+                        .map_err(|e| e.to_string())?;
+                    let cands = find_candidates(&current, &a);
+                    let Some(c) = cands.first() else { break };
+                    current = inline_once(&current, &a, c.site).map_err(|e| e.to_string())?;
+                    rounds += 1;
+                    if rounds > 1000 {
+                        return Err("inliner did not converge".into());
+                    }
+                }
+                eprintln!("inlined {rounds} call sites");
+                println!("{}", current.to_source());
+            }
+            Command::Types => {
+                let typed = TypedProgram::infer(&program).map_err(|e| e.to_string())?;
+                let m = TypeMetrics::compute(&program, &typed);
+                println!(
+                    "types: k_avg = {:.2}, k_max = {}, max order = {}, max arity = {} \
+                     (bounded-type class P_{})",
+                    m.avg_size, m.max_size, m.max_order, m.max_arity, m.max_size
+                );
+                // List the top-level binding chain with inferred types.
+                let mut cursor = program.root();
+                while let ExprKind::Let { binder, body, .. }
+                | ExprKind::LetRec { binder, body, .. } = program.kind(cursor)
+                {
+                    let name = program.var_name(*binder);
+                    if !name.starts_with('$') {
+                        println!(
+                            "  {name} : {}",
+                            typed.binder_ty(*binder).display(&program)
+                        );
+                    }
+                    cursor = *body;
+                }
+            }
+            Command::Boundedness => {
+                let b = stcfa::boundedness::measure(&program, 4).map_err(|e| e.to_string())?;
+                println!(
+                    "boundedness: direct k_max = {} (k_avg {:.2}); after {} let-expansion \
+                     round(s): k_max = {} (k_avg {:.2})",
+                    b.direct.max_size,
+                    b.direct.avg_size,
+                    b.rounds,
+                    b.mcallester.max_size,
+                    b.mcallester.avg_size
+                );
+                if b.mcallester.max_size > b.direct.max_size {
+                    println!(
+                        "note: nested polymorphic instantiations deepen the induced \
+                         monotypes (paper §5 / McAllester's measure)"
+                    );
+                }
+            }
+            Command::Eval => {
+                let out = eval(&program, EvalOptions { fuel: options.fuel, inputs: vec![] })
+                    .map_err(|e| e.to_string())?;
+                for n in &out.outputs {
+                    println!("{n}");
+                }
+                match out.value {
+                    Value::Int(n) => println!("=> {n}"),
+                    Value::Bool(b) => println!("=> {b}"),
+                    Value::Unit => println!("=> ()"),
+                    Value::Closure(_) => println!("=> <function>"),
+                    Value::Record(_) => println!("=> <record>"),
+                    Value::Con { .. } => println!("=> <constructor>"),
+                }
+            }
+            Command::Live => {
+                let live = stcfa::cfa0::LiveCfa0::analyze(&program);
+                let alive = live.live_exprs().len();
+                println!(
+                    "liveness: {alive} of {} occurrences reachable ({} dead)",
+                    program.size(),
+                    program.size() - alive
+                );
+                let dead_bodies = program
+                    .exprs()
+                    .filter(|&e| {
+                        matches!(program.kind(e), ExprKind::Lam { body, .. } if !live.is_live(*body))
+                    })
+                    .count();
+                println!("functions whose body is never executed: {dead_bodies}");
+            }
+            Command::Witness => {
+                let a = graph.as_ref().expect("graph built");
+                let labels = a.labels_of(program.root());
+                if labels.is_empty() {
+                    println!("L(root) is empty: no witness paths");
+                }
+                for l in labels {
+                    let path = a.witness_path(program.root(), l).expect("label is in L(root)");
+                    println!(
+                        "witness for {} ∈ L(root), {} steps:",
+                        lam_name(&program, l),
+                        path.len() - 1
+                    );
+                    for (i, &n) in path.iter().enumerate() {
+                        let arrow = if i == 0 { "  " } else { "→ " };
+                        println!("  {arrow}{}", dot::describe(a, &program, n));
+                    }
+                }
+            }
+            Command::Dot => {
+                let a = graph.as_ref().expect("graph built");
+                print!("{}", dot::render(a, &program));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Bounded-type classification for polymorphic programs (paper, Section 5).
+//!
+//! For monotyped programs, `P_k` membership is just "every occurrence's
+//! type tree has size ≤ k". For ML-polymorphic programs the paper adopts
+//! McAllester's definition: the program is k-bounded if the *monotypes of
+//! its let-expansion* are bounded by `k` — and notes it is **not**
+//! equivalent to Henglein's small-polytypes definition (footnote: a
+//! program family whose polytypes stay small but whose let-expanded
+//! monotypes grow).
+//!
+//! This module measures both views:
+//!
+//! - the *direct* metrics — monotypes of the original program's
+//!   occurrences, where each use of a polymorphic binder contributes its
+//!   instantiation (one level of the expansion);
+//! - the *McAllester* metrics — the same measurement after explicitly
+//!   let-expanding the program [`stcfa_core::expand`] a given number of
+//!   rounds, which exposes the monotypes of nested instantiations.
+
+use crate::core::expand::{expandable_binders, let_expand};
+use crate::lambda::Program;
+use crate::types::{TypeError, TypeMetrics, TypedProgram};
+
+/// The two boundedness measurements.
+#[derive(Clone, Copy, Debug)]
+pub struct Boundedness {
+    /// Metrics over the original program's occurrence monotypes.
+    pub direct: TypeMetrics,
+    /// Metrics over the let-expanded program's occurrence monotypes
+    /// (McAllester's measure, paper Section 5).
+    pub mcallester: TypeMetrics,
+    /// How many expansion rounds were applied before the expansion reached
+    /// a fixed point (or the round limit).
+    pub rounds: usize,
+}
+
+impl Boundedness {
+    /// Whether the program is in `P_k` in McAllester's sense for the
+    /// measured expansion depth.
+    pub fn is_k_bounded(&self, k: usize) -> bool {
+        self.mcallester.max_size <= k
+    }
+}
+
+/// Measures both boundedness views. `max_rounds` bounds the explicit
+/// expansion (each round expands every multiply-used `let`-bound function
+/// once; nested polymorphism needs several rounds to surface).
+pub fn measure(program: &Program, max_rounds: usize) -> Result<Boundedness, TypeError> {
+    let typed = TypedProgram::infer(program)?;
+    let direct = TypeMetrics::compute(program, &typed);
+
+    let mut current = program.clone();
+    let mut rounds = 0usize;
+    for _ in 0..max_rounds {
+        let targets = expandable_binders(&current, 2);
+        if targets.is_empty() {
+            break;
+        }
+        let before = current.size();
+        current = let_expand(&current, &targets).program;
+        rounds += 1;
+        if current.size() == before {
+            break;
+        }
+    }
+    let typed_exp = TypedProgram::infer(&current)?;
+    let mcallester = TypeMetrics::compute(&current, &typed_exp);
+    Ok(Boundedness { direct, mcallester, rounds })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn section5_id_tower_induces_growing_monotypes() {
+        // The paper's Section 5 example: "fun id x = x; val y = ((id id) id) 1"
+        // induces monotypes int→int, (int→int)→(int→int), and
+        // ((int→int)→(int→int))→((int→int)→(int→int)) for id.
+        let p = Program::parse("fun id x = x; val y = ((id id) id) 1; y").unwrap();
+        let b = measure(&p, 4).unwrap();
+        // Sizes 3, 7, 15 appear among occurrence monotypes even directly.
+        assert!(b.direct.max_size >= 15, "direct max {}", b.direct.max_size);
+        assert!(b.mcallester.max_size >= 15);
+        assert!(b.is_k_bounded(15));
+        assert!(!b.is_k_bounded(14));
+    }
+
+    #[test]
+    fn monomorphic_programs_are_unchanged_by_expansion() {
+        let p = Program::parse("fun fact n = if n = 0 then 1 else n * fact (n - 1); fact 5")
+            .unwrap();
+        let b = measure(&p, 4).unwrap();
+        assert_eq!(b.direct.max_size, b.mcallester.max_size);
+    }
+
+    #[test]
+    fn the_cubic_family_is_mcallester_bounded() {
+        let p = crate::workloads::cubic::program(6);
+        let small = measure(&p, 2).unwrap();
+        let p2 = crate::workloads::cubic::program(12);
+        let large = measure(&p2, 2).unwrap();
+        assert_eq!(
+            small.mcallester.max_size, large.mcallester.max_size,
+            "the family's bound is independent of n"
+        );
+    }
+
+    #[test]
+    fn expansion_can_reveal_larger_monotypes() {
+        // A polymorphic function whose body uses another polymorphic
+        // function: the inner instantiations surface during expansion.
+        let p = Program::parse(
+            "fun id x = x;\n\
+             fun pair x = (id x, id 1);\n\
+             (pair true, pair (fn w => w))",
+        )
+        .unwrap();
+        let b = measure(&p, 3).unwrap();
+        assert!(b.mcallester.max_size >= b.direct.max_size);
+        assert!(b.rounds >= 1);
+    }
+}

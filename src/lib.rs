@@ -1,0 +1,43 @@
+//! Facade crate for the subtransitive control-flow-analysis workspace.
+//!
+//! This crate re-exports every workspace crate under a stable set of module
+//! names so that examples, integration tests and downstream users can depend
+//! on a single package:
+//!
+//! - [`lambda`] — the input language: AST, parser, evaluator.
+//! - [`types`] — Hindley–Milner inference and type-boundedness metrics.
+//! - [`graph`] — the directed-graph substrate (reachability, SCC, closure).
+//! - [`cfa0`] — the standard cubic-time CFA baseline and the DTC system.
+//! - [`sba`] — monovariant set-based analysis (the paper's benchmark baseline).
+//! - [`unify`] — equality-based (almost-linear, less accurate) CFA.
+//! - [`core`] — **the paper's contribution**: the linear-time subtransitive
+//!   control-flow graph and its queries.
+//! - [`apps`] — linear-time CFA-consuming applications (effects, k-limited,
+//!   called-once, inlining).
+//! - [`workloads`] — benchmark and test program generators.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use stcfa::lambda::Program;
+//! use stcfa::core::Analysis;
+//!
+//! let program = Program::parse("(fn x => x x) (fn y => y)").unwrap();
+//! let analysis = Analysis::run(&program).unwrap();
+//! // The whole program evaluates to the abstraction labelled by `fn y => y`.
+//! let root = program.root();
+//! let labels = analysis.labels_of(root);
+//! assert_eq!(labels.len(), 1);
+//! ```
+
+pub mod boundedness;
+
+pub use stcfa_apps as apps;
+pub use stcfa_cfa0 as cfa0;
+pub use stcfa_core as core;
+pub use stcfa_graph as graph;
+pub use stcfa_lambda as lambda;
+pub use stcfa_sba as sba;
+pub use stcfa_types as types;
+pub use stcfa_unify as unify;
+pub use stcfa_workloads as workloads;

@@ -1,0 +1,200 @@
+//! End-to-end tests of the `stcfa` command-line tool.
+
+use std::io::Write as _;
+use std::process::{Command, Stdio};
+
+fn stcfa() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_stcfa"))
+}
+
+fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("stcfa_cli_test_{name}.ml"));
+    std::fs::write(&path, contents).unwrap();
+    path
+}
+
+#[test]
+fn summary_and_labels() {
+    let f = write_temp("summary", "(fn x => x x) (fn y => y)");
+    let out = stcfa().arg(&f).args(["--summary", "--labels"]).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("2 abstractions"), "{stdout}");
+    assert!(stdout.contains("L(root) = {λy#1}"), "{stdout}");
+}
+
+#[test]
+fn call_sites_under_each_engine() {
+    let f = write_temp(
+        "engines",
+        "fun id x = x; val a = id (fn u => u); val b = id (fn v => v); a",
+    );
+    for engine in ["sub", "poly", "hybrid", "cfa0", "sba", "unify"] {
+        let out = stcfa()
+            .arg(&f)
+            .args(["--call-sites", "--analysis", engine])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "engine {engine}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8(out.stdout).unwrap();
+        assert!(stdout.contains("site@"), "engine {engine}: {stdout}");
+    }
+}
+
+#[test]
+fn effects_eval_and_types() {
+    let f = write_temp("effects", "val u = print 42; 7");
+    let out = stcfa().arg(&f).args(["--effects", "--types", "--eval"]).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("root IS effectful"), "{stdout}");
+    assert!(stdout.contains("k_avg"), "{stdout}");
+    assert!(stdout.contains("42"), "{stdout}"); // printed by eval
+    assert!(stdout.contains("=> 7"), "{stdout}");
+}
+
+#[test]
+fn inline_pipeline_from_stdin() {
+    let mut child = stcfa()
+        .args(["-", "--inline"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(b"let val f = fn x => x + 1 in f 41 end")
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("inlined 1 call sites"), "{stderr}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("41"), "{stdout}");
+}
+
+#[test]
+fn dot_output_is_wellformed() {
+    let f = write_temp("dot", "(fn x => x) (fn y => y)");
+    let out = stcfa().arg(&f).arg("--dot").output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.starts_with("digraph subtransitive {"));
+    assert!(stdout.trim_end().ends_with('}'));
+}
+
+#[test]
+fn k_limited_reports_many() {
+    let f = write_temp(
+        "klim",
+        "fun id x = x;\n\
+         val a = id (fn p => p); val b = id (fn q => q); val c = id (fn r => r);\n\
+         a 0",
+    );
+    let out = stcfa().arg(&f).args(["--k-limited", "2"]).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("many"), "{stdout}");
+}
+
+#[test]
+fn called_once_report() {
+    let f = write_temp("conce", "(fn x => x + 1) 2");
+    let out = stcfa().arg(&f).arg("--called-once").output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("called once"), "{stdout}");
+}
+
+#[test]
+fn parse_errors_are_reported_with_position() {
+    let f = write_temp("bad", "fn x =>");
+    let out = stcfa().arg(&f).output().unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("parse error"), "{stderr}");
+}
+
+#[test]
+fn unknown_flag_fails_with_usage() {
+    let out = stcfa().args(["foo.ml", "--frobnicate"]).output().unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("usage:"), "{stderr}");
+}
+
+#[test]
+fn witness_paths() {
+    let f = write_temp("witness", "(fn x => x x) (fn y => y)");
+    let out = stcfa().arg(&f).arg("--witness").output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("witness for λy#1 ∈ L(root)"), "{stdout}");
+    assert!(stdout.contains("dom(dom(λx#0))"), "{stdout}");
+}
+
+#[test]
+fn live_report() {
+    let f = write_temp("live", "let val dead = fn x => (fn y => y) 1 in 2 end");
+    let out = stcfa().arg(&f).arg("--live").output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("4 dead"), "{stdout}");
+    assert!(stdout.contains("never executed: 2"), "{stdout}");
+}
+
+#[test]
+fn repl_mode_analyzes_incrementally() {
+    let mut child = stcfa()
+        .arg("--repl")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(b"fun id x = x;\nval a = id (fn u => u);\na\n")
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("id : 1 possible function(s)"), "{stdout}");
+    assert!(stdout.contains("value : 1 possible function(s)"), "{stdout}");
+    // Errors don't kill the session.
+    let mut child2 = stcfa()
+        .arg("--repl")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child2.stdin.as_mut().unwrap().write_all(b"nonsense !!\nval ok = 1;\n").unwrap();
+    let out2 = child2.wait_with_output().unwrap();
+    assert!(out2.status.success());
+    let stderr2 = String::from_utf8(out2.stderr).unwrap();
+    assert!(stderr2.contains("error"), "{stderr2}");
+    let stdout2 = String::from_utf8(out2.stdout).unwrap();
+    assert!(stdout2.contains("ok : 0 possible function(s)"), "{stdout2}");
+}
+
+#[test]
+fn untyped_program_reports_budget_error() {
+    let f = write_temp("omega", "(fn x => x x) (fn x => x x)");
+    let out = stcfa().arg(&f).arg("--summary").output().unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("node budget"), "{stderr}");
+    // But the hybrid engine answers.
+    let out2 = stcfa().arg(&f).args(["--labels", "--analysis", "hybrid"]).output().unwrap();
+    assert!(out2.status.success(), "{}", String::from_utf8_lossy(&out2.stderr));
+}

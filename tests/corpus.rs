@@ -1,0 +1,91 @@
+//! Every program in `corpus/` must parse, type-check, evaluate, and
+//! analyze consistently across the engines — the corpus doubles as CLI
+//! demo material and as an integration surface.
+
+use stcfa::cfa0::Cfa0;
+use stcfa::core::{Analysis, PolyAnalysis};
+use stcfa::lambda::eval::{eval, EvalOptions};
+use stcfa::lambda::Program;
+use stcfa::types::TypedProgram;
+use stcfa::unify::UnifyCfa;
+
+fn corpus() -> Vec<(String, String)> {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/corpus");
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(dir).expect("corpus directory exists") {
+        let path = entry.unwrap().path();
+        if path.extension().is_some_and(|e| e == "ml") {
+            let name = path.file_name().unwrap().to_string_lossy().into_owned();
+            out.push((name, std::fs::read_to_string(&path).unwrap()));
+        }
+    }
+    assert!(out.len() >= 5, "corpus should not shrink silently");
+    out.sort();
+    out
+}
+
+/// Files that are intentionally not Hindley–Milner-typable (the paper's
+/// worked example self-applies `x`) yet still bounded-type in the paper's
+/// sense and analyzable.
+const UNTYPABLE: &[&str] = &["paper_example.ml"];
+
+#[test]
+fn corpus_parses_and_typechecks() {
+    for (name, src) in corpus() {
+        let p = Program::parse(&src).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let inferred = TypedProgram::infer(&p);
+        if UNTYPABLE.contains(&name.as_str()) {
+            assert!(inferred.is_err(), "{name} is expected to be HM-untypable");
+        } else {
+            inferred.unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+}
+
+#[test]
+fn corpus_evaluates() {
+    for (name, src) in corpus() {
+        let p = Program::parse(&src).unwrap();
+        eval(&p, EvalOptions { fuel: 5_000_000, inputs: vec![] })
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+    }
+}
+
+#[test]
+fn corpus_analyses_are_consistent() {
+    for (name, src) in corpus() {
+        let p = Program::parse(&src).unwrap();
+        let sub = Analysis::run(&p).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let cfa = Cfa0::analyze(&p);
+        let uni = UnifyCfa::analyze(&p);
+        let poly = PolyAnalysis::run(&p).unwrap();
+        let out = eval(&p, EvalOptions { fuel: 5_000_000, inputs: vec![] }).unwrap();
+        for (func_occ, label) in &out.trace.calls {
+            // Every engine predicts every dynamic call.
+            assert!(sub.labels_of(*func_occ).contains(label), "{name}: sub missed call");
+            assert!(
+                cfa.labels(&p, *func_occ).contains(label),
+                "{name}: cfa0 missed call"
+            );
+            assert!(uni.labels(*func_occ).contains(label), "{name}: unify missed call");
+            assert!(poly.labels_of(*func_occ).contains(label), "{name}: poly missed call");
+        }
+        for e in p.exprs() {
+            // Sub ⊇ cfa0 (≈₁ may over-approximate on datatypes, never under).
+            let s = sub.labels_of(e);
+            for l in cfa.labels(&p, e) {
+                assert!(s.contains(&l), "{name}: sub lost {l:?} at {e:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn corpus_files_document_their_purpose() {
+    for (name, src) in corpus() {
+        assert!(
+            src.lines().next().is_some_and(|l| l.trim_start().starts_with("--")),
+            "{name} should start with a comment explaining itself"
+        );
+    }
+}

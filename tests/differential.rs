@@ -1,0 +1,145 @@
+//! Differential property tests: on randomly generated well-typed programs,
+//! every analysis in the workspace must relate to the standard cubic CFA
+//! exactly as the paper claims.
+//!
+//! - subtransitive reachability ≡ standard CFA (Propositions 1–2);
+//! - set-based analysis ≡ standard CFA (it generalizes it, and coincides
+//!   on this language);
+//! - DTC ≡ standard CFA on the lambda fragment;
+//! - equality-based CFA over-approximates standard CFA;
+//! - polyvariant subtransitive refines monovariant but never unsoundly.
+
+use proptest::prelude::*;
+use stcfa::cfa0::{Cfa0, Dtc};
+use stcfa::core::{Analysis, PolyAnalysis};
+use stcfa::sba::Sba;
+use stcfa::unify::UnifyCfa;
+use stcfa::workloads::synth::{generate, SynthConfig};
+
+fn program_for(seed: u64, full_language: bool) -> stcfa::lambda::Program {
+    generate(&SynthConfig {
+        seed,
+        target_size: 160,
+        max_type_depth: 2,
+        effect_prob: 0.05,
+        max_tuple_width: if full_language { 3 } else { 0 },
+        // The generated datatype is non-recursive, so the Exact policy
+        // terminates and full differential equality applies.
+        datatypes: full_language,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn subtransitive_equals_standard_cfa(seed in any::<u64>()) {
+        let p = program_for(seed, true);
+        // Exact datatype policy: the generated datatype is non-recursive,
+        // so the exact de-constructor nodes terminate and the closure must
+        // coincide with standard CFA everywhere.
+        let a = Analysis::run_with(
+            &p,
+            stcfa::core::AnalysisOptions {
+                policy: stcfa::core::DatatypePolicy::Exact,
+                max_nodes: None,
+            },
+        )
+        .expect("generated programs are bounded-type");
+        // The close phase must have reached its fixpoint: every primed
+        // closure rule saturated.
+        a.check_invariants().map_err(|e| {
+            proptest::test_runner::TestCaseError::fail(format!("seed {seed}: {e}"))
+        })?;
+        let cfa = Cfa0::analyze(&p);
+        for e in p.exprs() {
+            prop_assert_eq!(a.labels_of(e), cfa.labels(&p, e), "at {:?} (seed {})", e, seed);
+        }
+        for v in p.vars() {
+            prop_assert_eq!(a.labels_of_binder(v), cfa.var_labels(&p, v));
+        }
+    }
+
+    #[test]
+    fn sba_equals_standard_cfa(seed in any::<u64>()) {
+        let p = program_for(seed, true);
+        let sba = Sba::analyze(&p);
+        let cfa = Cfa0::analyze(&p);
+        for e in p.exprs() {
+            prop_assert_eq!(sba.labels(&p, e), cfa.labels(&p, e), "at {:?} (seed {})", e, seed);
+        }
+    }
+
+    #[test]
+    fn dtc_equals_standard_cfa_on_lambda_fragment(seed in any::<u64>()) {
+        let p = program_for(seed, false);
+        let dtc = Dtc::analyze(&p).expect("no records generated");
+        let cfa = Cfa0::analyze(&p);
+        for e in p.exprs() {
+            prop_assert_eq!(dtc.labels(e), cfa.labels(&p, e), "at {:?} (seed {})", e, seed);
+        }
+    }
+
+    #[test]
+    fn unification_over_approximates(seed in any::<u64>()) {
+        let p = program_for(seed, true);
+        let uni = UnifyCfa::analyze(&p);
+        let cfa = Cfa0::analyze(&p);
+        for e in p.exprs() {
+            let coarse = uni.labels(e);
+            for l in cfa.labels(&p, e) {
+                prop_assert!(
+                    coarse.contains(&l),
+                    "equality-based lost {:?} at {:?} (seed {})", l, e, seed
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn polyvariance_refines_soundly(seed in any::<u64>()) {
+        let p = program_for(seed, true);
+        let mono = Analysis::run(&p).expect("bounded");
+        let poly = PolyAnalysis::run(&p).expect("bounded");
+        for e in p.exprs() {
+            let m = mono.labels_of(e);
+            for l in poly.labels_of(e) {
+                prop_assert!(
+                    m.contains(&l),
+                    "poly invented {:?} at {:?} (seed {})", l, e, seed
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hybrid_always_answers(seed in any::<u64>()) {
+        let p = program_for(seed, true);
+        let h = stcfa::core::hybrid::HybridCfa::run(
+            &p,
+            stcfa::core::AnalysisOptions {
+                policy: stcfa::core::DatatypePolicy::Exact,
+                max_nodes: None,
+            },
+        );
+        let cfa = Cfa0::analyze(&p);
+        for e in p.exprs() {
+            prop_assert_eq!(h.labels_of(&p, e), cfa.labels(&p, e));
+        }
+    }
+
+    /// Under the default ≈₁ congruence, datatype programs must stay sound
+    /// (never below standard CFA).
+    #[test]
+    fn congruence1_is_sound_on_random_datatype_programs(seed in any::<u64>()) {
+        let p = program_for(seed, true);
+        let a = Analysis::run(&p).expect("bounded");
+        let cfa = Cfa0::analyze(&p);
+        for e in p.exprs() {
+            let got = a.labels_of(e);
+            for l in cfa.labels(&p, e) {
+                prop_assert!(got.contains(&l), "≈₁ lost {:?} at {:?} (seed {})", l, e, seed);
+            }
+        }
+    }
+}

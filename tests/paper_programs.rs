@@ -1,0 +1,146 @@
+//! End-to-end checks on the paper's own benchmark programs: the
+//! parameterized cubic family (Table 1) and the `life`/`lexgen`
+//! substitutes (Table 2), including the scaling *shapes* the paper reports.
+
+use stcfa::cfa0::Cfa0;
+use stcfa::core::{Analysis, DatatypePolicy};
+use stcfa::sba::Sba;
+use stcfa::types::{TypeMetrics, TypedProgram};
+use stcfa::workloads::{cubic, lexgen, life};
+
+#[test]
+fn cubic_family_subtransitive_graph_grows_linearly() {
+    // Nodes and edges per copy must be (asymptotically) constant.
+    let sizes = [8usize, 16, 32, 64];
+    let mut per_copy = Vec::new();
+    let mut prev = None;
+    for &n in &sizes {
+        let p = cubic::program(n);
+        let a = Analysis::run(&p).unwrap();
+        if let Some((pn, pnodes, pedges)) = prev {
+            let dn = n - pn;
+            let dnodes = a.node_count() - pnodes;
+            let dedges = a.edge_count() - pedges;
+            per_copy.push((dnodes as f64 / dn as f64, dedges as f64 / dn as f64));
+        }
+        prev = Some((n, a.node_count(), a.edge_count()));
+    }
+    // The increments per copy must not grow: compare first and last.
+    let (first_nodes, first_edges) = per_copy[0];
+    let (last_nodes, last_edges) = *per_copy.last().unwrap();
+    assert!(
+        last_nodes <= first_nodes * 1.5 + 4.0,
+        "node growth per copy increased: {per_copy:?}"
+    );
+    assert!(
+        last_edges <= first_edges * 1.5 + 4.0,
+        "edge growth per copy increased: {per_copy:?}"
+    );
+}
+
+#[test]
+fn cubic_family_sba_work_grows_superlinearly() {
+    let w8 = Sba::analyze(&cubic::program(8)).stats().work_units as f64;
+    let w32 = Sba::analyze(&cubic::program(32)).stats().work_units as f64;
+    // 4x size; cubic-ish work should grow far faster than 4x.
+    assert!(
+        w32 / w8 > 8.0,
+        "SBA work grew only {}x for 4x size — expected superlinear",
+        w32 / w8
+    );
+}
+
+#[test]
+fn cubic_family_label_sets_agree_across_analyses() {
+    let p = cubic::program(8);
+    let a = Analysis::run(&p).unwrap();
+    let cfa = Cfa0::analyze(&p);
+    let sba = Sba::analyze(&p);
+    for e in p.exprs() {
+        let reference = cfa.labels(&p, e);
+        assert_eq!(a.labels_of(e), reference);
+        assert_eq!(sba.labels(&p, e), reference);
+    }
+}
+
+#[test]
+fn table2_programs_are_bounded_type() {
+    for (name, p) in [("life", life::program()), ("lexgen", lexgen::program())] {
+        let typed = TypedProgram::infer(&p).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let m = TypeMetrics::compute(&p, &typed);
+        assert!(
+            m.avg_size < 8.0,
+            "{name}: k_avg = {} — the paper reports small constants (2–3)",
+            m.avg_size
+        );
+    }
+}
+
+#[test]
+fn table2_build_and_close_node_shape() {
+    // The paper: "the number of nodes in the build phase is essentially the
+    // same as the number of syntax nodes" and "the number of nodes added in
+    // the close phase is typically no more than the number in the build
+    // phase".
+    for (name, p) in [("life", life::program()), ("lexgen", lexgen::program())] {
+        let a = Analysis::run(&p).unwrap();
+        let s = a.stats();
+        assert!(
+            s.build_nodes <= 2 * p.size(),
+            "{name}: build nodes {} vs program size {}",
+            s.build_nodes,
+            p.size()
+        );
+        assert!(
+            s.close_nodes <= 2 * s.build_nodes,
+            "{name}: close nodes {} should be of the order of build nodes {}",
+            s.close_nodes,
+            s.build_nodes
+        );
+    }
+}
+
+#[test]
+fn life_analyses_agree_under_congruence2_and_exact_is_sound() {
+    let p = life::program();
+    let cfa = Cfa0::analyze(&p);
+    for policy in [DatatypePolicy::Congruence1, DatatypePolicy::Congruence2] {
+        let a = Analysis::run_with(
+            &p,
+            stcfa::core::AnalysisOptions { policy, max_nodes: None },
+        )
+        .unwrap();
+        for e in p.exprs() {
+            let labels = a.labels_of(e);
+            for l in cfa.labels(&p, e) {
+                assert!(labels.contains(&l), "{policy:?} lost {l:?} at {e:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn lexgen_actions_flow_to_their_indirect_call_site() {
+    // The closures stored in `actions` must be visible where `nthAct`'s
+    // result is applied — the defining feature of lexgen-style code.
+    let p = stcfa::lambda::Program::parse(&lexgen::source(12)).unwrap();
+    let a = Analysis::run(&p).unwrap();
+    let cfa = Cfa0::analyze(&p);
+    // Find an application whose cubic-CFA target set contains ≥ 4 of the
+    // action lambdas; the subtransitive answer must be a superset.
+    let mut found = false;
+    for app in p.app_sites() {
+        let stcfa::lambda::ExprKind::App { func, .. } = p.kind(app) else {
+            unreachable!()
+        };
+        let reference = cfa.labels(&p, *func);
+        if reference.len() >= 4 {
+            found = true;
+            let got = a.labels_of(*func);
+            for l in reference {
+                assert!(got.contains(&l));
+            }
+        }
+    }
+    assert!(found, "expected at least one polymorphic call site in lexgen");
+}

@@ -1,0 +1,73 @@
+//! Cross-crate structural properties on randomly generated programs:
+//! the parser/printer round trip, well-typedness of generated programs,
+//! and "well-typed programs don't go wrong" (no dynamic type errors).
+
+use proptest::prelude::*;
+use stcfa::lambda::eval::{eval, EvalError, EvalOptions};
+use stcfa::lambda::Program;
+use stcfa::types::TypedProgram;
+use stcfa::workloads::synth::{generate, SynthConfig};
+
+fn program_for(seed: u64) -> Program {
+    generate(&SynthConfig { seed, target_size: 150, ..Default::default() })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// `parse ∘ pretty` is the identity up to id renumbering, and `pretty`
+    /// is a normal form (printing the re-parse gives the same text).
+    #[test]
+    fn pretty_parse_round_trip(seed in any::<u64>()) {
+        let p = program_for(seed);
+        let printed = p.to_source();
+        let q = Program::parse(&printed)
+            .unwrap_or_else(|e| panic!("re-parse failed (seed {seed}): {e}\n{printed}"));
+        prop_assert_eq!(p.size(), q.size(), "size changed (seed {})", seed);
+        prop_assert_eq!(p.label_count(), q.label_count());
+        prop_assert_eq!(p.var_count(), q.var_count());
+        let printed2 = q.to_source();
+        prop_assert_eq!(printed, printed2, "pretty not a normal form (seed {})", seed);
+    }
+
+    /// The generator only produces simply-typed programs.
+    #[test]
+    fn generated_programs_are_well_typed(seed in any::<u64>()) {
+        let p = program_for(seed);
+        TypedProgram::infer(&p)
+            .unwrap_or_else(|e| panic!("ill-typed generation (seed {seed}): {e}"));
+    }
+
+    /// Milner's slogan on our pipeline: a program accepted by the type
+    /// checker never hits a dynamic type error, match failure, or
+    /// projection error in the evaluator.
+    #[test]
+    fn well_typed_programs_do_not_go_wrong(seed in any::<u64>()) {
+        let p = program_for(seed);
+        TypedProgram::infer(&p).expect("generated programs are well-typed");
+        match eval(&p, EvalOptions { fuel: 2_000_000, inputs: vec![] }) {
+            Ok(_) | Err(EvalError::OutOfFuel) | Err(EvalError::DivByZero(_)) => {}
+            Err(e @ (EvalError::TypeError { .. } | EvalError::MatchFailure(_))) => {
+                panic!("well-typed program went wrong (seed {seed}): {e}")
+            }
+        }
+    }
+
+    /// Round-tripped programs analyze identically (the analyses only see
+    /// structure, not identifiers).
+    #[test]
+    fn round_trip_preserves_analysis(seed in any::<u64>()) {
+        let p = program_for(seed);
+        let q = Program::parse(&p.to_source()).unwrap();
+        let ap = stcfa::core::Analysis::run(&p).unwrap();
+        let aq = stcfa::core::Analysis::run(&q).unwrap();
+        // Sizes and label counts match, so label indices correspond.
+        for (e1, e2) in p.exprs().zip(q.exprs()) {
+            prop_assert_eq!(
+                ap.labels_of(e1),
+                aq.labels_of(e2),
+                "analysis changed across round trip (seed {})", seed
+            );
+        }
+    }
+}
