@@ -1,7 +1,8 @@
 //! E8 / E10 / E11 ablations: the Section 6 datatype congruences, the
 //! hybrid driver's overhead, and the cost of Section 7 polyvariance.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stcfa_devkit::bench::{BenchmarkId, Criterion};
+use stcfa_devkit::{criterion_group, criterion_main};
 use std::hint::black_box;
 use stcfa_core::hybrid::HybridCfa;
 use stcfa_core::{Analysis, AnalysisOptions, DatatypePolicy, PolyAnalysis};

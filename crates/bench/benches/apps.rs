@@ -1,7 +1,8 @@
 //! E4–E6: the linear-time CFA-consuming applications (effects, k-limited,
 //! called-once) against their quadratic reference pipelines.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stcfa_devkit::bench::{BenchmarkId, Criterion};
+use stcfa_devkit::{criterion_group, criterion_main};
 use std::hint::black_box;
 use stcfa_apps::{effects, effects_via_cfa0, CalledOnce, KLimited};
 use stcfa_cfa0::Cfa0;

@@ -5,7 +5,8 @@
 //! time, and the quadratic cost of listing all functions from all
 //! non-trivial call sites.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stcfa_devkit::bench::{BenchmarkId, Criterion};
+use stcfa_devkit::{criterion_group, criterion_main};
 use std::hint::black_box;
 use stcfa_core::Analysis;
 use stcfa_lambda::ExprKind;

@@ -1,7 +1,8 @@
 //! Incremental analysis: the cost of keeping up with a growing session
 //! (update per fragment) vs re-analyzing from scratch at each step.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stcfa_devkit::bench::{BenchmarkId, Criterion};
+use stcfa_devkit::{criterion_group, criterion_main};
 use std::hint::black_box;
 use stcfa_core::incremental::IncrementalAnalysis;
 use stcfa_lambda::session::SessionProgram;

@@ -2,7 +2,8 @@
 //! analyzed by the SBA baseline, the linear-time subtransitive algorithm,
 //! and (for reference) the almost-linear equality-based analysis.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stcfa_devkit::bench::{BenchmarkId, Criterion};
+use stcfa_devkit::{criterion_group, criterion_main};
 use std::hint::black_box;
 use stcfa_core::Analysis;
 use stcfa_lambda::Program;

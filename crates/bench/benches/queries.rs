@@ -2,7 +2,8 @@
 //! standard algorithm vs subtransitive graph, at two program sizes (the
 //! scaling *ratio* is the result; absolute numbers depend on the host).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stcfa_devkit::bench::{BenchmarkId, Criterion};
+use stcfa_devkit::{criterion_group, criterion_main};
 use std::hint::black_box;
 use stcfa_cfa0::Cfa0;
 use stcfa_core::Analysis;

@@ -1,6 +1,8 @@
 //! Regenerates the paper's tables (and the repository's additional
 //! experiments) as plain text, one section per experiment id from
-//! DESIGN.md.
+//! DESIGN.md, and writes the same run's measurements (per-experiment
+//! times + work counters) as machine-readable `BENCH_paper_tables.json`
+//! at the workspace root.
 //!
 //! Usage:
 //!
@@ -11,6 +13,7 @@
 //! ```
 
 use stcfa_bench::experiments::{self, Runs};
+use stcfa_devkit::bench::{workspace_root, Report};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -22,8 +25,8 @@ fn main() {
         .map(|a| a.trim_start_matches("--"))
         .collect();
 
-    type Experiment = fn(Runs) -> String;
-    let selected: Vec<(&str, Experiment)> = vec![
+    type Experiment = fn(Runs, &mut Report) -> String;
+    let all: Vec<(&str, Experiment)> = vec![
         ("e1", experiments::e1_query_complexity as Experiment),
         ("e2", experiments::e2_cubic_benchmark),
         ("e3", experiments::e3_ml_programs),
@@ -38,14 +41,35 @@ fn main() {
         ("e12", experiments::e12_incremental),
     ];
 
+    for w in &wanted {
+        if !all.iter().any(|(id, _)| id == w) {
+            eprintln!(
+                "unknown experiment `--{w}`; valid: {}",
+                all.iter().map(|(id, _)| format!("--{id}")).collect::<Vec<_>>().join(" ")
+            );
+            std::process::exit(2);
+        }
+    }
+
     println!(
         "# Subtransitive CFA — experiment tables\n\
          (fastest of {} runs per measurement, release timings)\n",
         runs.0
     );
-    for (id, f) in selected {
+    let mut report = Report::new();
+    for (id, f) in all {
         if wanted.is_empty() || wanted.contains(&id) {
-            println!("{}", f(runs));
+            println!("{}", f(runs, &mut report));
+        }
+    }
+
+    // The aggregate snapshot is the committed record of the *full* suite;
+    // a filtered run must not clobber it with a partial report.
+    if wanted.is_empty() {
+        let out = workspace_root(env!("CARGO_MANIFEST_DIR")).join("BENCH_paper_tables.json");
+        match report.write_json("paper_tables", &out) {
+            Ok(()) => eprintln!("{} measurement(s) written to {}", report.len(), out.display()),
+            Err(e) => eprintln!("failed to write {}: {e}", out.display()),
         }
     }
 }

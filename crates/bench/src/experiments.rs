@@ -1,6 +1,9 @@
 //! One function per experiment in DESIGN.md's per-experiment index
 //! (E1–E11). Each returns a rendered table (plus commentary) so the
-//! `tables` binary and EXPERIMENTS.md stay in sync with the code.
+//! `tables` binary and EXPERIMENTS.md stay in sync with the code, and
+//! records its headline measurements (times and work counters) into a
+//! [`Report`] so the same run also produces machine-readable
+//! `BENCH_paper_tables.json` for the perf trajectory.
 
 use stcfa_apps::{effects, effects_via_cfa0, CalledOnce, KLimited};
 use stcfa_cfa0::Cfa0;
@@ -14,6 +17,7 @@ use stcfa_workloads::{cubic, funlist, join_point, lexgen, life, synth};
 
 
 use crate::{best_of, fmt_duration, Table};
+use stcfa_devkit::bench::Report;
 
 /// How many repetitions feed the "fastest of N" measurement (the paper
 /// uses 10; the quick mode of the `tables` binary uses fewer).
@@ -38,7 +42,7 @@ fn avg_call_targets(p: &Program, labels_of: impl Fn(stcfa_lambda::ExprId) -> usi
 }
 
 /// E1 — the Section 2 complexity table: per-query scaling, Std vs New.
-pub fn e1_query_complexity(runs: Runs) -> String {
+pub fn e1_query_complexity(runs: Runs, report: &mut Report) -> String {
     let mut t = Table::new(
         "E1 — Section 2 query complexity (standard algorithm vs subtransitive graph)",
         &[
@@ -64,6 +68,15 @@ pub fn e1_query_complexity(runs: Runs) -> String {
         let (_, q_labels) = best_of(runs.0, || a.labels_of(e));
         let (_, q_inverse) = best_of(runs.0, || a.exprs_with_label(l));
         let (_, q_all) = best_of(runs.0.min(3), || a.all_label_sets(&p));
+        let samples = runs.0 as u32;
+        report
+            .time("E1", format!("std_all_sets/{n}"), std_t, samples)
+            .counter("nodes", p.size() as u64);
+        report.time("E1", format!("build_close/{n}"), build_t, samples);
+        report.time("E1", format!("query_member/{n}"), q_member, samples);
+        report.time("E1", format!("query_labels_of/{n}"), q_labels, samples);
+        report.time("E1", format!("query_inverse/{n}"), q_inverse, samples);
+        report.time("E1", format!("query_all_sets/{n}"), q_all, samples.min(3));
         t.row(vec![
             n.to_string(),
             p.size().to_string(),
@@ -84,7 +97,7 @@ pub fn e1_query_complexity(runs: Runs) -> String {
 }
 
 /// E2 — Table 1: the parameterized cubic benchmark.
-pub fn e2_cubic_benchmark(runs: Runs) -> String {
+pub fn e2_cubic_benchmark(runs: Runs, report: &mut Report) -> String {
     let mut t = Table::new(
         "E2 — Table 1: parameterized benchmark (SBA vs linear-time algorithm)",
         &[
@@ -120,6 +133,17 @@ pub fn e2_cubic_benchmark(runs: Runs) -> String {
             }
             pairs
         });
+        let samples = runs.0 as u32;
+        report
+            .time("E2", format!("sba_total/{n}"), sba_t, samples)
+            .counter("work_units", sba.stats().work_units as u64);
+        report
+            .time("E2", format!("build_close/{n}"), total_t, samples)
+            .counter("build_nodes", s.build_nodes as u64)
+            .counter("close_nodes", s.close_nodes as u64);
+        report
+            .time("E2", format!("query_all_nontrivial/{n}"), query_t, samples.min(3))
+            .counter("pairs", pairs as u64);
         t.row(vec![
             n.to_string(),
             p.size().to_string(),
@@ -143,7 +167,7 @@ pub fn e2_cubic_benchmark(runs: Runs) -> String {
 }
 
 /// E3 — Table 2: the `life` and `lexgen` substitutes.
-pub fn e3_ml_programs(runs: Runs) -> String {
+pub fn e3_ml_programs(runs: Runs, report: &mut Report) -> String {
     let mut t = Table::new(
         "E3 — Table 2: ML benchmarks (substitutes; see DESIGN.md)",
         &[
@@ -166,6 +190,12 @@ pub fn e3_ml_programs(runs: Runs) -> String {
         let (_, sba_t) = best_of(runs.0, || Sba::analyze(&p));
         let (a, our_t) = best_of(runs.0, || Analysis::run(&p).unwrap());
         let s = a.stats();
+        let samples = runs.0 as u32;
+        report.time("E3", format!("sba_total/{name}"), sba_t, samples);
+        report
+            .time("E3", format!("subtransitive_total/{name}"), our_t, samples)
+            .counter("build_nodes", s.build_nodes as u64)
+            .counter("close_nodes", s.close_nodes as u64);
         t.row(vec![
             name.to_string(),
             lines.to_string(),
@@ -185,7 +215,7 @@ pub fn e3_ml_programs(runs: Runs) -> String {
 }
 
 /// E4 — Section 8: linear-time effects analysis.
-pub fn e4_effects(runs: Runs) -> String {
+pub fn e4_effects(runs: Runs, report: &mut Report) -> String {
     let mut t = Table::new(
         "E4 — Section 8: effects analysis (graph colouring vs CFA+post-pass)",
         &["calls", "nodes", "effectful", "colouring", "CFA+post", "agree"],
@@ -203,6 +233,11 @@ pub fn e4_effects(runs: Runs) -> String {
             effects_via_cfa0(&p, &cfa)
         });
         let agree = fast.effectful_exprs() == slow.effectful_exprs();
+        let samples = runs.0 as u32;
+        report
+            .time("E4", format!("colouring/{n}"), fast_t, samples)
+            .counter("effectful", fast.count() as u64);
+        report.time("E4", format!("cfa_post_pass/{n}"), slow_t, samples);
         t.row(vec![
             n.to_string(),
             p.size().to_string(),
@@ -221,7 +256,7 @@ pub fn e4_effects(runs: Runs) -> String {
 }
 
 /// E5 — Section 9: k-limited CFA.
-pub fn e5_klimited(runs: Runs) -> String {
+pub fn e5_klimited(runs: Runs, report: &mut Report) -> String {
     let mut t = Table::new(
         "E5 — Section 9: k-limited CFA (linear-time annotation propagation)",
         &["calls", "nodes", "k=1 time", "k=2 time", "k=3 time", "many@k=1"],
@@ -242,8 +277,10 @@ pub fn e5_klimited(runs: Runs) -> String {
                     })
                     .count();
             }
+            report.time("E5", format!("k{k}/{n}"), kt, runs.0 as u32);
             row.push(fmt_duration(kt));
         }
+        report.counters("E5", format!("many_at_k1/{n}"), &[("sites", many as u64)]);
         row.push(many.to_string());
         t.row(row);
     }
@@ -255,7 +292,7 @@ pub fn e5_klimited(runs: Runs) -> String {
 }
 
 /// E6 — called-once analysis.
-pub fn e6_called_once(runs: Runs) -> String {
+pub fn e6_called_once(runs: Runs, report: &mut Report) -> String {
     let mut t = Table::new(
         "E6 — called-once analysis (linear site-set propagation)",
         &["n", "nodes", "functions", "called-once", "never-called", "fast", "reference"],
@@ -265,6 +302,11 @@ pub fn e6_called_once(runs: Runs) -> String {
         let a = Analysis::run(&p).unwrap();
         let (fast, fast_t) = best_of(runs.0, || CalledOnce::run(&p, &a));
         let (_slow, slow_t) = best_of(runs.0.min(3), || CalledOnce::via_queries(&p, &a));
+        report
+            .time("E6", format!("propagation/{n}"), fast_t, runs.0 as u32)
+            .counter("called_once", fast.called_once().len() as u64)
+            .counter("never_called", fast.never_called().len() as u64);
+        report.time("E6", format!("query_per_site/{n}"), slow_t, runs.0.min(3) as u32);
         t.row(vec![
             n.to_string(),
             p.size().to_string(),
@@ -283,7 +325,7 @@ query-per-site reference grows quadratically.\n",
 }
 
 /// E7 — the constant factor: close/build node ratio and k_avg.
-pub fn e7_constants(_runs: Runs) -> String {
+pub fn e7_constants(_runs: Runs, report: &mut Report) -> String {
     let mut t = Table::new(
         "E7 — Section 10 constants: k_avg and close/build node ratio",
         &["workload", "nodes", "k_avg", "k_max", "build nodes", "close nodes", "close/build"],
@@ -310,6 +352,17 @@ pub fn e7_constants(_runs: Runs) -> String {
         let m = TypeMetrics::compute(&p, &typed);
         let a = Analysis::run(&p).unwrap();
         let s = a.stats();
+        report.counters(
+            "E7",
+            &name,
+            &[
+                ("nodes", p.size() as u64),
+                ("k_avg_milli", (m.avg_size * 1000.0) as u64),
+                ("k_max", m.max_size as u64),
+                ("build_nodes", s.build_nodes as u64),
+                ("close_nodes", s.close_nodes as u64),
+            ],
+        );
         t.row(vec![
             name,
             p.size().to_string(),
@@ -329,7 +382,7 @@ pub fn e7_constants(_runs: Runs) -> String {
 }
 
 /// E8 — Section 6 congruence ablation (≈₁ vs ≈₂ vs Forget).
-pub fn e8_congruences(runs: Runs) -> String {
+pub fn e8_congruences(runs: Runs, report: &mut Report) -> String {
     let mut t = Table::new(
         "E8 — Section 6 datatype congruences on function-list workloads",
         &["n", "policy", "time", "nodes", "avg call targets"],
@@ -345,6 +398,10 @@ pub fn e8_congruences(runs: Runs) -> String {
                 Analysis::run_with(&p, AnalysisOptions { policy, max_nodes: None }).unwrap()
             });
             let avg = avg_call_targets(&p, |f| a.labels_of(f).len());
+            report
+                .time("E8", format!("{name}/{n}"), at, runs.0 as u32)
+                .counter("nodes", a.node_count() as u64)
+                .counter("avg_targets_milli", (avg * 1000.0) as u64);
             t.row(vec![
                 n.to_string(),
                 name.to_string(),
@@ -363,7 +420,7 @@ pub fn e8_congruences(runs: Runs) -> String {
 }
 
 /// E9 — precision of equality-based CFA vs inclusion-based.
-pub fn e9_unification(runs: Runs) -> String {
+pub fn e9_unification(runs: Runs, report: &mut Report) -> String {
     let mut t = Table::new(
         "E9 — equality-based (almost-linear) CFA: the precision it gives up",
         &["workload", "unify time", "cfa0 time", "sub time", "unify avg", "exact avg", "blowup"],
@@ -380,6 +437,14 @@ pub fn e9_unification(runs: Runs) -> String {
         let (_a, at) = best_of(runs.0, || Analysis::run(&p).unwrap());
         let uni_avg = avg_call_targets(&p, |f| uni.labels(f).len());
         let exact_avg = avg_call_targets(&p, |f| cfa.labels(&p, f).len());
+        let samples = runs.0 as u32;
+        report
+            .time("E9", format!("unify/{name}"), ut, samples)
+            .counter("avg_targets_milli", (uni_avg * 1000.0) as u64);
+        report
+            .time("E9", format!("cfa0/{name}"), ct, samples)
+            .counter("avg_targets_milli", (exact_avg * 1000.0) as u64);
+        report.time("E9", format!("subtransitive/{name}"), at, samples);
         t.row(vec![
             name,
             fmt_duration(ut),
@@ -399,7 +464,7 @@ pub fn e9_unification(runs: Runs) -> String {
 }
 
 /// E10 — the hybrid driver from the conclusion.
-pub fn e10_hybrid(runs: Runs) -> String {
+pub fn e10_hybrid(runs: Runs, report: &mut Report) -> String {
     let mut t = Table::new(
         "E10 — hybrid: linear on bounded types, cubic fallback otherwise",
         &["program", "engine", "time", "budget hit"],
@@ -411,6 +476,9 @@ pub fn e10_hybrid(runs: Runs) -> String {
     ];
     for (name, p) in progs {
         let (h, ht) = best_of(runs.0, || HybridCfa::run(&p, AnalysisOptions::default()));
+        report
+            .time("E10", format!("hybrid/{name}"), ht, runs.0 as u32)
+            .counter("fell_back", u64::from(!h.is_linear()));
         t.row(vec![
             name,
             if h.is_linear() { "subtransitive".into() } else { "cubic fallback".into() },
@@ -426,7 +494,7 @@ pub fn e10_hybrid(runs: Runs) -> String {
 }
 
 /// E11 — Section 7 polyvariance.
-pub fn e11_polyvariance(runs: Runs) -> String {
+pub fn e11_polyvariance(runs: Runs, report: &mut Report) -> String {
     let mut t = Table::new(
         "E11 — Section 7 polyvariance: summary instantiation",
         &["calls", "mono avg targets", "poly avg targets", "mono time", "poly time", "instances"],
@@ -437,6 +505,14 @@ pub fn e11_polyvariance(runs: Runs) -> String {
         let (poly, pt) = best_of(runs.0, || PolyAnalysis::run(&p).unwrap());
         let mono_avg = avg_call_targets(&p, |f| mono.labels_of(f).len());
         let poly_avg = avg_call_targets(&p, |f| poly.labels_of(f).len());
+        let samples = runs.0 as u32;
+        report
+            .time("E11", format!("monovariant/{n}"), mt, samples)
+            .counter("avg_targets_milli", (mono_avg * 1000.0) as u64);
+        report
+            .time("E11", format!("polyvariant/{n}"), pt, samples)
+            .counter("avg_targets_milli", (poly_avg * 1000.0) as u64)
+            .counter("instances", poly.instance_count() as u64);
         t.row(vec![
             n.to_string(),
             format!("{mono_avg:.2}"),
@@ -456,7 +532,7 @@ pub fn e11_polyvariance(runs: Runs) -> String {
 
 /// E12 — incremental analysis: update cost vs re-analysis as a session
 /// grows (the paper's "simple, incremental, demand-driven" remark).
-pub fn e12_incremental(runs: Runs) -> String {
+pub fn e12_incremental(runs: Runs, report: &mut Report) -> String {
     use stcfa_core::incremental::IncrementalAnalysis;
     use stcfa_lambda::session::SessionProgram;
 
@@ -485,6 +561,11 @@ pub fn e12_incremental(runs: Runs) -> String {
                 a.update(&session).unwrap();
             }
         });
+        let samples = runs.0 as u32;
+        report
+            .time("E12", format!("incremental/{n}"), inc_t, samples)
+            .counter("nodes", nodes as u64);
+        report.time("E12", format!("rescratch/{n}"), scratch_t, samples);
         t.row(vec![
             (n + 1).to_string(),
             nodes.to_string(),
@@ -501,21 +582,21 @@ pub fn e12_incremental(runs: Runs) -> String {
     )
 }
 
-/// Runs every experiment, in order.
-pub fn all(runs: Runs) -> Vec<(&'static str, String)> {
+/// Runs every experiment, in order, recording measurements into `report`.
+pub fn all(runs: Runs, report: &mut Report) -> Vec<(&'static str, String)> {
     vec![
-        ("E1", e1_query_complexity(runs)),
-        ("E2", e2_cubic_benchmark(runs)),
-        ("E3", e3_ml_programs(runs)),
-        ("E4", e4_effects(runs)),
-        ("E5", e5_klimited(runs)),
-        ("E6", e6_called_once(runs)),
-        ("E7", e7_constants(runs)),
-        ("E8", e8_congruences(runs)),
-        ("E9", e9_unification(runs)),
-        ("E10", e10_hybrid(runs)),
-        ("E11", e11_polyvariance(runs)),
-        ("E12", e12_incremental(runs)),
+        ("E1", e1_query_complexity(runs, report)),
+        ("E2", e2_cubic_benchmark(runs, report)),
+        ("E3", e3_ml_programs(runs, report)),
+        ("E4", e4_effects(runs, report)),
+        ("E5", e5_klimited(runs, report)),
+        ("E6", e6_called_once(runs, report)),
+        ("E7", e7_constants(runs, report)),
+        ("E8", e8_congruences(runs, report)),
+        ("E9", e9_unification(runs, report)),
+        ("E10", e10_hybrid(runs, report)),
+        ("E11", e11_polyvariance(runs, report)),
+        ("E12", e12_incremental(runs, report)),
     ]
 }
 
@@ -526,10 +607,24 @@ mod tests {
     /// Smoke-test the cheap experiments so the harness cannot rot.
     #[test]
     fn small_experiments_render() {
-        let runs = Runs(1);
-        for s in [e7_constants(runs), e10_hybrid(runs)] {
-            assert!(s.contains('|'), "table body missing");
-            assert!(s.contains("Shape to check"));
-        }
+        // E7 type-infers lexgen, whose deep let-chain wants a roomy stack
+        // in debug builds.
+        std::thread::Builder::new()
+            .stack_size(256 << 20)
+            .spawn(|| {
+                let runs = Runs(1);
+                let mut report = Report::new();
+                for s in [e7_constants(runs, &mut report), e10_hybrid(runs, &mut report)] {
+                    assert!(s.contains('|'), "table body missing");
+                    assert!(s.contains("Shape to check"));
+                }
+                assert!(!report.is_empty(), "experiments must record measurements");
+                let json = report.to_json("smoke");
+                assert!(json.contains("\"E7\""), "E7 records missing from JSON");
+                assert!(json.contains("\"E10\""), "E10 records missing from JSON");
+            })
+            .unwrap()
+            .join()
+            .unwrap();
     }
 }

@@ -1,0 +1,173 @@
+//! Minimal property-based testing: strategies, greedy shrinking, a
+//! case-count config, and a persistent regression-seed file — enough to
+//! host the workspace's four property suites without the `proptest` crate.
+//!
+//! # Model
+//!
+//! A [`Strategy`] describes how to *sample* a shrinkable representation
+//! ([`Strategy::Repr`]) from an [`Rng`](crate::prng::Rng), how to
+//! enumerate *smaller candidates* of a representation, and how to
+//! *realize* the value the property actually consumes. Keeping the
+//! representation separate from the value is what lets `prop_map`ped
+//! strategies (e.g. a random graph built from `(node count, edge list)`)
+//! shrink: the runner shrinks the representation and re-realizes.
+//!
+//! # Reproducibility
+//!
+//! Every test case is generated from a single `u64` case seed. On failure
+//! the runner appends `cc <test name> <seed>` to
+//! `tests/devkit-regressions.txt` in the owning crate, and every later run
+//! replays saved seeds for that test *before* generating novel ones — the
+//! same contract as proptest's `.proptest-regressions` files. Set
+//! `STCFA_PROP_SEED=<u64>` to reproduce an entire run, or
+//! `STCFA_PROP_CASES=<n>` to override case counts (e.g. a long soak).
+
+mod runner;
+mod strategy;
+
+pub use runner::{run, ProptestConfig};
+pub use strategy::{any, collection, Arbitrary, Just, Map, Strategy};
+
+/// A property failure: an assertion message carried back to the runner
+/// (which shrinks the input and reports the minimal failure).
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The property does not hold; the string explains why.
+    Fail(String),
+    /// The input should be discarded without counting (unused by the
+    /// current suites, but part of the proptest-shaped API).
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure from any message.
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+            TestCaseError::Reject(m) => write!(f, "input rejected: {m}"),
+        }
+    }
+}
+
+/// Result type property bodies produce (`Ok(())` = the case passed).
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Fails the surrounding property unless `cond` holds. Unlike `assert!`
+/// this returns a [`TestCaseError`] instead of panicking, which shrinks
+/// faster (no unwinding) and reports through the runner's machinery.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::prop::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Fails the surrounding property unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a == *b,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($a), stringify!($b), a, b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a == *b,
+            "{}\n  left: {:?}\n right: {:?}",
+            format!($($fmt)*), a, b
+        );
+    }};
+}
+
+/// Fails the surrounding property unless the two expressions differ.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a != *b,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($a), stringify!($b), a
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a != *b, "{}\n  both: {:?}", format!($($fmt)*), a);
+    }};
+}
+
+/// Declares property tests. A drop-in adapter for the `proptest!` macro:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(24))]
+///
+///     #[test]
+///     fn addition_commutes(a in 0u64..100, b in 0u64..100) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+///
+/// Each declared function becomes a regular `#[test]` that samples the
+/// configured number of cases, replays this crate's saved regression
+/// seeds first, and shrinks failures greedily. The regression file lives
+/// at `tests/devkit-regressions.txt` under the invoking crate's manifest
+/// directory.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::prop::run(
+                    stringify!($name),
+                    concat!(env!("CARGO_MANIFEST_DIR"), "/tests/devkit-regressions.txt"),
+                    &$config,
+                    ($($strat,)+),
+                    |($($arg,)+)| -> $crate::prop::TestCaseResult {
+                        $body
+                        ::core::result::Result::Ok(())
+                    },
+                );
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::prop::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strat),+) $body
+            )*
+        }
+    };
+}

@@ -1,0 +1,346 @@
+//! The property-test runner: case generation, panic capture, greedy
+//! shrinking, and the persistent regression-seed file.
+
+use std::cell::Cell;
+use std::fmt::Write as _;
+use std::fs;
+use std::io::Write as _;
+use std::panic::{self, AssertUnwindSafe};
+use std::path::Path;
+use std::sync::Once;
+
+use super::{Strategy, TestCaseError, TestCaseResult};
+use crate::prng::Rng;
+
+/// Per-suite configuration; the name mirrors proptest so existing
+/// `#![proptest_config(ProptestConfig::with_cases(n))]` lines port
+/// verbatim.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Novel cases to generate per test (saved regression seeds run in
+    /// addition to — and before — these).
+    pub cases: u32,
+    /// Upper bound on accepted shrink steps before reporting.
+    pub max_shrink_iters: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` novel cases per test.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases, ..ProptestConfig::default() }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256, max_shrink_iters: 4096 }
+    }
+}
+
+thread_local! {
+    /// Set while the runner executes a property body, so the global panic
+    /// hook stays quiet for panics the runner catches and reports itself.
+    static CAPTURING: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Installs (once, process-wide) a panic hook that suppresses output for
+/// panics raised inside a property body on this thread. Other threads and
+/// non-property panics keep the previous hook's behaviour.
+fn install_quiet_hook() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let previous = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if !CAPTURING.with(|c| c.get()) {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Runs `prop` on the realized value, converting panics into failures.
+fn check<S: Strategy>(
+    strategy: &S,
+    repr: &S::Repr,
+    prop: &impl Fn(S::Value) -> TestCaseResult,
+) -> TestCaseResult {
+    let value = strategy.realize(repr);
+    CAPTURING.with(|c| c.set(true));
+    let outcome = panic::catch_unwind(AssertUnwindSafe(|| prop(value)));
+    CAPTURING.with(|c| c.set(false));
+    match outcome {
+        Ok(r) => r,
+        Err(payload) => {
+            let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_owned()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "panicked with a non-string payload".to_owned()
+            };
+            Err(TestCaseError::fail(format!("panic: {msg}")))
+        }
+    }
+}
+
+/// Greedily shrinks a failing representation: repeatedly adopt the first
+/// candidate that still fails, until no candidate fails or the iteration
+/// budget runs out. Returns the minimal failure and its error.
+fn shrink<S: Strategy>(
+    strategy: &S,
+    mut repr: S::Repr,
+    mut err: TestCaseError,
+    max_iters: u32,
+    prop: &impl Fn(S::Value) -> TestCaseResult,
+) -> (S::Repr, TestCaseError, u32) {
+    let mut steps = 0u32;
+    let mut tried = 0u32;
+    'outer: loop {
+        for cand in strategy.shrinks(&repr) {
+            tried += 1;
+            if tried > max_iters {
+                break 'outer;
+            }
+            if let Err(e) = check(strategy, &cand, prop) {
+                repr = cand;
+                err = e;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (repr, err, steps)
+}
+
+/// Parses the regression file, returning the saved seeds for `test_name`.
+/// Lines are `cc <test name> <seed>`; `#` starts a comment.
+fn saved_seeds(path: &Path, test_name: &str) -> Vec<u64> {
+    let Ok(text) = fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        if parts.next() != Some("cc") {
+            continue;
+        }
+        if parts.next() != Some(test_name) {
+            continue;
+        }
+        if let Some(Ok(seed)) = parts.next().map(str::parse) {
+            out.push(seed);
+        }
+    }
+    out
+}
+
+/// Appends a failing seed to the regression file (creating it, with its
+/// header, on first use). Best-effort: failures to persist must not mask
+/// the test failure itself.
+fn save_seed(path: &Path, test_name: &str, seed: u64) {
+    if saved_seeds(path, test_name).contains(&seed) {
+        return;
+    }
+    let header = "\
+# Seeds for property-test cases that failed in the past, one per line:
+#     cc <test name> <case seed>
+# The devkit prop runner replays matching seeds before generating novel
+# cases. Check this file in so every checkout re-runs old failures.
+# (Format documented in docs/DEVKIT.md.)
+";
+    let existed = path.exists();
+    let Ok(mut f) = fs::OpenOptions::new().create(true).append(true).open(path) else {
+        return;
+    };
+    if !existed {
+        let _ = f.write_all(header.as_bytes());
+    }
+    let _ = writeln!(f, "cc {test_name} {seed}");
+}
+
+/// The per-case seed stream: decorrelates consecutive cases so `base` and
+/// `base + 1` as `STCFA_PROP_SEED` give unrelated runs.
+fn case_seed(base: u64, index: u64) -> u64 {
+    let mut x = base ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^ (x >> 31)
+}
+
+/// Runs one property: replayed regression seeds first, then `cases` novel
+/// cases. Panics (failing the enclosing `#[test]`) on the first failing
+/// case, after shrinking it and persisting its seed.
+pub fn run<S: Strategy>(
+    test_name: &str,
+    regressions_path: &str,
+    config: &ProptestConfig,
+    strategy: S,
+    prop: impl Fn(S::Value) -> TestCaseResult,
+) {
+    install_quiet_hook();
+    let path = Path::new(regressions_path);
+
+    let report_failure = |seed: u64, origin: &str, repr: S::Repr, err: TestCaseError| {
+        save_seed(path, test_name, seed);
+        let (min_repr, min_err, steps) =
+            shrink(&strategy, repr, err, config.max_shrink_iters, &prop);
+        let mut msg = String::new();
+        let _ = writeln!(msg, "property `{test_name}` failed ({origin}, case seed {seed})");
+        let _ = writeln!(msg, "minimal input after {steps} shrink step(s): {min_repr:?}");
+        let _ = writeln!(msg, "error: {min_err}");
+        let _ = writeln!(
+            msg,
+            "seed saved to {regressions_path}; re-running this test replays it \
+             first. On another checkout, add the line `cc {test_name} {seed}` \
+             to that file (see docs/DEVKIT.md)"
+        );
+        panic!("{msg}");
+    };
+
+    // 1. Replay saved failures for this test before anything novel.
+    for seed in saved_seeds(path, test_name) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let repr = strategy.sample(&mut rng);
+        if let Err(e) = check(&strategy, &repr, &prop) {
+            report_failure(seed, "saved regression", repr, e);
+        }
+    }
+
+    // 2. Novel cases. STCFA_PROP_SEED pins the run; STCFA_PROP_CASES
+    //    scales it (e.g. a soak run) without touching source.
+    let base = std::env::var("STCFA_PROP_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(Rng::entropy_seed);
+    let cases = std::env::var("STCFA_PROP_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(config.cases);
+    for i in 0..cases {
+        let seed = case_seed(base, i as u64);
+        let mut rng = Rng::seed_from_u64(seed);
+        let repr = strategy.sample(&mut rng);
+        if let Err(e) = check(&strategy, &repr, &prop) {
+            report_failure(seed, "novel case", repr, e);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_regressions(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("stcfa-devkit-test-{name}-{}", std::process::id()));
+        let _ = fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let path = tmp_regressions("pass");
+        let count = std::cell::Cell::new(0u32);
+        run(
+            "always_holds",
+            path.to_str().unwrap(),
+            &ProptestConfig::with_cases(50),
+            0u64..100,
+            |v| {
+                count.set(count.get() + 1);
+                assert!(v < 100);
+                Ok(())
+            },
+        );
+        assert_eq!(count.get(), 50);
+        assert!(!path.exists(), "no regression entry for a passing property");
+    }
+
+    #[test]
+    fn failing_property_shrinks_and_persists() {
+        let path = tmp_regressions("fail");
+        let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+            run(
+                "fails_at_ten_plus",
+                path.to_str().unwrap(),
+                &ProptestConfig::with_cases(200),
+                0u64..1000,
+                |v| {
+                    if v >= 10 {
+                        return Err(TestCaseError::fail(format!("{v} too big")));
+                    }
+                    Ok(())
+                },
+            );
+        }));
+        let msg = match outcome {
+            Err(p) => *p.downcast::<String>().expect("string panic"),
+            Ok(()) => panic!("property unexpectedly passed"),
+        };
+        // Greedy shrinking must land exactly on the boundary.
+        assert!(msg.contains("minimal input after"), "{msg}");
+        assert!(msg.contains(": 10"), "expected shrink to 10, got: {msg}");
+        // And the seed must now be saved and replayed first.
+        let saved = saved_seeds(&path, "fails_at_ten_plus");
+        assert_eq!(saved.len(), 1);
+        assert!(saved_seeds(&path, "some_other_test").is_empty());
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn panics_are_captured_and_shrunk() {
+        let path = tmp_regressions("panic");
+        let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+            run(
+                "panics_on_big",
+                path.to_str().unwrap(),
+                &ProptestConfig::with_cases(100),
+                0u64..1000,
+                |v| {
+                    assert!(v < 5, "boom at {v}");
+                    Ok(())
+                },
+            );
+        }));
+        let msg = match outcome {
+            Err(p) => *p.downcast::<String>().expect("string panic"),
+            Ok(()) => panic!("property unexpectedly passed"),
+        };
+        assert!(msg.contains("panic: boom at 5"), "{msg}");
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn saved_seeds_parse_format() {
+        let path = tmp_regressions("parse");
+        fs::write(
+            &path,
+            "# comment\n\ncc alpha 42\ncc beta 7\ncc alpha 99\nnot a cc line\n",
+        )
+        .unwrap();
+        assert_eq!(saved_seeds(&path, "alpha"), vec![42, 99]);
+        assert_eq!(saved_seeds(&path, "beta"), vec![7]);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn env_seed_reproduces_runs() {
+        // Two runs with the same base seed must see identical case values.
+        let path = tmp_regressions("repro");
+        let collect = |base: u64| {
+            let mut seen = Vec::new();
+            for i in 0..20u64 {
+                let mut rng = Rng::seed_from_u64(case_seed(base, i));
+                seen.push((0u64..1_000_000).sample(&mut rng));
+            }
+            seen
+        };
+        assert_eq!(collect(5), collect(5));
+        assert_ne!(collect(5), collect(6));
+        let _ = fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,349 @@
+//! Strategies: how to sample, shrink, and realize property-test inputs.
+
+use std::fmt::Debug;
+use std::ops::Range;
+
+use crate::prng::Rng;
+
+/// A recipe for producing values of [`Strategy::Value`].
+///
+/// Sampling and shrinking operate on [`Strategy::Repr`], the shrinkable
+/// *representation*; [`Strategy::realize`] converts a representation into
+/// the value handed to the property. For primitive strategies the two
+/// coincide; for `prop_map` the representation stays the pre-map input so
+/// mapped values shrink through their constructor.
+pub trait Strategy {
+    /// The shrinkable representation. `Debug` so minimal failures print.
+    type Repr: Clone + Debug;
+    /// The value the property function receives.
+    type Value;
+
+    /// Draws a representation from the generator.
+    fn sample(&self, rng: &mut Rng) -> Self::Repr;
+
+    /// Candidate *strictly simpler* representations, best-first. The
+    /// runner greedily walks this list, so order is the shrink heuristic.
+    fn shrinks(&self, repr: &Self::Repr) -> Vec<Self::Repr>;
+
+    /// Converts a representation into a property input.
+    fn realize(&self, repr: &Self::Repr) -> Self::Value;
+
+    /// Maps the produced value through `f`, keeping shrinking at the
+    /// representation level (proptest's `prop_map`).
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Types with a canonical full-range strategy, for `any::<T>()`.
+pub trait Arbitrary: Sized {
+    /// The strategy `any::<Self>()` returns.
+    type Strategy: Strategy<Value = Self>;
+    /// Builds the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical full-range strategy for `T` — `any::<u64>()` etc.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Shrink candidates for an unsigned magnitude: 0, then successive
+/// halvings toward the value, then the predecessor. Best-first (the
+/// runner keeps the first candidate that still fails).
+fn shrink_u64_toward(lo: u64, v: u64) -> Vec<u64> {
+    let mut out = Vec::new();
+    if v == lo {
+        return out;
+    }
+    out.push(lo);
+    let mut delta = v - lo;
+    // Halve the distance: lo + d/2, lo + d*3/4, ... approaching v.
+    while delta > 1 {
+        delta /= 2;
+        out.push(v - delta);
+    }
+    out.dedup();
+    out
+}
+
+/// Full-range `u64` strategy (shrinks toward 0).
+#[derive(Clone, Copy, Debug)]
+pub struct AnyU64;
+
+impl Strategy for AnyU64 {
+    type Repr = u64;
+    type Value = u64;
+    fn sample(&self, rng: &mut Rng) -> u64 {
+        rng.next_u64()
+    }
+    fn shrinks(&self, repr: &u64) -> Vec<u64> {
+        shrink_u64_toward(0, *repr)
+    }
+    fn realize(&self, repr: &u64) -> u64 {
+        *repr
+    }
+}
+
+impl Arbitrary for u64 {
+    type Strategy = AnyU64;
+    fn arbitrary() -> AnyU64 {
+        AnyU64
+    }
+}
+
+/// Full-range `bool` strategy (shrinks toward `false`).
+#[derive(Clone, Copy, Debug)]
+pub struct AnyBool;
+
+impl Strategy for AnyBool {
+    type Repr = bool;
+    type Value = bool;
+    fn sample(&self, rng: &mut Rng) -> bool {
+        rng.gen_bool(0.5)
+    }
+    fn shrinks(&self, repr: &bool) -> Vec<bool> {
+        if *repr {
+            vec![false]
+        } else {
+            vec![]
+        }
+    }
+    fn realize(&self, repr: &bool) -> bool {
+        *repr
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyBool;
+    fn arbitrary() -> AnyBool {
+        AnyBool
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Repr = $t;
+            type Value = $t;
+            fn sample(&self, rng: &mut Rng) -> $t {
+                rng.gen_range(self.clone())
+            }
+            fn shrinks(&self, repr: &$t) -> Vec<$t> {
+                shrink_u64_toward(self.start as u64, *repr as u64)
+                    .into_iter()
+                    .map(|v| v as $t)
+                    .collect()
+            }
+            fn realize(&self, repr: &$t) -> $t {
+                *repr
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+/// A constant strategy: always the same value, never shrinks.
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Repr = ();
+    type Value = T;
+    fn sample(&self, _rng: &mut Rng) -> () {}
+    fn shrinks(&self, _repr: &()) -> Vec<()> {
+        vec![]
+    }
+    fn realize(&self, _repr: &()) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, T> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Repr = S::Repr;
+    type Value = T;
+    fn sample(&self, rng: &mut Rng) -> S::Repr {
+        self.inner.sample(rng)
+    }
+    fn shrinks(&self, repr: &S::Repr) -> Vec<S::Repr> {
+        self.inner.shrinks(repr)
+    }
+    fn realize(&self, repr: &S::Repr) -> T {
+        (self.f)(self.inner.realize(repr))
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Repr = ($($name::Repr,)+);
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut Rng) -> Self::Repr {
+                ($(self.$idx.sample(rng),)+)
+            }
+            fn shrinks(&self, repr: &Self::Repr) -> Vec<Self::Repr> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrinks(&repr.$idx) {
+                        let mut next = repr.clone();
+                        next.$idx = cand;
+                        out.push(next);
+                    }
+                )+
+                out
+            }
+            fn realize(&self, repr: &Self::Repr) -> Self::Value {
+                ($(self.$idx.realize(&repr.$idx),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A: 0);
+impl_tuple_strategy!(A: 0, B: 1);
+impl_tuple_strategy!(A: 0, B: 1, C: 2);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+
+/// Collection strategies (`collection::vec`), mirroring
+/// `proptest::collection`.
+pub mod collection {
+    use super::*;
+
+    /// A vector of `element` samples with a length drawn from `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty length range");
+        VecStrategy { element, len }
+    }
+
+    /// See [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Repr = Vec<S::Repr>;
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut Rng) -> Vec<S::Repr> {
+            let n = rng.gen_range(self.len.clone());
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+
+        fn shrinks(&self, repr: &Vec<S::Repr>) -> Vec<Vec<S::Repr>> {
+            let min = self.len.start;
+            let mut out: Vec<Vec<S::Repr>> = Vec::new();
+            let n = repr.len();
+            // 1. Structural shrinks first: empty, halves, then dropping
+            //    single elements (cap the fan-out on long vectors).
+            if n > min {
+                if min == 0 && n > 1 {
+                    out.push(Vec::new());
+                }
+                if n / 2 >= min && n / 2 < n {
+                    out.push(repr[..n / 2].to_vec());
+                    out.push(repr[n - n / 2..].to_vec());
+                }
+                let step = (n / 16).max(1);
+                for i in (0..n).step_by(step) {
+                    let mut next = repr.clone();
+                    next.remove(i);
+                    if next.len() >= min {
+                        out.push(next);
+                    }
+                }
+            }
+            // 2. Element-wise shrinks, first candidate per slot.
+            for (i, r) in repr.iter().enumerate().take(16) {
+                if let Some(cand) = self.element.shrinks(r).into_iter().next() {
+                    let mut next = repr.clone();
+                    next[i] = cand;
+                    out.push(next);
+                }
+            }
+            out
+        }
+
+        fn realize(&self, repr: &Vec<S::Repr>) -> Vec<S::Value> {
+            repr.iter().map(|r| self.element.realize(r)).collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_strategy_samples_in_bounds() {
+        let s = 5usize..20;
+        let mut rng = Rng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let r = s.sample(&mut rng);
+            assert!((5..20).contains(&r));
+            for c in s.shrinks(&r) {
+                assert!((5..20).contains(&c), "shrink {c} escaped range");
+                assert!(c < r, "shrink must strictly decrease");
+            }
+        }
+    }
+
+    #[test]
+    fn u64_shrinks_reach_zero() {
+        let s = AnyU64;
+        let shrinks = s.shrinks(&1024);
+        assert_eq!(shrinks.first(), Some(&0));
+        assert!(shrinks.iter().all(|&c| c < 1024));
+        assert!(s.shrinks(&0).is_empty());
+    }
+
+    #[test]
+    fn vec_shrinks_respect_min_len() {
+        let s = collection::vec(0usize..10, 2..8);
+        let mut rng = Rng::seed_from_u64(2);
+        for _ in 0..200 {
+            let r = s.sample(&mut rng);
+            assert!((2..8).contains(&r.len()));
+            for c in s.shrinks(&r) {
+                assert!(c.len() >= 2, "shrink below min length");
+            }
+        }
+    }
+
+    #[test]
+    fn map_shrinks_through_constructor() {
+        let s = (1usize..50).prop_map(|n| vec![0u8; n]);
+        let mut rng = Rng::seed_from_u64(3);
+        let repr = s.sample(&mut rng);
+        let v = s.realize(&repr);
+        assert_eq!(v.len(), repr);
+        for c in s.shrinks(&repr) {
+            assert!(s.realize(&c).len() < v.len());
+        }
+    }
+
+    #[test]
+    fn tuple_strategy_shrinks_componentwise() {
+        let s = (0usize..10, 0usize..10);
+        let shrinks = s.shrinks(&(4, 7));
+        assert!(!shrinks.is_empty());
+        for (a, b) in shrinks {
+            assert!((a < 4 && b == 7) || (a == 4 && b < 7));
+        }
+    }
+}

@@ -5,11 +5,11 @@
 // assertions compare; iterators would obscure the parallel access.
 #![allow(clippy::needless_range_loop)]
 
-use proptest::prelude::*;
+use stcfa_devkit::prelude::*;
 use stcfa_graph::{BitSet, DiGraph};
 
 fn arb_graph() -> impl Strategy<Value = DiGraph> {
-    (2usize..40, proptest::collection::vec((0usize..40, 0usize..40), 0..120)).prop_map(
+    (2usize..40, collection::vec((0usize..40, 0usize..40), 0..120)).prop_map(
         |(n, edges)| {
             let mut g = DiGraph::with_nodes(n);
             for (u, v) in edges {
@@ -78,8 +78,8 @@ proptest! {
 
     #[test]
     fn bitset_union_is_idempotent_and_monotone(
-        a in proptest::collection::vec(0usize..256, 0..64),
-        b in proptest::collection::vec(0usize..256, 0..64),
+        a in collection::vec(0usize..256, 0..64),
+        b in collection::vec(0usize..256, 0..64),
     ) {
         let mut x = BitSet::new(256);
         for &i in &a { x.insert(i); }

@@ -146,9 +146,18 @@ mod tests {
 
     #[test]
     fn parses_and_typechecks() {
-        let p = program();
-        assert!(p.size() > 2000, "lexgen should be large, got {}", p.size());
-        TypedProgram::infer(&p).expect("lexgen is well-typed");
+        // Parsing and inference both recurse over the deep let-chain; like
+        // the evaluator test below, debug builds need a roomy stack.
+        std::thread::Builder::new()
+            .stack_size(256 << 20)
+            .spawn(|| {
+                let p = program();
+                assert!(p.size() > 2000, "lexgen should be large, got {}", p.size());
+                TypedProgram::infer(&p).expect("lexgen is well-typed");
+            })
+            .unwrap()
+            .join()
+            .unwrap();
     }
 
     #[test]

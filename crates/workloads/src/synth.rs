@@ -8,8 +8,7 @@
 //! structurally-decreasing counter pattern, so generated programs also
 //! *terminate*, which the differential/soundness property tests rely on.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use stcfa_devkit::prng::Rng;
 use stcfa_lambda::{ConId, ExprId, PrimOp, Program, ProgramBuilder, TyExpr, VarId};
 
 /// Generator parameters.
@@ -87,7 +86,7 @@ pub fn generate(config: &SynthConfig) -> Program {
         None
     };
     let mut g = Gen {
-        rng: SmallRng::seed_from_u64(config.seed),
+        rng: Rng::seed_from_u64(config.seed),
         b,
         env: Vec::new(),
         budget: config.target_size as isize,
@@ -115,7 +114,7 @@ pub fn generate(config: &SynthConfig) -> Program {
 }
 
 struct Gen {
-    rng: SmallRng,
+    rng: Rng,
     b: ProgramBuilder,
     env: Vec<(VarId, STy)>,
     budget: isize,
@@ -361,13 +360,13 @@ impl Gen {
             STy::Int => {
                 let a = self.expr(&STy::Int, depth - 1);
                 let b = self.expr(&STy::Int, depth - 1);
-                let op = [PrimOp::Add, PrimOp::Sub, PrimOp::Mul][self.rng.gen_range(0..3)];
+                let op = [PrimOp::Add, PrimOp::Sub, PrimOp::Mul][self.rng.gen_range(0..3usize)];
                 self.b.prim(op, vec![a, b])
             }
             STy::Bool => {
                 let a = self.expr(&STy::Int, depth - 1);
                 let b = self.expr(&STy::Int, depth - 1);
-                let op = [PrimOp::Lt, PrimOp::Leq, PrimOp::IntEq][self.rng.gen_range(0..3)];
+                let op = [PrimOp::Lt, PrimOp::Leq, PrimOp::IntEq][self.rng.gen_range(0..3usize)];
                 self.b.prim(op, vec![a, b])
             }
             other => self.leaf(other),

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Tier-1 verification, fully offline.
+#
+# The workspace is hermetic: no external crates, so a path-only Cargo.lock
+# is committed and `CARGO_NET_OFFLINE=true` must never be a constraint.
+# Run from anywhere inside the repository.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+echo "== tier-1: release build =="
+cargo build --release --offline
+
+echo "== tier-1: test suite =="
+cargo test -q --offline
+
+echo "== benches compile (not run) =="
+cargo bench --no-run --offline
+
+echo "ci.sh: all green"

@@ -9,7 +9,7 @@
 //! - equality-based CFA over-approximates standard CFA;
 //! - polyvariant subtransitive refines monovariant but never unsoundly.
 
-use proptest::prelude::*;
+use stcfa_devkit::prelude::*;
 use stcfa::cfa0::{Cfa0, Dtc};
 use stcfa::core::{Analysis, PolyAnalysis};
 use stcfa::sba::Sba;
@@ -49,7 +49,7 @@ proptest! {
         // The close phase must have reached its fixpoint: every primed
         // closure rule saturated.
         a.check_invariants().map_err(|e| {
-            proptest::test_runner::TestCaseError::fail(format!("seed {seed}: {e}"))
+            TestCaseError::fail(format!("seed {seed}: {e}"))
         })?;
         let cfa = Cfa0::analyze(&p);
         for e in p.exprs() {

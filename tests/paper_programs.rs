@@ -65,15 +65,24 @@ fn cubic_family_label_sets_agree_across_analyses() {
 
 #[test]
 fn table2_programs_are_bounded_type() {
-    for (name, p) in [("life", life::program()), ("lexgen", lexgen::program())] {
-        let typed = TypedProgram::infer(&p).unwrap_or_else(|e| panic!("{name}: {e}"));
-        let m = TypeMetrics::compute(&p, &typed);
-        assert!(
-            m.avg_size < 8.0,
-            "{name}: k_avg = {} — the paper reports small constants (2–3)",
-            m.avg_size
-        );
-    }
+    // Inference recurses over lexgen's deep let-chain; debug builds need
+    // more than the default test-thread stack.
+    std::thread::Builder::new()
+        .stack_size(256 << 20)
+        .spawn(|| {
+            for (name, p) in [("life", life::program()), ("lexgen", lexgen::program())] {
+                let typed = TypedProgram::infer(&p).unwrap_or_else(|e| panic!("{name}: {e}"));
+                let m = TypeMetrics::compute(&p, &typed);
+                assert!(
+                    m.avg_size < 8.0,
+                    "{name}: k_avg = {} — the paper reports small constants (2–3)",
+                    m.avg_size
+                );
+            }
+        })
+        .unwrap()
+        .join()
+        .unwrap();
 }
 
 #[test]

@@ -2,7 +2,7 @@
 //! the parser/printer round trip, well-typedness of generated programs,
 //! and "well-typed programs don't go wrong" (no dynamic type errors).
 
-use proptest::prelude::*;
+use stcfa_devkit::prelude::*;
 use stcfa::lambda::eval::{eval, EvalError, EvalOptions};
 use stcfa::lambda::Program;
 use stcfa::types::TypedProgram;
