@@ -8,7 +8,7 @@
 //! application site, saturate at two sites ("many"), and read the answer
 //! off at each abstraction's node.
 
-use stcfa_core::{Analysis, NodeId};
+use stcfa_core::{Analysis, NodeId, QueryEngine};
 use stcfa_lambda::{ExprId, ExprKind, Label, Program};
 
 /// How many call sites can call one function.
@@ -81,12 +81,28 @@ impl CalledOnce {
         CalledOnce { per_label }
     }
 
-    /// The quadratic reference: query `L(e₁)` at every application site.
+    /// The quadratic reference: query `L(e₁)` at every application site
+    /// with a fresh BFS (kept as the trusted slow path tests diff against).
     pub fn via_queries(program: &Program, analysis: &Analysis) -> CalledOnce {
         let mut per_label = vec![CallSites::None; program.label_count()];
         for e in program.exprs() {
             if let ExprKind::App { func, .. } = program.kind(e) {
                 for l in analysis.labels_of(*func) {
+                    per_label[l.index()].merge(CallSites::One(e));
+                }
+            }
+        }
+        CalledOnce { per_label }
+    }
+
+    /// [`CalledOnce::via_queries`] through a frozen [`QueryEngine`]: same
+    /// per-site target sets, one summary sweep instead of a BFS per site.
+    pub fn via_engine(program: &Program, engine: &QueryEngine) -> CalledOnce {
+        engine.prepare();
+        let mut per_label = vec![CallSites::None; program.label_count()];
+        for e in program.exprs() {
+            if let ExprKind::App { func, .. } = program.kind(e) {
+                for l in engine.labels_of(*func) {
                     per_label[l.index()].merge(CallSites::One(e));
                 }
             }
@@ -183,8 +199,10 @@ mod tests {
             let a = Analysis::run(&p).unwrap();
             let fast = CalledOnce::run(&p, &a);
             let slow = CalledOnce::via_queries(&p, &a);
+            let engine = CalledOnce::via_engine(&p, &stcfa_core::QueryEngine::freeze(&a));
             for l in p.all_labels() {
                 assert_eq!(fast.of(l), slow.of(l), "label {l:?} in {src:?}");
+                assert_eq!(engine.of(l), slow.of(l), "engine path at {l:?} in {src:?}");
             }
         }
     }

@@ -11,7 +11,7 @@
 //! that genuinely need it (inliner heuristics, recursion detection,
 //! reachability).
 
-use stcfa_core::Analysis;
+use stcfa_core::{Analysis, QueryEngine};
 use stcfa_graph::DiGraph;
 use stcfa_lambda::{ExprId, ExprKind, Label, Program};
 
@@ -26,7 +26,17 @@ pub struct CallGraph {
 
 impl CallGraph {
     /// Builds the call graph from subtransitive per-site call targets.
+    ///
+    /// Freezes a [`QueryEngine`] internally so the per-site target sets
+    /// come out of one bit-parallel sweep instead of one BFS per site; use
+    /// [`CallGraph::build_with_engine`] to share an already-frozen engine.
     pub fn build(program: &Program, analysis: &Analysis) -> CallGraph {
+        Self::build_with_engine(program, &QueryEngine::freeze(analysis))
+    }
+
+    /// Builds the call graph through an existing frozen [`QueryEngine`].
+    pub fn build_with_engine(program: &Program, engine: &QueryEngine) -> CallGraph {
+        engine.prepare(); // every site is queried — the sweep pays for itself
         let labels = program.label_count();
         let mut graph = DiGraph::with_nodes(labels + 1);
         // Map every expression to its enclosing abstraction (or the root).
@@ -52,7 +62,7 @@ impl CallGraph {
         for app in program.app_sites() {
             let ExprKind::App { func, .. } = program.kind(app) else { unreachable!() };
             let caller = encloser[app.index()];
-            for callee in analysis.labels_of(*func) {
+            for callee in engine.labels_of(*func) {
                 graph.add_edge_dedup(caller, callee.index());
             }
         }

@@ -1,12 +1,14 @@
 //! E1 / the Section 2 complexity table: the four control-flow queries,
 //! standard algorithm vs subtransitive graph, at two program sizes (the
-//! scaling *ratio* is the result; absolute numbers depend on the host).
+//! scaling *ratio* is the result; absolute numbers depend on the host) —
+//! plus the frozen [`QueryEngine`] variants: the same queries off the
+//! SCC-condensed bit-parallel summary, and batches at 1/2/8 workers.
 
 use stcfa_devkit::bench::{BenchmarkId, Criterion};
 use stcfa_devkit::{criterion_group, criterion_main};
 use std::hint::black_box;
 use stcfa_cfa0::Cfa0;
-use stcfa_core::Analysis;
+use stcfa_core::{Analysis, Query, QueryEngine};
 use stcfa_workloads::cubic;
 
 fn bench_queries(c: &mut Criterion) {
@@ -35,6 +37,48 @@ fn bench_queries(c: &mut Criterion) {
             &(&p, &a),
             |b, (p, a)| b.iter(|| black_box(a.all_label_sets(p))),
         );
+
+        // Freezing cost (CSR + condensation, no sweep).
+        group.bench_with_input(BenchmarkId::new("engine_freeze", n), &a, |b, a| {
+            b.iter(|| black_box(QueryEngine::freeze(a)))
+        });
+        // Engine variants off the completed summary sweep.
+        let q = QueryEngine::freeze(&a);
+        q.prepare();
+        group.bench_with_input(BenchmarkId::new("engine_member", n), &q, |b, q| {
+            b.iter(|| black_box(q.label_reaches(e, l)))
+        });
+        group.bench_with_input(BenchmarkId::new("engine_labels_of", n), &q, |b, q| {
+            b.iter(|| black_box(q.labels_of(e)))
+        });
+        group.bench_with_input(BenchmarkId::new("engine_inverse", n), &q, |b, q| {
+            b.iter(|| black_box(q.exprs_with_label(l)))
+        });
+        // Freeze + sweep + read everything: the honest comparison against
+        // new_all_label_sets, which amortizes nothing.
+        group.bench_with_input(
+            BenchmarkId::new("engine_all_label_sets_cold", n),
+            &a,
+            |b, a| {
+                b.iter(|| {
+                    let q = QueryEngine::freeze(a);
+                    black_box(q.all_label_sets())
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("engine_all_label_sets", n), &q, |b, q| {
+            b.iter(|| black_box(q.all_label_sets()))
+        });
+
+        // The same per-expression query list, sharded across workers.
+        let queries: Vec<Query> = p.exprs().map(Query::LabelsOf).collect();
+        for &threads in &[1usize, 2, 8] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("engine_batch_t{threads}"), n),
+                &(&q, &queries),
+                |b, (q, queries)| b.iter(|| black_box(q.batch(queries, threads))),
+            );
+        }
     }
     group.finish();
 }

@@ -96,6 +96,15 @@ pub struct AnalysisStats {
     pub edges_processed: u64,
     /// Demand registrations performed.
     pub demand_registrations: u64,
+    /// Queries answered by a frozen [`QueryEngine`](crate::QueryEngine)
+    /// over this analysis (zero until one is frozen and consulted).
+    pub queries_answered: u64,
+    /// Query-engine cache hits: answers served from the completed summary
+    /// sweep or from a memoized demand-mode component.
+    pub query_cache_hits: u64,
+    /// Query-engine cache misses: demand-mode components computed plus
+    /// full summary sweeps performed.
+    pub query_cache_misses: u64,
 }
 
 impl AnalysisStats {
@@ -124,20 +133,20 @@ impl AnalysisStats {
 #[derive(Clone, Debug)]
 pub struct Analysis {
     nodes: NodeTable,
-    graph: SubGraph,
+    pub(crate) graph: SubGraph,
     policy: DatatypePolicy,
     stats: AnalysisStats,
     /// Expression occurrence → node (variable occurrences share their
     /// binder's node).
-    expr_nodes: Vec<NodeId>,
+    pub(crate) expr_nodes: Vec<NodeId>,
     /// Binder → node.
-    binder_nodes: Vec<NodeId>,
+    pub(crate) binder_nodes: Vec<NodeId>,
     /// Node → abstraction label (`u32::MAX` = none).
-    node_label: Vec<u32>,
+    pub(crate) node_label: Vec<u32>,
     /// Label → the abstraction's node.
-    label_nodes: Vec<NodeId>,
+    pub(crate) label_nodes: Vec<NodeId>,
     /// Binder → its variable occurrences, for inverse queries.
-    occurrences: Vec<Vec<ExprId>>,
+    pub(crate) occurrences: Vec<Vec<ExprId>>,
 }
 
 impl Analysis {

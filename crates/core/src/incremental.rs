@@ -35,6 +35,7 @@ use stcfa_lambda::{ExprId, Label, Program, VarId};
 
 use crate::analysis::{Analysis, AnalysisError, AnalysisOptions, Engine, EngineParts};
 use crate::node::{NodeId, NodeKind};
+use crate::queryeng::QueryEngine;
 
 /// What one [`IncrementalAnalysis::update`] added.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -53,6 +54,61 @@ pub struct IncrementalAnalysis {
     options: AnalysisOptions,
     parts: EngineParts,
     processed_bindings: usize,
+    /// Bumped by every [`IncrementalAnalysis::update`] that changes the
+    /// graph; frozen into [`SessionSnapshot`]s for staleness checks.
+    generation: u64,
+}
+
+/// Use of a [`SessionSnapshot`] whose session has since been updated.
+///
+/// A frozen query engine describes the graph *as of one generation*; using
+/// it after the session grew would silently return under-approximate label
+/// sets. [`SessionSnapshot::engine`] turns that hazard into this checked
+/// error instead.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StaleSnapshot {
+    /// The generation the snapshot was frozen at.
+    pub frozen_at: u64,
+    /// The session's current generation.
+    pub current: u64,
+}
+
+impl std::fmt::Display for StaleSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "stale session snapshot: frozen at generation {}, session is at generation {}",
+            self.frozen_at, self.current
+        )
+    }
+}
+
+impl std::error::Error for StaleSnapshot {}
+
+/// A [`QueryEngine`] frozen from an [`IncrementalAnalysis`] at a specific
+/// generation. Access the engine only through
+/// [`SessionSnapshot::engine`], which re-checks the generation against the
+/// live session — extending the session after freezing makes the snapshot
+/// a checked error, never a silently wrong answer.
+pub struct SessionSnapshot {
+    engine: QueryEngine,
+    frozen_at: u64,
+}
+
+impl SessionSnapshot {
+    /// The generation this snapshot was frozen at.
+    pub fn generation(&self) -> u64 {
+        self.frozen_at
+    }
+
+    /// The frozen engine, if `analysis` has not been updated since the
+    /// freeze.
+    pub fn engine(&self, analysis: &IncrementalAnalysis) -> Result<&QueryEngine, StaleSnapshot> {
+        if analysis.generation != self.frozen_at {
+            return Err(StaleSnapshot { frozen_at: self.frozen_at, current: analysis.generation });
+        }
+        Ok(&self.engine)
+    }
 }
 
 impl IncrementalAnalysis {
@@ -63,7 +119,14 @@ impl IncrementalAnalysis {
             options,
             parts: EngineParts::default(),
             processed_bindings: 0,
+            generation: 0,
         }
+    }
+
+    /// The current generation: the number of graph-changing updates so
+    /// far. Snapshots frozen at an older generation are stale.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Catches up with everything defined in `session` since the last
@@ -89,11 +152,15 @@ impl IncrementalAnalysis {
         let result = engine.close();
         self.parts = engine.into_parts();
         result?;
-        Ok(UpdateDelta {
+        let delta = UpdateDelta {
             new_nodes: self.parts.nodes.len() - nodes_before,
             new_edges: self.parts.graph.edge_count() - edges_before,
             new_exprs: self.parts.expr_nodes.len() - exprs_before,
-        })
+        };
+        if delta != UpdateDelta::default() {
+            self.generation += 1;
+        }
+        Ok(delta)
     }
 
     /// `L(e)` on the current graph. `program` must be the session's
@@ -145,6 +212,19 @@ impl IncrementalAnalysis {
     pub fn snapshot(&self, program: &Program) -> Analysis {
         let engine = Engine::resume(program, self.options, self.parts.clone());
         engine.finish()
+    }
+
+    /// Freezes the current state into a generation-tagged [`QueryEngine`]
+    /// (see [`SessionSnapshot`]). The engine answers queries for the
+    /// session *as of now*; after the next graph-changing
+    /// [`IncrementalAnalysis::update`] the snapshot reports
+    /// [`StaleSnapshot`] instead of stale answers.
+    pub fn freeze(&self, program: &Program) -> SessionSnapshot {
+        let analysis = self.snapshot(program);
+        SessionSnapshot {
+            engine: QueryEngine::freeze_tagged(&analysis, Some(self.generation)),
+            frozen_at: self.generation,
+        }
     }
 }
 

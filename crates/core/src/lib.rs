@@ -55,7 +55,10 @@ pub mod hybrid;
 pub mod incremental;
 pub mod node;
 pub mod polyvariance;
+pub mod queryeng;
 
 pub use analysis::{Analysis, AnalysisError, AnalysisOptions, AnalysisStats};
+pub use incremental::{SessionSnapshot, StaleSnapshot};
 pub use node::{DatatypePolicy, NodeId, NodeKind, NodeTable};
 pub use polyvariance::{PolyAnalysis, PolyOptions};
+pub use queryeng::{Answer, Query, QueryEngine, QueryStats};

@@ -159,29 +159,28 @@ impl PolyAnalysis {
         self.labels_of(e).contains(&l)
     }
 
-    /// `{e : l ∈ L(e)}`, reverse reachability from every carrier of `l`.
+    /// `{e : l ∈ L(e)}` — one multi-source reverse reachability pass seeded
+    /// from every carrier of `l` at once, with the binder → occurrences map
+    /// built a single time up front. (Previously this looped over the
+    /// carriers, rebuilding the occurrence map and re-walking shared
+    /// predecessors per carrier.)
     pub fn exprs_with_label(&self, program: &Program, l: Label) -> Vec<ExprId> {
-        let mut out = Vec::new();
-        for carrier in self.inner.nodes_with_label(l) {
-            out.extend(self.exprs_reaching(program, carrier));
-        }
-        out.sort_unstable();
-        out.dedup();
-        out
-    }
-
-    fn exprs_reaching(&self, program: &Program, target: NodeId) -> Vec<ExprId> {
         let n = self.inner.node_count();
         let mut seen = vec![false; n];
-        let mut stack = vec![target];
-        seen[target.index()] = true;
-        let mut out = Vec::new();
+        let mut stack: Vec<NodeId> = Vec::new();
+        for carrier in self.inner.nodes_with_label(l) {
+            if !seen[carrier.index()] {
+                seen[carrier.index()] = true;
+                stack.push(carrier);
+            }
+        }
         let mut occ: Vec<Vec<ExprId>> = vec![Vec::new(); program.var_count()];
         for e in program.exprs() {
             if let ExprKind::Var(v) = program.kind(e) {
                 occ[v.index()].push(e);
             }
         }
+        let mut out = Vec::new();
         while let Some(nid) = stack.pop() {
             match self.inner.nodes().kind(nid) {
                 NodeKind::Expr(e) => out.push(e),
@@ -195,6 +194,8 @@ impl PolyAnalysis {
                 }
             }
         }
+        out.sort_unstable();
+        out.dedup();
         out
     }
 

@@ -1,0 +1,677 @@
+//! The frozen batch query engine over a finished subtransitive graph.
+//!
+//! After the build and close phases every CFA question is *graph
+//! reachability* (paper, Section 2) — but [`Analysis`] answers each query
+//! with a fresh BFS over growable adjacency lists, so the quadratic
+//! "all label sets" listing pays `n` independent traversals with the worst
+//! possible constants. [`QueryEngine`] freezes the analysis into an
+//! immutable snapshot tuned for answering *many* queries:
+//!
+//! 1. the graph is packed into a [`Csr`] (plus its cheap transpose);
+//! 2. strongly connected components are condensed
+//!    ([`Condensation`]) — every node in an SCC has the same label set;
+//! 3. one **reverse-topological bit-parallel sweep** computes every
+//!    component's label set in `O(E·L/64)` — after which `labels_of`,
+//!    `label_reaches`, `exprs_with_label`, `call_targets` and
+//!    `all_label_sets` are table lookups.
+//!
+//! Before (or instead of) the full sweep, demand-mode queries resolve
+//! through a **memoized per-component cache**: only the components
+//! reachable from the queried node are summarized, and never twice.
+//!
+//! [`QueryEngine::batch`] shards a query list across
+//! `std::thread::scope` workers over the shared immutable snapshot; the
+//! answer vector is in input order, byte-identical at every worker count.
+//!
+//! The engine is a *snapshot*: it does not follow later growth of an
+//! incremental session. Snapshots taken through
+//! [`IncrementalAnalysis::freeze`](crate::incremental::IncrementalAnalysis::freeze)
+//! carry a generation tag and refuse to answer once stale (see
+//! [`crate::incremental::SessionSnapshot`]).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use stcfa_graph::{Condensation, Csr};
+use stcfa_lambda::{ExprId, ExprKind, Label, Program, VarId};
+
+use crate::analysis::{Analysis, AnalysisStats};
+use crate::node::NodeId;
+
+/// One question for [`QueryEngine::batch`] (single-shot methods exist for
+/// all of them too).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Query {
+    /// `L(e)` for an expression occurrence.
+    LabelsOf(ExprId),
+    /// `L(x)` for a binder.
+    LabelsOfBinder(VarId),
+    /// `l ∈ L(e)`?
+    Member(ExprId, Label),
+    /// `{e : l ∈ L(e)}`.
+    ExprsWithLabel(Label),
+}
+
+impl Query {
+    /// The call-targets question for application site `app` (`L(e₁)` for
+    /// `app = (e₁ e₂)`), or `None` if `app` is not an application.
+    pub fn call_targets(program: &Program, app: ExprId) -> Option<Query> {
+        match program.kind(app) {
+            ExprKind::App { func, .. } => Some(Query::LabelsOf(*func)),
+            _ => None,
+        }
+    }
+}
+
+/// One answer, in the same position as its [`Query`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Answer {
+    /// For [`Query::LabelsOf`]/[`Query::LabelsOfBinder`]: the sorted label
+    /// set.
+    Labels(Vec<Label>),
+    /// For [`Query::Member`].
+    Member(bool),
+    /// For [`Query::ExprsWithLabel`]: the sorted occurrence list.
+    Exprs(Vec<ExprId>),
+}
+
+/// Work and cache-hit counters of one engine (monotone; read them with
+/// [`QueryEngine::query_stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Queries answered (single-shot and batched).
+    pub queries: u64,
+    /// Answers served from the completed full sweep.
+    pub summary_hits: u64,
+    /// Demand-mode answers served from an already-memoized component.
+    pub demand_hits: u64,
+    /// Components summarized on demand (the demand cache's misses).
+    pub demand_misses: u64,
+    /// Full bit-parallel sweeps performed (0 or 1).
+    pub sweeps: u64,
+    /// `batch` invocations.
+    pub batches: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    queries: AtomicU64,
+    summary_hits: AtomicU64,
+    demand_hits: AtomicU64,
+    demand_misses: AtomicU64,
+    sweeps: AtomicU64,
+    batches: AtomicU64,
+}
+
+/// Demand-mode state: per-component label rows computed so far.
+struct DemandMemo {
+    rows: Vec<Option<Box<[u64]>>>,
+}
+
+/// An immutable, thread-shareable query snapshot of a finished
+/// [`Analysis`]. See the [module docs](self) for the design.
+pub struct QueryEngine {
+    /// Forward CSR (towards value sources, like [`Analysis::succs`]).
+    csr: Csr,
+    /// Transposed CSR (towards consumers), for demand-mode inverse queries.
+    rev: Csr,
+    cond: Condensation,
+    /// Node → label index (`u32::MAX` = none).
+    node_label: Vec<u32>,
+    /// Expression occurrence → node.
+    expr_nodes: Vec<u32>,
+    /// Binder → node.
+    binder_nodes: Vec<u32>,
+    /// Binder → variable occurrences (flattened), for demand-mode inverse
+    /// queries.
+    occ_offsets: Vec<u32>,
+    occ_exprs: Vec<u32>,
+    label_count: usize,
+    /// `u64` words per label row.
+    words: usize,
+    /// Component label rows from the full sweep (`comp_count × words`).
+    summaries: OnceLock<Vec<u64>>,
+    /// Label → occurrences, derived from the sweep (the inverse index).
+    inverse: OnceLock<Vec<Vec<ExprId>>>,
+    demand: Mutex<DemandMemo>,
+    counters: Counters,
+    base_stats: AnalysisStats,
+    generation: Option<u64>,
+}
+
+impl std::fmt::Debug for QueryEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryEngine")
+            .field("nodes", &self.csr.node_count())
+            .field("edges", &self.csr.edge_count())
+            .field("comps", &self.cond.comp_count())
+            .field("labels", &self.label_count)
+            .field("swept", &self.summaries.get().is_some())
+            .field("generation", &self.generation)
+            .finish()
+    }
+}
+
+impl QueryEngine {
+    /// Freezes a finished analysis into an immutable snapshot. `O(V + E)`.
+    pub fn freeze(analysis: &Analysis) -> QueryEngine {
+        Self::freeze_tagged(analysis, None)
+    }
+
+    pub(crate) fn freeze_tagged(analysis: &Analysis, generation: Option<u64>) -> QueryEngine {
+        let n = analysis.node_count();
+        let csr = Csr::from_succs(n, |u| analysis.graph.succs(NodeId::from_index(u)));
+        let rev = csr.reverse();
+        let cond = Condensation::build(&csr);
+        let label_count = analysis.label_nodes.len();
+        let words = label_count.div_ceil(64).max(1);
+        let mut occ_offsets = Vec::with_capacity(analysis.occurrences.len() + 1);
+        occ_offsets.push(0u32);
+        let mut occ_exprs = Vec::new();
+        for occ in &analysis.occurrences {
+            occ_exprs.extend(occ.iter().map(|e| e.index() as u32));
+            occ_offsets.push(occ_exprs.len() as u32);
+        }
+        QueryEngine {
+            csr,
+            rev,
+            cond,
+            node_label: analysis.node_label.clone(),
+            expr_nodes: analysis.expr_nodes.iter().map(|n| n.index() as u32).collect(),
+            binder_nodes: analysis.binder_nodes.iter().map(|n| n.index() as u32).collect(),
+            occ_offsets,
+            occ_exprs,
+            label_count,
+            words,
+            summaries: OnceLock::new(),
+            inverse: OnceLock::new(),
+            demand: Mutex::new(DemandMemo { rows: Vec::new() }),
+            counters: Counters::default(),
+            base_stats: analysis.stats(),
+            generation,
+        }
+    }
+
+    // --- snapshot shape -----------------------------------------------------
+
+    /// Number of graph nodes frozen into the snapshot.
+    pub fn node_count(&self) -> usize {
+        self.csr.node_count()
+    }
+
+    /// Number of graph edges frozen into the snapshot.
+    pub fn edge_count(&self) -> usize {
+        self.csr.edge_count()
+    }
+
+    /// Number of strongly connected components.
+    pub fn comp_count(&self) -> usize {
+        self.cond.comp_count()
+    }
+
+    /// Number of abstraction labels.
+    pub fn label_count(&self) -> usize {
+        self.label_count
+    }
+
+    /// The generation of the incremental session this snapshot was frozen
+    /// from, if any (see [`crate::incremental::SessionSnapshot`]).
+    pub fn generation(&self) -> Option<u64> {
+        self.generation
+    }
+
+    /// The frozen forward CSR.
+    pub fn csr(&self) -> &Csr {
+        &self.csr
+    }
+
+    /// The frozen reverse CSR.
+    pub fn rev_csr(&self) -> &Csr {
+        &self.rev
+    }
+
+    /// The SCC condensation.
+    pub fn condensation(&self) -> &Condensation {
+        &self.cond
+    }
+
+    // --- label rows ---------------------------------------------------------
+
+    /// Seeds `row` with the labels carried by the members of component `c`.
+    fn own_bits(&self, c: usize, row: &mut [u64]) {
+        for &m in self.cond.members(c) {
+            let l = self.node_label[m as usize];
+            if l != u32::MAX {
+                row[(l / 64) as usize] |= 1u64 << (l % 64);
+            }
+        }
+    }
+
+    /// The full sweep: every component's label row, computed bottom-up in
+    /// one pass. Component ids are in reverse topological order (edges go
+    /// to smaller ids), so processing `0, 1, 2, …` sees every successor
+    /// finished.
+    fn summaries(&self) -> &[u64] {
+        self.summaries.get_or_init(|| {
+            self.counters.sweeps.fetch_add(1, Ordering::Relaxed);
+            let cc = self.cond.comp_count();
+            let w = self.words;
+            let mut rows = vec![0u64; cc * w];
+            for c in 0..cc {
+                let (done, current) = rows.split_at_mut(c * w);
+                let row = &mut current[..w];
+                for &s in self.cond.dag().succs(c) {
+                    let s = s as usize;
+                    debug_assert!(s < c, "condensation order violated");
+                    let src = &done[s * w..(s + 1) * w];
+                    for (a, b) in row.iter_mut().zip(src) {
+                        *a |= b;
+                    }
+                }
+                self.own_bits(c, row);
+            }
+            rows
+        })
+    }
+
+    /// Forces the full summary sweep now (it otherwise runs lazily on the
+    /// first whole-graph query or batch). Call before a long run of
+    /// single-shot queries to skip demand mode entirely.
+    pub fn prepare(&self) {
+        self.summaries();
+    }
+
+    /// The label row of `node`'s component, preferring the completed sweep
+    /// and falling back to the memoized demand cache.
+    fn row_of_node(&self, node: usize) -> Box<[u64]> {
+        let c = self.cond.comp_of(node);
+        if let Some(rows) = self.summaries.get() {
+            self.counters.summary_hits.fetch_add(1, Ordering::Relaxed);
+            return rows[c * self.words..(c + 1) * self.words].into();
+        }
+        self.demand_row(c)
+    }
+
+    /// Demand mode: summarize only the components reachable from `c`,
+    /// memoizing every row computed along the way.
+    fn demand_row(&self, c: usize) -> Box<[u64]> {
+        let w = self.words;
+        let mut memo = self.demand.lock().expect("demand cache poisoned");
+        if memo.rows.is_empty() {
+            memo.rows = (0..self.cond.comp_count()).map(|_| None).collect();
+        }
+        if let Some(row) = &memo.rows[c] {
+            self.counters.demand_hits.fetch_add(1, Ordering::Relaxed);
+            return row.clone();
+        }
+        // Collect the unmemoized components reachable from `c`. Their ids
+        // are all ≤ c (reverse-topological numbering), so computing them in
+        // increasing id order sees every dependency finished.
+        let mut todo: Vec<usize> = Vec::new();
+        let mut stack = vec![c];
+        let mut seen = vec![false; self.cond.comp_count()];
+        seen[c] = true;
+        while let Some(x) = stack.pop() {
+            if memo.rows[x].is_some() {
+                continue;
+            }
+            todo.push(x);
+            for &s in self.cond.dag().succs(x) {
+                if !seen[s as usize] {
+                    seen[s as usize] = true;
+                    stack.push(s as usize);
+                }
+            }
+        }
+        todo.sort_unstable();
+        self.counters.demand_misses.fetch_add(todo.len() as u64, Ordering::Relaxed);
+        for &x in &todo {
+            let mut row = vec![0u64; w].into_boxed_slice();
+            for &s in self.cond.dag().succs(x) {
+                let src = memo.rows[s as usize].as_ref().expect("dependency computed");
+                for (a, b) in row.iter_mut().zip(src.iter()) {
+                    *a |= b;
+                }
+            }
+            self.own_bits(x, &mut row);
+            memo.rows[x] = Some(row);
+        }
+        memo.rows[c].as_ref().expect("just computed").clone()
+    }
+
+    fn row_to_labels(&self, row: &[u64]) -> Vec<Label> {
+        let mut out = Vec::new();
+        for (wi, &word) in row.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                out.push(Label::from_index(wi * 64 + b));
+            }
+        }
+        out
+    }
+
+    // --- queries ------------------------------------------------------------
+
+    /// `L(e)`, sorted — identical to [`Analysis::labels_of`].
+    pub fn labels_of(&self, e: ExprId) -> Vec<Label> {
+        self.labels_from_node(NodeId::from_index(self.expr_nodes[e.index()] as usize))
+    }
+
+    /// `L(x)` for a binder — identical to [`Analysis::labels_of_binder`].
+    pub fn labels_of_binder(&self, v: VarId) -> Vec<Label> {
+        self.labels_from_node(NodeId::from_index(self.binder_nodes[v.index()] as usize))
+    }
+
+    /// Labels reachable from an arbitrary graph node.
+    pub fn labels_from_node(&self, start: NodeId) -> Vec<Label> {
+        self.counters.queries.fetch_add(1, Ordering::Relaxed);
+        let row = self.row_of_node(start.index());
+        self.row_to_labels(&row)
+    }
+
+    /// Is `l ∈ L(e)`? — identical to [`Analysis::label_reaches`].
+    pub fn label_reaches(&self, e: ExprId, l: Label) -> bool {
+        self.counters.queries.fetch_add(1, Ordering::Relaxed);
+        let row = self.row_of_node(self.expr_nodes[e.index()] as usize);
+        let i = l.index();
+        row[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// The label → occurrences inverse index, derived from the sweep: one
+    /// scan over the expressions, `O(n·L/64 + output)` once, `O(1)` per
+    /// query after.
+    fn inverse_index(&self) -> &Vec<Vec<ExprId>> {
+        self.inverse.get_or_init(|| {
+            let rows = self.summaries();
+            let w = self.words;
+            let mut index: Vec<Vec<ExprId>> = vec![Vec::new(); self.label_count];
+            for (i, &node) in self.expr_nodes.iter().enumerate() {
+                let c = self.cond.comp_of(node as usize);
+                let row = &rows[c * w..(c + 1) * w];
+                for (wi, &word) in row.iter().enumerate() {
+                    let mut bits = word;
+                    while bits != 0 {
+                        let b = bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        index[wi * 64 + b].push(ExprId::from_index(i));
+                    }
+                }
+            }
+            index
+        })
+    }
+
+    /// `{e : l ∈ L(e)}`, sorted — identical to
+    /// [`Analysis::exprs_with_label`]. First call builds the full inverse
+    /// index; every later call is a table lookup.
+    pub fn exprs_with_label(&self, l: Label) -> Vec<ExprId> {
+        self.counters.queries.fetch_add(1, Ordering::Relaxed);
+        if self.inverse.get().is_some() {
+            self.counters.summary_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        self.inverse_index()[l.index()].clone()
+    }
+
+    /// Demand-mode inverse query: reverse reachability over the transposed
+    /// CSR from every carrier of `l`, without building the full index.
+    /// Identical answers to [`QueryEngine::exprs_with_label`]; linear in
+    /// the graph per call. Exposed for consumers that ask about one or two
+    /// labels and then throw the snapshot away.
+    pub fn exprs_with_label_demand(&self, l: Label) -> Vec<ExprId> {
+        self.counters.queries.fetch_add(1, Ordering::Relaxed);
+        let n = self.csr.node_count();
+        let mut seen = vec![false; n];
+        let mut stack: Vec<u32> = Vec::new();
+        // Every carrier of `l` (the abstraction, plus instance roots under
+        // polyvariance) seeds the reverse traversal.
+        for (node, &lab) in self.node_label.iter().enumerate() {
+            if lab as usize == l.index() && !seen[node] {
+                seen[node] = true;
+                stack.push(node as u32);
+            }
+        }
+        let mut out: Vec<ExprId> = Vec::new();
+        let mut hit = vec![false; self.expr_nodes.len().max(1)];
+        while let Some(u) = stack.pop() {
+            for &p in self.rev.succs(u as usize) {
+                if !seen[p as usize] {
+                    seen[p as usize] = true;
+                    stack.push(p);
+                }
+            }
+        }
+        // One pass over the occurrences: an expression is in the answer iff
+        // its node was reached.
+        for (i, &node) in self.expr_nodes.iter().enumerate() {
+            if seen[node as usize] && !hit[i] {
+                hit[i] = true;
+                out.push(ExprId::from_index(i));
+            }
+        }
+        out
+    }
+
+    /// All label sets — one row lookup per occurrence after a single
+    /// `O(E·L/64)` sweep, against `n` BFS traversals on the unfrozen
+    /// analysis.
+    pub fn all_label_sets(&self) -> Vec<(ExprId, Vec<Label>)> {
+        let rows = self.summaries();
+        let w = self.words;
+        self.counters
+            .queries
+            .fetch_add(self.expr_nodes.len() as u64, Ordering::Relaxed);
+        self.counters
+            .summary_hits
+            .fetch_add(self.expr_nodes.len() as u64, Ordering::Relaxed);
+        self.expr_nodes
+            .iter()
+            .enumerate()
+            .map(|(i, &node)| {
+                let c = self.cond.comp_of(node as usize);
+                let labels = self.row_to_labels(&rows[c * w..(c + 1) * w]);
+                (ExprId::from_index(i), labels)
+            })
+            .collect()
+    }
+
+    /// The functions callable from application site `app`, or `None` if
+    /// `app` is not an application — identical to
+    /// [`Analysis::call_targets`].
+    pub fn call_targets(&self, program: &Program, app: ExprId) -> Option<Vec<Label>> {
+        match program.kind(app) {
+            ExprKind::App { func, .. } => Some(self.labels_of(*func)),
+            _ => None,
+        }
+    }
+
+    /// The variable occurrences of binder `v` (frozen from the analysis;
+    /// used by consumers that walk inverse results back to source).
+    pub fn occurrences_of(&self, v: VarId) -> impl Iterator<Item = ExprId> + '_ {
+        self.occ_exprs
+            [self.occ_offsets[v.index()] as usize..self.occ_offsets[v.index() + 1] as usize]
+            .iter()
+            .map(|&e| ExprId::from_index(e as usize))
+    }
+
+    // --- batch --------------------------------------------------------------
+
+    /// The worker count [`QueryEngine::batch_default`] uses: the
+    /// `STCFA_QUERY_THREADS` environment variable if set, else the host's
+    /// available parallelism capped at 8.
+    pub fn default_threads() -> usize {
+        std::env::var("STCFA_QUERY_THREADS")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|&t| t >= 1)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map_or(1, |p| p.get().min(8))
+            })
+    }
+
+    /// [`QueryEngine::batch`] at [`QueryEngine::default_threads`].
+    pub fn batch_default(&self, queries: &[Query]) -> Vec<Answer> {
+        self.batch(queries, Self::default_threads())
+    }
+
+    fn answer(&self, q: &Query) -> Answer {
+        match *q {
+            Query::LabelsOf(e) => Answer::Labels(self.labels_of(e)),
+            Query::LabelsOfBinder(v) => Answer::Labels(self.labels_of_binder(v)),
+            Query::Member(e, l) => Answer::Member(self.label_reaches(e, l)),
+            Query::ExprsWithLabel(l) => Answer::Exprs(self.exprs_with_label(l)),
+        }
+    }
+
+    /// Answers `queries` with up to `threads` workers sharing the snapshot
+    /// through `std::thread::scope` (no new dependencies). Answers come
+    /// back in input order and are **byte-identical at every worker
+    /// count**: the full sweep (and, if needed, the inverse index) is
+    /// completed up front, after which every answer is a pure read.
+    pub fn batch(&self, queries: &[Query], threads: usize) -> Vec<Answer> {
+        self.counters.batches.fetch_add(1, Ordering::Relaxed);
+        // Make the shared state read-only before sharding.
+        self.summaries();
+        if queries.iter().any(|q| matches!(q, Query::ExprsWithLabel(_))) {
+            self.inverse_index();
+        }
+        let threads = threads.clamp(1, queries.len().max(1));
+        if threads == 1 {
+            return queries.iter().map(|q| self.answer(q)).collect();
+        }
+        let chunk = queries.len().div_ceil(threads);
+        let mut out = Vec::with_capacity(queries.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = queries
+                .chunks(chunk)
+                .map(|qs| scope.spawn(move || qs.iter().map(|q| self.answer(q)).collect::<Vec<_>>()))
+                .collect();
+            for h in handles {
+                out.extend(h.join().expect("batch worker panicked"));
+            }
+        });
+        out
+    }
+
+    // --- counters -----------------------------------------------------------
+
+    /// A snapshot of the work/cache counters.
+    pub fn query_stats(&self) -> QueryStats {
+        QueryStats {
+            queries: self.counters.queries.load(Ordering::Relaxed),
+            summary_hits: self.counters.summary_hits.load(Ordering::Relaxed),
+            demand_hits: self.counters.demand_hits.load(Ordering::Relaxed),
+            demand_misses: self.counters.demand_misses.load(Ordering::Relaxed),
+            sweeps: self.counters.sweeps.load(Ordering::Relaxed),
+            batches: self.counters.batches.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The frozen analysis' [`AnalysisStats`] with this engine's query
+    /// counters filled in.
+    pub fn stats(&self) -> AnalysisStats {
+        let q = self.query_stats();
+        AnalysisStats {
+            queries_answered: q.queries,
+            query_cache_hits: q.summary_hits + q.demand_hits,
+            query_cache_misses: q.demand_misses + q.sweeps,
+            ..self.base_stats
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stcfa_lambda::Program;
+
+    fn engine_for(src: &str) -> (Program, Analysis, QueryEngine) {
+        let p = Program::parse(src).unwrap();
+        let a = Analysis::run(&p).unwrap();
+        let q = QueryEngine::freeze(&a);
+        (p, a, q)
+    }
+
+    const SELF_APP: &str = "(fn x => x x) (fn y => y)";
+    const JOIN: &str = "fun id x = x;\nval a = id (fn u => u);\nval b = id (fn v => v);\na";
+
+    #[test]
+    fn labels_match_bfs_reference() {
+        for src in [SELF_APP, JOIN, "#1 ((fn x => x), (fn y => y)) 4"] {
+            let (p, a, q) = engine_for(src);
+            for e in p.exprs() {
+                assert_eq!(q.labels_of(e), a.labels_of(e), "at {e:?} in {src:?}");
+            }
+            for v in p.vars() {
+                assert_eq!(q.labels_of_binder(v), a.labels_of_binder(v));
+            }
+        }
+    }
+
+    #[test]
+    fn member_and_inverse_match_bfs_reference() {
+        for src in [SELF_APP, JOIN] {
+            let (p, a, q) = engine_for(src);
+            for l in p.all_labels() {
+                assert_eq!(q.exprs_with_label(l), a.exprs_with_label(l), "{l:?}");
+                assert_eq!(q.exprs_with_label_demand(l), a.exprs_with_label(l));
+                for e in p.exprs() {
+                    assert_eq!(q.label_reaches(e, l), a.label_reaches(e, l));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_label_sets_matches_bfs_reference() {
+        let (p, a, q) = engine_for(JOIN);
+        assert_eq!(q.all_label_sets(), a.all_label_sets(&p));
+    }
+
+    #[test]
+    fn call_targets_match() {
+        let (p, a, q) = engine_for("(fn x => x) (fn y => y)");
+        for e in p.exprs() {
+            assert_eq!(q.call_targets(&p, e), a.call_targets(&p, e));
+        }
+    }
+
+    #[test]
+    fn demand_mode_memoizes() {
+        let (p, _, q) = engine_for(JOIN);
+        let e = p.root();
+        let first = q.labels_of(e);
+        let s1 = q.query_stats();
+        assert!(s1.demand_misses > 0, "first query computes components");
+        assert_eq!(s1.sweeps, 0, "no full sweep in demand mode");
+        let second = q.labels_of(e);
+        let s2 = q.query_stats();
+        assert_eq!(first, second);
+        assert_eq!(s2.demand_misses, s1.demand_misses, "second query is a cache hit");
+        assert_eq!(s2.demand_hits, s1.demand_hits + 1);
+    }
+
+    #[test]
+    fn batch_is_input_ordered_and_thread_invariant() {
+        let (p, _, q) = engine_for(JOIN);
+        let mut queries: Vec<Query> = p.exprs().map(Query::LabelsOf).collect();
+        queries.extend(p.all_labels().map(Query::ExprsWithLabel));
+        queries.extend(p.exprs().flat_map(|e| p.all_labels().map(move |l| Query::Member(e, l))));
+        let one = q.batch(&queries, 1);
+        for t in [2, 3, 8, 64] {
+            assert_eq!(q.batch(&queries, t), one, "thread count {t}");
+        }
+        assert!(q.query_stats().batches >= 5);
+    }
+
+    #[test]
+    fn stats_merge_into_analysis_stats() {
+        let (p, a, q) = engine_for(SELF_APP);
+        let _ = q.labels_of(p.root());
+        let s = q.stats();
+        assert_eq!(s.build_nodes, a.stats().build_nodes);
+        assert_eq!(s.queries_answered, 1);
+        assert!(s.query_cache_misses > 0);
+    }
+}

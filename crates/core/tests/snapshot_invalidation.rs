@@ -1,0 +1,93 @@
+//! A frozen [`SessionSnapshot`] describes the incremental session *as of
+//! one generation*: extending the session afterwards must turn every use
+//! of the stale snapshot into a checked [`StaleSnapshot`] error — never a
+//! silently under-approximate answer.
+
+use stcfa_core::incremental::IncrementalAnalysis;
+use stcfa_core::{QueryEngine, StaleSnapshot};
+use stcfa_lambda::session::SessionProgram;
+
+fn session_with(fragments: &[&str]) -> (SessionProgram, IncrementalAnalysis) {
+    let mut session = SessionProgram::new();
+    let mut analysis = IncrementalAnalysis::new(Default::default());
+    for f in fragments {
+        session.define(f).unwrap();
+        analysis.update(&session).unwrap();
+    }
+    (session, analysis)
+}
+
+#[test]
+fn fresh_snapshot_answers() {
+    let (session, analysis) = session_with(&["fun id x = x;", "val a = id (fn u => u);"]);
+    let snap = analysis.freeze(session.program());
+    assert_eq!(snap.generation(), analysis.generation());
+    let engine = snap.engine(&analysis).expect("snapshot is current");
+    for e in session.program().exprs() {
+        assert_eq!(
+            engine.labels_of(e),
+            analysis.labels_of(session.program(), e),
+            "frozen session engine diverged at {e:?}"
+        );
+    }
+}
+
+#[test]
+fn extending_the_session_stales_the_snapshot() {
+    let (mut session, mut analysis) = session_with(&["fun id x = x;"]);
+    let gen_before = analysis.generation();
+    let snap = analysis.freeze(session.program());
+    assert!(snap.engine(&analysis).is_ok());
+
+    // Grow the session: the old snapshot no longer describes the graph
+    // (the new fragment joins a second lambda into `id`'s flows).
+    session.define("val b = id (fn v => v);").unwrap();
+    let delta = analysis.update(&session).unwrap();
+    assert!(delta.new_nodes > 0, "the fragment adds graph nodes");
+    assert!(analysis.generation() > gen_before);
+
+    let err = snap.engine(&analysis).expect_err("stale snapshot must be refused");
+    assert_eq!(
+        err,
+        StaleSnapshot { frozen_at: gen_before, current: analysis.generation() }
+    );
+    // The error is a real std error with both generations in the message.
+    let msg = err.to_string();
+    assert!(msg.contains("stale"), "got: {msg}");
+    assert!(msg.contains(&gen_before.to_string()), "got: {msg}");
+}
+
+#[test]
+fn refreezing_after_update_answers_again() {
+    let (mut session, mut analysis) = session_with(&["fun id x = x;"]);
+    let old = analysis.freeze(session.program());
+    session.define("id (fn w => w)").unwrap();
+    analysis.update(&session).unwrap();
+    assert!(old.engine(&analysis).is_err());
+
+    let fresh = analysis.freeze(session.program());
+    let engine = fresh.engine(&analysis).expect("refrozen snapshot is current");
+    for e in session.program().exprs() {
+        assert_eq!(engine.labels_of(e), analysis.labels_of(session.program(), e));
+    }
+    // Both snapshots carry their generation tag on the engine itself too.
+    assert_eq!(engine.generation(), Some(analysis.generation()));
+}
+
+#[test]
+fn noop_update_keeps_snapshots_fresh() {
+    let (session, mut analysis) = session_with(&["fun id x = x;", "id (fn u => u)"]);
+    let snap = analysis.freeze(session.program());
+    // Re-running update with nothing new defined adds nothing and must not
+    // invalidate existing snapshots.
+    let delta = analysis.update(&session).unwrap();
+    assert_eq!(delta, Default::default());
+    assert!(snap.engine(&analysis).is_ok(), "no-op update must not stale the snapshot");
+}
+
+#[test]
+fn plain_freeze_is_untagged() {
+    let p = stcfa_lambda::Program::parse("(fn x => x) (fn y => y)").unwrap();
+    let a = stcfa_core::Analysis::run(&p).unwrap();
+    assert_eq!(QueryEngine::freeze(&a).generation(), None);
+}

@@ -1,0 +1,207 @@
+//! A frozen compressed-sparse-row (CSR) view of a directed graph.
+//!
+//! The growable [`DiGraph`](crate::DiGraph) (and the analyses' own
+//! adjacency stores) spend one heap allocation per node and chase a
+//! pointer per neighbour list; once a graph stops changing, queries want
+//! the opposite trade-off. [`Csr`] packs all adjacency into two flat
+//! arrays (`offsets`, `targets`), so a full-graph sweep touches memory
+//! strictly left to right and a node's neighbour slice costs two loads.
+//!
+//! Freezing is `O(V + E)` by counting sort, and [`Csr::reverse`] produces
+//! the transposed CSR by the same counting pass — no per-node vectors are
+//! ever materialized.
+
+use crate::digraph::DiGraph;
+
+/// An immutable directed graph in compressed-sparse-row form.
+///
+/// Nodes are `0..node_count()`; the successors of `u` are the slice
+/// `targets[offsets[u]..offsets[u + 1]]`. Duplicate edges are preserved
+/// exactly as given (freeze what you had; deduplicate upstream if needed).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Csr {
+    /// `node_count() + 1` cumulative degrees.
+    offsets: Vec<u32>,
+    /// Edge targets, grouped by source.
+    targets: Vec<u32>,
+}
+
+impl Csr {
+    /// Freezes an edge list over `n` nodes. Edges may arrive in any order;
+    /// within one source, the original relative order is preserved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is `>= n` or the edge count overflows `u32`.
+    pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Csr {
+        let mut degree = vec![0u32; n + 1];
+        for &(u, v) in edges {
+            assert!((u as usize) < n && (v as usize) < n, "edge ({u}, {v}) out of range {n}");
+            degree[u as usize + 1] += 1;
+        }
+        for i in 0..n {
+            degree[i + 1] += degree[i];
+        }
+        let total = u32::try_from(edges.len()).expect("edge count overflow");
+        debug_assert_eq!(degree[n], total);
+        let mut cursor = degree.clone();
+        let mut targets = vec![0u32; edges.len()];
+        for &(u, v) in edges {
+            let slot = cursor[u as usize];
+            targets[slot as usize] = v;
+            cursor[u as usize] += 1;
+        }
+        Csr { offsets: degree, targets }
+    }
+
+    /// Freezes per-node successor slices (e.g. an analysis' adjacency
+    /// lists) without an intermediate edge list.
+    pub fn from_succs<'a>(n: usize, succs: impl Fn(usize) -> &'a [u32]) -> Csr {
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0u32);
+        let mut total = 0usize;
+        for u in 0..n {
+            total += succs(u).len();
+            offsets.push(u32::try_from(total).expect("edge count overflow"));
+        }
+        let mut targets = Vec::with_capacity(total);
+        for u in 0..n {
+            targets.extend_from_slice(succs(u));
+        }
+        Csr { offsets, targets }
+    }
+
+    /// Freezes a [`DiGraph`].
+    pub fn from_digraph(g: &DiGraph) -> Csr {
+        Self::from_succs(g.node_count(), |u| g.succs(u))
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Successors of `u`.
+    #[inline]
+    pub fn succs(&self, u: usize) -> &[u32] {
+        &self.targets[self.offsets[u] as usize..self.offsets[u + 1] as usize]
+    }
+
+    /// Out-degree of `u`.
+    #[inline]
+    pub fn degree(&self, u: usize) -> usize {
+        (self.offsets[u + 1] - self.offsets[u]) as usize
+    }
+
+    /// The transposed graph, built by one counting pass (`O(V + E)`, no
+    /// per-node allocations). Within one target, sources appear in
+    /// increasing order.
+    pub fn reverse(&self) -> Csr {
+        let n = self.node_count();
+        let mut degree = vec![0u32; n + 1];
+        for &v in &self.targets {
+            degree[v as usize + 1] += 1;
+        }
+        for i in 0..n {
+            degree[i + 1] += degree[i];
+        }
+        let mut cursor = degree.clone();
+        let mut targets = vec![0u32; self.targets.len()];
+        for u in 0..n {
+            for &v in self.succs(u) {
+                let slot = cursor[v as usize];
+                targets[slot as usize] = u as u32;
+                cursor[v as usize] += 1;
+            }
+        }
+        Csr { offsets: degree, targets }
+    }
+
+    /// Iterates over all edges as `(source, target)` pairs, grouped by
+    /// source.
+    pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        (0..self.node_count())
+            .flat_map(move |u| self.succs(u).iter().map(move |&v| (u as u32, v)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Csr {
+        Csr::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)])
+    }
+
+    #[test]
+    fn from_edges_groups_by_source() {
+        let g = Csr::from_edges(4, &[(2, 3), (0, 1), (0, 2), (1, 3)]);
+        assert_eq!(g.succs(0), &[1, 2]);
+        assert_eq!(g.succs(1), &[3]);
+        assert_eq!(g.succs(2), &[3]);
+        assert!(g.succs(3).is_empty());
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.degree(0), 2);
+    }
+
+    #[test]
+    fn from_digraph_matches_adjacency() {
+        let mut g = DiGraph::with_nodes(5);
+        g.add_edge(4, 0);
+        g.add_edge(1, 2);
+        g.add_edge(1, 4);
+        let c = Csr::from_digraph(&g);
+        for u in 0..5 {
+            assert_eq!(c.succs(u), g.succs(u), "node {u}");
+        }
+    }
+
+    #[test]
+    fn reverse_transposes() {
+        let g = diamond();
+        let r = g.reverse();
+        assert_eq!(r.succs(3), &[1, 2]);
+        assert_eq!(r.succs(1), &[0]);
+        assert_eq!(r.succs(2), &[0]);
+        assert!(r.succs(0).is_empty());
+        // Reversing twice restores the edge multiset per node.
+        let rr = r.reverse();
+        for u in 0..g.node_count() {
+            let mut a = g.succs(u).to_vec();
+            let mut b = rr.succs(u).to_vec();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn duplicate_edges_survive_freezing() {
+        let g = Csr::from_edges(2, &[(0, 1), (0, 1)]);
+        assert_eq!(g.succs(0), &[1, 1]);
+        assert_eq!(g.reverse().succs(1), &[0, 0]);
+    }
+
+    #[test]
+    fn edges_iterator_round_trips() {
+        let g = diamond();
+        let pairs: Vec<(u32, u32)> = g.edges().collect();
+        assert_eq!(Csr::from_edges(4, &pairs), g);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Csr::from_edges(0, &[]);
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.reverse().node_count(), 0);
+    }
+}

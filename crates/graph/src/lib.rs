@@ -4,8 +4,11 @@
 //! reduces every CFA query to plain graph reachability; this crate provides
 //! that machinery: a compact adjacency-list [`DiGraph`], [`BitSet`]s for
 //! frontiers and label sets, an SCC decomposition and a (deliberately
-//! quadratic) transitive closure for the "all label sets" experiment, and
-//! the [`Worklist`] shared by all fixed-point solvers in the workspace.
+//! quadratic) transitive closure for the "all label sets" experiment, the
+//! [`Worklist`] shared by all fixed-point solvers in the workspace, and —
+//! for finished graphs — a frozen [`Csr`] snapshot with its SCC
+//! [`Condensation`], the substrate of the batch query engine in
+//! `stcfa-core`.
 //!
 //! ```
 //! use stcfa_graph::DiGraph;
@@ -20,9 +23,13 @@
 #![warn(missing_docs)]
 
 pub mod bitset;
+pub mod condense;
+pub mod csr;
 pub mod digraph;
 pub mod worklist;
 
 pub use bitset::BitSet;
+pub use condense::Condensation;
+pub use csr::Csr;
 pub use digraph::DiGraph;
 pub use worklist::Worklist;

@@ -16,6 +16,14 @@ cargo build --release --offline
 echo "== tier-1: test suite =="
 cargo test -q --offline
 
+echo "== tier-1: query-engine batch at several worker counts =="
+# batch_default reads STCFA_QUERY_THREADS; every count must be
+# byte-identical to single-threaded (the suite asserts it).
+for t in 1 2 8; do
+  echo "-- STCFA_QUERY_THREADS=$t"
+  STCFA_QUERY_THREADS=$t cargo test -q --offline --test query_engine
+done
+
 echo "== benches compile (not run) =="
 cargo bench --no-run --offline
 

@@ -35,7 +35,7 @@ use std::process::ExitCode;
 use stcfa::apps::{effects, find_candidates, inline_once, CallSites, CalledOnce, KLimited};
 use stcfa::cfa0::Cfa0;
 use stcfa::core::hybrid::HybridCfa;
-use stcfa::core::{dot, Analysis, AnalysisOptions, DatatypePolicy, PolyAnalysis};
+use stcfa::core::{dot, Analysis, AnalysisOptions, DatatypePolicy, PolyAnalysis, QueryEngine};
 use stcfa::lambda::eval::{eval, EvalOptions, Value};
 use stcfa::lambda::{ExprId, ExprKind, Label, Program};
 use stcfa::sba::Sba;
@@ -78,9 +78,12 @@ enum EngineKind {
     Unify,
 }
 
-/// Uniform label-query interface over the six engines.
+/// Uniform label-query interface over the six engines. The subtransitive
+/// variant freezes a [`QueryEngine`] so repeated `labels_of` queries (e.g.
+/// `--call-sites`) hit the SCC summary cache instead of re-walking the
+/// graph.
 enum Engine {
-    Sub(Analysis),
+    Sub(QueryEngine),
     Poly(PolyAnalysis),
     Hybrid(HybridCfa),
     Cfa0(Cfa0),
@@ -91,7 +94,7 @@ enum Engine {
 impl Engine {
     fn name(&self) -> &'static str {
         match self {
-            Engine::Sub(_) => "subtransitive (linear)",
+            Engine::Sub(..) => "subtransitive (linear)",
             Engine::Poly(_) => "polyvariant subtransitive",
             Engine::Hybrid(h) => {
                 if h.is_linear() {
@@ -108,7 +111,7 @@ impl Engine {
 
     fn labels_of(&self, program: &Program, e: ExprId) -> Vec<Label> {
         match self {
-            Engine::Sub(a) => a.labels_of(e),
+            Engine::Sub(q) => q.labels_of(e),
             Engine::Poly(a) => a.labels_of(e),
             Engine::Hybrid(h) => h.labels_of(program, e),
             Engine::Cfa0(c) => c.labels(program, e),
@@ -315,7 +318,8 @@ fn run() -> Result<(), String> {
     } else {
         Some(match options.engine {
         EngineKind::Sub => {
-            Engine::Sub(Analysis::run_with(&program, analysis_options).map_err(|e| e.to_string())?)
+            let a = Analysis::run_with(&program, analysis_options).map_err(|e| e.to_string())?;
+            Engine::Sub(QueryEngine::freeze(&a))
         }
         EngineKind::Poly => Engine::Poly(
             PolyAnalysis::run_with(
@@ -343,7 +347,21 @@ fn run() -> Result<(), String> {
                     s.nodes(), s.build_nodes, s.close_nodes,
                     s.edges(), s.build_edges, s.close_edges
                 );
-                println!("engine:  {}", engine.as_ref().expect("summary needs the engine").name());
+                let engine = engine.as_ref().expect("summary needs the engine");
+                println!("engine:  {}", engine.name());
+                if let Engine::Sub(q) = engine {
+                    let qs = q.query_stats();
+                    println!(
+                        "queries: {} sccs over {} nodes; {} answered \
+                         ({} cache hits, {} misses, {} sweep(s))",
+                        q.comp_count(),
+                        q.node_count(),
+                        qs.queries,
+                        qs.summary_hits + qs.demand_hits,
+                        qs.demand_misses,
+                        qs.sweeps
+                    );
+                }
             }
             Command::Labels => {
                 let engine = engine.as_ref().expect("labels needs the engine");

@@ -3,7 +3,7 @@
 //! fixed corpus spanning the whole language.
 
 use stcfa::cfa0::Cfa0;
-use stcfa::core::Analysis;
+use stcfa::core::{Analysis, QueryEngine};
 use stcfa::lambda::{ExprKind, Program};
 use stcfa::workloads::{cubic, join_point, lexgen, life};
 
@@ -73,12 +73,18 @@ fn all_label_sets_matches_per_expression_queries() {
 fn call_targets_agree_with_cubic_cfa_everywhere() {
     for p in corpus() {
         let a = Analysis::run(&p).unwrap();
+        let q = QueryEngine::freeze(&a);
         let cfa = Cfa0::analyze(&p);
         for app in p.app_sites() {
             assert_eq!(
                 a.call_targets(&p, app),
                 cfa.call_targets(&p, app),
                 "call targets differ at {app:?}"
+            );
+            assert_eq!(
+                q.call_targets(&p, app),
+                cfa.call_targets(&p, app),
+                "frozen-engine call targets differ at {app:?}"
             );
         }
     }
