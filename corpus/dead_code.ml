@@ -1,5 +1,11 @@
 -- Reachability-aware analysis fodder:
 --   stcfa corpus/dead_code.ml --live --called-once
-let val unused = fn x => (fn y => y) (x + 1) in
-  (fn z => z * z) 6
-end
+--   stcfa lint corpus/dead_code.ml
+-- `unused` is never invoked (STCFA002). `spin` never returns, so no
+-- abstraction ever flows to the operator of `(spin 0) 3`: the call is
+-- flow-dead (STCFA001) yet still well-typed — exactly the case the
+-- flow analysis sees and the type system cannot.
+fun spin n = spin n;
+val unused = fn x => (fn y => y) (x + 1);
+val dead = fn d => (spin 0) 3;
+(fn z => z * z) 6

@@ -159,7 +159,7 @@ pub fn e2_cubic_benchmark(runs: Runs, report: &mut Report) -> String {
         let samples = runs.0 as u32;
         report
             .time("E2", format!("sba_total/{n}"), sba_t, samples)
-            .counter("work_units", sba.stats().work_units as u64);
+            .counter("work_units", sba.stats().work_units);
         report
             .time("E2", format!("build_close/{n}"), total_t, samples)
             .counter("build_nodes", s.build_nodes as u64)

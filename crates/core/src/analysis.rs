@@ -843,6 +843,17 @@ impl<'a> Engine<'a> {
         // The new edge lands *into* an operator node: the demand travels.
         if let Some(next) = self.transferred_demand(op, dst) {
             self.demand(dst_base, next);
+            // ≈₂ class nodes are keyed by the *canonical* base, which can
+            // differ from `dst_base` when deconstruction chains through
+            // another operator node (recursive datatypes). The value also
+            // flows along the canonical node's own edges, so the demand
+            // must sit there too or those conclusions never fire.
+            if matches!(next, DemandOp::DeconData(_)) {
+                let canonical = self.nodes.base(dst_base);
+                if canonical != dst_base {
+                    self.demand(canonical, next);
+                }
+            }
         }
         self.graph.add_edge(src, dst);
     }

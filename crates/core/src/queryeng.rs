@@ -163,6 +163,25 @@ impl QueryEngine {
         let csr = Csr::from_succs(n, |u| analysis.graph.succs(NodeId::from_index(u)));
         let rev = csr.reverse();
         let cond = Condensation::build(&csr);
+        // Debug-mode foundation audit: the snapshot consumers (lint rules,
+        // batch queries) assume the graph is rule-saturated, the CSR arrays
+        // are well-formed, and condensation ids are reverse-topological.
+        // Verify all three before handing out the frozen view.
+        #[cfg(debug_assertions)]
+        {
+            if let Err(e) = analysis.check_invariants() {
+                panic!("freeze audit: analysis not rule-saturated: {e}");
+            }
+            if let Err(e) = csr.audit() {
+                panic!("freeze audit: forward CSR malformed: {e}");
+            }
+            if let Err(e) = rev.audit() {
+                panic!("freeze audit: reverse CSR malformed: {e}");
+            }
+            if let Err(e) = cond.check_order() {
+                panic!("freeze audit: condensation order violated: {e}");
+            }
+        }
         let label_count = analysis.label_nodes.len();
         let words = label_count.div_ceil(64).max(1);
         let mut occ_offsets = Vec::with_capacity(analysis.occurrences.len() + 1);

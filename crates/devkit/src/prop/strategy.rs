@@ -154,7 +154,7 @@ pub struct Just<T>(pub T);
 impl<T: Clone + Debug> Strategy for Just<T> {
     type Repr = ();
     type Value = T;
-    fn sample(&self, _rng: &mut Rng) -> () {}
+    fn sample(&self, _rng: &mut Rng) {}
     fn shrinks(&self, _repr: &()) -> Vec<()> {
         vec![]
     }

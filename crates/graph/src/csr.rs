@@ -130,6 +130,39 @@ impl Csr {
         (0..self.node_count())
             .flat_map(move |u| self.succs(u).iter().map(move |&v| (u as u32, v)))
     }
+
+    /// Structural audit of the frozen representation: offsets start at 0,
+    /// are monotone non-decreasing, the final offset equals the target
+    /// array length, and every target is a valid node id.
+    ///
+    /// Freezing already establishes these properties; the audit re-verifies
+    /// them on the finished arrays so downstream consumers (e.g. the query
+    /// engine's `debug_assertions` auditor) can assert on a self-checked
+    /// foundation rather than trusting construction.
+    pub fn audit(&self) -> Result<(), String> {
+        if self.offsets.first() != Some(&0) {
+            return Err(format!("csr: first offset is {:?}, expected 0", self.offsets.first()));
+        }
+        for (i, w) in self.offsets.windows(2).enumerate() {
+            if w[0] > w[1] {
+                return Err(format!("csr: offsets not monotone at node {i}: {} > {}", w[0], w[1]));
+            }
+        }
+        let last = *self.offsets.last().expect("offsets non-empty") as usize;
+        if last != self.targets.len() {
+            return Err(format!(
+                "csr: final offset {last} != target count {}",
+                self.targets.len()
+            ));
+        }
+        let n = self.node_count();
+        for (i, &v) in self.targets.iter().enumerate() {
+            if (v as usize) >= n {
+                return Err(format!("csr: target {v} at slot {i} out of range {n}"));
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -203,5 +236,22 @@ mod tests {
         assert_eq!(g.node_count(), 0);
         assert_eq!(g.edge_count(), 0);
         assert_eq!(g.reverse().node_count(), 0);
+    }
+
+    #[test]
+    fn audit_accepts_frozen_graphs() {
+        assert_eq!(diamond().audit(), Ok(()));
+        assert_eq!(diamond().reverse().audit(), Ok(()));
+        assert_eq!(Csr::from_edges(0, &[]).audit(), Ok(()));
+    }
+
+    #[test]
+    fn audit_rejects_corrupted_offsets() {
+        let mut g = diamond();
+        g.offsets[1] = 99;
+        assert!(g.audit().is_err());
+        let mut g = diamond();
+        g.targets[0] = 42;
+        assert!(g.audit().is_err());
     }
 }

@@ -17,6 +17,7 @@ use std::collections::HashMap;
 use std::fmt;
 
 use crate::intern::{Interner, Symbol};
+use crate::lexer::Span;
 
 macro_rules! define_index {
     ($(#[$doc:meta])* $name:ident) => {
@@ -451,6 +452,9 @@ impl DataEnv {
 pub struct Program {
     pub(crate) interner: Interner,
     pub(crate) exprs: Vec<ExprKind>,
+    /// Source span per occurrence, parallel to `exprs`. `None` for
+    /// programmatically built nodes (workload generators, inliner output).
+    pub(crate) spans: Vec<Option<Span>>,
     pub(crate) vars: Vec<Symbol>,
     pub(crate) labels: Vec<ExprId>,
     pub(crate) data: DataEnv,
@@ -522,6 +526,29 @@ impl Program {
             ExprKind::Lam { label, .. } => Some(*label),
             _ => None,
         }
+    }
+
+    /// The source span of occurrence `id`, if known. Parsed programs carry
+    /// spans on every node (desugared nodes inherit their binding's span);
+    /// programmatically built nodes have none.
+    pub fn span(&self, id: ExprId) -> Option<Span> {
+        self.spans[id.index()]
+    }
+
+    /// Returns an alpha-renamed copy: every binder's source name becomes
+    /// `rename(current_name, binder_index)`. Because binders are identities
+    /// rather than names ([`VarId`]), the structure, ids, labels and spans
+    /// are untouched — renaming is purely a change of the name table, which
+    /// is exactly alpha-conversion for this representation.
+    pub fn rename_binders(&self, mut rename: impl FnMut(&str, usize) -> String) -> Program {
+        let names: Vec<String> = (0..self.vars.len())
+            .map(|i| rename(self.interner.resolve(self.vars[i]), i))
+            .collect();
+        let mut out = self.clone();
+        for (i, name) in names.iter().enumerate() {
+            out.vars[i] = out.interner.intern(name);
+        }
+        out
     }
 
     /// The datatype environment.

@@ -33,6 +33,7 @@ use crate::ast::{
     VarId,
 };
 use crate::intern::{Interner, Symbol};
+use crate::lexer::Span;
 use crate::validate::{self, ValidateError};
 
 /// Incremental builder for [`Program`]s.
@@ -45,6 +46,8 @@ use crate::validate::{self, ValidateError};
 pub struct ProgramBuilder {
     interner: Interner,
     exprs: Vec<ExprKind>,
+    /// Parallel to `exprs`; `None` until [`ProgramBuilder::set_span`].
+    spans: Vec<Option<Span>>,
     vars: Vec<Symbol>,
     labels: Vec<ExprId>,
     data: DataEnv,
@@ -59,7 +62,20 @@ impl ProgramBuilder {
     fn push(&mut self, kind: ExprKind) -> ExprId {
         let id = ExprId::from_index(self.exprs.len());
         self.exprs.push(kind);
+        self.spans.push(None);
         id
+    }
+
+    /// Records the source span of an already-built expression (the parser
+    /// calls this as it closes each production). Overwrites any earlier
+    /// span for the same node.
+    pub fn set_span(&mut self, id: ExprId, span: Span) {
+        self.spans[id.index()] = span.into();
+    }
+
+    /// The recorded span of an already-built expression, if any.
+    pub fn span(&self, id: ExprId) -> Option<Span> {
+        self.spans[id.index()]
     }
 
     /// Interns a name.
@@ -235,6 +251,7 @@ impl ProgramBuilder {
         Program {
             interner: self.interner,
             exprs: self.exprs,
+            spans: self.spans,
             vars: self.vars,
             labels: self.labels,
             data: self.data,
@@ -248,6 +265,7 @@ impl ProgramBuilder {
         ProgramBuilder {
             interner: program.interner,
             exprs: program.exprs,
+            spans: program.spans,
             vars: program.vars,
             labels: program.labels,
             data: program.data,

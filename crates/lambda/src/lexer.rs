@@ -21,6 +21,45 @@ impl fmt::Display for Pos {
     }
 }
 
+/// A half-open source range `[start, end)`, in byte offsets (both bounds
+/// carry the full line/column information). Every token gets one from the
+/// lexer; the parser joins token spans into expression spans, which travel
+/// on the [`crate::ast::Program`] so downstream diagnostics can point back
+/// into the source.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Span {
+    /// First byte of the range.
+    pub start: Pos,
+    /// One past the last byte of the range.
+    pub end: Pos,
+}
+
+impl Span {
+    /// The smallest span covering both `self` and `other`.
+    pub fn join(self, other: Span) -> Span {
+        Span {
+            start: if other.start.offset < self.start.offset { other.start } else { self.start },
+            end: if other.end.offset > self.end.offset { other.end } else { self.end },
+        }
+    }
+
+    /// Length of the range in bytes.
+    pub fn len(&self) -> usize {
+        self.end.offset - self.start.offset
+    }
+
+    /// Whether the range is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.start)
+    }
+}
+
 /// Token kinds.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Tok {
@@ -138,9 +177,9 @@ impl fmt::Display for LexError {
 
 impl std::error::Error for LexError {}
 
-/// Tokenizes `source`, returning tokens with their positions. The final
-/// token is always [`Tok::Eof`].
-pub fn lex(source: &str) -> Result<Vec<(Tok, Pos)>, LexError> {
+/// Tokenizes `source`, returning tokens with their source spans. The final
+/// token is always [`Tok::Eof`] (with an empty span at end of input).
+pub fn lex(source: &str) -> Result<Vec<(Tok, Span)>, LexError> {
     let bytes = source.as_bytes();
     let mut toks = Vec::new();
     let mut i = 0usize;
@@ -165,6 +204,14 @@ pub fn lex(source: &str) -> Result<Vec<(Tok, Pos)>, LexError> {
                     i += 1;
                 }
             }
+        }};
+    }
+    // Consume `$n` bytes and push the token spanning them.
+    macro_rules! emit {
+        ($t:expr, $n:expr) => {{
+            let start = pos!();
+            advance!($n);
+            toks.push(($t, Span { start, end: pos!() }));
         }};
     }
 
@@ -199,67 +246,24 @@ pub fn lex(source: &str) -> Result<Vec<(Tok, Pos)>, LexError> {
                     }
                 }
             }
-            b'(' => {
-                toks.push((Tok::LParen, pos!()));
-                advance!(1);
-            }
-            b')' => {
-                toks.push((Tok::RParen, pos!()));
-                advance!(1);
-            }
-            b',' => {
-                toks.push((Tok::Comma, pos!()));
-                advance!(1);
-            }
-            b'|' => {
-                toks.push((Tok::Bar, pos!()));
-                advance!(1);
-            }
-            b'#' => {
-                toks.push((Tok::Hash, pos!()));
-                advance!(1);
-            }
-            b'*' => {
-                toks.push((Tok::Star, pos!()));
-                advance!(1);
-            }
-            b'+' => {
-                toks.push((Tok::Plus, pos!()));
-                advance!(1);
-            }
-            b';' => {
-                toks.push((Tok::Semi, pos!()));
-                advance!(1);
-            }
+            b'(' => emit!(Tok::LParen, 1),
+            b')' => emit!(Tok::RParen, 1),
+            b',' => emit!(Tok::Comma, 1),
+            b'|' => emit!(Tok::Bar, 1),
+            b'#' => emit!(Tok::Hash, 1),
+            b'*' => emit!(Tok::Star, 1),
+            b'+' => emit!(Tok::Plus, 1),
+            b';' => emit!(Tok::Semi, 1),
             b'_' if !matches!(bytes.get(i + 1), Some(&b) if b.is_ascii_alphanumeric() || b == b'_') =>
             {
-                toks.push((Tok::Underscore, pos!()));
-                advance!(1);
+                emit!(Tok::Underscore, 1);
             }
-            b'-' if bytes.get(i + 1) == Some(&b'>') => {
-                toks.push((Tok::Arrow, pos!()));
-                advance!(2);
-            }
-            b'-' => {
-                toks.push((Tok::Minus, pos!()));
-                advance!(1);
-            }
-            b'=' if bytes.get(i + 1) == Some(&b'>') => {
-                toks.push((Tok::FatArrow, pos!()));
-                advance!(2);
-            }
-            b'=' => {
-                toks.push((Tok::Equals, pos!()));
-                advance!(1);
-            }
-            b'<' if bytes.get(i + 1) == Some(&b'=') => {
-                toks.push((Tok::Leq, pos!()));
-                advance!(2);
-            }
-            b'<' => {
-                toks.push((Tok::Lt, pos!()));
-                advance!(1);
-            }
+            b'-' if bytes.get(i + 1) == Some(&b'>') => emit!(Tok::Arrow, 2),
+            b'-' => emit!(Tok::Minus, 1),
+            b'=' if bytes.get(i + 1) == Some(&b'>') => emit!(Tok::FatArrow, 2),
+            b'=' => emit!(Tok::Equals, 1),
+            b'<' if bytes.get(i + 1) == Some(&b'=') => emit!(Tok::Leq, 2),
+            b'<' => emit!(Tok::Lt, 1),
             b'0'..=b'9' => {
                 let p = pos!();
                 let start = i;
@@ -271,7 +275,7 @@ pub fn lex(source: &str) -> Result<Vec<(Tok, Pos)>, LexError> {
                     pos: p,
                     message: format!("integer literal `{text}` out of range"),
                 })?;
-                toks.push((Tok::Int(value), p));
+                toks.push((Tok::Int(value), Span { start: p, end: pos!() }));
             }
             c if c.is_ascii_alphabetic() || c == b'_' => {
                 let p = pos!();
@@ -311,7 +315,7 @@ pub fn lex(source: &str) -> Result<Vec<(Tok, Pos)>, LexError> {
                     }
                     _ => Tok::LIdent(text.to_owned()),
                 };
-                toks.push((tok, p));
+                toks.push((tok, Span { start: p, end: pos!() }));
             }
             other => {
                 return Err(LexError {
@@ -321,7 +325,8 @@ pub fn lex(source: &str) -> Result<Vec<(Tok, Pos)>, LexError> {
             }
         }
     }
-    toks.push((Tok::Eof, pos!()));
+    let eof = pos!();
+    toks.push((Tok::Eof, Span { start: eof, end: eof }));
     Ok(toks)
 }
 
@@ -373,10 +378,41 @@ mod tests {
     #[test]
     fn tracks_positions() {
         let toks = lex("a\n  b").unwrap();
-        assert_eq!(toks[0].1.line, 1);
-        assert_eq!(toks[0].1.col, 1);
-        assert_eq!(toks[1].1.line, 2);
-        assert_eq!(toks[1].1.col, 3);
+        assert_eq!(toks[0].1.start.line, 1);
+        assert_eq!(toks[0].1.start.col, 1);
+        assert_eq!(toks[1].1.start.line, 2);
+        assert_eq!(toks[1].1.start.col, 3);
+    }
+
+    #[test]
+    fn spans_cover_exact_source_ranges() {
+        let src = "val xs = 123 <= foo";
+        let toks = lex(src).unwrap();
+        for (tok, sp) in &toks {
+            if *tok == Tok::Eof {
+                assert!(sp.is_empty());
+                continue;
+            }
+            let text = &src[sp.start.offset..sp.end.offset];
+            // The raw text must re-lex to the same single token.
+            let again = lex(text).unwrap();
+            assert_eq!(&again[0].0, tok, "span {sp:?} covers {text:?}");
+        }
+        // Multi-byte tokens report true end columns.
+        let leq = toks.iter().find(|(t, _)| *t == Tok::Leq).unwrap();
+        assert_eq!(leq.1.len(), 2);
+        assert_eq!(leq.1.end.col, leq.1.start.col + 2);
+    }
+
+    #[test]
+    fn span_join_orders_endpoints() {
+        let toks = lex("a + b").unwrap();
+        let a = toks[0].1;
+        let b = toks[2].1;
+        let j = a.join(b);
+        assert_eq!(j.start, a.start);
+        assert_eq!(j.end, b.end);
+        assert_eq!(b.join(a), j, "join is symmetric");
     }
 
     #[test]

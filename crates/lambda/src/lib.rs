@@ -45,4 +45,5 @@ pub use ast::{
     VarId,
 };
 pub use builder::ProgramBuilder;
+pub use lexer::{Pos, Span};
 pub use parser::{parse, ParseError};

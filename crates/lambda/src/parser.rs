@@ -36,7 +36,7 @@ use std::fmt;
 
 use crate::ast::{ConId, DataId, ExprId, ExprKind, PrimOp, Program, TyExpr, VarId};
 use crate::builder::ProgramBuilder;
-use crate::lexer::{lex, Kw, LexError, Pos, Tok};
+use crate::lexer::{lex, Kw, LexError, Pos, Span, Tok};
 use crate::validate::ValidateError;
 
 /// A parse (or lex, or validation) failure.
@@ -77,6 +77,7 @@ pub fn parse(source: &str) -> Result<Program, ParseError> {
     let mut p = Parser {
         toks,
         idx: 0,
+        prev_end: NOWHERE,
         b: ProgramBuilder::new(),
         scopes: HashMap::new(),
     };
@@ -124,7 +125,13 @@ pub fn parse_fragment(
     for (name, &var) in scope {
         scopes.insert(name.clone(), vec![var]);
     }
-    let mut p = Parser { toks, idx: 0, b: ProgramBuilder::from_program(owned), scopes };
+    let mut p = Parser {
+        toks,
+        idx: 0,
+        prev_end: NOWHERE,
+        b: ProgramBuilder::from_program(owned),
+        scopes,
+    };
 
     let result = p.fragment();
     // Reassemble the arena whether or not parsing succeeded; the session
@@ -191,8 +198,11 @@ struct MutualGroup {
 }
 
 struct Parser {
-    toks: Vec<(Tok, Pos)>,
+    toks: Vec<(Tok, Span)>,
     idx: usize,
+    /// End of the most recently consumed token — the right edge of every
+    /// span the parser closes.
+    prev_end: Pos,
     b: ProgramBuilder,
     /// name -> stack of binders currently in scope (innermost last).
     scopes: HashMap<String, Vec<VarId>>,
@@ -208,15 +218,36 @@ impl Parser {
     }
 
     fn pos(&self) -> Pos {
-        self.toks[self.idx].1
+        self.toks[self.idx].1.start
     }
 
     fn bump(&mut self) -> Tok {
         let t = self.toks[self.idx].0.clone();
+        self.prev_end = self.toks[self.idx].1.end;
         if self.idx + 1 < self.toks.len() {
             self.idx += 1;
         }
         t
+    }
+
+    /// Records `start ‥ end-of-last-consumed-token` as the span of `id`.
+    fn mark(&mut self, id: ExprId, start: Pos) -> ExprId {
+        self.b.set_span(id, Span { start, end: self.prev_end });
+        id
+    }
+
+    /// Gives every still-unspanned node built since `lo` the span
+    /// `start ‥ end-of-last-consumed-token`. Desugared helpers (currying,
+    /// mutual-recursion packs and wrappers) have no tokens of their own;
+    /// they inherit the whole binding's span through this.
+    fn fill_spans(&mut self, lo: usize, start: Pos) {
+        let span = Span { start, end: self.prev_end };
+        for i in lo..self.b.expr_count() {
+            let id = ExprId::from_index(i);
+            if self.b.span(id).is_none() {
+                self.b.set_span(id, span);
+            }
+        }
     }
 
     fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
@@ -274,13 +305,15 @@ impl Parser {
                 self.decl_block(kind)
             }
             Tok::Kw(Kw::Fun) => {
+                let start = self.pos();
                 self.bump();
                 let names = self.scan_fun_group()?;
                 if names.len() == 1 {
                     let (fname, f, lam) = self.fun_binding()?;
                     let rest = self.decl_block(kind)?;
                     self.unbind(&fname);
-                    Ok(self.b.letrec(f, lam, rest))
+                    let node = self.b.letrec(f, lam, rest);
+                    Ok(self.mark(node, start))
                 } else {
                     let group = self.mutual_group(&names)?;
                     for ((name, binder, _), _) in group.outer.iter().zip(&names) {
@@ -293,20 +326,24 @@ impl Parser {
                     let mut body = rest;
                     for (_, binder, rhs) in group.outer.iter().rev() {
                         body = self.b.let_(*binder, *rhs, body);
+                        self.mark(body, start);
                     }
-                    Ok(self.b.letrec(group.pack, group.pack_lam, body))
+                    let node = self.b.letrec(group.pack, group.pack_lam, body);
+                    Ok(self.mark(node, start))
                 }
             }
             Tok::Kw(Kw::Val) => {
+                let start = self.pos();
                 self.bump();
                 let (name, v, rhs, recursive) = self.val_binding()?;
                 let rest = self.decl_block(kind)?;
                 self.unbind(&name);
-                Ok(if recursive {
+                let node = if recursive {
                     self.b.letrec(v, rhs, rest)
                 } else {
                     self.b.let_(v, rhs, rest)
-                })
+                };
+                Ok(self.mark(node, start))
             }
             _ => match kind {
                 BlockKind::TopLevel => {
@@ -337,7 +374,7 @@ impl Parser {
             Tok::LIdent(s) => names.push(s.clone()),
             other => {
                 return Err(ParseError {
-                    pos: self.toks[i].1,
+                    pos: self.toks[i].1.start,
                     message: format!("expected function name, found {other}"),
                 })
             }
@@ -359,7 +396,7 @@ impl Parser {
                         Tok::LIdent(s) => names.push(s.clone()),
                         other => {
                             return Err(ParseError {
-                                pos: self.toks[i].1,
+                                pos: self.toks[i].1.start,
                                 message: format!(
                                     "expected function name after `and`, found {other}"
                                 ),
@@ -408,6 +445,8 @@ impl Parser {
     /// as a wrapper label). The group is monomorphic within itself and
     /// generalized outside — SML's typing of `and`.
     fn mutual_group(&mut self, names: &[String]) -> Result<MutualGroup, ParseError> {
+        let start = self.pos();
+        let lo = self.b.expr_count();
         let pack = self.b.fresh_var("$pack");
         let d = self.b.fresh_var("$d");
         // Inner wrappers, in scope for the group bodies.
@@ -427,6 +466,8 @@ impl Parser {
             if i > 0 {
                 self.expect(&Tok::Kw(Kw::And))?;
             }
+            let member_start = self.pos();
+            let member_lo = self.b.expr_count();
             let got = self.lident()?;
             if &got != expected {
                 return self.err(format!(
@@ -450,6 +491,8 @@ impl Parser {
                 body = self.b.lam(pv, body);
             }
             lams.push(self.b.lam(pvars[0], body));
+            // The curried member lambdas carry the member's source range.
+            self.fill_spans(member_lo, member_start);
         }
         if self.peek() == &Tok::Semi {
             self.bump();
@@ -473,12 +516,17 @@ impl Parser {
                 (name.clone(), o, rhs)
             })
             .collect();
+        // Pack machinery (wrappers, tuple, pack lambda) has no tokens of
+        // its own: give it the whole group's span.
+        self.fill_spans(lo, start);
         Ok(MutualGroup { pack, pack_lam, outer })
     }
 
     /// Parses `f p₁ … pₙ = body [;]` after the `fun` keyword. The binder
     /// stays in scope for the caller to release (or keep, for fragments).
     fn fun_binding(&mut self) -> Result<(String, VarId, ExprId), ParseError> {
+        let start = self.pos();
+        let lo = self.b.expr_count();
         let fname = self.lident()?;
         let f = self.bind(&fname);
         let mut params = Vec::new();
@@ -500,6 +548,8 @@ impl Parser {
             body = self.b.lam(pv, body);
         }
         let lam = self.b.lam(param_vars[0], body);
+        // The curried lambdas inherit the binding's source range.
+        self.fill_spans(lo, start);
         if self.peek() == &Tok::Semi {
             self.bump();
         }
@@ -648,6 +698,7 @@ impl Parser {
     // --- expressions --------------------------------------------------------
 
     fn expr(&mut self) -> Result<ExprId, ParseError> {
+        let start = self.pos();
         match self.peek().clone() {
             Tok::Kw(Kw::Fn) => {
                 self.bump();
@@ -656,7 +707,8 @@ impl Parser {
                 self.expect(&Tok::FatArrow)?;
                 let body = self.expr()?;
                 self.unbind(&name);
-                Ok(self.b.lam(v, body))
+                let node = self.b.lam(v, body);
+                Ok(self.mark(node, start))
             }
             Tok::Kw(Kw::Let) => {
                 self.bump();
@@ -669,7 +721,8 @@ impl Parser {
                 let t = self.expr()?;
                 self.expect_kw(Kw::Else)?;
                 let e = self.expr()?;
-                Ok(self.b.if_(cond, t, e))
+                let node = self.b.if_(cond, t, e);
+                Ok(self.mark(node, start))
             }
             Tok::Kw(Kw::Case) => {
                 self.bump();
@@ -742,13 +795,15 @@ impl Parser {
                         break;
                     }
                 }
-                Ok(self.b.case(scrutinee, arms, default))
+                let node = self.b.case(scrutinee, arms, default);
+                Ok(self.mark(node, start))
             }
             _ => self.cmp(),
         }
     }
 
     fn cmp(&mut self) -> Result<ExprId, ParseError> {
+        let start = self.pos();
         let lhs = self.add()?;
         let op = match self.peek() {
             Tok::Lt => PrimOp::Lt,
@@ -758,10 +813,12 @@ impl Parser {
         };
         self.bump();
         let rhs = self.add()?;
-        Ok(self.b.prim(op, vec![lhs, rhs]))
+        let node = self.b.prim(op, vec![lhs, rhs]);
+        Ok(self.mark(node, start))
     }
 
     fn add(&mut self) -> Result<ExprId, ParseError> {
+        let start = self.pos();
         let mut lhs = self.mul()?;
         loop {
             let op = match self.peek() {
@@ -772,10 +829,12 @@ impl Parser {
             self.bump();
             let rhs = self.mul()?;
             lhs = self.b.prim(op, vec![lhs, rhs]);
+            self.mark(lhs, start);
         }
     }
 
     fn mul(&mut self) -> Result<ExprId, ParseError> {
+        let start = self.pos();
         let mut lhs = self.appexpr()?;
         loop {
             let op = match self.peek() {
@@ -786,6 +845,7 @@ impl Parser {
             self.bump();
             let rhs = self.appexpr()?;
             lhs = self.b.prim(op, vec![lhs, rhs]);
+            self.mark(lhs, start);
         }
     }
 
@@ -806,20 +866,26 @@ impl Parser {
     }
 
     fn appexpr(&mut self) -> Result<ExprId, ParseError> {
+        let start = self.pos();
         let mut head = self.atom()?;
         while self.starts_atom() {
             let arg = self.atom()?;
             head = self.b.app(head, arg);
+            self.mark(head, start);
         }
         Ok(head)
     }
 
     fn atom(&mut self) -> Result<ExprId, ParseError> {
+        let start = self.pos();
         match self.peek().clone() {
             Tok::LIdent(name) => {
                 self.bump();
                 match self.lookup(&name) {
-                    Some(v) => Ok(self.b.var(v)),
+                    Some(v) => {
+                        let node = self.b.var(v);
+                        Ok(self.mark(node, start))
+                    }
                     None => self.err(format!("unbound variable `{name}`")),
                 }
             }
@@ -834,7 +900,8 @@ impl Parser {
                 };
                 let arity = self.b.data_env().arity(con);
                 if arity == 0 {
-                    return Ok(self.b.con(con, Vec::new()));
+                    let node = self.b.con(con, Vec::new());
+                    return Ok(self.mark(node, start));
                 }
                 self.expect(&Tok::LParen)?;
                 let mut args = vec![self.expr()?];
@@ -844,11 +911,14 @@ impl Parser {
                 }
                 self.expect(&Tok::RParen)?;
                 if args.len() == arity {
-                    Ok(self.b.con(con, args))
+                    let node = self.b.con(con, args);
+                    Ok(self.mark(node, start))
                 } else if arity == 1 && args.len() > 1 {
                     // C(a, b) for a unary constructor takes one tuple.
                     let tuple = self.b.record(args);
-                    Ok(self.b.con(con, vec![tuple]))
+                    self.mark(tuple, start);
+                    let node = self.b.con(con, vec![tuple]);
+                    Ok(self.mark(node, start))
                 } else {
                     self.err(format!(
                         "constructor `{name}` has arity {arity}, got {} arguments",
@@ -858,25 +928,30 @@ impl Parser {
             }
             Tok::Int(n) => {
                 self.bump();
-                Ok(self.b.int(n))
+                let node = self.b.int(n);
+                Ok(self.mark(node, start))
             }
             Tok::Kw(Kw::True) => {
                 self.bump();
-                Ok(self.b.bool(true))
+                let node = self.b.bool(true);
+                Ok(self.mark(node, start))
             }
             Tok::Kw(Kw::False) => {
                 self.bump();
-                Ok(self.b.bool(false))
+                let node = self.b.bool(false);
+                Ok(self.mark(node, start))
             }
             Tok::Kw(Kw::Not) => {
                 self.bump();
                 let a = self.atom()?;
-                Ok(self.b.prim(PrimOp::Not, vec![a]))
+                let node = self.b.prim(PrimOp::Not, vec![a]);
+                Ok(self.mark(node, start))
             }
             Tok::Kw(Kw::Print) => {
                 self.bump();
                 let a = self.atom()?;
-                Ok(self.b.prim(PrimOp::Print, vec![a]))
+                let node = self.b.prim(PrimOp::Print, vec![a]);
+                Ok(self.mark(node, start))
             }
             Tok::Kw(Kw::Readint) => {
                 self.bump();
@@ -885,7 +960,8 @@ impl Parser {
                     self.bump();
                     self.bump();
                 }
-                Ok(self.b.prim(PrimOp::ReadInt, Vec::new()))
+                let node = self.b.prim(PrimOp::ReadInt, Vec::new());
+                Ok(self.mark(node, start))
             }
             Tok::Hash => {
                 self.bump();
@@ -900,13 +976,15 @@ impl Parser {
                     }
                 };
                 let tuple = self.atom()?;
-                Ok(self.b.proj(index - 1, tuple))
+                let node = self.b.proj(index - 1, tuple);
+                Ok(self.mark(node, start))
             }
             Tok::LParen => {
                 self.bump();
                 if self.peek() == &Tok::RParen {
                     self.bump();
-                    return Ok(self.b.unit());
+                    let node = self.b.unit();
+                    return Ok(self.mark(node, start));
                 }
                 let mut items = vec![self.expr()?];
                 while self.peek() == &Tok::Comma {
@@ -915,9 +993,11 @@ impl Parser {
                 }
                 self.expect(&Tok::RParen)?;
                 if items.len() == 1 {
+                    // A parenthesized expression keeps its own (inner) span.
                     Ok(items.pop().expect("one item"))
                 } else {
-                    Ok(self.b.record(items))
+                    let node = self.b.record(items);
+                    Ok(self.mark(node, start))
                 }
             }
             other => self.err(format!("expected expression, found {other}")),
@@ -1173,5 +1253,58 @@ mod tests {
     #[test]
     fn and_requires_function_name() {
         assert!(parse("fun f x = x and 3 y = y; 0").is_err());
+    }
+
+    #[test]
+    fn every_node_carries_a_span() {
+        let srcs = [
+            "fun fact n = if n = 0 then 1 else n * fact (n - 1); fact 5",
+            EVEN_ODD,
+            "let val p = (1, true) in #1 p end",
+            "datatype shape = Circle of int | Square of int;\n\
+             case Circle(3) of Circle(r) => r | Square(s) => s",
+            "fun twice f x = f (f x); twice (fn y => y + 1) 0",
+        ];
+        for src in srcs {
+            let p = parse_ok(src);
+            for e in p.exprs() {
+                assert!(
+                    p.span(e).is_some(),
+                    "expr {:?} ({:?}) has no span in {src:?}",
+                    e,
+                    p.kind(e)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn spans_report_source_positions() {
+        // The root letrec spans the whole program; the `fact 5` application
+        // starts at the `fact` occurrence (col 17) and ends after the `5`.
+        let src = "fun fact n = n; fact 5";
+        let p = parse_ok(src);
+        let root_span = p.span(p.root()).expect("root span");
+        assert_eq!((root_span.start.line, root_span.start.col), (1, 1));
+        assert_eq!(root_span.end.col, 23);
+        let app = p
+            .exprs()
+            .find(|&e| matches!(p.kind(e), ExprKind::App { .. }))
+            .expect("app node");
+        let span = p.span(app).expect("app span");
+        assert_eq!((span.start.line, span.start.col), (1, 17));
+        assert_eq!(span.end.col, 23);
+    }
+
+    #[test]
+    fn desugared_nodes_inherit_binding_spans() {
+        // Curried `fun` bindings desugar into nested lambdas that have no
+        // direct token; they inherit the binding's overall span.
+        let src = "fun add a b = a + b; add 1 2";
+        let p = parse_ok(src);
+        for e in p.exprs() {
+            let span = p.span(e).unwrap();
+            assert!(span.start.line >= 1 && span.start.col >= 1);
+        }
     }
 }

@@ -1,0 +1,138 @@
+//! Diagnostic values: stable rule codes, severities, and source positions.
+
+use std::fmt;
+
+use stcfa_lambda::{ExprId, Program, Span};
+
+/// How serious a diagnostic is.
+///
+/// Ordered: `Info < Warning < Error`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Advisory only (e.g. an inlining opportunity).
+    Info,
+    /// Likely a mistake, but the program still runs.
+    Warning,
+    /// The flagged expression cannot evaluate successfully.
+    Error,
+}
+
+impl Severity {
+    /// The lowercase name used in both renderers.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Stable rule codes. The numeric part never changes meaning across
+/// releases; retired rules leave holes rather than renumbering.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RuleCode {
+    /// `STCFA001` — flow-dead application: the flow analysis proves no
+    /// abstraction reaches the operator of an application, and the cubic
+    /// CFA oracle agrees.
+    FlowDeadApplication,
+    /// `STCFA002` — never-invoked abstraction: no call site anywhere in
+    /// the program applies this lambda (and it does not escape to the
+    /// program result).
+    NeverInvokedAbstraction,
+    /// `STCFA003` — called exactly once: the abstraction has a single
+    /// call site, making it an inline/specialization candidate.
+    CalledOnceInline,
+    /// `STCFA004` — useless parameter: the bound variable has no
+    /// occurrence in the body.
+    UselessParameter,
+    /// `STCFA005` — escaping effectful closure: an abstraction with a
+    /// side-effecting body flows to the program result, so its effects
+    /// run (or not) at the consumer's whim.
+    EscapingEffectfulClosure,
+    /// `STCFA006` — stuck application: the operator is structurally a
+    /// non-function value (literal, record, or constructor), so the
+    /// application cannot evaluate.
+    StuckApplication,
+}
+
+impl RuleCode {
+    /// The stable `STCFA0xx` code string.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RuleCode::FlowDeadApplication => "STCFA001",
+            RuleCode::NeverInvokedAbstraction => "STCFA002",
+            RuleCode::CalledOnceInline => "STCFA003",
+            RuleCode::UselessParameter => "STCFA004",
+            RuleCode::EscapingEffectfulClosure => "STCFA005",
+            RuleCode::StuckApplication => "STCFA006",
+        }
+    }
+
+    /// The severity this rule reports at.
+    pub fn severity(self) -> Severity {
+        match self {
+            RuleCode::FlowDeadApplication => Severity::Warning,
+            RuleCode::NeverInvokedAbstraction => Severity::Warning,
+            RuleCode::CalledOnceInline => Severity::Info,
+            RuleCode::UselessParameter => Severity::Warning,
+            RuleCode::EscapingEffectfulClosure => Severity::Warning,
+            RuleCode::StuckApplication => Severity::Error,
+        }
+    }
+
+    /// All rules, in code order.
+    pub fn all() -> [RuleCode; 6] {
+        [
+            RuleCode::FlowDeadApplication,
+            RuleCode::NeverInvokedAbstraction,
+            RuleCode::CalledOnceInline,
+            RuleCode::UselessParameter,
+            RuleCode::EscapingEffectfulClosure,
+            RuleCode::StuckApplication,
+        ]
+    }
+}
+
+impl fmt::Display for RuleCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One diagnostic: a rule firing at one expression occurrence.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Which rule fired.
+    pub code: RuleCode,
+    /// Severity (always `code.severity()`; stored so renderers need no
+    /// lookup and future per-run overrides stay possible).
+    pub severity: Severity,
+    /// The flagged occurrence.
+    pub expr: ExprId,
+    /// Source span of the occurrence, when the program was parsed from
+    /// text (builder-constructed programs have none).
+    pub span: Option<Span>,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Builds a diagnostic at `expr`, pulling span and severity from the
+    /// program and rule.
+    pub fn at(code: RuleCode, expr: ExprId, program: &Program, message: String) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity: code.severity(),
+            expr,
+            span: program.span(expr),
+            message,
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Diagnostic renderers: human-readable text and machine-readable JSON.
+//!
+//! Both renderers are pure functions of the diagnostic list, so output is
+//! byte-identical whenever the diagnostics are — the determinism tests
+//! compare rendered bytes across thread counts.
+
+use std::fmt::Write as _;
+
+use crate::diag::Diagnostic;
+
+/// Renders one line per diagnostic:
+///
+/// ```text
+/// 3:12: warning[STCFA004]: parameter `b` is never used
+/// ```
+///
+/// Diagnostics without a span (builder-constructed programs) render the
+/// occurrence id in place of `line:col`.
+pub fn render_text(diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    for d in diags {
+        match d.span {
+            Some(s) => {
+                let _ = write!(out, "{}:{}", s.start.line, s.start.col);
+            }
+            None => {
+                let _ = write!(out, "e{}", d.expr.index());
+            }
+        }
+        let _ = writeln!(out, ": {}[{}]: {}", d.severity, d.code, d.message);
+    }
+    out
+}
+
+/// Renders the diagnostics as a JSON array (one object per diagnostic,
+/// stable key order), terminated by a newline:
+///
+/// ```json
+/// [
+///   {"code":"STCFA004","severity":"warning","expr":7,"span":{"line":3,"col":12,"end_line":3,"end_col":13},"message":"parameter `b` is never used"}
+/// ]
+/// ```
+///
+/// `span` is `null` when the program carries no source positions.
+pub fn render_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("[");
+    for (i, d) in diags.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        let _ = write!(
+            out,
+            "  {{\"code\":\"{}\",\"severity\":\"{}\",\"expr\":{},\"span\":",
+            d.code,
+            d.severity,
+            d.expr.index()
+        );
+        match d.span {
+            Some(s) => {
+                let _ = write!(
+                    out,
+                    "{{\"line\":{},\"col\":{},\"end_line\":{},\"end_col\":{}}}",
+                    s.start.line, s.start.col, s.end.line, s.end.col
+                );
+            }
+            None => out.push_str("null"),
+        }
+        let _ = write!(out, ",\"message\":\"{}\"}}", escape_json(&d.message));
+    }
+    out.push_str(if diags.is_empty() { "]\n" } else { "\n]\n" });
+    out
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::{RuleCode, Severity};
+    use stcfa_lambda::ExprId;
+
+    fn sample(span: Option<stcfa_lambda::Span>) -> Diagnostic {
+        Diagnostic {
+            code: RuleCode::UselessParameter,
+            severity: Severity::Warning,
+            expr: ExprId::from_index(7),
+            span,
+            message: "parameter `b` is never used".to_string(),
+        }
+    }
+
+    #[test]
+    fn text_renders_position_or_expr_id() {
+        let p = stcfa_lambda::Program::parse("fun konst a b = a; konst 1 2").unwrap();
+        let lam = p
+            .exprs()
+            .find(|&e| matches!(p.kind(e), stcfa_lambda::ExprKind::Lam { .. }))
+            .unwrap();
+        let with_span = sample(p.span(lam));
+        let text = render_text(&[with_span]);
+        assert!(text.contains("warning[STCFA004]"), "{text}");
+        assert!(text.starts_with(|c: char| c.is_ascii_digit()), "{text}");
+        let text = render_text(&[sample(None)]);
+        assert!(text.starts_with("e7: "), "{text}");
+    }
+
+    #[test]
+    fn json_is_well_formed_and_escaped() {
+        let mut d = sample(None);
+        d.message = "tricky \"quote\" and \\ backslash\nnewline".to_string();
+        let json = render_json(&[d]);
+        assert!(json.contains(r#"\"quote\""#), "{json}");
+        assert!(json.contains(r#"\\ backslash\nnewline"#), "{json}");
+        assert!(json.contains("\"span\":null"), "{json}");
+        assert!(json.ends_with("]\n"), "{json}");
+        assert_eq!(render_json(&[]), "[]\n");
+    }
+}

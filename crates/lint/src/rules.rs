@@ -1,0 +1,320 @@
+//! The flow-powered rules.
+//!
+//! Every rule consumes the frozen [`QueryEngine`] snapshot — one summary
+//! sweep shared across all rules — instead of re-running a BFS per
+//! question. The only non-linear work is the cubic-CFA cross-check for
+//! `STCFA001`, and it runs lazily: only when at least one flow-dead
+//! candidate exists, and only to *suppress* findings the oracle disputes
+//! (so the rule stays sound even under under-approximating analysis
+//! policies such as `Forget`).
+
+use stcfa_apps::called_once::{CallSites, CalledOnce};
+use stcfa_apps::effects::effects;
+use stcfa_cfa0::Cfa0;
+use stcfa_core::{Analysis, Answer, Query, QueryEngine};
+use stcfa_lambda::{ExprId, ExprKind, Program};
+
+use crate::diag::{Diagnostic, RuleCode};
+
+/// Knobs for one lint run.
+#[derive(Clone, Debug)]
+pub struct LintOptions {
+    /// Worker threads for the batched engine queries. Defaults to
+    /// [`QueryEngine::default_threads`] (the `STCFA_QUERY_THREADS`
+    /// environment variable, else available parallelism). Output is
+    /// byte-identical at any setting.
+    pub threads: usize,
+}
+
+impl Default for LintOptions {
+    fn default() -> LintOptions {
+        LintOptions { threads: QueryEngine::default_threads() }
+    }
+}
+
+/// A display name for the abstraction with label `l`: `λ<param>#<index>`.
+fn lam_name(program: &Program, l: stcfa_lambda::Label) -> String {
+    let lam = program.lam_of_label(l);
+    match program.kind(lam) {
+        ExprKind::Lam { param, .. } => {
+            format!("λ{}#{}", program.var_name(*param), l.index())
+        }
+        _ => format!("λ#{}", l.index()),
+    }
+}
+
+/// A short source location for cross-references inside messages.
+fn place(program: &Program, e: ExprId) -> String {
+    match program.span(e) {
+        Some(s) => format!("{}:{}", s.start.line, s.start.col),
+        None => format!("occurrence {}", e.index()),
+    }
+}
+
+/// Runs every rule and returns the diagnostics sorted by occurrence id,
+/// then rule code — deterministic for a given program regardless of
+/// thread count.
+///
+/// `engine` must be frozen from `analysis` (the effects colouring walks
+/// the analysis graph directly; everything else goes through the
+/// snapshot).
+pub fn lint(
+    program: &Program,
+    analysis: &Analysis,
+    engine: &QueryEngine,
+    opts: &LintOptions,
+) -> Vec<Diagnostic> {
+    engine.prepare();
+    let mut out: Vec<Diagnostic> = Vec::new();
+    let threads = opts.threads.max(1);
+
+    // --- STCFA001 / STCFA006: applications whose operator has an empty
+    // label set. Answered as one batch so the configured thread count is
+    // actually exercised; answers are positional, so order is stable.
+    let apps = program.app_sites();
+    let queries: Vec<Query> = apps
+        .iter()
+        .map(|&a| Query::call_targets(program, a).expect("app site"))
+        .collect();
+    let answers = engine.batch(&queries, threads);
+    let mut dead_candidates: Vec<(ExprId, ExprId)> = Vec::new();
+    for (&app, answer) in apps.iter().zip(&answers) {
+        let Answer::Labels(labels) = answer else { unreachable!("LabelsOf answers Labels") };
+        if !labels.is_empty() {
+            continue;
+        }
+        let ExprKind::App { func, .. } = program.kind(app) else { unreachable!("app site") };
+        match program.kind(*func) {
+            // The operator is structurally a non-function value: the
+            // application is stuck, no oracle needed.
+            ExprKind::Lit(_) | ExprKind::Record(_) | ExprKind::Con { .. } => {
+                out.push(Diagnostic::at(
+                    RuleCode::StuckApplication,
+                    app,
+                    program,
+                    "stuck application: the operator is a non-function value".to_string(),
+                ));
+            }
+            _ => dead_candidates.push((app, *func)),
+        }
+    }
+    // Cross-check candidates against the cubic CFA before reporting:
+    // under the default ≈₁ policy the engine over-approximates, so an
+    // empty set here implies an empty exact set — but under `Forget` it
+    // does not, and this oracle pass keeps the rule sound everywhere.
+    if !dead_candidates.is_empty() {
+        let cfa = Cfa0::analyze(program);
+        for (app, func) in dead_candidates {
+            if cfa.labels(program, func).is_empty() {
+                out.push(Diagnostic::at(
+                    RuleCode::FlowDeadApplication,
+                    app,
+                    program,
+                    "flow-dead application: no abstraction flows to the operator".to_string(),
+                ));
+            }
+        }
+    }
+
+    // --- STCFA002 / STCFA003: call-site counts per abstraction, via the
+    // engine-backed called-once analysis. Labels that flow to the program
+    // result escape to the consumer, so "never invoked" does not apply.
+    let sites = CalledOnce::via_engine(program, engine);
+    let escaping = engine.labels_of(program.root());
+    for l in program.all_labels() {
+        let lam = program.lam_of_label(l);
+        // Lambdas introduced by desugaring (`$…` parameters) are not the
+        // user's code; neither rule should point at them.
+        let machinery = match program.kind(lam) {
+            ExprKind::Lam { param, .. } => program.var_name(*param).starts_with('$'),
+            _ => false,
+        };
+        if machinery {
+            continue;
+        }
+        match sites.of(l) {
+            CallSites::None => {
+                if escaping.binary_search(&l).is_err() {
+                    out.push(Diagnostic::at(
+                        RuleCode::NeverInvokedAbstraction,
+                        lam,
+                        program,
+                        format!("abstraction {} is never invoked", lam_name(program, l)),
+                    ));
+                }
+            }
+            CallSites::One(site) => {
+                out.push(Diagnostic::at(
+                    RuleCode::CalledOnceInline,
+                    lam,
+                    program,
+                    format!(
+                        "abstraction {} is called exactly once (at {}); inline candidate",
+                        lam_name(program, l),
+                        place(program, site)
+                    ),
+                ));
+            }
+            CallSites::Many => {}
+        }
+    }
+
+    // --- STCFA004: parameters with no occurrence. Names beginning with
+    // `_` (user-declared intent) or `$` (desugaring machinery) are exempt.
+    for e in program.exprs() {
+        if let ExprKind::Lam { param, .. } = program.kind(e) {
+            let name = program.var_name(*param);
+            if name.starts_with('_') || name.starts_with('$') {
+                continue;
+            }
+            if engine.occurrences_of(*param).next().is_none() {
+                out.push(Diagnostic::at(
+                    RuleCode::UselessParameter,
+                    e,
+                    program,
+                    format!("parameter `{name}` is never used"),
+                ));
+            }
+        }
+    }
+
+    // --- STCFA005: effectful closures escaping to the program result.
+    // The linear colouring needs the analysis graph itself; run it only
+    // when something escapes at all.
+    if !escaping.is_empty() {
+        let eff = effects(program, analysis);
+        for &l in &escaping {
+            let lam = program.lam_of_label(l);
+            if let ExprKind::Lam { body, .. } = program.kind(lam) {
+                if eff.is_effectful(*body) {
+                    out.push(Diagnostic::at(
+                        RuleCode::EscapingEffectfulClosure,
+                        lam,
+                        program,
+                        format!(
+                            "effectful closure {} escapes to the program result",
+                            lam_name(program, l)
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    out.sort_by_key(|d| (d.expr.index(), d.code));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Severity;
+
+    fn lint_src(src: &str) -> (Program, Vec<Diagnostic>) {
+        let p = Program::parse(src).unwrap_or_else(|e| panic!("parse {src:?}: {e}"));
+        let a = Analysis::run(&p).expect("analysis");
+        let engine = QueryEngine::freeze(&a);
+        let diags = lint(&p, &a, &engine, &LintOptions::default());
+        (p, diags)
+    }
+
+    fn codes(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.code.as_str()).collect()
+    }
+
+    #[test]
+    fn clean_program_is_quiet() {
+        let (_, d) = lint_src("fun double x = x + x; double 21");
+        assert!(
+            d.iter().all(|x| x.code == RuleCode::CalledOnceInline),
+            "unexpected diagnostics: {d:?}"
+        );
+    }
+
+    #[test]
+    fn flow_dead_application_fires() {
+        // `f` is a tuple field holding an int, so no abstraction ever
+        // flows to the operator of `f 3`.
+        let (_, d) = lint_src(
+            "let val box = (1, 2) in\n\
+             let val f = #1 box in f 3 end end",
+        );
+        assert!(codes(&d).contains(&"STCFA001"), "got {d:?}");
+        let diag = d.iter().find(|x| x.code == RuleCode::FlowDeadApplication).unwrap();
+        assert_eq!(diag.severity, Severity::Warning);
+        assert!(diag.span.is_some(), "parsed programs carry spans");
+    }
+
+    #[test]
+    fn stuck_application_takes_precedence() {
+        let (_, d) = lint_src("let val r = (1, 2) in r 3 end");
+        // The operator is a variable bound to a record — flow-dead, not
+        // structurally stuck.
+        assert!(codes(&d).contains(&"STCFA001"), "got {d:?}");
+        // A structurally-stuck operator reports STCFA006 instead.
+        let (_, d) = lint_src("(1, 2) 3");
+        assert!(codes(&d).contains(&"STCFA006"), "got {d:?}");
+        assert!(!codes(&d).contains(&"STCFA001"), "006 suppresses 001 at the same site: {d:?}");
+        let stuck = d.iter().find(|x| x.code == RuleCode::StuckApplication).unwrap();
+        assert_eq!(stuck.severity, Severity::Error);
+    }
+
+    #[test]
+    fn never_invoked_abstraction_fires() {
+        let (_, d) = lint_src("fun ghost x = x; 1 + 2");
+        assert!(codes(&d).contains(&"STCFA002"), "got {d:?}");
+    }
+
+    #[test]
+    fn escaping_lambda_is_not_never_invoked() {
+        // The lambda is the program result: its caller is outside the
+        // program, so STCFA002 stays quiet.
+        let (_, d) = lint_src("fn x => x + 1");
+        assert!(!codes(&d).contains(&"STCFA002"), "got {d:?}");
+    }
+
+    #[test]
+    fn called_once_inline_candidate_fires() {
+        let (p, d) = lint_src("fun once x = x + 1; once 5");
+        let inline = d.iter().find(|x| x.code == RuleCode::CalledOnceInline).expect("STCFA003");
+        assert_eq!(inline.severity, Severity::Info);
+        assert!(matches!(p.kind(inline.expr), ExprKind::Lam { .. }));
+        assert!(inline.message.contains("exactly once"));
+    }
+
+    #[test]
+    fn useless_parameter_fires_and_underscore_is_exempt() {
+        let (_, d) = lint_src("fun konst a b = a; konst 1 2");
+        assert!(codes(&d).contains(&"STCFA004"), "got {d:?}");
+        let (_, d) = lint_src("fun konst a _b = a; konst 1 2");
+        assert!(!codes(&d).contains(&"STCFA004"), "got {d:?}");
+    }
+
+    #[test]
+    fn escaping_effectful_closure_fires() {
+        let (_, d) = lint_src("fn x => print x");
+        assert!(codes(&d).contains(&"STCFA005"), "got {d:?}");
+        // A pure escaping closure stays quiet.
+        let (_, d) = lint_src("fn x => x + 1");
+        assert!(!codes(&d).contains(&"STCFA005"), "got {d:?}");
+    }
+
+    #[test]
+    fn diagnostics_are_sorted_and_thread_stable() {
+        let src = "fun ghost x = x;\n\
+                   fun konst a b = a;\n\
+                   let val r = (1, 2) in\n\
+                   let val f = #1 r in (konst 1 2) + (konst 3 4) + f 9 end end";
+        let p = Program::parse(src).unwrap();
+        let a = Analysis::run(&p).expect("analysis");
+        let engine = QueryEngine::freeze(&a);
+        let base = lint(&p, &a, &engine, &LintOptions { threads: 1 });
+        for threads in [2, 8] {
+            let d = lint(&p, &a, &engine, &LintOptions { threads });
+            assert_eq!(base, d, "thread count {threads} changed diagnostics");
+        }
+        let mut sorted = base.clone();
+        sorted.sort_by_key(|x| (x.expr.index(), x.code));
+        assert_eq!(base, sorted, "output must be input-ordered");
+    }
+}

@@ -16,6 +16,9 @@ cargo build --release --offline
 echo "== tier-1: test suite =="
 cargo test -q --offline
 
+echo "== tier-1: clippy (warnings are errors) =="
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
 echo "== tier-1: query-engine batch at several worker counts =="
 # batch_default reads STCFA_QUERY_THREADS; every count must be
 # byte-identical to single-threaded (the suite asserts it).
@@ -23,6 +26,23 @@ for t in 1 2 8; do
   echo "-- STCFA_QUERY_THREADS=$t"
   STCFA_QUERY_THREADS=$t cargo test -q --offline --test query_engine
 done
+
+echo "== lint: machine-readable corpus report is stable =="
+# `stcfa lint --format json` over the whole corpus, digested. The digest is
+# pinned so a renderer or rule change that shifts any diagnostic shows up
+# here as well as in tests/lint_snapshot.rs (which pins the same reports).
+LINT_DIGEST_WANT="3512133502"
+lint_report="$(for f in corpus/*.ml; do
+  echo "== $f"
+  ./target/release/stcfa lint "$f" --format json --threads 1
+done)"
+LINT_DIGEST_GOT="$(printf '%s\n' "$lint_report" | cksum | cut -d' ' -f1)"
+if [ "$LINT_DIGEST_GOT" != "$LINT_DIGEST_WANT" ]; then
+  echo "lint digest drifted: want $LINT_DIGEST_WANT got $LINT_DIGEST_GOT" >&2
+  printf '%s\n' "$lint_report" >&2
+  exit 1
+fi
+echo "-- corpus lint digest ok ($LINT_DIGEST_GOT)"
 
 echo "== benches compile (not run) =="
 cargo bench --no-run --offline

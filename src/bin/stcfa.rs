@@ -22,6 +22,11 @@
 //!   --repl             read fragments from stdin (one per line, `;;` to
 //!                      submit multi-line input), analyzing incrementally
 //!
+//! LINT MODE
+//!   stcfa lint <FILE|-> [--format text|json] [--threads <n>]
+//!                      flow-powered diagnostics (STCFA001–STCFA006) over
+//!                      the frozen query engine; see docs/LINT.md
+//!
 //! OPTIONS
 //!   --analysis <sub|poly|hybrid|cfa0|sba|unify>   engine for label queries (default sub)
 //!   --policy <c1|c2|exact|forget>                 datatype congruence (default c1)
@@ -126,6 +131,7 @@ fn usage() -> &'static str {
      --k-limited <k>|--called-once|--inline|--types|--boundedness|--eval|--live|--witness|--dot]*\n\
      \t[--analysis sub|poly|hybrid|cfa0|sba|unify] [--policy c1|c2|exact|forget]\n\
      \t[--max-nodes <n>] [--fuel <n>]\n\
+     \tor: stcfa lint <FILE|-> [--format text|json] [--policy ...] [--threads <n>]\n\
      \tor: stcfa --repl    (incremental session on stdin)"
 }
 
@@ -272,21 +278,108 @@ fn repl() -> Result<(), String> {
     }
 }
 
+/// Reads the program source from a path or stdin (`-`).
+fn read_source(path: &str) -> Result<String, String> {
+    if path == "-" {
+        let mut s = String::new();
+        std::io::stdin().read_to_string(&mut s).map_err(|e| e.to_string())?;
+        Ok(s)
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+/// `stcfa lint <FILE|-> [--format text|json] [--policy ...] [--max-nodes n]
+/// [--threads n]`: run the flow-powered diagnostics and print the report.
+///
+/// Always exits 0 when the program parses and analyzes; diagnostics are a
+/// report, not a gate (pipe the JSON into a gate if you want one).
+fn run_lint(args: &[String]) -> Result<(), String> {
+    use stcfa::lint::{lint, render_json, render_text, LintOptions};
+
+    let mut path = None;
+    let mut json = false;
+    let mut policy = DatatypePolicy::Congruence1;
+    let mut max_nodes = None;
+    let mut threads = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--format" => {
+                json = match it.next().map(String::as_str) {
+                    Some("json") => true,
+                    Some("text") => false,
+                    other => return Err(format!("unknown lint format {other:?}")),
+                };
+            }
+            "--policy" => {
+                policy = match it.next().map(String::as_str) {
+                    Some("c1") => DatatypePolicy::Congruence1,
+                    Some("c2") => DatatypePolicy::Congruence2,
+                    Some("exact") => DatatypePolicy::Exact,
+                    Some("forget") => DatatypePolicy::Forget,
+                    other => return Err(format!("unknown policy {other:?}")),
+                };
+            }
+            "--max-nodes" => {
+                max_nodes = Some(
+                    it.next()
+                        .ok_or("--max-nodes needs a value")?
+                        .parse()
+                        .map_err(|e| format!("--max-nodes: {e}"))?,
+                );
+            }
+            "--threads" => {
+                threads = Some(
+                    it.next()
+                        .ok_or("--threads needs a value")?
+                        .parse::<usize>()
+                        .map_err(|e| format!("--threads: {e}"))?,
+                );
+            }
+            "--help" | "-h" => return Err(usage().to_owned()),
+            other if path.is_none() && !other.starts_with("--") => {
+                path = Some(other.to_owned());
+            }
+            other => return Err(format!("unexpected argument `{other}`\n{}", usage())),
+        }
+    }
+    let path = path.ok_or_else(|| usage().to_owned())?;
+    let source = read_source(&path)?;
+    let program = Program::parse(&source).map_err(|e| format!("{path}: {e}"))?;
+    let analysis = Analysis::run_with(&program, AnalysisOptions { policy, max_nodes })
+        .map_err(|e| e.to_string())?;
+    let engine = QueryEngine::freeze(&analysis);
+    let opts = LintOptions {
+        threads: threads.unwrap_or_else(QueryEngine::default_threads),
+    };
+    let diags = lint(&program, &analysis, &engine, &opts);
+    if json {
+        print!("{}", render_json(&diags));
+    } else {
+        // Prefix each line with the file so reports from several files
+        // stay attributable.
+        for line in render_text(&diags).lines() {
+            println!("{path}:{line}");
+        }
+        if diags.is_empty() {
+            eprintln!("{path}: no diagnostics");
+        }
+    }
+    Ok(())
+}
+
 fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--repl") {
         return repl();
     }
+    if args.first().map(String::as_str) == Some("lint") {
+        return run_lint(&args[1..]);
+    }
     let options = parse_args(&args)?;
 
-    let source = if options.path == "-" {
-        let mut s = String::new();
-        std::io::stdin().read_to_string(&mut s).map_err(|e| e.to_string())?;
-        s
-    } else {
-        std::fs::read_to_string(&options.path)
-            .map_err(|e| format!("{}: {e}", options.path))?
-    };
+    let source = read_source(&options.path)?;
     let program = Program::parse(&source).map_err(|e| e.to_string())?;
 
     let analysis_options = AnalysisOptions { policy: options.policy, max_nodes: options.max_nodes };

@@ -37,6 +37,7 @@ pub use stcfa_cfa0 as cfa0;
 pub use stcfa_core as core;
 pub use stcfa_graph as graph;
 pub use stcfa_lambda as lambda;
+pub use stcfa_lint as lint;
 pub use stcfa_sba as sba;
 pub use stcfa_types as types;
 pub use stcfa_unify as unify;

@@ -198,3 +198,59 @@ fn untyped_program_reports_budget_error() {
     let out2 = stcfa().arg(&f).args(["--labels", "--analysis", "hybrid"]).output().unwrap();
     assert!(out2.status.success(), "{}", String::from_utf8_lossy(&out2.stderr));
 }
+
+#[test]
+fn lint_text_reports_positions_and_codes() {
+    let f = write_temp("lint_text", "fun ghost x = x;\nfun konst a b = a;\nkonst 1 2");
+    let out = stcfa().args(["lint"]).arg(&f).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("warning[STCFA002]"), "{stdout}");
+    assert!(stdout.contains("warning[STCFA004]"), "{stdout}");
+    // Every line carries file:line:col.
+    for line in stdout.lines() {
+        assert!(line.contains(".ml:"), "{line}");
+    }
+}
+
+#[test]
+fn lint_json_is_machine_readable_and_thread_stable() {
+    let f = write_temp(
+        "lint_json",
+        "fun ghost x = x;\nlet val r = (1, 2) in let val f = #1 r in f 9 end end",
+    );
+    let mut reports = Vec::new();
+    for threads in ["1", "2", "8"] {
+        let out = stcfa()
+            .args(["lint"])
+            .arg(&f)
+            .args(["--format", "json", "--threads", threads])
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        reports.push(String::from_utf8(out.stdout).unwrap());
+    }
+    assert_eq!(reports[0], reports[1], "1 vs 2 threads");
+    assert_eq!(reports[0], reports[2], "1 vs 8 threads");
+    let json = &reports[0];
+    assert!(json.starts_with('['), "{json}");
+    assert!(json.contains("\"code\":\"STCFA001\""), "{json}");
+    assert!(json.contains("\"code\":\"STCFA002\""), "{json}");
+    assert!(json.contains("\"span\":{\"line\":"), "{json}");
+}
+
+#[test]
+fn lint_reads_stdin() {
+    let mut child = stcfa()
+        .args(["lint", "-"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child.stdin.as_mut().unwrap().write_all(b"(1, 2) 3").unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("error[STCFA006]"), "{stdout}");
+}

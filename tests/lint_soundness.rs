@@ -1,0 +1,98 @@
+//! Differential soundness of the flow-dead rules: every `STCFA001`
+//! (flow-dead application) and `STCFA006` (stuck application) diagnostic
+//! must be confirmed by the standard cubic CFA — the oracle the paper
+//! proves the subtransitive analysis equivalent to (Propositions 1–2).
+//!
+//! The interesting direction is policy robustness: under the `Forget`
+//! datatype policy the engine *under*-approximates, so an empty label set
+//! no longer implies exact-empty — the lint layer's lazy oracle
+//! cross-check is what keeps the rule sound there, and this suite is the
+//! regression net over that cross-check.
+
+use stcfa::cfa0::Cfa0;
+use stcfa::core::{Analysis, AnalysisOptions, DatatypePolicy, QueryEngine};
+use stcfa::lambda::{ExprKind, Program};
+use stcfa::lint::{lint, LintOptions, RuleCode};
+use stcfa::workloads::synth::{generate, SynthConfig};
+use stcfa_devkit::prelude::*;
+
+fn program_for(seed: u64) -> Program {
+    generate(&SynthConfig {
+        seed,
+        target_size: 140,
+        max_type_depth: 2,
+        effect_prob: 0.15,
+        max_tuple_width: 3,
+        datatypes: true,
+    })
+}
+
+fn assert_flow_dead_confirmed(p: &Program, policy: DatatypePolicy) -> TestCaseResult {
+    // ≈₂ can legitimately exceed the close-phase node budget on synthetic
+    // recursive datatypes; there is no finished graph to lint then.
+    let Ok(a) = Analysis::run_with(p, AnalysisOptions { policy, max_nodes: None }) else {
+        return Ok(());
+    };
+    let engine = QueryEngine::freeze(&a);
+    let diags = lint(p, &a, &engine, &LintOptions { threads: 1 });
+    let cfa = Cfa0::analyze(p);
+    for d in &diags {
+        if !matches!(d.code, RuleCode::FlowDeadApplication | RuleCode::StuckApplication) {
+            continue;
+        }
+        let ExprKind::App { func, .. } = p.kind(d.expr) else {
+            return Err(TestCaseError::fail(format!(
+                "{} fired at non-application {:?}",
+                d.code, d.expr
+            )));
+        };
+        let oracle = cfa.labels(p, *func);
+        prop_assert!(
+            oracle.is_empty(),
+            "{} at {:?} disputed by cubic CFA (policy {:?}): oracle says {:?}",
+            d.code,
+            d.expr,
+            policy,
+            oracle
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn flow_dead_diagnostics_confirmed_by_cubic_cfa(seed in any::<u64>()) {
+        let p = program_for(seed);
+        assert_flow_dead_confirmed(&p, DatatypePolicy::Congruence1)?;
+        assert_flow_dead_confirmed(&p, DatatypePolicy::Congruence2)?;
+        assert_flow_dead_confirmed(&p, DatatypePolicy::Forget)?;
+    }
+}
+
+/// The corpus files, under every datatype policy the CLI exposes — the
+/// deterministic counterpart of the property above.
+#[test]
+fn corpus_flow_dead_diagnostics_confirmed() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/corpus");
+    let mut files: Vec<_> = std::fs::read_dir(dir)
+        .expect("corpus dir")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "ml"))
+        .collect();
+    files.sort();
+    assert!(!files.is_empty(), "corpus is populated");
+    for file in files {
+        let src = std::fs::read_to_string(&file).expect("readable");
+        let p = Program::parse(&src).unwrap_or_else(|e| panic!("{}: {e}", file.display()));
+        for policy in [
+            DatatypePolicy::Congruence1,
+            DatatypePolicy::Congruence2,
+            DatatypePolicy::Forget,
+        ] {
+            assert_flow_dead_confirmed(&p, policy)
+                .unwrap_or_else(|e| panic!("{}: {e}", file.display()));
+        }
+    }
+}
