@@ -132,7 +132,8 @@ impl CalledOnce {
         self.per_label
             .iter()
             .enumerate()
-            .filter(|&(_i, cs)| matches!(cs, CallSites::None)).map(|(i, _cs)| Label::from_index(i))
+            .filter(|&(_i, cs)| matches!(cs, CallSites::None))
+            .map(|(i, _cs)| Label::from_index(i))
             .collect()
     }
 }

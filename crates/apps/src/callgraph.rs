@@ -60,7 +60,9 @@ impl CallGraph {
         assign(program, program.root(), labels, &mut encloser);
 
         for app in program.app_sites() {
-            let ExprKind::App { func, .. } = program.kind(app) else { unreachable!() };
+            let ExprKind::App { func, .. } = program.kind(app) else {
+                unreachable!()
+            };
             let caller = encloser[app.index()];
             for callee in engine.labels_of(*func) {
                 graph.add_edge_dedup(caller, callee.index());
@@ -96,7 +98,10 @@ impl CallGraph {
     /// Functions transitively reachable (callable) from top-level code.
     pub fn reachable_from_root(&self) -> Vec<Label> {
         let r = self.graph.reachable_from(self.labels);
-        (0..self.labels).filter(|&l| r.contains(l)).map(Label::from_index).collect()
+        (0..self.labels)
+            .filter(|&l| r.contains(l))
+            .map(Label::from_index)
+            .collect()
     }
 
     /// Whether a function can (transitively) call itself.
@@ -106,10 +111,7 @@ impl CallGraph {
         if self.graph.has_edge(l.index(), l.index()) {
             return true;
         }
-        (0..self.labels).any(|other| {
-            other != l.index()
-                && comp[other] == comp[l.index()]
-        })
+        (0..self.labels).any(|other| other != l.index() && comp[other] == comp[l.index()])
     }
 
     /// The underlying graph (node `root()` is top-level code).
@@ -157,7 +159,10 @@ mod tests {
         let apply_inner = label_named(&p, "y"); // fn y => f y
         let arg = label_named(&p, "n");
         assert!(cg.calls(None, apply_outer));
-        assert!(cg.calls(None, apply_inner), "the curried second call is top-level");
+        assert!(
+            cg.calls(None, apply_inner),
+            "the curried second call is top-level"
+        );
         assert!(cg.calls(Some(apply_inner), arg), "f y happens inside fn y");
         assert!(!cg.calls(Some(arg), apply_outer));
     }
@@ -189,7 +194,9 @@ mod tests {
             let reachable = cg.reachable_from_root();
             for l in p.all_labels() {
                 let lam = p.lam_of_label(l);
-                let ExprKind::Lam { body, .. } = p.kind(lam) else { unreachable!() };
+                let ExprKind::Lam { body, .. } = p.kind(lam) else {
+                    unreachable!()
+                };
                 if live.is_live(*body) {
                     assert!(
                         reachable.contains(&l),
@@ -209,6 +216,9 @@ mod tests {
             (head (C(fn a => a + 1, N)) (fn z => z)) 5";
         let (p, cg) = build(src);
         let stored = label_named(&p, "a");
-        assert!(cg.calls(None, stored), "the extracted closure is called at top level");
+        assert!(
+            cg.calls(None, stored),
+            "the extracted closure is called at top level"
+        );
     }
 }

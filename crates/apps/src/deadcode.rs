@@ -6,9 +6,7 @@
 //! others, so the pass iterates to a fixed point.
 
 use stcfa_core::Analysis;
-use stcfa_lambda::{
-    CaseArm, ExprId, ExprKind, Literal, Program, ProgramBuilder, TyExpr, VarId,
-};
+use stcfa_lambda::{CaseArm, ExprId, ExprKind, Literal, Program, ProgramBuilder, TyExpr, VarId};
 
 use crate::effects::{effects, Effects};
 
@@ -56,9 +54,7 @@ fn find_dead_bindings(program: &Program, eff: &Effects) -> Vec<ExprId> {
     program
         .exprs()
         .filter(|&e| match program.kind(e) {
-            ExprKind::Let { binder, rhs, .. } => {
-                !used[binder.index()] && !eff.is_effectful(*rhs)
-            }
+            ExprKind::Let { binder, rhs, .. } => !used[binder.index()] && !eff.is_effectful(*rhs),
             ExprKind::LetRec { binder, lambda, .. } => {
                 if used[binder.index()] {
                     // Discount occurrences inside the recursive lambda.
@@ -96,7 +92,8 @@ fn remove_bindings(program: &Program, dead: &[ExprId]) -> Program {
         }
     }
     let root = c.copy(program.root());
-    c.b.finish(root).expect("dead-code elimination preserves validity")
+    c.b.finish(root)
+        .expect("dead-code elimination preserves validity")
 }
 
 struct Remover<'a> {
@@ -145,13 +142,21 @@ impl Remover<'_> {
                 let nbody = self.copy(body);
                 self.b.let_(nb, nr, nbody)
             }
-            ExprKind::LetRec { binder, lambda, body } => {
+            ExprKind::LetRec {
+                binder,
+                lambda,
+                body,
+            } => {
                 let nb = self.fresh_like(binder);
                 let nl = self.copy(lambda);
                 let nbody = self.copy(body);
                 self.b.letrec(nb, nl, nbody)
             }
-            ExprKind::If { cond, then_branch, else_branch } => {
+            ExprKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 let c = self.copy(cond);
                 let t = self.copy(then_branch);
                 let e2 = self.copy(else_branch);
@@ -169,7 +174,11 @@ impl Remover<'_> {
                 let n: Vec<ExprId> = args.iter().map(|&a| self.copy(a)).collect();
                 self.b.con(con, n)
             }
-            ExprKind::Case { scrutinee, arms, default } => {
+            ExprKind::Case {
+                scrutinee,
+                arms,
+                default,
+            } => {
                 let s = self.copy(scrutinee);
                 let narms: Vec<_> = arms
                     .iter()
@@ -266,10 +275,7 @@ mod tests {
 
     #[test]
     fn live_letrec_is_kept() {
-        let p = Program::parse(
-            "fun f n = if n = 0 then 0 else f (n - 1); f 2",
-        )
-        .unwrap();
+        let p = Program::parse("fun f n = if n = 0 then 0 else f (n - 1); f 2").unwrap();
         let (q, stats) = eliminate_dead_bindings(&p);
         assert_eq!(stats.removed_bindings, 0);
         assert_eq!(outputs(&p), outputs(&q));

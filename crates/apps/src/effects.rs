@@ -40,7 +40,8 @@ impl Effects {
         self.red
             .iter()
             .enumerate()
-            .filter(|&(_i, &r)| r).map(|(i, &_r)| ExprId::from_index(i))
+            .filter(|&(_i, &r)| r)
+            .map(|(i, &_r)| ExprId::from_index(i))
             .collect()
     }
 
@@ -158,8 +159,10 @@ pub fn effects_via_cfa0(program: &Program, cfa: &Cfa0) -> Effects {
     let n = program.size();
     let mut red = vec![false; n];
     // Pre-compute call targets per application.
-    let targets: Vec<Option<Vec<Label>>> =
-        program.exprs().map(|e| cfa.call_targets(program, e)).collect();
+    let targets: Vec<Option<Vec<Label>>> = program
+        .exprs()
+        .map(|e| cfa.call_targets(program, e))
+        .collect();
     loop {
         let mut changed = false;
         for e in program.exprs() {
@@ -169,8 +172,7 @@ pub fn effects_via_cfa0(program: &Program, cfa: &Cfa0) -> Effects {
             let mut now_red = false;
             match program.kind(e) {
                 ExprKind::Prim { op, args } => {
-                    now_red = op.is_effectful()
-                        || args.iter().any(|a| red[a.index()]);
+                    now_red = op.is_effectful() || args.iter().any(|a| red[a.index()]);
                 }
                 ExprKind::Lam { .. } => {}
                 ExprKind::App { func, arg } => {

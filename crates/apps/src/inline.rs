@@ -19,9 +19,7 @@ use std::error::Error;
 use std::fmt;
 
 use stcfa_core::Analysis;
-use stcfa_lambda::{
-    ExprId, ExprKind, Label, Literal, Program, ProgramBuilder, TyExpr, VarId,
-};
+use stcfa_lambda::{ExprId, ExprKind, Label, Literal, Program, ProgramBuilder, TyExpr, VarId};
 
 use crate::called_once::{CallSites, CalledOnce};
 use crate::klimited::KLimited;
@@ -67,7 +65,10 @@ impl fmt::Display for InlineError {
                 write!(f, "operator at {e:?} is not a variable or abstraction")
             }
             InlineError::OutOfScope { var } => {
-                write!(f, "free variable `{var}` of the body is not in scope at the site")
+                write!(
+                    f,
+                    "free variable `{var}` of the body is not in scope at the site"
+                )
             }
         }
     }
@@ -81,7 +82,9 @@ pub fn find_candidates(program: &Program, analysis: &Analysis) -> Vec<Candidate>
     let co = CalledOnce::run(program, analysis);
     let mut out = Vec::new();
     for site in program.app_sites() {
-        let ExprKind::App { func, .. } = program.kind(site) else { unreachable!() };
+        let ExprKind::App { func, .. } = program.kind(site) else {
+            unreachable!()
+        };
         if !matches!(program.kind(*func), ExprKind::Var(_) | ExprKind::Lam { .. }) {
             continue;
         }
@@ -207,13 +210,21 @@ impl Copier<'_> {
                 let nbody = self.copy(body);
                 self.b.let_(nb, nr, nbody)
             }
-            ExprKind::LetRec { binder, lambda, body } => {
+            ExprKind::LetRec {
+                binder,
+                lambda,
+                body,
+            } => {
                 let nb = self.fresh_like(binder);
                 let nl = self.copy(lambda);
                 let nbody = self.copy(body);
                 self.b.letrec(nb, nl, nbody)
             }
-            ExprKind::If { cond, then_branch, else_branch } => {
+            ExprKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 let nc = self.copy(cond);
                 let nt = self.copy(then_branch);
                 let ne = self.copy(else_branch);
@@ -231,7 +242,11 @@ impl Copier<'_> {
                 let nargs: Vec<ExprId> = args.iter().map(|&a| self.copy(a)).collect();
                 self.b.con(con, nargs)
             }
-            ExprKind::Case { scrutinee, arms, default } => {
+            ExprKind::Case {
+                scrutinee,
+                arms,
+                default,
+            } => {
                 let ns = self.copy(scrutinee);
                 let narms: Vec<_> = arms
                     .iter()
@@ -353,9 +368,8 @@ mod tests {
 
     #[test]
     fn effects_in_argument_are_preserved_in_order() {
-        let p =
-            Program::parse("let val f = fn x => x + 1 in f (let val u = print 7 in 8 end) end")
-                .unwrap();
+        let p = Program::parse("let val f = fn x => x + 1 in f (let val u = print 7 in 8 end) end")
+            .unwrap();
         let a = analyze(&p);
         let cands = find_candidates(&p, &a);
         let q = inline_once(&p, &a, cands[0].site).unwrap();

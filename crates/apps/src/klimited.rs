@@ -154,7 +154,10 @@ mod tests {
                     "k-limited disagrees at {e:?} in {src:?}"
                 );
             } else {
-                assert!(got.is_many(), "expected Many at {e:?} in {src:?}, got {got:?}");
+                assert!(
+                    got.is_many(),
+                    "expected Many at {e:?} in {src:?}, got {got:?}"
+                );
             }
         }
     }

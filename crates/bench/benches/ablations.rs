@@ -1,12 +1,12 @@
 //! E8 / E10 / E11 ablations: the Section 6 datatype congruences, the
 //! hybrid driver's overhead, and the cost of Section 7 polyvariance.
 
-use stcfa_devkit::bench::{BenchmarkId, Criterion};
-use stcfa_devkit::{criterion_group, criterion_main};
-use std::hint::black_box;
 use stcfa_core::hybrid::HybridCfa;
 use stcfa_core::{Analysis, AnalysisOptions, DatatypePolicy, PolyAnalysis};
+use stcfa_devkit::bench::{BenchmarkId, Criterion};
+use stcfa_devkit::{criterion_group, criterion_main};
 use stcfa_workloads::{funlist, join_point};
+use std::hint::black_box;
 
 fn bench_congruences(c: &mut Criterion) {
     let mut group = c.benchmark_group("congruence");
@@ -18,21 +18,20 @@ fn bench_congruences(c: &mut Criterion) {
             ("c1", DatatypePolicy::Congruence1),
             ("c2", DatatypePolicy::Congruence2),
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(name, n),
-                &p,
-                |b, p| {
-                    b.iter(|| {
-                        black_box(
-                            Analysis::run_with(
-                                p,
-                                AnalysisOptions { policy, max_nodes: None },
-                            )
-                            .unwrap(),
+            group.bench_with_input(BenchmarkId::new(name, n), &p, |b, p| {
+                b.iter(|| {
+                    black_box(
+                        Analysis::run_with(
+                            p,
+                            AnalysisOptions {
+                                policy,
+                                max_nodes: None,
+                            },
                         )
-                    })
-                },
-            );
+                        .unwrap(),
+                    )
+                })
+            });
         }
     }
     group.finish();
@@ -66,5 +65,10 @@ fn bench_polyvariance(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_congruences, bench_hybrid_overhead, bench_polyvariance);
+criterion_group!(
+    benches,
+    bench_congruences,
+    bench_hybrid_overhead,
+    bench_polyvariance
+);
 criterion_main!(benches);

@@ -1,13 +1,13 @@
 //! E4–E6: the linear-time CFA-consuming applications (effects, k-limited,
 //! called-once) against their quadratic reference pipelines.
 
-use stcfa_devkit::bench::{BenchmarkId, Criterion};
-use stcfa_devkit::{criterion_group, criterion_main};
-use std::hint::black_box;
 use stcfa_apps::{effects, effects_via_cfa0, CalledOnce, KLimited};
 use stcfa_cfa0::Cfa0;
 use stcfa_core::Analysis;
+use stcfa_devkit::bench::{BenchmarkId, Criterion};
+use stcfa_devkit::{criterion_group, criterion_main};
 use stcfa_workloads::{cubic, join_point, synth};
+use std::hint::black_box;
 
 fn bench_effects(c: &mut Criterion) {
     let mut group = c.benchmark_group("effects");
@@ -42,11 +42,9 @@ fn bench_klimited(c: &mut Criterion) {
         let p = join_point::program(n);
         let a = Analysis::run(&p).unwrap();
         for k in [1usize, 3] {
-            group.bench_with_input(
-                BenchmarkId::new(format!("k{k}"), n),
-                &a,
-                |b, a| b.iter(|| black_box(KLimited::run(a, k))),
-            );
+            group.bench_with_input(BenchmarkId::new(format!("k{k}"), n), &a, |b, a| {
+                b.iter(|| black_box(KLimited::run(a, k)))
+            });
         }
     }
     group.finish();
@@ -58,9 +56,11 @@ fn bench_called_once(c: &mut Criterion) {
     for &n in &[32usize, 256] {
         let p = cubic::program(n);
         let a = Analysis::run(&p).unwrap();
-        group.bench_with_input(BenchmarkId::new("propagation", n), &(&p, &a), |b, (p, a)| {
-            b.iter(|| black_box(CalledOnce::run(p, a)))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("propagation", n),
+            &(&p, &a),
+            |b, (p, a)| b.iter(|| black_box(CalledOnce::run(p, a))),
+        );
         group.bench_with_input(
             BenchmarkId::new("query_per_site_reference", n),
             &(&p, &a),

@@ -5,13 +5,13 @@
 //! time, and the quadratic cost of listing all functions from all
 //! non-trivial call sites.
 
+use stcfa_core::Analysis;
 use stcfa_devkit::bench::{BenchmarkId, Criterion};
 use stcfa_devkit::{criterion_group, criterion_main};
-use std::hint::black_box;
-use stcfa_core::Analysis;
 use stcfa_lambda::ExprKind;
 use stcfa_sba::Sba;
 use stcfa_workloads::cubic;
+use std::hint::black_box;
 
 fn bench_table1(c: &mut Criterion) {
     let mut group = c.benchmark_group("table1");
@@ -21,9 +21,11 @@ fn bench_table1(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("sba_total", n), &p, |b, p| {
             b.iter(|| black_box(Sba::analyze(p)))
         });
-        group.bench_with_input(BenchmarkId::new("subtransitive_build_close", n), &p, |b, p| {
-            b.iter(|| black_box(Analysis::run(p).unwrap()))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("subtransitive_build_close", n),
+            &p,
+            |b, p| b.iter(|| black_box(Analysis::run(p).unwrap())),
+        );
         let a = Analysis::run(&p).unwrap();
         group.bench_with_input(
             BenchmarkId::new("query_all_nontrivial", n),
@@ -32,7 +34,9 @@ fn bench_table1(c: &mut Criterion) {
                 b.iter(|| {
                     let mut pairs = 0usize;
                     for app in p.nontrivial_apps() {
-                        let ExprKind::App { func, .. } = p.kind(app) else { unreachable!() };
+                        let ExprKind::App { func, .. } = p.kind(app) else {
+                            unreachable!()
+                        };
                         pairs += a.labels_of(*func).len();
                     }
                     black_box(pairs)

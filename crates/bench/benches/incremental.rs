@@ -1,11 +1,11 @@
 //! Incremental analysis: the cost of keeping up with a growing session
 //! (update per fragment) vs re-analyzing from scratch at each step.
 
+use stcfa_core::incremental::IncrementalAnalysis;
 use stcfa_devkit::bench::{BenchmarkId, Criterion};
 use stcfa_devkit::{criterion_group, criterion_main};
-use std::hint::black_box;
-use stcfa_core::incremental::IncrementalAnalysis;
 use stcfa_lambda::session::SessionProgram;
+use std::hint::black_box;
 
 fn build_session(fragments: usize) -> Vec<String> {
     let mut out = vec!["fun id x = x;".to_owned()];

@@ -2,22 +2,20 @@
 //! analyzed by the SBA baseline, the linear-time subtransitive algorithm,
 //! and (for reference) the almost-linear equality-based analysis.
 
+use stcfa_core::Analysis;
 use stcfa_devkit::bench::{BenchmarkId, Criterion};
 use stcfa_devkit::{criterion_group, criterion_main};
-use std::hint::black_box;
-use stcfa_core::Analysis;
 use stcfa_lambda::Program;
 use stcfa_sba::Sba;
 use stcfa_unify::UnifyCfa;
 use stcfa_workloads::{lexgen, life};
+use std::hint::black_box;
 
 fn bench_table2(c: &mut Criterion) {
     let mut group = c.benchmark_group("table2");
     group.sample_size(10);
-    let programs: Vec<(&str, Program)> = vec![
-        ("life", life::program()),
-        ("lexgen", lexgen::program()),
-    ];
+    let programs: Vec<(&str, Program)> =
+        vec![("life", life::program()), ("lexgen", lexgen::program())];
     for (name, p) in &programs {
         group.bench_with_input(BenchmarkId::new("sba_total", name), p, |b, p| {
             b.iter(|| black_box(Sba::analyze(p)))

@@ -4,12 +4,12 @@
 //! plus the frozen [`QueryEngine`] variants: the same queries off the
 //! SCC-condensed bit-parallel summary, and batches at 1/2/8 workers.
 
-use stcfa_devkit::bench::{BenchmarkId, Criterion};
-use stcfa_devkit::{criterion_group, criterion_main};
-use std::hint::black_box;
 use stcfa_cfa0::Cfa0;
 use stcfa_core::{Analysis, Query, QueryEngine};
+use stcfa_devkit::bench::{BenchmarkId, Criterion};
+use stcfa_devkit::{criterion_group, criterion_main};
 use stcfa_workloads::cubic;
+use std::hint::black_box;
 
 fn bench_queries(c: &mut Criterion) {
     let mut group = c.benchmark_group("queries");

@@ -1,0 +1,121 @@
+//! The daemon's request economics: what a request costs when the
+//! content-addressed cache misses (parse + analyze + freeze) vs when it
+//! hits (digest lookup + Arc clone), and pipeline throughput at several
+//! worker counts over a warm cache.
+
+use std::hint::black_box;
+use std::io::Cursor;
+use std::time::Instant;
+
+use stcfa_devkit::bench::{BenchmarkId, Criterion};
+use stcfa_devkit::{criterion_group, criterion_main};
+use stcfa_server::{Server, ServerOptions};
+use stcfa_workloads::{lexgen, life};
+
+fn corpus() -> Vec<(&'static str, String)> {
+    vec![
+        ("identity", "(fn x => x) (fn y => y)".to_owned()),
+        ("life", life::program().to_source()),
+        ("lexgen", lexgen::program().to_source()),
+    ]
+}
+
+fn analyze_request(source: &str) -> String {
+    format!(r#"{{"op":"analyze","source":{}}}"#, json_escape(source))
+}
+
+fn query_request(id: usize, source: &str) -> String {
+    format!(
+        r#"{{"id":{id},"op":"query","kind":"label-set","source":{}}}"#,
+        json_escape(source)
+    )
+}
+
+/// Minimal JSON string escaping for embedding corpus sources in requests.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn server(threads: usize) -> Server {
+    Server::new(ServerOptions {
+        threads,
+        ..Default::default()
+    })
+}
+
+fn bench_server(c: &mut Criterion) {
+    let mut group = c.benchmark_group("server");
+    group.sample_size(10);
+    let corpus = corpus();
+
+    // Cold: every iteration is a fresh daemon, so the analyze request pays
+    // the full build (the cache-miss path).
+    for (name, source) in &corpus {
+        let request = analyze_request(source);
+        group.bench_with_input(
+            BenchmarkId::new("analyze_cold", name),
+            &request,
+            |b, request| {
+                b.iter(|| {
+                    let s = server(1);
+                    black_box(s.handle_line(request, Instant::now()))
+                })
+            },
+        );
+    }
+
+    // Warm: one daemon, source already cached; the same request is a
+    // digest lookup plus an Arc clone.
+    for (name, source) in &corpus {
+        let request = analyze_request(source);
+        let s = server(1);
+        s.handle_line(&request, Instant::now());
+        group.bench_with_input(
+            BenchmarkId::new("analyze_warm", name),
+            &request,
+            |b, request| b.iter(|| black_box(s.handle_line(request, Instant::now()))),
+        );
+    }
+
+    // Pipeline throughput over a warm cache: 64 label-set queries against
+    // the largest corpus entry, through the full ordered pipeline at
+    // --threads 1/2/8.
+    let (_, big) = corpus.last().expect("corpus is non-empty");
+    let mut batch = String::new();
+    for i in 0..64 {
+        batch.push_str(&query_request(i, big));
+        batch.push('\n');
+    }
+    for &threads in &[1usize, 2, 8] {
+        let s = server(threads);
+        s.handle_line(&analyze_request(big), Instant::now());
+        group.bench_with_input(
+            BenchmarkId::new("pipeline_warm_64_queries", format!("t{threads}")),
+            &batch,
+            |b, batch| {
+                b.iter(|| {
+                    let mut out = Vec::with_capacity(batch.len());
+                    s.serve(Cursor::new(batch.clone()), &mut out).unwrap();
+                    black_box(out.len())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_server);
+criterion_main!(benches);

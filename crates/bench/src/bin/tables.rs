@@ -45,7 +45,10 @@ fn main() {
         if !all.iter().any(|(id, _)| id == w) {
             eprintln!(
                 "unknown experiment `--{w}`; valid: {}",
-                all.iter().map(|(id, _)| format!("--{id}")).collect::<Vec<_>>().join(" ")
+                all.iter()
+                    .map(|(id, _)| format!("--{id}"))
+                    .collect::<Vec<_>>()
+                    .join(" ")
             );
             std::process::exit(2);
         }
@@ -68,7 +71,11 @@ fn main() {
     if wanted.is_empty() {
         let out = workspace_root(env!("CARGO_MANIFEST_DIR")).join("BENCH_paper_tables.json");
         match report.write_json("paper_tables", &out) {
-            Ok(()) => eprintln!("{} measurement(s) written to {}", report.len(), out.display()),
+            Ok(()) => eprintln!(
+                "{} measurement(s) written to {}",
+                report.len(),
+                out.display()
+            ),
             Err(e) => eprintln!("failed to write {}: {e}", out.display()),
         }
     }

@@ -15,7 +15,6 @@ use stcfa_types::{TypeMetrics, TypedProgram};
 use stcfa_unify::UnifyCfa;
 use stcfa_workloads::{cubic, funlist, join_point, lexgen, life, synth};
 
-
 use crate::{best_of, fmt_duration, Table};
 use stcfa_devkit::bench::Report;
 
@@ -34,7 +33,9 @@ fn avg_call_targets(p: &Program, labels_of: impl Fn(stcfa_lambda::ExprId) -> usi
     let mut total = 0usize;
     let mut sites = 0usize;
     for app in p.app_sites() {
-        let ExprKind::App { func, .. } = p.kind(app) else { unreachable!() };
+        let ExprKind::App { func, .. } = p.kind(app) else {
+            unreachable!()
+        };
         total += labels_of(*func);
         sites += 1;
     }
@@ -89,10 +90,20 @@ pub fn e1_query_complexity(runs: Runs, report: &mut Report) -> String {
         report.time("E1", format!("query_labels_of/{n}"), q_labels, samples);
         report.time("E1", format!("query_inverse/{n}"), q_inverse, samples);
         report.time("E1", format!("query_all_sets/{n}"), q_all, samples.min(3));
-        report.time("E1", format!("engine_freeze_sweep/{n}"), eng_freeze, samples);
+        report.time(
+            "E1",
+            format!("engine_freeze_sweep/{n}"),
+            eng_freeze,
+            samples,
+        );
         let qs = engine.query_stats();
         report
-            .time("E1", format!("engine_all_sets/{n}"), eng_all, samples.min(3))
+            .time(
+                "E1",
+                format!("engine_all_sets/{n}"),
+                eng_all,
+                samples.min(3),
+            )
             .counter("queries_answered", qs.queries)
             .counter("cache_hits", qs.summary_hits + qs.demand_hits)
             .counter("sccs", engine.comp_count() as u64);
@@ -151,7 +162,9 @@ pub fn e2_cubic_benchmark(runs: Runs, report: &mut Report) -> String {
         let (pairs, query_t) = best_of(runs.0.min(3), || {
             let mut pairs = 0usize;
             for app in p.nontrivial_apps() {
-                let ExprKind::App { func, .. } = p.kind(app) else { unreachable!() };
+                let ExprKind::App { func, .. } = p.kind(app) else {
+                    unreachable!()
+                };
                 pairs += a.labels_of(*func).len();
             }
             pairs
@@ -165,7 +178,12 @@ pub fn e2_cubic_benchmark(runs: Runs, report: &mut Report) -> String {
             .counter("build_nodes", s.build_nodes as u64)
             .counter("close_nodes", s.close_nodes as u64);
         report
-            .time("E2", format!("query_all_nontrivial/{n}"), query_t, samples.min(3))
+            .time(
+                "E2",
+                format!("query_all_nontrivial/{n}"),
+                query_t,
+                samples.min(3),
+            )
             .counter("pairs", pairs as u64);
         t.row(vec![
             n.to_string(),
@@ -241,7 +259,14 @@ pub fn e3_ml_programs(runs: Runs, report: &mut Report) -> String {
 pub fn e4_effects(runs: Runs, report: &mut Report) -> String {
     let mut t = Table::new(
         "E4 — Section 8: effects analysis (graph colouring vs CFA+post-pass)",
-        &["calls", "nodes", "effectful", "colouring", "CFA+post", "agree"],
+        &[
+            "calls",
+            "nodes",
+            "effectful",
+            "colouring",
+            "CFA+post",
+            "agree",
+        ],
     );
     for &n in &[8usize, 32, 128, 512] {
         let p = join_point::program_with_effects(n);
@@ -282,7 +307,9 @@ pub fn e4_effects(runs: Runs, report: &mut Report) -> String {
 pub fn e5_klimited(runs: Runs, report: &mut Report) -> String {
     let mut t = Table::new(
         "E5 — Section 9: k-limited CFA (linear-time annotation propagation)",
-        &["calls", "nodes", "k=1 time", "k=2 time", "k=3 time", "many@k=1"],
+        &[
+            "calls", "nodes", "k=1 time", "k=2 time", "k=3 time", "many@k=1",
+        ],
     );
     for &n in &[8usize, 32, 128, 512] {
         let p = join_point::program(n);
@@ -295,9 +322,7 @@ pub fn e5_klimited(runs: Runs, report: &mut Report) -> String {
                 many = p
                     .app_sites()
                     .iter()
-                    .filter(|&&app| {
-                        kl.call_targets(&p, &a, app).is_some_and(|s| s.is_many())
-                    })
+                    .filter(|&&app| kl.call_targets(&p, &a, app).is_some_and(|s| s.is_many()))
                     .count();
             }
             report.time("E5", format!("k{k}/{n}"), kt, runs.0 as u32);
@@ -318,7 +343,15 @@ pub fn e5_klimited(runs: Runs, report: &mut Report) -> String {
 pub fn e6_called_once(runs: Runs, report: &mut Report) -> String {
     let mut t = Table::new(
         "E6 — called-once analysis (linear site-set propagation)",
-        &["n", "nodes", "functions", "called-once", "never-called", "fast", "reference"],
+        &[
+            "n",
+            "nodes",
+            "functions",
+            "called-once",
+            "never-called",
+            "fast",
+            "reference",
+        ],
     );
     for &n in &[8usize, 32, 128, 512] {
         let p = cubic::program(n);
@@ -329,7 +362,12 @@ pub fn e6_called_once(runs: Runs, report: &mut Report) -> String {
             .time("E6", format!("propagation/{n}"), fast_t, runs.0 as u32)
             .counter("called_once", fast.called_once().len() as u64)
             .counter("never_called", fast.never_called().len() as u64);
-        report.time("E6", format!("query_per_site/{n}"), slow_t, runs.0.min(3) as u32);
+        report.time(
+            "E6",
+            format!("query_per_site/{n}"),
+            slow_t,
+            runs.0.min(3) as u32,
+        );
         t.row(vec![
             n.to_string(),
             p.size().to_string(),
@@ -351,7 +389,15 @@ query-per-site reference grows quadratically.\n",
 pub fn e7_constants(_runs: Runs, report: &mut Report) -> String {
     let mut t = Table::new(
         "E7 — Section 10 constants: k_avg and close/build node ratio",
-        &["workload", "nodes", "k_avg", "k_max", "build nodes", "close nodes", "close/build"],
+        &[
+            "workload",
+            "nodes",
+            "k_avg",
+            "k_max",
+            "build nodes",
+            "close nodes",
+            "close/build",
+        ],
     );
     let mut progs: Vec<(String, Program)> = vec![
         ("life".into(), life::program()),
@@ -418,7 +464,14 @@ pub fn e8_congruences(runs: Runs, report: &mut Report) -> String {
             ("≈2", DatatypePolicy::Congruence2),
         ] {
             let (a, at) = best_of(runs.0, || {
-                Analysis::run_with(&p, AnalysisOptions { policy, max_nodes: None }).unwrap()
+                Analysis::run_with(
+                    &p,
+                    AnalysisOptions {
+                        policy,
+                        max_nodes: None,
+                    },
+                )
+                .unwrap()
             });
             let avg = avg_call_targets(&p, |f| a.labels_of(f).len());
             report
@@ -446,13 +499,24 @@ pub fn e8_congruences(runs: Runs, report: &mut Report) -> String {
 pub fn e9_unification(runs: Runs, report: &mut Report) -> String {
     let mut t = Table::new(
         "E9 — equality-based (almost-linear) CFA: the precision it gives up",
-        &["workload", "unify time", "cfa0 time", "sub time", "unify avg", "exact avg", "blowup"],
+        &[
+            "workload",
+            "unify time",
+            "cfa0 time",
+            "sub time",
+            "unify avg",
+            "exact avg",
+            "blowup",
+        ],
     );
     let progs: Vec<(String, Program)> = vec![
         ("join(16)".into(), join_point::program(16)),
         ("cubic(16)".into(), cubic::program(16)),
         ("life".into(), life::program()),
-        ("lexgen(24)".into(), Program::parse(&lexgen::source(24)).unwrap()),
+        (
+            "lexgen(24)".into(),
+            Program::parse(&lexgen::source(24)).unwrap(),
+        ),
     ];
     for (name, p) in progs {
         let (uni, ut) = best_of(runs.0, || UnifyCfa::analyze(&p));
@@ -495,7 +559,10 @@ pub fn e10_hybrid(runs: Runs, report: &mut Report) -> String {
     let progs: Vec<(String, Program)> = vec![
         ("cubic(32)".into(), cubic::program(32)),
         ("life".into(), life::program()),
-        ("Ω (untyped)".into(), Program::parse("(fn x => x x) (fn x => x x)").unwrap()),
+        (
+            "Ω (untyped)".into(),
+            Program::parse("(fn x => x x) (fn x => x x)").unwrap(),
+        ),
     ];
     for (name, p) in progs {
         let (h, ht) = best_of(runs.0, || HybridCfa::run(&p, AnalysisOptions::default()));
@@ -504,7 +571,11 @@ pub fn e10_hybrid(runs: Runs, report: &mut Report) -> String {
             .counter("fell_back", u64::from(!h.is_linear()));
         t.row(vec![
             name,
-            if h.is_linear() { "subtransitive".into() } else { "cubic fallback".into() },
+            if h.is_linear() {
+                "subtransitive".into()
+            } else {
+                "cubic fallback".into()
+            },
             fmt_duration(ht),
             (!h.is_linear()).to_string(),
         ]);
@@ -520,7 +591,14 @@ pub fn e10_hybrid(runs: Runs, report: &mut Report) -> String {
 pub fn e11_polyvariance(runs: Runs, report: &mut Report) -> String {
     let mut t = Table::new(
         "E11 — Section 7 polyvariance: summary instantiation",
-        &["calls", "mono avg targets", "poly avg targets", "mono time", "poly time", "instances"],
+        &[
+            "calls",
+            "mono avg targets",
+            "poly avg targets",
+            "mono time",
+            "poly time",
+            "instances",
+        ],
     );
     for &n in &[4usize, 8, 16, 32] {
         let p = join_point::program(n);
@@ -561,7 +639,13 @@ pub fn e12_incremental(runs: Runs, report: &mut Report) -> String {
 
     let mut t = Table::new(
         "E12 — incremental analysis over a growing session",
-        &["fragments", "total nodes", "incremental (all updates)", "re-analysis (each step)", "speedup"],
+        &[
+            "fragments",
+            "total nodes",
+            "incremental (all updates)",
+            "re-analysis (each step)",
+            "speedup",
+        ],
     );
     for &n in &[8usize, 32, 128] {
         let fragments: Vec<String> = std::iter::once("fun id x = x;".to_owned())
@@ -637,7 +721,10 @@ mod tests {
             .spawn(|| {
                 let runs = Runs(1);
                 let mut report = Report::new();
-                for s in [e7_constants(runs, &mut report), e10_hybrid(runs, &mut report)] {
+                for s in [
+                    e7_constants(runs, &mut report),
+                    e10_hybrid(runs, &mut report),
+                ] {
                     assert!(s.contains('|'), "table body missing");
                     assert!(s.contains("Shape to check"));
                 }

@@ -150,8 +150,9 @@ mod tests {
     fn fit_exponent_recovers_powers() {
         let lin: Vec<(f64, f64)> = (1..=6).map(|i| (i as f64, 3.0 * i as f64)).collect();
         assert!((fit_exponent(&lin) - 1.0).abs() < 1e-9);
-        let cubic: Vec<(f64, f64)> =
-            (1..=6).map(|i| (i as f64, 0.5 * (i as f64).powi(3))).collect();
+        let cubic: Vec<(f64, f64)> = (1..=6)
+            .map(|i| (i as f64, 0.5 * (i as f64).powi(3)))
+            .collect();
         assert!((fit_exponent(&cubic) - 3.0).abs() < 1e-9);
     }
 

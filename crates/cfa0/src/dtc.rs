@@ -75,12 +75,18 @@ impl Dtc {
     /// `L(e)`: abstraction labels derivable from expression occurrence `e`,
     /// sorted.
     pub fn labels(&self, e: ExprId) -> Vec<Label> {
-        self.reach[e.index()].iter().map(Label::from_index).collect()
+        self.reach[e.index()]
+            .iter()
+            .map(Label::from_index)
+            .collect()
     }
 
     /// Labels derivable from binder `v`, sorted.
     pub fn var_labels(&self, v: VarId) -> Vec<Label> {
-        self.reach[self.n_exprs + v.index()].iter().map(Label::from_index).collect()
+        self.reach[self.n_exprs + v.index()]
+            .iter()
+            .map(Label::from_index)
+            .collect()
     }
 
     /// Work counters.
@@ -192,12 +198,20 @@ impl<'a> DtcSolver<'a> {
                     self.add_edge(bn, self.expr_node(*rhs));
                     self.add_edge(en, self.expr_node(*body));
                 }
-                ExprKind::LetRec { binder, lambda, body } => {
+                ExprKind::LetRec {
+                    binder,
+                    lambda,
+                    body,
+                } => {
                     let bn = self.binder_node(*binder);
                     self.add_edge(bn, self.expr_node(*lambda));
                     self.add_edge(en, self.expr_node(*body));
                 }
-                ExprKind::If { then_branch, else_branch, .. } => {
+                ExprKind::If {
+                    then_branch,
+                    else_branch,
+                    ..
+                } => {
                     self.add_edge(en, self.expr_node(*then_branch));
                     self.add_edge(en, self.expr_node(*else_branch));
                 }
@@ -244,7 +258,11 @@ impl<'a> DtcSolver<'a> {
             }
         }
 
-        Ok(Dtc { n_exprs: self.program.size(), reach: self.reach, stats: self.stats })
+        Ok(Dtc {
+            n_exprs: self.program.size(),
+            reach: self.reach,
+            stats: self.stats,
+        })
     }
 }
 

@@ -104,19 +104,11 @@ impl Cfa0 {
 /// A dynamic flow listener: fires once per (listener, new site) pair.
 enum Listener {
     /// Application `(e₁ e₂)`: watching `e₁`'s set for abstractions.
-    AppFunc {
-        arg_var: u32,
-        app_var: u32,
-    },
+    AppFunc { arg_var: u32, app_var: u32 },
     /// Projection `#j e`: watching `e`'s set for records.
-    ProjTuple {
-        index: u32,
-        proj_var: u32,
-    },
+    ProjTuple { index: u32, proj_var: u32 },
     /// `case e of …`: watching `e`'s set for constructions.
-    CaseScrut {
-        case_expr: ExprId,
-    },
+    CaseScrut { case_expr: ExprId },
 }
 
 struct Solver<'a> {
@@ -222,27 +214,51 @@ impl<'a> Solver<'a> {
                 ExprKind::App { func, arg } => {
                     let fv = self.expr_var(*func);
                     let av = self.expr_var(*arg);
-                    self.listener(fv, Listener::AppFunc { arg_var: av, app_var: ev });
+                    self.listener(
+                        fv,
+                        Listener::AppFunc {
+                            arg_var: av,
+                            app_var: ev,
+                        },
+                    );
                 }
                 ExprKind::Let { binder, rhs, body } => {
                     let bv = self.binder_var(*binder);
                     self.edge(self.expr_var(*rhs), bv);
                     self.edge(self.expr_var(*body), ev);
                 }
-                ExprKind::LetRec { binder, lambda, body } => {
+                ExprKind::LetRec {
+                    binder,
+                    lambda,
+                    body,
+                } => {
                     let bv = self.binder_var(*binder);
                     self.edge(self.expr_var(*lambda), bv);
                     self.edge(self.expr_var(*body), ev);
                 }
-                ExprKind::If { then_branch, else_branch, .. } => {
+                ExprKind::If {
+                    then_branch,
+                    else_branch,
+                    ..
+                } => {
                     self.edge(self.expr_var(*then_branch), ev);
                     self.edge(self.expr_var(*else_branch), ev);
                 }
                 ExprKind::Proj { index, tuple } => {
                     let tv = self.expr_var(*tuple);
-                    self.listener(tv, Listener::ProjTuple { index: *index, proj_var: ev });
+                    self.listener(
+                        tv,
+                        Listener::ProjTuple {
+                            index: *index,
+                            proj_var: ev,
+                        },
+                    );
                 }
-                ExprKind::Case { scrutinee, arms, default } => {
+                ExprKind::Case {
+                    scrutinee,
+                    arms,
+                    default,
+                } => {
                     let sv = self.expr_var(*scrutinee);
                     for arm in arms.iter() {
                         self.edge(self.expr_var(arm.body), ev);
@@ -348,7 +364,10 @@ mod tests {
     fn labels_at_root(src: &str) -> Vec<usize> {
         let p = Program::parse(src).unwrap();
         let cfa = Cfa0::analyze(&p);
-        cfa.labels(&p, p.root()).into_iter().map(|l| l.index()).collect()
+        cfa.labels(&p, p.root())
+            .into_iter()
+            .map(|l| l.index())
+            .collect()
     }
 
     #[test]
@@ -414,7 +433,11 @@ mod tests {
         let targets = cfa.call_targets(&p, p.root()).unwrap();
         assert_eq!(targets.len(), 1);
         let lam = p.lam_of_label(targets[0]);
-        assert_eq!(cfa.call_targets(&p, lam), None, "non-apps have no call targets");
+        assert_eq!(
+            cfa.call_targets(&p, lam),
+            None,
+            "non-apps have no call targets"
+        );
     }
 
     #[test]
@@ -442,7 +465,10 @@ mod tests {
         let cfa = Cfa0::analyze(&p);
         let s = cfa.stats();
         assert!(s.activations > 0);
-        assert!(s.dynamic_edges >= 2, "at least APP-1/APP-2 for the outer app");
+        assert!(
+            s.dynamic_edges >= 2,
+            "at least APP-1/APP-2 for the outer app"
+        );
     }
 
     #[test]

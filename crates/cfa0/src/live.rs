@@ -60,7 +60,8 @@ impl LiveCfa0 {
         self.live
             .iter()
             .enumerate()
-            .filter(|&(_i, &l)| l).map(|(i, &_l)| ExprId::from_index(i))
+            .filter(|&(_i, &l)| l)
+            .map(|(i, &_l)| ExprId::from_index(i))
             .collect()
     }
 
@@ -210,13 +211,21 @@ impl<'a> Solver<'a> {
                 self.edge(self.expr_var(rhs), self.binder_var(binder));
                 self.edge(self.expr_var(body), ev);
             }
-            ExprKind::LetRec { binder, lambda, body } => {
+            ExprKind::LetRec {
+                binder,
+                lambda,
+                body,
+            } => {
                 self.mark_live(lambda);
                 self.mark_live(body);
                 self.edge(self.expr_var(lambda), self.binder_var(binder));
                 self.edge(self.expr_var(body), ev);
             }
-            ExprKind::If { cond, then_branch, else_branch } => {
+            ExprKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 self.mark_live(cond);
                 self.mark_live(then_branch);
                 self.mark_live(else_branch);
@@ -234,7 +243,10 @@ impl<'a> Solver<'a> {
                 self.mark_live(tuple);
                 self.listen(
                     self.expr_var(tuple),
-                    Listener::Proj { index, proj_var: ev },
+                    Listener::Proj {
+                        index,
+                        proj_var: ev,
+                    },
                 );
             }
             ExprKind::Con { args, .. } => {
@@ -244,7 +256,11 @@ impl<'a> Solver<'a> {
                 let site = self.sites.site_of(e).expect("con site");
                 self.seed(ev, site);
             }
-            ExprKind::Case { scrutinee, arms, default } => {
+            ExprKind::Case {
+                scrutinee,
+                arms,
+                default,
+            } => {
                 self.mark_live(scrutinee);
                 if let Some(d) = default {
                     // Conservative: we do not track which constructors are
@@ -333,8 +349,7 @@ impl<'a> Solver<'a> {
                 if let ExprKind::Con { con, args } = self.program.kind(site_expr) {
                     let con = *con;
                     let args: Vec<ExprId> = args.to_vec();
-                    let ExprKind::Case { arms, .. } = self.program.kind(case_expr).clone()
-                    else {
+                    let ExprKind::Case { arms, .. } = self.program.kind(case_expr).clone() else {
                         unreachable!()
                     };
                     for arm in arms.iter().filter(|arm| arm.con == con) {
@@ -382,7 +397,11 @@ mod tests {
             let full = Cfa0::analyze(&p);
             assert!(live.is_live(p.root()));
             for e in live.live_exprs() {
-                assert_eq!(live.labels(&p, e), full.labels(&p, e), "at {e:?} in {src:?}");
+                assert_eq!(
+                    live.labels(&p, e),
+                    full.labels(&p, e),
+                    "at {e:?} in {src:?}"
+                );
             }
         }
     }
@@ -394,13 +413,15 @@ mod tests {
         // The outer lambda is constructed (its rhs is evaluated)…
         let outer = p
             .exprs()
-            .find(|&e| {
-                matches!(p.kind(e), ExprKind::Lam { param, .. } if p.var_name(*param) == "x")
-            })
+            .find(
+                |&e| matches!(p.kind(e), ExprKind::Lam { param, .. } if p.var_name(*param) == "x"),
+            )
             .unwrap();
         assert!(live.is_live(outer));
         // …but its body — and the inner lambda — are never evaluated.
-        let ExprKind::Lam { body, .. } = p.kind(outer) else { unreachable!() };
+        let ExprKind::Lam { body, .. } = p.kind(outer) else {
+            unreachable!()
+        };
         assert!(!live.is_live(*body), "uncalled body must be dead");
     }
 
@@ -454,7 +475,11 @@ mod tests {
         let u = p.vars().find(|&v| p.var_name(v) == "u").unwrap();
         assert!(live.var_labels(&p, u).is_empty());
         let full = Cfa0::analyze(&p);
-        assert_eq!(full.var_labels(&p, u).len(), 1, "standard CFA sees the dead call");
+        assert_eq!(
+            full.var_labels(&p, u).len(),
+            1,
+            "standard CFA sees the dead call"
+        );
     }
 
     #[test]

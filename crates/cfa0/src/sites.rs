@@ -28,12 +28,14 @@ impl SiteTable {
                 program.kind(id),
                 ExprKind::Lam { .. } | ExprKind::Record(_) | ExprKind::Con { .. }
             ) {
-                site_of_expr[id.index()] =
-                    u32::try_from(sites.len()).expect("site count overflow");
+                site_of_expr[id.index()] = u32::try_from(sites.len()).expect("site count overflow");
                 sites.push(id);
             }
         }
-        SiteTable { sites, site_of_expr }
+        SiteTable {
+            sites,
+            site_of_expr,
+        }
     }
 
     /// Number of sites.

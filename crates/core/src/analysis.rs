@@ -250,7 +250,8 @@ impl Analysis {
         self.node_label
             .iter()
             .enumerate()
-            .filter(|&(_i, &v)| v == l.index() as u32).map(|(i, &_v)| NodeId::from_index(i))
+            .filter(|&(_i, &v)| v == l.index() as u32)
+            .map(|(i, &_v)| NodeId::from_index(i))
             .collect()
     }
 
@@ -403,12 +404,8 @@ impl Analysis {
                 NodeKind::Dom(n) => Some((n, DemandOp::Dom)),
                 NodeKind::Ran(n) => Some((n, DemandOp::Ran)),
                 NodeKind::Proj(j, n) => Some((n, DemandOp::Proj(j))),
-                NodeKind::DeCon { con, index, of } => {
-                    Some((of, DemandOp::Decon(con, index)))
-                }
-                NodeKind::DeConClass { data, base } => {
-                    Some((base, DemandOp::DeconData(data)))
-                }
+                NodeKind::DeCon { con, index, of } => Some((of, DemandOp::Decon(con, index))),
+                NodeKind::DeConClass { data, base } => Some((base, DemandOp::DeconData(data))),
                 _ => None,
             }
         };
@@ -435,12 +432,15 @@ impl Analysis {
                 DemandOp::Proj(j) => self.nodes.get(NodeKind::Proj(j, base)),
                 // De-constructor conclusions depend on the policy's
                 // canonicalization; checked only for exact nodes.
-                DemandOp::Decon(con, index) => {
-                    self.nodes.get(NodeKind::DeCon { con, index, of: base })
-                }
-                DemandOp::DeconData(data) => self
-                    .nodes
-                    .get(NodeKind::DeConClass { data, base: self.nodes.base(base) }),
+                DemandOp::Decon(con, index) => self.nodes.get(NodeKind::DeCon {
+                    con,
+                    index,
+                    of: base,
+                }),
+                DemandOp::DeconData(data) => self.nodes.get(NodeKind::DeConClass {
+                    data,
+                    base: self.nodes.base(base),
+                }),
             }
         };
         for u in self.nodes.ids() {
@@ -596,9 +596,7 @@ impl<'a> Engine<'a> {
         for i in expr_start..program.size() {
             let e = ExprId::from_index(i);
             let n = match program.kind(e) {
-                ExprKind::Var(v) if !self.poly_split.contains(&e) => {
-                    self.binder_nodes[v.index()]
-                }
+                ExprKind::Var(v) if !self.poly_split.contains(&e) => self.binder_nodes[v.index()],
                 _ => self.nodes.intern(NodeKind::Expr(e)),
             };
             self.expr_nodes.push(n);
@@ -630,20 +628,32 @@ impl<'a> Engine<'a> {
                     self.graph.add_edge(en, ran);
                 }
                 ExprKind::Let { binder, rhs, body } => {
-                    self.graph
-                        .add_edge(self.binder_nodes[binder.index()], self.expr_nodes[rhs.index()]);
+                    self.graph.add_edge(
+                        self.binder_nodes[binder.index()],
+                        self.expr_nodes[rhs.index()],
+                    );
                     self.graph.add_edge(en, self.expr_nodes[body.index()]);
                 }
-                ExprKind::LetRec { binder, lambda, body } => {
+                ExprKind::LetRec {
+                    binder,
+                    lambda,
+                    body,
+                } => {
                     self.graph.add_edge(
                         self.binder_nodes[binder.index()],
                         self.expr_nodes[lambda.index()],
                     );
                     self.graph.add_edge(en, self.expr_nodes[body.index()]);
                 }
-                ExprKind::If { then_branch, else_branch, .. } => {
-                    self.graph.add_edge(en, self.expr_nodes[then_branch.index()]);
-                    self.graph.add_edge(en, self.expr_nodes[else_branch.index()]);
+                ExprKind::If {
+                    then_branch,
+                    else_branch,
+                    ..
+                } => {
+                    self.graph
+                        .add_edge(en, self.expr_nodes[then_branch.index()]);
+                    self.graph
+                        .add_edge(en, self.expr_nodes[else_branch.index()]);
                 }
                 ExprKind::Record(items) => {
                     // proj_j((e₁,…,eₙ)) → e_j.
@@ -664,13 +674,18 @@ impl<'a> Engine<'a> {
                     // not tracked).
                     for (i, &arg) in args.iter().enumerate() {
                         if let Some(d) =
-                            self.nodes.decon(self.program, self.policy, *con, i as u32, en)
+                            self.nodes
+                                .decon(self.program, self.policy, *con, i as u32, en)
                         {
                             self.graph.add_edge(d, self.expr_nodes[arg.index()]);
                         }
                     }
                 }
-                ExprKind::Case { scrutinee, arms, default } => {
+                ExprKind::Case {
+                    scrutinee,
+                    arms,
+                    default,
+                } => {
                     let snode = self.expr_nodes[scrutinee.index()];
                     for arm in arms.iter() {
                         self.graph.add_edge(en, self.expr_nodes[arm.body.index()]);
@@ -686,8 +701,7 @@ impl<'a> Engine<'a> {
                                 Some(d) => {
                                     // xᵢ → c_i⁻¹(scrutinee) — demands the
                                     // de-constructor on the scrutinee.
-                                    if let Some(op) = self.decon_demand_op(d, arm.con, i as u32)
-                                    {
+                                    if let Some(op) = self.decon_demand_op(d, arm.con, i as u32) {
                                         self.demand(snode, op);
                                     }
                                     self.graph.add_edge(bn, d);
@@ -712,7 +726,12 @@ impl<'a> Engine<'a> {
     /// The demand operator to register on the operand of a de-constructor
     /// node, or `None` when the node is a global class (≈₁) that needs no
     /// flow propagation.
-    fn decon_demand_op(&self, decon_node: NodeId, con: stcfa_lambda::ConId, i: u32) -> Option<DemandOp> {
+    fn decon_demand_op(
+        &self,
+        decon_node: NodeId,
+        con: stcfa_lambda::ConId,
+        i: u32,
+    ) -> Option<DemandOp> {
         match self.nodes.kind(decon_node) {
             NodeKind::DataClass(_) | NodeKind::Slot(..) | NodeKind::TopFun => None,
             NodeKind::DeConClass { data, .. } => Some(DemandOp::DeconData(data)),
@@ -836,7 +855,9 @@ impl<'a> Engine<'a> {
     fn conclude(&mut self, op: DemandOp, src_base: NodeId, dst_base: NodeId) {
         let src = self.apply_op(op, src_base);
         let dst = self.apply_op(op, dst_base);
-        let (Some(src), Some(dst)) = (src, dst) else { return };
+        let (Some(src), Some(dst)) = (src, dst) else {
+            return;
+        };
         if src == dst {
             return;
         }
@@ -925,7 +946,10 @@ mod tests {
     fn labels_at_root(src: &str) -> Vec<usize> {
         let p = Program::parse(src).unwrap();
         let a = Analysis::run(&p).unwrap();
-        a.labels_of(p.root()).into_iter().map(|l| l.index()).collect()
+        a.labels_of(p.root())
+            .into_iter()
+            .map(|l| l.index())
+            .collect()
     }
 
     #[test]
@@ -943,8 +967,7 @@ mod tests {
     #[test]
     fn nested_application_chain() {
         // (λf.λg.f (g (λz.z))) id id — the result is λz.z.
-        let labels =
-            labels_at_root("(fn f => fn g => f (g (fn z => z))) (fn p => p) (fn q => q)");
+        let labels = labels_at_root("(fn f => fn g => f (g (fn z => z))) (fn p => p) (fn q => q)");
         assert_eq!(labels.len(), 1);
     }
 
@@ -991,8 +1014,16 @@ mod tests {
         let p = Program::parse("fun id x = x; val a = id id; val b = id id; b").unwrap();
         let a = Analysis::run(&p).unwrap();
         let s = a.stats();
-        assert!(s.build_nodes <= 3 * p.size(), "build nodes {} vs size {}", s.build_nodes, p.size());
-        assert!(s.close_nodes <= 4 * s.build_nodes, "close should stay small");
+        assert!(
+            s.build_nodes <= 3 * p.size(),
+            "build nodes {} vs size {}",
+            s.build_nodes,
+            p.size()
+        );
+        assert!(
+            s.close_nodes <= 4 * s.build_nodes,
+            "close should stay small"
+        );
     }
 
     #[test]
@@ -1003,7 +1034,10 @@ mod tests {
         let p = Program::parse("(fn x => x x) (fn x => x x)").unwrap();
         let r = Analysis::run_with(
             &p,
-            AnalysisOptions { max_nodes: Some(50), ..Default::default() },
+            AnalysisOptions {
+                max_nodes: Some(50),
+                ..Default::default()
+            },
         );
         match r {
             Ok(a) => assert!(a.node_count() <= 50),
@@ -1035,7 +1069,11 @@ mod tests {
         let a = Analysis::run(&p).unwrap();
         let l = Label::from_index(1); // λy.y
         let path = a.witness_path(p.root(), l).expect("l ∈ L(root)");
-        assert!(path.len() >= 3, "Proposition 1: a multi-step path, got {}", path.len());
+        assert!(
+            path.len() >= 3,
+            "Proposition 1: a multi-step path, got {}",
+            path.len()
+        );
         // Every hop is an actual edge.
         for w in path.windows(2) {
             assert!(

@@ -21,7 +21,9 @@ pub fn describe(analysis: &Analysis, program: &Program, n: NodeId) -> String {
             ExprKind::Record(_) => format!("record@{}", e.index()),
             ExprKind::Con { con, .. } => format!(
                 "{}@{}",
-                program.interner().resolve(program.data_env().con(*con).name),
+                program
+                    .interner()
+                    .resolve(program.data_env().con(*con).name),
                 e.index()
             ),
             ExprKind::Lit(l) => format!("{l:?}@{}", e.index()),
@@ -52,7 +54,9 @@ pub fn describe(analysis: &Analysis, program: &Program, n: NodeId) -> String {
         ),
         NodeKind::DeConClass { data, base } => format!(
             "chains {}@{}",
-            program.interner().resolve(program.data_env().data(data).name),
+            program
+                .interner()
+                .resolve(program.data_env().data(data).name),
             base.index()
         ),
         NodeKind::TopFun => "⊤fun".into(),
@@ -61,15 +65,15 @@ pub fn describe(analysis: &Analysis, program: &Program, n: NodeId) -> String {
 
 /// Renders the whole graph in DOT syntax.
 pub fn render(analysis: &Analysis, program: &Program) -> String {
-    let mut out = String::from(
-        "digraph subtransitive {\n  rankdir=LR;\n  node [fontsize=10];\n",
-    );
+    let mut out = String::from("digraph subtransitive {\n  rankdir=LR;\n  node [fontsize=10];\n");
     for i in 0..analysis.node_count() {
         let n = NodeId::from_index(i);
         let shape = match analysis.nodes().kind(n) {
             NodeKind::Expr(e) if matches!(program.kind(e), ExprKind::Lam { .. }) => "box",
             NodeKind::Expr(_) | NodeKind::Binder(_) => "plaintext",
-            NodeKind::DataClass(_) | NodeKind::Slot(..) | NodeKind::DeConClass { .. }
+            NodeKind::DataClass(_)
+            | NodeKind::Slot(..)
+            | NodeKind::DeConClass { .. }
             | NodeKind::TopFun => "diamond",
             _ => "ellipse",
         };

@@ -11,9 +11,7 @@
 
 use std::collections::HashMap;
 
-use stcfa_lambda::{
-    ExprId, ExprKind, Label, Literal, Program, ProgramBuilder, TyExpr, VarId,
-};
+use stcfa_lambda::{ExprId, ExprKind, Label, Literal, Program, ProgramBuilder, TyExpr, VarId};
 
 /// A let-expanded program with provenance back to the original.
 #[derive(Clone, Debug)]
@@ -34,8 +32,10 @@ impl Expanded {
     /// Projects a set of expanded-program labels back to original labels
     /// (sorted, deduplicated).
     pub fn originals(&self, labels: &[Label]) -> Vec<Label> {
-        let mut out: Vec<Label> =
-            labels.iter().map(|l| self.label_origin[l.index()]).collect();
+        let mut out: Vec<Label> = labels
+            .iter()
+            .map(|l| self.label_origin[l.index()])
+            .collect();
         out.sort_unstable();
         out.dedup();
         out
@@ -60,8 +60,7 @@ pub fn expandable_binders(program: &Program, min_uses: usize) -> Vec<(VarId, Exp
         let uses = program
             .exprs()
             .filter(|&o| {
-                matches!(program.kind(o), ExprKind::Var(v) if *v == binder)
-                    && !inside.contains(&o)
+                matches!(program.kind(o), ExprKind::Var(v) if *v == binder) && !inside.contains(&o)
             })
             .count();
         if uses >= min_uses {
@@ -92,9 +91,7 @@ pub fn let_expand(program: &Program, targets: &[(VarId, ExprId)]) -> Expanded {
     for &(binder, lam) in targets {
         let inside = subtree(program, lam);
         for o in program.exprs() {
-            if matches!(program.kind(o), ExprKind::Var(v) if *v == binder)
-                && !inside.contains(&o)
-            {
+            if matches!(program.kind(o), ExprKind::Var(v) if *v == binder) && !inside.contains(&o) {
                 replace.insert(o, lam);
             }
         }
@@ -192,13 +189,21 @@ impl ExpandCopier<'_> {
                 let nbody = self.copy(body);
                 self.b.let_(nb, nr, nbody)
             }
-            ExprKind::LetRec { binder, lambda, body } => {
+            ExprKind::LetRec {
+                binder,
+                lambda,
+                body,
+            } => {
                 let nb = self.fresh_like(binder);
                 let nl = self.copy(lambda);
                 let nbody = self.copy(body);
                 self.b.letrec(nb, nl, nbody)
             }
-            ExprKind::If { cond, then_branch, else_branch } => {
+            ExprKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 let nc = self.copy(cond);
                 let nt = self.copy(then_branch);
                 let ne = self.copy(else_branch);
@@ -216,7 +221,11 @@ impl ExpandCopier<'_> {
                 let n: Vec<ExprId> = args.iter().map(|&a| self.copy(a)).collect();
                 self.b.con(con, n)
             }
-            ExprKind::Case { scrutinee, arms, default } => {
+            ExprKind::Case {
+                scrutinee,
+                arms,
+                default,
+            } => {
                 let ns = self.copy(scrutinee);
                 let narms: Vec<_> = arms
                     .iter()
@@ -261,10 +270,8 @@ mod tests {
 
     #[test]
     fn expansion_duplicates_the_lambda() {
-        let p = Program::parse(
-            "fun id x = x; val a = id (fn u => u); val b = id (fn v => v); a",
-        )
-        .unwrap();
+        let p = Program::parse("fun id x = x; val a = id (fn u => u); val b = id (fn v => v); a")
+            .unwrap();
         let targets = expandable_binders(&p, 2);
         assert_eq!(targets.len(), 1);
         let ex = let_expand(&p, &targets);
@@ -272,20 +279,14 @@ mod tests {
         assert_eq!(ex.program.label_count(), p.label_count() + 2);
         // All copied labels trace back to id's label.
         let id_label = p.label_of(targets[0].1).unwrap();
-        let copies = ex
-            .label_origin
-            .iter()
-            .filter(|&&o| o == id_label)
-            .count();
+        let copies = ex.label_origin.iter().filter(|&&o| o == id_label).count();
         assert_eq!(copies, 3, "the original plus two copies");
     }
 
     #[test]
     fn expanded_analysis_is_more_precise() {
-        let p = Program::parse(
-            "fun id x = x; val a = id (fn u => u); val b = id (fn v => v); a",
-        )
-        .unwrap();
+        let p = Program::parse("fun id x = x; val a = id (fn u => u); val b = id (fn v => v); a")
+            .unwrap();
         let mono = Analysis::run(&p).unwrap();
         assert_eq!(mono.labels_of(p.root()).len(), 2, "monovariant merges");
         let targets = expandable_binders(&p, 2);
@@ -305,11 +306,8 @@ mod tests {
         let targets = expandable_binders(&p, 2);
         let ex = let_expand(&p, &targets);
         // The copies contain the recursive call to the *shared* binder.
-        let out = stcfa_lambda::eval::eval(
-            &ex.program,
-            stcfa_lambda::eval::EvalOptions::default(),
-        )
-        .unwrap();
+        let out = stcfa_lambda::eval::eval(&ex.program, stcfa_lambda::eval::EvalOptions::default())
+            .unwrap();
         assert!(matches!(out.value, stcfa_lambda::eval::Value::Int(0)));
     }
 

@@ -123,7 +123,9 @@ impl SubGraph {
     /// The operators demanded on `n`.
     pub fn demands(&self, n: NodeId) -> &[DemandOp] {
         static EMPTY: [DemandOp; 0] = [];
-        self.demands.get(n.index()).map_or(&EMPTY[..], |l| l.as_slice())
+        self.demands
+            .get(n.index())
+            .map_or(&EMPTY[..], |l| l.as_slice())
     }
 }
 

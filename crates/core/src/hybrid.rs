@@ -37,9 +37,10 @@ impl HybridCfa {
     pub fn run(program: &Program, options: AnalysisOptions) -> HybridCfa {
         match Analysis::run_with(program, options) {
             Ok(a) => HybridCfa::Subtransitive(a),
-            Err(reason) => {
-                HybridCfa::Fallback { reason, cfa: Cfa0::analyze(program) }
-            }
+            Err(reason) => HybridCfa::Fallback {
+                reason,
+                cfa: Cfa0::analyze(program),
+            },
         }
     }
 
@@ -80,7 +81,10 @@ mod tests {
                 max_nodes: Some(8), // far below even the build-phase size
             },
         );
-        assert!(!h.is_linear(), "an 8-node budget cannot fit the build phase");
+        assert!(
+            !h.is_linear(),
+            "an 8-node budget cannot fit the build phase"
+        );
         // The cubic engine answers: Ω never returns, so the root set is
         // empty, but every expression agrees with a direct Cfa0 run.
         let cfa = Cfa0::analyze(&p);

@@ -105,7 +105,10 @@ impl SessionSnapshot {
     /// freeze.
     pub fn engine(&self, analysis: &IncrementalAnalysis) -> Result<&QueryEngine, StaleSnapshot> {
         if analysis.generation != self.frozen_at {
-            return Err(StaleSnapshot { frozen_at: self.frozen_at, current: analysis.generation });
+            return Err(StaleSnapshot {
+                frozen_at: self.frozen_at,
+                current: analysis.generation,
+            });
         }
         Ok(&self.engine)
     }
@@ -299,7 +302,11 @@ mod tests {
         let f = session.define("id (fn u => u)").unwrap();
         a.update(&session).unwrap();
         let labels = a.labels_of(session.program(), f.value.unwrap());
-        assert_eq!(labels.len(), 1, "the identity returns the fragment-2 lambda");
+        assert_eq!(
+            labels.len(),
+            1,
+            "the identity returns the fragment-2 lambda"
+        );
         // The shared binder joins flows from both fragments.
         let x = session
             .program()
@@ -327,7 +334,9 @@ mod tests {
     fn snapshot_agrees_with_direct_queries() {
         let mut session = SessionProgram::new();
         let mut a = IncrementalAnalysis::new(AnalysisOptions::default());
-        session.define("fun id x = x; val r = id (fn u => u);").unwrap();
+        session
+            .define("fun id x = x; val r = id (fn u => u);")
+            .unwrap();
         a.update(&session).unwrap();
         let program = session.program();
         let snap = a.snapshot(program);
@@ -360,7 +369,9 @@ mod tests {
         let mut a = IncrementalAnalysis::new(AnalysisOptions::default());
         session.define("datatype box = B of (int -> int);").unwrap();
         a.update(&session).unwrap();
-        let f = session.define("case B(fn n => n + 1) of B(g) => g").unwrap();
+        let f = session
+            .define("case B(fn n => n + 1) of B(g) => g")
+            .unwrap();
         a.update(&session).unwrap();
         assert_eq!(a.labels_of(session.program(), f.value.unwrap()).len(), 1);
     }

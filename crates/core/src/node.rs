@@ -260,13 +260,21 @@ mod tests {
         let a = t.intern(NodeKind::Expr(ExprId::from_index(0)));
         let b = t.intern(NodeKind::Expr(ExprId::from_index(1)));
         // Tail slots (datatype) merge into one class regardless of parent.
-        let ta = t.decon(&p, DatatypePolicy::Congruence1, fcons, 1, a).unwrap();
-        let tb = t.decon(&p, DatatypePolicy::Congruence1, fcons, 1, b).unwrap();
+        let ta = t
+            .decon(&p, DatatypePolicy::Congruence1, fcons, 1, a)
+            .unwrap();
+        let tb = t
+            .decon(&p, DatatypePolicy::Congruence1, fcons, 1, b)
+            .unwrap();
         assert_eq!(ta, tb);
         assert!(t.is_class(ta));
         // Head slots (function type) merge per constructor slot.
-        let ha = t.decon(&p, DatatypePolicy::Congruence1, fcons, 0, a).unwrap();
-        let hb = t.decon(&p, DatatypePolicy::Congruence1, fcons, 0, b).unwrap();
+        let ha = t
+            .decon(&p, DatatypePolicy::Congruence1, fcons, 0, a)
+            .unwrap();
+        let hb = t
+            .decon(&p, DatatypePolicy::Congruence1, fcons, 0, b)
+            .unwrap();
         assert_eq!(ha, hb);
         assert_ne!(ha, ta);
     }

@@ -58,7 +58,11 @@ pub struct PolyOptions {
 
 impl Default for PolyOptions {
     fn default() -> Self {
-        PolyOptions { base: AnalysisOptions::default(), max_instances: 256, min_uses: 2 }
+        PolyOptions {
+            base: AnalysisOptions::default(),
+            max_instances: 256,
+            min_uses: 2,
+        }
     }
 }
 
@@ -134,7 +138,11 @@ impl PolyAnalysis {
         }
         engine.finish_build_stats();
         engine.close()?;
-        Ok(PolyAnalysis { inner: engine.finish(), instances, summarized })
+        Ok(PolyAnalysis {
+            inner: engine.finish(),
+            instances,
+            summarized,
+        })
     }
 
     /// The underlying graph analysis (instance roots carry the labels of
@@ -263,7 +271,8 @@ fn extract_summary(
             NodeKind::DeConClass { .. } => true,
             // Chains over internal or free nodes: shared sinks.
             NodeKind::Dom(_) | NodeKind::Ran(_) | NodeKind::Proj(..) | NodeKind::DeCon { .. } => {
-                nodes.base(n) != lam_node && !matches!(nodes.kind(nodes.base(n)), NodeKind::Binder(v) if v == binder)
+                nodes.base(n) != lam_node
+                    && !matches!(nodes.kind(nodes.base(n)), NodeKind::Binder(v) if v == binder)
             }
         }
     };
@@ -299,7 +308,9 @@ fn extract_summary(
 
     Summary {
         lam,
-        label: program.label_of(lam).expect("summarized expression is an abstraction"),
+        label: program
+            .label_of(lam)
+            .expect("summarized expression is an abstraction"),
         occurrences,
         chains,
         edges,
@@ -385,8 +396,7 @@ mod tests {
     use super::*;
     use crate::expand::{expandable_binders, let_expand};
 
-    const ID_TWO_USES: &str =
-        "fun id x = x; val a = id (fn u => u); val b = id (fn v => v); a";
+    const ID_TWO_USES: &str = "fun id x = x; val a = id (fn u => u); val b = id (fn v => v); a";
 
     #[test]
     fn recovers_let_polymorphic_precision() {
@@ -408,7 +418,11 @@ mod tests {
         let p = Program::parse(ID_TWO_USES).unwrap();
         let poly = PolyAnalysis::run(&p).unwrap();
         let x = p.vars().find(|&v| p.var_name(v) == "x").unwrap();
-        assert_eq!(poly.labels_of_binder(x).len(), 2, "body parameter joins all sites");
+        assert_eq!(
+            poly.labels_of_binder(x).len(),
+            2,
+            "body parameter joins all sites"
+        );
     }
 
     #[test]
@@ -452,8 +466,7 @@ mod tests {
                 if replaced.contains(&e) {
                     continue;
                 }
-                let truth =
-                    ex.originals(&ref_analysis.labels_of(ex.expr_map[e.index()]));
+                let truth = ex.originals(&ref_analysis.labels_of(ex.expr_map[e.index()]));
                 let got = poly.labels_of(e);
                 let mono_labels = mono.labels_of(e);
                 // Soundness: never below the expanded reference.
@@ -480,10 +493,17 @@ mod tests {
         let p = Program::parse(ID_TWO_USES).unwrap();
         let poly = PolyAnalysis::run_with(
             &p,
-            PolyOptions { max_instances: 1, ..Default::default() },
+            PolyOptions {
+                max_instances: 1,
+                ..Default::default()
+            },
         )
         .unwrap();
-        assert_eq!(poly.instance_count(), 0, "budget of 1 cannot fit 2 instances");
+        assert_eq!(
+            poly.instance_count(),
+            0,
+            "budget of 1 cannot fit 2 instances"
+        );
         // Falls back to monovariant behaviour.
         assert_eq!(poly.labels_of(p.root()).len(), 2);
     }

@@ -196,8 +196,16 @@ impl QueryEngine {
             rev,
             cond,
             node_label: analysis.node_label.clone(),
-            expr_nodes: analysis.expr_nodes.iter().map(|n| n.index() as u32).collect(),
-            binder_nodes: analysis.binder_nodes.iter().map(|n| n.index() as u32).collect(),
+            expr_nodes: analysis
+                .expr_nodes
+                .iter()
+                .map(|n| n.index() as u32)
+                .collect(),
+            binder_nodes: analysis
+                .binder_nodes
+                .iter()
+                .map(|n| n.index() as u32)
+                .collect(),
             occ_offsets,
             occ_exprs,
             label_count,
@@ -237,6 +245,35 @@ impl QueryEngine {
     /// from, if any (see [`crate::incremental::SessionSnapshot`]).
     pub fn generation(&self) -> Option<u64> {
         self.generation
+    }
+
+    /// An estimate of this snapshot's resident heap weight, in bytes:
+    /// both CSR directions, the condensation, the node/expression index
+    /// arrays, and — when materialized — the summary rows and inverse
+    /// index. Cache layers use it for byte-accounted capacity decisions;
+    /// it deliberately over-counts slightly rather than under-counting.
+    pub fn approx_bytes(&self) -> usize {
+        let nodes = self.csr.node_count();
+        let edges = self.csr.edge_count();
+        // Forward + reverse CSR: offsets (nodes+1 each) and targets.
+        let csr = 2 * (4 * (nodes + 1) + 4 * edges);
+        // Condensation: comp-of array, member lists, DAG edges (bounded
+        // by the graph's edges).
+        let cond = 4 * nodes + 4 * nodes + 8 * (self.cond.comp_count() + 1) + 4 * edges;
+        let indexes = 4 * self.node_label.len()
+            + 4 * self.expr_nodes.len()
+            + 4 * self.binder_nodes.len()
+            + 4 * self.occ_offsets.len()
+            + 4 * self.occ_exprs.len();
+        let summaries = self
+            .summaries
+            .get()
+            .map_or(0, |rows| rows.len() * std::mem::size_of::<u64>());
+        let inverse = self
+            .inverse
+            .get()
+            .map_or(0, |idx| idx.iter().map(|v| 24 + 4 * v.len()).sum());
+        csr + cond + indexes + summaries + inverse
     }
 
     /// The frozen forward CSR.
@@ -343,7 +380,9 @@ impl QueryEngine {
             }
         }
         todo.sort_unstable();
-        self.counters.demand_misses.fetch_add(todo.len() as u64, Ordering::Relaxed);
+        self.counters
+            .demand_misses
+            .fetch_add(todo.len() as u64, Ordering::Relaxed);
         for &x in &todo {
             let mut row = vec![0u64; w].into_boxed_slice();
             for &s in self.cond.dag().succs(x) {
@@ -524,9 +563,7 @@ impl QueryEngine {
             .ok()
             .and_then(|s| s.parse::<usize>().ok())
             .filter(|&t| t >= 1)
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism().map_or(1, |p| p.get().min(8))
-            })
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |p| p.get().min(8)))
     }
 
     /// [`QueryEngine::batch`] at [`QueryEngine::default_threads`].
@@ -552,7 +589,10 @@ impl QueryEngine {
         self.counters.batches.fetch_add(1, Ordering::Relaxed);
         // Make the shared state read-only before sharding.
         self.summaries();
-        if queries.iter().any(|q| matches!(q, Query::ExprsWithLabel(_))) {
+        if queries
+            .iter()
+            .any(|q| matches!(q, Query::ExprsWithLabel(_)))
+        {
             self.inverse_index();
         }
         let threads = threads.clamp(1, queries.len().max(1));
@@ -564,7 +604,9 @@ impl QueryEngine {
         std::thread::scope(|scope| {
             let handles: Vec<_> = queries
                 .chunks(chunk)
-                .map(|qs| scope.spawn(move || qs.iter().map(|q| self.answer(q)).collect::<Vec<_>>()))
+                .map(|qs| {
+                    scope.spawn(move || qs.iter().map(|q| self.answer(q)).collect::<Vec<_>>())
+                })
                 .collect();
             for h in handles {
                 out.extend(h.join().expect("batch worker panicked"));
@@ -667,7 +709,10 @@ mod tests {
         let second = q.labels_of(e);
         let s2 = q.query_stats();
         assert_eq!(first, second);
-        assert_eq!(s2.demand_misses, s1.demand_misses, "second query is a cache hit");
+        assert_eq!(
+            s2.demand_misses, s1.demand_misses,
+            "second query is a cache hit"
+        );
         assert_eq!(s2.demand_hits, s1.demand_hits + 1);
     }
 
@@ -676,7 +721,10 @@ mod tests {
         let (p, _, q) = engine_for(JOIN);
         let mut queries: Vec<Query> = p.exprs().map(Query::LabelsOf).collect();
         queries.extend(p.all_labels().map(Query::ExprsWithLabel));
-        queries.extend(p.exprs().flat_map(|e| p.all_labels().map(move |l| Query::Member(e, l))));
+        queries.extend(
+            p.exprs()
+                .flat_map(|e| p.all_labels().map(move |l| Query::Member(e, l))),
+        );
         let one = q.batch(&queries, 1);
         for t in [2, 3, 8, 64] {
             assert_eq!(q.batch(&queries, t), one, "thread count {t}");

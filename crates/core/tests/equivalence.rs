@@ -88,8 +88,14 @@ const UNBOUNDED_DATATYPES: &[&str] = &[
 
 fn assert_exact(src: &str, policy: DatatypePolicy) {
     let p = Program::parse(src).unwrap_or_else(|e| panic!("parse {src:?}: {e}"));
-    let a = Analysis::run_with(&p, AnalysisOptions { policy, max_nodes: None })
-        .unwrap_or_else(|e| panic!("analysis {src:?}: {e}"));
+    let a = Analysis::run_with(
+        &p,
+        AnalysisOptions {
+            policy,
+            max_nodes: None,
+        },
+    )
+    .unwrap_or_else(|e| panic!("analysis {src:?}: {e}"));
     a.check_invariants()
         .unwrap_or_else(|e| panic!("closure invariants violated for {src:?}: {e}"));
     let cfa = Cfa0::analyze(&p);
@@ -113,8 +119,14 @@ fn assert_exact(src: &str, policy: DatatypePolicy) {
 
 fn assert_sound(src: &str, policy: DatatypePolicy) {
     let p = Program::parse(src).unwrap_or_else(|e| panic!("parse {src:?}: {e}"));
-    let a = Analysis::run_with(&p, AnalysisOptions { policy, max_nodes: None })
-        .unwrap_or_else(|e| panic!("analysis {src:?}: {e}"));
+    let a = Analysis::run_with(
+        &p,
+        AnalysisOptions {
+            policy,
+            max_nodes: None,
+        },
+    )
+    .unwrap_or_else(|e| panic!("analysis {src:?}: {e}"));
     let cfa = Cfa0::analyze(&p);
     for e in p.exprs() {
         let sub = a.labels_of(e);
@@ -188,15 +200,24 @@ fn untyped_programs_exceed_the_budget_as_the_paper_predicts() {
     // programs, there is no bound, and our algorithm may not terminate."
     let p = Program::parse("(fn x => x x) (fn x => x x)").unwrap();
     let r = Analysis::run(&p);
-    assert!(matches!(r, Err(stcfa_core::AnalysisError::BudgetExceeded { .. })));
+    assert!(matches!(
+        r,
+        Err(stcfa_core::AnalysisError::BudgetExceeded { .. })
+    ));
     // Same for exact traversal of a recursive datatype.
     for src in UNBOUNDED_DATATYPES {
         let p = Program::parse(src).unwrap();
         let r = Analysis::run_with(
             &p,
-            AnalysisOptions { policy: DatatypePolicy::Exact, max_nodes: Some(10_000) },
+            AnalysisOptions {
+                policy: DatatypePolicy::Exact,
+                max_nodes: Some(10_000),
+            },
         );
-        assert!(matches!(r, Err(stcfa_core::AnalysisError::BudgetExceeded { .. })));
+        assert!(matches!(
+            r,
+            Err(stcfa_core::AnalysisError::BudgetExceeded { .. })
+        ));
     }
 }
 
@@ -206,12 +227,18 @@ fn congruence2_is_at_least_as_precise_as_congruence1() {
         let p = Program::parse(src).unwrap();
         let a1 = Analysis::run_with(
             &p,
-            AnalysisOptions { policy: DatatypePolicy::Congruence1, max_nodes: None },
+            AnalysisOptions {
+                policy: DatatypePolicy::Congruence1,
+                max_nodes: None,
+            },
         )
         .unwrap();
         let a2 = Analysis::run_with(
             &p,
-            AnalysisOptions { policy: DatatypePolicy::Congruence2, max_nodes: None },
+            AnalysisOptions {
+                policy: DatatypePolicy::Congruence2,
+                max_nodes: None,
+            },
         )
         .unwrap();
         for e in p.exprs() {

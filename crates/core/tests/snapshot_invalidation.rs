@@ -46,10 +46,15 @@ fn extending_the_session_stales_the_snapshot() {
     assert!(delta.new_nodes > 0, "the fragment adds graph nodes");
     assert!(analysis.generation() > gen_before);
 
-    let err = snap.engine(&analysis).expect_err("stale snapshot must be refused");
+    let err = snap
+        .engine(&analysis)
+        .expect_err("stale snapshot must be refused");
     assert_eq!(
         err,
-        StaleSnapshot { frozen_at: gen_before, current: analysis.generation() }
+        StaleSnapshot {
+            frozen_at: gen_before,
+            current: analysis.generation()
+        }
     );
     // The error is a real std error with both generations in the message.
     let msg = err.to_string();
@@ -66,9 +71,14 @@ fn refreezing_after_update_answers_again() {
     assert!(old.engine(&analysis).is_err());
 
     let fresh = analysis.freeze(session.program());
-    let engine = fresh.engine(&analysis).expect("refrozen snapshot is current");
+    let engine = fresh
+        .engine(&analysis)
+        .expect("refrozen snapshot is current");
     for e in session.program().exprs() {
-        assert_eq!(engine.labels_of(e), analysis.labels_of(session.program(), e));
+        assert_eq!(
+            engine.labels_of(e),
+            analysis.labels_of(session.program(), e)
+        );
     }
     // Both snapshots carry their generation tag on the engine itself too.
     assert_eq!(engine.generation(), Some(analysis.generation()));
@@ -82,7 +92,81 @@ fn noop_update_keeps_snapshots_fresh() {
     // invalidate existing snapshots.
     let delta = analysis.update(&session).unwrap();
     assert_eq!(delta, Default::default());
-    assert!(snap.engine(&analysis).is_ok(), "no-op update must not stale the snapshot");
+    assert!(
+        snap.engine(&analysis).is_ok(),
+        "no-op update must not stale the snapshot"
+    );
+}
+
+/// The server-shaped workload: one writer extends the session while many
+/// readers keep consulting a snapshot frozen before the update. Every
+/// consult must be a correct answer for generation `g` or a checked
+/// [`StaleSnapshot`] carrying `frozen_at == g` — never a panic and never
+/// an answer under a generation the snapshot does not describe.
+#[test]
+fn concurrent_readers_see_ok_or_stale_never_garbage() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::RwLock;
+
+    let (mut session, analysis) = session_with(&["fun id x = x;"]);
+    let frozen_at = analysis.generation();
+    let snap = analysis.freeze(session.program());
+    let root = session.program().root();
+    let expected_labels = analysis.labels_of(session.program(), root);
+
+    let shared = RwLock::new(analysis);
+    let updated = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            scope.spawn(|| {
+                // Spin until we have witnessed the post-update world: the
+                // interesting interleavings are the ones racing the writer.
+                loop {
+                    let analysis = shared.read().unwrap();
+                    match snap.engine(&analysis) {
+                        Ok(engine) => {
+                            // Ok is only legal while the generation still
+                            // matches, and the answer must be the frozen
+                            // generation's answer.
+                            assert_eq!(analysis.generation(), frozen_at);
+                            assert_eq!(
+                                engine.labels_of(root),
+                                expected_labels,
+                                "fresh snapshot answered with wrong labels"
+                            );
+                        }
+                        Err(err) => {
+                            assert_eq!(err.frozen_at, frozen_at);
+                            assert!(err.current > frozen_at);
+                            return;
+                        }
+                    }
+                    drop(analysis);
+                    if updated.load(Ordering::SeqCst) {
+                        // Writer finished and we still saw Ok: re-read once
+                        // more; the next engine() call must observe Err.
+                        let analysis = shared.read().unwrap();
+                        assert!(snap.engine(&analysis).is_err());
+                        return;
+                    }
+                    std::thread::yield_now();
+                }
+            });
+        }
+        scope.spawn(|| {
+            session.define("val b = id (fn v => v);").unwrap();
+            let mut analysis = shared.write().unwrap();
+            analysis.update(&session).unwrap();
+            assert!(analysis.generation() > frozen_at);
+            updated.store(true, Ordering::SeqCst);
+        });
+    });
+
+    let analysis = shared.read().unwrap();
+    let err = snap
+        .engine(&analysis)
+        .expect_err("post-update use must be refused");
+    assert_eq!(err.frozen_at, frozen_at);
 }
 
 #[test]

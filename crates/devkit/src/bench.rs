@@ -134,7 +134,9 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// An id shown as `function/parameter`.
     pub fn new(function: impl Display, parameter: impl Display) -> BenchmarkId {
-        BenchmarkId { id: format!("{function}/{parameter}") }
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
     }
 }
 
@@ -205,7 +207,10 @@ impl BenchmarkGroup<'_> {
         input: &I,
         mut f: impl FnMut(&mut Bencher, &I),
     ) -> &mut Self {
-        let mut b = Bencher { samples: self.sample_size, times: Vec::new() };
+        let mut b = Bencher {
+            samples: self.sample_size,
+            times: Vec::new(),
+        };
         f(&mut b, input);
         let times = std::mem::take(&mut b.times);
         self.record(id.id, &times);
@@ -218,7 +223,10 @@ impl BenchmarkGroup<'_> {
         name: impl Display,
         mut f: impl FnMut(&mut Bencher),
     ) -> &mut Self {
-        let mut b = Bencher { samples: self.sample_size, times: Vec::new() };
+        let mut b = Bencher {
+            samples: self.sample_size,
+            times: Vec::new(),
+        };
         f(&mut b);
         let times = std::mem::take(&mut b.times);
         self.record(name.to_string(), &times);
@@ -242,14 +250,22 @@ impl Criterion {
     /// which passes the Cargo-provided names.
     pub fn new(binary: &str, manifest_dir: &str) -> Criterion {
         let out_path = workspace_root(manifest_dir).join(format!("BENCH_{binary}.json"));
-        Criterion { binary: binary.to_owned(), out_path, records: Vec::new() }
+        Criterion {
+            binary: binary.to_owned(),
+            out_path,
+            records: Vec::new(),
+        }
     }
 
     /// Opens a named benchmark group.
     pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
         let name = name.to_string();
         println!("\n== group {name} ==");
-        BenchmarkGroup { criterion: self, name, sample_size: 10 }
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            sample_size: 10,
+        }
     }
 
     /// Writes the JSON report; called by [`criterion_main!`] after all
@@ -334,12 +350,7 @@ impl Report {
     }
 
     /// Records a counter-only measurement (no wall-clock component).
-    pub fn counters(
-        &mut self,
-        group: &str,
-        name: impl Display,
-        counters: &[(&str, u64)],
-    ) {
+    pub fn counters(&mut self, group: &str, name: impl Display, counters: &[(&str, u64)]) {
         self.records.push(Record {
             group: group.to_owned(),
             name: name.to_string(),

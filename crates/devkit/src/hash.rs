@@ -1,0 +1,148 @@
+//! Deterministic, zero-dependency content hashing.
+//!
+//! The server's snapshot store is *content-addressed*: every cached
+//! analysis is keyed by a digest of the exact source bytes plus the build
+//! configuration. The digest must be stable across platforms, Rust
+//! versions and process runs (clients compare and persist the hex form),
+//! so it is built from the same primitive family as [`crate::prng`]:
+//! an FNV-1a accumulation pass, finished with a splitmix64-style avalanche
+//! so that short inputs still differ in every output bit.
+//!
+//! This is a fast non-cryptographic digest for cache addressing, not a
+//! security boundary — collision resistance is the 64-bit birthday bound.
+
+/// FNV-1a offset basis (64-bit).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime (64-bit).
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// The splitmix64 finalizer: a full-avalanche bijection on `u64`.
+///
+/// This is the output-mixing half of the splitmix64 step used by
+/// [`crate::prng::Rng::seed_from_u64`]; applying it to an FNV state
+/// spreads the last few input bytes across all 64 output bits.
+#[inline]
+pub fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A streaming FNV-1a/64 hasher with a [`mix64`] finish.
+///
+/// ```
+/// use stcfa_devkit::hash::Fnv1a;
+///
+/// let source = b"fun id x = x;";
+/// let mut h = Fnv1a::new();
+/// h.write_u64(source.len() as u64); // length prefix, as digest_parts does
+/// h.write(source);
+/// h.write_u64(1); // configuration discriminant
+/// assert_eq!(h.finish(), Fnv1a::digest_parts(source, &[1]));
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct Fnv1a {
+    state: u64,
+}
+
+impl Default for Fnv1a {
+    fn default() -> Fnv1a {
+        Fnv1a::new()
+    }
+}
+
+impl Fnv1a {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Fnv1a {
+        Fnv1a { state: FNV_OFFSET }
+    }
+
+    /// Absorbs a byte slice.
+    #[inline]
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= b as u64;
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Absorbs a `u64` in little-endian byte order (used for
+    /// configuration discriminants so `("ab", 1)` and `("a", ...)` cannot
+    /// collide by concatenation).
+    #[inline]
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// The finalized digest.
+    #[inline]
+    pub fn finish(&self) -> u64 {
+        mix64(self.state)
+    }
+
+    /// One-shot digest of `bytes` followed by the `parts` discriminants.
+    pub fn digest_parts(bytes: &[u8], parts: &[u64]) -> u64 {
+        let mut h = Fnv1a::new();
+        // Length prefix: two inputs of different lengths never alias even
+        // if the discriminant list absorbs bytes that look like content.
+        h.write_u64(bytes.len() as u64);
+        h.write(bytes);
+        for &p in parts {
+            h.write_u64(p);
+        }
+        h.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_is_pinned() {
+        // Pinned: a change to the hashing scheme invalidates every
+        // persisted snapshot address and must be a reviewed event.
+        assert_eq!(
+            Fnv1a::digest_parts(b"fun id x = x;", &[0, 0]),
+            0xc4d0_1bd3_b6d3_59b1
+        );
+    }
+
+    #[test]
+    fn content_and_config_both_address() {
+        let base = Fnv1a::digest_parts(b"source", &[0, 0]);
+        assert_ne!(
+            base,
+            Fnv1a::digest_parts(b"source ", &[0, 0]),
+            "content changes the key"
+        );
+        assert_ne!(
+            base,
+            Fnv1a::digest_parts(b"source", &[1, 0]),
+            "policy changes the key"
+        );
+        assert_ne!(
+            base,
+            Fnv1a::digest_parts(b"source", &[0, 1]),
+            "engine changes the key"
+        );
+    }
+
+    #[test]
+    fn length_prefix_prevents_concatenation_aliasing() {
+        // Without the length prefix, b"ab" + [] could collide with b"a"
+        // followed by a discriminant whose little-endian bytes start 'b'.
+        assert_ne!(
+            Fnv1a::digest_parts(b"ab", &[]),
+            Fnv1a::digest_parts(b"a", &[u64::from_le_bytes(*b"b\0\0\0\0\0\0\0")]),
+        );
+    }
+
+    #[test]
+    fn mix64_is_a_bijection_on_samples() {
+        let mut outs: Vec<u64> = (0..1000u64).map(mix64).collect();
+        outs.sort_unstable();
+        outs.dedup();
+        assert_eq!(outs.len(), 1000, "finalizer collided on small inputs");
+    }
+}

@@ -11,7 +11,9 @@
 //!   written against proptest port with small diffs;
 //! - [`bench`] — a criterion-shaped bench harness implementing the
 //!   EXPERIMENTS.md methodology (warmup, fastest-of-N, work counters) and
-//!   emitting machine-readable `BENCH_*.json` files.
+//!   emitting machine-readable `BENCH_*.json` files;
+//! - [`hash`] — deterministic FNV-1a/64 content hashing with a splitmix64
+//!   finalizer, the address scheme of the server's snapshot store.
 //!
 //! Everything here is plain `std`; the workspace builds and tests with
 //! `CARGO_NET_OFFLINE=true`. See `docs/DEVKIT.md` for the seed-persistence
@@ -20,6 +22,7 @@
 #![warn(missing_docs)]
 
 pub mod bench;
+pub mod hash;
 pub mod prng;
 pub mod prop;
 

@@ -27,13 +27,19 @@ pub struct ProptestConfig {
 impl ProptestConfig {
     /// A config running `cases` novel cases per test.
     pub fn with_cases(cases: u32) -> ProptestConfig {
-        ProptestConfig { cases, ..ProptestConfig::default() }
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
     }
 }
 
 impl Default for ProptestConfig {
     fn default() -> Self {
-        ProptestConfig { cases: 256, max_shrink_iters: 4096 }
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 4096,
+        }
     }
 }
 
@@ -189,8 +195,14 @@ pub fn run<S: Strategy>(
         let (min_repr, min_err, steps) =
             shrink(&strategy, repr, err, config.max_shrink_iters, &prop);
         let mut msg = String::new();
-        let _ = writeln!(msg, "property `{test_name}` failed ({origin}, case seed {seed})");
-        let _ = writeln!(msg, "minimal input after {steps} shrink step(s): {min_repr:?}");
+        let _ = writeln!(
+            msg,
+            "property `{test_name}` failed ({origin}, case seed {seed})"
+        );
+        let _ = writeln!(
+            msg,
+            "minimal input after {steps} shrink step(s): {min_repr:?}"
+        );
         let _ = writeln!(msg, "error: {min_err}");
         let _ = writeln!(
             msg,

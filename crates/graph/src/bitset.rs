@@ -14,7 +14,10 @@ pub struct BitSet {
 impl BitSet {
     /// Creates an empty set able to hold indices `0..capacity`.
     pub fn new(capacity: usize) -> Self {
-        BitSet { words: vec![0; capacity.div_ceil(64)], capacity }
+        BitSet {
+            words: vec![0; capacity.div_ceil(64)],
+            capacity,
+        }
     }
 
     /// The capacity this set was created with.
@@ -29,7 +32,11 @@ impl BitSet {
     /// Panics if `i >= capacity`.
     #[inline]
     pub fn insert(&mut self, i: usize) -> bool {
-        assert!(i < self.capacity, "bit {i} out of capacity {}", self.capacity);
+        assert!(
+            i < self.capacity,
+            "bit {i} out of capacity {}",
+            self.capacity
+        );
         let (w, b) = (i / 64, i % 64);
         let mask = 1u64 << b;
         let fresh = self.words[w] & mask == 0;
@@ -40,7 +47,11 @@ impl BitSet {
     /// Removes `i`; returns `true` if it was present.
     #[inline]
     pub fn remove(&mut self, i: usize) -> bool {
-        assert!(i < self.capacity, "bit {i} out of capacity {}", self.capacity);
+        assert!(
+            i < self.capacity,
+            "bit {i} out of capacity {}",
+            self.capacity
+        );
         let (w, b) = (i / 64, i % 64);
         let mask = 1u64 << b;
         let present = self.words[w] & mask != 0;

@@ -71,7 +71,13 @@ impl Condensation {
             cursor[c as usize] += 1;
         }
 
-        Condensation { comp_of, comp_count, dag, member_offsets, member_nodes }
+        Condensation {
+            comp_of,
+            comp_count,
+            dag,
+            member_offsets,
+            member_nodes,
+        }
     }
 
     /// The component of `node`.
@@ -95,16 +101,14 @@ impl Condensation {
     /// The nodes of component `c`, in increasing node order.
     #[inline]
     pub fn members(&self, c: usize) -> &[u32] {
-        &self.member_nodes
-            [self.member_offsets[c] as usize..self.member_offsets[c + 1] as usize]
+        &self.member_nodes[self.member_offsets[c] as usize..self.member_offsets[c + 1] as usize]
     }
 
     /// Whether component `c` contains a cycle (more than one node, or a
     /// self-loop in the original graph).
     pub fn is_cyclic(&self, c: usize, graph: &Csr) -> bool {
         let m = self.members(c);
-        m.len() > 1
-            || graph.succs(m[0] as usize).contains(&m[0])
+        m.len() > 1 || graph.succs(m[0] as usize).contains(&m[0])
     }
 
     /// Verifies the reverse-topological numbering: every condensed edge
@@ -112,7 +116,9 @@ impl Condensation {
     pub fn check_order(&self) -> Result<(), String> {
         for (u, v) in self.dag.edges() {
             if v >= u {
-                return Err(format!("condensation edge {u} → {v} violates reverse-topo order"));
+                return Err(format!(
+                    "condensation edge {u} → {v} violates reverse-topo order"
+                ));
             }
         }
         Ok(())

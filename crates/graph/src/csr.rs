@@ -36,7 +36,10 @@ impl Csr {
     pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Csr {
         let mut degree = vec![0u32; n + 1];
         for &(u, v) in edges {
-            assert!((u as usize) < n && (v as usize) < n, "edge ({u}, {v}) out of range {n}");
+            assert!(
+                (u as usize) < n && (v as usize) < n,
+                "edge ({u}, {v}) out of range {n}"
+            );
             degree[u as usize + 1] += 1;
         }
         for i in 0..n {
@@ -51,7 +54,10 @@ impl Csr {
             targets[slot as usize] = v;
             cursor[u as usize] += 1;
         }
-        Csr { offsets: degree, targets }
+        Csr {
+            offsets: degree,
+            targets,
+        }
     }
 
     /// Freezes per-node successor slices (e.g. an analysis' adjacency
@@ -121,14 +127,16 @@ impl Csr {
                 cursor[v as usize] += 1;
             }
         }
-        Csr { offsets: degree, targets }
+        Csr {
+            offsets: degree,
+            targets,
+        }
     }
 
     /// Iterates over all edges as `(source, target)` pairs, grouped by
     /// source.
     pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
-        (0..self.node_count())
-            .flat_map(move |u| self.succs(u).iter().map(move |&v| (u as u32, v)))
+        (0..self.node_count()).flat_map(move |u| self.succs(u).iter().map(move |&v| (u as u32, v)))
     }
 
     /// Structural audit of the frozen representation: offsets start at 0,
@@ -141,11 +149,17 @@ impl Csr {
     /// foundation rather than trusting construction.
     pub fn audit(&self) -> Result<(), String> {
         if self.offsets.first() != Some(&0) {
-            return Err(format!("csr: first offset is {:?}, expected 0", self.offsets.first()));
+            return Err(format!(
+                "csr: first offset is {:?}, expected 0",
+                self.offsets.first()
+            ));
         }
         for (i, w) in self.offsets.windows(2).enumerate() {
             if w[0] > w[1] {
-                return Err(format!("csr: offsets not monotone at node {i}: {} > {}", w[0], w[1]));
+                return Err(format!(
+                    "csr: offsets not monotone at node {i}: {} > {}",
+                    w[0], w[1]
+                ));
             }
         }
         let last = *self.offsets.last().expect("offsets non-empty") as usize;

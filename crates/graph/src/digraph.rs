@@ -22,7 +22,10 @@ impl DiGraph {
 
     /// Creates a graph with `n` isolated nodes.
     pub fn with_nodes(n: usize) -> Self {
-        DiGraph { succs: vec![Vec::new(); n], edge_count: 0 }
+        DiGraph {
+            succs: vec![Vec::new(); n],
+            edge_count: 0,
+        }
     }
 
     /// Adds an isolated node, returning its id.
@@ -74,7 +77,9 @@ impl DiGraph {
 
     /// Whether the edge `from → to` is present.
     pub fn has_edge(&self, from: usize, to: usize) -> bool {
-        self.succs.get(from).is_some_and(|s| s.contains(&(to as u32)))
+        self.succs
+            .get(from)
+            .is_some_and(|s| s.contains(&(to as u32)))
     }
 
     /// Successors of `node`.

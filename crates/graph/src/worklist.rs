@@ -14,7 +14,10 @@ pub struct Worklist {
 impl Worklist {
     /// Creates a worklist for items `0..capacity`.
     pub fn new(capacity: usize) -> Self {
-        Worklist { stack: Vec::new(), queued: vec![false; capacity] }
+        Worklist {
+            stack: Vec::new(),
+            queued: vec![false; capacity],
+        }
     }
 
     /// Grows the capacity to at least `capacity`.

@@ -9,15 +9,17 @@ use stcfa_devkit::prelude::*;
 use stcfa_graph::{BitSet, DiGraph};
 
 fn arb_graph() -> impl Strategy<Value = DiGraph> {
-    (2usize..40, collection::vec((0usize..40, 0usize..40), 0..120)).prop_map(
-        |(n, edges)| {
+    (
+        2usize..40,
+        collection::vec((0usize..40, 0usize..40), 0..120),
+    )
+        .prop_map(|(n, edges)| {
             let mut g = DiGraph::with_nodes(n);
             for (u, v) in edges {
                 g.add_edge(u % n, v % n);
             }
             g
-        },
-    )
+        })
 }
 
 proptest! {

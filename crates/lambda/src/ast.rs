@@ -318,7 +318,10 @@ impl DataEnv {
             return None;
         }
         let id = DataId::from_index(self.datatypes.len());
-        self.datatypes.push(DataInfo { name, cons: Vec::new() });
+        self.datatypes.push(DataInfo {
+            name,
+            cons: Vec::new(),
+        });
         self.data_by_name.insert(name, id);
         Some(id)
     }
@@ -336,7 +339,11 @@ impl DataEnv {
             return None;
         }
         let id = ConId::from_index(self.cons.len());
-        self.cons.push(ConInfo { name, data, arg_tys: arg_tys.into() });
+        self.cons.push(ConInfo {
+            name,
+            data,
+            arg_tys: arg_tys.into(),
+        });
         self.datatypes[data.index()].cons.push(id);
         self.con_by_name.insert(name, id);
         Some(id)
@@ -578,7 +585,11 @@ impl Program {
                 f(*lambda);
                 f(*body);
             }
-            ExprKind::If { cond, then_branch, else_branch } => {
+            ExprKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 f(*cond);
                 f(*then_branch);
                 f(*else_branch);
@@ -594,7 +605,11 @@ impl Program {
                     f(e);
                 }
             }
-            ExprKind::Case { scrutinee, arms, default } => {
+            ExprKind::Case {
+                scrutinee,
+                arms,
+                default,
+            } => {
                 f(*scrutinee);
                 for arm in arms.iter() {
                     f(arm.body);
@@ -684,9 +699,15 @@ mod tests {
         let mut interner = Interner::new();
         let mut env = DataEnv::default();
         let list = env.declare_data(interner.intern("intlist")).unwrap();
-        let nil = env.declare_con(list, interner.intern("Nil"), Vec::new()).unwrap();
+        let nil = env
+            .declare_con(list, interner.intern("Nil"), Vec::new())
+            .unwrap();
         let cons = env
-            .declare_con(list, interner.intern("Cons"), vec![TyExpr::Int, TyExpr::Data(list)])
+            .declare_con(
+                list,
+                interner.intern("Cons"),
+                vec![TyExpr::Int, TyExpr::Data(list)],
+            )
             .unwrap();
         assert_eq!(env.arity(nil), 0);
         assert_eq!(env.arity(cons), 2);
@@ -694,7 +715,9 @@ mod tests {
         assert_eq!(env.con_by_name(interner.intern("Cons")), Some(cons));
         // duplicate names are rejected
         assert!(env.declare_data(interner.intern("intlist")).is_none());
-        assert!(env.declare_con(list, interner.intern("Nil"), Vec::new()).is_none());
+        assert!(env
+            .declare_con(list, interner.intern("Nil"), Vec::new())
+            .is_none());
     }
 
     #[test]
@@ -710,7 +733,8 @@ mod tests {
         let mut env = DataEnv::default();
         // level 0: a self-recursive list of ints.
         let ilist = env.declare_data(interner.intern("ilist")).unwrap();
-        env.declare_con(ilist, interner.intern("INil"), Vec::new()).unwrap();
+        env.declare_con(ilist, interner.intern("INil"), Vec::new())
+            .unwrap();
         env.declare_con(
             ilist,
             interner.intern("ICons"),
@@ -719,7 +743,8 @@ mod tests {
         .unwrap();
         // level 1: a list of int-lists.
         let llist = env.declare_data(interner.intern("llist")).unwrap();
-        env.declare_con(llist, interner.intern("LNil"), Vec::new()).unwrap();
+        env.declare_con(llist, interner.intern("LNil"), Vec::new())
+            .unwrap();
         env.declare_con(
             llist,
             interner.intern("LCons"),
@@ -728,7 +753,8 @@ mod tests {
         .unwrap();
         // level 2: wraps the level-1 datatype.
         let wrap = env.declare_data(interner.intern("wrap")).unwrap();
-        env.declare_con(wrap, interner.intern("W"), vec![TyExpr::Data(llist)]).unwrap();
+        env.declare_con(wrap, interner.intern("W"), vec![TyExpr::Data(llist)])
+            .unwrap();
 
         assert_eq!(env.nesting_levels(), vec![0, 1, 2]);
         assert_eq!(env.max_nesting_level(), 2);

@@ -95,13 +95,17 @@ impl ProgramBuilder {
     /// Declares a datatype. Panics on duplicate names.
     pub fn declare_data(&mut self, name: &str) -> DataId {
         let sym = self.interner.intern(name);
-        self.data.declare_data(sym).expect("duplicate datatype name")
+        self.data
+            .declare_data(sym)
+            .expect("duplicate datatype name")
     }
 
     /// Declares a constructor. Panics on duplicate names.
     pub fn declare_con(&mut self, data: DataId, name: &str, arg_tys: Vec<TyExpr>) -> ConId {
         let sym = self.interner.intern(name);
-        self.data.declare_con(data, sym, arg_tys).expect("duplicate constructor name")
+        self.data
+            .declare_con(data, sym, arg_tys)
+            .expect("duplicate constructor name")
     }
 
     /// Variable occurrence.
@@ -139,12 +143,20 @@ impl ProgramBuilder {
             matches!(self.exprs[lambda.index()], ExprKind::Lam { .. }),
             "letrec right-hand side must be an abstraction"
         );
-        self.push(ExprKind::LetRec { binder, lambda, body })
+        self.push(ExprKind::LetRec {
+            binder,
+            lambda,
+            body,
+        })
     }
 
     /// Conditional.
     pub fn if_(&mut self, cond: ExprId, then_branch: ExprId, else_branch: ExprId) -> ExprId {
-        self.push(ExprKind::If { cond, then_branch, else_branch })
+        self.push(ExprKind::If {
+            cond,
+            then_branch,
+            else_branch,
+        })
     }
 
     /// Record (tuple) of two or more fields.
@@ -166,7 +178,10 @@ impl ProgramBuilder {
             "constructor {} applied to wrong number of arguments",
             self.interner.resolve(self.data.con(con).name),
         );
-        self.push(ExprKind::Con { con, args: args.into() })
+        self.push(ExprKind::Con {
+            con,
+            args: args.into(),
+        })
     }
 
     /// Case expression. Each arm is `(constructor, binders, body)`.
@@ -185,11 +200,22 @@ impl ProgramBuilder {
                     "case arm for {} binds wrong number of variables",
                     self.interner.resolve(self.data.con(con).name),
                 );
-                CaseArm { con, binders: binders.into(), body }
+                CaseArm {
+                    con,
+                    binders: binders.into(),
+                    body,
+                }
             })
             .collect();
-        assert!(!arms.is_empty() || default.is_some(), "case must have at least one arm");
-        self.push(ExprKind::Case { scrutinee, arms: arms.into(), default })
+        assert!(
+            !arms.is_empty() || default.is_some(),
+            "case must have at least one arm"
+        );
+        self.push(ExprKind::Case {
+            scrutinee,
+            arms: arms.into(),
+            default,
+        })
     }
 
     /// Literal.
@@ -214,8 +240,16 @@ impl ProgramBuilder {
 
     /// Saturated primitive application.
     pub fn prim(&mut self, op: PrimOp, args: Vec<ExprId>) -> ExprId {
-        assert_eq!(args.len(), op.arity(), "primitive {} applied to wrong arity", op.name());
-        self.push(ExprKind::Prim { op, args: args.into() })
+        assert_eq!(
+            args.len(),
+            op.arity(),
+            "primitive {} applied to wrong arity",
+            op.name()
+        );
+        self.push(ExprKind::Prim {
+            op,
+            args: args.into(),
+        })
     }
 
     /// Number of expressions created so far.

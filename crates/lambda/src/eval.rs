@@ -65,32 +65,62 @@ struct Env(Option<Rc<EnvNode>>);
 
 #[derive(Debug)]
 enum EnvNode {
-    Bind { var: VarId, value: Value, next: Env },
+    Bind {
+        var: VarId,
+        value: Value,
+        next: Env,
+    },
     /// `letrec f = λ…`: looking up `f` re-creates the closure with this
     /// same environment, so the recursion is tied lazily.
-    Rec { var: VarId, label: Label, param: VarId, body: ExprId, next: Env },
+    Rec {
+        var: VarId,
+        label: Label,
+        param: VarId,
+        body: ExprId,
+        next: Env,
+    },
 }
 
 impl Env {
     fn bind(&self, var: VarId, value: Value) -> Env {
-        Env(Some(Rc::new(EnvNode::Bind { var, value, next: self.clone() })))
+        Env(Some(Rc::new(EnvNode::Bind {
+            var,
+            value,
+            next: self.clone(),
+        })))
     }
 
     fn bind_rec(&self, var: VarId, label: Label, param: VarId, body: ExprId) -> Env {
-        Env(Some(Rc::new(EnvNode::Rec { var, label, param, body, next: self.clone() })))
+        Env(Some(Rc::new(EnvNode::Rec {
+            var,
+            label,
+            param,
+            body,
+            next: self.clone(),
+        })))
     }
 
     fn lookup(&self, var: VarId) -> Option<Value> {
         let mut cur = self;
         loop {
             match cur.0.as_deref()? {
-                EnvNode::Bind { var: v, value, next } => {
+                EnvNode::Bind {
+                    var: v,
+                    value,
+                    next,
+                } => {
                     if *v == var {
                         return Some(value.clone());
                     }
                     cur = next;
                 }
-                EnvNode::Rec { var: v, label, param, body, next } => {
+                EnvNode::Rec {
+                    var: v,
+                    label,
+                    param,
+                    body,
+                    next,
+                } => {
                     if *v == var {
                         return Some(Value::Closure(Rc::new(Closure {
                             label: *label,
@@ -165,7 +195,10 @@ pub struct EvalOptions {
 
 impl Default for EvalOptions {
     fn default() -> Self {
-        EvalOptions { fuel: 100_000, inputs: Vec::new() }
+        EvalOptions {
+            fuel: 100_000,
+            inputs: Vec::new(),
+        }
     }
 }
 
@@ -204,9 +237,14 @@ pub fn eval(program: &Program, options: EvalOptions) -> Result<EvalOutcome, Eval
         .evaluated
         .iter()
         .enumerate()
-        .filter(|&(_i, &v)| v).map(|(i, &_v)| ExprId::from_index(i))
+        .filter(|&(_i, &v)| v)
+        .map(|(i, &_v)| ExprId::from_index(i))
         .collect();
-    Ok(EvalOutcome { value, outputs: m.outputs, trace: m.trace })
+    Ok(EvalOutcome {
+        value,
+        outputs: m.outputs,
+        trace: m.trace,
+    })
 }
 
 impl Machine<'_> {
@@ -219,7 +257,10 @@ impl Machine<'_> {
     }
 
     fn type_error<T>(&self, at: ExprId, message: impl Into<String>) -> Result<T, EvalError> {
-        Err(EvalError::TypeError { at, message: message.into() })
+        Err(EvalError::TypeError {
+            at,
+            message: message.into(),
+        })
     }
 
     fn eval(&mut self, id: ExprId, env: &Env) -> Result<Value, EvalError> {
@@ -256,21 +297,31 @@ impl Machine<'_> {
                 let inner = env.bind(*binder, rv);
                 self.eval(*body, &inner)
             }
-            ExprKind::LetRec { binder, lambda, body } => {
-                let ExprKind::Lam { label, param, body: lam_body } = self.program.kind(*lambda)
+            ExprKind::LetRec {
+                binder,
+                lambda,
+                body,
+            } => {
+                let ExprKind::Lam {
+                    label,
+                    param,
+                    body: lam_body,
+                } = self.program.kind(*lambda)
                 else {
                     return self.type_error(id, "letrec rhs is not a lambda");
                 };
                 let inner = env.bind_rec(*binder, *label, *param, *lam_body);
                 self.eval(*body, &inner)
             }
-            ExprKind::If { cond, then_branch, else_branch } => {
-                match self.eval(*cond, env)? {
-                    Value::Bool(true) => self.eval(*then_branch, env),
-                    Value::Bool(false) => self.eval(*else_branch, env),
-                    other => self.type_error(id, format!("if on non-boolean {other:?}")),
-                }
-            }
+            ExprKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => match self.eval(*cond, env)? {
+                Value::Bool(true) => self.eval(*then_branch, env),
+                Value::Bool(false) => self.eval(*else_branch, env),
+                other => self.type_error(id, format!("if on non-boolean {other:?}")),
+            },
             ExprKind::Record(items) => {
                 let mut vals = Vec::with_capacity(items.len());
                 for &e in items.iter() {
@@ -290,9 +341,16 @@ impl Machine<'_> {
                 for &e in args.iter() {
                     vals.push(self.eval(e, env)?);
                 }
-                Ok(Value::Con { con: *con, args: vals.into() })
+                Ok(Value::Con {
+                    con: *con,
+                    args: vals.into(),
+                })
             }
-            ExprKind::Case { scrutinee, arms, default } => {
+            ExprKind::Case {
+                scrutinee,
+                arms,
+                default,
+            } => {
                 let sv = self.eval(*scrutinee, env)?;
                 let Value::Con { con, args } = &sv else {
                     return self.type_error(id, format!("case on non-datatype {sv:?}"));
@@ -406,7 +464,10 @@ mod tests {
     #[test]
     fn higher_order_functions() {
         assert_eq!(run_int("(fn f => f (f 1)) (fn x => x + 1)"), 3);
-        assert_eq!(run_int("let val twice = fn f => fn x => f (f x) in twice (fn n => n * 2) 3 end"), 12);
+        assert_eq!(
+            run_int("let val twice = fn f => fn x => f (f x) in twice (fn n => n * 2) 3 end"),
+            12
+        );
     }
 
     #[test]
@@ -460,7 +521,14 @@ mod tests {
     #[test]
     fn readint_consumes_inputs() {
         let p = parse("readint + readint").unwrap();
-        let out = eval(&p, EvalOptions { fuel: 1000, inputs: vec![10, 20] }).unwrap();
+        let out = eval(
+            &p,
+            EvalOptions {
+                fuel: 1000,
+                inputs: vec![10, 20],
+            },
+        )
+        .unwrap();
         match out.value {
             Value::Int(30) => {}
             other => panic!("{other:?}"),
@@ -481,7 +549,14 @@ mod tests {
     fn divergence_runs_out_of_fuel() {
         let p = parse("val rec loop = fn x => loop x; loop 1").unwrap();
         assert_eq!(
-            eval(&p, EvalOptions { fuel: 1000, inputs: vec![] }).unwrap_err(),
+            eval(
+                &p,
+                EvalOptions {
+                    fuel: 1000,
+                    inputs: vec![]
+                }
+            )
+            .unwrap_err(),
             EvalError::OutOfFuel
         );
     }
@@ -505,7 +580,10 @@ mod tests {
     #[test]
     fn div_by_zero() {
         let p = parse("1 div 0").unwrap();
-        assert!(matches!(eval(&p, EvalOptions::default()).unwrap_err(), EvalError::DivByZero(_)));
+        assert!(matches!(
+            eval(&p, EvalOptions::default()).unwrap_err(),
+            EvalError::DivByZero(_)
+        ));
     }
 
     #[test]

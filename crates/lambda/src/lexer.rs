@@ -38,8 +38,16 @@ impl Span {
     /// The smallest span covering both `self` and `other`.
     pub fn join(self, other: Span) -> Span {
         Span {
-            start: if other.start.offset < self.start.offset { other.start } else { self.start },
-            end: if other.end.offset > self.end.offset { other.end } else { self.end },
+            start: if other.start.offset < self.start.offset {
+                other.start
+            } else {
+                self.start
+            },
+            end: if other.end.offset > self.end.offset {
+                other.end
+            } else {
+                self.end
+            },
         }
     }
 
@@ -188,7 +196,11 @@ pub fn lex(source: &str) -> Result<Vec<(Tok, Span)>, LexError> {
 
     macro_rules! pos {
         () => {
-            Pos { offset: i, line, col }
+            Pos {
+                offset: i,
+                line,
+                col,
+            }
         };
     }
     macro_rules! advance {
@@ -275,7 +287,13 @@ pub fn lex(source: &str) -> Result<Vec<(Tok, Span)>, LexError> {
                     pos: p,
                     message: format!("integer literal `{text}` out of range"),
                 })?;
-                toks.push((Tok::Int(value), Span { start: p, end: pos!() }));
+                toks.push((
+                    Tok::Int(value),
+                    Span {
+                        start: p,
+                        end: pos!(),
+                    },
+                ));
             }
             c if c.is_ascii_alphabetic() || c == b'_' => {
                 let p = pos!();
@@ -315,7 +333,13 @@ pub fn lex(source: &str) -> Result<Vec<(Tok, Span)>, LexError> {
                     }
                     _ => Tok::LIdent(text.to_owned()),
                 };
-                toks.push((tok, Span { start: p, end: pos!() }));
+                toks.push((
+                    tok,
+                    Span {
+                        start: p,
+                        end: pos!(),
+                    },
+                ));
             }
             other => {
                 return Err(LexError {
@@ -326,7 +350,13 @@ pub fn lex(source: &str) -> Result<Vec<(Tok, Span)>, LexError> {
         }
     }
     let eof = pos!();
-    toks.push((Tok::Eof, Span { start: eof, end: eof }));
+    toks.push((
+        Tok::Eof,
+        Span {
+            start: eof,
+            end: eof,
+        },
+    ));
     Ok(toks)
 }
 
@@ -354,12 +384,18 @@ mod tests {
 
     #[test]
     fn distinguishes_arrows_and_minus() {
-        assert_eq!(kinds("- -> =>"), vec![Tok::Minus, Tok::Arrow, Tok::FatArrow, Tok::Eof]);
+        assert_eq!(
+            kinds("- -> =>"),
+            vec![Tok::Minus, Tok::Arrow, Tok::FatArrow, Tok::Eof]
+        );
     }
 
     #[test]
     fn distinguishes_lt_leq_eq() {
-        assert_eq!(kinds("< <= ="), vec![Tok::Lt, Tok::Leq, Tok::Equals, Tok::Eof]);
+        assert_eq!(
+            kinds("< <= ="),
+            vec![Tok::Lt, Tok::Leq, Tok::Equals, Tok::Eof]
+        );
     }
 
     #[test]
@@ -417,28 +453,38 @@ mod tests {
 
     #[test]
     fn underscore_vs_identifier() {
-        assert_eq!(kinds("_ _x x_"), vec![
-            Tok::Underscore,
-            Tok::LIdent("_x".into()),
-            Tok::LIdent("x_".into()),
-            Tok::Eof
-        ]);
+        assert_eq!(
+            kinds("_ _x x_"),
+            vec![
+                Tok::Underscore,
+                Tok::LIdent("_x".into()),
+                Tok::LIdent("x_".into()),
+                Tok::Eof
+            ]
+        );
     }
 
     #[test]
     fn uident_vs_lident() {
         assert_eq!(
             kinds("Cons nil"),
-            vec![Tok::UIdent("Cons".into()), Tok::LIdent("nil".into()), Tok::Eof]
+            vec![
+                Tok::UIdent("Cons".into()),
+                Tok::LIdent("nil".into()),
+                Tok::Eof
+            ]
         );
     }
 
     #[test]
     fn primes_in_identifiers() {
-        assert_eq!(kinds("x' f''"), vec![
-            Tok::LIdent("x'".into()),
-            Tok::LIdent("f''".into()),
-            Tok::Eof
-        ]);
+        assert_eq!(
+            kinds("x' f''"),
+            vec![
+                Tok::LIdent("x'".into()),
+                Tok::LIdent("f''".into()),
+                Tok::Eof
+            ]
+        );
     }
 }

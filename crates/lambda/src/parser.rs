@@ -59,15 +59,25 @@ impl Error for ParseError {}
 
 impl From<LexError> for ParseError {
     fn from(e: LexError) -> Self {
-        ParseError { pos: e.pos, message: e.message }
+        ParseError {
+            pos: e.pos,
+            message: e.message,
+        }
     }
 }
 
-const NOWHERE: Pos = Pos { offset: 0, line: 0, col: 0 };
+const NOWHERE: Pos = Pos {
+    offset: 0,
+    line: 0,
+    col: 0,
+};
 
 impl From<ValidateError> for ParseError {
     fn from(e: ValidateError) -> Self {
-        ParseError { pos: NOWHERE, message: e.to_string() }
+        ParseError {
+            pos: NOWHERE,
+            message: e.to_string(),
+        }
     }
 }
 
@@ -153,7 +163,12 @@ impl Parser {
                     if names.len() == 1 {
                         let (name, binder, rhs) = self.fun_binding()?;
                         // Stays bound: later bindings and the value see it.
-                        bindings.push(RawBinding { name, binder, rhs, recursive: true });
+                        bindings.push(RawBinding {
+                            name,
+                            binder,
+                            rhs,
+                            recursive: true,
+                        });
                     } else {
                         let group = self.mutual_group(&names)?;
                         bindings.push(RawBinding {
@@ -164,19 +179,33 @@ impl Parser {
                         });
                         for (name, binder, rhs) in group.outer {
                             self.scopes.entry(name.clone()).or_default().push(binder);
-                            bindings.push(RawBinding { name, binder, rhs, recursive: false });
+                            bindings.push(RawBinding {
+                                name,
+                                binder,
+                                rhs,
+                                recursive: false,
+                            });
                         }
                     }
                 }
                 Tok::Kw(Kw::Val) => {
                     self.bump();
                     let (name, binder, rhs, recursive) = self.val_binding()?;
-                    bindings.push(RawBinding { name, binder, rhs, recursive });
+                    bindings.push(RawBinding {
+                        name,
+                        binder,
+                        rhs,
+                        recursive,
+                    });
                 }
                 _ => break,
             }
         }
-        let value = if self.peek() == &Tok::Eof { None } else { Some(self.expr()?) };
+        let value = if self.peek() == &Tok::Eof {
+            None
+        } else {
+            Some(self.expr()?)
+        };
         self.expect(&Tok::Eof)?;
         Ok(RawFragment { bindings, value })
     }
@@ -232,7 +261,13 @@ impl Parser {
 
     /// Records `start ‥ end-of-last-consumed-token` as the span of `id`.
     fn mark(&mut self, id: ExprId, start: Pos) -> ExprId {
-        self.b.set_span(id, Span { start, end: self.prev_end });
+        self.b.set_span(
+            id,
+            Span {
+                start,
+                end: self.prev_end,
+            },
+        );
         id
     }
 
@@ -241,7 +276,10 @@ impl Parser {
     /// mutual-recursion packs and wrappers) have no tokens of their own;
     /// they inherit the whole binding's span through this.
     fn fill_spans(&mut self, lo: usize, start: Pos) {
-        let span = Span { start, end: self.prev_end };
+        let span = Span {
+            start,
+            end: self.prev_end,
+        };
         for i in lo..self.b.expr_count() {
             let id = ExprId::from_index(i);
             if self.b.span(id).is_none() {
@@ -251,7 +289,10 @@ impl Parser {
     }
 
     fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
-        Err(ParseError { pos: self.pos(), message: message.into() })
+        Err(ParseError {
+            pos: self.pos(),
+            message: message.into(),
+        })
     }
 
     fn expect(&mut self, tok: &Tok) -> Result<(), ParseError> {
@@ -519,7 +560,11 @@ impl Parser {
         // Pack machinery (wrappers, tuple, pack lambda) has no tokens of
         // its own: give it the whole group's span.
         self.fill_spans(lo, start);
-        Ok(MutualGroup { pack, pack_lam, outer })
+        Ok(MutualGroup {
+            pack,
+            pack_lam,
+            outer,
+        })
     }
 
     /// Parses `f p₁ … pₙ = body [;]` after the `fun` keyword. The binder
@@ -748,9 +793,7 @@ impl Parser {
                             self.bump();
                             s
                         }
-                        other => {
-                            return self.err(format!("expected case pattern, found {other}"))
-                        }
+                        other => return self.err(format!("expected case pattern, found {other}")),
                     };
                     let con = {
                         let sym = self.b.intern(&con_name);
@@ -971,8 +1014,9 @@ impl Parser {
                         n as u32
                     }
                     other => {
-                        return self
-                            .err(format!("expected positive field index after `#`, found {other}"))
+                        return self.err(format!(
+                            "expected positive field index after `#`, found {other}"
+                        ))
                     }
                 };
                 let tuple = self.atom()?;
@@ -1031,8 +1075,12 @@ mod tests {
         let ExprKind::Lam { body: outer, .. } = p.kind(p.root()) else {
             panic!()
         };
-        let ExprKind::Lam { body, .. } = p.kind(*outer) else { panic!() };
-        let ExprKind::App { func, .. } = p.kind(*body) else { panic!() };
+        let ExprKind::Lam { body, .. } = p.kind(*outer) else {
+            panic!()
+        };
+        let ExprKind::App { func, .. } = p.kind(*body) else {
+            panic!()
+        };
         assert!(matches!(p.kind(*func), ExprKind::App { .. }));
     }
 
@@ -1052,7 +1100,9 @@ mod tests {
         let ExprKind::LetRec { lambda, .. } = p.kind(p.root()) else {
             panic!()
         };
-        let ExprKind::Lam { body, .. } = p.kind(*lambda) else { panic!() };
+        let ExprKind::Lam { body, .. } = p.kind(*lambda) else {
+            panic!()
+        };
         assert!(matches!(p.kind(*body), ExprKind::Lam { .. }));
     }
 
@@ -1092,28 +1142,54 @@ mod tests {
     #[test]
     fn shadowing_resolves_to_innermost() {
         let p = parse_ok("fn x => fn x => x");
-        let ExprKind::Lam { param: outer_param, body, .. } = p.kind(p.root()) else {
+        let ExprKind::Lam {
+            param: outer_param,
+            body,
+            ..
+        } = p.kind(p.root())
+        else {
             panic!()
         };
-        let ExprKind::Lam { param: inner_param, body: inner_body, .. } = p.kind(*body) else {
+        let ExprKind::Lam {
+            param: inner_param,
+            body: inner_body,
+            ..
+        } = p.kind(*body)
+        else {
             panic!()
         };
         assert_ne!(outer_param, inner_param);
-        let ExprKind::Var(v) = p.kind(*inner_body) else { panic!() };
+        let ExprKind::Var(v) = p.kind(*inner_body) else {
+            panic!()
+        };
         assert_eq!(v, inner_param);
     }
 
     #[test]
     fn parses_arithmetic_with_precedence() {
         let p = parse_ok("1 + 2 * 3 < 10");
-        let ExprKind::Prim { op: PrimOp::Lt, args } = p.kind(p.root()) else {
+        let ExprKind::Prim {
+            op: PrimOp::Lt,
+            args,
+        } = p.kind(p.root())
+        else {
             panic!()
         };
-        let ExprKind::Prim { op: PrimOp::Add, args: add_args } = p.kind(args[0]) else {
+        let ExprKind::Prim {
+            op: PrimOp::Add,
+            args: add_args,
+        } = p.kind(args[0])
+        else {
             panic!()
         };
         assert!(
-            matches!(p.kind(add_args[1]), ExprKind::Prim { op: PrimOp::Mul, .. }),
+            matches!(
+                p.kind(add_args[1]),
+                ExprKind::Prim {
+                    op: PrimOp::Mul,
+                    ..
+                }
+            ),
             "multiplication should bind tighter than addition"
         );
     }
@@ -1125,14 +1201,22 @@ mod tests {
             panic!()
         };
         assert_eq!(*index, 0);
-        let ExprKind::Record(items) = p.kind(*tuple) else { panic!() };
+        let ExprKind::Record(items) = p.kind(*tuple) else {
+            panic!()
+        };
         assert_eq!(items.len(), 3);
     }
 
     #[test]
     fn parses_effects() {
         let p = parse_ok("print (readint + 1)");
-        assert!(matches!(p.kind(p.root()), ExprKind::Prim { op: PrimOp::Print, .. }));
+        assert!(matches!(
+            p.kind(p.root()),
+            ExprKind::Prim {
+                op: PrimOp::Print,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -1156,7 +1240,9 @@ mod tests {
     #[test]
     fn unary_constructor_with_tuple_sugar() {
         let p = parse_ok("datatype t = Boxed of (int * bool); Boxed(1, true)");
-        let ExprKind::Con { args, .. } = p.kind(p.root()) else { panic!() };
+        let ExprKind::Con { args, .. } = p.kind(p.root()) else {
+            panic!()
+        };
         assert_eq!(args.len(), 1);
         assert!(matches!(p.kind(args[0]), ExprKind::Record(_)));
     }

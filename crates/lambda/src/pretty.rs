@@ -45,7 +45,11 @@ pub fn pretty(program: &Program) -> String {
         }
         out.push_str(";\n");
     }
-    let mut p = Printer { program, names: &names, out };
+    let mut p = Printer {
+        program,
+        names: &names,
+        out,
+    };
     p.expr(program.root(), LVL_EXPR);
     p.out
 }
@@ -96,7 +100,9 @@ fn binder_names(program: &Program) -> Vec<String> {
             let base: String = if raw.is_empty()
                 || raw.starts_with(|c: char| !c.is_ascii_lowercase())
                 || KEYWORDS.contains(&raw)
-                || !raw.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '\'')
+                || !raw
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '\'')
             {
                 format!("v_{raw}")
                     .chars()
@@ -182,7 +188,11 @@ impl Printer<'_> {
                     p.out.push_str(" end");
                 });
             }
-            ExprKind::LetRec { binder, lambda, body } => {
+            ExprKind::LetRec {
+                binder,
+                lambda,
+                body,
+            } => {
                 let (binder, lambda, body) = (*binder, *lambda, *body);
                 self.paren(min_lvl > LVL_EXPR, |p| {
                     let name = p.name(binder).to_owned();
@@ -193,7 +203,11 @@ impl Printer<'_> {
                     p.out.push_str(" end");
                 });
             }
-            ExprKind::If { cond, then_branch, else_branch } => {
+            ExprKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 let (c, t, e) = (*cond, *then_branch, *else_branch);
                 self.paren(min_lvl > LVL_EXPR, |p| {
                     p.out.push_str("if ");
@@ -241,7 +255,11 @@ impl Printer<'_> {
                     self.out.push(')');
                 }
             }
-            ExprKind::Case { scrutinee, arms, default } => {
+            ExprKind::Case {
+                scrutinee,
+                arms,
+                default,
+            } => {
                 let scrutinee = *scrutinee;
                 let arms = arms.clone();
                 let default = *default;
@@ -328,7 +346,10 @@ mod tests {
         let printed1 = pretty(&p1);
         let p2 = parse(&printed1).unwrap_or_else(|e| panic!("re-parse of {printed1:?}: {e}"));
         let printed2 = pretty(&p2);
-        assert_eq!(printed1, printed2, "pretty is not a normal form for {src:?}");
+        assert_eq!(
+            printed1, printed2,
+            "pretty is not a normal form for {src:?}"
+        );
         assert_eq!(p1.size(), p2.size(), "round trip changed size for {src:?}");
         assert_eq!(p1.label_count(), p2.label_count());
     }

@@ -60,8 +60,7 @@ impl Default for SessionProgram {
 impl SessionProgram {
     /// Creates an empty session.
     pub fn new() -> SessionProgram {
-        let program = crate::builder::ProgramBuilder::new()
-            .finish_unchecked(None);
+        let program = crate::builder::ProgramBuilder::new().finish_unchecked(None);
         SessionProgram {
             program,
             scope: HashMap::new(),
@@ -99,7 +98,11 @@ impl SessionProgram {
         let mut roots: Vec<ExprId> = raw.bindings.iter().map(|b| b.rhs).collect();
         roots.extend(raw.value);
         validate::validate_forest(&scratch, &roots, &ambient).map_err(|e| ParseError {
-            pos: Pos { offset: 0, line: 0, col: 0 },
+            pos: Pos {
+                offset: 0,
+                line: 0,
+                col: 0,
+            },
             message: e.to_string(),
         })?;
         // Commit.
@@ -162,7 +165,11 @@ mod tests {
         let mut s = SessionProgram::new();
         let size_before = s.program().size();
         assert!(s.define("missing 1").is_err());
-        assert_eq!(s.program().size(), size_before, "failed define must not grow the arena");
+        assert_eq!(
+            s.program().size(),
+            size_before,
+            "failed define must not grow the arena"
+        );
         // The session still works afterwards.
         s.define("val ok = 3;").unwrap();
     }
@@ -178,7 +185,9 @@ mod tests {
     #[test]
     fn recursive_bindings() {
         let mut s = SessionProgram::new();
-        let f = s.define("fun fact n = if n = 0 then 1 else n * fact (n - 1);").unwrap();
+        let f = s
+            .define("fun fact n = if n = 0 then 1 else n * fact (n - 1);")
+            .unwrap();
         assert!(f.bindings[0].recursive);
         s.define("fact 5").unwrap();
     }

@@ -53,10 +53,15 @@ impl fmt::Display for ValidateError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ValidateError::NotATree(e) => {
-                write!(f, "expression {e:?} has multiple parents (arena is not a tree)")
+                write!(
+                    f,
+                    "expression {e:?} has multiple parents (arena is not a tree)"
+                )
             }
             ValidateError::Orphan(e) => write!(f, "expression {e:?} is unreachable from the root"),
-            ValidateError::Unbound { occurrence, name, .. } => {
+            ValidateError::Unbound {
+                occurrence, name, ..
+            } => {
                 write!(f, "variable `{name}` at {occurrence:?} is not in scope")
             }
             ValidateError::Rebound { name, .. } => {
@@ -224,13 +229,21 @@ fn scope_walk(
             scope_walk(program, *body, in_scope, ever_bound)?;
             in_scope[binder.index()] = false;
         }
-        ExprKind::LetRec { binder, lambda, body } => {
+        ExprKind::LetRec {
+            binder,
+            lambda,
+            body,
+        } => {
             bind_var(program, *binder, in_scope, ever_bound)?;
             scope_walk(program, *lambda, in_scope, ever_bound)?;
             scope_walk(program, *body, in_scope, ever_bound)?;
             in_scope[binder.index()] = false;
         }
-        ExprKind::Case { scrutinee, arms, default } => {
+        ExprKind::Case {
+            scrutinee,
+            arms,
+            default,
+        } => {
             scope_walk(program, *scrutinee, in_scope, ever_bound)?;
             for arm in arms.iter() {
                 for &b in arm.binders.iter() {
@@ -290,21 +303,19 @@ fn check_shape_at(program: &Program, id: ExprId) -> Result<(), ValidateError> {
     let env = program.data_env();
     match program.kind(id) {
         ExprKind::LetRec { lambda, .. }
-            if !matches!(program.kind(*lambda), ExprKind::Lam { .. }) => {
-                return Err(ValidateError::LetRecNotLambda(id));
-            }
-        ExprKind::Con { con, args }
-            if args.len() != env.arity(*con) => {
-                return Err(ValidateError::ArityMismatch(id));
-            }
-        ExprKind::Prim { op, args }
-            if args.len() != op.arity() => {
-                return Err(ValidateError::ArityMismatch(id));
-            }
-        ExprKind::Record(items)
-            if items.len() < 2 => {
-                return Err(ValidateError::SmallRecord(id));
-            }
+            if !matches!(program.kind(*lambda), ExprKind::Lam { .. }) =>
+        {
+            return Err(ValidateError::LetRecNotLambda(id));
+        }
+        ExprKind::Con { con, args } if args.len() != env.arity(*con) => {
+            return Err(ValidateError::ArityMismatch(id));
+        }
+        ExprKind::Prim { op, args } if args.len() != op.arity() => {
+            return Err(ValidateError::ArityMismatch(id));
+        }
+        ExprKind::Record(items) if items.len() < 2 => {
+            return Err(ValidateError::SmallRecord(id));
+        }
         ExprKind::Case { arms, default, .. } => {
             if arms.is_empty() && default.is_none() {
                 return Err(ValidateError::MalformedCase(id));
@@ -365,7 +376,10 @@ mod tests {
         let one = b.int(1);
         let two = b.int(2);
         let root = b.case(scrut, vec![(c, vec![], one), (c, vec![], two)], None);
-        assert_eq!(b.finish(root).unwrap_err(), ValidateError::MalformedCase(root));
+        assert_eq!(
+            b.finish(root).unwrap_err(),
+            ValidateError::MalformedCase(root)
+        );
     }
 
     #[test]
@@ -379,7 +393,10 @@ mod tests {
         let one = b.int(1);
         let two = b.int(2);
         let root = b.case(scrut, vec![(c1, vec![], one), (c2, vec![], two)], None);
-        assert!(matches!(b.finish(root), Err(ValidateError::MalformedCase(_))));
+        assert!(matches!(
+            b.finish(root),
+            Err(ValidateError::MalformedCase(_))
+        ));
     }
 
     #[test]
@@ -400,6 +417,9 @@ mod tests {
         let xv = b.var(x);
         let inner = b.lam(x, xv); // binds x
         let outer = b.lam(x, inner); // binds x again
-        assert!(matches!(b.finish(outer), Err(ValidateError::Rebound { .. })));
+        assert!(matches!(
+            b.finish(outer),
+            Err(ValidateError::Rebound { .. })
+        ));
     }
 }

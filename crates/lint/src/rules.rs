@@ -28,7 +28,9 @@ pub struct LintOptions {
 
 impl Default for LintOptions {
     fn default() -> LintOptions {
-        LintOptions { threads: QueryEngine::default_threads() }
+        LintOptions {
+            threads: QueryEngine::default_threads(),
+        }
     }
 }
 
@@ -79,11 +81,15 @@ pub fn lint(
     let answers = engine.batch(&queries, threads);
     let mut dead_candidates: Vec<(ExprId, ExprId)> = Vec::new();
     for (&app, answer) in apps.iter().zip(&answers) {
-        let Answer::Labels(labels) = answer else { unreachable!("LabelsOf answers Labels") };
+        let Answer::Labels(labels) = answer else {
+            unreachable!("LabelsOf answers Labels")
+        };
         if !labels.is_empty() {
             continue;
         }
-        let ExprKind::App { func, .. } = program.kind(app) else { unreachable!("app site") };
+        let ExprKind::App { func, .. } = program.kind(app) else {
+            unreachable!("app site")
+        };
         match program.kind(*func) {
             // The operator is structurally a non-function value: the
             // application is stuck, no oracle needed.
@@ -240,7 +246,10 @@ mod tests {
              let val f = #1 box in f 3 end end",
         );
         assert!(codes(&d).contains(&"STCFA001"), "got {d:?}");
-        let diag = d.iter().find(|x| x.code == RuleCode::FlowDeadApplication).unwrap();
+        let diag = d
+            .iter()
+            .find(|x| x.code == RuleCode::FlowDeadApplication)
+            .unwrap();
         assert_eq!(diag.severity, Severity::Warning);
         assert!(diag.span.is_some(), "parsed programs carry spans");
     }
@@ -254,8 +263,14 @@ mod tests {
         // A structurally-stuck operator reports STCFA006 instead.
         let (_, d) = lint_src("(1, 2) 3");
         assert!(codes(&d).contains(&"STCFA006"), "got {d:?}");
-        assert!(!codes(&d).contains(&"STCFA001"), "006 suppresses 001 at the same site: {d:?}");
-        let stuck = d.iter().find(|x| x.code == RuleCode::StuckApplication).unwrap();
+        assert!(
+            !codes(&d).contains(&"STCFA001"),
+            "006 suppresses 001 at the same site: {d:?}"
+        );
+        let stuck = d
+            .iter()
+            .find(|x| x.code == RuleCode::StuckApplication)
+            .unwrap();
         assert_eq!(stuck.severity, Severity::Error);
     }
 
@@ -276,7 +291,10 @@ mod tests {
     #[test]
     fn called_once_inline_candidate_fires() {
         let (p, d) = lint_src("fun once x = x + 1; once 5");
-        let inline = d.iter().find(|x| x.code == RuleCode::CalledOnceInline).expect("STCFA003");
+        let inline = d
+            .iter()
+            .find(|x| x.code == RuleCode::CalledOnceInline)
+            .expect("STCFA003");
         assert_eq!(inline.severity, Severity::Info);
         assert!(matches!(p.kind(inline.expr), ExprKind::Lam { .. }));
         assert!(inline.message.contains("exactly once"));

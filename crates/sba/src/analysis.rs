@@ -77,7 +77,11 @@ impl Sba {
         };
         solver.collect();
         solver.solve();
-        Sba { n_exprs: n, sets: solver.sets, stats: solver.stats }
+        Sba {
+            n_exprs: n,
+            sets: solver.sets,
+            stats: solver.stats,
+        }
     }
 
     /// `L(e)`: abstraction labels in the set of expression `e`, sorted.
@@ -187,26 +191,44 @@ impl<'a> Solver<'a> {
                     self.stats.constraints += 1;
                 }
                 ExprKind::App { func, arg } => {
-                    let c = Conditional::App { arg: self.expr_var(*arg), result: ev };
+                    let c = Conditional::App {
+                        arg: self.expr_var(*arg),
+                        result: ev,
+                    };
                     self.conditional(self.expr_var(*func), c);
                 }
                 ExprKind::Let { binder, rhs, body } => {
                     self.copy(self.expr_var(*rhs), self.binder_var(*binder));
                     self.copy(self.expr_var(*body), ev);
                 }
-                ExprKind::LetRec { binder, lambda, body } => {
+                ExprKind::LetRec {
+                    binder,
+                    lambda,
+                    body,
+                } => {
                     self.copy(self.expr_var(*lambda), self.binder_var(*binder));
                     self.copy(self.expr_var(*body), ev);
                 }
-                ExprKind::If { then_branch, else_branch, .. } => {
+                ExprKind::If {
+                    then_branch,
+                    else_branch,
+                    ..
+                } => {
                     self.copy(self.expr_var(*then_branch), ev);
                     self.copy(self.expr_var(*else_branch), ev);
                 }
                 ExprKind::Proj { index, tuple } => {
-                    let c = Conditional::Proj { index: *index, result: ev };
+                    let c = Conditional::Proj {
+                        index: *index,
+                        result: ev,
+                    };
                     self.conditional(self.expr_var(*tuple), c);
                 }
-                ExprKind::Case { scrutinee, arms, default } => {
+                ExprKind::Case {
+                    scrutinee,
+                    arms,
+                    default,
+                } => {
                     for arm in arms.iter() {
                         self.copy(self.expr_var(arm.body), ev);
                     }
@@ -321,9 +343,7 @@ mod tests {
     fn records_and_cases() {
         assert_eq!(root_labels("#1 ((fn x => x), (fn y => y))"), 1);
         assert_eq!(
-            root_labels(
-                "datatype w = W of (int -> int); case W(fn x => x) of W(f) => f"
-            ),
+            root_labels("datatype w = W of (int -> int); case W(fn x => x) of W(f) => f"),
             1
         );
     }

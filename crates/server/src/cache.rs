@@ -1,0 +1,510 @@
+//! The content-addressed snapshot store.
+//!
+//! Every analysis the daemon serves is keyed by a digest of the exact
+//! source bytes plus the build configuration (datatype policy, engine) —
+//! see [`SnapshotKey`]. The store maps keys to frozen
+//! [`QueryEngine`](stcfa_core::QueryEngine) snapshots shared across
+//! requests via `Arc`, with three properties the protocol relies on:
+//!
+//! - **Build once.** Concurrent requests for the same key coalesce: the
+//!   first builds, the rest wait on the build slot and share the result.
+//!   A warm-cache request therefore *never* rebuilds an analysis, even
+//!   under a racing burst — the differential acceptance test pins this
+//!   through the `stats` counters.
+//! - **Byte-accounted LRU.** Each snapshot carries an
+//!   [`approx_bytes`](stcfa_core::QueryEngine::approx_bytes)-based cost;
+//!   inserting past `capacity_bytes` evicts least-recently-used entries
+//!   (never in-flight builds) until the store fits.
+//! - **Checked staleness.** Evicted or explicitly invalidated digests are
+//!   remembered as tombstones, so a client replaying an old snapshot id
+//!   gets a structured *stale snapshot* error — never a silent rebuild
+//!   under a different meaning, matching the
+//!   [`StaleSnapshot`](stcfa_core::StaleSnapshot) discipline of the
+//!   incremental layer.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use stcfa_core::{Analysis, QueryEngine};
+use stcfa_devkit::hash::Fnv1a;
+use stcfa_lambda::Program;
+
+/// The content address of one analysis: source digest × configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SnapshotKey(pub u64);
+
+impl SnapshotKey {
+    /// Derives the key for `source` analyzed under (`policy`, `engine`)
+    /// configuration discriminants.
+    pub fn derive(source: &str, policy: u64, engine: u64) -> SnapshotKey {
+        SnapshotKey(Fnv1a::digest_parts(source.as_bytes(), &[policy, engine]))
+    }
+
+    /// The fixed-width hex form clients see (`%016x`).
+    pub fn hex(self) -> String {
+        format!("{:016x}", self.0)
+    }
+
+    /// Parses the hex form back into a key.
+    pub fn from_hex(s: &str) -> Option<SnapshotKey> {
+        if s.len() != 16 {
+            return None;
+        }
+        u64::from_str_radix(s, 16).ok().map(SnapshotKey)
+    }
+}
+
+/// One cached analysis: the parsed program, the finished subtransitive
+/// analysis, and the frozen query engine, shared immutably.
+#[derive(Debug)]
+pub struct Snapshot {
+    /// The parsed program.
+    pub program: Program,
+    /// The finished analysis (the lint engine walks it directly).
+    pub analysis: Analysis,
+    /// The frozen query engine every query answers through.
+    pub engine: QueryEngine,
+    /// Length of the source text, in bytes.
+    pub source_len: usize,
+    /// Wall-clock nanoseconds the build (parse + analyze + freeze) took.
+    pub build_ns: u64,
+}
+
+impl Snapshot {
+    /// The byte cost this snapshot is accounted at in the store.
+    pub fn cost_bytes(&self) -> usize {
+        self.source_len + self.engine.approx_bytes()
+    }
+}
+
+/// Point-in-time counters of one [`SnapshotStore`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Requests answered from an already-built snapshot (including
+    /// requests that coalesced onto an in-flight build).
+    pub hits: u64,
+    /// Requests that had to build a snapshot.
+    pub misses: u64,
+    /// Requests that waited for another request's in-flight build.
+    pub coalesced: u64,
+    /// Snapshots evicted by the LRU policy or explicit invalidation.
+    pub evictions: u64,
+    /// Total build wall-clock nanoseconds spent so far.
+    pub build_ns: u64,
+    /// Resident snapshots right now.
+    pub entries: usize,
+    /// Accounted bytes resident right now.
+    pub bytes: usize,
+    /// The configured capacity, in bytes.
+    pub capacity_bytes: usize,
+}
+
+/// Looking up a snapshot id can fail two ways; both are structured,
+/// recoverable protocol errors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LookupError {
+    /// The digest was never seen by this store.
+    Unknown,
+    /// The digest was cached once but has since been evicted or
+    /// invalidated — the client's handle is stale.
+    Stale,
+}
+
+/// A build slot other requests can wait on: filled exactly once with the
+/// build result (or the build error, which waiters propagate).
+struct BuildCell {
+    result: Mutex<Option<Result<Arc<Snapshot>, String>>>,
+    done: Condvar,
+}
+
+enum Slot {
+    /// A build is in flight; waiters block on the cell.
+    Building(Arc<BuildCell>),
+    /// Ready to serve.
+    Ready {
+        snapshot: Arc<Snapshot>,
+        bytes: usize,
+        last_used: u64,
+    },
+}
+
+struct Inner {
+    map: HashMap<u64, Slot>,
+    /// Digests that were resident once and are gone now (tombstones).
+    evicted: HashMap<u64, ()>,
+    /// Recency clock: bumped on every touch.
+    tick: u64,
+    bytes: usize,
+}
+
+/// The content-addressed, byte-accounted, build-deduplicating LRU store.
+/// See the [module docs](self).
+pub struct SnapshotStore {
+    inner: Mutex<Inner>,
+    capacity_bytes: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    coalesced: AtomicU64,
+    evictions: AtomicU64,
+    build_ns: AtomicU64,
+}
+
+impl SnapshotStore {
+    /// An empty store that evicts past `capacity_bytes` of accounted
+    /// snapshot weight.
+    pub fn new(capacity_bytes: usize) -> SnapshotStore {
+        SnapshotStore {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                evicted: HashMap::new(),
+                tick: 0,
+                bytes: 0,
+            }),
+            capacity_bytes,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            build_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// The snapshot for `key`, building it with `build` on a miss. The
+    /// build runs outside the store lock; concurrent requests for the same
+    /// key wait for the in-flight build instead of re-running it. Returns
+    /// the snapshot and whether this call was a cache hit.
+    pub fn get_or_build(
+        &self,
+        key: SnapshotKey,
+        build: impl FnOnce() -> Result<Snapshot, String>,
+    ) -> Result<(Arc<Snapshot>, bool), String> {
+        let cell = {
+            let mut inner = self.inner.lock().expect("store lock poisoned");
+            inner.tick += 1;
+            let tick = inner.tick;
+            match inner.map.get_mut(&key.0) {
+                Some(Slot::Ready {
+                    snapshot,
+                    last_used,
+                    ..
+                }) => {
+                    *last_used = tick;
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok((Arc::clone(snapshot), true));
+                }
+                Some(Slot::Building(cell)) => {
+                    // Another request is building this key: wait outside
+                    // the store lock, and count the coalesced hit.
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    self.coalesced.fetch_add(1, Ordering::Relaxed);
+                    Some(Arc::clone(cell))
+                }
+                None => {
+                    let cell = Arc::new(BuildCell {
+                        result: Mutex::new(None),
+                        done: Condvar::new(),
+                    });
+                    inner.map.insert(key.0, Slot::Building(Arc::clone(&cell)));
+                    inner.evicted.remove(&key.0);
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    None
+                }
+            }
+        };
+
+        if let Some(cell) = cell {
+            let mut slot = cell.result.lock().expect("build cell poisoned");
+            while slot.is_none() {
+                slot = cell.done.wait(slot).expect("build cell poisoned");
+            }
+            return match slot.as_ref().expect("loop ensures Some") {
+                Ok(snapshot) => Ok((Arc::clone(snapshot), true)),
+                Err(e) => Err(e.clone()),
+            };
+        }
+
+        // This request owns the build. Run it without holding any lock.
+        let started = Instant::now();
+        let built = build().map(Arc::new);
+        let elapsed = started.elapsed().as_nanos() as u64;
+        self.build_ns.fetch_add(elapsed, Ordering::Relaxed);
+
+        let mut inner = self.inner.lock().expect("store lock poisoned");
+        let Some(Slot::Building(cell)) = inner.map.get(&key.0) else {
+            unreachable!("build slot owned by this request disappeared");
+        };
+        let cell = Arc::clone(cell);
+        match &built {
+            Ok(snapshot) => {
+                let bytes = snapshot.cost_bytes();
+                inner.tick += 1;
+                let tick = inner.tick;
+                inner.map.insert(
+                    key.0,
+                    Slot::Ready {
+                        snapshot: Arc::clone(snapshot),
+                        bytes,
+                        last_used: tick,
+                    },
+                );
+                inner.bytes += bytes;
+                self.evict_to_capacity(&mut inner, key.0);
+            }
+            Err(_) => {
+                // Failed builds leave no residue (and no tombstone: the
+                // key was never resident, so a retry is a fresh miss).
+                inner.map.remove(&key.0);
+            }
+        }
+        drop(inner);
+
+        let to_waiters = match &built {
+            Ok(snapshot) => Ok(Arc::clone(snapshot)),
+            Err(e) => Err(e.clone()),
+        };
+        *cell.result.lock().expect("build cell poisoned") = Some(to_waiters);
+        cell.done.notify_all();
+
+        built.map(|snapshot| (snapshot, false))
+    }
+
+    /// Evicts least-recently-used Ready entries until the accounted bytes
+    /// fit the capacity. `keep` (the entry just inserted) survives even if
+    /// it alone exceeds capacity, so oversized programs still get served.
+    fn evict_to_capacity(&self, inner: &mut Inner, keep: u64) {
+        while inner.bytes > self.capacity_bytes {
+            let victim = inner
+                .map
+                .iter()
+                .filter_map(|(&k, slot)| match slot {
+                    Slot::Ready { last_used, .. } if k != keep => Some((*last_used, k)),
+                    _ => None,
+                })
+                .min()
+                .map(|(_, k)| k);
+            let Some(victim) = victim else { break };
+            if let Some(Slot::Ready { bytes, .. }) = inner.map.remove(&victim) {
+                inner.bytes -= bytes;
+                inner.evicted.insert(victim, ());
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Looks up an already-built snapshot by digest (no build). Touches
+    /// the LRU clock on success.
+    pub fn get(&self, key: SnapshotKey) -> Result<Arc<Snapshot>, LookupError> {
+        let mut inner = self.inner.lock().expect("store lock poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(&key.0) {
+            Some(Slot::Ready {
+                snapshot,
+                last_used,
+                ..
+            }) => {
+                *last_used = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(snapshot))
+            }
+            _ => None,
+        }
+        .ok_or_else(|| {
+            if inner.evicted.contains_key(&key.0) {
+                LookupError::Stale
+            } else {
+                LookupError::Unknown
+            }
+        })
+    }
+
+    /// Explicitly invalidates a snapshot (the protocol's `evict` op).
+    /// Returns whether an entry was resident. Later lookups of the digest
+    /// report [`LookupError::Stale`].
+    pub fn invalidate(&self, key: SnapshotKey) -> bool {
+        let mut inner = self.inner.lock().expect("store lock poisoned");
+        match inner.map.get(&key.0) {
+            Some(Slot::Ready { .. }) => {
+                if let Some(Slot::Ready { bytes, .. }) = inner.map.remove(&key.0) {
+                    inner.bytes -= bytes;
+                }
+                inner.evicted.insert(key.0, ());
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            // In-flight builds finish and insert; invalidating a digest
+            // that is mid-build or absent just records the tombstone.
+            _ => {
+                inner.evicted.insert(key.0, ());
+                false
+            }
+        }
+    }
+
+    /// A point-in-time snapshot of the counters.
+    pub fn stats(&self) -> StoreStats {
+        let inner = self.inner.lock().expect("store lock poisoned");
+        StoreStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            build_ns: self.build_ns.load(Ordering::Relaxed),
+            entries: inner.map.len(),
+            bytes: inner.bytes,
+            capacity_bytes: self.capacity_bytes,
+        }
+    }
+
+    /// Runs `f` over every resident snapshot (stats aggregation).
+    pub fn for_each_resident(&self, mut f: impl FnMut(&Snapshot)) {
+        let inner = self.inner.lock().expect("store lock poisoned");
+        for slot in inner.map.values() {
+            if let Slot::Ready { snapshot, .. } = slot {
+                f(snapshot);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build(source: &str) -> Result<Snapshot, String> {
+        let program = Program::parse(source).map_err(|e| e.to_string())?;
+        let analysis = Analysis::run(&program).map_err(|e| e.to_string())?;
+        let engine = QueryEngine::freeze(&analysis);
+        Ok(Snapshot {
+            program,
+            analysis,
+            engine,
+            source_len: source.len(),
+            build_ns: 0,
+        })
+    }
+
+    const SRC_A: &str = "(fn x => x) (fn y => y)";
+    const SRC_B: &str = "fun id x = x; id (fn u => u)";
+
+    #[test]
+    fn second_request_is_a_hit_and_shares_the_arc() {
+        let store = SnapshotStore::new(usize::MAX);
+        let key = SnapshotKey::derive(SRC_A, 0, 0);
+        let (first, hit1) = store.get_or_build(key, || build(SRC_A)).unwrap();
+        let (second, hit2) = store
+            .get_or_build(key, || panic!("must not rebuild"))
+            .unwrap();
+        assert!(!hit1);
+        assert!(hit2);
+        assert!(Arc::ptr_eq(&first, &second));
+        let s = store.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn key_derivation_separates_content_and_config() {
+        let k = SnapshotKey::derive(SRC_A, 0, 0);
+        assert_ne!(k, SnapshotKey::derive(SRC_B, 0, 0));
+        assert_ne!(k, SnapshotKey::derive(SRC_A, 1, 0));
+        assert_ne!(k, SnapshotKey::derive(SRC_A, 0, 1));
+        assert_eq!(SnapshotKey::from_hex(&k.hex()), Some(k));
+        assert_eq!(SnapshotKey::from_hex("xyz"), None);
+    }
+
+    #[test]
+    fn lru_evicts_by_bytes_and_reports_stale() {
+        // Capacity fits either snapshot but not both: inserting the second
+        // evicts the least recently used first.
+        let cost_a = build(SRC_A).unwrap().cost_bytes();
+        let cost_b = build(SRC_B).unwrap().cost_bytes();
+        let store = SnapshotStore::new(cost_a + cost_b - 1);
+        let ka = SnapshotKey::derive(SRC_A, 0, 0);
+        let kb = SnapshotKey::derive(SRC_B, 0, 0);
+        store.get_or_build(ka, || build(SRC_A)).unwrap();
+        store.get_or_build(kb, || build(SRC_B)).unwrap();
+        let s = store.stats();
+        assert_eq!(s.evictions, 1, "{s:?}");
+        assert!(s.bytes <= s.capacity_bytes, "{s:?}");
+        assert_eq!(store.get(ka).unwrap_err(), LookupError::Stale);
+        assert!(store.get(kb).is_ok());
+        assert_eq!(
+            store
+                .get(SnapshotKey::derive("never seen", 0, 0))
+                .unwrap_err(),
+            LookupError::Unknown
+        );
+    }
+
+    #[test]
+    fn recently_used_entries_survive_eviction() {
+        const SRC_C: &str = "(fn p => p p) (fn q => q)";
+        // Capacity fits any two snapshots but not all three.
+        let cost_a = build(SRC_A).unwrap().cost_bytes();
+        let cost_b = build(SRC_B).unwrap().cost_bytes();
+        let cost_c = build(SRC_C).unwrap().cost_bytes();
+        let store = SnapshotStore::new(cost_a + cost_b + cost_c - 1);
+        let ka = SnapshotKey::derive(SRC_A, 0, 0);
+        let kb = SnapshotKey::derive(SRC_B, 0, 0);
+        let kc = SnapshotKey::derive(SRC_C, 0, 0);
+        store.get_or_build(ka, || build(SRC_A)).unwrap();
+        store.get_or_build(kb, || build(SRC_B)).unwrap();
+        // Touch A so B is now the least recently used.
+        store.get(ka).unwrap();
+        store.get_or_build(kc, || build(SRC_C)).unwrap();
+        assert!(store.get(ka).is_ok(), "recently touched entry evicted");
+        assert_eq!(store.get(kb).unwrap_err(), LookupError::Stale);
+    }
+
+    #[test]
+    fn build_errors_propagate_and_leave_no_residue() {
+        let store = SnapshotStore::new(usize::MAX);
+        let key = SnapshotKey::derive("fn x =>", 0, 0);
+        assert!(store.get_or_build(key, || build("fn x =>")).is_err());
+        assert_eq!(store.stats().entries, 0);
+        // A retry is a fresh miss, not a stale handle.
+        assert_eq!(store.get(key).unwrap_err(), LookupError::Unknown);
+        assert!(store.get_or_build(key, || build(SRC_A)).is_ok());
+    }
+
+    #[test]
+    fn concurrent_same_key_builds_once() {
+        use std::sync::atomic::AtomicUsize;
+        let store = SnapshotStore::new(usize::MAX);
+        let key = SnapshotKey::derive(SRC_B, 0, 0);
+        let builds = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    let (snap, _) = store
+                        .get_or_build(key, || {
+                            builds.fetch_add(1, Ordering::SeqCst);
+                            build(SRC_B)
+                        })
+                        .unwrap();
+                    assert!(snap.engine.node_count() > 0);
+                });
+            }
+        });
+        assert_eq!(builds.load(Ordering::SeqCst), 1, "coalescing failed");
+        let s = store.stats();
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.hits, 7);
+    }
+
+    #[test]
+    fn invalidate_is_the_cache_invalidation_path() {
+        let store = SnapshotStore::new(usize::MAX);
+        let key = SnapshotKey::derive(SRC_A, 0, 0);
+        store.get_or_build(key, || build(SRC_A)).unwrap();
+        assert!(store.invalidate(key));
+        assert_eq!(store.get(key).unwrap_err(), LookupError::Stale);
+        assert!(!store.invalidate(key), "second invalidation is a no-op");
+        // Re-analyzing the same content rebuilds and clears the tombstone.
+        let (_, hit) = store.get_or_build(key, || build(SRC_A)).unwrap();
+        assert!(!hit);
+        assert!(store.get(key).is_ok());
+    }
+}

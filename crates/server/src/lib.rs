@@ -1,0 +1,39 @@
+//! `stcfa-server` — a long-running analysis daemon over the subtransitive
+//! CFA engine.
+//!
+//! The paper's engine makes *queries* cheap once the linear-time graph is
+//! built; the economic unit is therefore the **built analysis**, not the
+//! request. This crate amortizes builds across requests and clients:
+//!
+//! - [`cache`] — a content-addressed snapshot store. Source text plus the
+//!   (policy, engine) configuration hashes to a 64-bit digest; each digest
+//!   maps to at most one frozen [`QueryEngine`](stcfa_core::QueryEngine),
+//!   built exactly once (concurrent requests for the same digest coalesce
+//!   onto one build) and shared via `Arc` until byte-accounted LRU
+//!   eviction reclaims it.
+//! - [`proto`] — the versioned, line-delimited JSON protocol: `analyze`,
+//!   `query` (label-set / call-targets / occurrences / reachability),
+//!   `lint`, `evict`, `stats`, `shutdown`, with per-request deadlines and
+//!   structured error kinds.
+//! - [`json`] — the zero-dependency JSON reader/writer with canonical
+//!   (byte-deterministic) output, so transcripts are identical across
+//!   worker-thread counts.
+//! - [`server`] — the daemon itself: dispatch, the ordered
+//!   reader/worker/writer pipeline, stdio and TCP transports, graceful
+//!   drain on `shutdown`.
+//!
+//! Start it from the CLI with `stcfa serve --stdio` or
+//! `stcfa serve --addr 127.0.0.1:7878`; see `docs/SERVER.md` for the
+//! protocol reference.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod json;
+pub mod proto;
+pub mod server;
+
+pub use cache::{LookupError, Snapshot, SnapshotKey, SnapshotStore, StoreStats};
+pub use json::Json;
+pub use proto::{Deadline, ErrorKind, RequestError, PROTOCOL_VERSION};
+pub use server::{Server, ServerOptions};

@@ -1,0 +1,197 @@
+//! The versioned, line-delimited request/response protocol.
+//!
+//! One request per line, one response line per request, always in request
+//! order. Every request is a JSON object:
+//!
+//! ```text
+//! {"v":1,"id":7,"op":"analyze","source":"fun id x = x;","policy":"c1"}
+//! ```
+//!
+//! - `v` (optional) — protocol version; only version 1 exists. A request
+//!   naming another version is rejected with a `proto` error.
+//! - `id` (optional) — any JSON value; echoed verbatim in the response.
+//! - `op` (required) — one of `analyze`, `query`, `lint`, `evict`,
+//!   `stats`, `shutdown`.
+//! - `deadline_ms` (optional) — per-request deadline, measured from the
+//!   moment the daemon read the line. A request that exceeds it is
+//!   answered with a structured `timeout` error; the daemon keeps
+//!   serving.
+//!
+//! Responses are `{"v":1,"id":…,"ok":true,"result":{…}}` on success and
+//! `{"v":1,"id":…,"ok":false,"error":{"kind":…,"message":…}}` on failure.
+//! Errors never terminate the connection or the daemon; `shutdown` is the
+//! only way to stop it from the protocol. See `docs/SERVER.md` for the
+//! full op reference.
+
+use std::time::{Duration, Instant};
+
+use crate::json::Json;
+use stcfa_core::DatatypePolicy;
+
+/// The protocol version this daemon speaks.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Structured error classes. The string form is part of the protocol.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// Malformed JSON, unknown op/field values, bad parameters.
+    Proto,
+    /// The submitted source failed to parse.
+    Parse,
+    /// The analysis refused the program (e.g. node-budget exceeded on an
+    /// unbounded-type program).
+    Analysis,
+    /// A snapshot digest this store has never seen.
+    UnknownSnapshot,
+    /// A snapshot digest that was cached once and has since been evicted
+    /// or invalidated.
+    StaleSnapshot,
+    /// The request exceeded its `deadline_ms`.
+    Timeout,
+}
+
+impl ErrorKind {
+    /// The wire form.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorKind::Proto => "proto",
+            ErrorKind::Parse => "parse",
+            ErrorKind::Analysis => "analysis",
+            ErrorKind::UnknownSnapshot => "unknown-snapshot",
+            ErrorKind::StaleSnapshot => "stale-snapshot",
+            ErrorKind::Timeout => "timeout",
+        }
+    }
+}
+
+/// A request failure: kind plus human-readable message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RequestError {
+    /// The structured class.
+    pub kind: ErrorKind,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl RequestError {
+    /// Shorthand constructor.
+    pub fn new(kind: ErrorKind, message: impl Into<String>) -> RequestError {
+        RequestError {
+            kind,
+            message: message.into(),
+        }
+    }
+}
+
+/// The per-request deadline clock: started when the daemon read the
+/// request line, checked at the request's work checkpoints.
+#[derive(Clone, Copy, Debug)]
+pub struct Deadline {
+    started: Instant,
+    budget: Option<Duration>,
+}
+
+impl Deadline {
+    /// A deadline of `budget_ms` milliseconds starting at `started`
+    /// (`None` = unlimited).
+    pub fn new(started: Instant, budget_ms: Option<u64>) -> Deadline {
+        Deadline {
+            started,
+            budget: budget_ms.map(Duration::from_millis),
+        }
+    }
+
+    /// Errors with [`ErrorKind::Timeout`] if the budget is spent. Call at
+    /// every checkpoint that precedes or follows substantial work.
+    pub fn check(&self, at: &str) -> Result<(), RequestError> {
+        match self.budget {
+            Some(budget) if self.started.elapsed() > budget => Err(RequestError::new(
+                ErrorKind::Timeout,
+                format!(
+                    "deadline of {} ms exceeded ({} ms elapsed, at {at})",
+                    budget.as_millis(),
+                    self.started.elapsed().as_millis()
+                ),
+            )),
+            _ => Ok(()),
+        }
+    }
+}
+
+/// Maps the wire policy name to the core enum and its stable key
+/// discriminant (part of the content address — renumbering invalidates
+/// every cached digest).
+pub fn parse_policy(name: &str) -> Option<(DatatypePolicy, u64)> {
+    match name {
+        "c1" => Some((DatatypePolicy::Congruence1, 0)),
+        "c2" => Some((DatatypePolicy::Congruence2, 1)),
+        "exact" => Some((DatatypePolicy::Exact, 2)),
+        "forget" => Some((DatatypePolicy::Forget, 3)),
+        _ => None,
+    }
+}
+
+/// Builds the success response line for `id`.
+pub fn ok_response(id: Json, result: Json) -> Json {
+    Json::obj(vec![
+        ("v", Json::num(PROTOCOL_VERSION)),
+        ("id", id),
+        ("ok", Json::Bool(true)),
+        ("result", result),
+    ])
+}
+
+/// Builds the failure response line for `id`.
+pub fn err_response(id: Json, error: &RequestError) -> Json {
+    Json::obj(vec![
+        ("v", Json::num(PROTOCOL_VERSION)),
+        ("id", id),
+        ("ok", Json::Bool(false)),
+        (
+            "error",
+            Json::obj(vec![
+                ("kind", Json::str(error.kind.as_str())),
+                ("message", Json::str(error.message.clone())),
+            ]),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deadline_zero_times_out_immediately() {
+        let d = Deadline::new(Instant::now() - Duration::from_millis(1), Some(0));
+        let err = d.check("start").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Timeout);
+        assert!(err.message.contains("deadline of 0 ms"), "{}", err.message);
+    }
+
+    #[test]
+    fn unlimited_deadline_never_fires() {
+        let d = Deadline::new(Instant::now() - Duration::from_secs(3600), None);
+        assert!(d.check("anywhere").is_ok());
+    }
+
+    #[test]
+    fn response_shapes_are_canonical() {
+        let ok = ok_response(Json::num(3), Json::obj(vec![("x", Json::num(1))]));
+        assert_eq!(ok.to_line(), r#"{"v":1,"id":3,"ok":true,"result":{"x":1}}"#);
+        let err = err_response(Json::Null, &RequestError::new(ErrorKind::Timeout, "late"));
+        assert_eq!(
+            err.to_line(),
+            r#"{"v":1,"id":null,"ok":false,"error":{"kind":"timeout","message":"late"}}"#
+        );
+    }
+
+    #[test]
+    fn policy_names_map_to_stable_discriminants() {
+        assert_eq!(parse_policy("c1").unwrap().1, 0);
+        assert_eq!(parse_policy("c2").unwrap().1, 1);
+        assert_eq!(parse_policy("exact").unwrap().1, 2);
+        assert_eq!(parse_policy("forget").unwrap().1, 3);
+        assert!(parse_policy("c3").is_none());
+    }
+}

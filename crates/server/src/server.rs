@@ -1,0 +1,1040 @@
+//! The daemon: request dispatch, the worker pipeline, and the two
+//! transports (stdio and TCP).
+//!
+//! # Execution model
+//!
+//! One [`Server`] owns the [`SnapshotStore`] and the global counters. A
+//! *pipeline* serves one byte stream: a detached reader thread tags each
+//! line with a sequence number and its arrival [`Instant`] (the deadline
+//! clock), `threads` scoped workers call [`Server::handle_line`]
+//! concurrently, and a single writer emits responses **in request
+//! order** — so a transcript's bytes are independent of the worker count.
+//!
+//! # Robustness invariants
+//!
+//! - A request never takes the daemon down: malformed JSON, parse and
+//!   analysis failures, stale snapshot handles and blown deadlines all
+//!   become structured error responses on the same connection.
+//! - `shutdown` is graceful: every request enqueued before it is still
+//!   answered (the single-writer ordering guarantees the shutdown
+//!   response is the last line written), then the pipeline drains and the
+//!   transport stops accepting input.
+//! - Workers exit only under the queue lock with the queue empty, and the
+//!   reader refuses to enqueue once shutdown is latched under that same
+//!   lock — no request is ever silently dropped mid-drain.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use stcfa_core::{Analysis, AnalysisOptions, QueryEngine};
+use stcfa_lambda::{ExprId, ExprKind, Label, Program};
+use stcfa_lint::{lint, LintOptions};
+
+use crate::cache::{LookupError, Snapshot, SnapshotKey, SnapshotStore};
+use crate::json::Json;
+use crate::proto::{
+    err_response, ok_response, parse_policy, Deadline, ErrorKind, RequestError, PROTOCOL_VERSION,
+};
+
+/// Configuration for one daemon.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerOptions {
+    /// Worker threads per pipeline (also the lint engine's batch width).
+    pub threads: usize,
+    /// Snapshot-store capacity in accounted bytes.
+    pub cache_capacity: usize,
+    /// Deadline applied to requests that carry none (`None` = unlimited).
+    pub default_deadline_ms: Option<u64>,
+}
+
+impl Default for ServerOptions {
+    fn default() -> ServerOptions {
+        ServerOptions {
+            threads: QueryEngine::default_threads(),
+            cache_capacity: 256 << 20,
+            default_deadline_ms: None,
+        }
+    }
+}
+
+/// The long-running analysis daemon. See the [module docs](self).
+pub struct Server {
+    options: ServerOptions,
+    store: SnapshotStore,
+    requests: AtomicU64,
+    in_flight: AtomicU64,
+    query_ns: AtomicU64,
+    /// Latched by the `shutdown` op; transports poll it.
+    stop: Arc<AtomicBool>,
+}
+
+/// The engine discriminant for the monovariant subtransitive engine —
+/// the only one served (the paper's bounded-type monovariant analysis is
+/// what keeps per-request latency predictable). Part of the content
+/// address.
+const ENGINE_SUB: u64 = 0;
+
+impl Server {
+    /// A daemon with the given options and an empty snapshot store.
+    pub fn new(options: ServerOptions) -> Server {
+        Server {
+            options,
+            store: SnapshotStore::new(options.cache_capacity),
+            requests: AtomicU64::new(0),
+            in_flight: AtomicU64::new(0),
+            query_ns: AtomicU64::new(0),
+            stop: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    /// The snapshot store (exposed for tests and benchmarks).
+    pub fn store(&self) -> &SnapshotStore {
+        &self.store
+    }
+
+    /// Whether `shutdown` has been requested.
+    pub fn is_stopping(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+
+    // --- request dispatch ---------------------------------------------------
+
+    /// Handles one request line and returns the one response line (no
+    /// trailing newline). `received` anchors the deadline clock; pass the
+    /// instant the line was read. Never panics on untrusted input.
+    pub fn handle_line(&self, line: &str, received: Instant) -> String {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.in_flight.fetch_add(1, Ordering::SeqCst);
+        let started = Instant::now();
+        let response = self.dispatch(line, received);
+        self.query_ns
+            .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        self.in_flight.fetch_sub(1, Ordering::SeqCst);
+        response.to_line()
+    }
+
+    fn dispatch(&self, line: &str, received: Instant) -> Json {
+        let request = match Json::parse(line) {
+            Ok(v) => v,
+            Err(e) => {
+                return err_response(
+                    Json::Null,
+                    &RequestError::new(ErrorKind::Proto, e.to_string()),
+                )
+            }
+        };
+        let id = request.get("id").cloned().unwrap_or(Json::Null);
+        match self.dispatch_parsed(&request, received) {
+            Ok(result) => ok_response(id, result),
+            Err(e) => err_response(id, &e),
+        }
+    }
+
+    fn dispatch_parsed(&self, request: &Json, received: Instant) -> Result<Json, RequestError> {
+        if let Some(v) = request.get("v") {
+            if v.as_u64() != Some(PROTOCOL_VERSION) {
+                return Err(RequestError::new(
+                    ErrorKind::Proto,
+                    format!(
+                        "unsupported protocol version {} (this daemon speaks 1)",
+                        v.to_line()
+                    ),
+                ));
+            }
+        }
+        let op = request
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or_else(|| RequestError::new(ErrorKind::Proto, "missing required field `op`"))?;
+        let deadline_ms = match request.get("deadline_ms") {
+            None => self.options.default_deadline_ms,
+            Some(v) => Some(v.as_u64().ok_or_else(|| {
+                RequestError::new(
+                    ErrorKind::Proto,
+                    "`deadline_ms` must be a non-negative integer",
+                )
+            })?),
+        };
+        let deadline = Deadline::new(received, deadline_ms);
+        deadline.check("request start")?;
+        match op {
+            "analyze" => self.op_analyze(request, &deadline),
+            "query" => self.op_query(request, &deadline),
+            "lint" => self.op_lint(request, &deadline),
+            "evict" => self.op_evict(request),
+            "stats" => Ok(self.op_stats()),
+            "shutdown" => {
+                self.stop.store(true, Ordering::SeqCst);
+                Ok(Json::obj(vec![("stopping", Json::Bool(true))]))
+            }
+            other => Err(RequestError::new(
+                ErrorKind::Proto,
+                format!("unknown op `{other}` (expected analyze|query|lint|evict|stats|shutdown)"),
+            )),
+        }
+    }
+
+    // --- snapshot resolution ------------------------------------------------
+
+    /// Builds (or fetches) the snapshot for `source`: the content-addressed
+    /// amortization point every expensive request goes through.
+    fn analyze_source(
+        &self,
+        request: &Json,
+        source: &str,
+        deadline: &Deadline,
+    ) -> Result<(Arc<Snapshot>, SnapshotKey, bool), RequestError> {
+        let policy_name = request
+            .get("policy")
+            .and_then(Json::as_str)
+            .unwrap_or("c1")
+            .to_owned();
+        let (policy, policy_disc) = parse_policy(&policy_name).ok_or_else(|| {
+            RequestError::new(
+                ErrorKind::Proto,
+                format!("unknown policy `{policy_name}` (expected c1|c2|exact|forget)"),
+            )
+        })?;
+        if let Some(engine) = request.get("engine").and_then(Json::as_str) {
+            if engine != "sub" {
+                return Err(RequestError::new(
+                    ErrorKind::Proto,
+                    format!("unknown engine `{engine}` (this daemon serves `sub`)"),
+                ));
+            }
+        }
+        let key = SnapshotKey::derive(source, policy_disc, ENGINE_SUB);
+        deadline.check("before build")?;
+        let source = source.to_owned();
+        let (snapshot, cached) = self
+            .store
+            .get_or_build(key, move || {
+                let started = Instant::now();
+                let program = Program::parse(&source).map_err(|e| format!("parse\u{0}{e}"))?;
+                let analysis = Analysis::run_with(
+                    &program,
+                    AnalysisOptions {
+                        policy,
+                        max_nodes: None,
+                    },
+                )
+                .map_err(|e| format!("analysis\u{0}{e}"))?;
+                let engine = QueryEngine::freeze(&analysis);
+                // Summarize eagerly: the snapshot is built once and read
+                // many times, so pay the sweep inside the accounted build.
+                engine.prepare();
+                Ok(Snapshot {
+                    program,
+                    analysis,
+                    engine,
+                    source_len: source.len(),
+                    build_ns: started.elapsed().as_nanos() as u64,
+                })
+            })
+            .map_err(decode_build_err)?;
+        // The build may have blown the budget even though the snapshot is
+        // now cached (and stays warm for the next request).
+        deadline.check("after build")?;
+        Ok((snapshot, key, cached))
+    }
+
+    /// Resolves the snapshot a query/lint request names: an explicit
+    /// `snapshot` digest, or inline `source` routed through the cache.
+    fn resolve_snapshot(
+        &self,
+        request: &Json,
+        deadline: &Deadline,
+    ) -> Result<Arc<Snapshot>, RequestError> {
+        if let Some(handle) = request.get("snapshot") {
+            let hex = handle.as_str().ok_or_else(|| {
+                RequestError::new(ErrorKind::Proto, "`snapshot` must be a hex digest string")
+            })?;
+            let key = SnapshotKey::from_hex(hex).ok_or_else(|| {
+                RequestError::new(
+                    ErrorKind::Proto,
+                    format!("`snapshot` is not a 16-digit hex digest: `{hex}`"),
+                )
+            })?;
+            return self.store.get(key).map_err(|e| match e {
+                LookupError::Unknown => RequestError::new(
+                    ErrorKind::UnknownSnapshot,
+                    format!("snapshot {hex} was never analyzed by this daemon"),
+                ),
+                LookupError::Stale => RequestError::new(
+                    ErrorKind::StaleSnapshot,
+                    format!("snapshot {hex} was evicted or invalidated; re-analyze to refresh"),
+                ),
+            });
+        }
+        if let Some(source) = request.get("source").and_then(Json::as_str) {
+            let (snapshot, _, _) = self.analyze_source(request, source, deadline)?;
+            return Ok(snapshot);
+        }
+        Err(RequestError::new(
+            ErrorKind::Proto,
+            "request needs either a `snapshot` digest or inline `source`",
+        ))
+    }
+
+    // --- ops ----------------------------------------------------------------
+
+    fn op_analyze(&self, request: &Json, deadline: &Deadline) -> Result<Json, RequestError> {
+        let source = request
+            .get("source")
+            .and_then(Json::as_str)
+            .ok_or_else(|| RequestError::new(ErrorKind::Proto, "`analyze` needs `source`"))?;
+        let (snapshot, key, cached) = self.analyze_source(request, source, deadline)?;
+        Ok(Json::obj(vec![
+            ("snapshot", Json::str(key.hex())),
+            ("cached", Json::Bool(cached)),
+            ("exprs", Json::num(snapshot.program.size() as u64)),
+            ("labels", Json::num(snapshot.engine.label_count() as u64)),
+            ("nodes", Json::num(snapshot.engine.node_count() as u64)),
+            ("edges", Json::num(snapshot.engine.edge_count() as u64)),
+            ("comps", Json::num(snapshot.engine.comp_count() as u64)),
+        ]))
+    }
+
+    fn op_query(&self, request: &Json, deadline: &Deadline) -> Result<Json, RequestError> {
+        let kind = request
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or_else(|| RequestError::new(ErrorKind::Proto, "`query` needs `kind`"))?
+            .to_owned();
+        let snapshot = self.resolve_snapshot(request, deadline)?;
+        deadline.check("before query")?;
+        let program = &snapshot.program;
+        let engine = &snapshot.engine;
+        let result = match kind.as_str() {
+            "label-set" => {
+                let expr = match request.get("expr") {
+                    None => program.root(),
+                    Some(v) => expr_param(v, program, "expr")?,
+                };
+                labels_json(program, &engine.labels_of(expr))
+            }
+            "call-targets" => {
+                let site = expr_param(
+                    request.get("site").ok_or_else(|| {
+                        RequestError::new(ErrorKind::Proto, "`call-targets` needs `site`")
+                    })?,
+                    program,
+                    "site",
+                )?;
+                let targets = engine.call_targets(program, site).ok_or_else(|| {
+                    RequestError::new(
+                        ErrorKind::Proto,
+                        format!("expression {} is not an application site", site.index()),
+                    )
+                })?;
+                labels_json(program, &targets)
+            }
+            "occurrences" => {
+                let label = label_param(request, program)?;
+                let exprs = engine.exprs_with_label(label);
+                Json::obj(vec![
+                    ("count", Json::num(exprs.len() as u64)),
+                    (
+                        "exprs",
+                        Json::Arr(exprs.iter().map(|e| Json::num(e.index() as u64)).collect()),
+                    ),
+                ])
+            }
+            "reachability" => {
+                let expr = expr_param(
+                    request.get("expr").ok_or_else(|| {
+                        RequestError::new(ErrorKind::Proto, "`reachability` needs `expr`")
+                    })?,
+                    program,
+                    "expr",
+                )?;
+                let label = label_param(request, program)?;
+                Json::obj(vec![(
+                    "reaches",
+                    Json::Bool(engine.label_reaches(expr, label)),
+                )])
+            }
+            other => {
+                return Err(RequestError::new(
+                    ErrorKind::Proto,
+                    format!(
+                        "unknown query kind `{other}` \
+                         (expected label-set|call-targets|occurrences|reachability)"
+                    ),
+                ))
+            }
+        };
+        deadline.check("after query")?;
+        let Json::Obj(mut pairs) = result else {
+            unreachable!("results are objects")
+        };
+        pairs.insert(0, ("kind".to_owned(), Json::Str(kind)));
+        Ok(Json::Obj(pairs))
+    }
+
+    fn op_lint(&self, request: &Json, deadline: &Deadline) -> Result<Json, RequestError> {
+        let snapshot = self.resolve_snapshot(request, deadline)?;
+        deadline.check("before lint")?;
+        let diags = lint(
+            &snapshot.program,
+            &snapshot.analysis,
+            &snapshot.engine,
+            &LintOptions {
+                threads: self.options.threads,
+            },
+        );
+        deadline.check("after lint")?;
+        let items: Vec<Json> = diags
+            .iter()
+            .map(|d| {
+                let span = match d.span {
+                    None => Json::Null,
+                    Some(s) => Json::obj(vec![
+                        ("line", Json::num(s.start.line as u64)),
+                        ("col", Json::num(s.start.col as u64)),
+                        ("end_line", Json::num(s.end.line as u64)),
+                        ("end_col", Json::num(s.end.col as u64)),
+                    ]),
+                };
+                Json::obj(vec![
+                    ("code", Json::str(d.code.as_str())),
+                    ("severity", Json::str(d.severity.as_str())),
+                    ("expr", Json::num(d.expr.index() as u64)),
+                    ("span", span),
+                    ("message", Json::str(d.message.clone())),
+                ])
+            })
+            .collect();
+        Ok(Json::obj(vec![
+            ("count", Json::num(items.len() as u64)),
+            ("diagnostics", Json::Arr(items)),
+        ]))
+    }
+
+    fn op_evict(&self, request: &Json) -> Result<Json, RequestError> {
+        let hex = request
+            .get("snapshot")
+            .and_then(Json::as_str)
+            .ok_or_else(|| RequestError::new(ErrorKind::Proto, "`evict` needs `snapshot`"))?;
+        let key = SnapshotKey::from_hex(hex).ok_or_else(|| {
+            RequestError::new(
+                ErrorKind::Proto,
+                format!("`snapshot` is not a 16-digit hex digest: `{hex}`"),
+            )
+        })?;
+        Ok(Json::obj(vec![(
+            "evicted",
+            Json::Bool(self.store.invalidate(key)),
+        )]))
+    }
+
+    fn op_stats(&self) -> Json {
+        let store = self.store.stats();
+        let mut analysis = stcfa_core::AnalysisStats::default();
+        self.store.for_each_resident(|snapshot| {
+            let s = snapshot.engine.stats();
+            analysis.build_nodes += s.build_nodes;
+            analysis.build_edges += s.build_edges;
+            analysis.close_nodes += s.close_nodes;
+            analysis.close_edges += s.close_edges;
+            analysis.edges_processed += s.edges_processed;
+            analysis.demand_registrations += s.demand_registrations;
+            analysis.queries_answered += s.queries_answered;
+            analysis.query_cache_hits += s.query_cache_hits;
+            analysis.query_cache_misses += s.query_cache_misses;
+        });
+        Json::obj(vec![
+            ("protocol", Json::num(PROTOCOL_VERSION)),
+            ("threads", Json::num(self.options.threads as u64)),
+            ("requests", Json::num(self.requests.load(Ordering::Relaxed))),
+            // This request is itself in flight while counting.
+            (
+                "in_flight",
+                Json::num(self.in_flight.load(Ordering::SeqCst)),
+            ),
+            ("query_ns", Json::num(self.query_ns.load(Ordering::Relaxed))),
+            ("build_ns", Json::num(store.build_ns)),
+            (
+                "cache",
+                Json::obj(vec![
+                    ("entries", Json::num(store.entries as u64)),
+                    ("bytes", Json::num(store.bytes as u64)),
+                    ("capacity_bytes", Json::num(store.capacity_bytes as u64)),
+                    ("hits", Json::num(store.hits)),
+                    ("misses", Json::num(store.misses)),
+                    ("coalesced", Json::num(store.coalesced)),
+                    ("evictions", Json::num(store.evictions)),
+                ]),
+            ),
+            (
+                "analysis",
+                Json::obj(vec![
+                    ("build_nodes", Json::num(analysis.build_nodes as u64)),
+                    ("build_edges", Json::num(analysis.build_edges as u64)),
+                    ("close_nodes", Json::num(analysis.close_nodes as u64)),
+                    ("close_edges", Json::num(analysis.close_edges as u64)),
+                    ("edges_processed", Json::num(analysis.edges_processed)),
+                    (
+                        "demand_registrations",
+                        Json::num(analysis.demand_registrations),
+                    ),
+                    ("queries_answered", Json::num(analysis.queries_answered)),
+                    ("query_cache_hits", Json::num(analysis.query_cache_hits)),
+                    ("query_cache_misses", Json::num(analysis.query_cache_misses)),
+                ]),
+            ),
+        ])
+    }
+
+    // --- the pipeline -------------------------------------------------------
+
+    /// Serves one line stream: requests from `reader`, responses to
+    /// `writer`, with this server's worker count. Returns when the input
+    /// ends or a `shutdown` request has drained. The reader runs on a
+    /// detached thread so a `shutdown` can complete even while the input
+    /// stream stays open (a blocked read never holds the drain hostage).
+    pub fn serve<R, W>(&self, reader: R, mut writer: W) -> io::Result<()>
+    where
+        R: BufRead + Send + 'static,
+        W: Write,
+    {
+        let shared = Arc::new(PipeShared::default());
+        spawn_reader(reader, Arc::clone(&shared));
+        let out = Mutex::new(OutState {
+            next_seq: 0,
+            ready: BTreeMap::new(),
+            workers_active: self.options.threads.max(1),
+        });
+        let out_cv = Condvar::new();
+        let mut io_result = Ok(());
+        std::thread::scope(|scope| {
+            for _ in 0..self.options.threads.max(1) {
+                scope.spawn(|| {
+                    loop {
+                        let job = shared.next_job();
+                        let Some(job) = job else { break };
+                        let latch_shutdown = {
+                            let response = self.handle_line(&job.line, job.received);
+                            let mut out = out.lock().expect("out lock poisoned");
+                            out.ready.insert(job.seq, response);
+                            out_cv.notify_all();
+                            self.is_stopping()
+                        };
+                        if latch_shutdown {
+                            // Latch under the queue lock so the reader
+                            // cannot enqueue past the drain point.
+                            shared.latch_stop();
+                        }
+                    }
+                    let mut out = out.lock().expect("out lock poisoned");
+                    out.workers_active -= 1;
+                    out_cv.notify_all();
+                });
+            }
+            // This thread is the writer: emit responses in sequence order.
+            let mut out_guard = out.lock().expect("out lock poisoned");
+            loop {
+                while let Some(response) = {
+                    let seq = out_guard.next_seq;
+                    out_guard.ready.remove(&seq)
+                } {
+                    out_guard.next_seq += 1;
+                    drop(out_guard);
+                    let w = writeln!(writer, "{response}").and_then(|()| writer.flush());
+                    out_guard = out.lock().expect("out lock poisoned");
+                    if let Err(e) = w {
+                        // A vanished client is not a daemon failure, but
+                        // stop writing and drain.
+                        io_result = Err(e);
+                        out_guard.ready.clear();
+                    }
+                }
+                if out_guard.workers_active == 0 && out_guard.ready.is_empty() {
+                    break;
+                }
+                let (guard, _) = out_cv
+                    .wait_timeout(out_guard, Duration::from_millis(50))
+                    .expect("out lock poisoned");
+                out_guard = guard;
+            }
+        });
+        io_result
+    }
+
+    /// Serves stdio: the `--stdio` transport.
+    pub fn serve_stdio(&self) -> io::Result<()> {
+        let stdin = io::stdin();
+        let stdout = io::stdout();
+        self.serve(BufReader::new(stdin), stdout.lock())
+    }
+
+    /// Binds `addr` and serves TCP connections until a `shutdown` request
+    /// arrives on any of them; in-flight connections drain before the
+    /// listener returns. Returns the bound local address via `on_bound`
+    /// (useful with port 0).
+    pub fn serve_tcp(
+        &self,
+        addr: &str,
+        on_bound: impl FnOnce(std::net::SocketAddr),
+    ) -> io::Result<()> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        on_bound(listener.local_addr()?);
+        std::thread::scope(|scope| {
+            loop {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        scope.spawn(move || {
+                            let _ = self.serve_tcp_connection(stream);
+                        });
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        if self.is_stopping() {
+                            break;
+                        }
+                        std::thread::sleep(Duration::from_millis(20));
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            Ok(())
+        })
+    }
+
+    /// One TCP connection: same pipeline, with a read timeout so an idle
+    /// connection notices a daemon-wide shutdown within ~50 ms.
+    fn serve_tcp_connection(&self, stream: TcpStream) -> io::Result<()> {
+        stream.set_read_timeout(Some(Duration::from_millis(50)))?;
+        let writer = stream.try_clone()?;
+        let reader = TimeoutLineReader {
+            inner: BufReader::new(stream),
+            stop: Arc::clone(&self.stop),
+        };
+        self.serve(reader, writer)
+    }
+}
+
+/// Decodes the NUL-prefixed error kind the build closure encodes (the
+/// store transports build failures as plain strings).
+fn decode_build_err(encoded: String) -> RequestError {
+    match encoded.split_once('\u{0}') {
+        Some(("parse", msg)) => RequestError::new(ErrorKind::Parse, msg),
+        Some(("analysis", msg)) => RequestError::new(ErrorKind::Analysis, msg),
+        _ => RequestError::new(ErrorKind::Analysis, encoded),
+    }
+}
+
+/// Validates an expression-index parameter against the program.
+fn expr_param(v: &Json, program: &Program, field: &str) -> Result<ExprId, RequestError> {
+    let index = v.as_u64().ok_or_else(|| {
+        RequestError::new(
+            ErrorKind::Proto,
+            format!("`{field}` must be an expression index"),
+        )
+    })?;
+    if (index as usize) >= program.size() {
+        return Err(RequestError::new(
+            ErrorKind::Proto,
+            format!(
+                "`{field}` {index} out of range (program has {} expressions)",
+                program.size()
+            ),
+        ));
+    }
+    Ok(ExprId::from_index(index as usize))
+}
+
+/// Validates a label-index parameter against the program.
+fn label_param(request: &Json, program: &Program) -> Result<Label, RequestError> {
+    let index = request
+        .get("label")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| RequestError::new(ErrorKind::Proto, "request needs a `label` index"))?;
+    if (index as usize) >= program.label_count() {
+        return Err(RequestError::new(
+            ErrorKind::Proto,
+            format!(
+                "`label` {index} out of range (program has {} labels)",
+                program.label_count()
+            ),
+        ));
+    }
+    Ok(Label::from_index(index as usize))
+}
+
+/// Renders a label set as indices plus display names (`λx#0`, as the CLI
+/// prints them).
+fn labels_json(program: &Program, labels: &[Label]) -> Json {
+    let names: Vec<Json> = labels
+        .iter()
+        .map(|&l| {
+            let lam = program.lam_of_label(l);
+            let ExprKind::Lam { param, .. } = program.kind(lam) else {
+                unreachable!()
+            };
+            Json::str(format!("λ{}#{}", program.var_name(*param), l.index()))
+        })
+        .collect();
+    Json::obj(vec![
+        ("count", Json::num(labels.len() as u64)),
+        (
+            "labels",
+            Json::Arr(labels.iter().map(|l| Json::num(l.index() as u64)).collect()),
+        ),
+        ("names", Json::Arr(names)),
+    ])
+}
+
+// --- pipeline plumbing ------------------------------------------------------
+
+struct Job {
+    seq: u64,
+    line: String,
+    received: Instant,
+}
+
+#[derive(Default)]
+struct PipeState {
+    pending: VecDeque<Job>,
+    input_done: bool,
+    /// Latched after a shutdown response is enqueued: the reader stops
+    /// accepting new requests, workers drain and exit.
+    stopped: bool,
+}
+
+#[derive(Default)]
+struct PipeShared {
+    state: Mutex<PipeState>,
+    work_cv: Condvar,
+}
+
+impl PipeShared {
+    /// Enqueues a line unless the pipeline has latched shutdown; returns
+    /// whether the reader should keep going.
+    fn push(&self, seq: u64, line: String, received: Instant) -> bool {
+        let mut state = self.state.lock().expect("pipe lock poisoned");
+        if state.stopped {
+            return false;
+        }
+        state.pending.push_back(Job {
+            seq,
+            line,
+            received,
+        });
+        self.work_cv.notify_one();
+        true
+    }
+
+    fn finish_input(&self) {
+        let mut state = self.state.lock().expect("pipe lock poisoned");
+        state.input_done = true;
+        self.work_cv.notify_all();
+    }
+
+    fn latch_stop(&self) {
+        let mut state = self.state.lock().expect("pipe lock poisoned");
+        state.stopped = true;
+        self.work_cv.notify_all();
+    }
+
+    /// The next job, or `None` when the pipeline is done (input ended or
+    /// shutdown latched) **and** the queue is drained.
+    fn next_job(&self) -> Option<Job> {
+        let mut state = self.state.lock().expect("pipe lock poisoned");
+        loop {
+            if let Some(job) = state.pending.pop_front() {
+                return Some(job);
+            }
+            if state.input_done || state.stopped {
+                return None;
+            }
+            let (guard, _) = self
+                .work_cv
+                .wait_timeout(state, Duration::from_millis(50))
+                .expect("pipe lock poisoned");
+            state = guard;
+        }
+    }
+}
+
+struct OutState {
+    next_seq: u64,
+    ready: BTreeMap<u64, String>,
+    workers_active: usize,
+}
+
+/// Spawns the detached reader thread: lines in, jobs out. Detached on
+/// purpose — see [`Server::serve`].
+fn spawn_reader<R: BufRead + Send + 'static>(mut reader: R, shared: Arc<PipeShared>) {
+    std::thread::spawn(move || {
+        let mut seq = 0u64;
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match reader.read_line(&mut line) {
+                Ok(0) => break,
+                Ok(_) => {
+                    let received = Instant::now();
+                    let trimmed = line.trim();
+                    if trimmed.is_empty() {
+                        continue; // blank keep-alive lines get no response
+                    }
+                    if !shared.push(seq, trimmed.to_owned(), received) {
+                        break;
+                    }
+                    seq += 1;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+        shared.finish_input();
+    });
+}
+
+/// A line reader over a read-timeout TCP stream: `WouldBlock`/`TimedOut`
+/// reads poll the daemon's stop flag instead of erroring out, so idle
+/// connections participate in graceful shutdown.
+struct TimeoutLineReader {
+    inner: BufReader<TcpStream>,
+    stop: Arc<AtomicBool>,
+}
+
+impl io::Read for TimeoutLineReader {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        io::Read::read(&mut self.inner, buf)
+    }
+}
+
+impl BufRead for TimeoutLineReader {
+    fn fill_buf(&mut self) -> io::Result<&[u8]> {
+        self.inner.fill_buf()
+    }
+
+    fn consume(&mut self, amt: usize) {
+        self.inner.consume(amt)
+    }
+
+    fn read_line(&mut self, buf: &mut String) -> io::Result<usize> {
+        loop {
+            match self.inner.read_line(buf) {
+                Ok(n) => return Ok(n),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if self.stop.load(Ordering::SeqCst) {
+                        return Ok(0); // treat daemon shutdown as EOF
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn server() -> Server {
+        Server::new(ServerOptions {
+            threads: 2,
+            ..Default::default()
+        })
+    }
+
+    fn call(server: &Server, line: &str) -> Json {
+        Json::parse(&server.handle_line(line, Instant::now())).expect("response is valid JSON")
+    }
+
+    #[test]
+    fn analyze_then_query_round_trip() {
+        let s = server();
+        let r = call(
+            &s,
+            r#"{"v":1,"id":1,"op":"analyze","source":"(fn x => x x) (fn y => y)"}"#,
+        );
+        assert_eq!(r.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(r.get("id").and_then(Json::as_u64), Some(1));
+        let digest = r
+            .get("result")
+            .and_then(|res| res.get("snapshot"))
+            .and_then(Json::as_str)
+            .expect("digest")
+            .to_owned();
+        let q = call(
+            &s,
+            &format!(r#"{{"op":"query","kind":"label-set","snapshot":"{digest}"}}"#),
+        );
+        let result = q.get("result").expect("ok");
+        assert_eq!(result.get("count").and_then(Json::as_u64), Some(1));
+        assert_eq!(
+            result
+                .get("names")
+                .and_then(Json::as_arr)
+                .and_then(|a| a[0].as_str()),
+            Some("λy#1")
+        );
+    }
+
+    #[test]
+    fn second_analyze_is_a_cache_hit() {
+        let s = server();
+        let line = r#"{"op":"analyze","source":"fun id x = x; id (fn u => u)"}"#;
+        let first = call(&s, line);
+        let second = call(&s, line);
+        let cached = |r: &Json| {
+            r.get("result")
+                .and_then(|res| res.get("cached"))
+                .and_then(Json::as_bool)
+        };
+        assert_eq!(cached(&first), Some(false));
+        assert_eq!(cached(&second), Some(true));
+        let stats = call(&s, r#"{"op":"stats"}"#);
+        let cache = stats
+            .get("result")
+            .and_then(|r| r.get("cache"))
+            .expect("cache stats");
+        assert_eq!(cache.get("hits").and_then(Json::as_u64), Some(1));
+        assert_eq!(cache.get("misses").and_then(Json::as_u64), Some(1));
+    }
+
+    #[test]
+    fn structured_errors_cover_the_failure_modes() {
+        let s = server();
+        let kind = |r: &Json| {
+            r.get("error")
+                .and_then(|e| e.get("kind"))
+                .and_then(Json::as_str)
+                .map(str::to_owned)
+        };
+        assert_eq!(
+            kind(&call(&s, "this is not json")).as_deref(),
+            Some("proto")
+        );
+        assert_eq!(
+            kind(&call(&s, r#"{"op":"analyze","source":"fn x =>"}"#)).as_deref(),
+            Some("parse")
+        );
+        assert_eq!(
+            kind(&call(
+                &s,
+                r#"{"op":"analyze","source":"(fn x => x x) (fn x => x x)"}"#
+            ))
+            .as_deref(),
+            Some("analysis"),
+            "omega has unbounded types: the close phase rejects it"
+        );
+        assert_eq!(
+            kind(&call(
+                &s,
+                r#"{"op":"query","kind":"label-set","snapshot":"00000000deadbeef"}"#
+            ))
+            .as_deref(),
+            Some("unknown-snapshot")
+        );
+        assert_eq!(
+            kind(&call(&s, r#"{"v":2,"op":"stats"}"#)).as_deref(),
+            Some("proto")
+        );
+        assert_eq!(
+            kind(&call(&s, r#"{"op":"frobnicate"}"#)).as_deref(),
+            Some("proto")
+        );
+    }
+
+    #[test]
+    fn deadline_zero_times_out_but_daemon_survives() {
+        let s = server();
+        let r = call(
+            &s,
+            r#"{"op":"analyze","source":"(fn x => x) (fn y => y)","deadline_ms":0}"#,
+        );
+        assert_eq!(r.get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(
+            r.get("error")
+                .and_then(|e| e.get("kind"))
+                .and_then(Json::as_str),
+            Some("timeout")
+        );
+        // The daemon keeps serving afterwards.
+        let ok = call(&s, r#"{"op":"analyze","source":"(fn x => x) (fn y => y)"}"#);
+        assert_eq!(ok.get("ok"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn evicted_snapshot_is_reported_stale() {
+        let s = server();
+        let r = call(&s, r#"{"op":"analyze","source":"(fn a => a) (fn b => b)"}"#);
+        let digest = r
+            .get("result")
+            .and_then(|res| res.get("snapshot"))
+            .and_then(Json::as_str)
+            .unwrap()
+            .to_owned();
+        let e = call(&s, &format!(r#"{{"op":"evict","snapshot":"{digest}"}}"#));
+        assert_eq!(
+            e.get("result").and_then(|res| res.get("evicted")),
+            Some(&Json::Bool(true))
+        );
+        let q = call(
+            &s,
+            &format!(r#"{{"op":"query","kind":"label-set","snapshot":"{digest}"}}"#),
+        );
+        assert_eq!(
+            q.get("error")
+                .and_then(|err| err.get("kind"))
+                .and_then(Json::as_str),
+            Some("stale-snapshot")
+        );
+    }
+
+    #[test]
+    fn pipeline_orders_responses_and_drains_on_shutdown() {
+        let s = server();
+        let input = concat!(
+            r#"{"id":0,"op":"analyze","source":"(fn x => x) (fn y => y)"}"#,
+            "\n",
+            r#"{"id":1,"op":"query","kind":"label-set","source":"(fn x => x) (fn y => y)"}"#,
+            "\n",
+            r#"{"id":2,"op":"shutdown"}"#,
+            "\n",
+        );
+        let mut out = Vec::new();
+        s.serve(io::Cursor::new(input.to_owned()), &mut out)
+            .unwrap();
+        let lines: Vec<Json> = String::from_utf8(out)
+            .unwrap()
+            .lines()
+            .map(|l| Json::parse(l).unwrap())
+            .collect();
+        assert_eq!(lines.len(), 3);
+        for (i, line) in lines.iter().enumerate() {
+            assert_eq!(
+                line.get("id").and_then(Json::as_u64),
+                Some(i as u64),
+                "order"
+            );
+            assert_eq!(line.get("ok"), Some(&Json::Bool(true)));
+        }
+        assert!(s.is_stopping());
+    }
+
+    #[test]
+    fn lint_reports_diagnostics_over_the_snapshot() {
+        let s = server();
+        let r = call(&s, r#"{"op":"lint","source":"fun ghost x = x;\n(1, 2) 3"}"#);
+        let result = r.get("result").expect("ok response");
+        assert!(result.get("count").and_then(Json::as_u64).unwrap() >= 2);
+        let rendered = r.to_line();
+        assert!(rendered.contains("STCFA002"), "{rendered}");
+        assert!(rendered.contains("STCFA006"), "{rendered}");
+    }
+}

@@ -136,7 +136,10 @@ impl<'a> Infer<'a> {
     }
 
     fn err<T>(&self, at: ExprId, message: impl Into<String>) -> Result<T, TypeError> {
-        Err(TypeError { at, message: message.into() })
+        Err(TypeError {
+            at,
+            message: message.into(),
+        })
     }
 
     fn unify(&mut self, at: ExprId, a: TRef, b: TRef) -> Result<(), TypeError> {
@@ -144,7 +147,10 @@ impl<'a> Infer<'a> {
         if ra == rb {
             return Ok(());
         }
-        match (self.store[ra as usize].clone(), self.store[rb as usize].clone()) {
+        match (
+            self.store[ra as usize].clone(),
+            self.store[rb as usize].clone(),
+        ) {
             (TyNode::Unbound { level }, _) => {
                 self.occurs(at, ra, rb, level)?;
                 self.store[ra as usize] = TyNode::Link(rb);
@@ -171,7 +177,11 @@ impl<'a> Infer<'a> {
             }
             (x, y) => self.err(
                 at,
-                format!("cannot unify {} with {}", self.describe(&x), self.describe(&y)),
+                format!(
+                    "cannot unify {} with {}",
+                    self.describe(&x),
+                    self.describe(&y)
+                ),
             ),
         }
     }
@@ -222,10 +232,11 @@ impl<'a> Infer<'a> {
     fn generalize(&self, t: TRef, vars: &mut Vec<TRef>, forbidden: &HashMap<TRef, ()>) {
         let r = self.resolve(t);
         match self.store[r as usize].clone() {
-            TyNode::Unbound { level } if level > self.level
-                && !vars.contains(&r) && !forbidden.contains_key(&r) => {
-                    vars.push(r);
-                }
+            TyNode::Unbound { level }
+                if level > self.level && !vars.contains(&r) && !forbidden.contains_key(&r) =>
+            {
+                vars.push(r);
+            }
             TyNode::Arrow(a, b) => {
                 self.generalize(a, vars, forbidden);
                 self.generalize(b, vars, forbidden);
@@ -387,7 +398,10 @@ impl<'a> Infer<'a> {
         let binder_tys: Vec<Ty> = (0..self.program.var_count())
             .map(|i| self.extract(self.binder_refs[i], &mut var_names))
             .collect();
-        Ok(TypedProgram { expr_tys, binder_tys })
+        Ok(TypedProgram {
+            expr_tys,
+            binder_tys,
+        })
     }
 
     fn extract(&self, t: TRef, var_names: &mut HashMap<TRef, u32>) -> Ty {
@@ -407,14 +421,21 @@ impl<'a> Infer<'a> {
                 Rc::new(self.extract(b, var_names)),
             ),
             TyNode::Tuple(parts) => Ty::Tuple(
-                parts.into_iter().map(|p| self.extract(p, var_names)).collect::<Vec<_>>().into(),
+                parts
+                    .into_iter()
+                    .map(|p| self.extract(p, var_names))
+                    .collect::<Vec<_>>()
+                    .into(),
             ),
         }
     }
 
     fn bind_mono(&mut self, v: VarId, r: TRef) {
         self.binder_refs[v.index()] = r;
-        self.schemes[v.index()] = Some(Scheme { vars: Vec::new(), body: r });
+        self.schemes[v.index()] = Some(Scheme {
+            vars: Vec::new(),
+            body: r,
+        });
     }
 
     fn infer(&mut self, e: ExprId) -> Result<TRef, TypeError> {
@@ -460,7 +481,11 @@ impl<'a> Infer<'a> {
                 self.schemes[binder.index()] = Some(Scheme { vars, body: r });
                 self.infer(body)
             }
-            ExprKind::LetRec { binder, lambda, body } => {
+            ExprKind::LetRec {
+                binder,
+                lambda,
+                body,
+            } => {
                 self.level += 1;
                 let f = self.fresh();
                 self.bind_mono(binder, f);
@@ -474,7 +499,11 @@ impl<'a> Infer<'a> {
                 self.schemes[binder.index()] = Some(Scheme { vars, body: f });
                 self.infer(body)
             }
-            ExprKind::If { cond, then_branch, else_branch } => {
+            ExprKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 let c = self.infer(cond)?;
                 let bool_t = self.mk(TyNode::Bool);
                 self.unify(e, c, bool_t)?;
@@ -484,8 +513,10 @@ impl<'a> Infer<'a> {
                 Ok(t)
             }
             ExprKind::Record(items) => {
-                let parts: Vec<TRef> =
-                    items.iter().map(|&i| self.infer(i)).collect::<Result<_, _>>()?;
+                let parts: Vec<TRef> = items
+                    .iter()
+                    .map(|&i| self.infer(i))
+                    .collect::<Result<_, _>>()?;
                 Ok(self.mk(TyNode::Tuple(parts)))
             }
             ExprKind::Proj { index, tuple } => {
@@ -503,7 +534,11 @@ impl<'a> Infer<'a> {
                 }
                 Ok(self.mk(TyNode::Data(info.data)))
             }
-            ExprKind::Case { scrutinee, arms, default } => {
+            ExprKind::Case {
+                scrutinee,
+                arms,
+                default,
+            } => {
                 let s = self.infer(scrutinee)?;
                 let result = self.fresh();
                 if let Some(arm) = arms.first() {
@@ -527,8 +562,10 @@ impl<'a> Infer<'a> {
                 Ok(result)
             }
             ExprKind::Prim { op, args } => {
-                let arg_refs: Vec<TRef> =
-                    args.iter().map(|&a| self.infer(a)).collect::<Result<_, _>>()?;
+                let arg_refs: Vec<TRef> = args
+                    .iter()
+                    .map(|&a| self.infer(a))
+                    .collect::<Result<_, _>>()?;
                 let (wants, result): (Vec<TyNode>, TyNode) = match op {
                     PrimOp::Add | PrimOp::Sub | PrimOp::Mul | PrimOp::Div => {
                         (vec![TyNode::Int, TyNode::Int], TyNode::Int)
@@ -579,8 +616,14 @@ mod tests {
     #[test]
     fn let_polymorphism() {
         // id used at two different types — requires generalization.
-        assert_eq!(infer_root("let val id = fn x => x in (id (fn b => b)) (id 1) end"), Ty::Int);
-        assert_eq!(infer_root("fun id x = x; val n = id 1; val b = id true; n"), Ty::Int);
+        assert_eq!(
+            infer_root("let val id = fn x => x in (id (fn b => b)) (id 1) end"),
+            Ty::Int
+        );
+        assert_eq!(
+            infer_root("fun id x = x; val n = id 1; val b = id true; n"),
+            Ty::Int
+        );
     }
 
     #[test]

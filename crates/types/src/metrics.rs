@@ -52,7 +52,11 @@ impl TypeMetrics {
         }
         TypeMetrics {
             max_size,
-            avg_size: if count == 0 { 0.0 } else { total as f64 / count as f64 },
+            avg_size: if count == 0 {
+                0.0
+            } else {
+                total as f64 / count as f64
+            },
             max_order,
             max_arity,
             occurrences: count,

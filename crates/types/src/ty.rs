@@ -100,7 +100,11 @@ impl fmt::Display for TyDisplay<'_> {
                 Ty::Unit => write!(f, "unit"),
                 Ty::Var(v) => write!(f, "'t{v}"),
                 Ty::Data(d) => {
-                    write!(f, "{}", program.interner().resolve(program.data_env().data(*d).name))
+                    write!(
+                        f,
+                        "{}",
+                        program.interner().resolve(program.data_env().data(*d).name)
+                    )
                 }
                 Ty::Arrow(a, b) => {
                     if atom {

@@ -253,11 +253,19 @@ impl Solver {
                     self.unify(bv(*binder), ev(*rhs));
                     self.unify(ev(e), ev(*body));
                 }
-                ExprKind::LetRec { binder, lambda, body } => {
+                ExprKind::LetRec {
+                    binder,
+                    lambda,
+                    body,
+                } => {
                     self.unify(bv(*binder), ev(*lambda));
                     self.unify(ev(e), ev(*body));
                 }
-                ExprKind::If { then_branch, else_branch, .. } => {
+                ExprKind::If {
+                    then_branch,
+                    else_branch,
+                    ..
+                } => {
                     self.unify(ev(e), ev(*then_branch));
                     self.unify(ev(e), ev(*else_branch));
                 }
@@ -277,7 +285,11 @@ impl Solver {
                         self.unify(ev(arg), c);
                     }
                 }
-                ExprKind::Case { scrutinee, arms, default } => {
+                ExprKind::Case {
+                    scrutinee,
+                    arms,
+                    default,
+                } => {
                     for arm in arms.iter() {
                         for (i, &b) in arm.binders.iter().enumerate() {
                             let c = self.con_sig(ev(*scrutinee), arm.con, i as u32);
@@ -325,7 +337,10 @@ mod tests {
             .collect();
         // The two argument lambdas land in one class.
         let (u_lam, v_lam) = (lams[1], lams[2]);
-        assert!(u.same_class(u_lam, v_lam), "equality analysis merges id's arguments");
+        assert!(
+            u.same_class(u_lam, v_lam),
+            "equality analysis merges id's arguments"
+        );
         assert!(u.labels(p.root()).len() >= 2);
     }
 
@@ -343,10 +358,8 @@ mod tests {
         // Fields are separate classes, so projection stays precise here.
         assert_eq!(u.labels(p.root()).len(), 1);
 
-        let p2 = Program::parse(
-            "datatype w = W of (int -> int); case W(fn x => x) of W(f) => f",
-        )
-        .unwrap();
+        let p2 = Program::parse("datatype w = W of (int -> int); case W(fn x => x) of W(f) => f")
+            .unwrap();
         let u2 = UnifyCfa::analyze(&p2);
         assert_eq!(u2.labels(p2.root()).len(), 1);
     }

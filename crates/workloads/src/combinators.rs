@@ -100,7 +100,14 @@ mod tests {
     #[test]
     fn parses_the_sample_inputs() {
         let p = program();
-        let out = eval(&p, EvalOptions { fuel: 10_000_000, inputs: vec![] }).unwrap();
+        let out = eval(
+            &p,
+            EvalOptions {
+                fuel: 10_000_000,
+                inputs: vec![],
+            },
+        )
+        .unwrap();
         assert_eq!(out.outputs, vec![5, 24]);
         let Value::Int(v) = out.value else { panic!() };
         assert_eq!(v, 29);
@@ -138,7 +145,14 @@ mod tests {
     fn dynamic_calls_are_predicted() {
         let p = program();
         let a = stcfa_core::Analysis::run(&p).unwrap();
-        let out = eval(&p, EvalOptions { fuel: 10_000_000, inputs: vec![] }).unwrap();
+        let out = eval(
+            &p,
+            EvalOptions {
+                fuel: 10_000_000,
+                inputs: vec![],
+            },
+        )
+        .unwrap();
         for (func_occ, label) in &out.trace.calls {
             assert!(
                 a.labels_of(*func_occ).contains(label),

@@ -43,11 +43,20 @@ mod tests {
     use stcfa_lambda::ExprKind;
 
     fn avg_head_targets(p: &Program, policy: DatatypePolicy) -> f64 {
-        let a = Analysis::run_with(p, AnalysisOptions { policy, max_nodes: None }).unwrap();
+        let a = Analysis::run_with(
+            p,
+            AnalysisOptions {
+                policy,
+                max_nodes: None,
+            },
+        )
+        .unwrap();
         let mut total = 0usize;
         let mut sites = 0usize;
         for app in p.app_sites() {
-            let ExprKind::App { func, .. } = p.kind(app) else { unreachable!() };
+            let ExprKind::App { func, .. } = p.kind(app) else {
+                unreachable!()
+            };
             total += a.labels_of(*func).len();
             sites += 1;
         }
@@ -74,8 +83,7 @@ mod tests {
     #[test]
     fn evaluates() {
         let p = program(3);
-        let out = stcfa_lambda::eval::eval(&p, stcfa_lambda::eval::EvalOptions::default())
-            .unwrap();
+        let out = stcfa_lambda::eval::eval(&p, stcfa_lambda::eval::EvalOptions::default()).unwrap();
         assert!(matches!(out.value, stcfa_lambda::eval::Value::Int(_)));
     }
 }

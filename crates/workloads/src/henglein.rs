@@ -96,9 +96,15 @@ mod tests {
         let p = program(2);
         let r = stcfa_core::Analysis::run_with(
             &p,
-            stcfa_core::AnalysisOptions { max_nodes: Some(200_000), ..Default::default() },
+            stcfa_core::AnalysisOptions {
+                max_nodes: Some(200_000),
+                ..Default::default()
+            },
         );
-        assert!(matches!(r, Err(stcfa_core::AnalysisError::BudgetExceeded { .. })));
+        assert!(matches!(
+            r,
+            Err(stcfa_core::AnalysisError::BudgetExceeded { .. })
+        ));
     }
 
     #[test]
@@ -110,9 +116,15 @@ mod tests {
         let p = Program::parse("fun id x = x; val y = ((id id) id) 1; y").unwrap();
         let r = stcfa_core::Analysis::run_with(
             &p,
-            stcfa_core::AnalysisOptions { max_nodes: Some(100_000), ..Default::default() },
+            stcfa_core::AnalysisOptions {
+                max_nodes: Some(100_000),
+                ..Default::default()
+            },
         );
-        assert!(matches!(r, Err(stcfa_core::AnalysisError::BudgetExceeded { .. })));
+        assert!(matches!(
+            r,
+            Err(stcfa_core::AnalysisError::BudgetExceeded { .. })
+        ));
         let h = stcfa_core::hybrid::HybridCfa::run(&p, Default::default());
         assert!(!h.is_linear());
         let cfa = stcfa_cfa0::Cfa0::analyze(&p);

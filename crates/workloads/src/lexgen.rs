@@ -114,7 +114,9 @@ pub fn source(states: usize) -> String {
     // Embedded input: a deterministic pseudo-random character stream with
     // interspersed zeros (token boundaries).
     s.push_str("\nval input =\n  ");
-    let chars: Vec<usize> = (0..96).map(|i| if i % 7 == 6 { 0 } else { (i * 37 + 11) % 128 }).collect();
+    let chars: Vec<usize> = (0..96)
+        .map(|i| if i % 7 == 6 { 0 } else { (i * 37 + 11) % 128 })
+        .collect();
     for c in &chars {
         s.push_str(&format!("ICons({c}, "));
     }
@@ -177,8 +179,17 @@ mod tests {
             .stack_size(256 << 20)
             .spawn(|| {
                 let p = program();
-                let out = eval(&p, EvalOptions { fuel: 10_000_000, inputs: vec![] }).unwrap();
-                let Value::Int(total) = out.value else { panic!("expected int") };
+                let out = eval(
+                    &p,
+                    EvalOptions {
+                        fuel: 10_000_000,
+                        inputs: vec![],
+                    },
+                )
+                .unwrap();
+                let Value::Int(total) = out.value else {
+                    panic!("expected int")
+                };
                 assert_eq!(out.outputs.len(), 2);
                 assert!(out.outputs[0] >= 0, "token count printed");
                 let _ = total;

@@ -137,7 +137,11 @@ mod tests {
     #[test]
     fn parses_and_typechecks() {
         let p = program();
-        assert!(p.size() > 300, "life should be a sizable program, got {}", p.size());
+        assert!(
+            p.size() > 300,
+            "life should be a sizable program, got {}",
+            p.size()
+        );
         TypedProgram::infer(&p).expect("life is well-typed");
     }
 
@@ -146,7 +150,14 @@ mod tests {
         // A glider translates by (1, 1) every 4 generations: population
         // stays 5.
         let p = program();
-        let out = eval(&p, EvalOptions { fuel: 10_000_000, inputs: vec![] }).unwrap();
+        let out = eval(
+            &p,
+            EvalOptions {
+                fuel: 10_000_000,
+                inputs: vec![],
+            },
+        )
+        .unwrap();
         match out.value {
             Value::Int(pop) => assert_eq!(pop, 5, "glider population"),
             other => panic!("expected population count, got {other:?}"),

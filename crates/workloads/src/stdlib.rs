@@ -150,7 +150,14 @@ mod tests {
     #[test]
     fn computes_the_expected_answers() {
         let p = program();
-        let out = eval(&p, EvalOptions { fuel: 10_000_000, inputs: vec![] }).unwrap();
+        let out = eval(
+            &p,
+            EvalOptions {
+                fuel: 10_000_000,
+                inputs: vec![],
+            },
+        )
+        .unwrap();
         // evens of 1..10 = [2,4,6,8,10]; doubled sums to 60.
         // sorted list has 3 elements; first >2 in sorted [1,2,3] is 3.
         // 3*4 + (−2) = 10; folded agrees; folded size is 1.

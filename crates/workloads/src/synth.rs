@@ -79,7 +79,10 @@ pub fn generate(config: &SynthConfig) -> Program {
         let s2 = b.declare_con(
             d,
             "S2",
-            vec![TyExpr::Arrow(Box::new(TyExpr::Int), Box::new(TyExpr::Int)), TyExpr::Int],
+            vec![
+                TyExpr::Arrow(Box::new(TyExpr::Int), Box::new(TyExpr::Int)),
+                TyExpr::Int,
+            ],
         );
         Some(SynData { s0, s1, s2 })
     } else {
@@ -194,7 +197,8 @@ impl Gen {
         let f = self.b.fresh_var(&f_name);
         let k_name = self.fresh_name("k");
         let k = self.b.fresh_var(&k_name);
-        self.env.push((f, STy::Arrow(Box::new(STy::Int), Box::new(STy::Int))));
+        self.env
+            .push((f, STy::Arrow(Box::new(STy::Int), Box::new(STy::Int))));
         self.env.push((k, STy::Int));
         let body2 = self.expr(ty, depth - 1);
         self.env.pop();
@@ -243,8 +247,7 @@ impl Gen {
                         self.b.con(data.s1, vec![n])
                     }
                     _ => {
-                        let f = self
-                            .expr(&STy::Arrow(Box::new(STy::Int), Box::new(STy::Int)), 1);
+                        let f = self.expr(&STy::Arrow(Box::new(STy::Int), Box::new(STy::Int)), 1);
                         let k = self.expr(&STy::Int, 0);
                         self.b.con(data.s2, vec![f, k])
                     }
@@ -277,8 +280,10 @@ impl Gen {
     }
 
     fn tuple(&mut self, parts: Vec<STy>, depth: usize) -> ExprId {
-        let items: Vec<ExprId> =
-            parts.iter().map(|p| self.expr(p, depth.saturating_sub(1))).collect();
+        let items: Vec<ExprId> = parts
+            .iter()
+            .map(|p| self.expr(p, depth.saturating_sub(1)))
+            .collect();
         self.b.record(items)
     }
 
@@ -316,7 +321,13 @@ impl Gen {
         let width = self.rng.gen_range(2..=self.config.max_tuple_width);
         let slot = self.rng.gen_range(0..width);
         let parts: Vec<STy> = (0..width)
-            .map(|i| if i == slot { ty.clone() } else { self.random_type(0) })
+            .map(|i| {
+                if i == slot {
+                    ty.clone()
+                } else {
+                    self.random_type(0)
+                }
+            })
             .collect();
         let tup = self.tuple(parts, depth - 1);
         self.b.proj(slot as u32, tup)
@@ -383,7 +394,10 @@ mod tests {
     #[test]
     fn generated_programs_are_well_typed() {
         for seed in 0..30 {
-            let p = generate(&SynthConfig { seed, ..Default::default() });
+            let p = generate(&SynthConfig {
+                seed,
+                ..Default::default()
+            });
             TypedProgram::infer(&p)
                 .unwrap_or_else(|e| panic!("seed {seed} generated ill-typed program: {e}"));
         }
@@ -392,15 +406,27 @@ mod tests {
     #[test]
     fn generated_programs_terminate() {
         for seed in 0..30 {
-            let p = generate(&SynthConfig { seed, ..Default::default() });
-            eval(&p, EvalOptions { fuel: 1_000_000, inputs: vec![] })
-                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            let p = generate(&SynthConfig {
+                seed,
+                ..Default::default()
+            });
+            eval(
+                &p,
+                EvalOptions {
+                    fuel: 1_000_000,
+                    inputs: vec![],
+                },
+            )
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         }
     }
 
     #[test]
     fn determinism() {
-        let cfg = SynthConfig { seed: 42, ..Default::default() };
+        let cfg = SynthConfig {
+            seed: 42,
+            ..Default::default()
+        };
         let a = generate(&cfg).to_source();
         let b = generate(&cfg).to_source();
         assert_eq!(a, b);
@@ -408,8 +434,16 @@ mod tests {
 
     #[test]
     fn size_scales_with_target() {
-        let small = generate(&SynthConfig { seed: 7, target_size: 100, ..Default::default() });
-        let large = generate(&SynthConfig { seed: 7, target_size: 2000, ..Default::default() });
+        let small = generate(&SynthConfig {
+            seed: 7,
+            target_size: 100,
+            ..Default::default()
+        });
+        let large = generate(&SynthConfig {
+            seed: 7,
+            target_size: 2000,
+            ..Default::default()
+        });
         assert!(large.size() > small.size());
     }
 }

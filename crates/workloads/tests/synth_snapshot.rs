@@ -34,7 +34,10 @@ fn default_config_corpus_is_pinned() {
         (4, 0x1e28f4299e43b481),
     ];
     for (seed, want) in expected {
-        let got = digest(&SynthConfig { seed, ..Default::default() });
+        let got = digest(&SynthConfig {
+            seed,
+            ..Default::default()
+        });
         assert_eq!(
             got, want,
             "synthetic corpus shifted for seed {seed}: digest {got:#018x}, \
@@ -57,7 +60,11 @@ fn suite_config_corpus_is_pinned() {
         max_tuple_width: 3,
         datatypes: true,
     };
-    assert_eq!(digest(&soundness), 0x15081c9bf8d3f9af, "soundness-config corpus shifted");
+    assert_eq!(
+        digest(&soundness),
+        0x15081c9bf8d3f9af,
+        "soundness-config corpus shifted"
+    );
 
     // tests/differential.rs lambda-fragment configuration.
     let fragment = SynthConfig {
@@ -68,7 +75,11 @@ fn suite_config_corpus_is_pinned() {
         max_tuple_width: 0,
         datatypes: false,
     };
-    assert_eq!(digest(&fragment), 0x334fcb992c895054, "fragment-config corpus shifted");
+    assert_eq!(
+        digest(&fragment),
+        0x334fcb992c895054,
+        "fragment-config corpus shifted"
+    );
 }
 
 /// Print-on-demand helper for re-pinning: `cargo test -p stcfa-workloads
@@ -77,7 +88,10 @@ fn suite_config_corpus_is_pinned() {
 #[ignore = "utility for regenerating the pinned digests above"]
 fn print_current_digests() {
     for seed in 0..5u64 {
-        let d = digest(&SynthConfig { seed, ..Default::default() });
+        let d = digest(&SynthConfig {
+            seed,
+            ..Default::default()
+        });
         println!("({seed}, {d:#018x}),");
     }
 }

@@ -18,7 +18,9 @@ fn avg_targets(program: &Program, labels_of_func: impl Fn(stcfa::lambda::ExprId)
     let mut total = 0usize;
     let mut sites = 0usize;
     for app in program.app_sites() {
-        let ExprKind::App { func, .. } = program.kind(app) else { unreachable!() };
+        let ExprKind::App { func, .. } = program.kind(app) else {
+            unreachable!()
+        };
         total += labels_of_func(*func);
         sites += 1;
     }
@@ -33,37 +35,55 @@ fn main() {
         program.label_count(),
         program.app_sites().len()
     );
-    println!("{:<28} {:>12} {:>22}", "analysis", "time", "avg targets per site");
+    println!(
+        "{:<28} {:>12} {:>22}",
+        "analysis", "time", "avg targets per site"
+    );
 
     let t = Instant::now();
     let uni = UnifyCfa::analyze(&program);
     let uni_time = t.elapsed();
     let uni_avg = avg_targets(&program, |f| uni.labels(f).len());
-    println!("{:<28} {:>12?} {:>22.2}", "equality-based (unify)", uni_time, uni_avg);
+    println!(
+        "{:<28} {:>12?} {:>22.2}",
+        "equality-based (unify)", uni_time, uni_avg
+    );
 
     let t = Instant::now();
     let sba = Sba::analyze(&program);
     let sba_time = t.elapsed();
     let sba_avg = avg_targets(&program, |f| sba.labels(&program, f).len());
-    println!("{:<28} {:>12?} {:>22.2}", "set-based (SBA)", sba_time, sba_avg);
+    println!(
+        "{:<28} {:>12?} {:>22.2}",
+        "set-based (SBA)", sba_time, sba_avg
+    );
 
     let t = Instant::now();
     let cfa = Cfa0::analyze(&program);
     let cfa_time = t.elapsed();
     let cfa_avg = avg_targets(&program, |f| cfa.labels(&program, f).len());
-    println!("{:<28} {:>12?} {:>22.2}", "standard 0-CFA (cubic)", cfa_time, cfa_avg);
+    println!(
+        "{:<28} {:>12?} {:>22.2}",
+        "standard 0-CFA (cubic)", cfa_time, cfa_avg
+    );
 
     let t = Instant::now();
     let sub = Analysis::run(&program).unwrap();
     let sub_build = t.elapsed();
     let sub_avg = avg_targets(&program, |f| sub.labels_of(f).len());
-    println!("{:<28} {:>12?} {:>22.2}", "subtransitive (linear)", sub_build, sub_avg);
+    println!(
+        "{:<28} {:>12?} {:>22.2}",
+        "subtransitive (linear)", sub_build, sub_avg
+    );
 
     let t = Instant::now();
     let poly = PolyAnalysis::run(&program).unwrap();
     let poly_time = t.elapsed();
     let poly_avg = avg_targets(&program, |f| poly.labels_of(f).len());
-    println!("{:<28} {:>12?} {:>22.2}", "polyvariant subtransitive", poly_time, poly_avg);
+    println!(
+        "{:<28} {:>12?} {:>22.2}",
+        "polyvariant subtransitive", poly_time, poly_avg
+    );
 
     println!(
         "\nreading the table: the equality-based analysis is fast but merges\n\
@@ -72,6 +92,9 @@ fn main() {
          per call site (≈{poly_avg:.2})."
     );
     assert!(uni_avg >= cfa_avg);
-    assert!((cfa_avg - sub_avg).abs() < 1e-9, "subtransitive ≡ standard CFA");
+    assert!(
+        (cfa_avg - sub_avg).abs() < 1e-9,
+        "subtransitive ≡ standard CFA"
+    );
     assert!(poly_avg <= sub_avg);
 }

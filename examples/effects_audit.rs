@@ -49,10 +49,19 @@ fn main() {
 
     // Ground truth: every expression that dynamically performed an effect
     // must be flagged.
-    let out = eval(&program, EvalOptions { fuel: 10_000_000, inputs: vec![] })
-        .expect("life terminates");
+    let out = eval(
+        &program,
+        EvalOptions {
+            fuel: 10_000_000,
+            inputs: vec![],
+        },
+    )
+    .expect("life terminates");
     for at in &out.trace.effects {
-        assert!(fast.is_effectful(*at), "dynamic effect at {at:?} was not predicted");
+        assert!(
+            fast.is_effectful(*at),
+            "dynamic effect at {at:?} was not predicted"
+        );
     }
     println!(
         "dynamic check: {} runtime effects, all predicted by the static audit",

@@ -26,7 +26,9 @@ fn main() {
     loop {
         let analysis = Analysis::run(&program).expect("bounded-type program");
         let candidates = find_candidates(&program, &analysis);
-        let Some(c) = candidates.first().copied() else { break };
+        let Some(c) = candidates.first().copied() else {
+            break;
+        };
         round += 1;
         println!(
             "round {round}: inlining the unique target {:?} at call site {:?}",
@@ -36,7 +38,10 @@ fn main() {
 
         // The pass must preserve observable behaviour.
         let now = eval(&program, EvalOptions::default()).expect("terminates");
-        assert_eq!(now.outputs, reference.outputs, "inlining changed the output!");
+        assert_eq!(
+            now.outputs, reference.outputs,
+            "inlining changed the output!"
+        );
     }
 
     println!("\nafter {round} rounds:\n{}", program.to_source());

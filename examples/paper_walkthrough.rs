@@ -72,7 +72,10 @@ fn main() {
     }
 
     let dtc = Dtc::analyze(&program).unwrap();
-    println!("L(root) via the DTC system:    {:?}", dtc.labels(program.root()));
+    println!(
+        "L(root) via the DTC system:    {:?}",
+        dtc.labels(program.root())
+    );
     assert_eq!(labels, dtc.labels(program.root()));
     println!(
         "\nDTC adds the transition root → λy in one (cubic) step; the\n\

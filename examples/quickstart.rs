@@ -28,18 +28,25 @@ fn main() {
 
     // Query 1: L(e) for the root — one reachability, O(graph).
     let root_labels = analysis.labels_of(program.root());
-    println!("L(root) = {:?}  (the program evaluates to an int: no functions)", root_labels);
+    println!(
+        "L(root) = {:?}  (the program evaluates to an int: no functions)",
+        root_labels
+    );
 
     // Query 2: call targets at every application site.
     println!("\ncall targets per application site:");
     for app in program.app_sites() {
-        let ExprKind::App { func, .. } = program.kind(app) else { unreachable!() };
+        let ExprKind::App { func, .. } = program.kind(app) else {
+            unreachable!()
+        };
         let targets = analysis.labels_of(*func);
         let names: Vec<String> = targets
             .iter()
             .map(|l| {
                 let lam = program.lam_of_label(*l);
-                let ExprKind::Lam { param, .. } = program.kind(lam) else { unreachable!() };
+                let ExprKind::Lam { param, .. } = program.kind(lam) else {
+                    unreachable!()
+                };
                 format!("fn {} => …", program.var_name(*param))
             })
             .collect();
@@ -56,5 +63,8 @@ fn main() {
 
     // Query 4: the inverse — everywhere a given abstraction can show up.
     let sites = analysis.exprs_with_label(first_label);
-    println!("expressions that may evaluate to {first_label:?}: {} occurrences", sites.len());
+    println!(
+        "expressions that may evaluate to {first_label:?}: {} occurrences",
+        sites.len()
+    );
 }

@@ -1,0 +1,58 @@
+//! The analysis daemon exercised in-process: one `Server`, the full
+//! protocol round-trip (analyze → query → lint → evict → stats →
+//! shutdown), and a demonstration that the content-addressed cache makes
+//! the second analyze of identical source a build-free hit.
+//!
+//! Run with: `cargo run --example server_roundtrip`
+
+use std::time::Instant;
+
+use stcfa::server::{Server, ServerOptions};
+
+fn main() {
+    let server = Server::new(ServerOptions::default());
+    let send = |request: &str| {
+        let response = server.handle_line(request, Instant::now());
+        println!("-> {request}");
+        println!("<- {response}\n");
+        response
+    };
+
+    let source = r#""fun id x = x; id (fn u => u)""#;
+
+    // First analyze: a cache miss, pays parse + analysis + freeze.
+    let first = send(&format!(r#"{{"id":1,"op":"analyze","source":{source}}}"#));
+    let digest = first
+        .split(r#""snapshot":""#)
+        .nth(1)
+        .and_then(|rest| rest.get(..16))
+        .expect("analyze returns a digest")
+        .to_owned();
+
+    // Second analyze of byte-identical source: same digest, cached:true —
+    // the daemon never rebuilds a warm snapshot.
+    send(&format!(r#"{{"id":2,"op":"analyze","source":{source}}}"#));
+
+    // Queries name the snapshot by digest (or inline source).
+    send(&format!(
+        r#"{{"id":3,"op":"query","kind":"label-set","snapshot":"{digest}"}}"#
+    ));
+    send(&format!(r#"{{"id":4,"op":"lint","snapshot":"{digest}"}}"#));
+
+    // Deadlines are per-request and structured: deadline_ms 0 always
+    // times out, but the daemon keeps serving.
+    send(&format!(
+        r#"{{"id":5,"op":"analyze","source":{source},"deadline_ms":0}}"#
+    ));
+
+    // Eviction turns the digest into a checked stale-snapshot error.
+    send(&format!(r#"{{"id":6,"op":"evict","snapshot":"{digest}"}}"#));
+    send(&format!(
+        r#"{{"id":7,"op":"query","kind":"label-set","snapshot":"{digest}"}}"#
+    ));
+
+    // Counters: one miss (the single build), hits for everything warm.
+    send(r#"{"id":8,"op":"stats"}"#);
+    send(r#"{"id":9,"op":"shutdown"}"#);
+    assert!(server.is_stopping());
+}

@@ -10,6 +10,9 @@ cd "$(dirname "$0")/.."
 
 export CARGO_NET_OFFLINE=true
 
+echo "== tier-1: formatting =="
+cargo fmt --check
+
 echo "== tier-1: release build =="
 cargo build --release --offline
 
@@ -43,6 +46,25 @@ if [ "$LINT_DIGEST_GOT" != "$LINT_DIGEST_WANT" ]; then
   exit 1
 fi
 echo "-- corpus lint digest ok ($LINT_DIGEST_GOT)"
+
+echo "== server: stdio smoke round-trip =="
+# A full analyze -> warm analyze -> query -> lint -> shutdown conversation
+# through the release daemon. Gates: clean exit, every response ok:true,
+# and the second analyze served from the cache.
+smoke_out="$(printf '%s\n' \
+  '{"id":1,"op":"analyze","source":"fun id x = x; id (fn u => u)"}' \
+  '{"id":2,"op":"analyze","source":"fun id x = x; id (fn u => u)"}' \
+  '{"id":3,"op":"query","kind":"label-set","source":"fun id x = x; id (fn u => u)"}' \
+  '{"id":4,"op":"lint","source":"fun id x = x; id (fn u => u)"}' \
+  '{"id":5,"op":"shutdown"}' \
+  | ./target/release/stcfa serve --stdio --threads 2)"
+echo "$smoke_out"
+[ "$(printf '%s\n' "$smoke_out" | wc -l)" = "5" ] || { echo "server smoke: expected 5 responses" >&2; exit 1; }
+if printf '%s\n' "$smoke_out" | grep -q '"ok":false'; then
+  echo "server smoke: a request failed" >&2; exit 1
+fi
+printf '%s\n' "$smoke_out" | sed -n '2p' | grep -q '"cached":true' \
+  || { echo "server smoke: warm analyze was not a cache hit" >&2; exit 1; }
 
 echo "== benches compile (not run) =="
 cargo bench --no-run --offline

@@ -27,12 +27,25 @@
 //!                      flow-powered diagnostics (STCFA001–STCFA006) over
 //!                      the frozen query engine; see docs/LINT.md
 //!
+//! SERVER MODE
+//!   stcfa serve [--stdio | --addr HOST:PORT] [--threads <n>]
+//!               [--cache-capacity <bytes[k|m|g]>] [--deadline-ms <n>]
+//!                      long-running daemon speaking the line-delimited JSON
+//!                      protocol of docs/SERVER.md, with a content-addressed
+//!                      snapshot cache
+//!   stcfa client --addr HOST:PORT [--request <json>]
+//!                      forward stdin lines (or one --request) to a daemon
+//!
 //! OPTIONS
 //!   --analysis <sub|poly|hybrid|cfa0|sba|unify>   engine for label queries (default sub)
 //!   --policy <c1|c2|exact|forget>                 datatype congruence (default c1)
 //!   --max-nodes <n>                               close-phase node budget
 //!   --fuel <n>                                    evaluation step budget (default 10^7)
+//!   --version                                     print the version and exit
 //! ```
+//!
+//! Exit codes: 0 success, 1 runtime failure (I/O, parse, analysis), 2 usage
+//! error (unknown flag/argument), 3 bad or missing flag value.
 
 use std::io::Read as _;
 use std::process::ExitCode;
@@ -46,6 +59,29 @@ use stcfa::lambda::{ExprId, ExprKind, Label, Program};
 use stcfa::sba::Sba;
 use stcfa::types::{TypeMetrics, TypedProgram};
 use stcfa::unify::UnifyCfa;
+
+/// CLI failures, classified so each class maps to a distinct exit code
+/// (scripts can tell "you called me wrong" from "the input was bad").
+enum CliError {
+    /// Unknown flag/argument or missing positional: exit 2.
+    Usage(String),
+    /// A flag value that is missing or fails to parse: exit 3.
+    BadValue(String),
+    /// Everything downstream of a well-formed invocation: exit 1.
+    Runtime(String),
+}
+
+impl From<String> for CliError {
+    fn from(message: String) -> CliError {
+        CliError::Runtime(message)
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(message: &str) -> CliError {
+        CliError::Runtime(message.to_owned())
+    }
+}
 
 struct Options {
     path: String,
@@ -132,10 +168,13 @@ fn usage() -> &'static str {
      \t[--analysis sub|poly|hybrid|cfa0|sba|unify] [--policy c1|c2|exact|forget]\n\
      \t[--max-nodes <n>] [--fuel <n>]\n\
      \tor: stcfa lint <FILE|-> [--format text|json] [--policy ...] [--threads <n>]\n\
-     \tor: stcfa --repl    (incremental session on stdin)"
+     \tor: stcfa serve [--stdio|--addr HOST:PORT] [--threads <n>] [--cache-capacity <bytes>] [--deadline-ms <n>]\n\
+     \tor: stcfa client --addr HOST:PORT [--request <json>]\n\
+     \tor: stcfa --repl    (incremental session on stdin)\n\
+     \tor: stcfa --version"
 }
 
-fn parse_args(args: &[String]) -> Result<Options, String> {
+fn parse_args(args: &[String]) -> Result<Options, CliError> {
     let mut path = None;
     let mut commands = Vec::new();
     let mut engine = EngineKind::Sub;
@@ -158,12 +197,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--witness" => commands.push(Command::Witness),
             "--dot" => commands.push(Command::Dot),
             "--k-limited" => {
-                let k = it
-                    .next()
-                    .ok_or("--k-limited needs a value")?
-                    .parse::<usize>()
-                    .map_err(|e| format!("--k-limited: {e}"))?;
-                commands.push(Command::KLimited(k));
+                commands.push(Command::KLimited(flag_value(&mut it, "--k-limited")?));
             }
             "--analysis" => {
                 engine = match it.next().map(String::as_str) {
@@ -173,50 +207,86 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     Some("cfa0") => EngineKind::Cfa0,
                     Some("sba") => EngineKind::Sba,
                     Some("unify") => EngineKind::Unify,
-                    other => return Err(format!("unknown analysis {other:?}")),
+                    other => return Err(CliError::BadValue(format!("unknown analysis {other:?}"))),
                 };
             }
-            "--policy" => {
-                policy = match it.next().map(String::as_str) {
-                    Some("c1") => DatatypePolicy::Congruence1,
-                    Some("c2") => DatatypePolicy::Congruence2,
-                    Some("exact") => DatatypePolicy::Exact,
-                    Some("forget") => DatatypePolicy::Forget,
-                    other => return Err(format!("unknown policy {other:?}")),
-                };
-            }
-            "--max-nodes" => {
-                max_nodes = Some(
-                    it.next()
-                        .ok_or("--max-nodes needs a value")?
-                        .parse()
-                        .map_err(|e| format!("--max-nodes: {e}"))?,
-                );
-            }
-            "--fuel" => {
-                fuel = it
-                    .next()
-                    .ok_or("--fuel needs a value")?
-                    .parse()
-                    .map_err(|e| format!("--fuel: {e}"))?;
-            }
-            "--help" | "-h" => return Err(usage().to_owned()),
+            "--policy" => policy = parse_policy_flag(it.next().map(String::as_str))?,
+            "--max-nodes" => max_nodes = Some(flag_value(&mut it, "--max-nodes")?),
+            "--fuel" => fuel = flag_value(&mut it, "--fuel")?,
             other if path.is_none() && !other.starts_with("--") => {
                 path = Some(other.to_owned());
             }
-            other => return Err(format!("unexpected argument `{other}`\n{}", usage())),
+            other => {
+                return Err(CliError::Usage(format!(
+                    "unexpected argument `{other}`\n{}",
+                    usage()
+                )))
+            }
         }
     }
-    let path = path.ok_or_else(|| usage().to_owned())?;
+    let path = path.ok_or_else(|| CliError::Usage(usage().to_owned()))?;
     if commands.is_empty() {
         commands.push(Command::Summary);
     }
-    Ok(Options { path, commands, engine, policy, max_nodes, fuel })
+    Ok(Options {
+        path,
+        commands,
+        engine,
+        policy,
+        max_nodes,
+        fuel,
+    })
+}
+
+/// Pulls and parses the value of `flag` from the argument iterator;
+/// missing or malformed values are [`CliError::BadValue`] (exit 3).
+fn flag_value<'a, T: std::str::FromStr>(
+    it: &mut impl Iterator<Item = &'a String>,
+    flag: &str,
+) -> Result<T, CliError>
+where
+    T::Err: std::fmt::Display,
+{
+    let raw = it
+        .next()
+        .ok_or_else(|| CliError::BadValue(format!("{flag} needs a value\n{}", usage())))?;
+    raw.parse()
+        .map_err(|e| CliError::BadValue(format!("{flag}: {e}\n{}", usage())))
+}
+
+/// The shared `--policy` flag.
+fn parse_policy_flag(value: Option<&str>) -> Result<DatatypePolicy, CliError> {
+    match value {
+        Some("c1") => Ok(DatatypePolicy::Congruence1),
+        Some("c2") => Ok(DatatypePolicy::Congruence2),
+        Some("exact") => Ok(DatatypePolicy::Exact),
+        Some("forget") => Ok(DatatypePolicy::Forget),
+        other => Err(CliError::BadValue(format!("unknown policy {other:?}"))),
+    }
+}
+
+/// Parses a byte count with an optional `k`/`m`/`g` (binary) suffix, e.g.
+/// `--cache-capacity 256m`.
+fn parse_capacity(raw: &str) -> Result<usize, CliError> {
+    let (digits, shift) = match raw.as_bytes().last() {
+        Some(b'k' | b'K') => (&raw[..raw.len() - 1], 10),
+        Some(b'm' | b'M') => (&raw[..raw.len() - 1], 20),
+        Some(b'g' | b'G') => (&raw[..raw.len() - 1], 30),
+        _ => (raw, 0),
+    };
+    let n: usize = digits
+        .parse()
+        .map_err(|e| CliError::BadValue(format!("--cache-capacity: {e}")))?;
+    n.checked_shl(shift)
+        .filter(|&v| shift == 0 || v >> shift == n)
+        .ok_or_else(|| CliError::BadValue(format!("--cache-capacity: `{raw}` overflows")))
 }
 
 fn lam_name(program: &Program, l: Label) -> String {
     let lam = program.lam_of_label(l);
-    let ExprKind::Lam { param, .. } = program.kind(lam) else { unreachable!() };
+    let ExprKind::Lam { param, .. } = program.kind(lam) else {
+        unreachable!()
+    };
     format!("λ{}#{}", program.var_name(*param), l.index())
 }
 
@@ -231,8 +301,8 @@ fn repl() -> Result<(), String> {
     let mut line = String::new();
     loop {
         line.clear();
-        let n = std::io::BufRead::read_line(&mut stdin.lock(), &mut line)
-            .map_err(|e| e.to_string())?;
+        let n =
+            std::io::BufRead::read_line(&mut stdin.lock(), &mut line).map_err(|e| e.to_string())?;
         if n == 0 {
             return Ok(()); // EOF
         }
@@ -258,8 +328,7 @@ fn repl() -> Result<(), String> {
                 Err(e) => eprintln!("analysis error: {e}"),
                 Ok(delta) => {
                     for b in &fragment.bindings {
-                        let n =
-                            analysis.labels_of_binder(session.program(), b.binder).len();
+                        let n = analysis.labels_of_binder(session.program(), b.binder).len();
                         println!("{} : {} possible function(s)", b.name, n);
                     }
                     if let Some(v) = fragment.value {
@@ -282,7 +351,9 @@ fn repl() -> Result<(), String> {
 fn read_source(path: &str) -> Result<String, String> {
     if path == "-" {
         let mut s = String::new();
-        std::io::stdin().read_to_string(&mut s).map_err(|e| e.to_string())?;
+        std::io::stdin()
+            .read_to_string(&mut s)
+            .map_err(|e| e.to_string())?;
         Ok(s)
     } else {
         std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))
@@ -294,7 +365,7 @@ fn read_source(path: &str) -> Result<String, String> {
 ///
 /// Always exits 0 when the program parses and analyzes; diagnostics are a
 /// report, not a gate (pipe the JSON into a gate if you want one).
-fn run_lint(args: &[String]) -> Result<(), String> {
+fn run_lint(args: &[String]) -> Result<(), CliError> {
     use stcfa::lint::{lint, render_json, render_text, LintOptions};
 
     let mut path = None;
@@ -309,42 +380,26 @@ fn run_lint(args: &[String]) -> Result<(), String> {
                 json = match it.next().map(String::as_str) {
                     Some("json") => true,
                     Some("text") => false,
-                    other => return Err(format!("unknown lint format {other:?}")),
+                    other => {
+                        return Err(CliError::BadValue(format!("unknown lint format {other:?}")))
+                    }
                 };
             }
-            "--policy" => {
-                policy = match it.next().map(String::as_str) {
-                    Some("c1") => DatatypePolicy::Congruence1,
-                    Some("c2") => DatatypePolicy::Congruence2,
-                    Some("exact") => DatatypePolicy::Exact,
-                    Some("forget") => DatatypePolicy::Forget,
-                    other => return Err(format!("unknown policy {other:?}")),
-                };
-            }
-            "--max-nodes" => {
-                max_nodes = Some(
-                    it.next()
-                        .ok_or("--max-nodes needs a value")?
-                        .parse()
-                        .map_err(|e| format!("--max-nodes: {e}"))?,
-                );
-            }
-            "--threads" => {
-                threads = Some(
-                    it.next()
-                        .ok_or("--threads needs a value")?
-                        .parse::<usize>()
-                        .map_err(|e| format!("--threads: {e}"))?,
-                );
-            }
-            "--help" | "-h" => return Err(usage().to_owned()),
+            "--policy" => policy = parse_policy_flag(it.next().map(String::as_str))?,
+            "--max-nodes" => max_nodes = Some(flag_value(&mut it, "--max-nodes")?),
+            "--threads" => threads = Some(flag_value::<usize>(&mut it, "--threads")?),
             other if path.is_none() && !other.starts_with("--") => {
                 path = Some(other.to_owned());
             }
-            other => return Err(format!("unexpected argument `{other}`\n{}", usage())),
+            other => {
+                return Err(CliError::Usage(format!(
+                    "unexpected argument `{other}`\n{}",
+                    usage()
+                )))
+            }
         }
     }
-    let path = path.ok_or_else(|| usage().to_owned())?;
+    let path = path.ok_or_else(|| CliError::Usage(usage().to_owned()))?;
     let source = read_source(&path)?;
     let program = Program::parse(&source).map_err(|e| format!("{path}: {e}"))?;
     let analysis = Analysis::run_with(&program, AnalysisOptions { policy, max_nodes })
@@ -369,20 +424,170 @@ fn run_lint(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn run() -> Result<(), String> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.iter().any(|a| a == "--repl") {
-        return repl();
+/// `stcfa serve [--stdio | --addr HOST:PORT] [--threads n]
+/// [--cache-capacity bytes] [--deadline-ms n]`: run the analysis daemon.
+/// Defaults to the stdio transport when no `--addr` is given.
+fn run_serve(args: &[String]) -> Result<(), CliError> {
+    use stcfa::server::{Server, ServerOptions};
+
+    let mut addr = None;
+    let mut stdio = false;
+    let mut options = ServerOptions::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--stdio" => stdio = true,
+            "--addr" => {
+                addr = Some(
+                    it.next()
+                        .ok_or_else(|| {
+                            CliError::BadValue(format!("--addr needs a value\n{}", usage()))
+                        })?
+                        .to_owned(),
+                );
+            }
+            "--threads" => options.threads = flag_value(&mut it, "--threads")?,
+            "--cache-capacity" => {
+                let raw = it.next().ok_or_else(|| {
+                    CliError::BadValue(format!("--cache-capacity needs a value\n{}", usage()))
+                })?;
+                options.cache_capacity = parse_capacity(raw)?;
+            }
+            "--deadline-ms" => {
+                options.default_deadline_ms = Some(flag_value(&mut it, "--deadline-ms")?)
+            }
+            other => {
+                return Err(CliError::Usage(format!(
+                    "unexpected argument `{other}`\n{}",
+                    usage()
+                )))
+            }
+        }
     }
-    if args.first().map(String::as_str) == Some("lint") {
-        return run_lint(&args[1..]);
+    if stdio && addr.is_some() {
+        return Err(CliError::Usage(
+            "--stdio and --addr are mutually exclusive".to_owned(),
+        ));
+    }
+    if options.threads == 0 {
+        return Err(CliError::BadValue(
+            "--threads must be at least 1".to_owned(),
+        ));
+    }
+    let server = Server::new(options);
+    match addr {
+        None => server.serve_stdio(),
+        Some(addr) => server.serve_tcp(&addr, |bound| {
+            // The smoke test (and humans using port 0) read the bound
+            // address off stderr.
+            eprintln!("stcfa-server listening on {bound}");
+        }),
+    }
+    .map_err(|e| CliError::Runtime(format!("serve: {e}")))
+}
+
+/// `stcfa client --addr HOST:PORT [--request <json>]`: forward one request
+/// (or every stdin line) to a daemon and print the response lines.
+fn run_client(args: &[String]) -> Result<(), CliError> {
+    use std::io::{BufRead as _, BufReader, Write as _};
+    use std::net::TcpStream;
+
+    let mut addr = None;
+    let mut request = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => {
+                addr = Some(
+                    it.next()
+                        .ok_or_else(|| {
+                            CliError::BadValue(format!("--addr needs a value\n{}", usage()))
+                        })?
+                        .to_owned(),
+                );
+            }
+            "--request" => {
+                request = Some(
+                    it.next()
+                        .ok_or_else(|| {
+                            CliError::BadValue(format!("--request needs a value\n{}", usage()))
+                        })?
+                        .to_owned(),
+                );
+            }
+            other => {
+                return Err(CliError::Usage(format!(
+                    "unexpected argument `{other}`\n{}",
+                    usage()
+                )))
+            }
+        }
+    }
+    let addr = addr.ok_or_else(|| CliError::Usage("client needs --addr HOST:PORT".to_owned()))?;
+    let stream =
+        TcpStream::connect(&addr).map_err(|e| CliError::Runtime(format!("connect {addr}: {e}")))?;
+    let mut reader = BufReader::new(
+        stream
+            .try_clone()
+            .map_err(|e| CliError::Runtime(e.to_string()))?,
+    );
+    let mut writer = stream;
+    let mut roundtrip = |line: &str| -> Result<(), CliError> {
+        writeln!(writer, "{line}").map_err(|e| CliError::Runtime(format!("send: {e}")))?;
+        let mut response = String::new();
+        let n = reader
+            .read_line(&mut response)
+            .map_err(|e| CliError::Runtime(format!("recv: {e}")))?;
+        if n == 0 {
+            return Err(CliError::Runtime("daemon closed the connection".to_owned()));
+        }
+        print!("{response}");
+        Ok(())
+    };
+    match request {
+        Some(line) => roundtrip(&line),
+        None => {
+            let stdin = std::io::stdin();
+            for line in stdin.lock().lines() {
+                let line = line.map_err(|e| CliError::Runtime(e.to_string()))?;
+                if line.trim().is_empty() {
+                    continue;
+                }
+                roundtrip(&line)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+fn run() -> Result<(), CliError> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{}", usage());
+        return Ok(());
+    }
+    if args.iter().any(|a| a == "--version") {
+        println!("stcfa {}", env!("CARGO_PKG_VERSION"));
+        return Ok(());
+    }
+    if args.iter().any(|a| a == "--repl") {
+        return Ok(repl()?);
+    }
+    match args.first().map(String::as_str) {
+        Some("lint") => return run_lint(&args[1..]),
+        Some("serve") => return run_serve(&args[1..]),
+        Some("client") => return run_client(&args[1..]),
+        _ => {}
     }
     let options = parse_args(&args)?;
 
     let source = read_source(&options.path)?;
     let program = Program::parse(&source).map_err(|e| e.to_string())?;
 
-    let analysis_options = AnalysisOptions { policy: options.policy, max_nodes: options.max_nodes };
+    let analysis_options = AnalysisOptions {
+        policy: options.policy,
+        max_nodes: options.max_nodes,
+    };
     // Commands other than pure label queries run on the subtransitive graph.
     let needs_graph = options.commands.iter().any(|c| {
         matches!(
@@ -410,20 +615,24 @@ fn run() -> Result<(), String> {
         None
     } else {
         Some(match options.engine {
-        EngineKind::Sub => {
-            let a = Analysis::run_with(&program, analysis_options).map_err(|e| e.to_string())?;
-            Engine::Sub(QueryEngine::freeze(&a))
-        }
-        EngineKind::Poly => Engine::Poly(
-            PolyAnalysis::run_with(
-                &program,
-                stcfa::core::PolyOptions { base: analysis_options, ..Default::default() },
-            )
-            .map_err(|e| e.to_string())?,
-        ),
-        EngineKind::Hybrid => Engine::Hybrid(HybridCfa::run(&program, analysis_options)),
-        EngineKind::Cfa0 => Engine::Cfa0(Cfa0::analyze(&program)),
-        EngineKind::Sba => Engine::Sba(Sba::analyze(&program)),
+            EngineKind::Sub => {
+                let a =
+                    Analysis::run_with(&program, analysis_options).map_err(|e| e.to_string())?;
+                Engine::Sub(QueryEngine::freeze(&a))
+            }
+            EngineKind::Poly => Engine::Poly(
+                PolyAnalysis::run_with(
+                    &program,
+                    stcfa::core::PolyOptions {
+                        base: analysis_options,
+                        ..Default::default()
+                    },
+                )
+                .map_err(|e| e.to_string())?,
+            ),
+            EngineKind::Hybrid => Engine::Hybrid(HybridCfa::run(&program, analysis_options)),
+            EngineKind::Cfa0 => Engine::Cfa0(Cfa0::analyze(&program)),
+            EngineKind::Sba => Engine::Sba(Sba::analyze(&program)),
             EngineKind::Unify => Engine::Unify(UnifyCfa::analyze(&program)),
         })
     };
@@ -433,12 +642,20 @@ fn run() -> Result<(), String> {
             Command::Summary => {
                 let a = graph.as_ref().expect("graph built");
                 let s = a.stats();
-                println!("program: {} syntax nodes, {} abstractions, {} application sites",
-                    program.size(), program.label_count(), program.app_sites().len());
+                println!(
+                    "program: {} syntax nodes, {} abstractions, {} application sites",
+                    program.size(),
+                    program.label_count(),
+                    program.app_sites().len()
+                );
                 println!(
                     "graph:   {} nodes ({} build + {} close), {} edges ({} build + {} close)",
-                    s.nodes(), s.build_nodes, s.close_nodes,
-                    s.edges(), s.build_edges, s.close_edges
+                    s.nodes(),
+                    s.build_nodes,
+                    s.close_nodes,
+                    s.edges(),
+                    s.build_edges,
+                    s.close_edges
                 );
                 let engine = engine.as_ref().expect("summary needs the engine");
                 println!("engine:  {}", engine.name());
@@ -471,7 +688,9 @@ fn run() -> Result<(), String> {
                 let engine = engine.as_ref().expect("call-sites needs the engine");
                 println!("call targets per application site ({}):", engine.name());
                 for app in program.app_sites() {
-                    let ExprKind::App { func, .. } = program.kind(app) else { unreachable!() };
+                    let ExprKind::App { func, .. } = program.kind(app) else {
+                        unreachable!()
+                    };
                     let names: Vec<String> = engine
                         .labels_of(&program, *func)
                         .iter()
@@ -490,7 +709,11 @@ fn run() -> Result<(), String> {
                 );
                 println!(
                     "root {} effectful",
-                    if eff.is_effectful(program.root()) { "IS" } else { "is NOT" }
+                    if eff.is_effectful(program.root()) {
+                        "IS"
+                    } else {
+                        "is NOT"
+                    }
                 );
             }
             Command::KLimited(k) => {
@@ -553,10 +776,7 @@ fn run() -> Result<(), String> {
                 {
                     let name = program.var_name(*binder);
                     if !name.starts_with('$') {
-                        println!(
-                            "  {name} : {}",
-                            typed.binder_ty(*binder).display(&program)
-                        );
+                        println!("  {name} : {}", typed.binder_ty(*binder).display(&program));
                     }
                     cursor = *body;
                 }
@@ -580,8 +800,14 @@ fn run() -> Result<(), String> {
                 }
             }
             Command::Eval => {
-                let out = eval(&program, EvalOptions { fuel: options.fuel, inputs: vec![] })
-                    .map_err(|e| e.to_string())?;
+                let out = eval(
+                    &program,
+                    EvalOptions {
+                        fuel: options.fuel,
+                        inputs: vec![],
+                    },
+                )
+                .map_err(|e| e.to_string())?;
                 for n in &out.outputs {
                     println!("{n}");
                 }
@@ -617,7 +843,9 @@ fn run() -> Result<(), String> {
                     println!("L(root) is empty: no witness paths");
                 }
                 for l in labels {
-                    let path = a.witness_path(program.root(), l).expect("label is in L(root)");
+                    let path = a
+                        .witness_path(program.root(), l)
+                        .expect("label is in L(root)");
                     println!(
                         "witness for {} ∈ L(root), {} steps:",
                         lam_name(&program, l),
@@ -641,9 +869,17 @@ fn run() -> Result<(), String> {
 fn main() -> ExitCode {
     match run() {
         Ok(()) => ExitCode::SUCCESS,
-        Err(message) => {
+        Err(CliError::Runtime(message)) => {
             eprintln!("{message}");
             ExitCode::FAILURE
+        }
+        Err(CliError::Usage(message)) => {
+            eprintln!("{message}");
+            ExitCode::from(2)
+        }
+        Err(CliError::BadValue(message)) => {
+            eprintln!("{message}");
+            ExitCode::from(3)
         }
     }
 }

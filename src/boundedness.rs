@@ -65,7 +65,11 @@ pub fn measure(program: &Program, max_rounds: usize) -> Result<Boundedness, Type
     }
     let typed_exp = TypedProgram::infer(&current)?;
     let mcallester = TypeMetrics::compute(&current, &typed_exp);
-    Ok(Boundedness { direct, mcallester, rounds })
+    Ok(Boundedness {
+        direct,
+        mcallester,
+        rounds,
+    })
 }
 
 #[cfg(test)]
@@ -88,8 +92,8 @@ mod tests {
 
     #[test]
     fn monomorphic_programs_are_unchanged_by_expansion() {
-        let p = Program::parse("fun fact n = if n = 0 then 1 else n * fact (n - 1); fact 5")
-            .unwrap();
+        let p =
+            Program::parse("fun fact n = if n = 0 then 1 else n * fact (n - 1); fact 5").unwrap();
         let b = measure(&p, 4).unwrap();
         assert_eq!(b.direct.max_size, b.mcallester.max_size);
     }

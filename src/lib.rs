@@ -14,6 +14,8 @@
 //!   control-flow graph and its queries.
 //! - [`apps`] — linear-time CFA-consuming applications (effects, k-limited,
 //!   called-once, inlining).
+//! - [`server`] — the long-running analysis daemon with its
+//!   content-addressed snapshot cache (`stcfa serve`).
 //! - [`workloads`] — benchmark and test program generators.
 //!
 //! # Quickstart
@@ -39,6 +41,7 @@ pub use stcfa_graph as graph;
 pub use stcfa_lambda as lambda;
 pub use stcfa_lint as lint;
 pub use stcfa_sba as sba;
+pub use stcfa_server as server;
 pub use stcfa_types as types;
 pub use stcfa_unify as unify;
 pub use stcfa_workloads as workloads;

@@ -16,8 +16,16 @@ fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
 #[test]
 fn summary_and_labels() {
     let f = write_temp("summary", "(fn x => x x) (fn y => y)");
-    let out = stcfa().arg(&f).args(["--summary", "--labels"]).output().unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = stcfa()
+        .arg(&f)
+        .args(["--summary", "--labels"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8(out.stdout).unwrap();
     assert!(stdout.contains("2 abstractions"), "{stdout}");
     assert!(stdout.contains("L(root) = {λy#1}"), "{stdout}");
@@ -48,7 +56,11 @@ fn call_sites_under_each_engine() {
 #[test]
 fn effects_eval_and_types() {
     let f = write_temp("effects", "val u = print 42; 7");
-    let out = stcfa().arg(&f).args(["--effects", "--types", "--eval"]).output().unwrap();
+    let out = stcfa()
+        .arg(&f)
+        .args(["--effects", "--types", "--eval"])
+        .output()
+        .unwrap();
     assert!(out.status.success());
     let stdout = String::from_utf8(out.stdout).unwrap();
     assert!(stdout.contains("root IS effectful"), "{stdout}");
@@ -73,7 +85,11 @@ fn inline_pipeline_from_stdin() {
         .write_all(b"let val f = fn x => x + 1 in f 41 end")
         .unwrap();
     let out = child.wait_with_output().unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stderr = String::from_utf8(out.stderr).unwrap();
     assert!(stderr.contains("inlined 1 call sites"), "{stderr}");
     let stdout = String::from_utf8(out.stdout).unwrap();
@@ -166,10 +182,17 @@ fn repl_mode_analyzes_incrementally() {
         .write_all(b"fun id x = x;\nval a = id (fn u => u);\na\n")
         .unwrap();
     let out = child.wait_with_output().unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8(out.stdout).unwrap();
     assert!(stdout.contains("id : 1 possible function(s)"), "{stdout}");
-    assert!(stdout.contains("value : 1 possible function(s)"), "{stdout}");
+    assert!(
+        stdout.contains("value : 1 possible function(s)"),
+        "{stdout}"
+    );
     // Errors don't kill the session.
     let mut child2 = stcfa()
         .arg("--repl")
@@ -178,7 +201,12 @@ fn repl_mode_analyzes_incrementally() {
         .stderr(Stdio::piped())
         .spawn()
         .unwrap();
-    child2.stdin.as_mut().unwrap().write_all(b"nonsense !!\nval ok = 1;\n").unwrap();
+    child2
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(b"nonsense !!\nval ok = 1;\n")
+        .unwrap();
     let out2 = child2.wait_with_output().unwrap();
     assert!(out2.status.success());
     let stderr2 = String::from_utf8(out2.stderr).unwrap();
@@ -195,15 +223,30 @@ fn untyped_program_reports_budget_error() {
     let stderr = String::from_utf8(out.stderr).unwrap();
     assert!(stderr.contains("node budget"), "{stderr}");
     // But the hybrid engine answers.
-    let out2 = stcfa().arg(&f).args(["--labels", "--analysis", "hybrid"]).output().unwrap();
-    assert!(out2.status.success(), "{}", String::from_utf8_lossy(&out2.stderr));
+    let out2 = stcfa()
+        .arg(&f)
+        .args(["--labels", "--analysis", "hybrid"])
+        .output()
+        .unwrap();
+    assert!(
+        out2.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out2.stderr)
+    );
 }
 
 #[test]
 fn lint_text_reports_positions_and_codes() {
-    let f = write_temp("lint_text", "fun ghost x = x;\nfun konst a b = a;\nkonst 1 2");
+    let f = write_temp(
+        "lint_text",
+        "fun ghost x = x;\nfun konst a b = a;\nkonst 1 2",
+    );
     let out = stcfa().args(["lint"]).arg(&f).output().unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8(out.stdout).unwrap();
     assert!(stdout.contains("warning[STCFA002]"), "{stdout}");
     assert!(stdout.contains("warning[STCFA004]"), "{stdout}");
@@ -227,7 +270,11 @@ fn lint_json_is_machine_readable_and_thread_stable() {
             .args(["--format", "json", "--threads", threads])
             .output()
             .unwrap();
-        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
         reports.push(String::from_utf8(out.stdout).unwrap());
     }
     assert_eq!(reports[0], reports[1], "1 vs 2 threads");
@@ -248,9 +295,18 @@ fn lint_reads_stdin() {
         .stderr(Stdio::piped())
         .spawn()
         .unwrap();
-    child.stdin.as_mut().unwrap().write_all(b"(1, 2) 3").unwrap();
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(b"(1, 2) 3")
+        .unwrap();
     let out = child.wait_with_output().unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8(out.stdout).unwrap();
     assert!(stdout.contains("error[STCFA006]"), "{stdout}");
 }

@@ -46,8 +46,14 @@ fn corpus_parses_and_typechecks() {
 fn corpus_evaluates() {
     for (name, src) in corpus() {
         let p = Program::parse(&src).unwrap();
-        eval(&p, EvalOptions { fuel: 5_000_000, inputs: vec![] })
-            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        eval(
+            &p,
+            EvalOptions {
+                fuel: 5_000_000,
+                inputs: vec![],
+            },
+        )
+        .unwrap_or_else(|e| panic!("{name}: {e}"));
     }
 }
 
@@ -59,16 +65,32 @@ fn corpus_analyses_are_consistent() {
         let cfa = Cfa0::analyze(&p);
         let uni = UnifyCfa::analyze(&p);
         let poly = PolyAnalysis::run(&p).unwrap();
-        let out = eval(&p, EvalOptions { fuel: 5_000_000, inputs: vec![] }).unwrap();
+        let out = eval(
+            &p,
+            EvalOptions {
+                fuel: 5_000_000,
+                inputs: vec![],
+            },
+        )
+        .unwrap();
         for (func_occ, label) in &out.trace.calls {
             // Every engine predicts every dynamic call.
-            assert!(sub.labels_of(*func_occ).contains(label), "{name}: sub missed call");
+            assert!(
+                sub.labels_of(*func_occ).contains(label),
+                "{name}: sub missed call"
+            );
             assert!(
                 cfa.labels(&p, *func_occ).contains(label),
                 "{name}: cfa0 missed call"
             );
-            assert!(uni.labels(*func_occ).contains(label), "{name}: unify missed call");
-            assert!(poly.labels_of(*func_occ).contains(label), "{name}: poly missed call");
+            assert!(
+                uni.labels(*func_occ).contains(label),
+                "{name}: unify missed call"
+            );
+            assert!(
+                poly.labels_of(*func_occ).contains(label),
+                "{name}: poly missed call"
+            );
         }
         for e in p.exprs() {
             // Sub ⊇ cfa0 (≈₁ may over-approximate on datatypes, never under).
@@ -84,7 +106,9 @@ fn corpus_analyses_are_consistent() {
 fn corpus_files_document_their_purpose() {
     for (name, src) in corpus() {
         assert!(
-            src.lines().next().is_some_and(|l| l.trim_start().starts_with("--")),
+            src.lines()
+                .next()
+                .is_some_and(|l| l.trim_start().starts_with("--")),
             "{name} should start with a comment explaining itself"
         );
     }

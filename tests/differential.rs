@@ -9,12 +9,12 @@
 //! - equality-based CFA over-approximates standard CFA;
 //! - polyvariant subtransitive refines monovariant but never unsoundly.
 
-use stcfa_devkit::prelude::*;
 use stcfa::cfa0::{Cfa0, Dtc};
 use stcfa::core::{Analysis, PolyAnalysis};
 use stcfa::sba::Sba;
 use stcfa::unify::UnifyCfa;
 use stcfa::workloads::synth::{generate, SynthConfig};
+use stcfa_devkit::prelude::*;
 
 fn program_for(seed: u64, full_language: bool) -> stcfa::lambda::Program {
     generate(&SynthConfig {

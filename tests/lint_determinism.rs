@@ -84,7 +84,10 @@ fn parsed_program_reports_are_thread_stable() {
     let p = Program::parse(src).expect("parses");
     let base = lint_with(&p, 1);
     assert!(!base.is_empty(), "fixture should produce diagnostics");
-    assert!(base.iter().all(|d| d.span.is_some()), "parsed programs carry spans");
+    assert!(
+        base.iter().all(|d| d.span.is_some()),
+        "parsed programs carry spans"
+    );
     let base_text = render_text(&base);
     let base_json = render_json(&base);
     for threads in [2usize, 8] {

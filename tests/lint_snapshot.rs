@@ -40,7 +40,11 @@ fn report_for(file: &std::path::Path) -> String {
 fn corpus_digest() -> u64 {
     let mut bytes = Vec::new();
     for file in corpus_files() {
-        let name = file.file_name().expect("file name").to_string_lossy().into_owned();
+        let name = file
+            .file_name()
+            .expect("file name")
+            .to_string_lossy()
+            .into_owned();
         bytes.extend_from_slice(name.as_bytes());
         bytes.push(b'\n');
         bytes.extend_from_slice(report_for(&file).as_bytes());

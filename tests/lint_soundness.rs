@@ -30,14 +30,23 @@ fn program_for(seed: u64) -> Program {
 fn assert_flow_dead_confirmed(p: &Program, policy: DatatypePolicy) -> TestCaseResult {
     // ≈₂ can legitimately exceed the close-phase node budget on synthetic
     // recursive datatypes; there is no finished graph to lint then.
-    let Ok(a) = Analysis::run_with(p, AnalysisOptions { policy, max_nodes: None }) else {
+    let Ok(a) = Analysis::run_with(
+        p,
+        AnalysisOptions {
+            policy,
+            max_nodes: None,
+        },
+    ) else {
         return Ok(());
     };
     let engine = QueryEngine::freeze(&a);
     let diags = lint(p, &a, &engine, &LintOptions { threads: 1 });
     let cfa = Cfa0::analyze(p);
     for d in &diags {
-        if !matches!(d.code, RuleCode::FlowDeadApplication | RuleCode::StuckApplication) {
+        if !matches!(
+            d.code,
+            RuleCode::FlowDeadApplication | RuleCode::StuckApplication
+        ) {
             continue;
         }
         let ExprKind::App { func, .. } = p.kind(d.expr) else {

@@ -116,7 +116,10 @@ fn life_analyses_agree_under_congruence2_and_exact_is_sound() {
     for policy in [DatatypePolicy::Congruence1, DatatypePolicy::Congruence2] {
         let a = Analysis::run_with(
             &p,
-            stcfa::core::AnalysisOptions { policy, max_nodes: None },
+            stcfa::core::AnalysisOptions {
+                policy,
+                max_nodes: None,
+            },
         )
         .unwrap();
         for e in p.exprs() {
@@ -151,5 +154,8 @@ fn lexgen_actions_flow_to_their_indirect_call_site() {
             }
         }
     }
-    assert!(found, "expected at least one polymorphic call site in lexgen");
+    assert!(
+        found,
+        "expected at least one polymorphic call site in lexgen"
+    );
 }

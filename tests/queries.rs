@@ -106,7 +106,9 @@ fn nontrivial_apps_are_the_papers_query_population() {
     // application operator — one non-trivial site per copy.
     assert_eq!(nontrivial.len(), n);
     for app in nontrivial {
-        let ExprKind::App { func, .. } = p.kind(app) else { unreachable!() };
+        let ExprKind::App { func, .. } = p.kind(app) else {
+            unreachable!()
+        };
         assert!(matches!(p.kind(*func), ExprKind::App { .. }));
     }
 }

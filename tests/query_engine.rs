@@ -12,13 +12,13 @@
 //! and a batch must come back byte-identical at every worker count.
 //! Shrunk failures persist to `tests/devkit-regressions.txt`.
 
-use stcfa_devkit::prelude::*;
 use stcfa::cfa0::Cfa0;
 use stcfa::core::{Analysis, PolyAnalysis, Query, QueryEngine};
 use stcfa::graph::DiGraph;
 use stcfa::lambda::Program;
 use stcfa::workloads::cubic;
 use stcfa::workloads::synth::{generate, SynthConfig};
+use stcfa_devkit::prelude::*;
 
 fn program_for(seed: u64, target_size: usize) -> Program {
     generate(&SynthConfig {
@@ -186,11 +186,16 @@ fn inverse_query_pinned_on_cubic_family() {
         let a = Analysis::run(&p).unwrap();
         let q = QueryEngine::freeze(&a);
         assert_eq!(p.label_count(), 2 * n + 2, "2 shared + 2 per copy");
-        let sizes: Vec<usize> =
-            p.all_labels().map(|l| q.exprs_with_label(l).len()).collect();
+        let sizes: Vec<usize> = p
+            .all_labels()
+            .map(|l| q.exprs_with_label(l).len())
+            .collect();
         for (l, &size) in p.all_labels().zip(&sizes) {
             assert_eq!(size, a.exprs_with_label(l).len(), "at {l:?}, n={n}");
-            assert!(size > 0, "every cubic abstraction is used somewhere ({l:?}, n={n})");
+            assert!(
+                size > 0,
+                "every cubic abstraction is used somewhere ({l:?}, n={n})"
+            );
         }
         // The copies are symmetric: after the two shared functions
         // (`fs`, `bs`), each copy contributes one `fᵢ` and one `bᵢ` whose

@@ -1,0 +1,341 @@
+//! End-to-end tests of `stcfa serve` / `stcfa client`: the daemon is
+//! exercised as a child process over its real transports.
+
+use std::io::{BufRead as _, BufReader, Read as _, Write as _};
+use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+
+fn stcfa() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_stcfa"))
+}
+
+/// A `stcfa serve --stdio` child with line-oriented request/response
+/// helpers. Dropping it without `shutdown` kills the child.
+struct Daemon {
+    child: Child,
+    stdin: Option<ChildStdin>,
+    stdout: BufReader<ChildStdout>,
+}
+
+impl Daemon {
+    fn spawn(threads: usize) -> Daemon {
+        let mut child = stcfa()
+            .args(["serve", "--stdio", "--threads", &threads.to_string()])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .unwrap();
+        let stdin = child.stdin.take();
+        let stdout = BufReader::new(child.stdout.take().unwrap());
+        Daemon {
+            child,
+            stdin,
+            stdout,
+        }
+    }
+
+    /// One sequential round-trip: send the line, read the one response.
+    fn roundtrip(&mut self, request: &str) -> String {
+        let stdin = self.stdin.as_mut().unwrap();
+        writeln!(stdin, "{request}").unwrap();
+        stdin.flush().unwrap();
+        let mut line = String::new();
+        let n = self.stdout.read_line(&mut line).unwrap();
+        assert!(n > 0, "daemon closed its stdout mid-conversation");
+        line.trim_end().to_owned()
+    }
+
+    /// Sends `shutdown`, expects the confirmation, and waits for a clean
+    /// exit.
+    fn shutdown(mut self) {
+        let bye = self.roundtrip(r#"{"op":"shutdown"}"#);
+        assert!(bye.contains(r#""stopping":true"#), "{bye}");
+        drop(self.stdin.take());
+        let status = self.child.wait().unwrap();
+        assert!(status.success(), "daemon exited {status}");
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+const SRC: &str = "(fn x => x) (fn y => y)";
+
+fn analyze(src: &str) -> String {
+    format!(r#"{{"op":"analyze","source":"{src}"}}"#)
+}
+
+/// Pulls `"field":<value up to the next comma/brace>` out of a response
+/// line — enough structure inspection for these tests without a parser.
+fn field<'a>(line: &'a str, name: &str) -> &'a str {
+    let pat = format!(r#""{name}":"#);
+    let start = line
+        .find(&pat)
+        .unwrap_or_else(|| panic!("no {name} in {line}"))
+        + pat.len();
+    let rest = &line[start..];
+    let end = rest
+        .char_indices()
+        .scan(0i32, |depth, (i, c)| {
+            match c {
+                '{' | '[' => *depth += 1,
+                '}' | ']' if *depth == 0 => return Some(Some(i)),
+                '}' | ']' => *depth -= 1,
+                ',' if *depth == 0 => return Some(Some(i)),
+                _ => {}
+            }
+            Some(None)
+        })
+        .flatten()
+        .next()
+        .unwrap_or(rest.len());
+    &rest[..end]
+}
+
+#[test]
+fn full_round_trip_over_stdio() {
+    let mut d = Daemon::spawn(2);
+    let a = d.roundtrip(&analyze(SRC));
+    assert_eq!(field(&a, "ok"), "true", "{a}");
+    assert_eq!(field(&a, "cached"), "false", "{a}");
+    let digest = field(&a, "snapshot").trim_matches('"').to_owned();
+    assert_eq!(digest.len(), 16, "{a}");
+
+    let q = d.roundtrip(&format!(
+        r#"{{"op":"query","kind":"label-set","snapshot":"{digest}"}}"#
+    ));
+    assert_eq!(field(&q, "count"), "1", "{q}");
+    assert!(q.contains("λy#1"), "{q}");
+
+    let ct = d.roundtrip(&format!(
+        r#"{{"op":"query","kind":"call-targets","snapshot":"{digest}","site":4}}"#
+    ));
+    assert_eq!(field(&ct, "ok"), "true", "{ct}");
+
+    let lint = d.roundtrip(&format!(r#"{{"op":"lint","snapshot":"{digest}"}}"#));
+    assert_eq!(field(&lint, "ok"), "true", "{lint}");
+
+    let stats = d.roundtrip(r#"{"op":"stats"}"#);
+    assert_eq!(field(&stats, "ok"), "true", "{stats}");
+    assert_eq!(field(&stats, "entries"), "1", "{stats}");
+    d.shutdown();
+}
+
+#[test]
+fn warm_cache_never_rebuilds() {
+    let mut d = Daemon::spawn(2);
+    let first = d.roundtrip(&analyze(SRC));
+    assert_eq!(field(&first, "cached"), "false", "{first}");
+    // The same source again — and a query that names it inline — must both
+    // be servable without a rebuild.
+    let second = d.roundtrip(&analyze(SRC));
+    assert_eq!(field(&second, "cached"), "true", "{second}");
+    let q = d.roundtrip(&format!(
+        r#"{{"op":"query","kind":"label-set","source":"{SRC}"}}"#
+    ));
+    assert_eq!(field(&q, "ok"), "true", "{q}");
+    let stats = d.roundtrip(r#"{"op":"stats"}"#);
+    assert_eq!(field(&stats, "misses"), "1", "one build total: {stats}");
+    assert_eq!(field(&stats, "hits"), "2", "{stats}");
+    d.shutdown();
+}
+
+#[test]
+fn responses_are_byte_identical_across_thread_counts() {
+    // The same conversation, replayed sequentially against daemons with
+    // different worker counts, must produce byte-identical transcripts
+    // (`stats` is excluded: its timing counters are wall-clock).
+    let conversation = [
+        analyze(SRC),
+        analyze("fun id x = x; id (fn u => u)"),
+        analyze(SRC), // warm: cached:true, deterministic in sequential replay
+        format!(r#"{{"id":7,"op":"query","kind":"label-set","source":"{SRC}"}}"#),
+        format!(r#"{{"id":8,"op":"query","kind":"occurrences","source":"{SRC}","label":1}}"#),
+        format!(
+            r#"{{"id":9,"op":"query","kind":"reachability","source":"{SRC}","expr":0,"label":1}}"#
+        ),
+        format!(r#"{{"id":10,"op":"lint","source":"{SRC}"}}"#),
+        r#"{"id":11,"op":"frobnicate"}"#.to_owned(),
+        r#"not json at all"#.to_owned(),
+    ];
+    let mut transcripts = Vec::new();
+    for threads in [1usize, 2, 8] {
+        let mut d = Daemon::spawn(threads);
+        let transcript: Vec<String> = conversation.iter().map(|req| d.roundtrip(req)).collect();
+        d.shutdown();
+        transcripts.push((threads, transcript));
+    }
+    let (_, reference) = &transcripts[0];
+    for (threads, transcript) in &transcripts[1..] {
+        assert_eq!(
+            transcript, reference,
+            "transcript diverged at --threads {threads}"
+        );
+    }
+}
+
+#[test]
+fn deadline_exceeded_is_structured_and_daemon_survives() {
+    let mut d = Daemon::spawn(1);
+    let late = d.roundtrip(&format!(
+        r#"{{"op":"analyze","source":"{SRC}","deadline_ms":0}}"#
+    ));
+    assert_eq!(field(&late, "ok"), "false", "{late}");
+    assert_eq!(field(&late, "kind"), r#""timeout""#, "{late}");
+    assert!(late.contains("deadline of 0 ms exceeded"), "{late}");
+    // The daemon keeps serving: same request without the deadline is fine.
+    let ok = d.roundtrip(&analyze(SRC));
+    assert_eq!(field(&ok, "ok"), "true", "{ok}");
+    d.shutdown();
+}
+
+#[test]
+fn request_errors_never_kill_the_daemon() {
+    let mut d = Daemon::spawn(2);
+    for (request, kind) in [
+        ("{ not json", r#""proto""#),
+        (r#"{"op":"analyze","source":"fn x =>"}"#, r#""parse""#),
+        (
+            r#"{"op":"analyze","source":"(fn x => x x) (fn x => x x)"}"#,
+            r#""analysis""#,
+        ),
+        (
+            r#"{"op":"query","kind":"label-set","snapshot":"0123456789abcdef"}"#,
+            r#""unknown-snapshot""#,
+        ),
+        (r#"{"v":99,"op":"stats"}"#, r#""proto""#),
+    ] {
+        let r = d.roundtrip(request);
+        assert_eq!(field(&r, "ok"), "false", "{r}");
+        assert_eq!(field(&r, "kind"), kind, "{r}");
+    }
+    let ok = d.roundtrip(&analyze(SRC));
+    assert_eq!(field(&ok, "ok"), "true", "{ok}");
+    d.shutdown();
+}
+
+#[test]
+fn invalidated_snapshot_is_stale_until_reanalyzed() {
+    let mut d = Daemon::spawn(2);
+    let a = d.roundtrip(&analyze(SRC));
+    let digest = field(&a, "snapshot").trim_matches('"').to_owned();
+    let e = d.roundtrip(&format!(r#"{{"op":"evict","snapshot":"{digest}"}}"#));
+    assert_eq!(field(&e, "evicted"), "true", "{e}");
+    let stale = d.roundtrip(&format!(
+        r#"{{"op":"query","kind":"label-set","snapshot":"{digest}"}}"#
+    ));
+    assert_eq!(field(&stale, "kind"), r#""stale-snapshot""#, "{stale}");
+    // Re-analyzing the same content re-validates the same digest.
+    let again = d.roundtrip(&analyze(SRC));
+    assert_eq!(
+        field(&again, "snapshot").trim_matches('"'),
+        digest,
+        "{again}"
+    );
+    assert_eq!(
+        field(&again, "cached"),
+        "false",
+        "rebuilt after invalidation: {again}"
+    );
+    let fresh = d.roundtrip(&format!(
+        r#"{{"op":"query","kind":"label-set","snapshot":"{digest}"}}"#
+    ));
+    assert_eq!(field(&fresh, "ok"), "true", "{fresh}");
+    d.shutdown();
+}
+
+#[test]
+fn tcp_transport_and_client_helper() {
+    let mut server = stcfa()
+        .args(["serve", "--addr", "127.0.0.1:0"])
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    // The daemon announces the bound address on stderr.
+    let mut stderr = BufReader::new(server.stderr.take().unwrap());
+    let mut line = String::new();
+    stderr.read_line(&mut line).unwrap();
+    let addr = line.trim().rsplit(' ').next().unwrap().to_owned();
+    assert!(addr.contains(':'), "no address in {line:?}");
+
+    let client = |request: &str| -> String {
+        let out = stcfa()
+            .args(["client", "--addr", &addr, "--request", request])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8(out.stdout).unwrap().trim_end().to_owned()
+    };
+    let a = client(&analyze(SRC));
+    assert_eq!(field(&a, "ok"), "true", "{a}");
+    let digest = field(&a, "snapshot").trim_matches('"').to_owned();
+    // A second connection hits the same daemon-wide cache.
+    let b = client(&analyze(SRC));
+    assert_eq!(field(&b, "cached"), "true", "{b}");
+    let q = client(&format!(
+        r#"{{"op":"query","kind":"label-set","snapshot":"{digest}"}}"#
+    ));
+    assert_eq!(field(&q, "ok"), "true", "{q}");
+    let bye = client(r#"{"op":"shutdown"}"#);
+    assert!(bye.contains(r#""stopping":true"#), "{bye}");
+    let status = server.wait().unwrap();
+    assert!(status.success(), "daemon exited {status}");
+    let mut rest = String::new();
+    stderr.read_to_string(&mut rest).unwrap();
+}
+
+#[test]
+fn batch_pipeline_preserves_request_order() {
+    // Not sequential round-trips: pipe a whole batch at once and close
+    // stdin. Responses must come back in request order and all be served.
+    let mut input = String::new();
+    for i in 0..32 {
+        input.push_str(&format!(
+            r#"{{"id":{i},"op":"query","kind":"label-set","source":"{SRC}"}}"#
+        ));
+        input.push('\n');
+    }
+    for threads in [1usize, 8] {
+        let mut child = stcfa()
+            .args(["serve", "--stdio", "--threads", &threads.to_string()])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .unwrap();
+        child
+            .stdin
+            .take()
+            .unwrap()
+            .write_all(input.as_bytes())
+            .unwrap();
+        let mut output = String::new();
+        child
+            .stdout
+            .take()
+            .unwrap()
+            .read_to_string(&mut output)
+            .unwrap();
+        assert!(child.wait().unwrap().success());
+        let lines: Vec<&str> = output.lines().collect();
+        assert_eq!(lines.len(), 32, "--threads {threads}: {output}");
+        for (i, line) in lines.iter().enumerate() {
+            assert_eq!(
+                field(line, "id"),
+                i.to_string(),
+                "--threads {threads}: {line}"
+            );
+            assert_eq!(field(line, "ok"), "true", "--threads {threads}: {line}");
+        }
+    }
+}

@@ -31,8 +31,14 @@ fn program_for(seed: u64) -> stcfa::lambda::Program {
 
 fn check_every_dynamic_call_is_predicted(seed: u64) -> TestCaseResult {
     let p = program_for(seed);
-    let out = eval(&p, EvalOptions { fuel: 2_000_000, inputs: vec![] })
-        .expect("generated programs terminate");
+    let out = eval(
+        &p,
+        EvalOptions {
+            fuel: 2_000_000,
+            inputs: vec![],
+        },
+    )
+    .expect("generated programs terminate");
 
     let cfa = Cfa0::analyze(&p);
     let sub = Analysis::run(&p).expect("bounded");
@@ -42,19 +48,31 @@ fn check_every_dynamic_call_is_predicted(seed: u64) -> TestCaseResult {
     for (func_occ, label) in &out.trace.calls {
         prop_assert!(
             cfa.labels(&p, *func_occ).contains(label),
-            "cubic CFA missed dynamic call of {:?} at {:?} (seed {})", label, func_occ, seed
+            "cubic CFA missed dynamic call of {:?} at {:?} (seed {})",
+            label,
+            func_occ,
+            seed
         );
         prop_assert!(
             sub.labels_of(*func_occ).contains(label),
-            "subtransitive missed dynamic call of {:?} at {:?} (seed {})", label, func_occ, seed
+            "subtransitive missed dynamic call of {:?} at {:?} (seed {})",
+            label,
+            func_occ,
+            seed
         );
         prop_assert!(
             poly.labels_of(*func_occ).contains(label),
-            "polyvariant missed dynamic call of {:?} at {:?} (seed {})", label, func_occ, seed
+            "polyvariant missed dynamic call of {:?} at {:?} (seed {})",
+            label,
+            func_occ,
+            seed
         );
         prop_assert!(
             uni.labels(*func_occ).contains(label),
-            "unification missed dynamic call of {:?} at {:?} (seed {})", label, func_occ, seed
+            "unification missed dynamic call of {:?} at {:?} (seed {})",
+            label,
+            func_occ,
+            seed
         );
     }
 
@@ -68,19 +86,31 @@ fn check_every_dynamic_call_is_predicted(seed: u64) -> TestCaseResult {
 
 fn check_every_dynamic_effect_is_predicted(seed: u64) -> TestCaseResult {
     let p = program_for(seed);
-    let out = eval(&p, EvalOptions { fuel: 2_000_000, inputs: vec![] }).expect("terminates");
+    let out = eval(
+        &p,
+        EvalOptions {
+            fuel: 2_000_000,
+            inputs: vec![],
+        },
+    )
+    .expect("terminates");
     let sub = Analysis::run(&p).expect("bounded");
     let eff = effects(&p, &sub);
     for at in &out.trace.effects {
         prop_assert!(
             eff.is_effectful(*at),
-            "static effects analysis missed runtime effect at {:?} (seed {})", at, seed
+            "static effects analysis missed runtime effect at {:?} (seed {})",
+            at,
+            seed
         );
     }
     // Purity claims must also hold up: a program whose root is not
     // flagged may not print.
     if !eff.is_effectful(p.root()) {
-        prop_assert!(out.outputs.is_empty(), "unflagged program printed (seed {seed})");
+        prop_assert!(
+            out.outputs.is_empty(),
+            "unflagged program printed (seed {seed})"
+        );
     }
     Ok(())
 }
@@ -119,19 +149,30 @@ fn check_called_once_matches_reference(seed: u64) -> TestCaseResult {
 /// never exceed the standard analysis's sets.
 fn check_liveness_is_sound_and_precise(seed: u64) -> TestCaseResult {
     let p = program_for(seed);
-    let out = eval(&p, EvalOptions { fuel: 2_000_000, inputs: vec![] }).expect("terminates");
+    let out = eval(
+        &p,
+        EvalOptions {
+            fuel: 2_000_000,
+            inputs: vec![],
+        },
+    )
+    .expect("terminates");
     let live = stcfa::cfa0::LiveCfa0::analyze(&p);
     let full = Cfa0::analyze(&p);
     for e in &out.trace.evaluated {
         prop_assert!(
             live.is_live(*e),
-            "evaluated occurrence {:?} not marked live (seed {})", e, seed
+            "evaluated occurrence {:?} not marked live (seed {})",
+            e,
+            seed
         );
     }
     for (func_occ, label) in &out.trace.calls {
         prop_assert!(
             live.labels(&p, *func_occ).contains(label),
-            "live analysis missed dynamic call of {:?} (seed {})", label, seed
+            "live analysis missed dynamic call of {:?} (seed {})",
+            label,
+            seed
         );
     }
     for e in p.exprs() {
@@ -166,7 +207,9 @@ fn check_effects_colouring_matches_reference(seed: u64) -> TestCaseResult {
         prop_assert_eq!(
             fast.is_effectful(e),
             slow.is_effectful(e),
-            "at {:?} (seed {})", e, seed
+            "at {:?} (seed {})",
+            e,
+            seed
         );
     }
     Ok(())
@@ -184,7 +227,9 @@ fn check_effects_colouring_is_sound_under_congruence(seed: u64) -> TestCaseResul
         if slow.is_effectful(e) {
             prop_assert!(
                 fast.is_effectful(e),
-                "colouring under ≈₁ missed an effect at {:?} (seed {})", e, seed
+                "colouring under ≈₁ missed an effect at {:?} (seed {})",
+                e,
+                seed
             );
         }
     }

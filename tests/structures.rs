@@ -2,14 +2,18 @@
 //! the parser/printer round trip, well-typedness of generated programs,
 //! and "well-typed programs don't go wrong" (no dynamic type errors).
 
-use stcfa_devkit::prelude::*;
 use stcfa::lambda::eval::{eval, EvalError, EvalOptions};
 use stcfa::lambda::Program;
 use stcfa::types::TypedProgram;
 use stcfa::workloads::synth::{generate, SynthConfig};
+use stcfa_devkit::prelude::*;
 
 fn program_for(seed: u64) -> Program {
-    generate(&SynthConfig { seed, target_size: 150, ..Default::default() })
+    generate(&SynthConfig {
+        seed,
+        target_size: 150,
+        ..Default::default()
+    })
 }
 
 proptest! {
