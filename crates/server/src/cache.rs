@@ -20,7 +20,17 @@
 //!   gets a structured *stale snapshot* error — never a silent rebuild
 //!   under a different meaning, matching the
 //!   [`StaleSnapshot`](stcfa_core::StaleSnapshot) discipline of the
-//!   incremental layer.
+//!   incremental layer. The tombstone set is bounded
+//!   ([`TOMBSTONE_CAP`]): under long churn the oldest tombstones are
+//!   forgotten, so a sufficiently ancient handle reports *unknown
+//!   snapshot* instead of *stale snapshot* — memory stays bounded.
+//! - **Collision-checked addressing.** The digest is 64-bit and
+//!   non-cryptographic, so [`get_or_build`](SnapshotStore::get_or_build)
+//!   keeps the source text in the snapshot and compares it on every hit:
+//!   two distinct sources that collide produce a structured error, never
+//!   one another's analysis results. (Handle lookups by bare digest via
+//!   [`get`](SnapshotStore::get) carry no source to compare — they trust
+//!   the digest the daemon itself issued.)
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -66,8 +76,9 @@ pub struct Snapshot {
     pub analysis: Analysis,
     /// The frozen query engine every query answers through.
     pub engine: QueryEngine,
-    /// Length of the source text, in bytes.
-    pub source_len: usize,
+    /// The exact source text the digest was derived from, kept to detect
+    /// 64-bit digest collisions on cache hits.
+    pub source: String,
     /// Wall-clock nanoseconds the build (parse + analyze + freeze) took.
     pub build_ns: u64,
 }
@@ -75,15 +86,17 @@ pub struct Snapshot {
 impl Snapshot {
     /// The byte cost this snapshot is accounted at in the store.
     pub fn cost_bytes(&self) -> usize {
-        self.source_len + self.engine.approx_bytes()
+        self.source.len() + self.engine.approx_bytes()
     }
 }
 
 /// Point-in-time counters of one [`SnapshotStore`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct StoreStats {
-    /// Requests answered from an already-built snapshot (including
-    /// requests that coalesced onto an in-flight build).
+    /// Requests answered from an already-built snapshot. A request that
+    /// coalesces onto an in-flight build counts as a hit only once that
+    /// build resolves successfully — a coalesced wait that surfaces the
+    /// build error is neither hit nor miss.
     pub hits: u64,
     /// Requests that had to build a snapshot.
     pub misses: u64,
@@ -130,13 +143,35 @@ enum Slot {
     },
 }
 
+/// Upper bound on remembered tombstones: past this, the oldest half is
+/// forgotten (those digests then report `Unknown` rather than `Stale`),
+/// so a long-running daemon under cache churn stays bounded.
+pub const TOMBSTONE_CAP: usize = 1 << 16;
+
 struct Inner {
     map: HashMap<u64, Slot>,
-    /// Digests that were resident once and are gone now (tombstones).
-    evicted: HashMap<u64, ()>,
+    /// Digests that were resident once and are gone now, stamped with the
+    /// tick they were tombstoned at. Bounded by [`TOMBSTONE_CAP`].
+    evicted: HashMap<u64, u64>,
     /// Recency clock: bumped on every touch.
     tick: u64,
     bytes: usize,
+}
+
+impl Inner {
+    /// Records a tombstone for `key`, pruning the oldest half of the set
+    /// when it outgrows [`TOMBSTONE_CAP`] (amortized O(1) per insert).
+    fn tombstone(&mut self, key: u64) {
+        self.tick += 1;
+        let tick = self.tick;
+        self.evicted.insert(key, tick);
+        if self.evicted.len() > TOMBSTONE_CAP {
+            let mut ticks: Vec<u64> = self.evicted.values().copied().collect();
+            ticks.sort_unstable();
+            let cutoff = ticks[ticks.len() / 2];
+            self.evicted.retain(|_, t| *t >= cutoff);
+        }
+    }
 }
 
 /// The content-addressed, byte-accounted, build-deduplicating LRU store.
@@ -175,9 +210,15 @@ impl SnapshotStore {
     /// build runs outside the store lock; concurrent requests for the same
     /// key wait for the in-flight build instead of re-running it. Returns
     /// the snapshot and whether this call was a cache hit.
+    ///
+    /// `source` must be the exact text `key` was derived from: every hit
+    /// compares it against the cached snapshot's source, so a 64-bit
+    /// digest collision between distinct sources surfaces as an error
+    /// instead of silently serving the wrong analysis.
     pub fn get_or_build(
         &self,
         key: SnapshotKey,
+        source: &str,
         build: impl FnOnce() -> Result<Snapshot, String>,
     ) -> Result<(Arc<Snapshot>, bool), String> {
         let cell = {
@@ -190,14 +231,16 @@ impl SnapshotStore {
                     last_used,
                     ..
                 }) => {
+                    verify_source(key, snapshot, source)?;
                     *last_used = tick;
                     self.hits.fetch_add(1, Ordering::Relaxed);
                     return Ok((Arc::clone(snapshot), true));
                 }
                 Some(Slot::Building(cell)) => {
                     // Another request is building this key: wait outside
-                    // the store lock, and count the coalesced hit.
-                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    // the store lock. Counted as a hit only if the build
+                    // succeeds (below) — a propagated build error is
+                    // neither hit nor miss.
                     self.coalesced.fetch_add(1, Ordering::Relaxed);
                     Some(Arc::clone(cell))
                 }
@@ -220,7 +263,11 @@ impl SnapshotStore {
                 slot = cell.done.wait(slot).expect("build cell poisoned");
             }
             return match slot.as_ref().expect("loop ensures Some") {
-                Ok(snapshot) => Ok((Arc::clone(snapshot), true)),
+                Ok(snapshot) => {
+                    verify_source(key, snapshot, source)?;
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    Ok((Arc::clone(snapshot), true))
+                }
                 Err(e) => Err(e.clone()),
             };
         }
@@ -287,7 +334,7 @@ impl SnapshotStore {
             let Some(victim) = victim else { break };
             if let Some(Slot::Ready { bytes, .. }) = inner.map.remove(&victim) {
                 inner.bytes -= bytes;
-                inner.evicted.insert(victim, ());
+                inner.tombstone(victim);
                 self.evictions.fetch_add(1, Ordering::Relaxed);
             }
         }
@@ -330,14 +377,14 @@ impl SnapshotStore {
                 if let Some(Slot::Ready { bytes, .. }) = inner.map.remove(&key.0) {
                     inner.bytes -= bytes;
                 }
-                inner.evicted.insert(key.0, ());
+                inner.tombstone(key.0);
                 self.evictions.fetch_add(1, Ordering::Relaxed);
                 true
             }
             // In-flight builds finish and insert; invalidating a digest
             // that is mid-build or absent just records the tombstone.
             _ => {
-                inner.evicted.insert(key.0, ());
+                inner.tombstone(key.0);
                 false
             }
         }
@@ -367,6 +414,29 @@ impl SnapshotStore {
             }
         }
     }
+
+    /// Tombstones currently remembered (bounded-growth test hook).
+    #[cfg(test)]
+    fn tombstone_count(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("store lock poisoned")
+            .evicted
+            .len()
+    }
+}
+
+/// Rejects a hit whose cached source differs from the request's: a 64-bit
+/// digest collision, surfaced as an error rather than a wrong answer.
+fn verify_source(key: SnapshotKey, snapshot: &Snapshot, source: &str) -> Result<(), String> {
+    if snapshot.source != source {
+        return Err(format!(
+            "digest collision on {}: a different source is cached under this key; \
+             analysis refused to avoid serving wrong results",
+            key.hex()
+        ));
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -381,7 +451,7 @@ mod tests {
             program,
             analysis,
             engine,
-            source_len: source.len(),
+            source: source.to_owned(),
             build_ns: 0,
         })
     }
@@ -393,9 +463,9 @@ mod tests {
     fn second_request_is_a_hit_and_shares_the_arc() {
         let store = SnapshotStore::new(usize::MAX);
         let key = SnapshotKey::derive(SRC_A, 0, 0);
-        let (first, hit1) = store.get_or_build(key, || build(SRC_A)).unwrap();
+        let (first, hit1) = store.get_or_build(key, SRC_A, || build(SRC_A)).unwrap();
         let (second, hit2) = store
-            .get_or_build(key, || panic!("must not rebuild"))
+            .get_or_build(key, SRC_A, || panic!("must not rebuild"))
             .unwrap();
         assert!(!hit1);
         assert!(hit2);
@@ -423,8 +493,8 @@ mod tests {
         let store = SnapshotStore::new(cost_a + cost_b - 1);
         let ka = SnapshotKey::derive(SRC_A, 0, 0);
         let kb = SnapshotKey::derive(SRC_B, 0, 0);
-        store.get_or_build(ka, || build(SRC_A)).unwrap();
-        store.get_or_build(kb, || build(SRC_B)).unwrap();
+        store.get_or_build(ka, SRC_A, || build(SRC_A)).unwrap();
+        store.get_or_build(kb, SRC_B, || build(SRC_B)).unwrap();
         let s = store.stats();
         assert_eq!(s.evictions, 1, "{s:?}");
         assert!(s.bytes <= s.capacity_bytes, "{s:?}");
@@ -449,11 +519,11 @@ mod tests {
         let ka = SnapshotKey::derive(SRC_A, 0, 0);
         let kb = SnapshotKey::derive(SRC_B, 0, 0);
         let kc = SnapshotKey::derive(SRC_C, 0, 0);
-        store.get_or_build(ka, || build(SRC_A)).unwrap();
-        store.get_or_build(kb, || build(SRC_B)).unwrap();
+        store.get_or_build(ka, SRC_A, || build(SRC_A)).unwrap();
+        store.get_or_build(kb, SRC_B, || build(SRC_B)).unwrap();
         // Touch A so B is now the least recently used.
         store.get(ka).unwrap();
-        store.get_or_build(kc, || build(SRC_C)).unwrap();
+        store.get_or_build(kc, SRC_C, || build(SRC_C)).unwrap();
         assert!(store.get(ka).is_ok(), "recently touched entry evicted");
         assert_eq!(store.get(kb).unwrap_err(), LookupError::Stale);
     }
@@ -462,11 +532,13 @@ mod tests {
     fn build_errors_propagate_and_leave_no_residue() {
         let store = SnapshotStore::new(usize::MAX);
         let key = SnapshotKey::derive("fn x =>", 0, 0);
-        assert!(store.get_or_build(key, || build("fn x =>")).is_err());
+        assert!(store
+            .get_or_build(key, "fn x =>", || build("fn x =>"))
+            .is_err());
         assert_eq!(store.stats().entries, 0);
         // A retry is a fresh miss, not a stale handle.
         assert_eq!(store.get(key).unwrap_err(), LookupError::Unknown);
-        assert!(store.get_or_build(key, || build(SRC_A)).is_ok());
+        assert!(store.get_or_build(key, SRC_A, || build(SRC_A)).is_ok());
     }
 
     #[test]
@@ -479,7 +551,7 @@ mod tests {
             for _ in 0..8 {
                 scope.spawn(|| {
                     let (snap, _) = store
-                        .get_or_build(key, || {
+                        .get_or_build(key, SRC_B, || {
                             builds.fetch_add(1, Ordering::SeqCst);
                             build(SRC_B)
                         })
@@ -495,15 +567,82 @@ mod tests {
     }
 
     #[test]
+    fn coalesced_wait_on_a_failing_build_is_not_a_hit() {
+        use std::time::Duration;
+        let store = SnapshotStore::new(usize::MAX);
+        const BAD: &str = "fn x =>";
+        let key = SnapshotKey::derive(BAD, 0, 0);
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                let r = store.get_or_build(key, BAD, || {
+                    // Hold the build open until the other request has
+                    // coalesced onto it, then fail (parse error).
+                    while store.stats().coalesced == 0 {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    build(BAD)
+                });
+                assert!(r.is_err());
+            });
+            // The Building slot exists once the miss is counted.
+            while store.stats().misses == 0 {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            let r = store.get_or_build(key, BAD, || panic!("must coalesce"));
+            assert!(r.is_err());
+        });
+        let s = store.stats();
+        assert_eq!(
+            (s.hits, s.misses, s.coalesced),
+            (0, 1, 1),
+            "a coalesced wait that surfaces the build error must not count as a hit"
+        );
+    }
+
+    #[test]
+    fn digest_collision_is_an_error_not_a_wrong_answer() {
+        let store = SnapshotStore::new(usize::MAX);
+        // Simulate an FNV collision: two distinct sources under one key.
+        let key = SnapshotKey::derive(SRC_A, 0, 0);
+        store.get_or_build(key, SRC_A, || build(SRC_A)).unwrap();
+        let err = store
+            .get_or_build(key, SRC_B, || panic!("collision must not rebuild"))
+            .unwrap_err();
+        assert!(err.contains("digest collision"), "{err}");
+        // The honest source still hits.
+        let (_, hit) = store.get_or_build(key, SRC_A, || build(SRC_A)).unwrap();
+        assert!(hit);
+    }
+
+    #[test]
+    fn tombstone_set_stays_bounded_under_churn() {
+        let store = SnapshotStore::new(usize::MAX);
+        // Invalidating an absent digest records a tombstone; churn through
+        // more distinct digests than the cap allows.
+        for i in 0..(TOMBSTONE_CAP as u64 + 2) {
+            store.invalidate(SnapshotKey(i));
+        }
+        assert!(store.tombstone_count() <= TOMBSTONE_CAP);
+        // Recent tombstones are still checked; the oldest were forgotten.
+        assert_eq!(
+            store
+                .get(SnapshotKey(TOMBSTONE_CAP as u64 + 1))
+                .unwrap_err(),
+            LookupError::Stale
+        );
+        assert_eq!(store.get(SnapshotKey(0)).unwrap_err(), LookupError::Unknown);
+    }
+
+    #[test]
     fn invalidate_is_the_cache_invalidation_path() {
         let store = SnapshotStore::new(usize::MAX);
         let key = SnapshotKey::derive(SRC_A, 0, 0);
-        store.get_or_build(key, || build(SRC_A)).unwrap();
+        store.get_or_build(key, SRC_A, || build(SRC_A)).unwrap();
         assert!(store.invalidate(key));
         assert_eq!(store.get(key).unwrap_err(), LookupError::Stale);
         assert!(!store.invalidate(key), "second invalidation is a no-op");
         // Re-analyzing the same content rebuilds and clears the tombstone.
-        let (_, hit) = store.get_or_build(key, || build(SRC_A)).unwrap();
+        let (_, hit) = store.get_or_build(key, SRC_A, || build(SRC_A)).unwrap();
         assert!(!hit);
         assert!(store.get(key).is_ok());
     }

@@ -209,12 +209,12 @@ impl Server {
         }
         let key = SnapshotKey::derive(source, policy_disc, ENGINE_SUB);
         deadline.check("before build")?;
-        let source = source.to_owned();
+        let owned = source.to_owned();
         let (snapshot, cached) = self
             .store
-            .get_or_build(key, move || {
+            .get_or_build(key, source, move || {
                 let started = Instant::now();
-                let program = Program::parse(&source).map_err(|e| format!("parse\u{0}{e}"))?;
+                let program = Program::parse(&owned).map_err(|e| format!("parse\u{0}{e}"))?;
                 let analysis = Analysis::run_with(
                     &program,
                     AnalysisOptions {
@@ -231,7 +231,7 @@ impl Server {
                     program,
                     analysis,
                     engine,
-                    source_len: source.len(),
+                    source: owned,
                     build_ns: started.elapsed().as_nanos() as u64,
                 })
             })
@@ -379,12 +379,16 @@ impl Server {
     fn op_lint(&self, request: &Json, deadline: &Deadline) -> Result<Json, RequestError> {
         let snapshot = self.resolve_snapshot(request, deadline)?;
         deadline.check("before lint")?;
+        // Divide the thread budget across the workers currently serving
+        // requests: a burst of concurrent lints must not fan out to
+        // ~threads² OS threads.
+        let active = (self.in_flight.load(Ordering::SeqCst) as usize).max(1);
         let diags = lint(
             &snapshot.program,
             &snapshot.analysis,
             &snapshot.engine,
             &LintOptions {
-                threads: self.options.threads,
+                threads: (self.options.threads / active).max(1),
             },
         );
         deadline.check("after lint")?;
@@ -536,21 +540,31 @@ impl Server {
                 });
             }
             // This thread is the writer: emit responses in sequence order.
+            let mut writer_dead = false;
             let mut out_guard = out.lock().expect("out lock poisoned");
             loop {
-                while let Some(response) = {
-                    let seq = out_guard.next_seq;
-                    out_guard.ready.remove(&seq)
-                } {
-                    out_guard.next_seq += 1;
-                    drop(out_guard);
-                    let w = writeln!(writer, "{response}").and_then(|()| writer.flush());
-                    out_guard = out.lock().expect("out lock poisoned");
-                    if let Err(e) = w {
-                        // A vanished client is not a daemon failure, but
-                        // stop writing and drain.
-                        io_result = Err(e);
-                        out_guard.ready.clear();
+                if writer_dead {
+                    // Still-running workers keep inserting responses (with
+                    // seq beyond the stalled next_seq); discard them every
+                    // pass so the drain condition below stays reachable.
+                    out_guard.ready.clear();
+                } else {
+                    while let Some(response) = {
+                        let seq = out_guard.next_seq;
+                        out_guard.ready.remove(&seq)
+                    } {
+                        out_guard.next_seq += 1;
+                        drop(out_guard);
+                        let w = writeln!(writer, "{response}").and_then(|()| writer.flush());
+                        out_guard = out.lock().expect("out lock poisoned");
+                        if let Err(e) = w {
+                            // A vanished client is not a daemon failure,
+                            // but stop writing and drain.
+                            io_result = Err(e);
+                            writer_dead = true;
+                            out_guard.ready.clear();
+                            break;
+                        }
                     }
                 }
                 if out_guard.workers_active == 0 && out_guard.ready.is_empty() {
@@ -1025,6 +1039,41 @@ mod tests {
             assert_eq!(line.get("ok"), Some(&Json::Bool(true)));
         }
         assert!(s.is_stopping());
+    }
+
+    /// A writer whose client vanished: the first `allow` writes succeed,
+    /// every later one reports a broken pipe.
+    struct BrokenPipe {
+        allow: usize,
+    }
+
+    impl Write for BrokenPipe {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            if self.allow == 0 {
+                return Err(io::Error::new(io::ErrorKind::BrokenPipe, "client gone"));
+            }
+            self.allow -= 1;
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn writer_error_mid_burst_drains_instead_of_hanging() {
+        let s = server();
+        // More requests than workers, so responses keep arriving after
+        // the write error; the drain must still terminate.
+        let input: String = (0..8)
+            .map(|i| format!(r#"{{"id":{i},"op":"analyze","source":"(fn x => x) (fn y => y)"}}"#))
+            .map(|l| l + "\n")
+            .collect();
+        let err = s
+            .serve(io::Cursor::new(input), BrokenPipe { allow: 1 })
+            .expect_err("the write failure must surface");
+        assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
     }
 
     #[test]
