@@ -1,0 +1,81 @@
+//! Session linking: the cost of a cold multi-module link, a hot re-link
+//! after editing the last module (checkpointed prefix reuse), and a
+//! whole-program rebuild from scratch — the hot-reload economics the
+//! session layer exists for. Expected shape: `relink_last` beats
+//! `full_rebuild` by well over 5× on the ≥4-module workloads, because
+//! only the edited module's fragment is re-parsed and re-closed.
+
+use stcfa_core::{Analysis, AnalysisOptions};
+use stcfa_devkit::bench::{BenchmarkId, Criterion};
+use stcfa_devkit::{criterion_group, criterion_main};
+use stcfa_lambda::Program;
+use stcfa_session::Workspace;
+use stcfa_workloads::modules::{concatenated, module_sources, ModulesConfig};
+use std::hint::black_box;
+
+fn workload(modules: usize) -> Vec<(String, String)> {
+    module_sources(&ModulesConfig {
+        seed: 42,
+        modules,
+        decls_per_module: 12,
+        cross_module_prob: 0.5,
+        datatypes: true,
+    })
+}
+
+fn bench_session(c: &mut Criterion) {
+    let mut group = c.benchmark_group("session");
+    group.sample_size(10);
+    for &n in &[8usize, 16, 32, 64] {
+        let sources = workload(n);
+        let whole = concatenated(&sources);
+
+        group.bench_with_input(BenchmarkId::new("cold_link", n), &sources, |b, sources| {
+            b.iter(|| {
+                let mut ws = Workspace::new(AnalysisOptions::default());
+                for (name, src) in sources {
+                    ws.upsert(name, src);
+                }
+                black_box(ws.link().unwrap().nodes)
+            })
+        });
+
+        group.bench_with_input(
+            BenchmarkId::new("relink_last", n),
+            &sources,
+            |b, sources| {
+                let mut ws = Workspace::new(AnalysisOptions::default());
+                for (name, src) in sources {
+                    ws.upsert(name, src);
+                }
+                ws.link().unwrap();
+                let (last_name, last_src) = sources.last().unwrap().clone();
+                // Alternate between two variants of the last module so
+                // every iteration is a genuine content change (a repeat
+                // of the same source would be a digest no-op).
+                let variants = [
+                    format!("fun alt0 x = x;\n{last_src}"),
+                    format!("fun alt1 x = x + 1;\n{last_src}"),
+                ];
+                let mut flip = 0usize;
+                b.iter(|| {
+                    ws.upsert(&last_name, &variants[flip % 2]);
+                    flip += 1;
+                    black_box(ws.link().unwrap().relinked)
+                })
+            },
+        );
+
+        group.bench_with_input(BenchmarkId::new("full_rebuild", n), &whole, |b, whole| {
+            b.iter(|| {
+                let p = Program::parse(whole).unwrap();
+                let a = Analysis::run_with(&p, AnalysisOptions::default()).unwrap();
+                black_box(a.node_count())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_session);
+criterion_main!(benches);

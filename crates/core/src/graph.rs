@@ -40,6 +40,28 @@ pub struct SubGraph {
     /// type size in bounded-type programs).
     demands: Vec<Vec<DemandOp>>,
     edge_count: usize,
+    /// Mutation journal, present only after [`SubGraph::enable_journal`].
+    journal: Option<Journal>,
+}
+
+/// Append-only record of graph mutations, enabling [`SubGraph::rewind`].
+///
+/// Edges and demands are only ever *added* (both `add_edge` and
+/// `register_demand` deduplicate), and each addition pushes onto the tail
+/// of exactly one adjacency/demand vector — so popping the journal in
+/// reverse undoes mutations exactly.
+#[derive(Clone, Debug, Default)]
+struct Journal {
+    edges: Vec<(u32, u32)>,
+    demands: Vec<(u32, DemandOp)>,
+}
+
+/// A rewind point for a journaled [`SubGraph`] (see [`SubGraph::mark`]).
+#[derive(Clone, Copy, Debug)]
+pub struct GraphMark {
+    nodes: usize,
+    edges: usize,
+    demand_entries: usize,
 }
 
 impl SubGraph {
@@ -82,7 +104,65 @@ impl SubGraph {
         self.preds[v.index()].push(u.index() as u32);
         self.edge_count += 1;
         self.pending_edges.push_back((u, v));
+        if let Some(j) = &mut self.journal {
+            j.edges.push((u.index() as u32, v.index() as u32));
+        }
         true
+    }
+
+    /// Starts journaling mutations so the graph can be [rewound]
+    /// (`SubGraph::rewind`). Must be called while the graph is empty;
+    /// one-shot analyses never enable it and pay nothing.
+    pub fn enable_journal(&mut self) {
+        debug_assert_eq!(self.node_count(), 0, "enable_journal on a used graph");
+        self.journal = Some(Journal::default());
+    }
+
+    /// Drops the mutation journal (e.g. on a snapshot clone that will
+    /// never be rewound), freeing its memory.
+    pub fn drop_journal(&mut self) {
+        self.journal = None;
+    }
+
+    /// The graph's current extent, for [`SubGraph::rewind`]. Requires
+    /// [`SubGraph::enable_journal`].
+    pub fn mark(&self) -> GraphMark {
+        let j = self.journal.as_ref().expect("mark requires a journal");
+        GraphMark {
+            nodes: self.node_count(),
+            edges: j.edges.len(),
+            demand_entries: j.demands.len(),
+        }
+    }
+
+    /// Rewinds the graph to an earlier [`GraphMark`], exactly undoing
+    /// every edge, demand and node added since. Pending queues are
+    /// cleared: at a fixpoint they are empty anyway, and after a budget
+    /// abort their contents are about to be discarded with the rest of
+    /// the suffix.
+    pub fn rewind(&mut self, mark: GraphMark) {
+        let j = self.journal.as_mut().expect("rewind requires a journal");
+        while j.edges.len() > mark.edges {
+            let (u, v) = j.edges.pop().expect("len checked");
+            let popped_succ = self.succs[u as usize].pop();
+            let popped_pred = self.preds[v as usize].pop();
+            debug_assert_eq!(popped_succ, Some(v));
+            debug_assert_eq!(popped_pred, Some(u));
+            let key = ((u as u64) << 32) | v as u64;
+            let removed = self.edge_set.remove(&key);
+            debug_assert!(removed);
+            self.edge_count -= 1;
+        }
+        while j.demands.len() > mark.demand_entries {
+            let (n, op) = j.demands.pop().expect("len checked");
+            let popped = self.demands[n as usize].pop();
+            debug_assert_eq!(popped, Some(op));
+        }
+        self.pending_edges.clear();
+        self.pending_demands.clear();
+        self.succs.truncate(mark.nodes);
+        self.preds.truncate(mark.nodes);
+        self.demands.truncate(mark.nodes);
     }
 
     /// Whether `u → v` is present.
@@ -112,6 +192,9 @@ impl SubGraph {
             return false;
         }
         list.push(op);
+        if let Some(j) = &mut self.journal {
+            j.demands.push((n.index() as u32, op));
+        }
         true
     }
 
@@ -170,5 +253,33 @@ mod tests {
         assert!(!g.is_demanded(n(3), DemandOp::Ran));
         assert_eq!(g.demands(n(3)).len(), 3);
         assert!(g.demands(n(99)).is_empty());
+    }
+
+    #[test]
+    fn rewind_restores_an_earlier_extent_exactly() {
+        let mut g = SubGraph::new();
+        g.enable_journal();
+        g.add_edge(n(0), n(1));
+        g.register_demand(n(1), DemandOp::Dom);
+        g.pending_edges.clear();
+        let mark = g.mark();
+        g.add_edge(n(1), n(2));
+        g.add_edge(n(0), n(2));
+        g.register_demand(n(1), DemandOp::Ran);
+        g.register_demand(n(2), DemandOp::Dom);
+        g.rewind(mark);
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+        assert!(g.has_edge(n(0), n(1)));
+        assert!(!g.has_edge(n(1), n(2)));
+        assert!(!g.has_edge(n(0), n(2)));
+        assert_eq!(g.succs(n(0)), &[1]);
+        assert_eq!(g.preds(n(1)), &[0]);
+        assert_eq!(g.demands(n(1)), &[DemandOp::Dom]);
+        assert!(g.pending_edges.is_empty());
+        // Replaying the same additions reproduces the same state.
+        g.add_edge(n(1), n(2));
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.succs(n(1)), &[2]);
     }
 }

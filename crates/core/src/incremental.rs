@@ -33,7 +33,10 @@
 use stcfa_lambda::session::SessionProgram;
 use stcfa_lambda::{ExprId, Label, Program, VarId};
 
-use crate::analysis::{Analysis, AnalysisError, AnalysisOptions, Engine, EngineParts};
+use crate::analysis::{
+    Analysis, AnalysisError, AnalysisOptions, AnalysisStats, Engine, EngineParts,
+};
+use crate::graph::GraphMark;
 use crate::node::{NodeId, NodeKind};
 use crate::queryeng::QueryEngine;
 
@@ -56,6 +59,27 @@ pub struct IncrementalAnalysis {
     processed_bindings: usize,
     /// Bumped by every [`IncrementalAnalysis::update`] that changes the
     /// graph; frozen into [`SessionSnapshot`]s for staleness checks.
+    generation: u64,
+}
+
+/// A rewind point for an [`IncrementalAnalysis`] (see
+/// [`IncrementalAnalysis::mark`]).
+///
+/// Every structure an update touches is append-only — the node table, the
+/// journaled graph, the per-expr/per-binder node maps — so a mark is the
+/// extent of each plus the few scalar fields, and rewinding then replaying
+/// the same session suffix reproduces the analysis bit for bit (including
+/// the generation counter, so snapshot staleness checks stay
+/// deterministic).
+#[derive(Clone, Copy, Debug)]
+pub struct AnalysisMark {
+    nodes: usize,
+    graph: GraphMark,
+    exprs: usize,
+    binders: usize,
+    top_fun: Option<NodeId>,
+    stats: AnalysisStats,
+    processed_bindings: usize,
     generation: u64,
 }
 
@@ -118,12 +142,48 @@ impl IncrementalAnalysis {
     /// Creates an analysis with the given options; nothing is analyzed
     /// until the first [`IncrementalAnalysis::update`].
     pub fn new(options: AnalysisOptions) -> IncrementalAnalysis {
+        let mut parts = EngineParts::default();
+        // Incremental analyses journal the graph so the session linker can
+        // rewind to an edit point instead of cloning checkpoints. One-shot
+        // analyses (`Analysis::run`) never enable this and pay nothing.
+        parts.graph.enable_journal();
         IncrementalAnalysis {
             options,
-            parts: EngineParts::default(),
+            parts,
             processed_bindings: 0,
             generation: 0,
         }
+    }
+
+    /// The analysis's current extent, for [`IncrementalAnalysis::rewind`].
+    pub fn mark(&self) -> AnalysisMark {
+        AnalysisMark {
+            nodes: self.parts.nodes.len(),
+            graph: self.parts.graph.mark(),
+            exprs: self.parts.expr_nodes.len(),
+            binders: self.parts.binder_nodes.len(),
+            top_fun: self.parts.top_fun,
+            stats: self.parts.stats,
+            processed_bindings: self.processed_bindings,
+            generation: self.generation,
+        }
+    }
+
+    /// Rewinds to an earlier [`AnalysisMark`], exactly undoing every
+    /// update since; re-applying the same session suffix then reproduces
+    /// the pre-rewind state bit for bit. The caller must rewind the
+    /// session program to the matching extent (see
+    /// [`SessionProgram::rewind`](stcfa_lambda::session::SessionProgram))
+    /// before the next [`IncrementalAnalysis::update`].
+    pub fn rewind(&mut self, mark: AnalysisMark) {
+        self.parts.nodes.rewind(mark.nodes);
+        self.parts.graph.rewind(mark.graph);
+        self.parts.expr_nodes.truncate(mark.exprs);
+        self.parts.binder_nodes.truncate(mark.binders);
+        self.parts.top_fun = mark.top_fun;
+        self.parts.stats = mark.stats;
+        self.processed_bindings = mark.processed_bindings;
+        self.generation = mark.generation;
     }
 
     /// The current generation: the number of graph-changing updates so
@@ -132,10 +192,32 @@ impl IncrementalAnalysis {
         self.generation
     }
 
+    /// The options the analysis was created with.
+    pub fn options(&self) -> AnalysisOptions {
+        self.options
+    }
+
+    /// Whether `session` is a *forward extension* of what this analysis
+    /// has processed: every expression and session binding already
+    /// analyzed is still present. Updates are only sound for forward
+    /// extensions — an analysis can never "un-see" a fragment. The
+    /// session linker (`stcfa-session`) relies on this to decide when a
+    /// checkpointed prefix analysis can resume against an edited
+    /// workspace and when it must fall back to an earlier checkpoint.
+    pub fn covers(&self, session: &SessionProgram) -> bool {
+        self.parts.expr_nodes.len() <= session.program().size()
+            && self.processed_bindings <= session.bindings().len()
+    }
+
     /// Catches up with everything defined in `session` since the last
     /// update. Cost is proportional to the new fragments (plus whatever
     /// closure they transitively demand), not to the whole session.
     pub fn update(&mut self, session: &SessionProgram) -> Result<UpdateDelta, AnalysisError> {
+        debug_assert!(
+            self.covers(session),
+            "update on a rewound session: the analysis has processed more \
+             than the session contains"
+        );
         let program = session.program();
         let parts = std::mem::take(&mut self.parts);
         let nodes_before = parts.nodes.len();
@@ -213,7 +295,10 @@ impl IncrementalAnalysis {
     /// Materializes a full [`Analysis`] view of the current state (clones
     /// the graph; use the direct queries for cheap per-fragment lookups).
     pub fn snapshot(&self, program: &Program) -> Analysis {
-        let engine = Engine::resume(program, self.options, self.parts.clone());
+        let mut parts = self.parts.clone();
+        // The materialized view is never rewound; keep it lean.
+        parts.graph.drop_journal();
+        let engine = Engine::resume(program, self.options, parts);
         engine.finish()
     }
 
@@ -360,6 +445,43 @@ mod tests {
             a.snapshot(session.program())
                 .check_invariants()
                 .unwrap_or_else(|e| panic!("after {frag:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn rewind_then_replay_is_bit_identical() {
+        let fragments = ["fun id x = x;", "val a = id (fn u => u);", "id (fn v => v)"];
+        // Straight-through reference.
+        let mut s1 = SessionProgram::new();
+        let mut a1 = IncrementalAnalysis::new(AnalysisOptions::default());
+        for f in fragments {
+            s1.define(f).unwrap();
+            a1.update(&s1).unwrap();
+        }
+        // Detour: analyze an extra fragment, rewind it away, replay the
+        // real suffix — must match the reference exactly.
+        let mut s2 = SessionProgram::new();
+        let mut a2 = IncrementalAnalysis::new(AnalysisOptions::default());
+        s2.define(fragments[0]).unwrap();
+        a2.update(&s2).unwrap();
+        let sm = s2.mark();
+        let am = a2.mark();
+        s2.define("fun detour y = id (id y);").unwrap();
+        a2.update(&s2).unwrap();
+        s2.rewind(sm);
+        a2.rewind(am);
+        for f in &fragments[1..] {
+            s2.define(f).unwrap();
+            a2.update(&s2).unwrap();
+        }
+        assert_eq!(a1.node_count(), a2.node_count());
+        assert_eq!(a1.edge_count(), a2.edge_count());
+        assert_eq!(a1.generation(), a2.generation());
+        let p1 = s1.program();
+        let p2 = s2.program();
+        assert_eq!(p1.size(), p2.size());
+        for e in p1.exprs() {
+            assert_eq!(a1.labels_of(p1, e), a2.labels_of(p2, e));
         }
     }
 

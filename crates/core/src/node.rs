@@ -166,6 +166,18 @@ impl NodeTable {
         self.interned.get(&kind).copied()
     }
 
+    /// Forgets every node at index `len` and above. Interning
+    /// deduplicates, so each kind appears in `kinds` at most once and
+    /// removing the truncated tail from the map exactly restores the
+    /// earlier extent; replays then intern identical ids.
+    pub fn rewind(&mut self, len: usize) {
+        for kind in &self.kinds[len..] {
+            self.interned.remove(kind);
+        }
+        self.kinds.truncate(len);
+        self.bases.truncate(len);
+    }
+
     /// Iterates over all node ids.
     pub fn ids(&self) -> impl Iterator<Item = NodeId> + '_ {
         (0..self.kinds.len()).map(NodeId::from_index)

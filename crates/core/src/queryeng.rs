@@ -158,6 +158,16 @@ impl QueryEngine {
         Self::freeze_tagged(analysis, None)
     }
 
+    /// Like [`QueryEngine::freeze`], but tags the snapshot with an
+    /// externally managed generation counter (reported by
+    /// [`QueryEngine::generation`]). Used by the session workspace
+    /// (`stcfa-session`), whose linked snapshots carry the workspace
+    /// generation for the same staleness discipline the REPL's
+    /// [`crate::incremental::SessionSnapshot`] enforces.
+    pub fn freeze_with_generation(analysis: &Analysis, generation: u64) -> QueryEngine {
+        Self::freeze_tagged(analysis, Some(generation))
+    }
+
     pub(crate) fn freeze_tagged(analysis: &Analysis, generation: Option<u64>) -> QueryEngine {
         let n = analysis.node_count();
         let csr = Csr::from_succs(n, |u| analysis.graph.succs(NodeId::from_index(u)));

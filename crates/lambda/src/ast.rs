@@ -379,6 +379,24 @@ impl DataEnv {
         self.datatypes.len()
     }
 
+    /// Forgets every datatype and constructor declared at or beyond the
+    /// given counts. Declarations are append-only (a fragment's
+    /// constructors always belong to datatypes of the same fragment), so
+    /// truncation restores an earlier extent exactly.
+    pub(crate) fn rewind(&mut self, datatypes: usize, cons: usize) {
+        for d in &self.datatypes[datatypes..] {
+            self.data_by_name.remove(&d.name);
+        }
+        for c in &self.cons[cons..] {
+            self.con_by_name.remove(&c.name);
+        }
+        self.datatypes.truncate(datatypes);
+        self.cons.truncate(cons);
+        for d in &mut self.datatypes {
+            d.cons.retain(|c| c.index() < cons);
+        }
+    }
+
     /// Iterates over all constructor ids.
     pub fn cons(&self) -> impl Iterator<Item = ConId> + '_ {
         (0..self.cons.len()).map(ConId::from_index)
@@ -515,6 +533,32 @@ impl Program {
     /// Number of abstraction labels (= number of abstractions).
     pub fn label_count(&self) -> usize {
         self.labels.len()
+    }
+
+    /// Restores the arena to an earlier extent: every table is
+    /// append-only during fragment parsing (see
+    /// [`crate::parser::parse_fragment`]), so truncating the parallel
+    /// vectors — and un-interning the symbols and datatype declarations
+    /// minted since — is an exact undo. Used by the session layer to
+    /// rewind a failed or superseded fragment without cloning the arena.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn rewind(
+        &mut self,
+        exprs: usize,
+        vars: usize,
+        labels: usize,
+        datatypes: usize,
+        cons: usize,
+        interned: usize,
+        root: ExprId,
+    ) {
+        self.exprs.truncate(exprs);
+        self.spans.truncate(exprs);
+        self.vars.truncate(vars);
+        self.labels.truncate(labels);
+        self.data.rewind(datatypes, cons);
+        self.interner.rewind(interned);
+        self.root = root;
     }
 
     /// Iterates over every abstraction label.

@@ -86,6 +86,18 @@ impl Interner {
     pub fn is_empty(&self) -> bool {
         self.strings.is_empty()
     }
+
+    /// Forgets every symbol at index `len` and above, restoring the
+    /// interner to an earlier extent. Interning is append-only, so this
+    /// exactly undoes the interleaving of `intern` calls since that
+    /// extent — the session rewind machinery relies on replays minting
+    /// identical symbols.
+    pub(crate) fn rewind(&mut self, len: usize) {
+        for s in &self.strings[len..] {
+            self.map.remove(s);
+        }
+        self.strings.truncate(len);
+    }
 }
 
 #[cfg(test)]

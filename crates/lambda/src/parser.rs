@@ -129,6 +129,13 @@ pub fn parse_fragment(
     source: &str,
 ) -> Result<RawFragment, ParseError> {
     let toks = lex(source)?;
+    // A session arena's root is meaningless (the session layer tracks
+    // per-fragment values instead); keep the incoming root rather than
+    // allocating a placeholder per fragment, so a program split into `k`
+    // fragments builds the *same* arena as the unsplit program — the
+    // node-for-node guarantee the session linker's differential tests
+    // rely on.
+    let old_root = program.root();
     let placeholder = ProgramBuilder::new().finish_unchecked(None);
     let owned = std::mem::replace(program, placeholder);
     let mut scopes: HashMap<String, Vec<VarId>> = HashMap::new();
@@ -146,7 +153,7 @@ pub fn parse_fragment(
     let result = p.fragment();
     // Reassemble the arena whether or not parsing succeeded; the session
     // layer discards the scratch copy on error.
-    *program = p.b.finish_unchecked(None);
+    *program = p.b.finish_unchecked(Some(old_root));
     result
 }
 

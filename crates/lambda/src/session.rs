@@ -45,10 +45,32 @@ pub struct SessionProgram {
     program: Program,
     /// Latest binder for each top-level name.
     scope: HashMap<String, VarId>,
+    /// Journal of scope insertions: `(name, previous binder)` — popping
+    /// in reverse restores any shadowed binding on rewind.
+    scope_log: Vec<(String, Option<VarId>)>,
     /// All session bindings in definition order.
     bindings: Vec<SessionBinding>,
     /// Value expressions of fragments, in order.
     values: Vec<ExprId>,
+}
+
+/// A rewind point for a [`SessionProgram`] (see [`SessionProgram::mark`]).
+///
+/// Everything a fragment adds — expressions, binders, labels, datatype
+/// declarations, interned symbols, scope entries — is appended, so a mark
+/// is just the extent of each table.
+#[derive(Clone, Copy, Debug)]
+pub struct SessionMark {
+    exprs: usize,
+    vars: usize,
+    labels: usize,
+    datatypes: usize,
+    cons: usize,
+    interned: usize,
+    bindings: usize,
+    values: usize,
+    scope_log: usize,
+    root: ExprId,
 }
 
 impl Default for SessionProgram {
@@ -64,6 +86,7 @@ impl SessionProgram {
         SessionProgram {
             program,
             scope: HashMap::new(),
+            scope_log: Vec::new(),
             bindings: Vec::new(),
             values: Vec::new(),
         }
@@ -85,30 +108,82 @@ impl SessionProgram {
         self.scope.get(name).copied()
     }
 
+    /// The session's current extent, for [`SessionProgram::rewind`].
+    pub fn mark(&self) -> SessionMark {
+        SessionMark {
+            exprs: self.program.size(),
+            vars: self.program.var_count(),
+            labels: self.program.label_count(),
+            datatypes: self.program.data.data_count(),
+            cons: self.program.data.con_count(),
+            interned: self.program.interner.len(),
+            bindings: self.bindings.len(),
+            values: self.values.len(),
+            scope_log: self.scope_log.len(),
+            root: self.program.root(),
+        }
+    }
+
+    /// Rewinds the session to an earlier [`SessionMark`], exactly
+    /// undoing every fragment defined since: the arena, scope, binding
+    /// and value tables are restored, and a replay of the same sources
+    /// rebuilds a byte-identical arena. `mark` must come from this
+    /// session and must not predate an earlier rewind's target.
+    pub fn rewind(&mut self, mark: SessionMark) {
+        while self.scope_log.len() > mark.scope_log {
+            let (name, prev) = self.scope_log.pop().expect("len checked");
+            match prev {
+                Some(var) => self.scope.insert(name, var),
+                None => self.scope.remove(&name),
+            };
+        }
+        self.bindings.truncate(mark.bindings);
+        self.values.truncate(mark.values);
+        self.program.rewind(
+            mark.exprs,
+            mark.vars,
+            mark.labels,
+            mark.datatypes,
+            mark.cons,
+            mark.interned,
+            mark.root,
+        );
+    }
+
     /// Parses and appends one fragment (declarations and/or an
     /// expression). On error the session is unchanged.
     pub fn define(&mut self, source: &str) -> Result<Fragment, ParseError> {
-        // Parse into a scratch copy so errors cannot corrupt the arena.
-        let mut scratch = self.program.clone();
-        let raw = parse_fragment(&mut scratch, &self.scope, source)?;
+        // Parse in place — fragment parsing only ever appends — and
+        // rewind on error, so failures cannot corrupt the arena and the
+        // success path never clones it.
+        let mark = self.mark();
+        let raw = match parse_fragment(&mut self.program, &self.scope, source) {
+            Ok(raw) => raw,
+            Err(e) => {
+                self.rewind(mark);
+                return Err(e);
+            }
+        };
         // Validate the new trees (scope/shape checks for the new exprs,
         // with session binders ambient).
         let mut ambient: Vec<VarId> = self.bindings.iter().map(|b| b.binder).collect();
         ambient.extend(raw.bindings.iter().map(|b| b.binder));
         let mut roots: Vec<ExprId> = raw.bindings.iter().map(|b| b.rhs).collect();
         roots.extend(raw.value);
-        validate::validate_forest(&scratch, &roots, &ambient).map_err(|e| ParseError {
-            pos: Pos {
-                offset: 0,
-                line: 0,
-                col: 0,
-            },
-            message: e.to_string(),
-        })?;
-        // Commit.
-        self.program = scratch;
+        if let Err(e) = validate::validate_forest(&self.program, &roots, &ambient) {
+            self.rewind(mark);
+            return Err(ParseError {
+                pos: Pos {
+                    offset: 0,
+                    line: 0,
+                    col: 0,
+                },
+                message: e.to_string(),
+            });
+        }
         for b in &raw.bindings {
-            self.scope.insert(b.name.clone(), b.binder);
+            let prev = self.scope.insert(b.name.clone(), b.binder);
+            self.scope_log.push((b.name.clone(), prev));
         }
         let fragment = Fragment {
             bindings: raw

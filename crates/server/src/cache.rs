@@ -112,6 +112,10 @@ pub struct StoreStats {
     pub bytes: usize,
     /// The configured capacity, in bytes.
     pub capacity_bytes: usize,
+    /// Tombstones currently remembered (bounded by [`TOMBSTONE_CAP`]).
+    pub tombstones: usize,
+    /// Resident snapshots pinned by open sessions right now.
+    pub pinned: usize,
 }
 
 /// Looking up a snapshot id can fail two ways; both are structured,
@@ -123,6 +127,18 @@ pub enum LookupError {
     /// The digest was cached once but has since been evicted or
     /// invalidated — the client's handle is stale.
     Stale,
+}
+
+/// Outcome of [`SnapshotStore::invalidate`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Invalidate {
+    /// A resident entry was evicted and tombstoned.
+    Evicted,
+    /// Nothing was resident; a tombstone was recorded anyway.
+    Absent,
+    /// The entry is pinned by an open session and was left untouched —
+    /// no eviction, no tombstone.
+    Pinned,
 }
 
 /// A build slot other requests can wait on: filled exactly once with the
@@ -140,6 +156,11 @@ enum Slot {
         snapshot: Arc<Snapshot>,
         bytes: usize,
         last_used: u64,
+        /// Open-session pin count: while positive the entry is exempt
+        /// from LRU eviction and refuses explicit invalidation (the
+        /// `evict` op reports a structured `pinned-snapshot` error
+        /// instead of tombstoning a snapshot out from under a session).
+        pins: u32,
     },
 }
 
@@ -294,6 +315,7 @@ impl SnapshotStore {
                         snapshot: Arc::clone(snapshot),
                         bytes,
                         last_used: tick,
+                        pins: 0,
                     },
                 );
                 inner.bytes += bytes;
@@ -326,7 +348,9 @@ impl SnapshotStore {
                 .map
                 .iter()
                 .filter_map(|(&k, slot)| match slot {
-                    Slot::Ready { last_used, .. } if k != keep => Some((*last_used, k)),
+                    Slot::Ready {
+                        last_used, pins, ..
+                    } if k != keep && *pins == 0 => Some((*last_used, k)),
                     _ => None,
                 })
                 .min()
@@ -368,25 +392,53 @@ impl SnapshotStore {
     }
 
     /// Explicitly invalidates a snapshot (the protocol's `evict` op).
-    /// Returns whether an entry was resident. Later lookups of the digest
-    /// report [`LookupError::Stale`].
-    pub fn invalidate(&self, key: SnapshotKey) -> bool {
+    /// Pinned entries refuse invalidation — see [`Invalidate::Pinned`].
+    /// After [`Invalidate::Evicted`] or [`Invalidate::Absent`], later
+    /// lookups of the digest report [`LookupError::Stale`].
+    pub fn invalidate(&self, key: SnapshotKey) -> Invalidate {
         let mut inner = self.inner.lock().expect("store lock poisoned");
         match inner.map.get(&key.0) {
+            Some(Slot::Ready { pins, .. }) if *pins > 0 => Invalidate::Pinned,
             Some(Slot::Ready { .. }) => {
                 if let Some(Slot::Ready { bytes, .. }) = inner.map.remove(&key.0) {
                     inner.bytes -= bytes;
                 }
                 inner.tombstone(key.0);
                 self.evictions.fetch_add(1, Ordering::Relaxed);
-                true
+                Invalidate::Evicted
             }
             // In-flight builds finish and insert; invalidating a digest
             // that is mid-build or absent just records the tombstone.
             _ => {
                 inner.tombstone(key.0);
-                false
+                Invalidate::Absent
             }
+        }
+    }
+
+    /// Pins the resident entry for `key`: while pinned it is exempt from
+    /// LRU eviction and refuses [`SnapshotStore::invalidate`]. Pins
+    /// stack (two sessions sharing one digest pin it twice). Returns
+    /// `false` if nothing is resident under `key` — the caller must
+    /// rebuild and retry.
+    pub fn pin(&self, key: SnapshotKey) -> bool {
+        let mut inner = self.inner.lock().expect("store lock poisoned");
+        match inner.map.get_mut(&key.0) {
+            Some(Slot::Ready { pins, .. }) => {
+                *pins += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Releases one pin on `key` (session close or re-link). The entry
+    /// stays resident and re-enters normal LRU accounting once its pin
+    /// count drops to zero.
+    pub fn unpin(&self, key: SnapshotKey) {
+        let mut inner = self.inner.lock().expect("store lock poisoned");
+        if let Some(Slot::Ready { pins, .. }) = inner.map.get_mut(&key.0) {
+            *pins = pins.saturating_sub(1);
         }
     }
 
@@ -402,6 +454,12 @@ impl SnapshotStore {
             entries: inner.map.len(),
             bytes: inner.bytes,
             capacity_bytes: self.capacity_bytes,
+            tombstones: inner.evicted.len(),
+            pinned: inner
+                .map
+                .values()
+                .filter(|slot| matches!(slot, Slot::Ready { pins, .. } if *pins > 0))
+                .count(),
         }
     }
 
@@ -638,12 +696,56 @@ mod tests {
         let store = SnapshotStore::new(usize::MAX);
         let key = SnapshotKey::derive(SRC_A, 0, 0);
         store.get_or_build(key, SRC_A, || build(SRC_A)).unwrap();
-        assert!(store.invalidate(key));
+        assert_eq!(store.invalidate(key), Invalidate::Evicted);
         assert_eq!(store.get(key).unwrap_err(), LookupError::Stale);
-        assert!(!store.invalidate(key), "second invalidation is a no-op");
+        assert_eq!(
+            store.invalidate(key),
+            Invalidate::Absent,
+            "second invalidation is a no-op"
+        );
         // Re-analyzing the same content rebuilds and clears the tombstone.
         let (_, hit) = store.get_or_build(key, SRC_A, || build(SRC_A)).unwrap();
         assert!(!hit);
         assert!(store.get(key).is_ok());
+    }
+
+    #[test]
+    fn pinned_entries_refuse_invalidation_until_unpinned() {
+        let store = SnapshotStore::new(usize::MAX);
+        let key = SnapshotKey::derive(SRC_A, 0, 0);
+        assert!(!store.pin(key), "nothing resident to pin yet");
+        store.get_or_build(key, SRC_A, || build(SRC_A)).unwrap();
+        assert!(store.pin(key));
+        assert!(store.pin(key), "pins stack");
+        assert_eq!(store.stats().pinned, 1);
+        assert_eq!(store.invalidate(key), Invalidate::Pinned);
+        assert!(store.get(key).is_ok(), "pinned entry must stay resident");
+        store.unpin(key);
+        assert_eq!(store.invalidate(key), Invalidate::Pinned, "one pin left");
+        store.unpin(key);
+        assert_eq!(store.stats().pinned, 0);
+        assert_eq!(store.invalidate(key), Invalidate::Evicted);
+        assert_eq!(store.get(key).unwrap_err(), LookupError::Stale);
+    }
+
+    #[test]
+    fn pinned_entries_survive_lru_pressure() {
+        const SRC_C: &str = "(fn p => p p) (fn q => q)";
+        let cost_a = build(SRC_A).unwrap().cost_bytes();
+        let cost_b = build(SRC_B).unwrap().cost_bytes();
+        // Capacity fits A plus one other snapshot, never all three.
+        let store = SnapshotStore::new(cost_a + cost_b);
+        let ka = SnapshotKey::derive(SRC_A, 0, 0);
+        let kb = SnapshotKey::derive(SRC_B, 0, 0);
+        let kc = SnapshotKey::derive(SRC_C, 0, 0);
+        store.get_or_build(ka, SRC_A, || build(SRC_A)).unwrap();
+        assert!(store.pin(ka));
+        store.get_or_build(kb, SRC_B, || build(SRC_B)).unwrap();
+        store.get_or_build(kc, SRC_C, || build(SRC_C)).unwrap();
+        // A is the least recently used but pinned: B pays instead.
+        assert!(store.get(ka).is_ok(), "pinned LRU entry was evicted");
+        assert_eq!(store.get(kb).unwrap_err(), LookupError::Stale);
+        // Tombstone count is visible in the stats.
+        assert!(store.stats().tombstones >= 1);
     }
 }

@@ -13,8 +13,11 @@
 //!   eviction reclaims it.
 //! - [`proto`] — the versioned, line-delimited JSON protocol: `analyze`,
 //!   `query` (label-set / call-targets / occurrences / reachability),
-//!   `lint`, `evict`, `stats`, `shutdown`, with per-request deadlines and
-//!   structured error kinds.
+//!   `lint`, `evict`, `stats`, `shutdown` (v1) plus the stateful
+//!   multi-file `session/*` ops (v2), with per-request deadlines and
+//!   structured error kinds. Open sessions pin their linked snapshot in
+//!   the cache; `evict` refuses pinned digests with a structured
+//!   `pinned-snapshot` error.
 //! - [`json`] — the zero-dependency JSON reader/writer with canonical
 //!   (byte-deterministic) output, so transcripts are identical across
 //!   worker-thread counts.
@@ -33,7 +36,7 @@ pub mod json;
 pub mod proto;
 pub mod server;
 
-pub use cache::{LookupError, Snapshot, SnapshotKey, SnapshotStore, StoreStats};
+pub use cache::{Invalidate, LookupError, Snapshot, SnapshotKey, SnapshotStore, StoreStats};
 pub use json::Json;
-pub use proto::{Deadline, ErrorKind, RequestError, PROTOCOL_VERSION};
+pub use proto::{Deadline, ErrorKind, RequestError, PROTOCOL_VERSION, PROTOCOL_VERSION_SESSION};
 pub use server::{Server, ServerOptions};

@@ -7,29 +7,36 @@
 //! {"v":1,"id":7,"op":"analyze","source":"fun id x = x;","policy":"c1"}
 //! ```
 //!
-//! - `v` (optional) — protocol version; only version 1 exists. A request
-//!   naming another version is rejected with a `proto` error.
+//! - `v` (optional) — protocol version. Version 1 carries the stateless
+//!   ops; version 2 adds the stateful `session/*` ops (which *require*
+//!   `"v":2`). Any other version is rejected with a `proto` error.
 //! - `id` (optional) — any JSON value; echoed verbatim in the response.
 //! - `op` (required) — one of `analyze`, `query`, `lint`, `evict`,
-//!   `stats`, `shutdown`.
+//!   `stats`, `shutdown` (v1), or `session/open`, `session/update`,
+//!   `session/query`, `session/lint`, `session/close` (v2).
 //! - `deadline_ms` (optional) — per-request deadline, measured from the
 //!   moment the daemon read the line. A request that exceeds it is
 //!   answered with a structured `timeout` error; the daemon keeps
 //!   serving.
 //!
-//! Responses are `{"v":1,"id":…,"ok":true,"result":{…}}` on success and
-//! `{"v":1,"id":…,"ok":false,"error":{"kind":…,"message":…}}` on failure.
+//! Responses are `{"v":V,"id":…,"ok":true,"result":{…}}` on success and
+//! `{"v":V,"id":…,"ok":false,"error":{"kind":…,"message":…}}` on failure,
+//! where `V` echoes the version the request was handled under — v1
+//! transcripts are byte-for-byte what they were before v2 existed.
 //! Errors never terminate the connection or the daemon; `shutdown` is the
-//! only way to stop it from the protocol. See `docs/SERVER.md` for the
-//! full op reference.
+//! only way to stop it from the protocol. See `docs/SERVER.md` and
+//! `docs/SESSIONS.md` for the full op reference.
 
 use std::time::{Duration, Instant};
 
 use crate::json::Json;
 use stcfa_core::DatatypePolicy;
 
-/// The protocol version this daemon speaks.
+/// The baseline protocol version (stateless ops).
 pub const PROTOCOL_VERSION: u64 = 1;
+
+/// The session protocol version: adds the stateful `session/*` ops.
+pub const PROTOCOL_VERSION_SESSION: u64 = 2;
 
 /// Structured error classes. The string form is part of the protocol.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -48,6 +55,11 @@ pub enum ErrorKind {
     StaleSnapshot,
     /// The request exceeded its `deadline_ms`.
     Timeout,
+    /// The digest is pinned by an open session: `evict` refuses to
+    /// tombstone it out from under the session.
+    PinnedSnapshot,
+    /// A `session/*` op named a session id that is not open.
+    UnknownSession,
 }
 
 impl ErrorKind {
@@ -60,6 +72,8 @@ impl ErrorKind {
             ErrorKind::UnknownSnapshot => "unknown-snapshot",
             ErrorKind::StaleSnapshot => "stale-snapshot",
             ErrorKind::Timeout => "timeout",
+            ErrorKind::PinnedSnapshot => "pinned-snapshot",
+            ErrorKind::UnknownSession => "unknown-session",
         }
     }
 }
@@ -131,20 +145,21 @@ pub fn parse_policy(name: &str) -> Option<(DatatypePolicy, u64)> {
     }
 }
 
-/// Builds the success response line for `id`.
-pub fn ok_response(id: Json, result: Json) -> Json {
+/// Builds the success response line for `id`, under protocol version
+/// `v` (the version the request was handled under).
+pub fn ok_response(v: u64, id: Json, result: Json) -> Json {
     Json::obj(vec![
-        ("v", Json::num(PROTOCOL_VERSION)),
+        ("v", Json::num(v)),
         ("id", id),
         ("ok", Json::Bool(true)),
         ("result", result),
     ])
 }
 
-/// Builds the failure response line for `id`.
-pub fn err_response(id: Json, error: &RequestError) -> Json {
+/// Builds the failure response line for `id` under protocol version `v`.
+pub fn err_response(v: u64, id: Json, error: &RequestError) -> Json {
     Json::obj(vec![
-        ("v", Json::num(PROTOCOL_VERSION)),
+        ("v", Json::num(v)),
         ("id", id),
         ("ok", Json::Bool(false)),
         (
@@ -177,13 +192,36 @@ mod tests {
 
     #[test]
     fn response_shapes_are_canonical() {
-        let ok = ok_response(Json::num(3), Json::obj(vec![("x", Json::num(1))]));
+        let ok = ok_response(
+            PROTOCOL_VERSION,
+            Json::num(3),
+            Json::obj(vec![("x", Json::num(1))]),
+        );
         assert_eq!(ok.to_line(), r#"{"v":1,"id":3,"ok":true,"result":{"x":1}}"#);
-        let err = err_response(Json::Null, &RequestError::new(ErrorKind::Timeout, "late"));
+        let err = err_response(
+            PROTOCOL_VERSION,
+            Json::Null,
+            &RequestError::new(ErrorKind::Timeout, "late"),
+        );
         assert_eq!(
             err.to_line(),
             r#"{"v":1,"id":null,"ok":false,"error":{"kind":"timeout","message":"late"}}"#
         );
+        let v2 = ok_response(
+            PROTOCOL_VERSION_SESSION,
+            Json::num(4),
+            Json::obj(vec![("closed", Json::Bool(true))]),
+        );
+        assert_eq!(
+            v2.to_line(),
+            r#"{"v":2,"id":4,"ok":true,"result":{"closed":true}}"#
+        );
+    }
+
+    #[test]
+    fn new_error_kinds_have_stable_wire_forms() {
+        assert_eq!(ErrorKind::PinnedSnapshot.as_str(), "pinned-snapshot");
+        assert_eq!(ErrorKind::UnknownSession.as_str(), "unknown-session");
     }
 
     #[test]

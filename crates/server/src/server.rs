@@ -23,21 +23,23 @@
 //!   reader refuses to enqueue once shutdown is latched under that same
 //!   lock — no request is ever silently dropped mid-drain.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use stcfa_core::{Analysis, AnalysisOptions, QueryEngine};
+use stcfa_core::{Analysis, AnalysisOptions, DatatypePolicy, QueryEngine};
 use stcfa_lambda::{ExprId, ExprKind, Label, Program};
-use stcfa_lint::{lint, LintOptions};
+use stcfa_lint::{lint, Diagnostic, LintOptions};
+use stcfa_session::{LinkError, LinkReport, Module, Workspace};
 
-use crate::cache::{LookupError, Snapshot, SnapshotKey, SnapshotStore};
+use crate::cache::{Invalidate, LookupError, Snapshot, SnapshotKey, SnapshotStore};
 use crate::json::Json;
 use crate::proto::{
     err_response, ok_response, parse_policy, Deadline, ErrorKind, RequestError, PROTOCOL_VERSION,
+    PROTOCOL_VERSION_SESSION,
 };
 
 /// Configuration for one daemon.
@@ -65,11 +67,24 @@ impl Default for ServerOptions {
 pub struct Server {
     options: ServerOptions,
     store: SnapshotStore,
+    /// Open multi-file sessions, by client-chosen id. Each entry pins
+    /// its linked snapshot in the store for as long as it stays open.
+    sessions: Mutex<HashMap<String, OpenSession>>,
     requests: AtomicU64,
     in_flight: AtomicU64,
     query_ns: AtomicU64,
     /// Latched by the `shutdown` op; transports poll it.
     stop: Arc<AtomicBool>,
+}
+
+/// One open `session/*` session: the workspace (for incremental
+/// re-links and name lookup), the store key its linked snapshot is
+/// pinned under, and the snapshot + report queries answer from.
+struct OpenSession {
+    workspace: Workspace,
+    key: SnapshotKey,
+    snapshot: Arc<Snapshot>,
+    report: LinkReport,
 }
 
 /// The engine discriminant for the monovariant subtransitive engine —
@@ -84,6 +99,7 @@ impl Server {
         Server {
             options,
             store: SnapshotStore::new(options.cache_capacity),
+            sessions: Mutex::new(HashMap::new()),
             requests: AtomicU64::new(0),
             in_flight: AtomicU64::new(0),
             query_ns: AtomicU64::new(0),
@@ -102,6 +118,23 @@ impl Server {
     }
 
     // --- request dispatch ---------------------------------------------------
+
+    /// [`Server::handle_line`] under the pipeline's sequence gate:
+    /// order-sensitive requests (the stateful `session/*` ops and
+    /// `evict`, which observes session pins) wait until every earlier
+    /// request in the stream has been answered, so their effects — and
+    /// therefore the whole transcript — are independent of the worker
+    /// count. Stateless requests run concurrently as before. Deadlock-
+    /// free: the queue drains in sequence order, so the least in-flight
+    /// sequence number never waits.
+    fn handle_line_gated(&self, line: &str, received: Instant, gate: &SeqGate, seq: u64) -> String {
+        if needs_order(line) {
+            gate.wait_for_turn(seq);
+        }
+        let response = self.handle_line(line, received);
+        gate.complete(seq);
+        response
+    }
 
     /// Handles one request line and returns the one response line (no
     /// trailing newline). `received` anchors the deadline clock; pass the
@@ -122,30 +155,44 @@ impl Server {
             Ok(v) => v,
             Err(e) => {
                 return err_response(
+                    PROTOCOL_VERSION,
                     Json::Null,
                     &RequestError::new(ErrorKind::Proto, e.to_string()),
                 )
             }
         };
         let id = request.get("id").cloned().unwrap_or(Json::Null);
-        match self.dispatch_parsed(&request, received) {
-            Ok(result) => ok_response(id, result),
-            Err(e) => err_response(id, &e),
+        let version = match request.get("v") {
+            None => PROTOCOL_VERSION,
+            Some(v) => match v.as_u64() {
+                Some(n) if n == PROTOCOL_VERSION || n == PROTOCOL_VERSION_SESSION => n,
+                _ => {
+                    return err_response(
+                        PROTOCOL_VERSION,
+                        id,
+                        &RequestError::new(
+                            ErrorKind::Proto,
+                            format!(
+                                "unsupported protocol version {} (this daemon speaks 1 and 2)",
+                                v.to_line()
+                            ),
+                        ),
+                    )
+                }
+            },
+        };
+        match self.dispatch_parsed(&request, received, version) {
+            Ok(result) => ok_response(version, id, result),
+            Err(e) => err_response(version, id, &e),
         }
     }
 
-    fn dispatch_parsed(&self, request: &Json, received: Instant) -> Result<Json, RequestError> {
-        if let Some(v) = request.get("v") {
-            if v.as_u64() != Some(PROTOCOL_VERSION) {
-                return Err(RequestError::new(
-                    ErrorKind::Proto,
-                    format!(
-                        "unsupported protocol version {} (this daemon speaks 1)",
-                        v.to_line()
-                    ),
-                ));
-            }
-        }
+    fn dispatch_parsed(
+        &self,
+        request: &Json,
+        received: Instant,
+        version: u64,
+    ) -> Result<Json, RequestError> {
         let op = request
             .get("op")
             .and_then(Json::as_str)
@@ -161,19 +208,33 @@ impl Server {
         };
         let deadline = Deadline::new(received, deadline_ms);
         deadline.check("request start")?;
+        if op.starts_with("session/") && version != PROTOCOL_VERSION_SESSION {
+            return Err(RequestError::new(
+                ErrorKind::Proto,
+                format!("`{op}` is a session op: it requires \"v\":2"),
+            ));
+        }
         match op {
             "analyze" => self.op_analyze(request, &deadline),
             "query" => self.op_query(request, &deadline),
             "lint" => self.op_lint(request, &deadline),
             "evict" => self.op_evict(request),
             "stats" => Ok(self.op_stats()),
+            "session/open" => self.op_session_open(request, &deadline),
+            "session/update" => self.op_session_update(request, &deadline),
+            "session/query" => self.op_session_query(request, &deadline),
+            "session/lint" => self.op_session_lint(request, &deadline),
+            "session/close" => self.op_session_close(request),
             "shutdown" => {
                 self.stop.store(true, Ordering::SeqCst);
                 Ok(Json::obj(vec![("stopping", Json::Bool(true))]))
             }
             other => Err(RequestError::new(
                 ErrorKind::Proto,
-                format!("unknown op `{other}` (expected analyze|query|lint|evict|stats|shutdown)"),
+                format!(
+                    "unknown op `{other}` (expected analyze|query|lint|evict|stats|shutdown \
+                     or session/open|session/update|session/query|session/lint|session/close)"
+                ),
             )),
         }
     }
@@ -188,17 +249,7 @@ impl Server {
         source: &str,
         deadline: &Deadline,
     ) -> Result<(Arc<Snapshot>, SnapshotKey, bool), RequestError> {
-        let policy_name = request
-            .get("policy")
-            .and_then(Json::as_str)
-            .unwrap_or("c1")
-            .to_owned();
-        let (policy, policy_disc) = parse_policy(&policy_name).ok_or_else(|| {
-            RequestError::new(
-                ErrorKind::Proto,
-                format!("unknown policy `{policy_name}` (expected c1|c2|exact|forget)"),
-            )
-        })?;
+        let (policy, policy_disc) = policy_param(request)?;
         if let Some(engine) = request.get("engine").and_then(Json::as_str) {
             if engine != "sub" {
                 return Err(RequestError::new(
@@ -308,115 +359,34 @@ impl Server {
         let snapshot = self.resolve_snapshot(request, deadline)?;
         deadline.check("before query")?;
         let program = &snapshot.program;
-        let engine = &snapshot.engine;
-        let result = match kind.as_str() {
-            "label-set" => {
-                let expr = match request.get("expr") {
-                    None => program.root(),
-                    Some(v) => expr_param(v, program, "expr")?,
-                };
-                labels_json(program, &engine.labels_of(expr))
-            }
-            "call-targets" => {
-                let site = expr_param(
-                    request.get("site").ok_or_else(|| {
-                        RequestError::new(ErrorKind::Proto, "`call-targets` needs `site`")
-                    })?,
-                    program,
-                    "site",
-                )?;
-                let targets = engine.call_targets(program, site).ok_or_else(|| {
-                    RequestError::new(
-                        ErrorKind::Proto,
-                        format!("expression {} is not an application site", site.index()),
-                    )
-                })?;
-                labels_json(program, &targets)
-            }
-            "occurrences" => {
-                let label = label_param(request, program)?;
-                let exprs = engine.exprs_with_label(label);
-                Json::obj(vec![
-                    ("count", Json::num(exprs.len() as u64)),
-                    (
-                        "exprs",
-                        Json::Arr(exprs.iter().map(|e| Json::num(e.index() as u64)).collect()),
-                    ),
-                ])
-            }
-            "reachability" => {
-                let expr = expr_param(
-                    request.get("expr").ok_or_else(|| {
-                        RequestError::new(ErrorKind::Proto, "`reachability` needs `expr`")
-                    })?,
-                    program,
-                    "expr",
-                )?;
-                let label = label_param(request, program)?;
-                Json::obj(vec![(
-                    "reaches",
-                    Json::Bool(engine.label_reaches(expr, label)),
-                )])
-            }
-            other => {
-                return Err(RequestError::new(
-                    ErrorKind::Proto,
-                    format!(
-                        "unknown query kind `{other}` \
-                         (expected label-set|call-targets|occurrences|reachability)"
-                    ),
-                ))
-            }
-        };
+        let result = query_result(&kind, request, program, &snapshot.engine, || {
+            Ok(program.root())
+        })?;
         deadline.check("after query")?;
-        let Json::Obj(mut pairs) = result else {
-            unreachable!("results are objects")
-        };
-        pairs.insert(0, ("kind".to_owned(), Json::Str(kind)));
-        Ok(Json::Obj(pairs))
+        Ok(tag_kind(kind, result))
     }
 
     fn op_lint(&self, request: &Json, deadline: &Deadline) -> Result<Json, RequestError> {
         let snapshot = self.resolve_snapshot(request, deadline)?;
         deadline.check("before lint")?;
-        // Divide the thread budget across the workers currently serving
-        // requests: a burst of concurrent lints must not fan out to
-        // ~threads² OS threads.
+        let diags = self.lint_snapshot(&snapshot);
+        deadline.check("after lint")?;
+        Ok(diagnostics_json(&diags, None))
+    }
+
+    /// Runs the lint engine over a snapshot, dividing the thread budget
+    /// across the workers currently serving requests: a burst of
+    /// concurrent lints must not fan out to ~threads² OS threads.
+    fn lint_snapshot(&self, snapshot: &Snapshot) -> Vec<Diagnostic> {
         let active = (self.in_flight.load(Ordering::SeqCst) as usize).max(1);
-        let diags = lint(
+        lint(
             &snapshot.program,
             &snapshot.analysis,
             &snapshot.engine,
             &LintOptions {
                 threads: (self.options.threads / active).max(1),
             },
-        );
-        deadline.check("after lint")?;
-        let items: Vec<Json> = diags
-            .iter()
-            .map(|d| {
-                let span = match d.span {
-                    None => Json::Null,
-                    Some(s) => Json::obj(vec![
-                        ("line", Json::num(s.start.line as u64)),
-                        ("col", Json::num(s.start.col as u64)),
-                        ("end_line", Json::num(s.end.line as u64)),
-                        ("end_col", Json::num(s.end.col as u64)),
-                    ]),
-                };
-                Json::obj(vec![
-                    ("code", Json::str(d.code.as_str())),
-                    ("severity", Json::str(d.severity.as_str())),
-                    ("expr", Json::num(d.expr.index() as u64)),
-                    ("span", span),
-                    ("message", Json::str(d.message.clone())),
-                ])
-            })
-            .collect();
-        Ok(Json::obj(vec![
-            ("count", Json::num(items.len() as u64)),
-            ("diagnostics", Json::Arr(items)),
-        ]))
+        )
     }
 
     fn op_evict(&self, request: &Json) -> Result<Json, RequestError> {
@@ -430,10 +400,20 @@ impl Server {
                 format!("`snapshot` is not a 16-digit hex digest: `{hex}`"),
             )
         })?;
-        Ok(Json::obj(vec![(
-            "evicted",
-            Json::Bool(self.store.invalidate(key)),
-        )]))
+        let evicted = match self.store.invalidate(key) {
+            Invalidate::Evicted => true,
+            Invalidate::Absent => false,
+            Invalidate::Pinned => {
+                return Err(RequestError::new(
+                    ErrorKind::PinnedSnapshot,
+                    format!(
+                        "snapshot {hex} is pinned by an open session; \
+                         close the session before evicting it"
+                    ),
+                ))
+            }
+        };
+        Ok(Json::obj(vec![("evicted", Json::Bool(evicted))]))
     }
 
     fn op_stats(&self) -> Json {
@@ -451,9 +431,15 @@ impl Server {
             analysis.query_cache_hits += s.query_cache_hits;
             analysis.query_cache_misses += s.query_cache_misses;
         });
+        let sessions = self
+            .sessions
+            .lock()
+            .expect("session registry poisoned")
+            .len();
         Json::obj(vec![
-            ("protocol", Json::num(PROTOCOL_VERSION)),
+            ("protocol", Json::num(PROTOCOL_VERSION_SESSION)),
             ("threads", Json::num(self.options.threads as u64)),
+            ("sessions", Json::num(sessions as u64)),
             ("requests", Json::num(self.requests.load(Ordering::Relaxed))),
             // This request is itself in flight while counting.
             (
@@ -472,6 +458,8 @@ impl Server {
                     ("misses", Json::num(store.misses)),
                     ("coalesced", Json::num(store.coalesced)),
                     ("evictions", Json::num(store.evictions)),
+                    ("tombstones", Json::num(store.tombstones as u64)),
+                    ("pinned", Json::num(store.pinned as u64)),
                 ]),
             ),
             (
@@ -494,6 +482,250 @@ impl Server {
         ])
     }
 
+    // --- session ops --------------------------------------------------------
+
+    /// Freezes the linked workspace into the store under `key` and pins
+    /// it. The pin is taken in a retry loop: between the build and the
+    /// pin another request can (in principle) evict the fresh entry, in
+    /// which case the linked snapshot is simply re-frozen — the
+    /// workspace's checkpoints make that cheap.
+    fn cache_linked(
+        &self,
+        workspace: &Workspace,
+        manifest: &str,
+        key: SnapshotKey,
+    ) -> Result<(Arc<Snapshot>, bool), RequestError> {
+        loop {
+            let (snapshot, cached) = self
+                .store
+                .get_or_build(key, manifest, || {
+                    let started = Instant::now();
+                    let linked = workspace.freeze().expect("caller links before caching");
+                    let (program, analysis, engine, _report) = linked.into_parts();
+                    engine.prepare();
+                    Ok(Snapshot {
+                        program,
+                        analysis,
+                        engine,
+                        source: manifest.to_owned(),
+                        build_ns: started.elapsed().as_nanos() as u64,
+                    })
+                })
+                .map_err(|e| RequestError::new(ErrorKind::Analysis, e))?;
+            if self.store.pin(key) {
+                return Ok((snapshot, cached));
+            }
+        }
+    }
+
+    fn op_session_open(&self, request: &Json, deadline: &Deadline) -> Result<Json, RequestError> {
+        let id = session_param(request)?;
+        {
+            let sessions = self.sessions.lock().expect("session registry poisoned");
+            if sessions.contains_key(&id) {
+                return Err(RequestError::new(
+                    ErrorKind::Proto,
+                    format!("session `{id}` is already open"),
+                ));
+            }
+        }
+        let modules = modules_param(request, "modules")?;
+        if modules.is_empty() {
+            return Err(RequestError::new(
+                ErrorKind::Proto,
+                "`session/open` needs at least one module",
+            ));
+        }
+        let (policy, _) = policy_param(request)?;
+        let mut workspace = Workspace::new(AnalysisOptions {
+            policy,
+            max_nodes: None,
+        });
+        let mut seen: HashSet<&str> = HashSet::new();
+        for (name, source) in &modules {
+            if !seen.insert(name.as_str()) {
+                return Err(RequestError::new(
+                    ErrorKind::Proto,
+                    format!("duplicate module name `{name}` in `modules`"),
+                ));
+            }
+            workspace.upsert(name, source);
+        }
+        let report = workspace.link().map_err(link_err)?;
+        deadline.check("after link")?;
+        let key = SnapshotKey(report.session_digest);
+        let manifest = session_manifest(&workspace);
+        let (snapshot, cached) = self.cache_linked(&workspace, &manifest, key)?;
+        let result = link_json(&id, key, cached, &report);
+        let mut sessions = self.sessions.lock().expect("session registry poisoned");
+        if sessions.contains_key(&id) {
+            // Lost a race to a concurrent open of the same id.
+            self.store.unpin(key);
+            return Err(RequestError::new(
+                ErrorKind::Proto,
+                format!("session `{id}` is already open"),
+            ));
+        }
+        sessions.insert(
+            id,
+            OpenSession {
+                workspace,
+                key,
+                snapshot,
+                report,
+            },
+        );
+        Ok(result)
+    }
+
+    fn op_session_update(&self, request: &Json, deadline: &Deadline) -> Result<Json, RequestError> {
+        let id = session_param(request)?;
+        let upserts = match request.get("modules") {
+            None => Vec::new(),
+            Some(_) => modules_param(request, "modules")?,
+        };
+        let removes: Vec<String> = match request.get("remove") {
+            None => Vec::new(),
+            Some(v) => v
+                .as_arr()
+                .ok_or_else(|| {
+                    RequestError::new(
+                        ErrorKind::Proto,
+                        "`remove` must be an array of module names",
+                    )
+                })?
+                .iter()
+                .map(|n| {
+                    n.as_str().map(str::to_owned).ok_or_else(|| {
+                        RequestError::new(
+                            ErrorKind::Proto,
+                            "`remove` must be an array of module names",
+                        )
+                    })
+                })
+                .collect::<Result<_, _>>()?,
+        };
+        if upserts.is_empty() && removes.is_empty() {
+            return Err(RequestError::new(
+                ErrorKind::Proto,
+                "`session/update` needs `modules` (upserts) and/or `remove`",
+            ));
+        }
+        let mut sessions = self.sessions.lock().expect("session registry poisoned");
+        let entry = sessions.get_mut(&id).ok_or_else(|| unknown_session(&id))?;
+        for name in &removes {
+            if entry.workspace.module(name).is_none() {
+                return Err(RequestError::new(
+                    ErrorKind::Proto,
+                    format!("session `{id}` has no module named `{name}` to remove"),
+                ));
+            }
+        }
+        // The update is transactional: on a link failure the module list
+        // (and, via re-link over the surviving linker marks, the linked
+        // state) is restored, and the old pinned snapshot keeps serving.
+        let saved: Vec<Module> = entry.workspace.modules().to_vec();
+        for name in &removes {
+            entry.workspace.remove(name);
+        }
+        for (name, source) in &upserts {
+            entry.workspace.upsert(name, source);
+        }
+        let report = match entry.workspace.link() {
+            Ok(report) => report,
+            Err(e) => {
+                entry.workspace.set_modules(saved);
+                let relink = entry.workspace.link();
+                debug_assert!(
+                    relink.is_ok(),
+                    "rollback re-links previously linked content"
+                );
+                return Err(link_err(e));
+            }
+        };
+        deadline.check("after link")?;
+        let key = SnapshotKey(report.session_digest);
+        let manifest = session_manifest(&entry.workspace);
+        let (snapshot, cached) = self.cache_linked(&entry.workspace, &manifest, key)?;
+        self.store.unpin(entry.key);
+        entry.key = key;
+        entry.snapshot = snapshot;
+        entry.report = report.clone();
+        Ok(link_json(&id, key, cached, &report))
+    }
+
+    fn op_session_query(&self, request: &Json, deadline: &Deadline) -> Result<Json, RequestError> {
+        let id = session_param(request)?;
+        let kind = request
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or_else(|| RequestError::new(ErrorKind::Proto, "`session/query` needs `kind`"))?
+            .to_owned();
+        let (snapshot, report, binder) = {
+            let sessions = self.sessions.lock().expect("session registry poisoned");
+            let entry = sessions.get(&id).ok_or_else(|| unknown_session(&id))?;
+            let binder = request
+                .get("name")
+                .and_then(Json::as_str)
+                .map(|n| (n.to_owned(), entry.workspace.lookup(n)));
+            (Arc::clone(&entry.snapshot), entry.report.clone(), binder)
+        };
+        deadline.check("before query")?;
+        let program = &snapshot.program;
+        let engine = &snapshot.engine;
+        let result = match binder {
+            Some((name, var)) => {
+                if kind != "label-set" {
+                    return Err(RequestError::new(
+                        ErrorKind::Proto,
+                        "`name` applies only to `label-set` queries",
+                    ));
+                }
+                let var = var.ok_or_else(|| {
+                    RequestError::new(
+                        ErrorKind::Proto,
+                        format!("session `{id}` has no top-level binding named `{name}`"),
+                    )
+                })?;
+                labels_json(program, &engine.labels_of_binder(var))
+            }
+            None => query_result(&kind, request, program, engine, || {
+                report.default_value().ok_or_else(|| {
+                    RequestError::new(
+                        ErrorKind::Proto,
+                        "session has no trailing value expression; pass `expr` or `name`",
+                    )
+                })
+            })?,
+        };
+        deadline.check("after query")?;
+        Ok(tag_kind(kind, result))
+    }
+
+    fn op_session_lint(&self, request: &Json, deadline: &Deadline) -> Result<Json, RequestError> {
+        let id = session_param(request)?;
+        let (snapshot, report) = {
+            let sessions = self.sessions.lock().expect("session registry poisoned");
+            let entry = sessions.get(&id).ok_or_else(|| unknown_session(&id))?;
+            (Arc::clone(&entry.snapshot), entry.report.clone())
+        };
+        deadline.check("before lint")?;
+        let diags = self.lint_snapshot(&snapshot);
+        deadline.check("after lint")?;
+        Ok(diagnostics_json(&diags, Some(&report)))
+    }
+
+    fn op_session_close(&self, request: &Json) -> Result<Json, RequestError> {
+        let id = session_param(request)?;
+        let mut sessions = self.sessions.lock().expect("session registry poisoned");
+        let entry = sessions.remove(&id).ok_or_else(|| unknown_session(&id))?;
+        self.store.unpin(entry.key);
+        Ok(Json::obj(vec![
+            ("session", Json::str(id)),
+            ("closed", Json::Bool(true)),
+        ]))
+    }
+
     // --- the pipeline -------------------------------------------------------
 
     /// Serves one line stream: requests from `reader`, responses to
@@ -508,6 +740,7 @@ impl Server {
     {
         let shared = Arc::new(PipeShared::default());
         spawn_reader(reader, Arc::clone(&shared));
+        let gate = SeqGate::default();
         let out = Mutex::new(OutState {
             next_seq: 0,
             ready: BTreeMap::new(),
@@ -522,7 +755,8 @@ impl Server {
                         let job = shared.next_job();
                         let Some(job) = job else { break };
                         let latch_shutdown = {
-                            let response = self.handle_line(&job.line, job.received);
+                            let response =
+                                self.handle_line_gated(&job.line, job.received, &gate, job.seq);
                             let mut out = out.lock().expect("out lock poisoned");
                             out.ready.insert(job.seq, response);
                             out_cv.notify_all();
@@ -640,6 +874,243 @@ fn decode_build_err(encoded: String) -> RequestError {
         Some(("analysis", msg)) => RequestError::new(ErrorKind::Analysis, msg),
         _ => RequestError::new(ErrorKind::Analysis, encoded),
     }
+}
+
+/// Parses the optional `policy` field (default `c1`) into the core enum
+/// and its stable content-address discriminant.
+fn policy_param(request: &Json) -> Result<(DatatypePolicy, u64), RequestError> {
+    let name = request.get("policy").and_then(Json::as_str).unwrap_or("c1");
+    parse_policy(name).ok_or_else(|| {
+        RequestError::new(
+            ErrorKind::Proto,
+            format!("unknown policy `{name}` (expected c1|c2|exact|forget)"),
+        )
+    })
+}
+
+/// The required `session` id of every `session/*` op.
+fn session_param(request: &Json) -> Result<String, RequestError> {
+    request
+        .get("session")
+        .and_then(Json::as_str)
+        .map(str::to_owned)
+        .ok_or_else(|| {
+            RequestError::new(
+                ErrorKind::Proto,
+                "`session/*` ops need a string `session` id",
+            )
+        })
+}
+
+/// Parses a module array: `[{"name":…,"source":…}, …]`.
+fn modules_param(request: &Json, field: &str) -> Result<Vec<(String, String)>, RequestError> {
+    let arr = request.get(field).and_then(Json::as_arr).ok_or_else(|| {
+        RequestError::new(
+            ErrorKind::Proto,
+            format!("`{field}` must be an array of {{name, source}} objects"),
+        )
+    })?;
+    arr.iter()
+        .map(|entry| {
+            let name = entry.get("name").and_then(Json::as_str).ok_or_else(|| {
+                RequestError::new(
+                    ErrorKind::Proto,
+                    format!("every `{field}` entry needs a string `name`"),
+                )
+            })?;
+            let source = entry.get("source").and_then(Json::as_str).ok_or_else(|| {
+                RequestError::new(
+                    ErrorKind::Proto,
+                    format!("every `{field}` entry needs a string `source`"),
+                )
+            })?;
+            Ok((name.to_owned(), source.to_owned()))
+        })
+        .collect()
+}
+
+/// The canonical text a linked snapshot's digest is collision-checked
+/// against: the module names and sources in link order, separated by
+/// control bytes no source can contain ambiguously.
+fn session_manifest(workspace: &Workspace) -> String {
+    let mut s = String::from("session\u{0}");
+    for m in workspace.modules() {
+        s.push_str(m.name());
+        s.push('\u{1}');
+        s.push_str(m.source());
+        s.push('\u{2}');
+    }
+    s
+}
+
+/// Maps a link failure onto the protocol's structured error classes;
+/// the message names the offending module.
+fn link_err(e: LinkError) -> RequestError {
+    let kind = match &e {
+        LinkError::Parse { .. } => ErrorKind::Parse,
+        LinkError::Analysis { .. } => ErrorKind::Analysis,
+    };
+    RequestError::new(kind, e.to_string())
+}
+
+fn unknown_session(id: &str) -> RequestError {
+    RequestError::new(
+        ErrorKind::UnknownSession,
+        format!("no open session named `{id}`"),
+    )
+}
+
+/// Renders a link report as the `session/open` / `session/update`
+/// result object.
+fn link_json(id: &str, key: SnapshotKey, cached: bool, report: &LinkReport) -> Json {
+    let modules: Vec<Json> = report
+        .modules
+        .iter()
+        .map(|m| {
+            Json::obj(vec![
+                ("name", Json::str(m.name.clone())),
+                ("digest", Json::str(format!("{:016x}", m.digest))),
+                (
+                    "imports",
+                    Json::Arr(m.imports.iter().map(Json::str).collect()),
+                ),
+                ("reused", Json::Bool(m.reused)),
+                ("generation", Json::num(m.generation)),
+                ("exprs", Json::num(m.exprs as u64)),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("session", Json::str(id)),
+        ("digest", Json::str(key.hex())),
+        ("cached", Json::Bool(cached)),
+        ("generation", Json::num(report.generation)),
+        ("reused", Json::num(report.reused as u64)),
+        ("relinked", Json::num(report.relinked as u64)),
+        ("modules", Json::Arr(modules)),
+        ("nodes", Json::num(report.nodes as u64)),
+        ("edges", Json::num(report.edges as u64)),
+        ("exprs", Json::num(report.exprs as u64)),
+    ])
+}
+
+/// The query-kind dispatcher shared by `query` and `session/query`.
+/// `default_expr` supplies the target when a `label-set` request names
+/// no `expr` (the program root for v1, the session's trailing value for
+/// v2).
+fn query_result(
+    kind: &str,
+    request: &Json,
+    program: &Program,
+    engine: &QueryEngine,
+    default_expr: impl FnOnce() -> Result<ExprId, RequestError>,
+) -> Result<Json, RequestError> {
+    Ok(match kind {
+        "label-set" => {
+            let expr = match request.get("expr") {
+                None => default_expr()?,
+                Some(v) => expr_param(v, program, "expr")?,
+            };
+            labels_json(program, &engine.labels_of(expr))
+        }
+        "call-targets" => {
+            let site = expr_param(
+                request.get("site").ok_or_else(|| {
+                    RequestError::new(ErrorKind::Proto, "`call-targets` needs `site`")
+                })?,
+                program,
+                "site",
+            )?;
+            let targets = engine.call_targets(program, site).ok_or_else(|| {
+                RequestError::new(
+                    ErrorKind::Proto,
+                    format!("expression {} is not an application site", site.index()),
+                )
+            })?;
+            labels_json(program, &targets)
+        }
+        "occurrences" => {
+            let label = label_param(request, program)?;
+            let exprs = engine.exprs_with_label(label);
+            Json::obj(vec![
+                ("count", Json::num(exprs.len() as u64)),
+                (
+                    "exprs",
+                    Json::Arr(exprs.iter().map(|e| Json::num(e.index() as u64)).collect()),
+                ),
+            ])
+        }
+        "reachability" => {
+            let expr = expr_param(
+                request.get("expr").ok_or_else(|| {
+                    RequestError::new(ErrorKind::Proto, "`reachability` needs `expr`")
+                })?,
+                program,
+                "expr",
+            )?;
+            let label = label_param(request, program)?;
+            Json::obj(vec![(
+                "reaches",
+                Json::Bool(engine.label_reaches(expr, label)),
+            )])
+        }
+        other => {
+            return Err(RequestError::new(
+                ErrorKind::Proto,
+                format!(
+                    "unknown query kind `{other}` \
+                     (expected label-set|call-targets|occurrences|reachability)"
+                ),
+            ))
+        }
+    })
+}
+
+/// Prepends the echoed query kind to a result object.
+fn tag_kind(kind: String, result: Json) -> Json {
+    let Json::Obj(mut pairs) = result else {
+        unreachable!("results are objects")
+    };
+    pairs.insert(0, ("kind".to_owned(), Json::Str(kind)));
+    Json::Obj(pairs)
+}
+
+/// Renders lint diagnostics; with a link report each diagnostic is
+/// additionally attributed to the module owning its expression.
+fn diagnostics_json(diags: &[Diagnostic], report: Option<&LinkReport>) -> Json {
+    let items: Vec<Json> = diags
+        .iter()
+        .map(|d| {
+            let span = match d.span {
+                None => Json::Null,
+                Some(s) => Json::obj(vec![
+                    ("line", Json::num(s.start.line as u64)),
+                    ("col", Json::num(s.start.col as u64)),
+                    ("end_line", Json::num(s.end.line as u64)),
+                    ("end_col", Json::num(s.end.col as u64)),
+                ]),
+            };
+            let mut pairs = vec![
+                ("code", Json::str(d.code.as_str())),
+                ("severity", Json::str(d.severity.as_str())),
+                ("expr", Json::num(d.expr.index() as u64)),
+                ("span", span),
+                ("message", Json::str(d.message.clone())),
+            ];
+            if let Some(report) = report {
+                let module = match report.module_of_expr(d.expr) {
+                    Some(name) => Json::str(name),
+                    None => Json::Null,
+                };
+                pairs.push(("module", module));
+            }
+            Json::obj(pairs)
+        })
+        .collect();
+    Json::obj(vec![
+        ("count", Json::num(items.len() as u64)),
+        ("diagnostics", Json::Arr(items)),
+    ])
 }
 
 /// Validates an expression-index parameter against the program.
@@ -779,6 +1250,56 @@ struct OutState {
     next_seq: u64,
     ready: BTreeMap<u64, String>,
     workers_active: usize,
+}
+
+/// Whether a request line must execute in stream order (see
+/// [`Server::handle_line_gated`]). A conservative substring check: every
+/// `session/*` op's line contains `"session/` and every `evict` op's
+/// line contains `"evict"`, so there are no false negatives; a false
+/// positive (the marker inside a source string) merely orders one extra
+/// request, which is harmless.
+fn needs_order(line: &str) -> bool {
+    line.contains("\"session/") || line.contains("\"evict\"")
+}
+
+/// The pipeline's sequence gate: tracks which request sequence numbers
+/// have been answered and lets an order-sensitive request wait until
+/// everything before it has.
+#[derive(Default)]
+struct SeqGate {
+    state: Mutex<GateState>,
+    cv: Condvar,
+}
+
+#[derive(Default)]
+struct GateState {
+    /// The first sequence number not yet completed.
+    watermark: u64,
+    /// Completed sequence numbers at or above the watermark.
+    done: BTreeSet<u64>,
+}
+
+impl SeqGate {
+    /// Blocks until every request before `seq` has completed.
+    fn wait_for_turn(&self, seq: u64) {
+        let mut state = self.state.lock().expect("seq gate poisoned");
+        while state.watermark < seq {
+            state = self.cv.wait(state).expect("seq gate poisoned");
+        }
+    }
+
+    /// Marks `seq` complete and advances the watermark past every
+    /// contiguously completed sequence number.
+    fn complete(&self, seq: u64) {
+        let mut state = self.state.lock().expect("seq gate poisoned");
+        state.done.insert(seq);
+        while state.done.contains(&state.watermark) {
+            let w = state.watermark;
+            state.done.remove(&w);
+            state.watermark += 1;
+        }
+        self.cv.notify_all();
+    }
 }
 
 /// Spawns the detached reader thread: lines in, jobs out. Detached on
@@ -955,12 +1476,26 @@ mod tests {
             Some("unknown-snapshot")
         );
         assert_eq!(
-            kind(&call(&s, r#"{"v":2,"op":"stats"}"#)).as_deref(),
+            kind(&call(&s, r#"{"v":3,"op":"stats"}"#)).as_deref(),
             Some("proto")
         );
         assert_eq!(
             kind(&call(&s, r#"{"op":"frobnicate"}"#)).as_deref(),
             Some("proto")
+        );
+        // Session ops demand v2 and a known session id.
+        assert_eq!(
+            kind(&call(&s, r#"{"op":"session/query","session":"s"}"#)).as_deref(),
+            Some("proto"),
+            "session ops without v:2 are protocol errors"
+        );
+        assert_eq!(
+            kind(&call(
+                &s,
+                r#"{"v":2,"op":"session/query","session":"s","kind":"label-set"}"#
+            ))
+            .as_deref(),
+            Some("unknown-session")
         );
     }
 
@@ -1074,6 +1609,166 @@ mod tests {
             .serve(io::Cursor::new(input), BrokenPipe { allow: 1 })
             .expect_err("the write failure must surface");
         assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
+    }
+
+    #[test]
+    fn session_open_update_query_close_round_trip() {
+        let s = server();
+        let open = call(
+            &s,
+            r#"{"v":2,"id":1,"op":"session/open","session":"w","modules":[{"name":"util","source":"fun id x = x;"},{"name":"main","source":"id (fn u => u)"}]}"#,
+        );
+        assert_eq!(
+            open.get("ok"),
+            Some(&Json::Bool(true)),
+            "{}",
+            open.to_line()
+        );
+        assert_eq!(open.get("v").and_then(Json::as_u64), Some(2));
+        let result = open.get("result").unwrap();
+        let digest = result
+            .get("digest")
+            .and_then(Json::as_str)
+            .unwrap()
+            .to_owned();
+        assert_eq!(result.get("relinked").and_then(Json::as_u64), Some(2));
+        let modules = result.get("modules").and_then(Json::as_arr).unwrap();
+        assert_eq!(
+            modules[1].get("imports").and_then(Json::as_arr).unwrap()[0].as_str(),
+            Some("util")
+        );
+
+        // Default query target: the trailing value of the last module.
+        let q = call(
+            &s,
+            r#"{"v":2,"op":"session/query","session":"w","kind":"label-set"}"#,
+        );
+        let qr = q.get("result").unwrap();
+        assert_eq!(
+            qr.get("count").and_then(Json::as_u64),
+            Some(1),
+            "{}",
+            q.to_line()
+        );
+
+        // Querying a top-level binder by name.
+        let qn = call(
+            &s,
+            r#"{"v":2,"op":"session/query","session":"w","kind":"label-set","name":"id"}"#,
+        );
+        assert_eq!(qn.get("ok"), Some(&Json::Bool(true)), "{}", qn.to_line());
+
+        // The pinned snapshot refuses eviction while the session is open.
+        let ev = call(&s, &format!(r#"{{"op":"evict","snapshot":"{digest}"}}"#));
+        assert_eq!(
+            ev.get("error")
+                .and_then(|e| e.get("kind"))
+                .and_then(Json::as_str),
+            Some("pinned-snapshot")
+        );
+
+        // An update of the last module reuses the first one's checkpoint.
+        let up = call(
+            &s,
+            r#"{"v":2,"op":"session/update","session":"w","modules":[{"name":"main","source":"id (fn v => v) "}]}"#,
+        );
+        let ur = up.get("result").unwrap();
+        assert_eq!(
+            ur.get("reused").and_then(Json::as_u64),
+            Some(1),
+            "{}",
+            up.to_line()
+        );
+        assert_eq!(ur.get("relinked").and_then(Json::as_u64), Some(1));
+
+        // Close releases the pin; the old digest was already unpinned by
+        // the update, so both generations are now evictable.
+        let close = call(&s, r#"{"v":2,"op":"session/close","session":"w"}"#);
+        assert_eq!(
+            close
+                .get("result")
+                .and_then(|r| r.get("closed"))
+                .and_then(Json::as_bool),
+            Some(true)
+        );
+        let ev2 = call(&s, &format!(r#"{{"op":"evict","snapshot":"{digest}"}}"#));
+        assert_eq!(ev2.get("ok"), Some(&Json::Bool(true)), "{}", ev2.to_line());
+    }
+
+    #[test]
+    fn failed_session_update_rolls_back_and_keeps_serving() {
+        let s = server();
+        let open = call(
+            &s,
+            r#"{"v":2,"op":"session/open","session":"w","modules":[{"name":"a","source":"fun f x = x;"},{"name":"b","source":"f (fn u => u)"}]}"#,
+        );
+        assert_eq!(
+            open.get("ok"),
+            Some(&Json::Bool(true)),
+            "{}",
+            open.to_line()
+        );
+        let bad = call(
+            &s,
+            r#"{"v":2,"op":"session/update","session":"w","modules":[{"name":"b","source":"nosuchname 3"}]}"#,
+        );
+        assert_eq!(
+            bad.get("error")
+                .and_then(|e| e.get("kind"))
+                .and_then(Json::as_str),
+            Some("parse")
+        );
+        assert!(
+            bad.to_line().contains("module `b`"),
+            "the error names the module: {}",
+            bad.to_line()
+        );
+        // The session still answers from the pre-update snapshot.
+        let q = call(
+            &s,
+            r#"{"v":2,"op":"session/query","session":"w","kind":"label-set","name":"f"}"#,
+        );
+        assert_eq!(q.get("ok"), Some(&Json::Bool(true)), "{}", q.to_line());
+        // Stats count the open session and its pin.
+        let stats = call(&s, r#"{"op":"stats"}"#);
+        let result = stats.get("result").unwrap();
+        assert_eq!(result.get("sessions").and_then(Json::as_u64), Some(1));
+        let cache = result.get("cache").unwrap();
+        assert_eq!(cache.get("pinned").and_then(Json::as_u64), Some(1));
+    }
+
+    #[test]
+    fn session_transcripts_are_thread_count_independent() {
+        let input = concat!(
+            r#"{"v":2,"id":0,"op":"session/open","session":"w","modules":[{"name":"a","source":"fun f x = x;"},{"name":"b","source":"f (fn u => u)"}]}"#,
+            "\n",
+            r#"{"v":2,"id":1,"op":"session/query","session":"w","kind":"label-set"}"#,
+            "\n",
+            r#"{"v":2,"id":2,"op":"session/update","session":"w","modules":[{"name":"b","source":"f (fn v => v)"}]}"#,
+            "\n",
+            r#"{"v":2,"id":3,"op":"session/query","session":"w","kind":"label-set"}"#,
+            "\n",
+            r#"{"v":2,"id":4,"op":"session/lint","session":"w"}"#,
+            "\n",
+            r#"{"v":2,"id":5,"op":"session/close","session":"w"}"#,
+            "\n",
+            r#"{"id":6,"op":"shutdown"}"#,
+            "\n",
+        );
+        let mut transcripts = Vec::new();
+        for threads in [1, 2, 8] {
+            let s = Server::new(ServerOptions {
+                threads,
+                ..Default::default()
+            });
+            let mut out = Vec::new();
+            s.serve(io::Cursor::new(input.to_owned()), &mut out)
+                .unwrap();
+            transcripts.push(String::from_utf8(out).unwrap());
+        }
+        assert_eq!(transcripts[0], transcripts[1]);
+        assert_eq!(transcripts[0], transcripts[2]);
+        assert_eq!(transcripts[0].lines().count(), 7);
     }
 
     #[test]

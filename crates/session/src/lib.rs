@@ -1,0 +1,209 @@
+//! Multi-file analysis sessions over the subtransitive CFA.
+//!
+//! The paper builds its graph for one whole program, but because the
+//! construction is *local* (one basic edge per syntax construct) and the
+//! close phase is *monotone* (edges are only ever added), a program can
+//! be analyzed as a sequence of named **modules**: each module's
+//! fragment contributes its own nodes and basic edges, and linking a
+//! module onto its predecessors adds only the binder→rhs dom/ran edges
+//! at the boundary before resuming the close. The result is
+//! node-for-node identical to analyzing the concatenated program — the
+//! differential session tests quantify over arbitrary top-level splits
+//! — while an edit to one module re-does only that module and its
+//! successors, not the workspace.
+//!
+//! The crate provides:
+//!
+//! - [`Module`] — named source text with an FNV-1a/64 content digest;
+//! - [`Workspace`] — the module list, rewind-based incremental linker,
+//!   derived import graph, and session digest;
+//! - [`LinkedSnapshot`] — a frozen, generation-checked
+//!   [`stcfa_core::QueryEngine`] over the linked program;
+//! - [`split`] — top-level boundary detection for turning a whole
+//!   program into modules.
+//!
+//! ```
+//! use stcfa_core::AnalysisOptions;
+//! use stcfa_session::Workspace;
+//!
+//! let mut ws = Workspace::new(AnalysisOptions::default());
+//! ws.upsert("util", "fun id x = x;");
+//! ws.upsert("main", "id (fn u => u)");
+//! let report = ws.link().unwrap();
+//! assert_eq!(report.modules[1].imports, ["util"]);
+//!
+//! let snapshot = ws.freeze().unwrap();
+//! let engine = snapshot.engine(&ws).unwrap();
+//! let value = report.default_value().unwrap();
+//! assert_eq!(engine.labels_of(value).len(), 1);
+//!
+//! // Editing a module stales the snapshot (checked, never silent)…
+//! ws.upsert("main", "id (fn v => v) 0");
+//! assert!(snapshot.engine(&ws).is_err());
+//! // …and re-linking reuses the unchanged prefix verbatim.
+//! let report = ws.link().unwrap();
+//! assert!(report.modules[0].reused);
+//! assert!(!report.modules[1].reused);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod module;
+pub mod split;
+pub mod workspace;
+
+pub use module::{LinkReport, Module, ModuleReport};
+pub use workspace::{LinkError, LinkedSnapshot, Workspace};
+
+#[cfg(test)]
+mod tests {
+    use stcfa_core::AnalysisOptions;
+
+    use crate::{LinkError, Workspace};
+
+    fn linked(modules: &[(&str, &str)]) -> Workspace {
+        let mut ws = Workspace::new(AnalysisOptions::default());
+        for (name, source) in modules {
+            ws.upsert(name, source);
+        }
+        ws.link().unwrap();
+        ws
+    }
+
+    #[test]
+    fn imports_are_derived_from_references() {
+        let ws = linked(&[
+            ("a", "fun f x = x;"),
+            ("b", "fun g h = fn y => h y;"),
+            ("c", "val r = g f;"),
+            ("d", "val s = fn q => q;"),
+        ]);
+        let report = ws.report().unwrap();
+        assert_eq!(report.modules[0].imports, Vec::<String>::new());
+        assert_eq!(report.modules[2].imports, ["a", "b"]);
+        assert_eq!(report.modules[3].imports, Vec::<String>::new());
+        assert_eq!(report.modules[2].exports, ["r"]);
+    }
+
+    #[test]
+    fn editing_a_leaf_relinks_only_the_leaf() {
+        let mut ws = linked(&[
+            ("a", "fun f x = x;"),
+            ("b", "val p = f (fn u => u);"),
+            ("c", "val q = f (fn v => v);"),
+        ]);
+        let before = ws.report().unwrap().clone();
+        ws.upsert("c", "val q = f (fn w => w);");
+        let after = ws.link().unwrap();
+        assert_eq!(after.reused, 2);
+        assert_eq!(after.relinked, 1);
+        for i in 0..2 {
+            assert!(after.modules[i].reused);
+            assert_eq!(
+                after.modules[i].generation, before.modules[i].generation,
+                "unchanged module {i} must keep its generation"
+            );
+        }
+        assert!(!after.modules[2].reused);
+    }
+
+    #[test]
+    fn editing_the_first_module_relinks_everything() {
+        let mut ws = linked(&[("a", "fun f x = x;"), ("b", "val p = f (fn u => u);")]);
+        ws.upsert("a", "fun f x = x; fun f2 y = y;");
+        let report = ws.link().unwrap();
+        assert_eq!(report.reused, 0);
+        assert_eq!(report.relinked, 2);
+    }
+
+    #[test]
+    fn linked_equals_monolithic() {
+        let modules = [
+            ("m0", "datatype box = B of (int -> int);\nfun f x = x;"),
+            ("m1", "val b = B(fn n => n + 1);"),
+            ("m2", "val g = case b of B(h) => h;\nval r = f g;"),
+            ("m3", "r 3"),
+        ];
+        let ws = linked(&modules);
+        let whole: String = modules.iter().map(|(_, s)| format!("{s}\n")).collect();
+        let mono = linked(&[("whole", &whole)]);
+        let (snap, mono_snap) = (ws.freeze().unwrap(), mono.freeze().unwrap());
+        assert_eq!(
+            snap.program().size(),
+            mono_snap.program().size(),
+            "same arena, module boundaries notwithstanding"
+        );
+        assert_eq!(
+            snap.analysis().node_count(),
+            mono_snap.analysis().node_count()
+        );
+        let (e1, e2) = (snap.engine(&ws).unwrap(), mono_snap.engine(&mono).unwrap());
+        for e in snap.program().exprs() {
+            assert_eq!(e1.labels_of(e), e2.labels_of(e), "labels diverge at {e:?}");
+        }
+    }
+
+    #[test]
+    fn session_digest_tracks_content_and_order() {
+        let ws1 = linked(&[("a", "fun f x = x;"), ("b", "val p = f;")]);
+        let ws2 = linked(&[("a", "fun f x = x;"), ("b", "val p = f;")]);
+        let d1 = ws1.report().unwrap().session_digest;
+        assert_eq!(d1, ws2.report().unwrap().session_digest);
+        let edited = linked(&[("a", "fun f x = x;"), ("b", "val p = f; val q = f;")]);
+        assert_ne!(d1, edited.report().unwrap().session_digest);
+        let renamed = linked(&[("z", "fun f x = x;"), ("b", "val p = f;")]);
+        assert_ne!(d1, renamed.report().unwrap().session_digest);
+    }
+
+    #[test]
+    fn parse_errors_name_the_module_and_keep_the_prefix() {
+        let mut ws = linked(&[("a", "fun f x = x;"), ("b", "val p = f;")]);
+        ws.upsert("b", "val p = nosuchname;");
+        match ws.link() {
+            Err(LinkError::Parse { module, .. }) => assert_eq!(module, "b"),
+            other => panic!("expected a parse error for `b`, got {other:?}"),
+        }
+        assert!(!ws.is_linked());
+        // Fixing the module re-links only the suffix.
+        ws.upsert("b", "val p = f;");
+        let report = ws.link().unwrap();
+        assert_eq!(report.reused, 1);
+        assert_eq!(report.relinked, 1);
+    }
+
+    #[test]
+    fn remove_then_relink() {
+        let mut ws = linked(&[
+            ("a", "fun f x = x;"),
+            ("b", "val p = f (fn u => u);"),
+            ("c", "val q = f;"),
+        ]);
+        assert!(ws.remove("b"));
+        let report = ws.link().unwrap();
+        assert_eq!(report.modules.len(), 2);
+        assert_eq!(report.reused, 1, "`a` precedes the removal point");
+        // Removing a module someone imports is a (named) link error.
+        assert!(ws.remove("a"));
+        match ws.link() {
+            Err(LinkError::Parse { module, .. }) => assert_eq!(module, "c"),
+            other => panic!("expected `c` to fail, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn upsert_with_identical_source_is_a_noop() {
+        let mut ws = linked(&[("a", "fun f x = x;")]);
+        let gen = ws.generation();
+        assert!(!ws.upsert("a", "fun f x = x;"));
+        assert_eq!(ws.generation(), gen);
+        assert!(ws.is_linked(), "no-op upsert must not unlink");
+    }
+
+    #[test]
+    fn module_attribution_of_exprs() {
+        let ws = linked(&[("a", "fun f x = x;"), ("b", "f (fn u => u)")]);
+        let report = ws.report().unwrap();
+        let value = report.default_value().unwrap();
+        assert_eq!(report.module_of_expr(value), Some("b"));
+    }
+}

@@ -1,0 +1,130 @@
+//! Named modules and per-module link reports.
+
+use stcfa_devkit::hash::Fnv1a;
+use stcfa_lambda::ExprId;
+
+/// A named module: source text plus its FNV-1a/64 content digest.
+///
+/// Modules are the unit of invalidation: the workspace re-links a module
+/// exactly when its digest (or anything before it in link order)
+/// changes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Module {
+    name: String,
+    source: String,
+    digest: u64,
+}
+
+impl Module {
+    /// Creates a module; the digest is computed from the source bytes.
+    pub fn new(name: impl Into<String>, source: impl Into<String>) -> Module {
+        let name = name.into();
+        let source = source.into();
+        let digest = {
+            let mut h = Fnv1a::new();
+            h.write(source.as_bytes());
+            h.finish()
+        };
+        Module {
+            name,
+            source,
+            digest,
+        }
+    }
+
+    /// The module name (unique within a workspace).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The module source text.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// FNV-1a/64 digest of the source text.
+    pub fn digest(&self) -> u64 {
+        self.digest
+    }
+}
+
+/// What linking one module contributed, as recorded by the last
+/// [`crate::Workspace::link`].
+#[derive(Clone, Debug)]
+pub struct ModuleReport {
+    /// Module name.
+    pub name: String,
+    /// Content digest at link time.
+    pub digest: u64,
+    /// Names of *earlier* modules this module references (its incoming
+    /// link edges), in link order. Derived from the parsed fragment:
+    /// every variable occurrence whose binder belongs to a predecessor
+    /// module adds that predecessor.
+    pub imports: Vec<String>,
+    /// Top-level names this module binds (compiler-generated `$…` pack
+    /// binders are omitted).
+    pub exports: Vec<String>,
+    /// Whether the module's fragment was reused verbatim from a
+    /// checkpoint (true) or (re-)parsed and (re-)analyzed (false).
+    pub reused: bool,
+    /// The analysis generation at which this module's fragment was
+    /// built. Reused modules keep the generation of their original
+    /// build — the edit-loop tests assert exactly this.
+    pub generation: u64,
+    /// Expression occurrences this module contributed to the arena.
+    pub exprs: usize,
+    /// Half-open arena range `[start, end)` of those expressions; every
+    /// expression of the linked program falls in exactly one module's
+    /// range, which is how diagnostics are attributed to modules.
+    pub expr_range: (usize, usize),
+    /// The module's trailing value expression, if any.
+    pub value: Option<ExprId>,
+}
+
+/// Summary of one [`crate::Workspace::link`] run.
+#[derive(Clone, Debug)]
+pub struct LinkReport {
+    /// Session digest: FNV-1a/64 over the analysis options, every
+    /// module's name and content digest in link order, and the derived
+    /// import topology. Two workspaces with equal session digests link
+    /// to identical analyses.
+    pub session_digest: u64,
+    /// Workspace generation this report describes.
+    pub generation: u64,
+    /// Per-module reports, in link order.
+    pub modules: Vec<ModuleReport>,
+    /// How many modules were reused from checkpoints.
+    pub reused: usize,
+    /// How many modules were (re-)linked.
+    pub relinked: usize,
+    /// Graph nodes in the linked analysis.
+    pub nodes: usize,
+    /// Graph edges in the linked analysis.
+    pub edges: usize,
+    /// Expression occurrences in the linked arena.
+    pub exprs: usize,
+}
+
+impl LinkReport {
+    /// The trailing value expression of the *last* module that has one —
+    /// the linked program's natural "result" and the default query
+    /// target for `session/query`.
+    pub fn default_value(&self) -> Option<ExprId> {
+        self.modules.iter().rev().find_map(|m| m.value)
+    }
+
+    /// The report for module `name`.
+    pub fn module(&self, name: &str) -> Option<&ModuleReport> {
+        self.modules.iter().find(|m| m.name == name)
+    }
+
+    /// The name of the module owning arena expression `e`, via the
+    /// per-module expression ranges.
+    pub fn module_of_expr(&self, e: ExprId) -> Option<&str> {
+        let i = e.index();
+        self.modules
+            .iter()
+            .find(|m| m.expr_range.0 <= i && i < m.expr_range.1)
+            .map(|m| m.name.as_str())
+    }
+}

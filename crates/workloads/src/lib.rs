@@ -8,6 +8,8 @@
 //!   "observed non-linear behaviour" of standard CFA;
 //! - [`synth`] — seeded random well-typed, terminating programs for
 //!   differential and soundness property tests;
+//! - [`modules`] — seeded multi-module source sets (concatenation-safe)
+//!   for the session linker's differential tests and benches;
 //! - [`life`] / [`lexgen`] — substitutes for the paper's two SML
 //!   benchmarks (Table 2), with the substitution rationale documented in
 //!   DESIGN.md.
@@ -21,5 +23,6 @@ pub mod henglein;
 pub mod join_point;
 pub mod lexgen;
 pub mod life;
+pub mod modules;
 pub mod stdlib;
 pub mod synth;

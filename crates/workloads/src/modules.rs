@@ -1,0 +1,262 @@
+//! Seeded multi-module program generation for the session linker.
+//!
+//! Unlike [`crate::synth`], which builds a `Program` directly through the
+//! `ProgramBuilder`, this generator emits *concrete source text* split
+//! into named modules, because the session workspace (`stcfa-session`)
+//! consumes source fragments. Every module is a run of top-level
+//! declarations; only the final module carries a trailing value
+//! expression, so the in-order concatenation of all module sources is
+//! itself a well-formed whole program — the property the differential
+//! session tests and `benches/session.rs` rely on.
+//!
+//! Terms are drawn from a tiny two-level simple-type universe
+//! (`int -> int` and its transformer `(int -> int) -> (int -> int)`)
+//! plus a boxed-function datatype declared in the first module, so the
+//! generated programs are simply typed (bounded types, paper `P_k`) and
+//! later modules genuinely *import* earlier modules' bindings — both
+//! plain variables and datatype constructors cross module boundaries.
+
+use stcfa_devkit::prng::Rng;
+
+/// Parameters for [`module_sources`].
+#[derive(Clone, Debug)]
+pub struct ModulesConfig {
+    /// RNG seed: same seed, same module set.
+    pub seed: u64,
+    /// Number of modules to emit (min 1).
+    pub modules: usize,
+    /// Top-level declarations per module (min 1).
+    pub decls_per_module: usize,
+    /// Probability that a referenced name is drawn from an *earlier*
+    /// module rather than the current one, when both pools are
+    /// non-empty. Higher values mean a denser import graph.
+    pub cross_module_prob: f64,
+    /// Whether the first module declares `datatype box = B of …` and
+    /// later modules box/unbox functions through it, exercising
+    /// cross-module constructor references and `case` flow.
+    pub datatypes: bool,
+}
+
+impl Default for ModulesConfig {
+    fn default() -> Self {
+        ModulesConfig {
+            seed: 0,
+            modules: 4,
+            decls_per_module: 8,
+            cross_module_prob: 0.5,
+            datatypes: true,
+        }
+    }
+}
+
+/// The generator's type tags: `F1` is `int -> int`, `F2` is
+/// `(int -> int) -> (int -> int)`, `Boxed` is the datatype.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Tag {
+    F1,
+    F2,
+    Boxed,
+}
+
+/// A named top-level binding with its type tag and defining module.
+struct Decl {
+    name: String,
+    tag: Tag,
+    module: usize,
+}
+
+/// Picks a name of the wanted tag, preferring earlier modules with
+/// probability `cross_module_prob`. Returns `None` if no binding of
+/// that tag exists yet.
+fn pick<'a>(
+    rng: &mut Rng,
+    pool: &'a [Decl],
+    tag: Tag,
+    current_module: usize,
+    cross_prob: f64,
+) -> Option<&'a str> {
+    let candidates: Vec<&Decl> = pool.iter().filter(|d| d.tag == tag).collect();
+    if candidates.is_empty() {
+        return None;
+    }
+    let earlier: Vec<&&Decl> = candidates
+        .iter()
+        .filter(|d| d.module < current_module)
+        .collect();
+    if !earlier.is_empty() && rng.gen_bool(cross_prob) {
+        let i = rng.below(earlier.len() as u64) as usize;
+        return Some(&earlier[i].name);
+    }
+    let i = rng.below(candidates.len() as u64) as usize;
+    Some(&candidates[i].name)
+}
+
+/// Generates `(module_name, module_source)` pairs in link order.
+///
+/// Module names are `m0`, `m1`, …; concatenating the sources in order
+/// yields a single well-formed program equivalent to the linked
+/// session.
+pub fn module_sources(config: &ModulesConfig) -> Vec<(String, String)> {
+    let mut rng = Rng::seed_from_u64(config.seed);
+    let n_modules = config.modules.max(1);
+    let per_module = config.decls_per_module.max(1);
+    let mut pool: Vec<Decl> = Vec::new();
+    let mut out = Vec::with_capacity(n_modules);
+    let mut fresh = 0usize;
+    for m in 0..n_modules {
+        let mut src = String::new();
+        if m == 0 && config.datatypes {
+            src.push_str("datatype box = B of (int -> int) | E;\n");
+        }
+        for _ in 0..per_module {
+            fresh += 1;
+            let name = format!("g{fresh}_{m}");
+            let cp = config.cross_module_prob;
+            // Production weights: makers first so pools are never
+            // starved, then consumers that wire modules together.
+            let tag = match rng.below(10) {
+                0 | 1 => {
+                    // F1 maker: a ground function.
+                    let k = rng.below(9) + 1;
+                    if rng.gen_bool(0.5) {
+                        src.push_str(&format!("fun {name} x = x + {k};\n"));
+                    } else {
+                        src.push_str(&format!("val {name} = fn x => x * {k};\n"));
+                    }
+                    Tag::F1
+                }
+                2 | 3 => {
+                    // F2 maker: a transformer of ground functions.
+                    match rng.below(3) {
+                        0 => src.push_str(&format!("fun {name} f = fn y => f (f y);\n")),
+                        1 => src.push_str(&format!("val {name} = fn f => f;\n")),
+                        _ => src.push_str(&format!("fun {name} f = fn y => f y + 1;\n")),
+                    }
+                    Tag::F2
+                }
+                4 | 5 => {
+                    // F1 by application: transformer applied to a ground
+                    // function — the cross-module dom/ran edge workhorse.
+                    match (
+                        pick(&mut rng, &pool, Tag::F2, m, cp),
+                        pick(&mut rng, &pool, Tag::F1, m, cp),
+                    ) {
+                        (Some(f2), Some(f1)) => {
+                            src.push_str(&format!("val {name} = {f2} {f1};\n"));
+                            Tag::F1
+                        }
+                        _ => {
+                            src.push_str(&format!("fun {name} x = x;\n"));
+                            Tag::F1
+                        }
+                    }
+                }
+                6 => {
+                    // F1 through a record: build a pair, project it back.
+                    match (
+                        pick(&mut rng, &pool, Tag::F1, m, cp),
+                        pick(&mut rng, &pool, Tag::F1, m, cp),
+                    ) {
+                        (Some(a), Some(b)) => {
+                            src.push_str(&format!("val {name} = #1 ({a}, {b});\n"));
+                            Tag::F1
+                        }
+                        _ => {
+                            src.push_str(&format!("fun {name} x = x - 1;\n"));
+                            Tag::F1
+                        }
+                    }
+                }
+                7 if config.datatypes => {
+                    // Box a ground function in the module-0 datatype.
+                    match pick(&mut rng, &pool, Tag::F1, m, cp) {
+                        Some(f1) => {
+                            src.push_str(&format!("val {name} = B({f1});\n"));
+                            Tag::Boxed
+                        }
+                        None => {
+                            src.push_str(&format!("val {name} = E;\n"));
+                            Tag::Boxed
+                        }
+                    }
+                }
+                8 if config.datatypes => {
+                    // Unbox: cross-module `case` over the constructor.
+                    match pick(&mut rng, &pool, Tag::Boxed, m, cp) {
+                        Some(bx) => {
+                            src.push_str(&format!(
+                                "val {name} = case {bx} of B(g) => g | E => (fn z => z);\n"
+                            ));
+                            Tag::F1
+                        }
+                        None => {
+                            src.push_str(&format!("val {name} = fn x => x + 2;\n"));
+                            Tag::F1
+                        }
+                    }
+                }
+                _ => {
+                    // Join point: everything funneled through one
+                    // identity merges label sets (Section 2 pattern).
+                    match pick(&mut rng, &pool, Tag::F1, m, cp) {
+                        Some(f1) => {
+                            src.push_str(&format!("val {name} = (fn j => j) {f1};\n"));
+                            Tag::F1
+                        }
+                        None => {
+                            src.push_str(&format!("fun {name} x = x + 3;\n"));
+                            Tag::F1
+                        }
+                    }
+                }
+            };
+            pool.push(Decl {
+                name,
+                tag,
+                module: m,
+            });
+        }
+        if m + 1 == n_modules {
+            // Trailing value expression: drive a ground function so the
+            // whole program has observable flow at the root.
+            let f1 = pick(&mut rng, &pool, Tag::F1, m, 1.0).expect("F1 pool is never empty");
+            src.push_str(&format!("{f1} 7\n"));
+        }
+        out.push((format!("m{m}"), src));
+    }
+    out
+}
+
+/// Joins module sources in link order into one whole-program source.
+pub fn concatenated(sources: &[(String, String)]) -> String {
+    let mut all = String::new();
+    for (_, src) in sources {
+        all.push_str(src);
+    }
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concatenation_parses_as_a_whole_program() {
+        for seed in 0..8 {
+            let cfg = ModulesConfig {
+                seed,
+                ..ModulesConfig::default()
+            };
+            let sources = module_sources(&cfg);
+            assert_eq!(sources.len(), cfg.modules);
+            let whole = concatenated(&sources);
+            stcfa_lambda::Program::parse(&whole).expect("generated program parses");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = ModulesConfig::default();
+        assert_eq!(module_sources(&cfg), module_sources(&cfg));
+    }
+}

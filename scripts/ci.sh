@@ -66,6 +66,35 @@ fi
 printf '%s\n' "$smoke_out" | sed -n '2p' | grep -q '"cached":true' \
   || { echo "server smoke: warm analyze was not a cache hit" >&2; exit 1; }
 
+echo "== session: multi-module smoke over stdio =="
+# Split a corpus program into 3 modules and drive a full protocol-v2
+# session conversation (open -> query -> update one module -> query ->
+# lint -> close) through the release daemon. Gates: every response
+# ok:true, the update relinks exactly the edited module, and the
+# transcript is byte-identical at 1, 2 and 8 worker threads.
+session_requests="$(./target/release/stcfa session corpus/higher_order.ml --split 3 --emit-requests --update-last)"
+session_ref=""
+for t in 1 2 8; do
+  out="$(printf '%s\n' "$session_requests" | ./target/release/stcfa serve --stdio --threads "$t")"
+  if printf '%s\n' "$out" | grep -q '"ok":false'; then
+    echo "session smoke: a request failed at --threads $t" >&2
+    printf '%s\n' "$out" >&2
+    exit 1
+  fi
+  if [ -z "$session_ref" ]; then
+    session_ref="$out"
+    printf '%s\n' "$out" | sed -n '1p' | grep -q '"relinked":3' \
+      || { echo "session smoke: open did not link 3 modules" >&2; exit 1; }
+    printf '%s\n' "$out" | sed -n '3p' | grep -q '"reused":2,"relinked":1' \
+      || { echo "session smoke: update did not reuse the unchanged prefix" >&2; exit 1; }
+  elif [ "$out" != "$session_ref" ]; then
+    echo "session smoke: transcript differs between --threads 1 and --threads $t" >&2
+    diff <(printf '%s\n' "$session_ref") <(printf '%s\n' "$out") >&2 || true
+    exit 1
+  fi
+done
+echo "-- session transcripts byte-identical at threads 1/2/8"
+
 echo "== benches compile (not run) =="
 cargo bench --no-run --offline
 

@@ -36,6 +36,18 @@
 //!   stcfa client --addr HOST:PORT [--request <json>]
 //!                      forward stdin lines (or one --request) to a daemon
 //!
+//! SESSION MODE
+//!   stcfa session [FILE...] [--module NAME=PATH]... [--split <n>]
+//!                 [--policy ...] [--lint] [--emit-requests [--update-last]]
+//!                      link the files as a multi-file analysis session
+//!                      (each FILE is a module named by its stem; --split n
+//!                      cuts a single file at top-level boundaries into n
+//!                      modules) and print the link report; --lint adds
+//!                      module-attributed diagnostics; --emit-requests
+//!                      prints the equivalent protocol-v2 `session/*`
+//!                      request lines instead (pipe into `stcfa serve
+//!                      --stdio`); see docs/SESSIONS.md
+//!
 //! OPTIONS
 //!   --analysis <sub|poly|hybrid|cfa0|sba|unify>   engine for label queries (default sub)
 //!   --policy <c1|c2|exact|forget>                 datatype congruence (default c1)
@@ -170,6 +182,7 @@ fn usage() -> &'static str {
      \tor: stcfa lint <FILE|-> [--format text|json] [--policy ...] [--threads <n>]\n\
      \tor: stcfa serve [--stdio|--addr HOST:PORT] [--threads <n>] [--cache-capacity <bytes>] [--deadline-ms <n>]\n\
      \tor: stcfa client --addr HOST:PORT [--request <json>]\n\
+     \tor: stcfa session [FILE...] [--module NAME=PATH]* [--split <n>] [--policy ...] [--lint] [--emit-requests [--update-last]]\n\
      \tor: stcfa --repl    (incremental session on stdin)\n\
      \tor: stcfa --version"
 }
@@ -424,6 +437,237 @@ fn run_lint(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `stcfa session [FILE...] [--module NAME=PATH]... [--split n] [--policy ...]
+/// [--lint] [--emit-requests [--update-last]]`: link files as a multi-file
+/// analysis session and report on the link graph, or emit the equivalent
+/// protocol-v2 request lines for `stcfa serve --stdio`.
+fn run_session(args: &[String]) -> Result<(), CliError> {
+    use stcfa::lint::{lint, LintOptions};
+    use stcfa::server::Json;
+    use stcfa::session::{split, Workspace};
+
+    let mut files: Vec<String> = Vec::new();
+    let mut named: Vec<(String, String)> = Vec::new();
+    let mut split_n: Option<usize> = None;
+    let mut policy = DatatypePolicy::Congruence1;
+    let mut do_lint = false;
+    let mut emit_requests = false;
+    let mut update_last = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--module" => {
+                let raw = it.next().ok_or_else(|| {
+                    CliError::BadValue(format!("--module needs NAME=PATH\n{}", usage()))
+                })?;
+                let (name, path) = raw.split_once('=').ok_or_else(|| {
+                    CliError::BadValue(format!("--module expects NAME=PATH, got `{raw}`"))
+                })?;
+                named.push((name.to_owned(), path.to_owned()));
+            }
+            "--split" => split_n = Some(flag_value(&mut it, "--split")?),
+            "--policy" => policy = parse_policy_flag(it.next().map(String::as_str))?,
+            "--lint" => do_lint = true,
+            "--emit-requests" => emit_requests = true,
+            "--update-last" => update_last = true,
+            other if !other.starts_with("--") => files.push(other.to_owned()),
+            other => {
+                return Err(CliError::Usage(format!(
+                    "unexpected argument `{other}`\n{}",
+                    usage()
+                )))
+            }
+        }
+    }
+    if update_last && !emit_requests {
+        return Err(CliError::Usage(
+            "--update-last only applies with --emit-requests".to_owned(),
+        ));
+    }
+
+    // Assemble the module list: named --module pairs first (in flag
+    // order), then positional files named by their stem; --split cuts a
+    // single positional file at top-level boundaries instead.
+    let stem = |path: &str| -> String {
+        std::path::Path::new(path)
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| path.to_owned())
+    };
+    let mut modules: Vec<(String, String)> = Vec::new();
+    for (name, path) in &named {
+        modules.push((name.clone(), read_source(path)?));
+    }
+    match split_n {
+        Some(parts) => {
+            if files.len() != 1 || !named.is_empty() {
+                return Err(CliError::Usage(
+                    "--split expects exactly one FILE and no --module flags".to_owned(),
+                ));
+            }
+            let path = &files[0];
+            let source = read_source(path)?;
+            let pieces = split::split_even(&source, parts).map_err(CliError::Runtime)?;
+            let base = stem(path);
+            for (i, piece) in pieces.into_iter().enumerate() {
+                modules.push((format!("{base}.{i}"), piece));
+            }
+        }
+        None => {
+            for path in &files {
+                modules.push((stem(path), read_source(path)?));
+            }
+        }
+    }
+    if modules.is_empty() {
+        return Err(CliError::Usage(format!(
+            "session needs at least one module\n{}",
+            usage()
+        )));
+    }
+
+    if emit_requests {
+        // The protocol-v2 conversation equivalent to this invocation,
+        // one request per line (the ci.sh session smoke pipes this into
+        // `stcfa serve --stdio` at several thread counts).
+        let policy_name = match policy {
+            DatatypePolicy::Congruence1 => "c1",
+            DatatypePolicy::Congruence2 => "c2",
+            DatatypePolicy::Exact => "exact",
+            DatatypePolicy::Forget => "forget",
+        };
+        let module_objs = |mods: &[(String, String)]| {
+            Json::Arr(
+                mods.iter()
+                    .map(|(name, source)| {
+                        Json::obj(vec![
+                            ("name", Json::str(name.clone())),
+                            ("source", Json::str(source.clone())),
+                        ])
+                    })
+                    .collect(),
+            )
+        };
+        let mut id = 0u64;
+        let mut emit = |op: &str, extra: Vec<(&str, Json)>| {
+            let mut pairs = vec![
+                ("v", Json::num(2)),
+                ("id", Json::num(id)),
+                ("op", Json::str(op)),
+            ];
+            if op != "shutdown" {
+                pairs.push(("session", Json::str("cli")));
+            }
+            pairs.extend(extra);
+            println!(
+                "{}",
+                Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_owned(), v)).collect(),).to_line()
+            );
+            id += 1;
+        };
+        emit(
+            "session/open",
+            vec![
+                ("policy", Json::str(policy_name)),
+                ("modules", module_objs(&modules)),
+            ],
+        );
+        emit("session/query", vec![("kind", Json::str("label-set"))]);
+        if update_last {
+            // Re-upsert the last module with a trailing newline: a
+            // content change that leaves the analysis identical, so the
+            // update path (unpin old, pin new) is exercised end to end.
+            let (name, source) = modules.last().expect("nonempty").clone();
+            let edited = vec![(name, format!("{source}\n"))];
+            emit("session/update", vec![("modules", module_objs(&edited))]);
+            emit("session/query", vec![("kind", Json::str("label-set"))]);
+        }
+        emit("session/lint", vec![]);
+        emit("session/close", vec![]);
+        // Shutdown is v1; keep the whole transcript v2 for simplicity.
+        emit("shutdown", vec![]);
+        return Ok(());
+    }
+
+    let mut workspace = Workspace::new(AnalysisOptions {
+        policy,
+        max_nodes: None,
+    });
+    for (name, source) in &modules {
+        if workspace.module(name).is_some() {
+            return Err(CliError::Usage(format!("duplicate module name `{name}`")));
+        }
+        workspace.upsert(name, source);
+    }
+    let report = workspace.link().map_err(|e| e.to_string())?;
+    println!(
+        "session: {} modules, digest {:016x}",
+        report.modules.len(),
+        report.session_digest
+    );
+    for m in &report.modules {
+        let imports = if m.imports.is_empty() {
+            "-".to_owned()
+        } else {
+            m.imports.join(", ")
+        };
+        println!(
+            "  {}: {} exprs, {} exports, imports: {imports}",
+            m.name,
+            m.exprs,
+            m.exports.len()
+        );
+    }
+    println!(
+        "graph:   {} nodes, {} edges over {} exprs",
+        report.nodes, report.edges, report.exprs
+    );
+    let snapshot = workspace.freeze().expect("just linked");
+    if let Some(value) = report.default_value() {
+        let engine = snapshot.engine(&workspace).expect("workspace unchanged");
+        let labels = engine.labels_of(value);
+        let names: Vec<String> = labels
+            .iter()
+            .map(|&l| lam_name(snapshot.program(), l))
+            .collect();
+        println!(
+            "value:   {} ({{{}}}) in module {}",
+            labels.len(),
+            names.join(", "),
+            report.module_of_expr(value).unwrap_or("?")
+        );
+    }
+    if do_lint {
+        let diags = lint(
+            snapshot.program(),
+            snapshot.analysis(),
+            snapshot.engine(&workspace).expect("workspace unchanged"),
+            &LintOptions::default(),
+        );
+        for d in &diags {
+            let module = report.module_of_expr(d.expr).unwrap_or("?");
+            match d.span {
+                Some(s) => println!(
+                    "{module}:{}:{}: {} [{}] {}",
+                    s.start.line,
+                    s.start.col,
+                    d.severity.as_str(),
+                    d.code.as_str(),
+                    d.message
+                ),
+                None => println!(
+                    "{module}: {} [{}] {}",
+                    d.severity.as_str(),
+                    d.code.as_str(),
+                    d.message
+                ),
+            }
+        }
+        println!("lint:    {} diagnostic(s)", diags.len());
+    }
+    Ok(())
+}
+
 /// `stcfa serve [--stdio | --addr HOST:PORT] [--threads n]
 /// [--cache-capacity bytes] [--deadline-ms n]`: run the analysis daemon.
 /// Defaults to the stdio transport when no `--addr` is given.
@@ -577,6 +821,7 @@ fn run() -> Result<(), CliError> {
         Some("lint") => return run_lint(&args[1..]),
         Some("serve") => return run_serve(&args[1..]),
         Some("client") => return run_client(&args[1..]),
+        Some("session") => return run_session(&args[1..]),
         _ => {}
     }
     let options = parse_args(&args)?;

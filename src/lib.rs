@@ -16,6 +16,8 @@
 //!   called-once, inlining).
 //! - [`server`] — the long-running analysis daemon with its
 //!   content-addressed snapshot cache (`stcfa serve`).
+//! - [`session`] — multi-file analysis sessions: named modules, the
+//!   import/link graph, and the incremental linker (`stcfa session`).
 //! - [`workloads`] — benchmark and test program generators.
 //!
 //! # Quickstart
@@ -42,6 +44,7 @@ pub use stcfa_lambda as lambda;
 pub use stcfa_lint as lint;
 pub use stcfa_sba as sba;
 pub use stcfa_server as server;
+pub use stcfa_session as session;
 pub use stcfa_types as types;
 pub use stcfa_unify as unify;
 pub use stcfa_workloads as workloads;

@@ -295,6 +295,144 @@ fn tcp_transport_and_client_helper() {
 }
 
 #[test]
+fn session_flow_over_stdio() {
+    let mut d = Daemon::spawn(2);
+    let open = d.roundtrip(
+        r#"{"v":2,"id":1,"op":"session/open","session":"s1","modules":[{"name":"util","source":"fun id x = x;"},{"name":"main","source":"id (fn u => u)"}]}"#,
+    );
+    assert_eq!(field(&open, "ok"), "true", "{open}");
+    assert_eq!(field(&open, "v"), "2", "{open}");
+    assert_eq!(field(&open, "relinked"), "2", "{open}");
+    let digest = field(&open, "digest").trim_matches('"').to_owned();
+    assert_eq!(digest.len(), 16, "{open}");
+
+    let q = d.roundtrip(r#"{"v":2,"id":2,"op":"session/query","session":"s1","kind":"label-set"}"#);
+    assert_eq!(field(&q, "count"), "1", "{q}");
+
+    // The open session pins its linked snapshot: `evict` must refuse
+    // with the structured kind, and the session must keep serving.
+    let pinned = d.roundtrip(&format!(
+        r#"{{"v":2,"id":3,"op":"evict","snapshot":"{digest}"}}"#
+    ));
+    assert_eq!(field(&pinned, "ok"), "false", "{pinned}");
+    assert_eq!(field(&pinned, "kind"), r#""pinned-snapshot""#, "{pinned}");
+
+    // The stats report covers the session/pinning fields (the cache
+    // byte budget, tombstone count, and open-session pin count).
+    let stats = d.roundtrip(r#"{"op":"stats"}"#);
+    assert_eq!(field(&stats, "protocol"), "2", "{stats}");
+    assert_eq!(field(&stats, "sessions"), "1", "{stats}");
+    assert_eq!(field(&stats, "pinned"), "1", "{stats}");
+    assert_eq!(field(&stats, "tombstones"), "0", "{stats}");
+    assert!(
+        field(&stats, "capacity_bytes").parse::<u64>().unwrap() > 0,
+        "{stats}"
+    );
+
+    // Hot reload: updating one module reuses the other verbatim — same
+    // per-module generation — and re-pins under the new digest.
+    let update = d.roundtrip(
+        r#"{"v":2,"id":4,"op":"session/update","session":"s1","modules":[{"name":"main","source":"id (fn v => v)"}]}"#,
+    );
+    assert_eq!(field(&update, "ok"), "true", "{update}");
+    assert_eq!(field(&update, "reused"), "1", "{update}");
+    assert_eq!(field(&update, "relinked"), "1", "{update}");
+    let new_digest = field(&update, "digest").trim_matches('"').to_owned();
+    assert_ne!(new_digest, digest, "{update}");
+    let (open_mods, update_mods) = (field(&open, "modules"), field(&update, "modules"));
+    assert_eq!(
+        field(update_mods, "generation"),
+        field(open_mods, "generation"),
+        "unchanged `util` must keep its generation: {update}"
+    );
+    assert_eq!(field(update_mods, "reused"), "true", "{update}");
+
+    let q2 =
+        d.roundtrip(r#"{"v":2,"id":5,"op":"session/query","session":"s1","kind":"label-set"}"#);
+    assert_eq!(field(&q2, "count"), "1", "{q2}");
+
+    // The superseded snapshot is unpinned — evicting it now succeeds
+    // and leaves a tombstone.
+    let gone = d.roundtrip(&format!(r#"{{"op":"evict","snapshot":"{digest}"}}"#));
+    assert_eq!(field(&gone, "evicted"), "true", "{gone}");
+    let stats = d.roundtrip(r#"{"op":"stats"}"#);
+    assert_eq!(field(&stats, "tombstones"), "1", "{stats}");
+    assert_eq!(field(&stats, "pinned"), "1", "{stats}");
+
+    // Closing unpins; the linked snapshot then evicts like any other.
+    let close = d.roundtrip(r#"{"v":2,"op":"session/close","session":"s1"}"#);
+    assert_eq!(field(&close, "closed"), "true", "{close}");
+    let evict = d.roundtrip(&format!(r#"{{"op":"evict","snapshot":"{new_digest}"}}"#));
+    assert_eq!(field(&evict, "evicted"), "true", "{evict}");
+    let stats = d.roundtrip(r#"{"op":"stats"}"#);
+    assert_eq!(field(&stats, "sessions"), "0", "{stats}");
+    assert_eq!(field(&stats, "pinned"), "0", "{stats}");
+    d.shutdown();
+}
+
+#[test]
+fn session_transcripts_are_byte_identical_across_thread_counts() {
+    // The whole v2 conversation is piped in one write and stdin closed —
+    // the pipelined path, where worker scheduling could reorder effects —
+    // and the transcript must still be byte-identical at every worker
+    // count (session ops are sequenced by the server's order gate).
+    let mut input = String::new();
+    for (i, req) in [
+        r#""op":"session/open","session":"w","modules":[{"name":"a","source":"fun f x = x;"},{"name":"b","source":"val p = f (fn u => u);"},{"name":"c","source":"p"}]"#.to_owned(),
+        r#""op":"session/query","session":"w","kind":"label-set""#.to_owned(),
+        format!(r#""op":"analyze","source":"{SRC}""#),
+        r#""op":"session/update","session":"w","modules":[{"name":"c","source":"f p"}]"#.to_owned(),
+        r#""op":"session/query","session":"w","kind":"label-set""#.to_owned(),
+        r#""op":"session/lint","session":"w""#.to_owned(),
+        r#""op":"session/query","session":"nosuch","kind":"label-set""#.to_owned(),
+        r#""op":"session/close","session":"w""#.to_owned(),
+    ]
+    .iter()
+    .enumerate()
+    {
+        input.push_str(&format!(r#"{{"v":2,"id":{i},{req}}}"#));
+        input.push('\n');
+    }
+    let mut transcripts = Vec::new();
+    for threads in [1usize, 2, 8] {
+        let mut child = stcfa()
+            .args(["serve", "--stdio", "--threads", &threads.to_string()])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .unwrap();
+        child
+            .stdin
+            .take()
+            .unwrap()
+            .write_all(input.as_bytes())
+            .unwrap();
+        let mut output = String::new();
+        child
+            .stdout
+            .take()
+            .unwrap()
+            .read_to_string(&mut output)
+            .unwrap();
+        assert!(child.wait().unwrap().success());
+        assert_eq!(output.lines().count(), 8, "--threads {threads}: {output}");
+        assert!(
+            output.contains(r#""kind":"unknown-session""#),
+            "--threads {threads}: {output}"
+        );
+        transcripts.push((threads, output));
+    }
+    let (_, reference) = &transcripts[0];
+    for (threads, transcript) in &transcripts[1..] {
+        assert_eq!(
+            transcript, reference,
+            "session transcript diverged at --threads {threads}"
+        );
+    }
+}
+
+#[test]
 fn batch_pipeline_preserves_request_order() {
     // Not sequential round-trips: pipe a whole batch at once and close
     // stdin. Responses must come back in request order and all be served.
