@@ -108,6 +108,68 @@ struct DemandMemo {
     rows: Vec<Option<Box<[u64]>>>,
 }
 
+/// A borrowed view of an engine's frozen arrays, for serialization
+/// (see [`QueryEngine::to_parts`]). Only the forward CSR and the
+/// node → component assignment are exported: the reverse CSR, the DAG,
+/// the member lists and the inverse index are all rederivable in
+/// `O(V + E)` and are rebuilt on decode rather than trusted off disk.
+#[derive(Clone, Copy, Debug)]
+pub struct EnginePartsRef<'a> {
+    /// Forward CSR (offsets + targets via its accessors).
+    pub csr: &'a Csr,
+    /// Node → SCC id, reverse-topological.
+    pub comp_of: &'a [u32],
+    /// Node → label index (`u32::MAX` = none).
+    pub node_label: &'a [u32],
+    /// Expression occurrence → node.
+    pub expr_nodes: &'a [u32],
+    /// Binder → node.
+    pub binder_nodes: &'a [u32],
+    /// Binder → occurrence-list offsets (CSR-style over `occ_exprs`).
+    pub occ_offsets: &'a [u32],
+    /// Flattened variable-occurrence expression ids.
+    pub occ_exprs: &'a [u32],
+    /// Number of abstraction labels.
+    pub label_count: usize,
+    /// Completed full-sweep label rows (`comp_count × words` `u64`s), if
+    /// the sweep has run.
+    pub summaries: Option<&'a [u64]>,
+    /// The frozen analysis' build-phase statistics.
+    pub base_stats: AnalysisStats,
+    /// The session generation tag, if any.
+    pub generation: Option<u64>,
+}
+
+/// Owned decoded arrays for [`QueryEngine::from_parts`] (the persistence
+/// tier's decode path). Field meanings match [`EnginePartsRef`].
+#[derive(Clone, Debug, Default)]
+pub struct EngineParts {
+    /// Forward CSR offsets (`node_count + 1` entries).
+    pub csr_offsets: Vec<u32>,
+    /// Forward CSR targets.
+    pub csr_targets: Vec<u32>,
+    /// Node → SCC id, reverse-topological.
+    pub comp_of: Vec<u32>,
+    /// Node → label index (`u32::MAX` = none).
+    pub node_label: Vec<u32>,
+    /// Expression occurrence → node.
+    pub expr_nodes: Vec<u32>,
+    /// Binder → node.
+    pub binder_nodes: Vec<u32>,
+    /// Binder → occurrence-list offsets.
+    pub occ_offsets: Vec<u32>,
+    /// Flattened variable-occurrence expression ids.
+    pub occ_exprs: Vec<u32>,
+    /// Number of abstraction labels.
+    pub label_count: usize,
+    /// Completed full-sweep label rows, if persisted.
+    pub summaries: Option<Vec<u64>>,
+    /// The frozen analysis' build-phase statistics.
+    pub base_stats: AnalysisStats,
+    /// The session generation tag, if any.
+    pub generation: Option<u64>,
+}
+
 /// An immutable, thread-shareable query snapshot of a finished
 /// [`Analysis`]. See the [module docs](self) for the design.
 pub struct QueryEngine {
@@ -227,6 +289,125 @@ impl QueryEngine {
             base_stats: analysis.stats(),
             generation,
         }
+    }
+
+    // --- persistence --------------------------------------------------------
+
+    /// Borrows the engine's frozen arrays for serialization (the
+    /// persistence tier's encode path). The parts round-trip exactly
+    /// through [`QueryEngine::from_parts`]: a decoded engine answers every
+    /// query identically, node for node.
+    pub fn to_parts(&self) -> EnginePartsRef<'_> {
+        EnginePartsRef {
+            csr: &self.csr,
+            comp_of: self.cond.comp_of_slice(),
+            node_label: &self.node_label,
+            expr_nodes: &self.expr_nodes,
+            binder_nodes: &self.binder_nodes,
+            occ_offsets: &self.occ_offsets,
+            occ_exprs: &self.occ_exprs,
+            label_count: self.label_count,
+            summaries: self.summaries.get().map(Vec::as_slice),
+            base_stats: self.base_stats,
+            generation: self.generation,
+        }
+    }
+
+    /// Reassembles an engine from decoded parts (the persistence tier's
+    /// decode path). The input is *untrusted* — it may come off disk — so
+    /// every structural invariant the query paths rely on is re-verified:
+    /// a malformed shape is a structured error, never a panic and never a
+    /// wrong answer. The reverse CSR and (if absent) the summary rows and
+    /// inverse index are rederived rather than trusted.
+    pub fn from_parts(parts: EngineParts) -> Result<QueryEngine, String> {
+        let csr = Csr::from_raw_parts(parts.csr_offsets, parts.csr_targets)?;
+        let cond = Condensation::from_comp_of(&csr, parts.comp_of)?;
+        let n = csr.node_count();
+        if parts.node_label.len() != n {
+            return Err(format!(
+                "engine: node_label has {} entries for {n} nodes",
+                parts.node_label.len()
+            ));
+        }
+        for (i, &l) in parts.node_label.iter().enumerate() {
+            if l != u32::MAX && l as usize >= parts.label_count {
+                return Err(format!(
+                    "engine: node {i} carries label {l}, out of range {}",
+                    parts.label_count
+                ));
+            }
+        }
+        for (what, nodes) in [
+            ("expr_nodes", &parts.expr_nodes),
+            ("binder_nodes", &parts.binder_nodes),
+        ] {
+            if let Some(&bad) = nodes.iter().find(|&&v| v as usize >= n) {
+                return Err(format!(
+                    "engine: {what} references node {bad}, out of range {n}"
+                ));
+            }
+        }
+        if parts.occ_offsets.len() != parts.binder_nodes.len() + 1 {
+            return Err(format!(
+                "engine: occ_offsets has {} entries for {} binders",
+                parts.occ_offsets.len(),
+                parts.binder_nodes.len()
+            ));
+        }
+        if parts.occ_offsets.first() != Some(&0) {
+            return Err("engine: occ_offsets must start at 0".to_owned());
+        }
+        if parts.occ_offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err("engine: occ_offsets not monotone".to_owned());
+        }
+        if *parts.occ_offsets.last().expect("non-empty") as usize != parts.occ_exprs.len() {
+            return Err(format!(
+                "engine: final occ_offset {} != occurrence count {}",
+                parts.occ_offsets.last().expect("non-empty"),
+                parts.occ_exprs.len()
+            ));
+        }
+        if let Some(&bad) = parts
+            .occ_exprs
+            .iter()
+            .find(|&&e| e as usize >= parts.expr_nodes.len())
+        {
+            return Err(format!(
+                "engine: occurrence references expression {bad}, out of range {}",
+                parts.expr_nodes.len()
+            ));
+        }
+        let words = parts.label_count.div_ceil(64).max(1);
+        let summaries = OnceLock::new();
+        if let Some(rows) = parts.summaries {
+            if rows.len() != cond.comp_count() * words {
+                return Err(format!(
+                    "engine: {} summary words for {} components × {words} words",
+                    rows.len(),
+                    cond.comp_count()
+                ));
+            }
+            summaries.set(rows).expect("fresh OnceLock");
+        }
+        let rev = csr.reverse();
+        Ok(QueryEngine {
+            csr,
+            rev,
+            cond,
+            node_label: parts.node_label,
+            expr_nodes: parts.expr_nodes,
+            binder_nodes: parts.binder_nodes,
+            occ_offsets: parts.occ_offsets,
+            occ_exprs: parts.occ_exprs,
+            label_count: parts.label_count,
+            words,
+            summaries,
+            inverse: OnceLock::new(),
+            demand: Mutex::new(DemandMemo { rows: Vec::new() }),
+            counters: Counters::default(),
+            base_stats: parts.base_stats,
+            generation: parts.generation,
+        })
     }
 
     // --- snapshot shape -----------------------------------------------------
@@ -740,6 +921,118 @@ mod tests {
             assert_eq!(q.batch(&queries, t), one, "thread count {t}");
         }
         assert!(q.query_stats().batches >= 5);
+    }
+
+    fn owned_parts(q: &QueryEngine) -> EngineParts {
+        let p = q.to_parts();
+        EngineParts {
+            csr_offsets: p.csr.offsets().to_vec(),
+            csr_targets: p.csr.targets().to_vec(),
+            comp_of: p.comp_of.to_vec(),
+            node_label: p.node_label.to_vec(),
+            expr_nodes: p.expr_nodes.to_vec(),
+            binder_nodes: p.binder_nodes.to_vec(),
+            occ_offsets: p.occ_offsets.to_vec(),
+            occ_exprs: p.occ_exprs.to_vec(),
+            label_count: p.label_count,
+            summaries: p.summaries.map(<[u64]>::to_vec),
+            base_stats: p.base_stats,
+            generation: p.generation,
+        }
+    }
+
+    #[test]
+    fn parts_round_trip_answers_identically() {
+        for src in [SELF_APP, JOIN, "#1 ((fn x => x), (fn y => y)) 4"] {
+            let (p, _, q) = engine_for(src);
+            q.prepare(); // persist the swept rows too
+            let r = QueryEngine::from_parts(owned_parts(&q)).expect("round trip");
+            for e in p.exprs() {
+                assert_eq!(q.labels_of(e), r.labels_of(e), "at {e:?} in {src:?}");
+            }
+            for v in p.vars() {
+                assert_eq!(q.labels_of_binder(v), r.labels_of_binder(v));
+                assert_eq!(
+                    q.occurrences_of(v).collect::<Vec<_>>(),
+                    r.occurrences_of(v).collect::<Vec<_>>()
+                );
+            }
+            for l in p.all_labels() {
+                assert_eq!(q.exprs_with_label(l), r.exprs_with_label(l));
+            }
+            assert_eq!(q.all_label_sets(), r.all_label_sets());
+            assert_eq!(q.base_stats, r.base_stats);
+            assert_eq!(q.generation(), r.generation());
+            // The decoded engine starts with the persisted sweep: no
+            // demand-mode misses, no second sweep.
+            assert_eq!(r.query_stats().sweeps, 0);
+            assert_eq!(r.query_stats().demand_misses, 0);
+        }
+    }
+
+    #[test]
+    fn from_parts_rejects_malformed_shapes() {
+        let (_, _, q) = engine_for(JOIN);
+        q.prepare();
+        let good = owned_parts(&q);
+        assert!(QueryEngine::from_parts(good.clone()).is_ok());
+        type Mutation = Box<dyn Fn(&mut EngineParts)>;
+        let cases: Vec<(&str, Mutation)> = vec![
+            (
+                "truncated node_label",
+                Box::new(|p| {
+                    p.node_label.pop();
+                }),
+            ),
+            (
+                "label out of range",
+                Box::new(|p| p.node_label[0] = 1 << 20),
+            ),
+            (
+                "expr node out of range",
+                Box::new(|p| p.expr_nodes[0] = u32::MAX - 1),
+            ),
+            (
+                "binder node out of range",
+                Box::new(|p| p.binder_nodes[0] = u32::MAX - 1),
+            ),
+            (
+                "occ_offsets non-monotone",
+                Box::new(|p| p.occ_offsets[0] = 9),
+            ),
+            (
+                "occurrence out of range",
+                Box::new(|p| {
+                    if p.occ_exprs.is_empty() {
+                        p.occ_exprs.push(u32::MAX);
+                        p.occ_offsets.pop();
+                    } else {
+                        p.occ_exprs[0] = u32::MAX;
+                    }
+                }),
+            ),
+            (
+                "summary rows wrong size",
+                Box::new(|p| {
+                    p.summaries.as_mut().expect("prepared").pop();
+                }),
+            ),
+            (
+                "comp_of length mismatch",
+                Box::new(|p| {
+                    p.comp_of.pop();
+                }),
+            ),
+            ("csr offsets corrupted", Box::new(|p| p.csr_offsets[0] = 3)),
+        ];
+        for (what, mutate) in cases {
+            let mut parts = good.clone();
+            mutate(&mut parts);
+            assert!(
+                QueryEngine::from_parts(parts).is_err(),
+                "{what}: malformed parts must be a structured error"
+            );
+        }
     }
 
     #[test]

@@ -37,7 +37,14 @@ impl Condensation {
     /// Condenses `graph`.
     pub fn build(graph: &Csr) -> Condensation {
         let (comp_of, comp_count) = tarjan(graph);
+        Self::assemble(graph, comp_of, comp_count)
+    }
 
+    /// Derives the condensed DAG and member lists from a node → component
+    /// assignment. `comp_of` is trusted here; the public entry points are
+    /// [`Condensation::build`] (Tarjan computed it) and
+    /// [`Condensation::from_comp_of`] (validated first).
+    fn assemble(graph: &Csr, comp_of: Vec<u32>, comp_count: usize) -> Condensation {
         // Condensed edges, deduplicated. Because each component's successors
         // all have smaller ids, sorting each adjacency slice and deduping is
         // exact; dedup per source keeps the DAG linear in the input.
@@ -78,6 +85,44 @@ impl Condensation {
             member_offsets,
             member_nodes,
         }
+    }
+
+    /// Reassembles a condensation from a persisted node → component
+    /// assignment (the persistence tier's decode path), skipping Tarjan.
+    ///
+    /// The input is *untrusted*: every id must be in range, every
+    /// component in `0..max+1` must be inhabited, and the reassembled DAG
+    /// must satisfy the reverse-topological numbering invariant
+    /// ([`Condensation::check_order`]) — any violation is a structured
+    /// error, never a panic. (Whether the partition is the *true* SCC
+    /// partition is not re-proved here; the persistence layer's
+    /// whole-file integrity digest guards against corrupted-but-
+    /// well-formed assignments.)
+    pub fn from_comp_of(graph: &Csr, comp_of: Vec<u32>) -> Result<Condensation, String> {
+        if comp_of.len() != graph.node_count() {
+            return Err(format!(
+                "condensation: comp_of has {} entries for {} nodes",
+                comp_of.len(),
+                graph.node_count()
+            ));
+        }
+        let comp_count = comp_of.iter().map(|&c| c as usize + 1).max().unwrap_or(0);
+        let mut inhabited = vec![false; comp_count];
+        for &c in &comp_of {
+            inhabited[c as usize] = true;
+        }
+        if let Some(empty) = inhabited.iter().position(|&b| !b) {
+            return Err(format!("condensation: component {empty} has no members"));
+        }
+        let cond = Self::assemble(graph, comp_of, comp_count);
+        cond.check_order()?;
+        Ok(cond)
+    }
+
+    /// The raw node → component array, for serializers.
+    #[inline]
+    pub fn comp_of_slice(&self) -> &[u32] {
+        &self.comp_of
     }
 
     /// The component of `node`.
@@ -299,6 +344,32 @@ mod tests {
         let top = c.comp_of(0);
         assert_eq!(c.dag().succs(top).len(), 1, "parallel edges collapse");
         c.check_order().unwrap();
+    }
+
+    #[test]
+    fn from_comp_of_round_trips_and_rejects_malformed() {
+        let g = csr(4, &[(0, 1), (1, 2), (2, 0), (2, 3)]);
+        let built = Condensation::build(&g);
+        let rebuilt = Condensation::from_comp_of(&g, built.comp_of_slice().to_vec()).unwrap();
+        assert_eq!(rebuilt.comp_count(), built.comp_count());
+        assert_eq!(rebuilt.comp_of_slice(), built.comp_of_slice());
+        for c in 0..built.comp_count() {
+            assert_eq!(rebuilt.members(c), built.members(c));
+            assert_eq!(rebuilt.dag().succs(c), built.dag().succs(c));
+        }
+        // Malformed assignments are structured errors, never panics.
+        assert!(
+            Condensation::from_comp_of(&g, vec![0, 0, 0]).is_err(),
+            "length mismatch"
+        );
+        assert!(
+            Condensation::from_comp_of(&g, vec![0, 0, 0, 2]).is_err(),
+            "uninhabited component id"
+        );
+        assert!(
+            Condensation::from_comp_of(&g, vec![0, 0, 0, 1]).is_err(),
+            "violates reverse-topological order: the sink must get the smaller id"
+        );
     }
 
     #[test]

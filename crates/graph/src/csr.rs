@@ -82,6 +82,32 @@ impl Csr {
         Self::from_succs(g.node_count(), |u| g.succs(u))
     }
 
+    /// Reassembles a CSR from its two raw arrays (the persistence tier's
+    /// decode path). Unlike the freezing constructors this input is
+    /// *untrusted* — the arrays may come off disk — so the full
+    /// [`Csr::audit`] runs and a malformed shape is a structured error,
+    /// never a panic.
+    pub fn from_raw_parts(offsets: Vec<u32>, targets: Vec<u32>) -> Result<Csr, String> {
+        if offsets.is_empty() {
+            return Err("csr: offsets array is empty (needs node_count + 1 entries)".to_owned());
+        }
+        let csr = Csr { offsets, targets };
+        csr.audit()?;
+        Ok(csr)
+    }
+
+    /// The raw offset array (`node_count() + 1` entries), for serializers.
+    #[inline]
+    pub fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// The raw target array, grouped by source, for serializers.
+    #[inline]
+    pub fn targets(&self) -> &[u32] {
+        &self.targets
+    }
+
     /// Number of nodes.
     #[inline]
     pub fn node_count(&self) -> usize {
@@ -257,6 +283,27 @@ mod tests {
         assert_eq!(diamond().audit(), Ok(()));
         assert_eq!(diamond().reverse().audit(), Ok(()));
         assert_eq!(Csr::from_edges(0, &[]).audit(), Ok(()));
+    }
+
+    #[test]
+    fn from_raw_parts_round_trips_and_rejects_malformed() {
+        let g = diamond();
+        let rebuilt = Csr::from_raw_parts(g.offsets().to_vec(), g.targets().to_vec()).unwrap();
+        assert_eq!(rebuilt, g);
+        // Malformed inputs are structured errors, never panics.
+        assert!(Csr::from_raw_parts(vec![], vec![]).is_err());
+        assert!(
+            Csr::from_raw_parts(vec![1, 0], vec![0]).is_err(),
+            "non-monotone"
+        );
+        assert!(
+            Csr::from_raw_parts(vec![0, 1], vec![7]).is_err(),
+            "target out of range"
+        );
+        assert!(
+            Csr::from_raw_parts(vec![0, 2], vec![0]).is_err(),
+            "final offset overshoots"
+        );
     }
 
     #[test]

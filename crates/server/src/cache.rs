@@ -33,13 +33,17 @@
 //!   the digest the daemon itself issued.)
 
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::Instant;
 
-use stcfa_core::{Analysis, QueryEngine};
+use stcfa_core::{Analysis, AnalysisOptions, DatatypePolicy, QueryEngine};
 use stcfa_devkit::hash::Fnv1a;
 use stcfa_lambda::Program;
+use stcfa_persist::{DecodedSnapshot, SnapshotImage};
+
+use crate::proto::policy_from_disc;
 
 /// The content address of one analysis: source digest × configuration.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -68,12 +72,18 @@ impl SnapshotKey {
 
 /// One cached analysis: the parsed program, the finished subtransitive
 /// analysis, and the frozen query engine, shared immutably.
+///
+/// Snapshots loaded from the disk tier carry no [`Analysis`] — only the
+/// frozen engine is persisted, since every query answers through it. The
+/// analysis is rebuilt lazily (and memoized) on the first request that
+/// walks it directly (`lint`); see [`Snapshot::try_analysis`].
 #[derive(Debug)]
 pub struct Snapshot {
     /// The parsed program.
     pub program: Program,
-    /// The finished analysis (the lint engine walks it directly).
-    pub analysis: Analysis,
+    /// The finished analysis, or — for disk-loaded snapshots — the slot
+    /// it is lazily rebuilt into.
+    analysis: OnceLock<Result<Analysis, String>>,
     /// The frozen query engine every query answers through.
     pub engine: QueryEngine,
     /// The exact source text the digest was derived from, kept to detect
@@ -81,9 +91,141 @@ pub struct Snapshot {
     pub source: String,
     /// Wall-clock nanoseconds the build (parse + analyze + freeze) took.
     pub build_ns: u64,
+    /// The datatype policy the analysis ran under (the lazy rebuild must
+    /// reproduce the original configuration exactly).
+    policy: DatatypePolicy,
+    /// Stable content-address discriminants (policy, engine), written
+    /// into the persisted header.
+    policy_disc: u64,
+    engine_disc: u64,
+    /// Whether the disk tier may persist this snapshot. Session-linked
+    /// snapshots are not persistable: their "source" is a workspace
+    /// manifest, not parseable program text, so a disk-loaded copy could
+    /// not rebuild its program or analysis.
+    persistable: bool,
 }
 
 impl Snapshot {
+    /// A snapshot produced by a full build from source (persistable).
+    #[allow(clippy::too_many_arguments)]
+    pub fn built(
+        program: Program,
+        analysis: Analysis,
+        engine: QueryEngine,
+        source: String,
+        build_ns: u64,
+        policy: DatatypePolicy,
+        policy_disc: u64,
+        engine_disc: u64,
+    ) -> Snapshot {
+        Snapshot {
+            program,
+            analysis: OnceLock::from(Ok(analysis)),
+            engine,
+            source,
+            build_ns,
+            policy,
+            policy_disc,
+            engine_disc,
+            persistable: true,
+        }
+    }
+
+    /// A session's linked snapshot: kept in memory only (its source is a
+    /// workspace manifest, not program text — see [`Snapshot::built`]).
+    pub fn linked(
+        program: Program,
+        analysis: Analysis,
+        engine: QueryEngine,
+        manifest: String,
+        build_ns: u64,
+    ) -> Snapshot {
+        Snapshot {
+            program,
+            analysis: OnceLock::from(Ok(analysis)),
+            engine,
+            source: manifest,
+            build_ns,
+            policy: DatatypePolicy::default(),
+            policy_disc: 0,
+            engine_disc: 0,
+            persistable: false,
+        }
+    }
+
+    /// Reconstructs a snapshot from a decoded disk image: re-parses the
+    /// program from the stored source (deterministic, so expression ids
+    /// match the engine's) and leaves the analysis to lazy rebuild.
+    fn from_disk(decoded: DecodedSnapshot) -> Result<Snapshot, String> {
+        let DecodedSnapshot {
+            policy: policy_disc,
+            engine_disc,
+            source,
+            engine,
+            ..
+        } = decoded;
+        let policy = policy_from_disc(policy_disc)
+            .ok_or_else(|| format!("unknown persisted policy discriminant {policy_disc}"))?;
+        let program = Program::parse(&source)
+            .map_err(|e| format!("persisted source no longer parses: {e}"))?;
+        // The engine was frozen from *this* source (the content digest
+        // pins it), so its index arrays must agree with the re-parse;
+        // check the cheap shape facts rather than trust the file.
+        let parts = engine.to_parts();
+        if parts.expr_nodes.len() != program.size() {
+            return Err(format!(
+                "persisted engine indexes {} expressions, program has {}",
+                parts.expr_nodes.len(),
+                program.size()
+            ));
+        }
+        if parts.label_count != program.label_count() {
+            return Err(format!(
+                "persisted engine carries {} labels, program has {}",
+                parts.label_count,
+                program.label_count()
+            ));
+        }
+        Ok(Snapshot {
+            program,
+            analysis: OnceLock::new(),
+            engine,
+            source,
+            build_ns: 0,
+            policy,
+            policy_disc,
+            engine_disc,
+            persistable: true,
+        })
+    }
+
+    /// The finished analysis, rebuilding (and memoizing) it from the
+    /// parsed program for disk-loaded snapshots. The rebuild runs the
+    /// same policy the snapshot was originally built under; a failure —
+    /// impossible for content that analyzed once, short of a node-budget
+    /// policy change — is a structured error, never a panic.
+    pub fn try_analysis(&self) -> Result<&Analysis, String> {
+        self.analysis
+            .get_or_init(|| {
+                Analysis::run_with(
+                    &self.program,
+                    AnalysisOptions {
+                        policy: self.policy,
+                        max_nodes: None,
+                    },
+                )
+                .map_err(|e| e.to_string())
+            })
+            .as_ref()
+            .map_err(String::clone)
+    }
+
+    /// Whether the analysis is resident right now (no lazy rebuild has
+    /// been forced yet). Test/stats hook.
+    pub fn analysis_resident(&self) -> bool {
+        matches!(self.analysis.get(), Some(Ok(_)))
+    }
+
     /// The byte cost this snapshot is accounted at in the store.
     pub fn cost_bytes(&self) -> usize {
         self.source.len() + self.engine.approx_bytes()
@@ -116,6 +258,20 @@ pub struct StoreStats {
     pub tombstones: usize,
     /// Resident snapshots pinned by open sessions right now.
     pub pinned: usize,
+    /// Whether a disk tier is configured.
+    pub disk: bool,
+    /// Misses answered by decoding a persisted snapshot instead of
+    /// building (the warm-restart path). Disk hits are *not* counted in
+    /// `hits` or `misses`: `misses` stays "actual builds".
+    pub disk_hits: u64,
+    /// Snapshots persisted to the disk tier (write-behind, after a
+    /// successful build).
+    pub disk_writes: u64,
+    /// Persisted files that failed to load (truncation, bit rot, version
+    /// skew, digest mismatch, …). Each one was deleted and the snapshot
+    /// rebuilt from source — the `cache-corrupt` log line carries the
+    /// structured reason.
+    pub disk_corrupt: u64,
 }
 
 /// Looking up a snapshot id can fail two ways; both are structured,
@@ -200,17 +356,34 @@ impl Inner {
 pub struct SnapshotStore {
     inner: Mutex<Inner>,
     capacity_bytes: usize,
+    /// The persistent second tier: a directory of one snapshot file per
+    /// key (see `stcfa-persist`). `None` = memory-only, the historical
+    /// behavior, bit for bit.
+    disk: Option<PathBuf>,
     hits: AtomicU64,
     misses: AtomicU64,
     coalesced: AtomicU64,
     evictions: AtomicU64,
     build_ns: AtomicU64,
+    disk_hits: AtomicU64,
+    disk_writes: AtomicU64,
+    disk_corrupt: AtomicU64,
 }
 
 impl SnapshotStore {
     /// An empty store that evicts past `capacity_bytes` of accounted
     /// snapshot weight.
     pub fn new(capacity_bytes: usize) -> SnapshotStore {
+        Self::with_disk(capacity_bytes, None)
+    }
+
+    /// Like [`SnapshotStore::new`], with an optional write-behind disk
+    /// tier rooted at `disk`: misses consult the directory before
+    /// building, successful builds persist into it atomically, LRU
+    /// eviction *demotes* (the digest stays answerable from disk) instead
+    /// of dropping, and a fresh store pointed at a populated directory
+    /// warms from it. The directory is created on first write.
+    pub fn with_disk(capacity_bytes: usize, disk: Option<PathBuf>) -> SnapshotStore {
         SnapshotStore {
             inner: Mutex::new(Inner {
                 map: HashMap::new(),
@@ -219,11 +392,15 @@ impl SnapshotStore {
                 bytes: 0,
             }),
             capacity_bytes,
+            disk,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             build_ns: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
+            disk_writes: AtomicU64::new(0),
+            disk_corrupt: AtomicU64::new(0),
         }
     }
 
@@ -272,7 +449,6 @@ impl SnapshotStore {
                     });
                     inner.map.insert(key.0, Slot::Building(Arc::clone(&cell)));
                     inner.evicted.remove(&key.0);
-                    self.misses.fetch_add(1, Ordering::Relaxed);
                     None
                 }
             }
@@ -293,11 +469,25 @@ impl SnapshotStore {
             };
         }
 
-        // This request owns the build. Run it without holding any lock.
-        let started = Instant::now();
-        let built = build().map(Arc::new);
-        let elapsed = started.elapsed().as_nanos() as u64;
-        self.build_ns.fetch_add(elapsed, Ordering::Relaxed);
+        // This request owns the build slot. Probe the disk tier first,
+        // then build; both run without holding any lock. A disk hit is
+        // not a miss (`misses` keeps meaning "actual builds") and not a
+        // memory hit — it counts under `disk_hits`.
+        let (built, from_disk) = match self.load_from_disk(key, Some(source)) {
+            Err(collision) => (Err(collision), false),
+            Ok(Some(snapshot)) => {
+                self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                (Ok(snapshot), true)
+            }
+            Ok(None) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                let started = Instant::now();
+                let built = build().map(Arc::new);
+                let elapsed = started.elapsed().as_nanos() as u64;
+                self.build_ns.fetch_add(elapsed, Ordering::Relaxed);
+                (built, false)
+            }
+        };
 
         let mut inner = self.inner.lock().expect("store lock poisoned");
         let Some(Slot::Building(cell)) = inner.map.get(&key.0) else {
@@ -336,12 +526,116 @@ impl SnapshotStore {
         *cell.result.lock().expect("build cell poisoned") = Some(to_waiters);
         cell.done.notify_all();
 
-        built.map(|snapshot| (snapshot, false))
+        // Write-behind: persist a freshly built snapshot after waiters
+        // have been released — persistence latency never blocks requests.
+        if let Ok(snapshot) = &built {
+            if !from_disk {
+                self.persist(key, snapshot);
+            }
+        }
+
+        // A disk hit reports `cached: true`: the caller skipped the build.
+        built.map(|snapshot| (snapshot, from_disk))
+    }
+
+    /// Probes the disk tier for `key`. `Ok(None)` is a plain miss —
+    /// including every corruption case, which is counted, logged with its
+    /// structured reason, and the offending file deleted so the rebuild's
+    /// write-behind replaces it. `Err` is a detected 64-bit digest
+    /// collision (the persisted source differs from the request's), the
+    /// same structured refusal the memory tier gives.
+    fn load_from_disk(
+        &self,
+        key: SnapshotKey,
+        source: Option<&str>,
+    ) -> Result<Option<Arc<Snapshot>>, String> {
+        let Some(dir) = &self.disk else {
+            return Ok(None);
+        };
+        let decoded = match stcfa_persist::load(dir, key.0) {
+            Ok(None) => return Ok(None),
+            Ok(Some(decoded)) => decoded,
+            Err(e) => {
+                self.note_disk_corrupt(key, dir, e.kind(), &e.to_string());
+                return Ok(None);
+            }
+        };
+        if decoded.digest != key.0 {
+            // The file's (self-consistent) header belongs to some other
+            // key: it was renamed or copied over the wrong address. This
+            // is corruption (rebuild), not a collision — the collision
+            // refusal below only applies to a file that really carries
+            // this digest.
+            let msg = format!("file claims digest {:016x}", decoded.digest);
+            self.note_disk_corrupt(key, dir, "digest-mismatch", &msg);
+            return Ok(None);
+        }
+        if let Some(source) = source {
+            if decoded.source != source {
+                return Err(format!(
+                    "digest collision on {}: a different source is persisted under \
+                     this key; analysis refused to avoid serving wrong results",
+                    key.hex()
+                ));
+            }
+        }
+        match Snapshot::from_disk(decoded) {
+            Ok(snapshot) => Ok(Some(Arc::new(snapshot))),
+            Err(e) => {
+                self.note_disk_corrupt(key, dir, "malformed", &e);
+                Ok(None)
+            }
+        }
+    }
+
+    /// Counts, logs and deletes one corrupt cache file. The log line is
+    /// structured (`cache-corrupt digest=… kind=… action=rebuild`) so
+    /// operators can grep restarts for decay.
+    fn note_disk_corrupt(&self, key: SnapshotKey, dir: &std::path::Path, kind: &str, msg: &str) {
+        self.disk_corrupt.fetch_add(1, Ordering::Relaxed);
+        eprintln!(
+            "stcfa-server: cache-corrupt digest={} kind={kind} action=rebuild: {msg}",
+            key.hex()
+        );
+        let _ = stcfa_persist::remove(dir, key.0);
+    }
+
+    /// Write-behind persistence of a successful build. Failures are
+    /// logged, not surfaced: the request was already answered from
+    /// memory, and the next restart simply rebuilds.
+    fn persist(&self, key: SnapshotKey, snapshot: &Snapshot) {
+        let Some(dir) = &self.disk else { return };
+        if !snapshot.persistable {
+            return;
+        }
+        let bytes = stcfa_persist::encode(&SnapshotImage {
+            digest: key.0,
+            policy: snapshot.policy_disc,
+            engine_disc: snapshot.engine_disc,
+            source: &snapshot.source,
+            engine: &snapshot.engine,
+        });
+        match stcfa_persist::save_atomic(dir, key.0, &bytes) {
+            Ok(_) => {
+                self.disk_writes.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(e) => {
+                eprintln!(
+                    "stcfa-server: cache-persist-failed digest={} action=skip: {e}",
+                    key.hex()
+                );
+            }
+        }
     }
 
     /// Evicts least-recently-used Ready entries until the accounted bytes
     /// fit the capacity. `keep` (the entry just inserted) survives even if
     /// it alone exceeds capacity, so oversized programs still get served.
+    ///
+    /// With a disk tier, evicting a persistable snapshot is a *demotion*:
+    /// no tombstone is recorded, because the digest stays answerable —
+    /// a later lookup re-promotes it from its file instead of reporting
+    /// a stale handle.
     fn evict_to_capacity(&self, inner: &mut Inner, keep: u64) {
         while inner.bytes > self.capacity_bytes {
             let victim = inner
@@ -356,9 +650,15 @@ impl SnapshotStore {
                 .min()
                 .map(|(_, k)| k);
             let Some(victim) = victim else { break };
-            if let Some(Slot::Ready { bytes, .. }) = inner.map.remove(&victim) {
+            if let Some(Slot::Ready {
+                snapshot, bytes, ..
+            }) = inner.map.remove(&victim)
+            {
                 inner.bytes -= bytes;
-                inner.tombstone(victim);
+                let demoted = self.disk.is_some() && snapshot.persistable;
+                if !demoted {
+                    inner.tombstone(victim);
+                }
                 self.evictions.fetch_add(1, Ordering::Relaxed);
             }
         }
@@ -366,39 +666,88 @@ impl SnapshotStore {
 
     /// Looks up an already-built snapshot by digest (no build). Touches
     /// the LRU clock on success.
+    ///
+    /// With a disk tier, a handle that is not resident in memory is
+    /// probed on disk before being declared unknown or stale: a restarted
+    /// daemon (or one that demoted the entry under LRU pressure) serves
+    /// the client's old handle by re-promoting the persisted snapshot.
+    /// Handle lookups carry no source text, so no collision check applies
+    /// — but the decoder's content-digest verification guarantees the
+    /// loaded source really does hash to the digest the daemon issued.
     pub fn get(&self, key: SnapshotKey) -> Result<Arc<Snapshot>, LookupError> {
-        let mut inner = self.inner.lock().expect("store lock poisoned");
-        inner.tick += 1;
-        let tick = inner.tick;
-        match inner.map.get_mut(&key.0) {
-            Some(Slot::Ready {
+        {
+            let mut inner = self.inner.lock().expect("store lock poisoned");
+            inner.tick += 1;
+            let tick = inner.tick;
+            if let Some(Slot::Ready {
                 snapshot,
                 last_used,
                 ..
-            }) => {
+            }) = inner.map.get_mut(&key.0)
+            {
                 *last_used = tick;
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(Arc::clone(snapshot))
+                return Ok(Arc::clone(snapshot));
             }
-            _ => None,
         }
-        .ok_or_else(|| {
-            if inner.evicted.contains_key(&key.0) {
-                LookupError::Stale
-            } else {
-                LookupError::Unknown
+        // Not resident: probe the disk tier outside the lock.
+        if let Ok(Some(snapshot)) = self.load_from_disk(key, None) {
+            self.disk_hits.fetch_add(1, Ordering::Relaxed);
+            let mut inner = self.inner.lock().expect("store lock poisoned");
+            inner.tick += 1;
+            let tick = inner.tick;
+            match inner.map.get_mut(&key.0) {
+                // Raced with a concurrent insert: serve the resident copy.
+                Some(Slot::Ready {
+                    snapshot,
+                    last_used,
+                    ..
+                }) => {
+                    *last_used = tick;
+                    return Ok(Arc::clone(snapshot));
+                }
+                // A build is in flight; hand out the loaded snapshot
+                // without disturbing the slot (the completion path
+                // pattern-matches on Building and must find it).
+                Some(Slot::Building(_)) => return Ok(snapshot),
+                None => {
+                    let bytes = snapshot.cost_bytes();
+                    inner.map.insert(
+                        key.0,
+                        Slot::Ready {
+                            snapshot: Arc::clone(&snapshot),
+                            bytes,
+                            last_used: tick,
+                            pins: 0,
+                        },
+                    );
+                    inner.bytes += bytes;
+                    inner.evicted.remove(&key.0);
+                    self.evict_to_capacity(&mut inner, key.0);
+                    return Ok(snapshot);
+                }
             }
-        })
+        }
+        let inner = self.inner.lock().expect("store lock poisoned");
+        if inner.evicted.contains_key(&key.0) {
+            Err(LookupError::Stale)
+        } else {
+            Err(LookupError::Unknown)
+        }
     }
 
     /// Explicitly invalidates a snapshot (the protocol's `evict` op).
     /// Pinned entries refuse invalidation — see [`Invalidate::Pinned`].
     /// After [`Invalidate::Evicted`] or [`Invalidate::Absent`], later
     /// lookups of the digest report [`LookupError::Stale`].
+    ///
+    /// Unlike LRU demotion, explicit invalidation reaches the disk tier
+    /// too: the persisted file is deleted, so the digest cannot quietly
+    /// re-promote after the client was told its handle is gone.
     pub fn invalidate(&self, key: SnapshotKey) -> Invalidate {
         let mut inner = self.inner.lock().expect("store lock poisoned");
-        match inner.map.get(&key.0) {
-            Some(Slot::Ready { pins, .. }) if *pins > 0 => Invalidate::Pinned,
+        let outcome = match inner.map.get(&key.0) {
+            Some(Slot::Ready { pins, .. }) if *pins > 0 => return Invalidate::Pinned,
             Some(Slot::Ready { .. }) => {
                 if let Some(Slot::Ready { bytes, .. }) = inner.map.remove(&key.0) {
                     inner.bytes -= bytes;
@@ -413,7 +762,12 @@ impl SnapshotStore {
                 inner.tombstone(key.0);
                 Invalidate::Absent
             }
+        };
+        drop(inner);
+        if let Some(dir) = &self.disk {
+            let _ = stcfa_persist::remove(dir, key.0);
         }
+        outcome
     }
 
     /// Pins the resident entry for `key`: while pinned it is exempt from
@@ -460,6 +814,10 @@ impl SnapshotStore {
                 .values()
                 .filter(|slot| matches!(slot, Slot::Ready { pins, .. } if *pins > 0))
                 .count(),
+            disk: self.disk.is_some(),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            disk_writes: self.disk_writes.load(Ordering::Relaxed),
+            disk_corrupt: self.disk_corrupt.load(Ordering::Relaxed),
         }
     }
 
@@ -505,13 +863,17 @@ mod tests {
         let program = Program::parse(source).map_err(|e| e.to_string())?;
         let analysis = Analysis::run(&program).map_err(|e| e.to_string())?;
         let engine = QueryEngine::freeze(&analysis);
-        Ok(Snapshot {
+        engine.prepare();
+        Ok(Snapshot::built(
             program,
             analysis,
             engine,
-            source: source.to_owned(),
-            build_ns: 0,
-        })
+            source.to_owned(),
+            0,
+            DatatypePolicy::default(),
+            0,
+            0,
+        ))
     }
 
     const SRC_A: &str = "(fn x => x) (fn y => y)";
@@ -726,6 +1088,191 @@ mod tests {
         assert_eq!(store.stats().pinned, 0);
         assert_eq!(store.invalidate(key), Invalidate::Evicted);
         assert_eq!(store.get(key).unwrap_err(), LookupError::Stale);
+    }
+
+    /// A unique temp directory for one disk-tier test.
+    fn disk_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("stcfa-cache-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn disk_tier_persists_builds_and_warms_a_fresh_store() {
+        let dir = disk_dir("warm");
+        let key = SnapshotKey::derive(SRC_A, 0, 0);
+        let cold_sets = {
+            let store = SnapshotStore::with_disk(usize::MAX, Some(dir.clone()));
+            let (snap, cached) = store.get_or_build(key, SRC_A, || build(SRC_A)).unwrap();
+            assert!(!cached);
+            let s = store.stats();
+            assert!(s.disk);
+            assert_eq!((s.misses, s.disk_writes, s.disk_hits), (1, 1, 0), "{s:?}");
+            assert!(
+                dir.join(stcfa_persist::file_name(key.0)).exists(),
+                "write-behind file missing"
+            );
+            snap.engine.all_label_sets()
+        };
+        // A fresh store over the same directory — the restarted daemon —
+        // serves the digest without building.
+        let store = SnapshotStore::with_disk(usize::MAX, Some(dir.clone()));
+        let (snap, cached) = store
+            .get_or_build(key, SRC_A, || panic!("warm restart must not rebuild"))
+            .unwrap();
+        assert!(cached, "a disk hit reports cached");
+        assert_eq!(snap.engine.all_label_sets(), cold_sets);
+        let s = store.stats();
+        assert_eq!((s.hits, s.misses, s.disk_hits), (0, 0, 1), "{s:?}");
+        // In-memory now: the next request is a plain memory hit.
+        let (_, cached) = store
+            .get_or_build(key, SRC_A, || panic!("resident"))
+            .unwrap();
+        assert!(cached);
+        assert_eq!(store.stats().hits, 1);
+        // A colliding source against the persisted file is refused, like
+        // the memory tier's collision check.
+        let fresh = SnapshotStore::with_disk(usize::MAX, Some(dir.clone()));
+        let err = fresh
+            .get_or_build(key, SRC_B, || panic!("collision must not rebuild"))
+            .unwrap_err();
+        assert!(err.contains("digest collision"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disk_loaded_snapshots_rebuild_their_analysis_lazily() {
+        let dir = disk_dir("lazy");
+        let key = SnapshotKey::derive(SRC_B, 0, 0);
+        SnapshotStore::with_disk(usize::MAX, Some(dir.clone()))
+            .get_or_build(key, SRC_B, || build(SRC_B))
+            .unwrap();
+        let store = SnapshotStore::with_disk(usize::MAX, Some(dir.clone()));
+        let (snap, _) = store
+            .get_or_build(key, SRC_B, || panic!("must load from disk"))
+            .unwrap();
+        assert!(
+            !snap.analysis_resident(),
+            "disk load must not rebuild the analysis eagerly"
+        );
+        let analysis = snap.try_analysis().expect("lazy rebuild succeeds");
+        assert_eq!(analysis.labels_of(snap.program.root()).len(), 1);
+        assert!(snap.analysis_resident());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_cache_files_fall_back_to_a_clean_rebuild() {
+        use std::sync::atomic::AtomicUsize;
+        let dir = disk_dir("corrupt");
+        let key = SnapshotKey::derive(SRC_A, 0, 0);
+        SnapshotStore::with_disk(usize::MAX, Some(dir.clone()))
+            .get_or_build(key, SRC_A, || build(SRC_A))
+            .unwrap();
+        let path = dir.join(stcfa_persist::file_name(key.0));
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        // The poisoned file is detected, counted, deleted and rebuilt —
+        // and the rebuild's answers match a from-scratch build.
+        let store = SnapshotStore::with_disk(usize::MAX, Some(dir.clone()));
+        let builds = AtomicUsize::new(0);
+        let (snap, cached) = store
+            .get_or_build(key, SRC_A, || {
+                builds.fetch_add(1, Ordering::SeqCst);
+                build(SRC_A)
+            })
+            .unwrap();
+        assert!(!cached);
+        assert_eq!(builds.load(Ordering::SeqCst), 1);
+        let s = store.stats();
+        assert_eq!((s.misses, s.disk_hits, s.disk_corrupt), (1, 0, 1), "{s:?}");
+        assert_eq!(
+            snap.engine.all_label_sets(),
+            build(SRC_A).unwrap().engine.all_label_sets()
+        );
+        // The write-behind of the rebuild replaced the poisoned file: the
+        // next fresh store warms cleanly.
+        assert_eq!(s.disk_writes, 1, "{s:?}");
+        let warm = SnapshotStore::with_disk(usize::MAX, Some(dir.clone()));
+        let (_, cached) = warm
+            .get_or_build(key, SRC_A, || panic!("replaced file must load"))
+            .unwrap();
+        assert!(cached);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lru_eviction_demotes_to_disk_and_handles_repromote() {
+        let cost_a = build(SRC_A).unwrap().cost_bytes();
+        let cost_b = build(SRC_B).unwrap().cost_bytes();
+        let dir = disk_dir("demote");
+        let store = SnapshotStore::with_disk(cost_a + cost_b - 1, Some(dir.clone()));
+        let ka = SnapshotKey::derive(SRC_A, 0, 0);
+        let kb = SnapshotKey::derive(SRC_B, 0, 0);
+        store.get_or_build(ka, SRC_A, || build(SRC_A)).unwrap();
+        store.get_or_build(kb, SRC_B, || build(SRC_B)).unwrap();
+        let s = store.stats();
+        assert_eq!(s.evictions, 1, "{s:?}");
+        assert_eq!(
+            s.tombstones, 0,
+            "a demotion must not tombstone: the digest is still answerable"
+        );
+        // The old handle still resolves — promoted back off disk, not
+        // reported stale as the memory-only store would.
+        let snap = store.get(ka).expect("demoted handle must re-promote");
+        assert_eq!(snap.source, SRC_A);
+        assert_eq!(store.stats().disk_hits, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn explicit_invalidation_reaches_the_disk_tier() {
+        let dir = disk_dir("invalidate");
+        let key = SnapshotKey::derive(SRC_A, 0, 0);
+        let store = SnapshotStore::with_disk(usize::MAX, Some(dir.clone()));
+        store.get_or_build(key, SRC_A, || build(SRC_A)).unwrap();
+        let path = dir.join(stcfa_persist::file_name(key.0));
+        assert!(path.exists());
+        assert_eq!(store.invalidate(key), Invalidate::Evicted);
+        assert!(!path.exists(), "invalidate must delete the persisted file");
+        assert_eq!(
+            store.get(key).unwrap_err(),
+            LookupError::Stale,
+            "an invalidated digest must not quietly re-promote"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn linked_snapshots_stay_out_of_the_disk_tier() {
+        let dir = disk_dir("linked");
+        let store = SnapshotStore::with_disk(usize::MAX, Some(dir.clone()));
+        let manifest = "session\u{0}m\u{1}fn x => x\u{2}";
+        let key = SnapshotKey::derive(manifest, 0, 0);
+        store
+            .get_or_build(key, manifest, || {
+                let program = Program::parse("fn x => x").unwrap();
+                let analysis = Analysis::run(&program).unwrap();
+                let engine = QueryEngine::freeze(&analysis);
+                Ok(Snapshot::linked(
+                    program,
+                    analysis,
+                    engine,
+                    manifest.to_owned(),
+                    0,
+                ))
+            })
+            .unwrap();
+        let s = store.stats();
+        assert_eq!(s.disk_writes, 0, "{s:?}");
+        assert!(
+            !dir.join(stcfa_persist::file_name(key.0)).exists(),
+            "a session manifest is not program text and must not persist"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -145,6 +145,20 @@ pub fn parse_policy(name: &str) -> Option<(DatatypePolicy, u64)> {
     }
 }
 
+/// Inverts [`parse_policy`]'s discriminant: the disk tier persists the
+/// discriminant and must map it back to rebuild an analysis under the
+/// original configuration. `None` for a discriminant this build does not
+/// know (a snapshot from a future daemon — treated as corrupt, rebuilt).
+pub fn policy_from_disc(disc: u64) -> Option<DatatypePolicy> {
+    match disc {
+        0 => Some(DatatypePolicy::Congruence1),
+        1 => Some(DatatypePolicy::Congruence2),
+        2 => Some(DatatypePolicy::Exact),
+        3 => Some(DatatypePolicy::Forget),
+        _ => None,
+    }
+}
+
 /// Builds the success response line for `id`, under protocol version
 /// `v` (the version the request was handled under).
 pub fn ok_response(v: u64, id: Json, result: Json) -> Json {
@@ -231,5 +245,11 @@ mod tests {
         assert_eq!(parse_policy("exact").unwrap().1, 2);
         assert_eq!(parse_policy("forget").unwrap().1, 3);
         assert!(parse_policy("c3").is_none());
+        // The persisted discriminants invert exactly.
+        for name in ["c1", "c2", "exact", "forget"] {
+            let (policy, disc) = parse_policy(name).unwrap();
+            assert_eq!(policy_from_disc(disc), Some(policy), "{name}");
+        }
+        assert_eq!(policy_from_disc(4), None);
     }
 }

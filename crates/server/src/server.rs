@@ -43,7 +43,7 @@ use crate::proto::{
 };
 
 /// Configuration for one daemon.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ServerOptions {
     /// Worker threads per pipeline (also the lint engine's batch width).
     pub threads: usize,
@@ -51,6 +51,12 @@ pub struct ServerOptions {
     pub cache_capacity: usize,
     /// Deadline applied to requests that carry none (`None` = unlimited).
     pub default_deadline_ms: Option<u64>,
+    /// Directory for the persistent snapshot tier (`--cache-dir`).
+    /// `None` = memory-only. With a directory, successful builds persist
+    /// write-behind, misses consult disk before building, LRU eviction
+    /// demotes instead of dropping, and a restarted daemon warms from
+    /// whatever the previous run persisted.
+    pub cache_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for ServerOptions {
@@ -59,6 +65,7 @@ impl Default for ServerOptions {
             threads: QueryEngine::default_threads(),
             cache_capacity: 256 << 20,
             default_deadline_ms: None,
+            cache_dir: None,
         }
     }
 }
@@ -94,11 +101,13 @@ struct OpenSession {
 const ENGINE_SUB: u64 = 0;
 
 impl Server {
-    /// A daemon with the given options and an empty snapshot store.
+    /// A daemon with the given options and an empty snapshot store (which
+    /// warms lazily from `cache_dir`, when one is configured).
     pub fn new(options: ServerOptions) -> Server {
+        let store = SnapshotStore::with_disk(options.cache_capacity, options.cache_dir.clone());
         Server {
             options,
-            store: SnapshotStore::new(options.cache_capacity),
+            store,
             sessions: Mutex::new(HashMap::new()),
             requests: AtomicU64::new(0),
             in_flight: AtomicU64::new(0),
@@ -276,15 +285,19 @@ impl Server {
                 .map_err(|e| format!("analysis\u{0}{e}"))?;
                 let engine = QueryEngine::freeze(&analysis);
                 // Summarize eagerly: the snapshot is built once and read
-                // many times, so pay the sweep inside the accounted build.
+                // many times, so pay the sweep inside the accounted build
+                // (and persist the summary rows with the snapshot).
                 engine.prepare();
-                Ok(Snapshot {
+                Ok(Snapshot::built(
                     program,
                     analysis,
                     engine,
-                    source: owned,
-                    build_ns: started.elapsed().as_nanos() as u64,
-                })
+                    owned,
+                    started.elapsed().as_nanos() as u64,
+                    policy,
+                    policy_disc,
+                    ENGINE_SUB,
+                ))
             })
             .map_err(decode_build_err)?;
         // The build may have blown the budget even though the snapshot is
@@ -369,7 +382,7 @@ impl Server {
     fn op_lint(&self, request: &Json, deadline: &Deadline) -> Result<Json, RequestError> {
         let snapshot = self.resolve_snapshot(request, deadline)?;
         deadline.check("before lint")?;
-        let diags = self.lint_snapshot(&snapshot);
+        let diags = self.lint_snapshot(&snapshot)?;
         deadline.check("after lint")?;
         Ok(diagnostics_json(&diags, None))
     }
@@ -377,16 +390,23 @@ impl Server {
     /// Runs the lint engine over a snapshot, dividing the thread budget
     /// across the workers currently serving requests: a burst of
     /// concurrent lints must not fan out to ~threads² OS threads.
-    fn lint_snapshot(&self, snapshot: &Snapshot) -> Vec<Diagnostic> {
+    ///
+    /// Disk-warmed snapshots rebuild their analysis lazily here; a
+    /// rebuild failure (which cannot happen for a snapshot that was built
+    /// by this daemon configuration) surfaces as a structured error.
+    fn lint_snapshot(&self, snapshot: &Snapshot) -> Result<Vec<Diagnostic>, RequestError> {
+        let analysis = snapshot
+            .try_analysis()
+            .map_err(|e| RequestError::new(ErrorKind::Analysis, e.clone()))?;
         let active = (self.in_flight.load(Ordering::SeqCst) as usize).max(1);
-        lint(
+        Ok(lint(
             &snapshot.program,
-            &snapshot.analysis,
+            analysis,
             &snapshot.engine,
             &LintOptions {
                 threads: (self.options.threads / active).max(1),
             },
-        )
+        ))
     }
 
     fn op_evict(&self, request: &Json) -> Result<Json, RequestError> {
@@ -460,6 +480,10 @@ impl Server {
                     ("evictions", Json::num(store.evictions)),
                     ("tombstones", Json::num(store.tombstones as u64)),
                     ("pinned", Json::num(store.pinned as u64)),
+                    ("disk", Json::Bool(store.disk)),
+                    ("disk_hits", Json::num(store.disk_hits)),
+                    ("disk_writes", Json::num(store.disk_writes)),
+                    ("disk_corrupt", Json::num(store.disk_corrupt)),
                 ]),
             ),
             (
@@ -503,13 +527,13 @@ impl Server {
                     let linked = workspace.freeze().expect("caller links before caching");
                     let (program, analysis, engine, _report) = linked.into_parts();
                     engine.prepare();
-                    Ok(Snapshot {
+                    Ok(Snapshot::linked(
                         program,
                         analysis,
                         engine,
-                        source: manifest.to_owned(),
-                        build_ns: started.elapsed().as_nanos() as u64,
-                    })
+                        manifest.to_owned(),
+                        started.elapsed().as_nanos() as u64,
+                    ))
                 })
                 .map_err(|e| RequestError::new(ErrorKind::Analysis, e))?;
             if self.store.pin(key) {
@@ -710,7 +734,7 @@ impl Server {
             (Arc::clone(&entry.snapshot), entry.report.clone())
         };
         deadline.check("before lint")?;
-        let diags = self.lint_snapshot(&snapshot);
+        let diags = self.lint_snapshot(&snapshot)?;
         deadline.check("after lint")?;
         Ok(diagnostics_json(&diags, Some(&report)))
     }

@@ -10,6 +10,10 @@ cd "$(dirname "$0")/.."
 
 export CARGO_NET_OFFLINE=true
 
+# Scratch space for the persistence smoke; removed however the run ends.
+CI_TMP="$(mktemp -d "${TMPDIR:-/tmp}/stcfa-ci.XXXXXX")"
+trap 'rm -rf "$CI_TMP"' EXIT INT TERM
+
 echo "== tier-1: formatting =="
 cargo fmt --check
 
@@ -65,6 +69,37 @@ if printf '%s\n' "$smoke_out" | grep -q '"ok":false'; then
 fi
 printf '%s\n' "$smoke_out" | sed -n '2p' | grep -q '"cached":true' \
   || { echo "server smoke: warm analyze was not a cache hit" >&2; exit 1; }
+
+echo "== persist: warm restart smoke over stdio =="
+# Two daemon generations sharing one --cache-dir. The first builds and
+# persists; the second must answer the same conversation from disk —
+# cached:true on its first analyze, zero misses, one disk hit — with the
+# query/lint response lines byte-identical across the restart.
+persist_dir="$CI_TMP/cache"
+persist_requests="$(printf '%s\n' \
+  '{"id":1,"op":"analyze","source":"fun id x = x; id (fn u => u)"}' \
+  '{"id":2,"op":"query","kind":"label-set","source":"fun id x = x; id (fn u => u)"}' \
+  '{"id":3,"op":"lint","source":"fun id x = x; id (fn u => u)"}' \
+  '{"id":4,"op":"shutdown"}')"
+cold_out="$(printf '%s\n' "$persist_requests" | ./target/release/stcfa serve --stdio --threads 2 --cache-dir "$persist_dir")"
+warm_out="$(printf '%s\n' "$persist_requests" | ./target/release/stcfa serve --stdio --threads 2 --cache-dir "$persist_dir")"
+for out in "$cold_out" "$warm_out"; do
+  if printf '%s\n' "$out" | grep -q '"ok":false'; then
+    echo "persist smoke: a request failed" >&2; printf '%s\n' "$out" >&2; exit 1
+  fi
+done
+printf '%s\n' "$cold_out" | sed -n '1p' | grep -q '"cached":false' \
+  || { echo "persist smoke: first generation should build" >&2; exit 1; }
+printf '%s\n' "$warm_out" | sed -n '1p' | grep -q '"cached":true' \
+  || { echo "persist smoke: restarted daemon rebuilt instead of loading" >&2; exit 1; }
+if [ "$(printf '%s\n' "$cold_out" | sed -n '2,3p')" != "$(printf '%s\n' "$warm_out" | sed -n '2,3p')" ]; then
+  echo "persist smoke: answers changed across the restart" >&2
+  diff <(printf '%s\n' "$cold_out") <(printf '%s\n' "$warm_out") >&2 || true
+  exit 1
+fi
+ls "$persist_dir"/*.stcfa >/dev/null 2>&1 \
+  || { echo "persist smoke: no snapshot file in $persist_dir" >&2; exit 1; }
+echo "-- warm restart served from disk, transcripts identical"
 
 echo "== session: multi-module smoke over stdio =="
 # Split a corpus program into 3 modules and drive a full protocol-v2

@@ -29,10 +29,12 @@
 //!
 //! SERVER MODE
 //!   stcfa serve [--stdio | --addr HOST:PORT] [--threads <n>]
-//!               [--cache-capacity <bytes[k|m|g]>] [--deadline-ms <n>]
+//!               [--cache-capacity <bytes[k|m|g]>] [--cache-dir <path>]
+//!               [--deadline-ms <n>]
 //!                      long-running daemon speaking the line-delimited JSON
 //!                      protocol of docs/SERVER.md, with a content-addressed
-//!                      snapshot cache
+//!                      snapshot cache; --cache-dir adds a persistent disk
+//!                      tier that survives daemon restarts (docs/PERSIST.md)
 //!   stcfa client --addr HOST:PORT [--request <json>]
 //!                      forward stdin lines (or one --request) to a daemon
 //!
@@ -180,7 +182,7 @@ fn usage() -> &'static str {
      \t[--analysis sub|poly|hybrid|cfa0|sba|unify] [--policy c1|c2|exact|forget]\n\
      \t[--max-nodes <n>] [--fuel <n>]\n\
      \tor: stcfa lint <FILE|-> [--format text|json] [--policy ...] [--threads <n>]\n\
-     \tor: stcfa serve [--stdio|--addr HOST:PORT] [--threads <n>] [--cache-capacity <bytes>] [--deadline-ms <n>]\n\
+     \tor: stcfa serve [--stdio|--addr HOST:PORT] [--threads <n>] [--cache-capacity <bytes>] [--cache-dir <path>] [--deadline-ms <n>]\n\
      \tor: stcfa client --addr HOST:PORT [--request <json>]\n\
      \tor: stcfa session [FILE...] [--module NAME=PATH]* [--split <n>] [--policy ...] [--lint] [--emit-requests [--update-last]]\n\
      \tor: stcfa --repl    (incremental session on stdin)\n\
@@ -669,8 +671,9 @@ fn run_session(args: &[String]) -> Result<(), CliError> {
 }
 
 /// `stcfa serve [--stdio | --addr HOST:PORT] [--threads n]
-/// [--cache-capacity bytes] [--deadline-ms n]`: run the analysis daemon.
-/// Defaults to the stdio transport when no `--addr` is given.
+/// [--cache-capacity bytes] [--cache-dir path] [--deadline-ms n]`: run the
+/// analysis daemon. Defaults to the stdio transport when no `--addr` is
+/// given.
 fn run_serve(args: &[String]) -> Result<(), CliError> {
     use stcfa::server::{Server, ServerOptions};
 
@@ -699,6 +702,15 @@ fn run_serve(args: &[String]) -> Result<(), CliError> {
             }
             "--deadline-ms" => {
                 options.default_deadline_ms = Some(flag_value(&mut it, "--deadline-ms")?)
+            }
+            "--cache-dir" => {
+                let raw = it.next().ok_or_else(|| {
+                    CliError::BadValue(format!("--cache-dir needs a value\n{}", usage()))
+                })?;
+                std::fs::create_dir_all(raw).map_err(|e| {
+                    CliError::Runtime(format!("--cache-dir {raw}: cannot create: {e}"))
+                })?;
+                options.cache_dir = Some(std::path::PathBuf::from(raw));
             }
             other => {
                 return Err(CliError::Usage(format!(

@@ -18,6 +18,8 @@
 //!   content-addressed snapshot cache (`stcfa serve`).
 //! - [`session`] — multi-file analysis sessions: named modules, the
 //!   import/link graph, and the incremental linker (`stcfa session`).
+//! - [`persist`] — the on-disk snapshot format behind the daemon's
+//!   `--cache-dir` tier (warm restarts without rebuilding).
 //! - [`workloads`] — benchmark and test program generators.
 //!
 //! # Quickstart
@@ -42,6 +44,7 @@ pub use stcfa_core as core;
 pub use stcfa_graph as graph;
 pub use stcfa_lambda as lambda;
 pub use stcfa_lint as lint;
+pub use stcfa_persist as persist;
 pub use stcfa_sba as sba;
 pub use stcfa_server as server;
 pub use stcfa_session as session;

@@ -18,8 +18,14 @@ struct Daemon {
 
 impl Daemon {
     fn spawn(threads: usize) -> Daemon {
+        Daemon::spawn_with(threads, &[])
+    }
+
+    /// Like [`Daemon::spawn`] with extra `serve` flags (`--cache-dir …`).
+    fn spawn_with(threads: usize, extra: &[&str]) -> Daemon {
         let mut child = stcfa()
             .args(["serve", "--stdio", "--threads", &threads.to_string()])
+            .args(extra)
             .stdin(Stdio::piped())
             .stdout(Stdio::piped())
             .stderr(Stdio::piped())
@@ -47,12 +53,26 @@ impl Daemon {
 
     /// Sends `shutdown`, expects the confirmation, and waits for a clean
     /// exit.
-    fn shutdown(mut self) {
+    fn shutdown(self) {
+        self.shutdown_stderr();
+    }
+
+    /// [`Daemon::shutdown`], returning everything the daemon wrote to
+    /// stderr (the `cache-corrupt` log lines).
+    fn shutdown_stderr(mut self) -> String {
         let bye = self.roundtrip(r#"{"op":"shutdown"}"#);
         assert!(bye.contains(r#""stopping":true"#), "{bye}");
         drop(self.stdin.take());
+        let mut err = String::new();
+        self.child
+            .stderr
+            .take()
+            .unwrap()
+            .read_to_string(&mut err)
+            .unwrap();
         let status = self.child.wait().unwrap();
         assert!(status.success(), "daemon exited {status}");
+        err
     }
 }
 
@@ -430,6 +450,152 @@ fn session_transcripts_are_byte_identical_across_thread_counts() {
             "session transcript diverged at --threads {threads}"
         );
     }
+}
+
+/// A scratch cache directory, cleared at the start of the test that owns
+/// it (not at the end: failures leave the evidence on disk).
+fn cache_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("stcfa-server-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The read-side conversation replayed against cold and warm daemons: all
+/// four query kinds plus a lint, with fixed ids so the transcripts are
+/// comparable byte for byte.
+fn query_conversation() -> Vec<String> {
+    vec![
+        format!(r#"{{"id":1,"op":"query","kind":"label-set","source":"{SRC}"}}"#),
+        format!(r#"{{"id":2,"op":"query","kind":"occurrences","source":"{SRC}","label":1}}"#),
+        format!(
+            r#"{{"id":3,"op":"query","kind":"reachability","source":"{SRC}","expr":0,"label":1}}"#
+        ),
+        format!(r#"{{"id":4,"op":"query","kind":"call-targets","source":"{SRC}","site":4}}"#),
+        format!(r#"{{"id":5,"op":"lint","source":"{SRC}"}}"#),
+    ]
+}
+
+#[test]
+fn restarted_daemon_warms_from_disk_with_identical_answers() {
+    let dir = cache_dir("restart");
+    let flags = ["--cache-dir", dir.to_str().unwrap()];
+
+    // Cold daemon: builds once, persists, answers the conversation.
+    let mut cold = Daemon::spawn_with(2, &flags);
+    let a = cold.roundtrip(&analyze(SRC));
+    assert_eq!(field(&a, "cached"), "false", "{a}");
+    let digest = field(&a, "snapshot").trim_matches('"').to_owned();
+    let cold_lines: Vec<String> = query_conversation()
+        .iter()
+        .map(|req| cold.roundtrip(req))
+        .collect();
+    let stats = cold.roundtrip(r#"{"op":"stats"}"#);
+    assert_eq!(field(&stats, "misses"), "1", "{stats}");
+    assert_eq!(field(&stats, "disk"), "true", "{stats}");
+    assert_eq!(field(&stats, "disk_writes"), "1", "{stats}");
+    assert_eq!(field(&stats, "disk_hits"), "0", "{stats}");
+    cold.shutdown();
+    assert!(
+        dir.join(format!("{digest}.stcfa")).is_file(),
+        "snapshot not persisted under {digest}"
+    );
+
+    // Restarted daemon: the same analyze is answered from disk — no
+    // build — and the whole conversation is byte-identical.
+    let mut warm = Daemon::spawn_with(2, &flags);
+    let b = warm.roundtrip(&analyze(SRC));
+    assert_eq!(field(&b, "cached"), "true", "warm restart rebuilt: {b}");
+    assert_eq!(field(&b, "snapshot").trim_matches('"'), digest, "{b}");
+    let warm_lines: Vec<String> = query_conversation()
+        .iter()
+        .map(|req| warm.roundtrip(req))
+        .collect();
+    assert_eq!(warm_lines, cold_lines, "warm answers diverged from cold");
+    let stats = warm.roundtrip(r#"{"op":"stats"}"#);
+    assert_eq!(field(&stats, "misses"), "0", "warm daemon built: {stats}");
+    assert_eq!(field(&stats, "disk_hits"), "1", "{stats}");
+    assert_eq!(field(&stats, "disk_corrupt"), "0", "{stats}");
+    warm.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_cache_files_rebuild_cleanly_end_to_end() {
+    let dir = cache_dir("corrupt");
+    let flags = ["--cache-dir", dir.to_str().unwrap()];
+    const OTHER: &str = "fun id x = x; id (fn u => u)";
+
+    // Seed the tier with two digests and record the reference answer.
+    let mut seed = Daemon::spawn_with(2, &flags);
+    let a = seed.roundtrip(&analyze(SRC));
+    let digest = field(&a, "snapshot").trim_matches('"').to_owned();
+    let b = seed.roundtrip(&analyze(OTHER));
+    let other_digest = field(&b, "snapshot").trim_matches('"').to_owned();
+    let reference: Vec<String> = query_conversation()
+        .iter()
+        .map(|req| seed.roundtrip(req))
+        .collect();
+    seed.shutdown();
+    let path = dir.join(format!("{digest}.stcfa"));
+    let pristine = std::fs::read(&path).unwrap();
+
+    type Corrupt = fn(&std::path::Path, &[u8], &std::path::Path);
+    let corruptions: [(&str, Corrupt); 5] = [
+        ("truncation", |p, bytes, _| {
+            std::fs::write(p, &bytes[..bytes.len() / 2]).unwrap()
+        }),
+        ("bit-flip", |p, bytes, _| {
+            let mut evil = bytes.to_vec();
+            let mid = evil.len() / 2;
+            evil[mid] ^= 0x10;
+            std::fs::write(p, evil).unwrap();
+        }),
+        ("version-skew", |p, bytes, _| {
+            let mut evil = bytes.to_vec();
+            evil[8..12].copy_from_slice(&99u32.to_le_bytes());
+            std::fs::write(p, evil).unwrap();
+        }),
+        ("zero-length", |p, _, _| std::fs::write(p, b"").unwrap()),
+        // A self-consistent file copied over the wrong address.
+        ("digest-mismatch", |p, _, other| {
+            std::fs::copy(other, p).unwrap();
+        }),
+    ];
+
+    for (name, corrupt) in corruptions {
+        corrupt(&path, &pristine, &dir.join(format!("{other_digest}.stcfa")));
+        let mut d = Daemon::spawn_with(2, &flags);
+        // The corrupt file is detected, deleted, and rebuilt from source —
+        // a structured fallback, not an error, not a wrong answer.
+        let r = d.roundtrip(&analyze(SRC));
+        assert_eq!(field(&r, "ok"), "true", "{name}: {r}");
+        assert_eq!(
+            field(&r, "cached"),
+            "false",
+            "{name} served corrupt data: {r}"
+        );
+        let answers: Vec<String> = query_conversation()
+            .iter()
+            .map(|req| d.roundtrip(req))
+            .collect();
+        assert_eq!(answers, reference, "{name}: answers diverged after rebuild");
+        let stats = d.roundtrip(r#"{"op":"stats"}"#);
+        assert_eq!(field(&stats, "disk_corrupt"), "1", "{name}: {stats}");
+        assert_eq!(field(&stats, "misses"), "1", "{name}: {stats}");
+        // The daemon keeps serving, and the rebuild re-persisted a good
+        // copy (write-behind replacement).
+        let again = d.roundtrip(&analyze(SRC));
+        assert_eq!(field(&again, "cached"), "true", "{name}: {again}");
+        let err = d.shutdown_stderr();
+        assert!(
+            err.contains(&format!("cache-corrupt digest={digest}")),
+            "{name}: no structured log in {err:?}"
+        );
+        assert!(err.contains("action=rebuild"), "{name}: {err:?}");
+        let healed = std::fs::read(&path).unwrap();
+        assert_eq!(healed, pristine, "{name}: rebuild did not re-persist");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
