@@ -1,15 +1,18 @@
 //! The daemon's request economics: what a request costs when the
 //! content-addressed cache misses (parse + analyze + freeze) vs when it
-//! hits (digest lookup + Arc clone), and pipeline throughput at several
-//! worker counts over a warm cache.
+//! hits (digest lookup + Arc clone), pipeline throughput at several
+//! worker counts over a warm cache, and the many-connection soak — the
+//! nonblocking fleet transport against the per-connection-thread
+//! baseline under bursty pipelined load.
 
 use std::hint::black_box;
 use std::io::Cursor;
+use std::sync::mpsc;
 use std::time::Instant;
 
 use stcfa_devkit::bench::{BenchmarkId, Criterion};
 use stcfa_devkit::{criterion_group, criterion_main};
-use stcfa_server::{Server, ServerOptions};
+use stcfa_server::{run_soak, Server, ServerOptions, SoakConfig, SoakReport};
 use stcfa_workloads::{lexgen, life};
 
 fn corpus() -> Vec<(&'static str, String)> {
@@ -150,5 +153,83 @@ fn bench_server(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_server);
+/// Boots a daemon on an ephemeral loopback port — either the
+/// nonblocking event-loop fleet or the legacy thread-per-connection
+/// transport — runs `f` against the bound address, then drives a clean
+/// protocol shutdown and joins the serve thread.
+fn with_tcp_server(threaded: bool, f: impl FnOnce(&str)) {
+    let server = Server::new(ServerOptions {
+        threads: 2,
+        // Nominal load for the 256-connection soak is 2048 frames in
+        // flight at once; admission must not shed any of it.
+        max_inflight: 4096,
+        ..Default::default()
+    });
+    std::thread::scope(|scope| {
+        let (tx, rx) = mpsc::channel();
+        let srv = &server;
+        scope.spawn(move || {
+            let on_bound = move |a: std::net::SocketAddr| tx.send(a).unwrap();
+            if threaded {
+                srv.serve_tcp_threaded("127.0.0.1:0", on_bound).unwrap();
+            } else {
+                srv.serve_tcp("127.0.0.1:0", on_bound).unwrap();
+            }
+        });
+        let addr = rx.recv().unwrap().to_string();
+        f(&addr);
+        use std::io::{BufRead, BufReader, Write};
+        let stream = std::net::TcpStream::connect(&addr).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        writeln!(writer, r#"{{"op":"shutdown"}}"#).unwrap();
+        let mut bye = String::new();
+        BufReader::new(stream).read_line(&mut bye).unwrap();
+    });
+}
+
+fn bench_soak(c: &mut Criterion) {
+    let mut group = c.benchmark_group("server_soak");
+    group.sample_size(5);
+
+    // Bursty pipelined load over a warm cache: every connection fires
+    // `burst` back-to-back requests, reads the burst's responses, and
+    // repeats. The tiny identity source keeps per-request engine work
+    // negligible so the measurement isolates the *transport*: framing,
+    // dispatch, scheduling, and write-path behaviour under concurrency.
+    let cases: &[(&str, bool, usize)] = &[
+        ("fleet/c64", false, 64),
+        ("threaded/c64", true, 64),
+        ("fleet/c256", false, 256),
+    ];
+    for &(name, threaded, connections) in cases {
+        let mut last: Option<SoakReport> = None;
+        with_tcp_server(threaded, |addr| {
+            let config = SoakConfig {
+                addr: addr.to_owned(),
+                connections,
+                bursts: 4,
+                burst: 8,
+                ..Default::default()
+            };
+            group.bench_function(name, |b| {
+                b.iter(|| {
+                    last = Some(run_soak(&config));
+                })
+            });
+        });
+        // Verified after the daemon is down, so a failure can't strand
+        // the serve thread in the scope join above.
+        let report = last.expect("soak never ran");
+        assert!(report.clean(), "soak failed: {}", report.to_json_line());
+        group
+            .counter("connections", report.connections as u64)
+            .counter("requests", report.requests)
+            .counter("p50_ns", report.p50_ns)
+            .counter("p99_ns", report.p99_ns)
+            .counter("throughput_rps", report.throughput_rps);
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_server, bench_soak);
 criterion_main!(benches);

@@ -233,6 +233,19 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    /// Attaches a machine-independent work counter to the most recently
+    /// recorded measurement (e.g. soak percentiles or request totals that
+    /// a wall-clock min/median can't carry).
+    pub fn counter(&mut self, name: &str, value: u64) -> &mut Self {
+        let rec = self
+            .criterion
+            .records
+            .last_mut()
+            .expect("counter() before any measurement was recorded");
+        rec.counters.push((name.to_owned(), value));
+        self
+    }
+
     /// Ends the group (statistics were recorded as benches ran).
     pub fn finish(self) {}
 }
@@ -418,6 +431,26 @@ mod tests {
         assert_eq!(r.samples, 5);
         assert!(r.min_ns.unwrap() >= 100_000, "sleep under-measured");
         assert!(r.min_ns <= r.median_ns);
+    }
+
+    #[test]
+    fn group_counters_attach_to_the_last_record() {
+        let mut c = Criterion::new("selftest", env!("CARGO_MANIFEST_DIR"));
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(1);
+            g.bench_function("first", |b| b.iter(|| 1 + 1));
+            g.bench_function("second", |b| b.iter(|| 2 + 2));
+            g.counter("p99_ns", 1234).counter("requests", 2048);
+            g.finish();
+        }
+        assert!(c.records[0].counters.is_empty());
+        assert_eq!(
+            c.records[1].counters,
+            vec![("p99_ns".to_owned(), 1234), ("requests".to_owned(), 2048)]
+        );
+        let json = records_to_json("stcfa-devkit", "selftest", &c.records);
+        assert!(json.contains("\"p99_ns\": 1234, \"requests\": 2048"));
     }
 
     #[test]

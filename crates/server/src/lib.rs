@@ -24,6 +24,15 @@
 //! - [`server`] — the daemon itself: dispatch, the ordered
 //!   reader/worker/writer pipeline, stdio and TCP transports, graceful
 //!   drain on `shutdown`.
+//! - [`poll`], [`conn`], [`shard`] — the nonblocking event-loop TCP
+//!   transport (the *fleet*): a zero-FFI readiness loop over
+//!   nonblocking sockets, per-connection incremental framing with an
+//!   ordered buffered writer, and a sharded worker pool that routes
+//!   requests by snapshot digest so cache-affine work stays on one
+//!   worker. Admission control sheds excess load with the structured
+//!   `overloaded` error instead of buffering without bound.
+//! - [`soak`] — a many-connection pipelined load driver (`stcfa soak`,
+//!   `benches/server.rs`, and CI's soak smoke all share it).
 //!
 //! Start it from the CLI with `stcfa serve --stdio` or
 //! `stcfa serve --addr 127.0.0.1:7878`; see `docs/SERVER.md` for the
@@ -32,11 +41,19 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod conn;
 pub mod json;
+pub mod poll;
 pub mod proto;
 pub mod server;
+pub mod shard;
+pub mod soak;
 
 pub use cache::{Invalidate, LookupError, Snapshot, SnapshotKey, SnapshotStore, StoreStats};
+pub use conn::{Conn, ConnLimits};
 pub use json::Json;
+pub use poll::{Acceptor, Backoff, Parker};
 pub use proto::{Deadline, ErrorKind, RequestError, PROTOCOL_VERSION, PROTOCOL_VERSION_SESSION};
-pub use server::{Server, ServerOptions};
+pub use server::{fleet_summary_line, Server, ServerOptions};
+pub use shard::{FleetStats, ShardPool};
+pub use soak::{run_soak, SoakConfig, SoakReport};

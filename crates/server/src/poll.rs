@@ -1,0 +1,346 @@
+//! Readiness primitives for the event-loop transport: a wakeable parker,
+//! an adaptive spin/park backoff, and a blocking acceptor thread that can
+//! be released without `poll(2)`.
+//!
+//! The fleet transport is zero-dependency by design: no `libc`, no `mio`,
+//! no FFI. Readiness therefore cannot come from `epoll`; instead the
+//! event loop *attempts* nonblocking I/O (`WouldBlock` = not ready) and
+//! paces itself with [`Backoff`] — spin while traffic is hot, park on a
+//! [`Parker`] with an escalating timeout when it is not. Everything that
+//! can produce work without the loop noticing on its own (a finished
+//! worker, a fresh connection) holds a [`Parker`] handle and wakes it, so
+//! the escalated timeout is a *bound* on discovery latency for the one
+//! signal nobody can deliver: bytes arriving on an already-open socket.
+//!
+//! The accept path needs no polling at all: [`Acceptor`] parks a
+//! dedicated thread inside blocking `accept(2)` (zero CPU while idle) and
+//! is released on shutdown by a loopback self-connect — the classic
+//! self-pipe trick, with a TCP connection standing in for the pipe.
+
+use std::collections::VecDeque;
+use std::io;
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// A wakeable one-shot parker: `wait` blocks until the timeout elapses or
+/// someone calls `wake`. A wake that arrives while nobody is waiting is
+/// latched, so the next `wait` returns immediately — no lost wakeups.
+#[derive(Default)]
+pub struct Parker {
+    woken: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Parker {
+    /// A fresh parker with no pending wake.
+    pub fn new() -> Parker {
+        Parker::default()
+    }
+
+    /// Latches a wake and releases the current (or next) waiter.
+    pub fn wake(&self) {
+        let mut woken = self.woken.lock().expect("parker poisoned");
+        *woken = true;
+        self.cv.notify_one();
+    }
+
+    /// Parks until woken or until `timeout` elapses (`None` = forever).
+    /// Consumes the wake latch. Returns whether a wake was received.
+    pub fn wait(&self, timeout: Option<Duration>) -> bool {
+        let mut woken = self.woken.lock().expect("parker poisoned");
+        match timeout {
+            Some(t) => {
+                let deadline = std::time::Instant::now() + t;
+                while !*woken {
+                    let now = std::time::Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    let (guard, _) = self
+                        .cv
+                        .wait_timeout(woken, deadline - now)
+                        .expect("parker poisoned");
+                    woken = guard;
+                }
+            }
+            None => {
+                while !*woken {
+                    woken = self.cv.wait(woken).expect("parker poisoned");
+                }
+            }
+        }
+        std::mem::replace(&mut *woken, false)
+    }
+}
+
+/// Adaptive sweep pacing for the event loop: stay hot (no park) for a few
+/// sweeps after the last progress, then park with a timeout that
+/// escalates toward `cap`. Reset on every productive sweep.
+#[derive(Debug)]
+pub struct Backoff {
+    idle_sweeps: u32,
+}
+
+/// Sweeps after the last progress during which the loop does not park at
+/// all (bursty pipelines stay at syscall latency).
+const HOT_SWEEPS: u32 = 16;
+
+/// First park duration once the hot window is exhausted.
+const PARK_FLOOR: Duration = Duration::from_micros(50);
+
+impl Default for Backoff {
+    fn default() -> Backoff {
+        Backoff::new()
+    }
+}
+
+impl Backoff {
+    /// A backoff in the hot state.
+    pub fn new() -> Backoff {
+        Backoff { idle_sweeps: 0 }
+    }
+
+    /// Call after a sweep that made progress: back to the hot state.
+    pub fn reset(&mut self) {
+        self.idle_sweeps = 0;
+    }
+
+    /// Call after a sweep that found nothing to do. Returns how long to
+    /// park before the next sweep: `None` while hot (spin again), then
+    /// an exponentially escalating duration clamped to `cap`.
+    pub fn next_park(&mut self, cap: Duration) -> Option<Duration> {
+        self.idle_sweeps = self.idle_sweeps.saturating_add(1);
+        if self.idle_sweeps <= HOT_SWEEPS {
+            std::hint::spin_loop();
+            return None;
+        }
+        let steps = (self.idle_sweeps - HOT_SWEEPS).min(20);
+        let park = PARK_FLOOR.saturating_mul(1u32 << steps.min(16));
+        Some(park.min(cap))
+    }
+}
+
+/// The accept thread's hand-off queue plus its shutdown latch.
+struct AcceptShared {
+    /// Accepted streams, in arrival order.
+    queue: Mutex<VecDeque<TcpStream>>,
+    /// Signalled on every push (for blocking consumers).
+    cv: Condvar,
+    /// Latched by [`Acceptor::shutdown`]; the accept thread drops the
+    /// wake connection and exits when it sees this.
+    stop: AtomicBool,
+    /// Woken on every push (for the event loop).
+    notify: Arc<Parker>,
+}
+
+/// A dedicated thread parked in blocking `accept(2)`: zero CPU while no
+/// client is connecting, no accept-poll sleep, and shutdown releases it
+/// with a loopback self-connect instead of a timeout.
+pub struct Acceptor {
+    shared: Arc<AcceptShared>,
+    local: SocketAddr,
+    handle: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl Acceptor {
+    /// Spawns the accept thread over an already-bound listener. `notify`
+    /// is woken every time a fresh connection lands in the queue.
+    pub fn spawn(listener: TcpListener, notify: Arc<Parker>) -> io::Result<Acceptor> {
+        // Blocking accepts on purpose: the thread consumes nothing while
+        // idle. (The listener may arrive nonblocking from an older
+        // caller; normalize.)
+        listener.set_nonblocking(false)?;
+        let local = listener.local_addr()?;
+        let shared = Arc::new(AcceptShared {
+            queue: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+            stop: AtomicBool::new(false),
+            notify,
+        });
+        let thread_shared = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name("stcfa-accept".to_owned())
+            .spawn(move || accept_loop(listener, thread_shared))?;
+        Ok(Acceptor {
+            shared,
+            local,
+            handle: Mutex::new(Some(handle)),
+        })
+    }
+
+    /// The listener's bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local
+    }
+
+    /// Drains every connection accepted since the last call (never
+    /// blocks).
+    pub fn drain(&self) -> Vec<TcpStream> {
+        let mut queue = self.shared.queue.lock().expect("accept queue poisoned");
+        queue.drain(..).collect()
+    }
+
+    /// Blocks until a connection arrives or [`Acceptor::shutdown`] runs.
+    /// `None` means the acceptor is stopping and the queue is drained.
+    pub fn recv(&self) -> Option<TcpStream> {
+        let mut queue = self.shared.queue.lock().expect("accept queue poisoned");
+        loop {
+            if let Some(stream) = queue.pop_front() {
+                return Some(stream);
+            }
+            if self.shared.stop.load(Ordering::SeqCst) {
+                return None;
+            }
+            queue = self.shared.cv.wait(queue).expect("accept queue poisoned");
+        }
+    }
+
+    /// Latches stop and releases the blocked `accept(2)` by connecting to
+    /// the listener from loopback. Joins the accept thread. Idempotent.
+    pub fn shutdown(&self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // The self-connect gives accept() something to return; the thread
+        // then observes `stop` and exits. If the connect fails (exotic
+        // bind address, fd exhaustion) fall back to letting the thread
+        // die with the process — the queue consumers are already
+        // released via the condvar below.
+        let _ = TcpStream::connect_timeout(&self.wake_addr(), Duration::from_millis(500));
+        self.shared.cv.notify_all();
+        self.shared.notify.wake();
+        let handle = self.handle.lock().expect("accept handle poisoned").take();
+        if let Some(handle) = handle {
+            let _ = handle.join();
+        }
+    }
+
+    /// Where the wake connection goes: the bound address, with
+    /// unspecified IPs (0.0.0.0 / ::) rewritten to loopback.
+    fn wake_addr(&self) -> SocketAddr {
+        let ip = match self.local.ip() {
+            IpAddr::V4(ip) if ip.is_unspecified() => IpAddr::V4(Ipv4Addr::LOCALHOST),
+            IpAddr::V6(ip) if ip.is_unspecified() => IpAddr::V6(Ipv6Addr::LOCALHOST),
+            ip => ip,
+        };
+        SocketAddr::new(ip, self.local.port())
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<AcceptShared>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shared.stop.load(Ordering::SeqCst) {
+                    // The wake connection (or a client racing shutdown):
+                    // refuse and exit.
+                    drop(stream);
+                    break;
+                }
+                let mut queue = shared.queue.lock().expect("accept queue poisoned");
+                queue.push_back(stream);
+                shared.cv.notify_one();
+                drop(queue);
+                shared.notify.wake();
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                // Transient accept failures (aborted handshake, fd
+                // pressure): never take the daemon down, never spin.
+                if shared.stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write as _;
+    use std::time::Instant;
+
+    #[test]
+    fn parker_latches_wakes_and_times_out() {
+        let p = Parker::new();
+        // A pre-delivered wake is not lost.
+        p.wake();
+        assert!(p.wait(Some(Duration::from_secs(5))));
+        // The latch was consumed: now a timeout.
+        let t = Instant::now();
+        assert!(!p.wait(Some(Duration::from_millis(20))));
+        assert!(t.elapsed() >= Duration::from_millis(15));
+        // Cross-thread wake releases a parked waiter promptly.
+        let p = Arc::new(Parker::new());
+        let p2 = Arc::clone(&p);
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            p2.wake();
+        });
+        let t = Instant::now();
+        assert!(p.wait(Some(Duration::from_secs(10))));
+        assert!(t.elapsed() < Duration::from_secs(5));
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn backoff_spins_hot_then_escalates_to_cap() {
+        let cap = Duration::from_millis(5);
+        let mut b = Backoff::new();
+        for _ in 0..HOT_SWEEPS {
+            assert_eq!(b.next_park(cap), None, "hot window must spin");
+        }
+        let first = b.next_park(cap).expect("parks after the hot window");
+        assert!(first >= PARK_FLOOR && first < cap);
+        let mut last = first;
+        for _ in 0..64 {
+            last = b.next_park(cap).unwrap();
+        }
+        assert_eq!(last, cap, "escalation clamps at the cap");
+        b.reset();
+        assert_eq!(b.next_park(cap), None, "reset returns to hot");
+    }
+
+    #[test]
+    fn acceptor_delivers_connections_and_shutdown_releases_accept() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let notify = Arc::new(Parker::new());
+        let acceptor = Acceptor::spawn(listener, Arc::clone(&notify)).unwrap();
+        let addr = acceptor.local_addr();
+
+        let mut client = TcpStream::connect(addr).unwrap();
+        client.write_all(b"hello").unwrap();
+        assert!(notify.wait(Some(Duration::from_secs(10))), "no accept wake");
+        let got = acceptor.drain();
+        assert_eq!(got.len(), 1);
+        assert!(acceptor.drain().is_empty(), "drain consumes");
+
+        // Shutdown returns promptly even though accept(2) is blocking.
+        let t = Instant::now();
+        acceptor.shutdown();
+        assert!(
+            t.elapsed() < Duration::from_secs(5),
+            "shutdown hung on the blocked accept"
+        );
+    }
+
+    #[test]
+    fn acceptor_recv_blocks_until_connection_or_stop() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let acceptor = Acceptor::spawn(listener, Arc::new(Parker::new())).unwrap();
+        let addr = acceptor.local_addr();
+        std::thread::scope(|scope| {
+            let h = scope.spawn(|| acceptor.recv().is_some());
+            std::thread::sleep(Duration::from_millis(20));
+            let _client = TcpStream::connect(addr).unwrap();
+            assert!(h.join().unwrap(), "recv missed the connection");
+            // After shutdown, recv drains to None.
+            let h = scope.spawn(|| acceptor.recv().is_none());
+            std::thread::sleep(Duration::from_millis(20));
+            acceptor.shutdown();
+            assert!(h.join().unwrap(), "recv did not observe stop");
+        });
+    }
+}

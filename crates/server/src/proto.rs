@@ -60,6 +60,11 @@ pub enum ErrorKind {
     PinnedSnapshot,
     /// A `session/*` op named a session id that is not open.
     UnknownSession,
+    /// Admission control shed the request: the fleet's global in-flight
+    /// cap was reached. The request was *not* executed; the client may
+    /// retry after draining its pipeline. Transcript position is
+    /// preserved — the rejection is the response for that line.
+    Overloaded,
 }
 
 impl ErrorKind {
@@ -74,6 +79,7 @@ impl ErrorKind {
             ErrorKind::Timeout => "timeout",
             ErrorKind::PinnedSnapshot => "pinned-snapshot",
             ErrorKind::UnknownSession => "unknown-session",
+            ErrorKind::Overloaded => "overloaded",
         }
     }
 }

@@ -36,11 +36,14 @@ use stcfa_lint::{lint, Diagnostic, LintOptions};
 use stcfa_session::{LinkError, LinkReport, Module, Workspace};
 
 use crate::cache::{Invalidate, LookupError, Snapshot, SnapshotKey, SnapshotStore};
+use crate::conn::{Conn, ConnLimits, Frame};
 use crate::json::Json;
+use crate::poll::{Acceptor, Backoff, Parker};
 use crate::proto::{
     err_response, ok_response, parse_policy, Deadline, ErrorKind, RequestError, PROTOCOL_VERSION,
     PROTOCOL_VERSION_SESSION,
 };
+use crate::shard::{Completion, FleetStats, ShardPool, Task};
 
 /// Configuration for one daemon.
 #[derive(Clone, Debug)]
@@ -57,6 +60,20 @@ pub struct ServerOptions {
     /// demotes instead of dropping, and a restarted daemon warms from
     /// whatever the previous run persisted.
     pub cache_dir: Option<std::path::PathBuf>,
+    /// Shard queue count for the TCP fleet transport (`--shards`);
+    /// `0` = one shard per worker thread. Requests route to shards by
+    /// snapshot digest, so shard count changes locality, never
+    /// transcripts.
+    pub shards: usize,
+    /// Fleet-wide cap on dispatched-but-unanswered requests
+    /// (`--max-inflight`). Admission past the cap is refused with the
+    /// structured `overloaded` error instead of queueing without bound.
+    pub max_inflight: usize,
+    /// Per-connection cap on framed-but-unanswered requests
+    /// (`--conn-inflight`). At the cap the fleet stops reading from the
+    /// connection and lets TCP push back — no response is ever shed for
+    /// staying under it.
+    pub conn_inflight: usize,
 }
 
 impl Default for ServerOptions {
@@ -66,6 +83,9 @@ impl Default for ServerOptions {
             cache_capacity: 256 << 20,
             default_deadline_ms: None,
             cache_dir: None,
+            shards: 0,
+            max_inflight: 1024,
+            conn_inflight: 64,
         }
     }
 }
@@ -82,6 +102,9 @@ pub struct Server {
     query_ns: AtomicU64,
     /// Latched by the `shutdown` op; transports poll it.
     stop: Arc<AtomicBool>,
+    /// Fleet counters, registered by the TCP event-loop transport so
+    /// the `stats` op can render them. `None` for stdio-only daemons.
+    fleet: Mutex<Option<Arc<FleetStats>>>,
 }
 
 /// One open `session/*` session: the workspace (for incremental
@@ -113,7 +136,14 @@ impl Server {
             in_flight: AtomicU64::new(0),
             query_ns: AtomicU64::new(0),
             stop: Arc::new(AtomicBool::new(false)),
+            fleet: Mutex::new(None),
         }
+    }
+
+    /// The fleet counters, once a TCP event-loop transport has run (or
+    /// is running) on this daemon. `None` under stdio.
+    pub fn fleet_stats(&self) -> Option<Arc<FleetStats>> {
+        self.fleet.lock().expect("fleet slot poisoned").clone()
     }
 
     /// The snapshot store (exposed for tests and benchmarks).
@@ -456,7 +486,7 @@ impl Server {
             .lock()
             .expect("session registry poisoned")
             .len();
-        Json::obj(vec![
+        let mut fields = vec![
             ("protocol", Json::num(PROTOCOL_VERSION_SESSION)),
             ("threads", Json::num(self.options.threads as u64)),
             ("sessions", Json::num(sessions as u64)),
@@ -503,7 +533,11 @@ impl Server {
                     ("query_cache_misses", Json::num(analysis.query_cache_misses)),
                 ]),
             ),
-        ])
+        ];
+        if let Some(fleet) = self.fleet_stats() {
+            fields.push(("fleet", fleet_stats_json(&fleet)));
+        }
+        Json::obj(fields)
     }
 
     // --- session ops --------------------------------------------------------
@@ -844,37 +878,272 @@ impl Server {
         self.serve(BufReader::new(stdin), stdout.lock())
     }
 
-    /// Binds `addr` and serves TCP connections until a `shutdown` request
-    /// arrives on any of them; in-flight connections drain before the
+    /// Binds `addr` and serves TCP connections on the nonblocking
+    /// event-loop fleet until a `shutdown` request arrives on any of
+    /// them; every request framed before the shutdown drains before the
     /// listener returns. Returns the bound local address via `on_bound`
     /// (useful with port 0).
+    ///
+    /// # Fleet architecture
+    ///
+    /// One thread (this one) runs the event loop: it drains the
+    /// [`Acceptor`]'s blocking accept thread, pumps every connection's
+    /// nonblocking reads/writes, applies admission control, and routes
+    /// framed requests to a [`ShardPool`] of `threads` workers over
+    /// `shards` digest-keyed queues. Workers compute; the loop owns all
+    /// sockets and all ordering. Idle costs nothing: with no
+    /// connections the loop parks forever (the acceptor wakes it), and
+    /// with idle connections it parks on an escalating backoff capped
+    /// at a few milliseconds — there is no fixed accept-poll sleep.
+    ///
+    /// # Ordering and backpressure
+    ///
+    /// Per-connection transcripts are byte-identical at any
+    /// shard/worker count: responses enter the write buffer strictly in
+    /// request order, and order-sensitive ops hold until every earlier
+    /// request on their connection has been answered (see
+    /// [`crate::conn`]). Past `conn_inflight` unanswered requests (or a
+    /// slow reader's unflushed responses), the loop stops reading the
+    /// connection and TCP pushes back. Past `max_inflight` dispatched
+    /// requests fleet-wide, new requests are refused in transcript
+    /// position with the structured `overloaded` error.
     pub fn serve_tcp(
         &self,
         addr: &str,
         on_bound: impl FnOnce(std::net::SocketAddr),
     ) -> io::Result<()> {
         let listener = TcpListener::bind(addr)?;
-        listener.set_nonblocking(true)?;
         on_bound(listener.local_addr()?);
+        let notify = Arc::new(Parker::new());
+        let fleet = Arc::new(FleetStats::default());
+        *self.fleet.lock().expect("fleet slot poisoned") = Some(Arc::clone(&fleet));
+        let workers = self.options.threads.max(1);
+        let shards = if self.options.shards == 0 {
+            workers
+        } else {
+            self.options.shards
+        };
+        let pool = ShardPool::new(shards, workers, Arc::clone(&notify), Arc::clone(&fleet));
+        let acceptor = Acceptor::spawn(listener, Arc::clone(&notify))?;
         std::thread::scope(|scope| {
-            loop {
-                match listener.accept() {
-                    Ok((stream, _)) => {
-                        scope.spawn(move || {
-                            let _ = self.serve_tcp_connection(stream);
-                        });
+            let pool_ref = &pool;
+            for w in 0..pool.workers() {
+                scope.spawn(move || {
+                    pool_ref.worker_loop(w, &|line, received| self.handle_line(line, received));
+                });
+            }
+            self.event_loop(&acceptor, &pool, &notify, &fleet);
+            pool.stop();
+        });
+        acceptor.shutdown();
+        Ok(())
+    }
+
+    /// The fleet's event loop: runs until shutdown is latched and every
+    /// framed request has been answered and flushed (or its connection
+    /// died). Single-threaded by construction — it owns every socket,
+    /// so framing, ordering, and admission need no locks.
+    fn event_loop(
+        &self,
+        acceptor: &Acceptor,
+        pool: &ShardPool,
+        notify: &Arc<Parker>,
+        fleet: &FleetStats,
+    ) {
+        let limits = ConnLimits {
+            conn_inflight: self.options.conn_inflight,
+            ..ConnLimits::default()
+        };
+        let max_inflight = self.options.max_inflight.max(1) as u64;
+        let mut conns: BTreeMap<u64, Conn<TcpStream>> = BTreeMap::new();
+        let mut next_conn_id = 0u64;
+        let mut backoff = Backoff::new();
+        let mut stopping = false;
+        let mut drain_started: Option<Instant> = None;
+        loop {
+            let mut progress = false;
+
+            // New connections. Once shutdown is latched, late arrivals
+            // are refused (dropped) rather than half-served.
+            for stream in acceptor.drain() {
+                progress = true;
+                if stopping {
+                    continue;
+                }
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                let _ = stream.set_nodelay(true);
+                let id = next_conn_id;
+                next_conn_id += 1;
+                conns.insert(id, Conn::new(stream, id));
+                fleet.connections.fetch_add(1, Ordering::Relaxed);
+                fleet.connections_total.fetch_add(1, Ordering::Relaxed);
+            }
+
+            // Worker completions: advance each connection's ordered
+            // writer; a completion can release a held order-sensitive
+            // frame, which is admitted right here.
+            for Completion {
+                conn: id,
+                seq,
+                response,
+            } in pool.drain_completions()
+            {
+                progress = true;
+                if let Some(conn) = conns.get_mut(&id) {
+                    let mut released = conn.complete(seq, response);
+                    while let Some(frame) = released {
+                        released = self.admit(conn, frame, pool, max_inflight, fleet);
                     }
-                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                        if self.is_stopping() {
-                            break;
-                        }
-                        std::thread::sleep(Duration::from_millis(20));
-                    }
-                    Err(e) => return Err(e),
                 }
             }
-            Ok(())
-        })
+
+            // Per-connection I/O: frame what arrived, admit it, flush
+            // what is ready to leave.
+            for conn in conns.values_mut() {
+                if !stopping {
+                    let pumped = conn.pump_read(&limits, needs_order);
+                    progress |= pumped.progressed;
+                    for frame in pumped.dispatch {
+                        let mut released = self.admit(conn, frame, pool, max_inflight, fleet);
+                        while let Some(next) = released {
+                            released = self.admit(conn, next, pool, max_inflight, fleet);
+                        }
+                    }
+                }
+                progress |= conn.pump_write();
+            }
+
+            // Reap: closed-and-drained or broken connections free their
+            // slot (never while a dispatched request could still post a
+            // completion for them).
+            let before = conns.len();
+            conns.retain(|_, c| !c.reapable());
+            if conns.len() != before {
+                fleet
+                    .connections
+                    .fetch_sub((before - conns.len()) as u64, Ordering::Relaxed);
+                progress = true;
+            }
+
+            if !stopping && self.is_stopping() {
+                // Shutdown latched by some worker. Stop reading (lines
+                // framed before this sweep still drain, matching the
+                // stdio pipeline's guarantee) and stop admitting
+                // connections.
+                stopping = true;
+                progress = true;
+            }
+
+            if stopping && pool.inflight() == 0 {
+                let all_emitted = conns.values().all(|c| c.is_dead() || c.emit_done());
+                if all_emitted {
+                    if conns.values().all(|c| c.is_dead() || c.drained()) {
+                        break;
+                    }
+                    // Everything is answered; only unflushed bytes to
+                    // slow readers remain. Bounded grace, then cut.
+                    let t = *drain_started.get_or_insert_with(Instant::now);
+                    if t.elapsed() > Duration::from_secs(2) {
+                        break;
+                    }
+                }
+            }
+
+            if progress {
+                backoff.reset();
+                continue;
+            }
+            // Nothing moved. Park: forever with no connections (the
+            // acceptor or a completion wakes us), otherwise on the
+            // escalating backoff — the cap bounds how late the loop can
+            // notice bytes on an idle connection, the only signal
+            // without a waker.
+            if conns.is_empty() && !stopping {
+                notify.wait(None);
+                backoff.reset();
+            } else {
+                let cap = if stopping || conns.values().any(|c| c.wbuf_len() > 0) {
+                    Duration::from_micros(500)
+                } else {
+                    Duration::from_millis(5)
+                };
+                if let Some(park) = backoff.next_park(cap) {
+                    if notify.wait(Some(park)) {
+                        backoff.reset();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Admission control for one framed request: refuse it in
+    /// transcript position when the fleet-wide in-flight cap is hit,
+    /// otherwise route it to its shard. Returns the next held frame if
+    /// a synthesized response released one.
+    fn admit(
+        &self,
+        conn: &mut Conn<TcpStream>,
+        frame: Frame,
+        pool: &ShardPool,
+        max_inflight: u64,
+        fleet: &FleetStats,
+    ) -> Option<Frame> {
+        if conn.is_dead() {
+            // The client is gone; executing would be pure waste. The
+            // empty completion keeps the sequence accounting moving so
+            // the slot can be reaped.
+            return conn.complete(frame.seq, String::new());
+        }
+        if pool.inflight() >= max_inflight {
+            fleet.overloaded_total.fetch_add(1, Ordering::Relaxed);
+            self.requests.fetch_add(1, Ordering::Relaxed);
+            let response = overloaded_response(&frame.line, max_inflight);
+            return conn.complete(frame.seq, response);
+        }
+        let affinity = affinity_digest(&frame.line);
+        pool.dispatch(Task {
+            conn: conn.id,
+            seq: frame.seq,
+            line: frame.line,
+            received: frame.received,
+            affinity,
+        });
+        None
+    }
+
+    /// The pre-fleet transport: one blocking OS thread per connection,
+    /// each running the stdio pipeline over the socket. Kept as the
+    /// soak bench's baseline and behind `--transport threaded` for
+    /// comparison; the accept path shares the fleet's [`Acceptor`], so
+    /// even the legacy transport no longer sleep-polls.
+    pub fn serve_tcp_threaded(
+        &self,
+        addr: &str,
+        on_bound: impl FnOnce(std::net::SocketAddr),
+    ) -> io::Result<()> {
+        let listener = TcpListener::bind(addr)?;
+        on_bound(listener.local_addr()?);
+        let notify = Arc::new(Parker::new());
+        let acceptor = Acceptor::spawn(listener, Arc::clone(&notify))?;
+        std::thread::scope(|scope| loop {
+            if self.is_stopping() {
+                break;
+            }
+            for stream in acceptor.drain() {
+                let wake = Arc::clone(&notify);
+                scope.spawn(move || {
+                    let _ = self.serve_tcp_connection(stream);
+                    // A finished connection may have latched shutdown:
+                    // wake the accept loop so it notices.
+                    wake.wake();
+                });
+            }
+            notify.wait(None);
+        });
+        acceptor.shutdown();
+        Ok(())
     }
 
     /// One TCP connection: same pipeline, with a read timeout so an idle
@@ -888,6 +1157,191 @@ impl Server {
         };
         self.serve(reader, writer)
     }
+}
+
+/// The `fleet` block of the `stats` response.
+fn fleet_stats_json(fleet: &FleetStats) -> Json {
+    Json::obj(vec![
+        ("shards", Json::num(fleet.shards.load(Ordering::Relaxed))),
+        ("workers", Json::num(fleet.workers.load(Ordering::Relaxed))),
+        (
+            "connections",
+            Json::num(fleet.connections.load(Ordering::Relaxed)),
+        ),
+        (
+            "connections_total",
+            Json::num(fleet.connections_total.load(Ordering::Relaxed)),
+        ),
+        (
+            "dispatched",
+            Json::num(fleet.dispatched.load(Ordering::Relaxed)),
+        ),
+        (
+            "shard_hits",
+            Json::num(fleet.shard_hits.load(Ordering::Relaxed)),
+        ),
+        (
+            "overloaded_total",
+            Json::num(fleet.overloaded_total.load(Ordering::Relaxed)),
+        ),
+    ])
+}
+
+/// One stderr line summarizing a fleet's lifetime (the `--summary`
+/// flag).
+pub fn fleet_summary_line(fleet: &FleetStats) -> String {
+    format!(
+        "fleet summary: connections_total={} dispatched={} shard_hits={} overloaded_total={}",
+        fleet.connections_total.load(Ordering::Relaxed),
+        fleet.dispatched.load(Ordering::Relaxed),
+        fleet.shard_hits.load(Ordering::Relaxed),
+        fleet.overloaded_total.load(Ordering::Relaxed),
+    )
+}
+
+/// The synthesized admission-rejection response, echoing the request's
+/// `id` and protocol version so it sits in the transcript exactly where
+/// the executed response would have.
+fn overloaded_response(line: &str, max_inflight: u64) -> String {
+    let (id, version) = match Json::parse(line) {
+        Ok(request) => {
+            let id = request.get("id").cloned().unwrap_or(Json::Null);
+            let version = match request.get("v").and_then(Json::as_u64) {
+                Some(v) if v == PROTOCOL_VERSION || v == PROTOCOL_VERSION_SESSION => v,
+                Some(_) | None => PROTOCOL_VERSION,
+            };
+            (id, version)
+        }
+        Err(_) => (Json::Null, PROTOCOL_VERSION),
+    };
+    err_response(
+        version,
+        id,
+        &RequestError::new(
+            ErrorKind::Overloaded,
+            format!("admission refused: {max_inflight} requests already in flight; retry after draining"),
+        ),
+    )
+    .to_line()
+}
+
+// --- shard affinity -------------------------------------------------------
+
+/// The routing digest for one request line: the snapshot content
+/// address when one is named or derivable, a session-id hash for
+/// `session/*` ops, `0` (round-robin) otherwise. This is a locality
+/// *hint* — the scan is shallow and a wrong guess costs a cache-warm
+/// shard, never correctness — but for well-formed requests it matches
+/// [`SnapshotKey::derive`] exactly, so `analyze` and the `query`s that
+/// follow it land on the same shard.
+fn affinity_digest(line: &str) -> u64 {
+    if let Some(raw) = raw_str_field(line, "snapshot") {
+        if let Some(key) = SnapshotKey::from_hex(raw) {
+            return key.0;
+        }
+    }
+    if let Some(raw) = raw_str_field(line, "session") {
+        return stcfa_devkit::hash::Fnv1a::digest_parts(raw.as_bytes(), &[u64::MAX]);
+    }
+    if let Some(raw) = raw_str_field(line, "source") {
+        let source = unescape_json_span(raw);
+        let policy = raw_str_field(line, "policy").unwrap_or("c1");
+        if let Some((_, disc)) = crate::proto::parse_policy(policy) {
+            return SnapshotKey::derive(&source, disc, ENGINE_SUB).0;
+        }
+    }
+    0
+}
+
+/// Finds the raw (still-escaped) span of a string field in a JSON line:
+/// `"name"` then `:` then a string literal. Shallow by design — a
+/// matching key inside a nested string can fool it, which skews a
+/// routing hint and nothing else.
+fn raw_str_field<'a>(line: &'a str, name: &str) -> Option<&'a str> {
+    let bytes = line.as_bytes();
+    let pat = format!("\"{name}\"");
+    let mut from = 0;
+    while let Some(rel) = line[from..].find(&pat) {
+        let mut i = from + rel + pat.len();
+        from = i;
+        while i < bytes.len() && (bytes[i] == b' ' || bytes[i] == b'\t') {
+            i += 1;
+        }
+        if i >= bytes.len() || bytes[i] != b':' {
+            continue;
+        }
+        i += 1;
+        while i < bytes.len() && (bytes[i] == b' ' || bytes[i] == b'\t') {
+            i += 1;
+        }
+        if i >= bytes.len() || bytes[i] != b'"' {
+            continue;
+        }
+        i += 1;
+        let start = i;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'\\' => i += 2,
+                b'"' => return Some(&line[start..i]),
+                _ => i += 1,
+            }
+        }
+        return None;
+    }
+    None
+}
+
+/// Unescapes a raw JSON string span (the bytes between the quotes) just
+/// enough to reproduce what the real parser would hand the analyzer —
+/// required for the affinity digest to agree with the content address
+/// the worker derives.
+fn unescape_json_span(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    let mut chars = raw.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('"') => out.push('"'),
+            Some('\\') => out.push('\\'),
+            Some('/') => out.push('/'),
+            Some('n') => out.push('\n'),
+            Some('t') => out.push('\t'),
+            Some('r') => out.push('\r'),
+            Some('b') => out.push('\u{8}'),
+            Some('f') => out.push('\u{c}'),
+            Some('u') => {
+                let hex: String = chars.by_ref().take(4).collect();
+                match u32::from_str_radix(&hex, 16) {
+                    Ok(hi @ 0xd800..=0xdbff) => {
+                        // A surrogate pair: expect \uDCxx next.
+                        let mut rest = chars.clone();
+                        let lo = (rest.next() == Some('\\') && rest.next() == Some('u'))
+                            .then(|| {
+                                let hex: String = rest.by_ref().take(4).collect();
+                                u32::from_str_radix(&hex, 16).ok()
+                            })
+                            .flatten();
+                        match lo {
+                            Some(lo @ 0xdc00..=0xdfff) => {
+                                let c = 0x10000 + ((hi - 0xd800) << 10) + (lo - 0xdc00);
+                                out.push(char::from_u32(c).unwrap_or('\u{fffd}'));
+                                chars = rest;
+                            }
+                            _ => out.push('\u{fffd}'),
+                        }
+                    }
+                    Ok(code) => out.push(char::from_u32(code).unwrap_or('\u{fffd}')),
+                    Err(_) => out.push('\u{fffd}'),
+                }
+            }
+            Some(other) => out.push(other),
+            None => {}
+        }
+    }
+    out
 }
 
 /// Decodes the NUL-prefixed error kind the build closure encodes (the

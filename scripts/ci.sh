@@ -130,6 +130,46 @@ for t in 1 2 8; do
 done
 echo "-- session transcripts byte-identical at threads 1/2/8"
 
+echo "== server: fleet fault-injection gate =="
+# The connection-level fault suite (mid-burst disconnect, half-written
+# lines, slow-reader backpressure, overload shedding, transcript
+# invariance across shard/thread geometry) must pass explicitly, not
+# just ride along in the tier-1 run.
+cargo test -q --offline --test server -- fleet mid_burst half_written \
+  overload slow_reader persist_tier idle
+
+echo "== server: TCP soak smoke (64 connections) =="
+# A short bursty run against the release daemon through the fleet
+# transport. Gates: no connection fails, responses stay in per-stream
+# order, cross-connection transcripts are byte-identical, nothing is
+# shed at nominal load, and p99 stays sane.
+soak_log="$CI_TMP/serve.err"
+./target/release/stcfa serve --addr 127.0.0.1:0 --threads 2 --summary 2>"$soak_log" &
+serve_pid=$!
+trap 'kill "$serve_pid" 2>/dev/null || true; rm -rf "$CI_TMP"' EXIT INT TERM
+soak_addr=""
+for _ in $(seq 1 200); do
+  soak_addr="$(sed -n 's/^stcfa-server listening on //p' "$soak_log" | head -n1)"
+  [ -n "$soak_addr" ] && break
+  sleep 0.05
+done
+[ -n "$soak_addr" ] || { echo "soak smoke: daemon never announced its port" >&2; exit 1; }
+# `stcfa soak` itself exits nonzero on failed connections or reordering.
+soak_out="$(./target/release/stcfa soak --addr "$soak_addr" --connections 64 --bursts 2 --burst 4)"
+echo "$soak_out"
+printf '%s\n' "$soak_out" | grep -q '"overloaded":0,' \
+  || { echo "soak smoke: requests shed at nominal load" >&2; exit 1; }
+printf '%s\n' "$soak_out" | grep -q '"transcript_identical":true' \
+  || { echo "soak smoke: transcripts diverged across connections" >&2; exit 1; }
+soak_p99="$(printf '%s\n' "$soak_out" | sed -n 's/.*"p99_ns":\([0-9]*\).*/\1/p')"
+[ -n "$soak_p99" ] && [ "$soak_p99" -lt 2000000000 ] \
+  || { echo "soak smoke: p99 ${soak_p99:-missing} ns exceeds the 2 s sanity bound" >&2; exit 1; }
+./target/release/stcfa client --addr "$soak_addr" --request '{"op":"shutdown"}' >/dev/null
+wait "$serve_pid"
+grep -q '^fleet summary:' "$soak_log" \
+  || { echo "soak smoke: --summary line missing from stderr" >&2; exit 1; }
+echo "-- soak clean: 64 connections, zero shed, p99 ${soak_p99} ns"
+
 echo "== benches compile (not run) =="
 cargo bench --no-run --offline
 

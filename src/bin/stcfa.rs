@@ -182,8 +182,10 @@ fn usage() -> &'static str {
      \t[--analysis sub|poly|hybrid|cfa0|sba|unify] [--policy c1|c2|exact|forget]\n\
      \t[--max-nodes <n>] [--fuel <n>]\n\
      \tor: stcfa lint <FILE|-> [--format text|json] [--policy ...] [--threads <n>]\n\
-     \tor: stcfa serve [--stdio|--addr HOST:PORT] [--threads <n>] [--cache-capacity <bytes>] [--cache-dir <path>] [--deadline-ms <n>]\n\
+     \tor: stcfa serve [--stdio|--addr HOST:PORT] [--threads <n>] [--shards <n>] [--cache-capacity <bytes>] [--cache-dir <path>]\n\
+     \t\t[--deadline-ms <n>] [--max-inflight <n>] [--conn-inflight <n>] [--transport fleet|threaded] [--summary]\n\
      \tor: stcfa client --addr HOST:PORT [--request <json>]\n\
+     \tor: stcfa soak --addr HOST:PORT [--connections <n>] [--bursts <n>] [--burst <n>] [--source-file <path>] [--no-warm]\n\
      \tor: stcfa session [FILE...] [--module NAME=PATH]* [--split <n>] [--policy ...] [--lint] [--emit-requests [--update-last]]\n\
      \tor: stcfa --repl    (incremental session on stdin)\n\
      \tor: stcfa --version"
@@ -675,15 +677,32 @@ fn run_session(args: &[String]) -> Result<(), CliError> {
 /// analysis daemon. Defaults to the stdio transport when no `--addr` is
 /// given.
 fn run_serve(args: &[String]) -> Result<(), CliError> {
-    use stcfa::server::{Server, ServerOptions};
+    use stcfa::server::{fleet_summary_line, Server, ServerOptions};
 
     let mut addr = None;
     let mut stdio = false;
+    let mut summary = false;
+    let mut threaded = false;
     let mut options = ServerOptions::default();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--stdio" => stdio = true,
+            "--summary" => summary = true,
+            "--shards" => options.shards = flag_value(&mut it, "--shards")?,
+            "--max-inflight" => options.max_inflight = flag_value(&mut it, "--max-inflight")?,
+            "--conn-inflight" => options.conn_inflight = flag_value(&mut it, "--conn-inflight")?,
+            "--transport" => {
+                threaded = match it.next().map(String::as_str) {
+                    Some("fleet") => false,
+                    Some("threaded") => true,
+                    other => {
+                        return Err(CliError::BadValue(format!(
+                            "--transport expects fleet|threaded, got {other:?}"
+                        )))
+                    }
+                };
+            }
             "--addr" => {
                 addr = Some(
                     it.next()
@@ -730,16 +749,89 @@ fn run_serve(args: &[String]) -> Result<(), CliError> {
             "--threads must be at least 1".to_owned(),
         ));
     }
-    let server = Server::new(options);
-    match addr {
-        None => server.serve_stdio(),
-        Some(addr) => server.serve_tcp(&addr, |bound| {
-            // The smoke test (and humans using port 0) read the bound
-            // address off stderr.
-            eprintln!("stcfa-server listening on {bound}");
-        }),
+    if options.max_inflight == 0 {
+        return Err(CliError::BadValue(
+            "--max-inflight must be at least 1".to_owned(),
+        ));
     }
-    .map_err(|e| CliError::Runtime(format!("serve: {e}")))
+    if options.conn_inflight == 0 {
+        return Err(CliError::BadValue(
+            "--conn-inflight must be at least 1".to_owned(),
+        ));
+    }
+    let server = Server::new(options);
+    let on_bound = |bound: std::net::SocketAddr| {
+        // The smoke test (and humans using port 0) read the bound
+        // address off stderr.
+        eprintln!("stcfa-server listening on {bound}");
+    };
+    let result = match addr {
+        None => server.serve_stdio(),
+        Some(addr) if threaded => server.serve_tcp_threaded(&addr, on_bound),
+        Some(addr) => server.serve_tcp(&addr, on_bound),
+    };
+    if summary {
+        if let Some(fleet) = server.fleet_stats() {
+            eprintln!("{}", fleet_summary_line(&fleet));
+        }
+    }
+    result.map_err(|e| CliError::Runtime(format!("serve: {e}")))
+}
+
+/// `stcfa soak --addr HOST:PORT [...]`: drive the shared many-connection
+/// pipelined load generator against a running daemon and print one JSON
+/// report line (CI's soak smoke parses it).
+fn run_soak(args: &[String]) -> Result<(), CliError> {
+    use stcfa::server::soak::{run_soak, SoakConfig};
+
+    let mut config = SoakConfig::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => {
+                config.addr = it
+                    .next()
+                    .ok_or_else(|| {
+                        CliError::BadValue(format!("--addr needs a value\n{}", usage()))
+                    })?
+                    .to_owned();
+            }
+            "--connections" => config.connections = flag_value(&mut it, "--connections")?,
+            "--bursts" => config.bursts = flag_value(&mut it, "--bursts")?,
+            "--burst" => config.burst = flag_value(&mut it, "--burst")?,
+            "--source-file" => {
+                let path = it.next().ok_or_else(|| {
+                    CliError::BadValue(format!("--source-file needs a value\n{}", usage()))
+                })?;
+                config.source = std::fs::read_to_string(path)
+                    .map_err(|e| CliError::Runtime(format!("--source-file {path}: {e}")))?;
+            }
+            "--no-warm" => config.warm = false,
+            other => {
+                return Err(CliError::Usage(format!(
+                    "unexpected argument `{other}`\n{}",
+                    usage()
+                )))
+            }
+        }
+    }
+    if config.addr.is_empty() {
+        return Err(CliError::Usage("soak needs --addr HOST:PORT".to_owned()));
+    }
+    if config.connections == 0 || config.bursts == 0 || config.burst == 0 {
+        return Err(CliError::BadValue(
+            "--connections/--bursts/--burst must be at least 1".to_owned(),
+        ));
+    }
+    let report = run_soak(&config);
+    println!("{}", report.to_json_line());
+    if report.failed_connections > 0 || report.reordered > 0 {
+        return Err(CliError::Runtime(format!(
+            "soak failed: {} hung/dead connections, {} reordered responses",
+            report.failed_connections, report.reordered
+        )));
+    }
+    Ok(())
 }
 
 /// `stcfa client --addr HOST:PORT [--request <json>]`: forward one request
@@ -833,6 +925,7 @@ fn run() -> Result<(), CliError> {
         Some("lint") => return run_lint(&args[1..]),
         Some("serve") => return run_serve(&args[1..]),
         Some("client") => return run_client(&args[1..]),
+        Some("soak") => return run_soak(&args[1..]),
         Some("session") => return run_session(&args[1..]),
         _ => {}
     }
