@@ -482,6 +482,46 @@ impl QueryEngine {
         &self.cond
     }
 
+    // --- relation views -----------------------------------------------------
+    //
+    // Zero-copy accessors for the rule engine (`stcfa-rules`): its
+    // extensional relations are views over these frozen arrays, so a rule
+    // program evaluates against the same memory the hand-fused analyses
+    // read — no copies, no re-derivation.
+
+    /// `u64` words per component label row (`⌈label_count/64⌉`, min 1).
+    pub fn row_words(&self) -> usize {
+        self.words
+    }
+
+    /// The completed-sweep label row of component `c`, as raw bit words
+    /// ([`QueryEngine::row_words`] of them). Forces the full sweep on
+    /// first call. Bit `l` set means label `l` reaches the component.
+    pub fn summary_row(&self, c: usize) -> &[u64] {
+        let rows = self.summaries();
+        &rows[c * self.words..(c + 1) * self.words]
+    }
+
+    /// The graph node carrying expression occurrence `e`.
+    pub fn node_of_expr(&self, e: ExprId) -> NodeId {
+        NodeId::from_index(self.expr_nodes[e.index()] as usize)
+    }
+
+    /// The graph node carrying binder `v`.
+    pub fn node_of_binder(&self, v: VarId) -> NodeId {
+        NodeId::from_index(self.binder_nodes[v.index()] as usize)
+    }
+
+    /// The abstraction label introduced *at* `node` (its own bit in the
+    /// sweep), if any. Several nodes may carry the same label under
+    /// polyvariant instantiation.
+    pub fn own_label(&self, node: NodeId) -> Option<Label> {
+        match self.node_label[node.index()] {
+            u32::MAX => None,
+            l => Some(Label::from_index(l as usize)),
+        }
+    }
+
     // --- label rows ---------------------------------------------------------
 
     /// Seeds `row` with the labels carried by the members of component `c`.

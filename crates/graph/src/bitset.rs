@@ -84,6 +84,60 @@ impl BitSet {
         changed
     }
 
+    /// The backing words, little-endian within each `u64`. Bit `i` of the
+    /// set is bit `i % 64` of word `i / 64`. Exposed so relation joins can
+    /// run word-parallel against externally owned rows (e.g. the query
+    /// engine's summary rows) without copying either side.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// ORs a raw word row into `self`; returns `true` if `self` changed.
+    /// `row` may be shorter than the set's word count (missing words are
+    /// zero) but must not set bits at or beyond `capacity`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` carries a bit `>= capacity`.
+    pub fn union_words(&mut self, row: &[u64]) -> bool {
+        assert!(
+            row.len() <= self.words.len() || row[self.words.len()..].iter().all(|&w| w == 0),
+            "word row wider than capacity {}",
+            self.capacity
+        );
+        let mut changed = false;
+        for (a, &b) in self.words.iter_mut().zip(row) {
+            let next = *a | b;
+            changed |= next != *a;
+            *a = next;
+        }
+        // Guard the final partial word: a row bit past `capacity` would
+        // corrupt `len()` and iteration.
+        if !self.capacity.is_multiple_of(64) {
+            if let Some(last) = self.words.last() {
+                let mask = (1u64 << (self.capacity % 64)) - 1;
+                assert!(last & !mask == 0, "word row set bit >= capacity");
+            }
+        }
+        changed
+    }
+
+    /// Intersects `other` into `self`; returns `true` if `self` changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacities differ.
+    pub fn intersect_with(&mut self, other: &BitSet) -> bool {
+        assert_eq!(self.capacity, other.capacity, "capacity mismatch");
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let next = *a & *b;
+            changed |= next != *a;
+            *a = next;
+        }
+        changed
+    }
+
     /// Number of elements.
     pub fn len(&self) -> usize {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
@@ -192,5 +246,37 @@ mod tests {
     #[should_panic(expected = "out of capacity")]
     fn insert_out_of_range_panics() {
         BitSet::new(10).insert(10);
+    }
+
+    #[test]
+    fn union_words_is_union_with_on_raw_rows() {
+        let mut a = BitSet::new(130);
+        a.insert(1);
+        let row = [1u64 << 3, 0, 1u64 << 1]; // {3, 129}
+        assert!(a.union_words(&row));
+        assert!(!a.union_words(&row), "second union is a no-op");
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![1, 3, 129]);
+        // A short row leaves high words alone.
+        let mut b = BitSet::new(130);
+        b.insert(129);
+        assert!(b.union_words(&[1u64]));
+        assert_eq!(b.iter().collect::<Vec<_>>(), vec![0, 129]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bit >= capacity")]
+    fn union_words_rejects_out_of_capacity_bits() {
+        BitSet::new(5).union_words(&[1u64 << 10]);
+    }
+
+    #[test]
+    fn intersect_reports_change() {
+        let mut a: BitSet = [1usize, 3, 64].iter().copied().collect();
+        let mut b = BitSet::new(a.capacity());
+        b.insert(3);
+        b.insert(64);
+        assert!(a.intersect_with(&b));
+        assert!(!a.intersect_with(&b), "second intersect is a no-op");
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![3, 64]);
     }
 }

@@ -60,6 +60,16 @@ pub enum RuleCode {
     /// non-function value (literal, record, or constructor), so the
     /// application cannot evaluate.
     StuckApplication,
+    /// `STCFA007` — mixed-purity call: both an effectful-bodied and a
+    /// pure-bodied abstraction flow to the same operator, so whether the
+    /// call performs effects depends on which one arrives (cross-checked
+    /// against the cubic CFA oracle).
+    TaintedEffectfulFlow,
+    /// `STCFA008` — dominated-redundant application: the operator has a
+    /// single possible target, and another call site with the same sole
+    /// target strictly dominates this one in the call graph — every path
+    /// here already applied that abstraction.
+    DominatedRedundantApplication,
 }
 
 impl RuleCode {
@@ -72,6 +82,8 @@ impl RuleCode {
             RuleCode::UselessParameter => "STCFA004",
             RuleCode::EscapingEffectfulClosure => "STCFA005",
             RuleCode::StuckApplication => "STCFA006",
+            RuleCode::TaintedEffectfulFlow => "STCFA007",
+            RuleCode::DominatedRedundantApplication => "STCFA008",
         }
     }
 
@@ -84,11 +96,13 @@ impl RuleCode {
             RuleCode::UselessParameter => Severity::Warning,
             RuleCode::EscapingEffectfulClosure => Severity::Warning,
             RuleCode::StuckApplication => Severity::Error,
+            RuleCode::TaintedEffectfulFlow => Severity::Warning,
+            RuleCode::DominatedRedundantApplication => Severity::Info,
         }
     }
 
     /// All rules, in code order.
-    pub fn all() -> [RuleCode; 6] {
+    pub fn all() -> [RuleCode; 8] {
         [
             RuleCode::FlowDeadApplication,
             RuleCode::NeverInvokedAbstraction,
@@ -96,6 +110,8 @@ impl RuleCode {
             RuleCode::UselessParameter,
             RuleCode::EscapingEffectfulClosure,
             RuleCode::StuckApplication,
+            RuleCode::TaintedEffectfulFlow,
+            RuleCode::DominatedRedundantApplication,
         ]
     }
 }

@@ -1,0 +1,142 @@
+//! `stcfa lint --explain CODE`: the definition behind each rule code.
+//!
+//! Rule-backed codes print their actual declarative program — the
+//! [`stcfa_rules`] source of truth, rendered in Datalog surface syntax —
+//! so what the explainer shows is what the evaluator runs. Codes that
+//! are structural (STCFA006) or oracle-coupled (STCFA001, STCFA003)
+//! get prose instead.
+
+use std::fmt::Write as _;
+
+use stcfa_rules::analyses;
+
+use crate::diag::RuleCode;
+
+/// Returns the explanation for `code` (e.g. `"STCFA004"`; matching is
+/// case-insensitive), or `None` when the code is unknown.
+pub fn explain(code: &str) -> Option<String> {
+    let code = RuleCode::all()
+        .into_iter()
+        .find(|c| c.as_str().eq_ignore_ascii_case(code))?;
+    let mut out = String::new();
+    let header = |out: &mut String, title: &str| {
+        let _ = writeln!(out, "{} ({}): {}", code.as_str(), code.severity(), title);
+        out.push('\n');
+    };
+    match code {
+        RuleCode::FlowDeadApplication => {
+            header(&mut out, "flow-dead application");
+            out.push_str(
+                "The subtransitive flow analysis proves that no abstraction label\n\
+                 reaches the operator of this application, and the cubic 0-CFA\n\
+                 oracle confirms the exact set is empty too. The call can never\n\
+                 apply a function; the expression is dead or a bug.\n\n\
+                 Not rule-backed: the finding couples the engine's (possibly\n\
+                 under-approximating) answer with a lazily-run exact oracle.\n",
+            );
+        }
+        RuleCode::NeverInvokedAbstraction => {
+            header(&mut out, "never-invoked abstraction");
+            out.push_str(
+                "No application in the program can call this abstraction, and it\n\
+                 does not escape to the program result (where an outside caller\n\
+                 could apply it). Evaluated from the declarative program:\n\n",
+            );
+            let _ = write!(out, "{}", analyses::never_invoked_program().0);
+        }
+        RuleCode::CalledOnceInline => {
+            header(&mut out, "called exactly once");
+            out.push_str(
+                "Exactly one call site anywhere in the program applies this\n\
+                 abstraction, so inlining or specializing it cannot duplicate\n\
+                 work. Computed by the engine-backed called-once analysis\n\
+                 (a per-label site count, not a rule program).\n",
+            );
+        }
+        RuleCode::UselessParameter => {
+            header(&mut out, "useless parameter");
+            out.push_str(
+                "The bound variable has no occurrence in the body. Names starting\n\
+                 with `_` (declared intent) or `$` (desugaring machinery) are\n\
+                 exempt. Evaluated from the declarative program:\n\n",
+            );
+            let _ = write!(out, "{}", analyses::useless_param_program().0);
+        }
+        RuleCode::EscapingEffectfulClosure => {
+            header(&mut out, "escaping effectful closure");
+            out.push_str(
+                "An abstraction whose body performs effects flows to the program\n\
+                 result, so whether (and how often) those effects run is decided\n\
+                 by the consumer. Evaluated from the declarative program:\n\n",
+            );
+            let _ = write!(out, "{}", analyses::escaping_effectful_program().0);
+        }
+        RuleCode::StuckApplication => {
+            header(&mut out, "stuck application");
+            out.push_str(
+                "The operator is structurally a non-function value — a literal,\n\
+                 record, or constructor — so the application cannot evaluate.\n\
+                 Purely syntactic; no rule program involved.\n",
+            );
+        }
+        RuleCode::TaintedEffectfulFlow => {
+            header(&mut out, "mixed-purity call");
+            out.push_str(
+                "Both an effectful-bodied and a pure-bodied abstraction flow to\n\
+                 the same operator: whether the call performs effects depends on\n\
+                 which one arrives at run time. Reported only when the cubic CFA\n\
+                 oracle confirms the mix is exact. Evaluated from the\n\
+                 declarative program:\n\n",
+            );
+            let _ = write!(out, "{}", analyses::mixed_purity_program().0);
+        }
+        RuleCode::DominatedRedundantApplication => {
+            header(&mut out, "dominated-redundant application");
+            out.push_str(
+                "This application has a single possible target, and another call\n\
+                 site with the same sole target sits in a call-graph node that\n\
+                 strictly dominates this one — every path here already applied\n\
+                 that abstraction. Built on the dominator relation, itself a\n\
+                 stratified rule program (`nd(n, d)` is \"the entry reaches `n`\n\
+                 avoiding `d`\"; `dom` is its negation on reachable nodes):\n\n",
+            );
+            let _ = write!(out, "{}", analyses::dominators_program().0);
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_code_has_an_explanation() {
+        for code in RuleCode::all() {
+            let text = explain(code.as_str()).expect("known code");
+            assert!(text.starts_with(code.as_str()), "{text}");
+            assert!(
+                text.contains(code.severity().as_str()),
+                "severity missing: {text}"
+            );
+        }
+    }
+
+    #[test]
+    fn rule_backed_codes_print_their_programs() {
+        for code in ["STCFA002", "STCFA004", "STCFA005", "STCFA007"] {
+            let text = explain(code).unwrap();
+            assert!(text.contains(":-"), "{code} should show clauses: {text}");
+            assert!(text.contains(".edb "), "{code} should show views: {text}");
+        }
+        let dom = explain("STCFA008").unwrap();
+        assert!(dom.contains("dom(n, d)"), "{dom}");
+    }
+
+    #[test]
+    fn matching_is_case_insensitive_and_total() {
+        assert!(explain("stcfa004").is_some());
+        assert!(explain("STCFA999").is_none());
+        assert!(explain("").is_none());
+    }
+}

@@ -19,10 +19,17 @@
 //! | `STCFA004` | warning | useless parameter (bound variable has no occurrence) |
 //! | `STCFA005` | warning | effectful closure escapes to the program result |
 //! | `STCFA006` | error   | stuck application (the operator is structurally a non-function value) |
+//! | `STCFA007` | warning | mixed-purity call (both an effectful and a pure abstraction reach the operator; oracle-confirmed) |
+//! | `STCFA008` | info    | dominated-redundant application (another call of the same sole target dominates this one) |
 //!
 //! Output is deterministic and input-ordered at any
 //! `STCFA_QUERY_THREADS` setting: diagnostics are sorted by occurrence id
 //! then rule code, and every engine query is answered positionally.
+//!
+//! `STCFA002/004/005` also exist as declarative rule programs evaluated
+//! by the [`stcfa_rules`] engine — [`lint_rule_backed`] runs them and is
+//! byte-identical to [`lint`] filtered to those codes, and
+//! [`explain`](explain()) prints the program behind any code.
 //!
 //! # Example
 //!
@@ -41,9 +48,13 @@
 #![warn(missing_docs)]
 
 pub mod diag;
+pub mod explain;
 pub mod render;
 pub mod rules;
+pub mod rules_backed;
 
 pub use diag::{Diagnostic, RuleCode, Severity};
+pub use explain::explain;
 pub use render::{render_json, render_text};
 pub use rules::{lint, LintOptions};
+pub use rules_backed::{lint_rule_backed, RULE_BACKED_CODES};

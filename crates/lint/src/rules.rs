@@ -8,11 +8,14 @@
 //! (so the rule stays sound even under under-approximating analysis
 //! policies such as `Forget`).
 
+use std::cell::OnceCell;
+
 use stcfa_apps::called_once::{CallSites, CalledOnce};
 use stcfa_apps::effects::effects;
 use stcfa_cfa0::Cfa0;
 use stcfa_core::{Analysis, Answer, Query, QueryEngine};
-use stcfa_lambda::{ExprId, ExprKind, Program};
+use stcfa_lambda::{ExprId, ExprKind, Label, Program};
+use stcfa_rules::{dominated_redundant, mixed_purity, ExtDb};
 
 use crate::diag::{Diagnostic, RuleCode};
 
@@ -35,7 +38,7 @@ impl Default for LintOptions {
 }
 
 /// A display name for the abstraction with label `l`: `λ<param>#<index>`.
-fn lam_name(program: &Program, l: stcfa_lambda::Label) -> String {
+pub(crate) fn lam_name(program: &Program, l: Label) -> String {
     let lam = program.lam_of_label(l);
     match program.kind(lam) {
         ExprKind::Lam { param, .. } => {
@@ -46,11 +49,52 @@ fn lam_name(program: &Program, l: stcfa_lambda::Label) -> String {
 }
 
 /// A short source location for cross-references inside messages.
-fn place(program: &Program, e: ExprId) -> String {
+pub(crate) fn place(program: &Program, e: ExprId) -> String {
     match program.span(e) {
         Some(s) => format!("{}:{}", s.start.line, s.start.col),
         None => format!("occurrence {}", e.index()),
     }
+}
+
+/// The STCFA002 diagnostic for label `l`. Shared by the hand-fused
+/// linter and the rule-engine backend so the two are byte-identical by
+/// construction; the differential test then checks the *logic* agrees.
+pub(crate) fn diag_never_invoked(program: &Program, l: Label) -> Diagnostic {
+    let lam = program.lam_of_label(l);
+    Diagnostic::at(
+        RuleCode::NeverInvokedAbstraction,
+        lam,
+        program,
+        format!("abstraction {} is never invoked", lam_name(program, l)),
+    )
+}
+
+/// The STCFA004 diagnostic for parameter `param` of abstraction `lam`.
+pub(crate) fn diag_useless_param(
+    program: &Program,
+    param: stcfa_lambda::VarId,
+    lam: ExprId,
+) -> Diagnostic {
+    Diagnostic::at(
+        RuleCode::UselessParameter,
+        lam,
+        program,
+        format!("parameter `{}` is never used", program.var_name(param)),
+    )
+}
+
+/// The STCFA005 diagnostic for label `l`.
+pub(crate) fn diag_escaping_effectful(program: &Program, l: Label) -> Diagnostic {
+    let lam = program.lam_of_label(l);
+    Diagnostic::at(
+        RuleCode::EscapingEffectfulClosure,
+        lam,
+        program,
+        format!(
+            "effectful closure {} escapes to the program result",
+            lam_name(program, l)
+        ),
+    )
 }
 
 /// Runs every rule and returns the diagnostics sorted by occurrence id,
@@ -108,8 +152,11 @@ pub fn lint(
     // under the default ≈₁ policy the engine over-approximates, so an
     // empty set here implies an empty exact set — but under `Forget` it
     // does not, and this oracle pass keeps the rule sound everywhere.
+    // The oracle is shared lazily with STCFA007/008 below: at most one
+    // cubic run per lint invocation, and none when no rule needs it.
+    let cfa_cell: OnceCell<Cfa0> = OnceCell::new();
     if !dead_candidates.is_empty() {
-        let cfa = Cfa0::analyze(program);
+        let cfa = cfa_cell.get_or_init(|| Cfa0::analyze(program));
         for (app, func) in dead_candidates {
             if cfa.labels(program, func).is_empty() {
                 out.push(Diagnostic::at(
@@ -141,12 +188,7 @@ pub fn lint(
         match sites.of(l) {
             CallSites::None => {
                 if escaping.binary_search(&l).is_err() {
-                    out.push(Diagnostic::at(
-                        RuleCode::NeverInvokedAbstraction,
-                        lam,
-                        program,
-                        format!("abstraction {} is never invoked", lam_name(program, l)),
-                    ));
+                    out.push(diag_never_invoked(program, l));
                 }
             }
             CallSites::One(site) => {
@@ -174,12 +216,7 @@ pub fn lint(
                 continue;
             }
             if engine.occurrences_of(*param).next().is_none() {
-                out.push(Diagnostic::at(
-                    RuleCode::UselessParameter,
-                    e,
-                    program,
-                    format!("parameter `{name}` is never used"),
-                ));
+                out.push(diag_useless_param(program, *param, e));
             }
         }
     }
@@ -193,17 +230,77 @@ pub fn lint(
             let lam = program.lam_of_label(l);
             if let ExprKind::Lam { body, .. } = program.kind(lam) {
                 if eff.is_effectful(*body) {
-                    out.push(Diagnostic::at(
-                        RuleCode::EscapingEffectfulClosure,
-                        lam,
-                        program,
-                        format!(
-                            "effectful closure {} escapes to the program result",
-                            lam_name(program, l)
-                        ),
-                    ));
+                    out.push(diag_escaping_effectful(program, l));
                 }
             }
+        }
+    }
+
+    // --- STCFA007 / STCFA008: the rule-engine analyses. Both fire from
+    // the linear rule evaluation and are confirmed against the cubic CFA
+    // oracle before reporting, exactly like STCFA001: over-approximated
+    // label sets may merge an effectful and a pure abstraction (007) or
+    // are still singletons under the exact analysis (008) only when the
+    // oracle agrees.
+    let db = ExtDb::new(program, analysis, engine);
+    let mixed = mixed_purity(&db);
+    if !mixed.is_empty() {
+        let eff = db.effects();
+        let eff_of = |l: Label| match program.kind(program.lam_of_label(l)) {
+            ExprKind::Lam { body, .. } => eff.is_effectful(*body),
+            _ => false,
+        };
+        let cfa = cfa_cell.get_or_init(|| Cfa0::analyze(program));
+        for (app, func) in mixed {
+            let exact = cfa.labels(program, func);
+            if !exact.iter().any(|&l| eff_of(l)) || !exact.iter().any(|&l| !eff_of(l)) {
+                continue;
+            }
+            let approx = engine.labels_of(func);
+            let effectful = approx.iter().copied().find(|&l| eff_of(l));
+            let pure = approx.iter().copied().find(|&l| !eff_of(l));
+            let (Some(e), Some(p)) = (effectful, pure) else {
+                continue;
+            };
+            out.push(Diagnostic::at(
+                RuleCode::TaintedEffectfulFlow,
+                app,
+                program,
+                format!(
+                    "mixed-purity call: the operator may invoke effectful {} or pure {}",
+                    lam_name(program, e),
+                    lam_name(program, p)
+                ),
+            ));
+        }
+    }
+    let redundant = dominated_redundant(&db);
+    if !redundant.is_empty() {
+        let cfa = cfa_cell.get_or_init(|| Cfa0::analyze(program));
+        for r in redundant {
+            // Desugaring machinery (`$…` parameters) is not the user's
+            // code; skip it, matching STCFA002/003.
+            let machinery = match program.kind(program.lam_of_label(r.target)) {
+                ExprKind::Lam { param, .. } => program.var_name(*param).starts_with('$'),
+                _ => false,
+            };
+            if machinery {
+                continue;
+            }
+            let exact = cfa.labels(program, r.func);
+            if exact.is_empty() || exact.iter().any(|&l| l != r.target) {
+                continue;
+            }
+            out.push(Diagnostic::at(
+                RuleCode::DominatedRedundantApplication,
+                r.app,
+                program,
+                format!(
+                    "dominated-redundant application: every call path already applies {} at {}",
+                    lam_name(program, r.target),
+                    place(program, r.by_app)
+                ),
+            ));
         }
     }
 
@@ -315,6 +412,36 @@ mod tests {
         // A pure escaping closure stays quiet.
         let (_, d) = lint_src("fn x => x + 1");
         assert!(!codes(&d).contains(&"STCFA005"), "got {d:?}");
+    }
+
+    #[test]
+    fn mixed_purity_call_fires() {
+        let (_, d) =
+            lint_src("fun pick b = if b then (fn x => print x) else (fn y => y); (pick true) 5");
+        let mixed = d
+            .iter()
+            .find(|x| x.code == RuleCode::TaintedEffectfulFlow)
+            .unwrap_or_else(|| panic!("STCFA007 in {d:?}"));
+        assert_eq!(mixed.severity, Severity::Warning);
+        assert!(mixed.message.contains("effectful"), "{}", mixed.message);
+        assert!(mixed.message.contains("pure"), "{}", mixed.message);
+        // Single-purity operators stay quiet.
+        let (_, d) = lint_src("fun pr x = print x; pr 1");
+        assert!(!codes(&d).contains(&"STCFA007"), "got {d:?}");
+    }
+
+    #[test]
+    fn dominated_redundant_application_fires() {
+        let (_, d) = lint_src("fun f x = x; fun g y = f y; val a = f 1; g 2");
+        let dup = d
+            .iter()
+            .find(|x| x.code == RuleCode::DominatedRedundantApplication)
+            .unwrap_or_else(|| panic!("STCFA008 in {d:?}"));
+        assert_eq!(dup.severity, Severity::Info);
+        assert!(dup.message.contains("already applies"), "{}", dup.message);
+        // Sibling calls in one encloser do not dominate each other.
+        let (_, d) = lint_src("fun f x = x; val a = f 1; val b = f 2; b");
+        assert!(!codes(&d).contains(&"STCFA008"), "got {d:?}");
     }
 
     #[test]

@@ -1,0 +1,99 @@
+//! The rule-engine lint backend.
+//!
+//! STCFA002/004/005 are relational analyses: a join or two over the
+//! frozen engine's views, a stratified negation, and a decoding step.
+//! This module evaluates exactly those definitions — the declarative
+//! programs from [`stcfa_rules::analyses`] — and renders the findings
+//! through the same diagnostic constructors the hand-fused linter uses,
+//! so the two backends are byte-identical whenever their *logic*
+//! agrees. The differential test suite pins that agreement over the
+//! corpus and synthesized programs at several thread counts.
+
+use stcfa_core::{Analysis, QueryEngine};
+use stcfa_lambda::Program;
+use stcfa_rules::{escaping_effectful, never_invoked, useless_param, ExtDb};
+
+use crate::diag::{Diagnostic, RuleCode};
+use crate::rules::{diag_escaping_effectful, diag_never_invoked, diag_useless_param};
+
+/// The codes the rule backend covers, in code order.
+pub const RULE_BACKED_CODES: [RuleCode; 3] = [
+    RuleCode::NeverInvokedAbstraction,
+    RuleCode::UselessParameter,
+    RuleCode::EscapingEffectfulClosure,
+];
+
+/// Runs the rule-engine ports of STCFA002/004/005 and returns their
+/// diagnostics sorted by occurrence id then rule code — the same order
+/// (and the same bytes) as [`crate::lint`] filtered to those codes.
+///
+/// The evaluator is single-threaded and deterministic, so unlike the
+/// hand-fused path there is no thread knob to hold fixed.
+pub fn lint_rule_backed(
+    program: &Program,
+    analysis: &Analysis,
+    engine: &QueryEngine,
+) -> Vec<Diagnostic> {
+    engine.prepare();
+    let db = ExtDb::new(program, analysis, engine);
+    let mut out = Vec::new();
+    for l in never_invoked(&db) {
+        out.push(diag_never_invoked(program, l));
+    }
+    for (v, lam) in useless_param(&db) {
+        out.push(diag_useless_param(program, v, lam));
+    }
+    for l in escaping_effectful(&db) {
+        out.push(diag_escaping_effectful(program, l));
+    }
+    out.sort_by_key(|d| (d.expr.index(), d.code));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::render::{render_json, render_text};
+    use crate::rules::{lint, LintOptions};
+
+    fn both(src: &str) -> (Vec<Diagnostic>, Vec<Diagnostic>) {
+        let p = Program::parse(src).unwrap_or_else(|e| panic!("parse {src:?}: {e}"));
+        let a = Analysis::run(&p).expect("analysis");
+        let engine = QueryEngine::freeze(&a);
+        let hand: Vec<Diagnostic> = lint(&p, &a, &engine, &LintOptions::default())
+            .into_iter()
+            .filter(|d| RULE_BACKED_CODES.contains(&d.code))
+            .collect();
+        let rules = lint_rule_backed(&p, &a, &engine);
+        (hand, rules)
+    }
+
+    #[test]
+    fn backends_agree_on_a_mixed_program() {
+        let (hand, rules) = both(
+            "fun ghost x = x;\n\
+             fun konst a b = a;\n\
+             (konst 1 2) + (fn q => print q) 0",
+        );
+        assert!(!hand.is_empty(), "fixture should fire something");
+        assert_eq!(hand, rules);
+        assert_eq!(render_text(&hand), render_text(&rules));
+        assert_eq!(render_json(&hand), render_json(&rules));
+    }
+
+    #[test]
+    fn backends_agree_on_escaping_effectful() {
+        let (hand, rules) = both("fn x => print x");
+        assert!(hand
+            .iter()
+            .any(|d| d.code == RuleCode::EscapingEffectfulClosure));
+        assert_eq!(hand, rules);
+    }
+
+    #[test]
+    fn backends_agree_on_quiet_programs() {
+        let (hand, rules) = both("fun double x = x + x; double 21");
+        assert_eq!(hand, rules);
+        assert!(rules.is_empty(), "{rules:?}");
+    }
+}

@@ -1,0 +1,639 @@
+//! The shipped rule programs: the three ported lint analyses
+//! (never-invoked, useless-parameter, escaping-effectful), the
+//! call-graph dominator relation, taint-style source→sink reachability,
+//! and the mixed-purity / dominated-redundant analyses behind lint codes
+//! STCFA007 and STCFA008.
+//!
+//! Each analysis comes as a pair: a `*_program()` constructor returning
+//! the declarative [`RuleProgram`] (what `stcfa lint --explain` prints)
+//! and a driver that evaluates it against an [`ExtDb`] and decodes the
+//! answer relation into typed ids.
+
+use stcfa_graph::BitSet;
+use stcfa_lambda::{ExprId, ExprKind, Label, VarId};
+
+use crate::edb::ExtDb;
+use crate::eval::Evaluator;
+use crate::program::{head, neg, neq, pos, var, Dom, RelId, RuleProgram, WILD};
+
+/// `never_invoked`: labels of abstractions no application can call and
+/// that do not escape to the program result (rule form of STCFA002).
+pub fn never_invoked_program() -> (RuleProgram, RelId) {
+    let mut p = RuleProgram::new();
+    let app_func = p.edb("app_func", &[Dom::Expr, Dom::Expr]);
+    let expr_label = p.edb("expr_label", &[Dom::Expr, Dom::Label]);
+    let root_expr = p.edb("root_expr", &[Dom::Expr]);
+    let lam_label = p.edb("lam_label", &[Dom::Label, Dom::Expr]);
+    let machinery = p.edb("machinery_label", &[Dom::Label]);
+    let invoked = p.decl("invoked", &[Dom::Label]);
+    let escaping = p.decl("escaping", &[Dom::Label]);
+    let report = p.decl("never_invoked", &[Dom::Label]);
+    p.rule(
+        head(invoked, &[var("l")]),
+        vec![
+            pos(app_func, &[WILD, var("e")]),
+            pos(expr_label, &[var("e"), var("l")]),
+        ],
+    )
+    .expect("well-formed");
+    p.rule(
+        head(escaping, &[var("l")]),
+        vec![
+            pos(root_expr, &[var("e")]),
+            pos(expr_label, &[var("e"), var("l")]),
+        ],
+    )
+    .expect("well-formed");
+    p.rule(
+        head(report, &[var("l")]),
+        vec![
+            pos(lam_label, &[var("l"), WILD]),
+            neg(invoked, &[var("l")]),
+            neg(escaping, &[var("l")]),
+            neg(machinery, &[var("l")]),
+        ],
+    )
+    .expect("well-formed");
+    (p, report)
+}
+
+/// Evaluates [`never_invoked_program`]; labels in increasing order.
+pub fn never_invoked(db: &ExtDb<'_>) -> Vec<Label> {
+    let (p, report) = never_invoked_program();
+    let mut ev = Evaluator::new(&p, db).expect("program is well-formed");
+    ev.run();
+    ev.unary(report)
+        .into_iter()
+        .map(|l| Label::from_index(l as usize))
+        .collect()
+}
+
+/// `useless_param`: λ parameters with no occurrences (rule form of
+/// STCFA004). The answer pairs each parameter with its abstraction.
+pub fn useless_param_program() -> (RuleProgram, RelId) {
+    let mut p = RuleProgram::new();
+    let occurrence = p.edb("occurrence", &[Dom::Var, Dom::Expr]);
+    let param = p.edb("param", &[Dom::Var, Dom::Expr]);
+    let exempt = p.edb("exempt_var", &[Dom::Var]);
+    let used = p.decl("used", &[Dom::Var]);
+    let report = p.decl("useless_param", &[Dom::Var, Dom::Expr]);
+    p.rule(
+        head(used, &[var("v")]),
+        vec![pos(occurrence, &[var("v"), WILD])],
+    )
+    .expect("well-formed");
+    p.rule(
+        head(report, &[var("v"), var("lam")]),
+        vec![
+            pos(param, &[var("v"), var("lam")]),
+            neg(used, &[var("v")]),
+            neg(exempt, &[var("v")]),
+        ],
+    )
+    .expect("well-formed");
+    (p, report)
+}
+
+/// Evaluates [`useless_param_program`]; `(binder, lambda)` pairs in
+/// increasing binder order.
+pub fn useless_param(db: &ExtDb<'_>) -> Vec<(VarId, ExprId)> {
+    let (p, report) = useless_param_program();
+    let mut ev = Evaluator::new(&p, db).expect("program is well-formed");
+    ev.run();
+    ev.pairs(report)
+        .into_iter()
+        .map(|(v, e)| {
+            (
+                VarId::from_index(v as usize),
+                ExprId::from_index(e as usize),
+            )
+        })
+        .collect()
+}
+
+/// `escaping_effectful`: effectful abstractions reaching the program
+/// result (rule form of STCFA005).
+pub fn escaping_effectful_program() -> (RuleProgram, RelId) {
+    let mut p = RuleProgram::new();
+    let root_expr = p.edb("root_expr", &[Dom::Expr]);
+    let expr_label = p.edb("expr_label", &[Dom::Expr, Dom::Label]);
+    let effectful = p.edb("effectful_label", &[Dom::Label]);
+    let escaping = p.decl("escaping", &[Dom::Label]);
+    let report = p.decl("escaping_effectful", &[Dom::Label]);
+    p.rule(
+        head(escaping, &[var("l")]),
+        vec![
+            pos(root_expr, &[var("e")]),
+            pos(expr_label, &[var("e"), var("l")]),
+        ],
+    )
+    .expect("well-formed");
+    p.rule(
+        head(report, &[var("l")]),
+        vec![pos(escaping, &[var("l")]), pos(effectful, &[var("l")])],
+    )
+    .expect("well-formed");
+    (p, report)
+}
+
+/// Evaluates [`escaping_effectful_program`]; labels in increasing order.
+pub fn escaping_effectful(db: &ExtDb<'_>) -> Vec<Label> {
+    let (p, report) = escaping_effectful_program();
+    let mut ev = Evaluator::new(&p, db).expect("program is well-formed");
+    ev.run();
+    ev.unary(report)
+        .into_iter()
+        .map(|l| Label::from_index(l as usize))
+        .collect()
+}
+
+/// The call-graph dominator relation, as stratified Datalog:
+/// `nd(n, d)` — the entry reaches `n` on a path avoiding `d` — is the
+/// positive complement, and `dom(n, d) = reach(n) ∧ ¬nd(n, d)`. Every
+/// reachable node dominates itself; the entry is dominated only by
+/// itself.
+pub fn dominators_program() -> (RuleProgram, RelId, RelId) {
+    let mut p = RuleProgram::new();
+    let entry = p.edb("cg_entry", &[Dom::CgNode]);
+    let edge = p.edb("cg_edge", &[Dom::CgNode, Dom::CgNode]);
+    let node = p.edb("cg_node", &[Dom::CgNode]);
+    let reach = p.decl("reach", &[Dom::CgNode]);
+    let nd = p.decl("nd", &[Dom::CgNode, Dom::CgNode]);
+    let dom = p.decl("dom", &[Dom::CgNode, Dom::CgNode]);
+    p.rule(head(reach, &[var("n")]), vec![pos(entry, &[var("n")])])
+        .expect("well-formed");
+    p.rule(
+        head(reach, &[var("n")]),
+        vec![pos(reach, &[var("p")]), pos(edge, &[var("p"), var("n")])],
+    )
+    .expect("well-formed");
+    p.rule(
+        head(nd, &[var("n"), var("d")]),
+        vec![
+            pos(entry, &[var("n")]),
+            pos(node, &[var("d")]),
+            neq(var("n"), var("d")),
+        ],
+    )
+    .expect("well-formed");
+    p.rule(
+        head(nd, &[var("n"), var("d")]),
+        vec![
+            pos(nd, &[var("p"), var("d")]),
+            pos(edge, &[var("p"), var("n")]),
+            neq(var("n"), var("d")),
+        ],
+    )
+    .expect("well-formed");
+    p.rule(
+        head(dom, &[var("n"), var("d")]),
+        vec![
+            pos(reach, &[var("n")]),
+            pos(node, &[var("d")]),
+            neg(nd, &[var("n"), var("d")]),
+        ],
+    )
+    .expect("well-formed");
+    (p, reach, dom)
+}
+
+/// The dominator relation over call-graph nodes (labels plus the
+/// virtual entry at index `label_count()`).
+#[derive(Clone, Debug)]
+pub struct DomRelation {
+    entry: usize,
+    reachable: BitSet,
+    /// Per node: its dominators, increasing; empty for unreachable nodes.
+    doms: Vec<Vec<u32>>,
+}
+
+impl DomRelation {
+    /// The entry node (the call graph's virtual root).
+    pub fn entry(&self) -> usize {
+        self.entry
+    }
+
+    /// Whether the entry reaches `n`.
+    pub fn is_reachable(&self, n: usize) -> bool {
+        self.reachable.contains(n)
+    }
+
+    /// The dominators of `n` in increasing order (includes `n` itself;
+    /// empty for unreachable nodes).
+    pub fn doms_of(&self, n: usize) -> &[u32] {
+        &self.doms[n]
+    }
+
+    /// Whether `d` dominates `n` (reflexive on reachable nodes).
+    pub fn dominates(&self, d: usize, n: usize) -> bool {
+        self.doms[n].binary_search(&(d as u32)).is_ok()
+    }
+
+    /// Whether `d` dominates `n` and `d != n`.
+    pub fn strictly_dominates(&self, d: usize, n: usize) -> bool {
+        d != n && self.dominates(d, n)
+    }
+}
+
+/// Evaluates [`dominators_program`] over the call graph.
+pub fn dominators(db: &ExtDb<'_>) -> DomRelation {
+    let (p, reach, dom) = dominators_program();
+    let mut ev = Evaluator::new(&p, db).expect("program is well-formed");
+    ev.run();
+    let n = db.dom_size(Dom::CgNode);
+    let mut reachable = BitSet::new(n);
+    for x in ev.unary(reach) {
+        reachable.insert(x as usize);
+    }
+    let mut doms = vec![Vec::new(); n];
+    for (node, d) in ev.pairs(dom) {
+        doms[node as usize].push(d);
+    }
+    DomRelation {
+        entry: n - 1,
+        reachable,
+        doms,
+    }
+}
+
+/// Taint reachability: `src_label` is seeded with the source labels,
+/// their origin nodes become sources, and `treach` closes over the
+/// subtransitive edges — so an occurrence is tainted exactly when its
+/// label set meets the sources.
+pub fn taint_program() -> (RuleProgram, RelId, RelId) {
+    let mut p = RuleProgram::new();
+    let origin = p.edb("label_origin", &[Dom::Label, Dom::Node]);
+    let edge = p.edb("edge", &[Dom::Node, Dom::Node]);
+    let src_label = p.decl("src_label", &[Dom::Label]);
+    let src = p.decl("src", &[Dom::Node]);
+    let treach = p.decl("treach", &[Dom::Node]);
+    p.rule(
+        head(src, &[var("n")]),
+        vec![
+            pos(src_label, &[var("l")]),
+            pos(origin, &[var("l"), var("n")]),
+        ],
+    )
+    .expect("well-formed");
+    p.rule(head(treach, &[var("n")]), vec![pos(src, &[var("n")])])
+        .expect("well-formed");
+    p.rule(
+        head(treach, &[var("n")]),
+        vec![pos(edge, &[var("n"), var("m")]), pos(treach, &[var("m")])],
+    )
+    .expect("well-formed");
+    (p, src_label, treach)
+}
+
+/// Every occurrence whose value may carry one of `sources` (full
+/// evaluation; condensation sweep). Sorted by expression id.
+pub fn tainted_exprs(db: &ExtDb<'_>, sources: &[Label]) -> Vec<ExprId> {
+    let (p, src_label, treach) = taint_program();
+    let mut ev = Evaluator::new(&p, db).expect("program is well-formed");
+    for l in sources {
+        ev.seed(src_label, &[l.index() as u32]);
+    }
+    ev.run();
+    let program = db.program();
+    let engine = db.engine();
+    program
+        .exprs()
+        .filter(|&e| ev.contains(treach, &[engine.node_of_expr(e).index() as u32]))
+        .collect()
+}
+
+/// Demand-mode taint query for one occurrence: walks only the BFS cone
+/// of the occurrence's node instead of evaluating the whole relation.
+pub fn expr_is_tainted(db: &ExtDb<'_>, sources: &[Label], e: ExprId) -> bool {
+    let (p, src_label, treach) = taint_program();
+    let mut ev = Evaluator::new(&p, db).expect("program is well-formed");
+    for l in sources {
+        ev.seed(src_label, &[l.index() as u32]);
+    }
+    ev.query_unary(treach, db.engine().node_of_expr(e).index() as u32)
+}
+
+/// `mixed_purity`: applications whose operator may evaluate to *both*
+/// an effectful-bodied and a pure-bodied abstraction (rule form of
+/// STCFA007). Two condensation sweeps (`ereach`, `preach`) meet at the
+/// operator's node.
+pub fn mixed_purity_program() -> (RuleProgram, RelId) {
+    let mut p = RuleProgram::new();
+    let effectful = p.edb("effectful_label", &[Dom::Label]);
+    let pure = p.edb("pure_label", &[Dom::Label]);
+    let origin = p.edb("label_origin", &[Dom::Label, Dom::Node]);
+    let edge = p.edb("edge", &[Dom::Node, Dom::Node]);
+    let app_func = p.edb("app_func", &[Dom::Expr, Dom::Expr]);
+    let expr_node = p.edb("expr_node", &[Dom::Expr, Dom::Node]);
+    let esrc = p.decl("esrc", &[Dom::Node]);
+    let psrc = p.decl("psrc", &[Dom::Node]);
+    let ereach = p.decl("ereach", &[Dom::Node]);
+    let preach = p.decl("preach", &[Dom::Node]);
+    let report = p.decl("mixed_purity", &[Dom::Expr, Dom::Expr]);
+    p.rule(
+        head(esrc, &[var("n")]),
+        vec![
+            pos(effectful, &[var("l")]),
+            pos(origin, &[var("l"), var("n")]),
+        ],
+    )
+    .expect("well-formed");
+    p.rule(
+        head(psrc, &[var("n")]),
+        vec![pos(pure, &[var("l")]), pos(origin, &[var("l"), var("n")])],
+    )
+    .expect("well-formed");
+    p.rule(head(ereach, &[var("n")]), vec![pos(esrc, &[var("n")])])
+        .expect("well-formed");
+    p.rule(
+        head(ereach, &[var("n")]),
+        vec![pos(edge, &[var("n"), var("m")]), pos(ereach, &[var("m")])],
+    )
+    .expect("well-formed");
+    p.rule(head(preach, &[var("n")]), vec![pos(psrc, &[var("n")])])
+        .expect("well-formed");
+    p.rule(
+        head(preach, &[var("n")]),
+        vec![pos(edge, &[var("n"), var("m")]), pos(preach, &[var("m")])],
+    )
+    .expect("well-formed");
+    p.rule(
+        head(report, &[var("a"), var("f")]),
+        vec![
+            pos(app_func, &[var("a"), var("f")]),
+            pos(expr_node, &[var("f"), var("n")]),
+            pos(ereach, &[var("n")]),
+            pos(preach, &[var("n")]),
+        ],
+    )
+    .expect("well-formed");
+    (p, report)
+}
+
+/// Evaluates [`mixed_purity_program`]; `(application, operator)` pairs
+/// in increasing application order.
+pub fn mixed_purity(db: &ExtDb<'_>) -> Vec<(ExprId, ExprId)> {
+    let (p, report) = mixed_purity_program();
+    let mut ev = Evaluator::new(&p, db).expect("program is well-formed");
+    ev.run();
+    ev.pairs(report)
+        .into_iter()
+        .map(|(a, f)| {
+            (
+                ExprId::from_index(a as usize),
+                ExprId::from_index(f as usize),
+            )
+        })
+        .collect()
+}
+
+/// One STCFA008 finding: `app` applies the sole target `target`, and so
+/// does `by_app`, whose enclosing abstraction strictly dominates `app`'s
+/// in the call graph — every call path reaching `app`'s encloser already
+/// went through `by_app`'s.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DominatedRedundant {
+    /// The dominated (reported) application.
+    pub app: ExprId,
+    /// Its operator expression.
+    pub func: ExprId,
+    /// The single abstraction both applications call.
+    pub target: Label,
+    /// The earlier application in the dominating encloser.
+    pub by_app: ExprId,
+}
+
+/// Applications with a singleton call target whose encloser is strictly
+/// dominated by another same-target application's encloser (the glue
+/// analysis behind STCFA008). Sorted by reported application id; each
+/// reported application cites the smallest qualifying witness.
+pub fn dominated_redundant(db: &ExtDb<'_>) -> Vec<DominatedRedundant> {
+    let dom = dominators(db);
+    let program = db.program();
+    let engine = db.engine();
+    // Applications with a singleton target, grouped by that target.
+    let mut by_target: Vec<Vec<(ExprId, ExprId, usize)>> = vec![Vec::new(); program.label_count()];
+    for &app in db.app_sites() {
+        let ExprKind::App { func, .. } = program.kind(app) else {
+            continue;
+        };
+        let labels = engine.labels_of(*func);
+        if let [only] = labels[..] {
+            let enc = db.encloser_of(app) as usize;
+            if dom.is_reachable(enc) {
+                by_target[only.index()].push((app, *func, enc));
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for (target, apps) in by_target.iter().enumerate() {
+        for &(app, func, enc) in apps {
+            let witness = apps
+                .iter()
+                .filter(|&&(other, _, oenc)| other != app && dom.strictly_dominates(oenc, enc))
+                .map(|&(other, _, _)| other)
+                .min();
+            if let Some(by_app) = witness {
+                out.push(DominatedRedundant {
+                    app,
+                    func,
+                    target: Label::from_index(target),
+                    by_app,
+                });
+            }
+        }
+    }
+    out.sort_by_key(|r| r.app.index());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stcfa_core::{Analysis, QueryEngine};
+    use stcfa_lambda::Program;
+
+    struct Fixture {
+        program: Program,
+        analysis: Analysis,
+        engine: QueryEngine,
+    }
+
+    impl Fixture {
+        fn new(src: &str) -> Fixture {
+            let program = Program::parse(src).unwrap();
+            let analysis = Analysis::run(&program).unwrap();
+            let engine = QueryEngine::freeze(&analysis);
+            Fixture {
+                program,
+                analysis,
+                engine,
+            }
+        }
+        fn db(&self) -> ExtDb<'_> {
+            ExtDb::new(&self.program, &self.analysis, &self.engine)
+        }
+    }
+
+    #[test]
+    fn never_invoked_finds_the_dead_lambda() {
+        let fx = Fixture::new("let val dead = fn x => x in (fn y => y) 1 end");
+        let db = fx.db();
+        let got = never_invoked(&db);
+        assert_eq!(got.len(), 1);
+        // The reported label is the one bound to `dead`.
+        let lam = fx.program.lam_of_label(got[0]);
+        assert!(matches!(
+            fx.program.kind(lam),
+            ExprKind::Lam { param, .. } if fx.program.var_name(*param) == "x"
+        ));
+    }
+
+    #[test]
+    fn useless_param_flags_konst_second_argument() {
+        let fx = Fixture::new("fun konst a b = a; konst 1 2");
+        let db = fx.db();
+        let got = useless_param(&db);
+        assert_eq!(got.len(), 1);
+        assert_eq!(fx.program.var_name(got[0].0), "b");
+    }
+
+    #[test]
+    fn escaping_effectful_sees_the_returned_printer() {
+        let fx = Fixture::new("let val f = fn x => print x in f end");
+        let got = escaping_effectful(&fx.db());
+        assert_eq!(got.len(), 1, "the printer escapes");
+        let fx2 = Fixture::new("let val f = fn x => print x in 1 end");
+        assert!(
+            escaping_effectful(&fx2.db()).is_empty(),
+            "mentioned, not returned"
+        );
+    }
+
+    /// Brute-force check: `dom(n, d)` iff the entry cannot reach `n`
+    /// when `d` is removed from the call graph.
+    #[test]
+    fn dominators_match_avoid_one_bfs() {
+        let fx = Fixture::new("fun f x = x; fun g y = f y; val a = f 1; val b = g 2; b");
+        let db = fx.db();
+        let dom = dominators(&db);
+        let g = db.callgraph().graph();
+        let n = g.node_count();
+        let entry = dom.entry();
+        assert_eq!(entry, fx.program.label_count());
+        for d in 0..n {
+            // BFS from the entry that refuses to enter `d`.
+            let mut seen = BitSet::new(n);
+            if entry != d {
+                seen.insert(entry);
+                let mut stack = vec![entry];
+                while let Some(u) = stack.pop() {
+                    for &v in g.succs(u) {
+                        let v = v as usize;
+                        if v != d && seen.insert(v) {
+                            stack.push(v);
+                        }
+                    }
+                }
+            }
+            for node in 0..n {
+                let want = dom.is_reachable(node) && !seen.contains(node);
+                assert_eq!(dom.dominates(d, node), want, "dominates({d}, {node})");
+            }
+        }
+        // Spot checks: reflexive, and the entry dominates everything
+        // reachable but is dominated only by itself.
+        for node in 0..n {
+            if dom.is_reachable(node) {
+                assert!(dom.dominates(node, node));
+                assert!(dom.dominates(entry, node));
+            } else {
+                assert!(dom.doms_of(node).is_empty());
+            }
+        }
+        assert_eq!(dom.doms_of(entry), &[entry as u32]);
+    }
+
+    #[test]
+    fn taint_full_and_demand_agree() {
+        let fx = Fixture::new("fun apply f = fn y => f y; apply (fn n => print n) 7");
+        let db = fx.db();
+        // Sources: every effectful-bodied label — the printer itself
+        // and `fn y => f y`, whose body may call it.
+        let sources: Vec<Label> = fx
+            .program
+            .all_labels()
+            .filter(|&l| {
+                let lam = fx.program.lam_of_label(l);
+                match fx.program.kind(lam) {
+                    ExprKind::Lam { body, .. } => db.effects().is_effectful(*body),
+                    _ => false,
+                }
+            })
+            .collect();
+        assert_eq!(sources.len(), 2);
+        let full = tainted_exprs(&db, &sources);
+        assert!(!full.is_empty(), "the printer flows somewhere");
+        for e in fx.program.exprs() {
+            assert_eq!(
+                expr_is_tainted(&db, &sources, e),
+                full.binary_search(&e).is_ok(),
+                "expr {e:?}"
+            );
+        }
+        // Tainting is exactly `label set meets sources`.
+        for &e in &full {
+            let labels = fx.engine.labels_of(e);
+            assert!(labels.iter().any(|l| sources.contains(l)), "{e:?}");
+        }
+    }
+
+    #[test]
+    fn mixed_purity_reports_the_forked_operator() {
+        let fx = Fixture::new(
+            "fun pick b = if b then (fn x => print x) else (fn y => y); (pick true) 5",
+        );
+        let db = fx.db();
+        let got = mixed_purity(&db);
+        assert_eq!(got.len(), 1, "only the fork call mixes purity");
+        let (_, func) = got[0];
+        let labels = fx.engine.labels_of(func);
+        assert_eq!(labels.len(), 2, "operator sees both branches");
+        // A purely pure program reports nothing.
+        let fx2 = Fixture::new("fun apply f = fn y => f y; apply (fn n => n + 1) 7");
+        assert!(mixed_purity(&fx2.db()).is_empty());
+    }
+
+    #[test]
+    fn dominated_redundant_flags_the_inner_call() {
+        let fx = Fixture::new("fun f x = x; fun g y = f y; val a = f 1; g 2");
+        let db = fx.db();
+        let got = dominated_redundant(&db);
+        assert_eq!(got.len(), 1, "{got:?}");
+        let r = got[0];
+        // The dominated call is `f y` inside `g`; the witness is the
+        // top-level `f 1`.
+        assert!(matches!(
+            fx.program.kind(r.app),
+            ExprKind::App { func, .. }
+                if matches!(fx.program.kind(*func), ExprKind::Var { .. })
+        ));
+        assert_eq!(fx.program.lam_of_label(r.target), {
+            // target is the `fun f` lambda
+            let mut lam = None;
+            for l in fx.program.all_labels() {
+                let e = fx.program.lam_of_label(l);
+                if let ExprKind::Lam { param, .. } = fx.program.kind(e) {
+                    if fx.program.var_name(*param) == "x" {
+                        lam = Some(e);
+                    }
+                }
+            }
+            lam.unwrap()
+        });
+        assert_ne!(r.app, r.by_app);
+        // Sibling calls in the same encloser never dominate each other.
+        let fx2 = Fixture::new("fun f x = x; val a = f 1; val b = f 2; b");
+        assert!(dominated_redundant(&fx2.db()).is_empty());
+    }
+}

@@ -1,0 +1,1109 @@
+//! Semi-naive, delta-driven evaluation with bitset-backed stores.
+//!
+//! The evaluator walks the program's dependency groups (SCCs of the
+//! relation dependency graph, dependencies first — see
+//! [`RuleProgram`]'s registration checks) and runs each group to
+//! fixpoint before the next starts, which is exactly what stratified
+//! negation needs: a negated relation always lives in an earlier,
+//! already-complete group.
+//!
+//! Within a group, evaluation is **semi-naive**: each rule is joined in
+//! full once (the naive round, which also picks up seeded facts), and
+//! every tuple inserted after that is pushed onto a worklist and driven
+//! through each same-group occurrence in each rule body — so a fact is
+//! considered at each recursive position exactly once.
+//!
+//! Two structural fast paths keep the promised complexity:
+//!
+//! - **Row-union joins.** A rule whose last body literal is a
+//!   bitset-backed binary atom with a bound key and whose value variable
+//!   is exactly the unary head variable (e.g.
+//!   `invoked(l) :- app_func(_, e), expr_label(e, l)`) unions raw `u64`
+//!   rows into a scratch set instead of enumerating label bits — the
+//!   `O(E·L/64)` word-parallel arithmetic of the hand-fused analyses.
+//! - **Condensation sweeps.** A single-relation group whose one
+//!   recursive rule is `r(x) :- edge(x, y), r(y)` over the engine's CSR
+//!   is solved as one ascending pass over SCC component ids (the
+//!   reverse-topological numbering makes the pass a fixpoint), never
+//!   touching a worklist.
+//!
+//! [`Evaluator::query_unary`] adds a demand mode on top: for
+//! sweep-shaped relations it answers a single membership question by
+//! walking only the BFS cone of the queried node, not the whole graph.
+
+use stcfa_graph::BitSet;
+
+use crate::edb::{EdbRel, ExtDb};
+use crate::program::{CLit, CRule, CTerm, Groups, RelId, RelKind, RuleError, RuleProgram};
+
+const UNBOUND: u32 = u32::MAX;
+
+/// Where a relation's tuples live during evaluation.
+enum Store {
+    /// Extensional: answered by the [`ExtDb`] view, never written.
+    Extern(EdbRel),
+    /// Unary intensional: a bitset over the column's domain.
+    Unary(BitSet),
+    /// Binary intensional: per-key bitset rows over the value domain,
+    /// allocated only for inhabited keys.
+    Binary {
+        rows: Vec<Option<BitSet>>,
+        val_size: usize,
+        len: usize,
+    },
+}
+
+/// Evaluation counters, for tests and the bench harness.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Tuples inserted by rules (seeds not included).
+    pub derived: usize,
+    /// Worklist tuples driven through recursive occurrences.
+    pub rounds: usize,
+    /// Groups solved by the condensation sweep fast path.
+    pub sweep_strata: usize,
+    /// Nodes visited by demand-mode BFS cones.
+    pub demand_visited: usize,
+}
+
+/// An evaluation of one [`RuleProgram`] against one [`ExtDb`].
+pub struct Evaluator<'a> {
+    prog: &'a RuleProgram,
+    db: &'a ExtDb<'a>,
+    stores: Vec<Store>,
+    groups: Groups,
+    /// Rule indices per group (rules whose head lives in the group).
+    group_rules: Vec<Vec<usize>>,
+    /// Per relation: `(rule, body index)` of each same-group positive
+    /// occurrence — the positions delta tuples are driven through.
+    occurrences: Vec<Vec<(usize, usize)>>,
+    /// Per rule: whether the row-union fast path applies.
+    fast_row: Vec<bool>,
+    evaluated: Vec<bool>,
+    demand_seeded: Vec<bool>,
+    stats: EvalStats,
+    /// Test hook: disable both fast paths to compare against the
+    /// generic join.
+    #[cfg(test)]
+    pub(crate) force_generic: bool,
+}
+
+impl<'a> Evaluator<'a> {
+    /// Prepares an evaluation: resolves extensional views, sizes the
+    /// intensional stores, computes the group order, and validates every
+    /// constant against its column's domain.
+    pub fn new(prog: &'a RuleProgram, db: &'a ExtDb<'a>) -> Result<Evaluator<'a>, RuleError> {
+        let groups = prog.groups()?;
+        let mut stores = Vec::with_capacity(prog.rels.len());
+        for decl in &prog.rels {
+            stores.push(match decl.kind {
+                RelKind::Edb => Store::Extern(EdbRel::from_name(decl.name).ok_or_else(|| {
+                    RuleError(format!("`{}` is not in the extensional catalog", decl.name))
+                })?),
+                RelKind::Idb => {
+                    if decl.schema.len() == 1 {
+                        Store::Unary(BitSet::new(db.dom_size(decl.schema[0])))
+                    } else {
+                        Store::Binary {
+                            rows: vec![None; db.dom_size(decl.schema[0])],
+                            val_size: db.dom_size(decl.schema[1]),
+                            len: 0,
+                        }
+                    }
+                }
+            });
+        }
+        // Constants must be dense indices of their column's domain.
+        for rule in &prog.rules {
+            let atoms = rule.body.iter().filter_map(|l| match l {
+                CLit::Pos(a) | CLit::Neg(a) => Some(a),
+                CLit::Neq(..) => None,
+            });
+            for atom in atoms.chain(std::iter::once(&rule.head)) {
+                let schema = &prog.rels[atom.rel].schema;
+                for (t, &dom) in atom.terms.iter().zip(schema) {
+                    if let CTerm::Const(c) = t {
+                        if *c as usize >= db.dom_size(dom) {
+                            return Err(RuleError(format!(
+                                "constant {c} is out of range for domain {} (size {})",
+                                dom.as_str(),
+                                db.dom_size(dom)
+                            )));
+                        }
+                    }
+                }
+            }
+        }
+        let mut group_rules = vec![Vec::new(); groups.order.len()];
+        let mut occurrences = vec![Vec::new(); prog.rels.len()];
+        for (ri, rule) in prog.rules.iter().enumerate() {
+            let g = groups.group_of[rule.head.rel];
+            group_rules[g].push(ri);
+            for (li, lit) in rule.body.iter().enumerate() {
+                if let CLit::Pos(a) = lit {
+                    if groups.group_of[a.rel] == g {
+                        occurrences[a.rel].push((ri, li));
+                    }
+                }
+            }
+        }
+        let fast_row = prog
+            .rules
+            .iter()
+            .map(|rule| Self::fast_row_shape(&stores, rule))
+            .collect();
+        let n_groups = groups.order.len();
+        Ok(Evaluator {
+            prog,
+            db,
+            stores,
+            groups,
+            group_rules,
+            occurrences,
+            fast_row,
+            evaluated: vec![false; n_groups],
+            demand_seeded: vec![false; n_groups],
+            stats: EvalStats::default(),
+            #[cfg(test)]
+            force_generic: false,
+        })
+    }
+
+    /// Whether the row-union fast path applies to `rule`: unary head
+    /// `h(v)`, last body literal a bitset-backed binary atom `rel(k, v)`
+    /// whose key is bound by the prefix and whose value variable is `v`,
+    /// with `v` appearing nowhere else in the body.
+    fn fast_row_shape(stores: &[Store], rule: &CRule) -> bool {
+        if rule.head.terms.len() != 1 || rule.body.is_empty() {
+            return false;
+        }
+        let CTerm::Var(h) = rule.head.terms[0] else {
+            return false;
+        };
+        let last = rule.body.len() - 1;
+        let CLit::Pos(atom) = &rule.body[last] else {
+            return false;
+        };
+        if atom.terms.len() != 2 || atom.terms[1] != CTerm::Var(h) {
+            return false;
+        }
+        let row_backed = match &stores[atom.rel] {
+            Store::Extern(e) => matches!(e, EdbRel::CompLabel | EdbRel::ExprLabel),
+            Store::Binary { .. } => true,
+            Store::Unary(_) => false,
+        };
+        if !row_backed {
+            return false;
+        }
+        // The key must be resolvable when the last literal is reached,
+        // and must not be the head variable itself.
+        let key_ok = match atom.terms[0] {
+            CTerm::Const(_) => true,
+            CTerm::Wild => false,
+            CTerm::Var(k) => {
+                k != h
+                    && rule.body[..last].iter().any(|l| match l {
+                        CLit::Pos(a) => a.terms.contains(&CTerm::Var(k)),
+                        _ => false,
+                    })
+            }
+        };
+        if !key_ok {
+            return false;
+        }
+        // `v` must still be unbound at the last literal.
+        rule.body[..last].iter().all(|l| match l {
+            CLit::Pos(a) | CLit::Neg(a) => !a.terms.contains(&CTerm::Var(h)),
+            CLit::Neq(a, b) => *a != CTerm::Var(h) && *b != CTerm::Var(h),
+        })
+    }
+
+    /// Seeds a fact into an intensional relation (demand inputs, e.g.
+    /// taint sources). Must run before the relation's group evaluates.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an extensional relation, an arity mismatch, an
+    /// out-of-domain index, or a relation whose group already ran.
+    pub fn seed(&mut self, rel: RelId, tuple: &[u32]) {
+        let r = rel.0 as usize;
+        let decl = &self.prog.rels[r];
+        assert_eq!(
+            decl.kind,
+            RelKind::Idb,
+            "cannot seed extensional `{}`",
+            decl.name
+        );
+        assert_eq!(
+            decl.schema.len(),
+            tuple.len(),
+            "`{}` has arity {}",
+            decl.name,
+            decl.schema.len()
+        );
+        for (x, &dom) in tuple.iter().zip(&decl.schema) {
+            assert!(
+                (*x as usize) < self.db.dom_size(dom),
+                "seed {x} out of range for domain {}",
+                dom.as_str()
+            );
+        }
+        assert!(
+            !self.evaluated[self.groups.group_of[r]],
+            "`{}` already evaluated; seed before running",
+            decl.name
+        );
+        let (a, b) = (tuple[0], tuple.get(1).copied().unwrap_or(0));
+        self.insert(r, a, b);
+    }
+
+    /// Runs every group to fixpoint, dependencies first. Idempotent.
+    pub fn run(&mut self) {
+        for g in 0..self.groups.order.len() {
+            if !self.evaluated[g] {
+                self.eval_group(g);
+                self.evaluated[g] = true;
+            }
+        }
+    }
+
+    /// The evaluation counters so far.
+    pub fn stats(&self) -> EvalStats {
+        self.stats
+    }
+
+    /// Membership test against the current stores (extensional relations
+    /// are answered by the view). Call [`Evaluator::run`] first for
+    /// intensional relations.
+    pub fn contains(&self, rel: RelId, tuple: &[u32]) -> bool {
+        let r = rel.0 as usize;
+        assert_eq!(
+            self.prog.rels[r].schema.len(),
+            tuple.len(),
+            "arity mismatch"
+        );
+        self.rel_contains(r, tuple[0], tuple.get(1).copied().unwrap_or(0))
+    }
+
+    /// The elements of a unary relation, in increasing order.
+    pub fn unary(&self, rel: RelId) -> Vec<u32> {
+        let r = rel.0 as usize;
+        assert_eq!(self.prog.rels[r].schema.len(), 1, "`unary` needs arity 1");
+        match &self.stores[r] {
+            Store::Unary(s) => s.iter().map(|x| x as u32).collect(),
+            Store::Extern(e) => {
+                let mut out = Vec::new();
+                self.db.for_each(*e, &mut |a, _| out.push(a));
+                out.sort_unstable();
+                out
+            }
+            Store::Binary { .. } => unreachable!("arity checked above"),
+        }
+    }
+
+    /// The tuples of a binary relation, sorted.
+    pub fn pairs(&self, rel: RelId) -> Vec<(u32, u32)> {
+        let r = rel.0 as usize;
+        assert_eq!(self.prog.rels[r].schema.len(), 2, "`pairs` needs arity 2");
+        let mut out = Vec::new();
+        match &self.stores[r] {
+            Store::Binary { rows, .. } => {
+                for (k, row) in rows.iter().enumerate() {
+                    if let Some(row) = row {
+                        out.extend(row.iter().map(|v| (k as u32, v as u32)));
+                    }
+                }
+            }
+            Store::Extern(e) => {
+                self.db.for_each(*e, &mut |a, b| out.push((a, b)));
+                out.sort_unstable();
+            }
+            Store::Unary(_) => unreachable!("arity checked above"),
+        }
+        out
+    }
+
+    /// Demand-mode membership: evaluates only what the question needs.
+    ///
+    /// Earlier groups are completed as usual, but if `rel`'s own group
+    /// is sweep-shaped (`r(x) :- edge(x, y), r(y)` plus non-recursive
+    /// seed rules), the answer comes from a BFS cone over the engine's
+    /// CSR starting at `x` — touching `O(cone)` nodes, not `O(V + E)` —
+    /// and the group is left unevaluated for later full runs.
+    pub fn query_unary(&mut self, rel: RelId, x: u32) -> bool {
+        let r = rel.0 as usize;
+        assert_eq!(
+            self.prog.rels[r].schema.len(),
+            1,
+            "`query_unary` needs arity 1"
+        );
+        let g = self.groups.group_of[r];
+        for gg in 0..g {
+            if !self.evaluated[gg] {
+                self.eval_group(gg);
+                self.evaluated[gg] = true;
+            }
+        }
+        if self.evaluated[g] {
+            return self.rel_contains(r, x, 0);
+        }
+        let rules = self.group_rules[g].clone();
+        if let Some((_, seed_rules)) = self.sweep_shape(g, &rules) {
+            if !self.demand_seeded[g] {
+                let mut wl = Vec::new();
+                for ri in seed_rules {
+                    self.eval_rule(ri, usize::MAX, None, &mut wl);
+                }
+                self.demand_seeded[g] = true;
+            }
+            let csr = self.db.engine().csr();
+            let mut visited = BitSet::new(self.db.engine().node_count());
+            let mut stack = vec![x];
+            visited.insert(x as usize);
+            let mut cone = 0;
+            let mut hit = false;
+            while let Some(u) = stack.pop() {
+                cone += 1;
+                if self.rel_contains(r, u, 0) {
+                    hit = true;
+                    break;
+                }
+                for &v in csr.succs(u as usize) {
+                    if visited.insert(v as usize) {
+                        stack.push(v);
+                    }
+                }
+            }
+            self.stats.demand_visited += cone;
+            hit
+        } else {
+            self.eval_group(g);
+            self.evaluated[g] = true;
+            self.rel_contains(r, x, 0)
+        }
+    }
+
+    // --- group evaluation --------------------------------------------------
+
+    fn eval_group(&mut self, g: usize) {
+        let rules = self.group_rules[g].clone();
+        if let Some((rel, seed_rules)) = self.sweep_shape(g, &rules) {
+            self.eval_sweep(rel, &seed_rules);
+            return;
+        }
+        // Naive round: every rule joined in full (sees seeds and the
+        // results of earlier rules in this group), fresh tuples queued.
+        let mut wl: Vec<(usize, u32, u32)> = Vec::new();
+        for &ri in &rules {
+            self.eval_rule(ri, usize::MAX, None, &mut wl);
+        }
+        // Delta rounds: drive each fresh tuple through every same-group
+        // positive occurrence exactly once.
+        while let Some((rel, a, b)) = wl.pop() {
+            self.stats.rounds += 1;
+            for i in 0..self.occurrences[rel].len() {
+                let (ri, li) = self.occurrences[rel][i];
+                self.eval_rule(ri, li, Some((a, b)), &mut wl);
+            }
+        }
+    }
+
+    /// Detects the sweep shape: a single-relation group over `Dom::Node`
+    /// whose one recursive rule is `r(x) :- edge(x, y), r(y)` (either
+    /// literal order) with `edge` the engine CSR view. Returns the
+    /// relation and the group's non-recursive (seed) rules.
+    fn sweep_shape(&self, g: usize, rules: &[usize]) -> Option<(usize, Vec<usize>)> {
+        #[cfg(test)]
+        if self.force_generic {
+            return None;
+        }
+        let members = &self.groups.order[g];
+        if members.len() != 1 {
+            return None;
+        }
+        let r = members[0];
+        let decl = &self.prog.rels[r];
+        if decl.kind != RelKind::Idb
+            || decl.schema.len() != 1
+            || decl.schema[0] != crate::program::Dom::Node
+        {
+            return None;
+        }
+        let mut seed_rules = Vec::new();
+        let mut recursive = 0usize;
+        for &ri in rules {
+            let rule = &self.prog.rules[ri];
+            let is_rec = rule
+                .body
+                .iter()
+                .any(|l| matches!(l, CLit::Pos(a) if self.groups.group_of[a.rel] == g));
+            if !is_rec {
+                seed_rules.push(ri);
+                continue;
+            }
+            recursive += 1;
+            if rule.body.len() != 2 {
+                return None;
+            }
+            // One literal is edge(x, y), the other r(y); head is r(x).
+            let mut edge_xy: Option<(u8, u8)> = None;
+            let mut rec_y: Option<u8> = None;
+            for lit in &rule.body {
+                let CLit::Pos(a) = lit else { return None };
+                if a.rel == r {
+                    match a.terms[..] {
+                        [CTerm::Var(y)] => rec_y = Some(y),
+                        _ => return None,
+                    }
+                } else if matches!(self.stores[a.rel], Store::Extern(EdbRel::Edge)) {
+                    match a.terms[..] {
+                        [CTerm::Var(x), CTerm::Var(y)] if x != y => edge_xy = Some((x, y)),
+                        _ => return None,
+                    }
+                } else {
+                    return None;
+                }
+            }
+            let ((x, y), ry) = (edge_xy?, rec_y?);
+            if ry != y || rule.head.terms[..] != [CTerm::Var(x)] {
+                return None;
+            }
+        }
+        if recursive != 1 {
+            return None;
+        }
+        Some((r, seed_rules))
+    }
+
+    /// Solves `r(x) :- edge(x, y), r(y)` (plus seeds) as one ascending
+    /// pass over SCC component ids: a component holds `r` iff it
+    /// contains a seed or any member has an edge into a smaller-id
+    /// component that holds `r` (the reverse-topological numbering makes
+    /// one pass a fixpoint; `r` is uniform inside a strongly connected
+    /// component).
+    fn eval_sweep(&mut self, r: usize, seed_rules: &[usize]) {
+        if !self.demand_seeded[self.groups.group_of[r]] {
+            let mut wl = Vec::new();
+            for &ri in seed_rules {
+                self.eval_rule(ri, usize::MAX, None, &mut wl);
+            }
+        }
+        let cond = self.db.engine().condensation();
+        let csr = self.db.engine().csr();
+        let cc = cond.comp_count();
+        let mut bits = vec![false; cc];
+        {
+            let Store::Unary(s) = &self.stores[r] else {
+                unreachable!("sweep relation is unary")
+            };
+            for x in s.iter() {
+                bits[cond.comp_of(x)] = true;
+            }
+        }
+        for c in 0..cc {
+            if bits[c] {
+                continue;
+            }
+            'members: for &m in cond.members(c) {
+                for &s in csr.succs(m as usize) {
+                    let d = cond.comp_of(s as usize);
+                    if d != c && bits[d] {
+                        bits[c] = true;
+                        break 'members;
+                    }
+                }
+            }
+        }
+        let mut fresh = 0usize;
+        let Store::Unary(s) = &mut self.stores[r] else {
+            unreachable!("sweep relation is unary")
+        };
+        for (c, &on) in bits.iter().enumerate() {
+            if on {
+                for &m in cond.members(c) {
+                    if s.insert(m as usize) {
+                        fresh += 1;
+                    }
+                }
+            }
+        }
+        self.stats.derived += fresh;
+        self.stats.sweep_strata += 1;
+    }
+
+    /// Evaluates one rule. With `tuple`, body literal `skip` is pre-bound
+    /// to the delta tuple and excluded from the join; with `skip ==
+    /// usize::MAX` the rule is joined in full. Fresh head tuples are
+    /// inserted and queued on `wl`.
+    fn eval_rule(
+        &mut self,
+        ri: usize,
+        skip: usize,
+        tuple: Option<(u32, u32)>,
+        wl: &mut Vec<(usize, u32, u32)>,
+    ) {
+        let prog = self.prog;
+        let rule = &prog.rules[ri];
+        let mut binds = vec![UNBOUND; rule.vars.len()];
+        if let Some((a, b)) = tuple {
+            let CLit::Pos(atom) = &rule.body[skip] else {
+                unreachable!("delta occurrences are positive atoms")
+            };
+            for (t, v) in atom.terms.iter().zip([a, b]) {
+                if unify(*t, v, &mut binds).is_err() {
+                    return;
+                }
+            }
+        }
+        let head_rel = rule.head.rel;
+        let last = rule.body.len().wrapping_sub(1);
+        let fast = self.use_fast_row(ri) && skip != last;
+        if fast {
+            let Store::Unary(head) = &self.stores[head_rel] else {
+                unreachable!("fast-path head is unary")
+            };
+            let mut scratch = BitSet::new(head.capacity());
+            self.join_from(
+                rule,
+                0,
+                skip,
+                last,
+                &mut binds,
+                &mut Sink::Row(&mut scratch),
+            );
+            for bit in scratch.iter() {
+                if self.insert(head_rel, bit as u32, 0) {
+                    self.stats.derived += 1;
+                    wl.push((head_rel, bit as u32, 0));
+                }
+            }
+        } else {
+            let mut out: Vec<(u32, u32)> = Vec::new();
+            self.join_from(
+                rule,
+                0,
+                skip,
+                rule.body.len(),
+                &mut binds,
+                &mut Sink::Tuples(&mut out),
+            );
+            for (a, b) in out {
+                if self.insert(head_rel, a, b) {
+                    self.stats.derived += 1;
+                    wl.push((head_rel, a, b));
+                }
+            }
+        }
+    }
+
+    fn use_fast_row(&self, ri: usize) -> bool {
+        #[cfg(test)]
+        if self.force_generic {
+            return false;
+        }
+        self.fast_row[ri]
+    }
+
+    /// Left-to-right nested-loop join over `body[li..stop]`, skipping the
+    /// pre-bound literal `skip`. At `stop` the sink fires: either the
+    /// head tuple is materialized, or (row-union fast path) the last
+    /// literal's raw row is unioned word-parallel into the scratch set.
+    fn join_from(
+        &self,
+        rule: &CRule,
+        li: usize,
+        skip: usize,
+        stop: usize,
+        binds: &mut [u32],
+        sink: &mut Sink<'_>,
+    ) {
+        if li == stop {
+            match sink {
+                Sink::Tuples(out) => {
+                    let a = resolve(rule.head.terms[0], binds).expect("head bound");
+                    let b = rule
+                        .head
+                        .terms
+                        .get(1)
+                        .map(|t| resolve(*t, binds).expect("head bound"))
+                        .unwrap_or(0);
+                    out.push((a, b));
+                }
+                Sink::Row(scratch) => {
+                    let CLit::Pos(atom) = &rule.body[stop] else {
+                        unreachable!("fast-path row literal is positive")
+                    };
+                    let key = resolve(atom.terms[0], binds).expect("fast-path key bound");
+                    if let Some(row) = self.rel_row_words(atom.rel, key) {
+                        scratch.union_words(row);
+                    }
+                }
+            }
+            return;
+        }
+        if li == skip {
+            return self.join_from(rule, li + 1, skip, stop, binds, sink);
+        }
+        match &rule.body[li] {
+            CLit::Neq(a, b) => {
+                let (a, b) = (
+                    resolve(*a, binds).expect("neq operand bound"),
+                    resolve(*b, binds).expect("neq operand bound"),
+                );
+                if a != b {
+                    self.join_from(rule, li + 1, skip, stop, binds, sink);
+                }
+            }
+            CLit::Neg(atom) => {
+                if !self.atom_exists(atom, binds) {
+                    self.join_from(rule, li + 1, skip, stop, binds, sink);
+                }
+            }
+            CLit::Pos(atom) if atom.terms.len() == 1 => {
+                let t = atom.terms[0];
+                match resolve(t, binds) {
+                    Some(x) => {
+                        if self.rel_contains(atom.rel, x, 0) {
+                            self.join_from(rule, li + 1, skip, stop, binds, sink);
+                        }
+                    }
+                    None => match t {
+                        CTerm::Var(v) => {
+                            self.rel_for_each(atom.rel, &mut |x, _| {
+                                binds[v as usize] = x;
+                                self.join_from(rule, li + 1, skip, stop, binds, sink);
+                            });
+                            binds[v as usize] = UNBOUND;
+                        }
+                        CTerm::Wild => {
+                            if self.rel_any(atom.rel) {
+                                self.join_from(rule, li + 1, skip, stop, binds, sink);
+                            }
+                        }
+                        CTerm::Const(_) => unreachable!("constants resolve"),
+                    },
+                }
+            }
+            CLit::Pos(atom) => {
+                let (t0, t1) = (atom.terms[0], atom.terms[1]);
+                match resolve(t0, binds) {
+                    Some(k) => match (resolve(t1, binds), t1) {
+                        (Some(v), _) => {
+                            if self.rel_contains(atom.rel, k, v) {
+                                self.join_from(rule, li + 1, skip, stop, binds, sink);
+                            }
+                        }
+                        (None, CTerm::Var(v1)) => {
+                            self.rel_matching(atom.rel, k, &mut |v| {
+                                binds[v1 as usize] = v;
+                                self.join_from(rule, li + 1, skip, stop, binds, sink);
+                            });
+                            binds[v1 as usize] = UNBOUND;
+                        }
+                        (None, CTerm::Wild) => {
+                            if self.rel_has_key(atom.rel, k) {
+                                self.join_from(rule, li + 1, skip, stop, binds, sink);
+                            }
+                        }
+                        (None, CTerm::Const(_)) => unreachable!("constants resolve"),
+                    },
+                    None => {
+                        // First column unbound: full scan with unification
+                        // (no reverse index; acceptable for the catalog's
+                        // small key-unbound uses).
+                        self.rel_for_each(atom.rel, &mut |a, b| {
+                            let Ok(u0) = unify(t0, a, binds) else { return };
+                            if let Ok(u1) = unify(t1, b, binds) {
+                                self.join_from(rule, li + 1, skip, stop, binds, sink);
+                                if let Some(v) = u1 {
+                                    binds[v as usize] = UNBOUND;
+                                }
+                            }
+                            if let Some(v) = u0 {
+                                binds[v as usize] = UNBOUND;
+                            }
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Existence check for a negated atom; unbound positions are wilds.
+    fn atom_exists(&self, atom: &crate::program::CAtom, binds: &[u32]) -> bool {
+        if atom.terms.len() == 1 {
+            return match resolve(atom.terms[0], binds) {
+                Some(x) => self.rel_contains(atom.rel, x, 0),
+                None => self.rel_any(atom.rel),
+            };
+        }
+        match (resolve(atom.terms[0], binds), resolve(atom.terms[1], binds)) {
+            (Some(a), Some(b)) => self.rel_contains(atom.rel, a, b),
+            (Some(a), None) => self.rel_has_key(atom.rel, a),
+            (None, Some(b)) => {
+                let mut any = false;
+                self.rel_for_each(atom.rel, &mut |_, v| any |= v == b);
+                any
+            }
+            (None, None) => self.rel_any(atom.rel),
+        }
+    }
+
+    // --- store access -------------------------------------------------------
+
+    fn insert(&mut self, rel: usize, a: u32, b: u32) -> bool {
+        match &mut self.stores[rel] {
+            Store::Unary(s) => s.insert(a as usize),
+            Store::Binary {
+                rows,
+                val_size,
+                len,
+            } => {
+                let row = rows[a as usize].get_or_insert_with(|| BitSet::new(*val_size));
+                let fresh = row.insert(b as usize);
+                if fresh {
+                    *len += 1;
+                }
+                fresh
+            }
+            Store::Extern(_) => unreachable!("rules cannot derive extensional relations"),
+        }
+    }
+
+    fn rel_contains(&self, rel: usize, a: u32, b: u32) -> bool {
+        match &self.stores[rel] {
+            Store::Extern(e) => self.db.contains(*e, a, b),
+            Store::Unary(s) => s.contains(a as usize),
+            Store::Binary { rows, .. } => rows[a as usize]
+                .as_ref()
+                .is_some_and(|r| r.contains(b as usize)),
+        }
+    }
+
+    fn rel_for_each(&self, rel: usize, f: &mut dyn FnMut(u32, u32)) {
+        match &self.stores[rel] {
+            Store::Extern(e) => self.db.for_each(*e, f),
+            Store::Unary(s) => {
+                for x in s.iter() {
+                    f(x as u32, 0);
+                }
+            }
+            Store::Binary { rows, .. } => {
+                for (k, row) in rows.iter().enumerate() {
+                    if let Some(row) = row {
+                        for v in row.iter() {
+                            f(k as u32, v as u32);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn rel_matching(&self, rel: usize, key: u32, f: &mut dyn FnMut(u32)) {
+        match &self.stores[rel] {
+            Store::Extern(e) => self.db.for_each_matching(*e, key, f),
+            Store::Binary { rows, .. } => {
+                if let Some(row) = &rows[key as usize] {
+                    for v in row.iter() {
+                        f(v as u32);
+                    }
+                }
+            }
+            Store::Unary(_) => unreachable!("unary relation has no second column"),
+        }
+    }
+
+    fn rel_has_key(&self, rel: usize, key: u32) -> bool {
+        match &self.stores[rel] {
+            Store::Extern(e) => self.db.has_key(*e, key),
+            Store::Binary { rows, .. } => {
+                rows[key as usize].as_ref().is_some_and(|r| !r.is_empty())
+            }
+            Store::Unary(_) => unreachable!("unary relation has no second column"),
+        }
+    }
+
+    fn rel_any(&self, rel: usize) -> bool {
+        match &self.stores[rel] {
+            Store::Extern(e) => {
+                let mut any = false;
+                self.db.for_each(*e, &mut |_, _| any = true);
+                any
+            }
+            Store::Unary(s) => !s.is_empty(),
+            Store::Binary { len, .. } => *len > 0,
+        }
+    }
+
+    fn rel_row_words(&self, rel: usize, key: u32) -> Option<&[u64]> {
+        match &self.stores[rel] {
+            Store::Extern(e) => self.db.row_words(*e, key),
+            Store::Binary { rows, .. } => rows[key as usize].as_ref().map(|r| r.words()),
+            Store::Unary(_) => None,
+        }
+    }
+}
+
+enum Sink<'s> {
+    /// Materialize head tuples.
+    Tuples(&'s mut Vec<(u32, u32)>),
+    /// Row-union fast path: union the last literal's raw row into a
+    /// scratch set of head values.
+    Row(&'s mut BitSet),
+}
+
+fn resolve(t: CTerm, binds: &[u32]) -> Option<u32> {
+    match t {
+        CTerm::Const(c) => Some(c),
+        CTerm::Wild => None,
+        CTerm::Var(v) => match binds[v as usize] {
+            UNBOUND => None,
+            x => Some(x),
+        },
+    }
+}
+
+/// Matches `t` against `val`: `Ok(Some(v))` freshly bound variable `v`
+/// (caller unbinds after backtracking), `Ok(None)` matched without
+/// binding, `Err(())` mismatch.
+fn unify(t: CTerm, val: u32, binds: &mut [u32]) -> Result<Option<u8>, ()> {
+    match t {
+        CTerm::Wild => Ok(None),
+        CTerm::Const(c) => {
+            if c == val {
+                Ok(None)
+            } else {
+                Err(())
+            }
+        }
+        CTerm::Var(v) => {
+            let slot = &mut binds[v as usize];
+            if *slot == UNBOUND {
+                *slot = val;
+                Ok(Some(v))
+            } else if *slot == val {
+                Ok(None)
+            } else {
+                Err(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{head, neg, pos, var, Dom, RuleProgram, WILD};
+    use stcfa_core::{Analysis, QueryEngine};
+    use stcfa_lambda::Program;
+
+    fn setup(src: &str) -> (Program, Analysis) {
+        let p = Program::parse(src).unwrap();
+        let a = Analysis::run(&p).unwrap();
+        (p, a)
+    }
+
+    const HIGHER_ORDER: &str = "fun apply f = fn y => f y; apply (fn n => print n) 7";
+
+    /// `invoked(l) :- app_func(_, e), expr_label(e, l).` must agree with
+    /// the engine's own per-application label sets.
+    #[test]
+    fn row_union_rule_matches_engine_answers() {
+        let (p, a) = setup(HIGHER_ORDER);
+        let engine = QueryEngine::freeze(&a);
+        let db = ExtDb::new(&p, &a, &engine);
+        let mut rp = RuleProgram::new();
+        let app_func = rp.edb("app_func", &[Dom::Expr, Dom::Expr]);
+        let expr_label = rp.edb("expr_label", &[Dom::Expr, Dom::Label]);
+        let invoked = rp.decl("invoked", &[Dom::Label]);
+        rp.rule(
+            head(invoked, &[var("l")]),
+            vec![
+                pos(app_func, &[WILD, var("e")]),
+                pos(expr_label, &[var("e"), var("l")]),
+            ],
+        )
+        .unwrap();
+
+        let mut want: Vec<u32> = Vec::new();
+        for app in p.app_sites() {
+            if let stcfa_lambda::ExprKind::App { func, .. } = p.kind(app) {
+                want.extend(engine.labels_of(*func).iter().map(|l| l.index() as u32));
+            }
+        }
+        want.sort_unstable();
+        want.dedup();
+
+        // Fast path and generic join agree with the engine.
+        let mut fast = Evaluator::new(&rp, &db).unwrap();
+        fast.run();
+        assert_eq!(fast.unary(invoked), want);
+        let mut slow = Evaluator::new(&rp, &db).unwrap();
+        slow.force_generic = true;
+        slow.run();
+        assert_eq!(slow.unary(invoked), want);
+    }
+
+    /// The condensation sweep must agree with the generic worklist on
+    /// `treach(n) :- src(n); treach(n) :- edge(n, m), treach(m).`
+    #[test]
+    fn sweep_matches_generic_evaluation() {
+        let (p, a) = setup(HIGHER_ORDER);
+        let engine = QueryEngine::freeze(&a);
+        let db = ExtDb::new(&p, &a, &engine);
+        let mut rp = RuleProgram::new();
+        let edge = rp.edb("edge", &[Dom::Node, Dom::Node]);
+        let origin = rp.edb("label_origin", &[Dom::Label, Dom::Node]);
+        let eff = rp.edb("effectful_label", &[Dom::Label]);
+        let src = rp.decl("src", &[Dom::Node]);
+        let treach = rp.decl("treach", &[Dom::Node]);
+        rp.rule(
+            head(src, &[var("n")]),
+            vec![pos(eff, &[var("l")]), pos(origin, &[var("l"), var("n")])],
+        )
+        .unwrap();
+        rp.rule(head(treach, &[var("n")]), vec![pos(src, &[var("n")])])
+            .unwrap();
+        rp.rule(
+            head(treach, &[var("n")]),
+            vec![pos(edge, &[var("n"), var("m")]), pos(treach, &[var("m")])],
+        )
+        .unwrap();
+
+        let mut swept = Evaluator::new(&rp, &db).unwrap();
+        swept.run();
+        let mut generic = Evaluator::new(&rp, &db).unwrap();
+        generic.force_generic = true;
+        generic.run();
+        assert_eq!(swept.unary(treach), generic.unary(treach));
+        assert!(
+            !swept.unary(treach).is_empty(),
+            "print-lambda taints someone"
+        );
+        assert_eq!(swept.stats().sweep_strata, 1);
+        assert_eq!(generic.stats().sweep_strata, 0);
+
+        // Demand mode gives the same verdict per node without a full run.
+        let mut demand = Evaluator::new(&rp, &db).unwrap();
+        let full: Vec<u32> = swept.unary(treach);
+        for n in 0..engine.node_count() as u32 {
+            assert_eq!(
+                demand.query_unary(treach, n),
+                full.binary_search(&n).is_ok(),
+                "node {n}"
+            );
+        }
+        assert!(demand.stats().demand_visited > 0);
+        assert_eq!(demand.stats().sweep_strata, 0, "demand never swept");
+    }
+
+    /// Binary recursion (transitive closure) against brute force, and
+    /// seeded facts flowing through rules.
+    #[test]
+    fn binary_transitive_closure_matches_brute_force() {
+        let (p, a) = setup(HIGHER_ORDER);
+        let engine = QueryEngine::freeze(&a);
+        let db = ExtDb::new(&p, &a, &engine);
+        let mut rp = RuleProgram::new();
+        let edge = rp.edb("edge", &[Dom::Node, Dom::Node]);
+        let tc = rp.decl("tc", &[Dom::Node, Dom::Node]);
+        rp.rule(
+            head(tc, &[var("x"), var("y")]),
+            vec![pos(edge, &[var("x"), var("y")])],
+        )
+        .unwrap();
+        rp.rule(
+            head(tc, &[var("x"), var("z")]),
+            vec![
+                pos(tc, &[var("x"), var("y")]),
+                pos(edge, &[var("y"), var("z")]),
+            ],
+        )
+        .unwrap();
+        let mut ev = Evaluator::new(&rp, &db).unwrap();
+        ev.run();
+        let got = ev.pairs(tc);
+
+        // Brute force: BFS from every node over the CSR.
+        let csr = engine.csr();
+        let mut want: Vec<(u32, u32)> = Vec::new();
+        for s in 0..engine.node_count() {
+            let mut seen = BitSet::new(engine.node_count());
+            let mut stack: Vec<usize> = csr.succs(s).iter().map(|&v| v as usize).collect();
+            while let Some(u) = stack.pop() {
+                if seen.insert(u) {
+                    want.push((s as u32, u as u32));
+                    stack.extend(csr.succs(u).iter().map(|&v| v as usize));
+                }
+            }
+        }
+        want.sort_unstable();
+        assert_eq!(got, want);
+        assert!(ev.stats().rounds > 0, "delta rounds ran");
+        assert!(ev.stats().derived >= got.len());
+    }
+
+    /// Stratified negation over real views: labels never invoked.
+    #[test]
+    fn negation_filters_against_completed_stratum() {
+        let (p, a) = setup("let val dead = fn x => x in (fn y => y) 1 end");
+        let engine = QueryEngine::freeze(&a);
+        let db = ExtDb::new(&p, &a, &engine);
+        let mut rp = RuleProgram::new();
+        let app_func = rp.edb("app_func", &[Dom::Expr, Dom::Expr]);
+        let expr_label = rp.edb("expr_label", &[Dom::Expr, Dom::Label]);
+        let lam_label = rp.edb("lam_label", &[Dom::Label, Dom::Expr]);
+        let invoked = rp.decl("invoked", &[Dom::Label]);
+        let dead = rp.decl("dead", &[Dom::Label]);
+        rp.rule(
+            head(invoked, &[var("l")]),
+            vec![
+                pos(app_func, &[WILD, var("e")]),
+                pos(expr_label, &[var("e"), var("l")]),
+            ],
+        )
+        .unwrap();
+        rp.rule(
+            head(dead, &[var("l")]),
+            vec![pos(lam_label, &[var("l"), WILD]), neg(invoked, &[var("l")])],
+        )
+        .unwrap();
+        let mut ev = Evaluator::new(&rp, &db).unwrap();
+        ev.run();
+        assert_eq!(p.label_count(), 2);
+        assert_eq!(ev.unary(invoked).len(), 1, "only fn y is applied");
+        assert_eq!(ev.unary(dead).len(), 1, "fn x is dead");
+        assert_ne!(ev.unary(invoked), ev.unary(dead));
+    }
+
+    /// Seeds flow into sweeps, and out-of-contract seeds are rejected.
+    #[test]
+    fn seeding_and_guards() {
+        let (p, a) = setup(HIGHER_ORDER);
+        let engine = QueryEngine::freeze(&a);
+        let db = ExtDb::new(&p, &a, &engine);
+        let mut rp = RuleProgram::new();
+        let edge = rp.edb("edge", &[Dom::Node, Dom::Node]);
+        let treach = rp.decl("treach", &[Dom::Node]);
+        rp.rule(
+            head(treach, &[var("n")]),
+            vec![pos(edge, &[var("n"), var("m")]), pos(treach, &[var("m")])],
+        )
+        .unwrap();
+        let mut ev = Evaluator::new(&rp, &db).unwrap();
+        // Without seeds the relation is empty even after a sweep.
+        let mut empty = Evaluator::new(&rp, &db).unwrap();
+        empty.run();
+        assert!(empty.unary(treach).is_empty());
+        // Seed one node: at least that node holds.
+        ev.seed(treach, &[0]);
+        ev.run();
+        assert!(ev.contains(treach, &[0]));
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut e2 = Evaluator::new(&rp, &db).unwrap();
+            e2.seed(edge, &[0, 0]);
+        }));
+        assert!(res.is_err(), "seeding an extensional relation panics");
+    }
+}

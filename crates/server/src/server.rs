@@ -33,6 +33,7 @@ use std::time::{Duration, Instant};
 use stcfa_core::{Analysis, AnalysisOptions, DatatypePolicy, QueryEngine};
 use stcfa_lambda::{ExprId, ExprKind, Label, Program};
 use stcfa_lint::{lint, Diagnostic, LintOptions};
+use stcfa_rules::ExtDb;
 use stcfa_session::{LinkError, LinkReport, Module, Workspace};
 
 use crate::cache::{Invalidate, LookupError, Snapshot, SnapshotKey, SnapshotStore};
@@ -257,6 +258,15 @@ impl Server {
             "analyze" => self.op_analyze(request, &deadline),
             "query" => self.op_query(request, &deadline),
             "lint" => self.op_lint(request, &deadline),
+            "rule" => {
+                if version != PROTOCOL_VERSION_SESSION {
+                    return Err(RequestError::new(
+                        ErrorKind::Proto,
+                        "`rule` is a protocol-2 op: it requires \"v\":2",
+                    ));
+                }
+                self.op_rule(request, &deadline)
+            }
             "evict" => self.op_evict(request),
             "stats" => Ok(self.op_stats()),
             "session/open" => self.op_session_open(request, &deadline),
@@ -271,7 +281,7 @@ impl Server {
             other => Err(RequestError::new(
                 ErrorKind::Proto,
                 format!(
-                    "unknown op `{other}` (expected analyze|query|lint|evict|stats|shutdown \
+                    "unknown op `{other}` (expected analyze|query|lint|rule|evict|stats|shutdown \
                      or session/open|session/update|session/query|session/lint|session/close)"
                 ),
             )),
@@ -437,6 +447,104 @@ impl Server {
                 threads: (self.options.threads / active).max(1),
             },
         ))
+    }
+
+    /// `rule` (protocol 2): evaluates a shipped rule program against a
+    /// snapshot. `name` picks the program — `dominators` returns the
+    /// call-graph dominator relation for every reachable node;
+    /// `taint` closes the given source labels (default: every
+    /// effectful-bodied abstraction) over the flow edges, for the whole
+    /// program or, with `expr`, as one demand query that walks only the
+    /// occurrence's BFS cone.
+    fn op_rule(&self, request: &Json, deadline: &Deadline) -> Result<Json, RequestError> {
+        let name = request
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| RequestError::new(ErrorKind::Proto, "`rule` needs `name`"))?
+            .to_owned();
+        let snapshot = self.resolve_snapshot(request, deadline)?;
+        deadline.check("before rule")?;
+        let analysis = snapshot
+            .try_analysis()
+            .map_err(|e| RequestError::new(ErrorKind::Analysis, e.clone()))?;
+        let program = &snapshot.program;
+        let db = ExtDb::new(program, analysis, &snapshot.engine);
+        let result = match name.as_str() {
+            "dominators" => {
+                let dom = stcfa_rules::dominators(&db);
+                let mut nodes = Vec::new();
+                for n in 0..=dom.entry() {
+                    if dom.is_reachable(n) {
+                        let doms = dom
+                            .doms_of(n)
+                            .iter()
+                            .map(|&d| Json::num(d as u64))
+                            .collect();
+                        nodes.push(Json::obj(vec![
+                            ("node", Json::num(n as u64)),
+                            ("doms", Json::Arr(doms)),
+                        ]));
+                    }
+                }
+                Json::obj(vec![
+                    ("rule", Json::str("dominators")),
+                    ("entry", Json::num(dom.entry() as u64)),
+                    ("nodes", Json::Arr(nodes)),
+                ])
+            }
+            "taint" => {
+                let sources = taint_sources(request, program, &db)?;
+                let src_json = Json::Arr(
+                    sources
+                        .iter()
+                        .map(|l| Json::num(l.index() as u64))
+                        .collect(),
+                );
+                match request.get("expr") {
+                    Some(v) => {
+                        let idx = v
+                            .as_u64()
+                            .filter(|&n| (n as usize) < program.size())
+                            .ok_or_else(|| {
+                                RequestError::new(
+                                    ErrorKind::Proto,
+                                    format!(
+                                        "`expr` must be an occurrence index below {}",
+                                        program.size()
+                                    ),
+                                )
+                            })?;
+                        let e = ExprId::from_index(idx as usize);
+                        let tainted = stcfa_rules::expr_is_tainted(&db, &sources, e);
+                        Json::obj(vec![
+                            ("rule", Json::str("taint")),
+                            ("sources", src_json),
+                            ("expr", Json::num(idx)),
+                            ("tainted", Json::Bool(tainted)),
+                        ])
+                    }
+                    None => {
+                        let tainted = stcfa_rules::tainted_exprs(&db, &sources)
+                            .iter()
+                            .map(|e| Json::num(e.index() as u64))
+                            .collect();
+                        Json::obj(vec![
+                            ("rule", Json::str("taint")),
+                            ("sources", src_json),
+                            ("tainted", Json::Arr(tainted)),
+                        ])
+                    }
+                }
+            }
+            other => {
+                return Err(RequestError::new(
+                    ErrorKind::Proto,
+                    format!("unknown rule `{other}` (expected dominators|taint)"),
+                ))
+            }
+        };
+        deadline.check("after rule")?;
+        Ok(result)
     }
 
     fn op_evict(&self, request: &Json) -> Result<Json, RequestError> {
@@ -1591,6 +1699,53 @@ fn diagnostics_json(diags: &[Diagnostic], report: Option<&LinkReport>) -> Json {
     ])
 }
 
+/// Resolves the `sources` parameter of the taint rule: an explicit
+/// array of label indices, or (by default) every effectful-bodied
+/// abstraction in the program.
+fn taint_sources(
+    request: &Json,
+    program: &Program,
+    db: &ExtDb<'_>,
+) -> Result<Vec<Label>, RequestError> {
+    match request.get("sources") {
+        Some(Json::Arr(items)) => {
+            let mut out = Vec::with_capacity(items.len());
+            for item in items {
+                let idx = item
+                    .as_u64()
+                    .filter(|&n| (n as usize) < program.label_count())
+                    .ok_or_else(|| {
+                        RequestError::new(
+                            ErrorKind::Proto,
+                            format!(
+                                "`sources` entries must be label indices below {}",
+                                program.label_count()
+                            ),
+                        )
+                    })?;
+                out.push(Label::from_index(idx as usize));
+            }
+            out.sort_unstable();
+            out.dedup();
+            Ok(out)
+        }
+        Some(_) => Err(RequestError::new(
+            ErrorKind::Proto,
+            "`sources` must be an array of label indices",
+        )),
+        None => {
+            let eff = db.effects();
+            Ok(program
+                .all_labels()
+                .filter(|&l| match program.kind(program.lam_of_label(l)) {
+                    ExprKind::Lam { body, .. } => eff.is_effectful(*body),
+                    _ => false,
+                })
+                .collect())
+        }
+    }
+}
+
 /// Validates an expression-index parameter against the program.
 fn expr_param(v: &Json, program: &Program, field: &str) -> Result<ExprId, RequestError> {
     let index = v.as_u64().ok_or_else(|| {
@@ -1895,6 +2050,108 @@ mod tests {
                 .and_then(|a| a[0].as_str()),
             Some("λy#1")
         );
+    }
+
+    #[test]
+    fn rule_op_requires_protocol_two() {
+        let s = server();
+        let r = call(
+            &s,
+            r#"{"op":"rule","name":"dominators","source":"fun f x = x; f 1"}"#,
+        );
+        assert_eq!(r.get("ok"), Some(&Json::Bool(false)));
+        let msg = r
+            .get("error")
+            .and_then(|e| e.get("message"))
+            .and_then(Json::as_str)
+            .unwrap();
+        assert!(msg.contains("\"v\":2"), "{msg}");
+    }
+
+    #[test]
+    fn rule_dominators_round_trip() {
+        let s = server();
+        let r = call(
+            &s,
+            r#"{"v":2,"op":"rule","name":"dominators","source":"fun f x = x; fun g y = f y; g 2"}"#,
+        );
+        let result = r.get("result").unwrap_or_else(|| panic!("{r:?}"));
+        assert_eq!(
+            result.get("rule").and_then(Json::as_str),
+            Some("dominators")
+        );
+        let entry = result.get("entry").and_then(Json::as_u64).expect("entry");
+        let nodes = result.get("nodes").and_then(Json::as_arr).expect("nodes");
+        assert!(!nodes.is_empty());
+        // The entry node is reachable and dominated only by itself.
+        let entry_row = nodes
+            .iter()
+            .find(|n| n.get("node").and_then(Json::as_u64) == Some(entry))
+            .expect("entry row");
+        let doms = entry_row.get("doms").and_then(Json::as_arr).unwrap();
+        assert_eq!(doms.len(), 1);
+        // Every reachable node is dominated by the entry.
+        for n in nodes {
+            let doms = n.get("doms").and_then(Json::as_arr).unwrap();
+            assert!(doms.iter().any(|d| d.as_u64() == Some(entry)), "{n:?}");
+        }
+    }
+
+    #[test]
+    fn rule_taint_full_and_demand_agree() {
+        let s = server();
+        let src = "fun apply f = fn y => f y; apply (fn n => print n) 7";
+        let r = call(
+            &s,
+            &format!(r#"{{"v":2,"op":"rule","name":"taint","source":"{src}"}}"#),
+        );
+        let result = r.get("result").unwrap_or_else(|| panic!("{r:?}"));
+        let tainted = result.get("tainted").and_then(Json::as_arr).expect("list");
+        assert!(!tainted.is_empty(), "the printer flows somewhere");
+        let first = tainted[0].as_u64().unwrap();
+        let q = call(
+            &s,
+            &format!(r#"{{"v":2,"op":"rule","name":"taint","source":"{src}","expr":{first}}}"#),
+        );
+        let result = q.get("result").unwrap_or_else(|| panic!("{q:?}"));
+        assert_eq!(result.get("tainted"), Some(&Json::Bool(true)));
+        // Explicit empty sources taint nothing.
+        let q = call(
+            &s,
+            &format!(r#"{{"v":2,"op":"rule","name":"taint","source":"{src}","sources":[]}}"#),
+        );
+        let result = q.get("result").unwrap();
+        assert_eq!(
+            result
+                .get("tainted")
+                .and_then(Json::as_arr)
+                .map(|a| a.len()),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn rule_errors_are_structured() {
+        let s = server();
+        let msg = |r: &Json| {
+            r.get("error")
+                .and_then(|e| e.get("message"))
+                .and_then(Json::as_str)
+                .map(str::to_owned)
+                .unwrap_or_else(|| panic!("{r:?}"))
+        };
+        let r = call(
+            &s,
+            r#"{"v":2,"op":"rule","name":"nosuch","source":"fun f x = x; f 1"}"#,
+        );
+        assert!(msg(&r).contains("dominators|taint"), "{r:?}");
+        let r = call(&s, r#"{"v":2,"op":"rule","source":"fun f x = x; f 1"}"#);
+        assert!(msg(&r).contains("needs `name`"), "{r:?}");
+        let r = call(
+            &s,
+            r#"{"v":2,"op":"rule","name":"taint","sources":[9999],"source":"fun f x = x; f 1"}"#,
+        );
+        assert!(msg(&r).contains("label indices"), "{r:?}");
     }
 
     #[test]

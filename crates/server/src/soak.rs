@@ -24,7 +24,11 @@ use crate::json::Json;
 pub struct SoakConfig {
     /// Daemon address (`host:port`).
     pub addr: String,
-    /// Concurrent connections.
+    /// Concurrent connections. The default scales with the host — 8 per
+    /// available core, capped at 64 — because each connection is a
+    /// client-side OS thread: a fixed 64 would oversubscribe a
+    /// single-core host with the load generator alone, drowning the
+    /// daemon the soak is supposed to exercise.
     pub connections: usize,
     /// Bursts per connection.
     pub bursts: usize,
@@ -45,7 +49,10 @@ impl Default for SoakConfig {
     fn default() -> SoakConfig {
         SoakConfig {
             addr: String::new(),
-            connections: 64,
+            connections: std::thread::available_parallelism()
+                .map_or(1, |p| p.get())
+                .saturating_mul(8)
+                .min(64),
             bursts: 4,
             burst: 8,
             source: "(fn x => x) (fn y => y)".to_owned(),

@@ -38,7 +38,7 @@ echo "== lint: machine-readable corpus report is stable =="
 # `stcfa lint --format json` over the whole corpus, digested. The digest is
 # pinned so a renderer or rule change that shifts any diagnostic shows up
 # here as well as in tests/lint_snapshot.rs (which pins the same reports).
-LINT_DIGEST_WANT="3512133502"
+LINT_DIGEST_WANT="3311874151"
 lint_report="$(for f in corpus/*.ml; do
   echo "== $f"
   ./target/release/stcfa lint "$f" --format json --threads 1
@@ -50,6 +50,34 @@ if [ "$LINT_DIGEST_GOT" != "$LINT_DIGEST_WANT" ]; then
   exit 1
 fi
 echo "-- corpus lint digest ok ($LINT_DIGEST_GOT)"
+
+echo "== rules: differential gate (rule engine vs hand-fused lints) =="
+# STCFA002/004/005 exist twice — hand-fused loops and declarative rule
+# programs. The gate pins byte-identical reports over corpus and
+# synthesized programs at 1/2/8 threads, plus 0-CFA oracle soundness
+# for the rule-backed STCFA007/008.
+cargo test -q --offline --test rules_differential
+
+echo "== rules: corpus STCFA007/008 findings are pinned =="
+# The new rule-backed lints, extracted from the corpus-wide JSON report
+# and digested separately from LINT_DIGEST_WANT so a drift in the rule
+# layer is attributed to it directly.
+RULES_DIGEST_WANT="4278055075"
+rules_report="$(for f in corpus/*.ml; do
+  echo "== $f"
+  ./target/release/stcfa lint "$f" --format json --threads 1 \
+    | grep -E '"code":"STCFA00[78]"' || true
+done)"
+RULES_DIGEST_GOT="$(printf '%s\n' "$rules_report" | cksum | cut -d' ' -f1)"
+if [ "$RULES_DIGEST_GOT" != "$RULES_DIGEST_WANT" ]; then
+  echo "rules digest drifted: want $RULES_DIGEST_WANT got $RULES_DIGEST_GOT" >&2
+  printf '%s\n' "$rules_report" >&2
+  exit 1
+fi
+echo "-- corpus rules digest ok ($RULES_DIGEST_GOT)"
+
+echo "== rules: clippy on the rule crate (warnings are errors) =="
+cargo clippy -p stcfa-rules --all-targets --offline -- -D warnings
 
 echo "== server: stdio smoke round-trip =="
 # A full analyze -> warm analyze -> query -> lint -> shutdown conversation

@@ -24,8 +24,18 @@
 //!
 //! LINT MODE
 //!   stcfa lint <FILE|-> [--format text|json] [--threads <n>]
-//!                      flow-powered diagnostics (STCFA001–STCFA006) over
+//!                      flow-powered diagnostics (STCFA001–STCFA008) over
 //!                      the frozen query engine; see docs/LINT.md
+//!   stcfa lint --explain <CODE>
+//!                      print the declarative rule definition behind a
+//!                      diagnostic code (see docs/RULES.md)
+//!
+//! RULE MODE
+//!   stcfa rule <FILE|-> --name dominators|taint [--sources l,l,...]
+//!              [--expr <n>]
+//!                      evaluate a shipped rule program (docs/RULES.md)
+//!                      and print the JSON answer; `--expr` turns taint
+//!                      into a single demand query
 //!
 //! SERVER MODE
 //!   stcfa serve [--stdio | --addr HOST:PORT] [--threads <n>]
@@ -182,6 +192,8 @@ fn usage() -> &'static str {
      \t[--analysis sub|poly|hybrid|cfa0|sba|unify] [--policy c1|c2|exact|forget]\n\
      \t[--max-nodes <n>] [--fuel <n>]\n\
      \tor: stcfa lint <FILE|-> [--format text|json] [--policy ...] [--threads <n>]\n\
+     \tor: stcfa lint --explain <CODE>\n\
+     \tor: stcfa rule <FILE|-> --name dominators|taint [--sources l,l,...] [--expr <n>] [--policy ...]\n\
      \tor: stcfa serve [--stdio|--addr HOST:PORT] [--threads <n>] [--shards <n>] [--cache-capacity <bytes>] [--cache-dir <path>]\n\
      \t\t[--deadline-ms <n>] [--max-inflight <n>] [--conn-inflight <n>] [--transport fleet|threaded] [--summary]\n\
      \tor: stcfa client --addr HOST:PORT [--request <json>]\n\
@@ -379,11 +391,13 @@ fn read_source(path: &str) -> Result<String, String> {
 
 /// `stcfa lint <FILE|-> [--format text|json] [--policy ...] [--max-nodes n]
 /// [--threads n]`: run the flow-powered diagnostics and print the report.
+/// `stcfa lint --explain CODE` instead prints the declarative definition
+/// behind one rule code and exits.
 ///
 /// Always exits 0 when the program parses and analyzes; diagnostics are a
 /// report, not a gate (pipe the JSON into a gate if you want one).
 fn run_lint(args: &[String]) -> Result<(), CliError> {
-    use stcfa::lint::{lint, render_json, render_text, LintOptions};
+    use stcfa::lint::{explain, lint, render_json, render_text, LintOptions};
 
     let mut path = None;
     let mut json = false;
@@ -393,6 +407,18 @@ fn run_lint(args: &[String]) -> Result<(), CliError> {
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--explain" => {
+                let code = it.next().ok_or_else(|| {
+                    CliError::BadValue("--explain needs a rule code (e.g. STCFA004)".to_owned())
+                })?;
+                let text = explain(code).ok_or_else(|| {
+                    CliError::BadValue(format!(
+                        "unknown rule code `{code}` (expected STCFA001–STCFA008)"
+                    ))
+                })?;
+                print!("{text}");
+                return Ok(());
+            }
             "--format" => {
                 json = match it.next().map(String::as_str) {
                     Some("json") => true,
@@ -436,6 +462,142 @@ fn run_lint(args: &[String]) -> Result<(), CliError> {
         }
         if diags.is_empty() {
             eprintln!("{path}: no diagnostics");
+        }
+    }
+    Ok(())
+}
+
+/// `stcfa rule <FILE|-> --name dominators|taint [--sources l,l,...]
+/// [--expr n] [--policy ...]`: evaluate a shipped rule program over the
+/// frozen engine and print the JSON answer — the CLI twin of the
+/// protocol-2 `rule` op (docs/RULES.md).
+fn run_rule(args: &[String]) -> Result<(), CliError> {
+    use stcfa::rules::{dominators, expr_is_tainted, tainted_exprs, ExtDb};
+
+    let mut path = None;
+    let mut name = None;
+    let mut sources: Option<Vec<usize>> = None;
+    let mut expr = None;
+    let mut policy = DatatypePolicy::Congruence1;
+    let mut max_nodes = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--name" => {
+                name = Some(
+                    it.next()
+                        .ok_or_else(|| CliError::BadValue("--name needs a rule name".to_owned()))?
+                        .to_owned(),
+                );
+            }
+            "--sources" => {
+                let raw = it.next().ok_or_else(|| {
+                    CliError::BadValue("--sources needs a comma-separated label list".to_owned())
+                })?;
+                let mut list = Vec::new();
+                for part in raw.split(',').filter(|p| !p.is_empty()) {
+                    list.push(part.parse::<usize>().map_err(|_| {
+                        CliError::BadValue(format!("--sources: `{part}` is not a label index"))
+                    })?);
+                }
+                sources = Some(list);
+            }
+            "--expr" => expr = Some(flag_value::<usize>(&mut it, "--expr")?),
+            "--policy" => policy = parse_policy_flag(it.next().map(String::as_str))?,
+            "--max-nodes" => max_nodes = Some(flag_value(&mut it, "--max-nodes")?),
+            other if path.is_none() && !other.starts_with("--") => {
+                path = Some(other.to_owned());
+            }
+            other => {
+                return Err(CliError::Usage(format!(
+                    "unexpected argument `{other}`\n{}",
+                    usage()
+                )))
+            }
+        }
+    }
+    let path = path.ok_or_else(|| CliError::Usage(usage().to_owned()))?;
+    let name =
+        name.ok_or_else(|| CliError::Usage("rule needs --name dominators|taint".to_owned()))?;
+    let source = read_source(&path)?;
+    let program = Program::parse(&source).map_err(|e| format!("{path}: {e}"))?;
+    let analysis = Analysis::run_with(&program, AnalysisOptions { policy, max_nodes })
+        .map_err(|e| e.to_string())?;
+    let engine = QueryEngine::freeze(&analysis);
+    let db = ExtDb::new(&program, &analysis, &engine);
+    let join = |it: &mut dyn Iterator<Item = usize>| -> String {
+        it.map(|n| n.to_string()).collect::<Vec<_>>().join(",")
+    };
+    match name.as_str() {
+        "dominators" => {
+            let dom = dominators(&db);
+            let mut nodes = Vec::new();
+            for n in 0..=dom.entry() {
+                if dom.is_reachable(n) {
+                    let doms = join(&mut dom.doms_of(n).iter().map(|&d| d as usize));
+                    nodes.push(format!("{{\"node\":{n},\"doms\":[{doms}]}}"));
+                }
+            }
+            println!(
+                "{{\"rule\":\"dominators\",\"entry\":{},\"nodes\":[{}]}}",
+                dom.entry(),
+                nodes.join(",")
+            );
+        }
+        "taint" => {
+            let labels: Vec<Label> = match sources {
+                Some(list) => {
+                    let mut out = Vec::with_capacity(list.len());
+                    for l in list {
+                        if l >= program.label_count() {
+                            return Err(CliError::BadValue(format!(
+                                "--sources: label {l} is out of range (program has {})",
+                                program.label_count()
+                            )));
+                        }
+                        out.push(Label::from_index(l));
+                    }
+                    out.sort_unstable();
+                    out.dedup();
+                    out
+                }
+                None => {
+                    // Default: every effectful-bodied abstraction.
+                    let eff = db.effects();
+                    program
+                        .all_labels()
+                        .filter(|&l| match program.kind(program.lam_of_label(l)) {
+                            ExprKind::Lam { body, .. } => eff.is_effectful(*body),
+                            _ => false,
+                        })
+                        .collect()
+                }
+            };
+            let srcs = join(&mut labels.iter().map(|l| l.index()));
+            match expr {
+                Some(n) => {
+                    if n >= program.size() {
+                        return Err(CliError::BadValue(format!(
+                            "--expr: {n} is out of range (program has {} occurrences)",
+                            program.size()
+                        )));
+                    }
+                    let tainted = expr_is_tainted(&db, &labels, ExprId::from_index(n));
+                    println!(
+                        "{{\"rule\":\"taint\",\"sources\":[{srcs}],\"expr\":{n},\"tainted\":{tainted}}}"
+                    );
+                }
+                None => {
+                    let tainted = tainted_exprs(&db, &labels);
+                    let list = join(&mut tainted.iter().map(|e| e.index()));
+                    println!("{{\"rule\":\"taint\",\"sources\":[{srcs}],\"tainted\":[{list}]}}");
+                }
+            }
+        }
+        other => {
+            return Err(CliError::BadValue(format!(
+                "unknown rule `{other}` (expected dominators|taint)"
+            )))
         }
     }
     Ok(())
@@ -923,6 +1085,7 @@ fn run() -> Result<(), CliError> {
     }
     match args.first().map(String::as_str) {
         Some("lint") => return run_lint(&args[1..]),
+        Some("rule") => return run_rule(&args[1..]),
         Some("serve") => return run_serve(&args[1..]),
         Some("client") => return run_client(&args[1..]),
         Some("soak") => return run_soak(&args[1..]),

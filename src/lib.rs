@@ -14,6 +14,10 @@
 //!   control-flow graph and its queries.
 //! - [`apps`] — linear-time CFA-consuming applications (effects, k-limited,
 //!   called-once, inlining).
+//! - [`rules`] — the Datalog-flavoured rule layer: declarative programs
+//!   over zero-copy views of the frozen engine, evaluated semi-naively
+//!   at the same `O(E·L/64)` arithmetic (`stcfa rule`,
+//!   `stcfa lint --explain`).
 //! - [`server`] — the long-running analysis daemon with its
 //!   content-addressed snapshot cache (`stcfa serve`).
 //! - [`session`] — multi-file analysis sessions: named modules, the
@@ -45,6 +49,7 @@ pub use stcfa_graph as graph;
 pub use stcfa_lambda as lambda;
 pub use stcfa_lint as lint;
 pub use stcfa_persist as persist;
+pub use stcfa_rules as rules;
 pub use stcfa_sba as sba;
 pub use stcfa_server as server;
 pub use stcfa_session as session;

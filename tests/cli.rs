@@ -310,3 +310,109 @@ fn lint_reads_stdin() {
     let stdout = String::from_utf8(out.stdout).unwrap();
     assert!(stdout.contains("error[STCFA006]"), "{stdout}");
 }
+
+#[test]
+fn lint_explain_prints_rule_definitions() {
+    let out = stcfa()
+        .args(["lint", "--explain", "STCFA004"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.starts_with("STCFA004"), "{stdout}");
+    assert!(stdout.contains(":-"), "declarative clauses: {stdout}");
+    assert!(stdout.contains(".edb occurrence"), "{stdout}");
+    // Matching is case-insensitive.
+    let out = stcfa()
+        .args(["lint", "--explain", "stcfa007"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    // Unknown codes exit 3 (bad flag value).
+    let out = stcfa()
+        .args(["lint", "--explain", "STCFA999"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(3));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("unknown rule code"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn lint_reports_the_rule_backed_codes() {
+    let f = write_temp(
+        "lint_rules",
+        "fun pick b = if b then (fn x => print x) else (fn y => y);\n\
+         fun f x = x; fun g y = f y; val a = f 1; val c = (pick true) 5; g 2",
+    );
+    let out = stcfa().args(["lint"]).arg(&f).output().unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("warning[STCFA007]"), "{stdout}");
+    assert!(stdout.contains("info[STCFA008]"), "{stdout}");
+}
+
+#[test]
+fn rule_dominators_and_taint_answer_json() {
+    let f = write_temp("rule_dom", "fun f x = x; fun g y = f y; val a = f 1; g 2");
+    let out = stcfa()
+        .args(["rule"])
+        .arg(&f)
+        .args(["--name", "dominators"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.starts_with("{\"rule\":\"dominators\""), "{stdout}");
+    assert!(stdout.contains("\"entry\":"), "{stdout}");
+
+    let f = write_temp(
+        "rule_taint",
+        "fun apply f = fn y => f y; apply (fn n => print n) 7",
+    );
+    let out = stcfa()
+        .args(["rule"])
+        .arg(&f)
+        .args(["--name", "taint"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.starts_with("{\"rule\":\"taint\""), "{stdout}");
+    assert!(stdout.contains("\"tainted\":["), "{stdout}");
+
+    // Demand mode answers one occurrence; empty sources taint nothing.
+    let out = stcfa()
+        .args(["rule"])
+        .arg(&f)
+        .args(["--name", "taint", "--expr", "0", "--sources", ""])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("\"tainted\":false"), "{stdout}");
+
+    // Unknown rule names exit 3.
+    let out = stcfa()
+        .args(["rule"])
+        .arg(&f)
+        .args(["--name", "nosuch"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(3));
+}
