@@ -775,6 +775,37 @@ impl QueryEngine {
         }
     }
 
+    /// Known-call evidence for the optimizer backend: every application
+    /// site whose engine target set is a *singleton*, with that sole
+    /// target. Answered as one positional batch at `threads` workers, so
+    /// the result is deterministic (site order) at any thread count.
+    pub fn singleton_call_targets(
+        &self,
+        program: &Program,
+        threads: usize,
+    ) -> Vec<(ExprId, Label)> {
+        let apps = program.app_sites();
+        let queries: Vec<Query> = apps
+            .iter()
+            .filter_map(|&a| Query::call_targets(program, a))
+            .collect();
+        let answers = self.batch(&queries, threads.max(1));
+        apps.iter()
+            .zip(&answers)
+            .filter_map(|(&app, answer)| match answer {
+                Answer::Labels(labels) if labels.len() == 1 => Some((app, labels[0])),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The number of distinct variable occurrences of binder `v` — the
+    /// sole-occurrence test behind called-once inlining, without
+    /// materializing the occurrence list.
+    pub fn occurrence_count(&self, v: VarId) -> usize {
+        self.occ_offsets[v.index() + 1] as usize - self.occ_offsets[v.index()] as usize
+    }
+
     /// The variable occurrences of binder `v` (frozen from the analysis;
     /// used by consumers that walk inverse results back to source).
     pub fn occurrences_of(&self, v: VarId) -> impl Iterator<Item = ExprId> + '_ {

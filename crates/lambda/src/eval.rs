@@ -141,6 +141,9 @@ impl Env {
 pub enum EvalError {
     /// The step budget was exhausted (the program may diverge).
     OutOfFuel,
+    /// The recursion depth limit was exceeded (the program may diverge,
+    /// or simply nest deeper than the host stack can afford).
+    DepthExceeded(usize),
     /// A dynamic type error (applying a non-function, projecting a
     /// non-record, …). Well-typed programs never hit this.
     TypeError {
@@ -159,6 +162,12 @@ impl fmt::Display for EvalError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EvalError::OutOfFuel => write!(f, "evaluation ran out of fuel"),
+            EvalError::DepthExceeded(limit) => {
+                write!(
+                    f,
+                    "evaluation exceeded the recursion depth limit of {limit}"
+                )
+            }
             EvalError::TypeError { at, message } => {
                 write!(f, "dynamic type error at {at:?}: {message}")
             }
@@ -191,6 +200,12 @@ pub struct EvalOptions {
     pub fuel: u64,
     /// Values returned by successive `readint`s (then zeros).
     pub inputs: Vec<i64>,
+    /// Maximum recursion depth of the interpreter before
+    /// [`EvalError::DepthExceeded`] (`None` = unlimited). The evaluator
+    /// recurses on the host stack, so harnesses that run untrusted or
+    /// property-generated programs should set a bound well under the
+    /// platform stack budget.
+    pub max_depth: Option<usize>,
 }
 
 impl Default for EvalOptions {
@@ -198,6 +213,7 @@ impl Default for EvalOptions {
         EvalOptions {
             fuel: 100_000,
             inputs: Vec::new(),
+            max_depth: None,
         }
     }
 }
@@ -216,6 +232,7 @@ pub struct EvalOutcome {
 struct Machine<'a> {
     program: &'a Program,
     fuel: u64,
+    max_depth: usize,
     inputs: std::vec::IntoIter<i64>,
     outputs: Vec<i64>,
     trace: EvalTrace,
@@ -227,12 +244,13 @@ pub fn eval(program: &Program, options: EvalOptions) -> Result<EvalOutcome, Eval
     let mut m = Machine {
         program,
         fuel: options.fuel,
+        max_depth: options.max_depth.unwrap_or(usize::MAX),
         inputs: options.inputs.into_iter(),
         outputs: Vec::new(),
         trace: EvalTrace::default(),
         evaluated: vec![false; program.size()],
     };
-    let value = m.eval(program.root(), &Env::default())?;
+    let value = m.eval(program.root(), &Env::default(), 0)?;
     m.trace.evaluated = m
         .evaluated
         .iter()
@@ -263,8 +281,11 @@ impl Machine<'_> {
         })
     }
 
-    fn eval(&mut self, id: ExprId, env: &Env) -> Result<Value, EvalError> {
+    fn eval(&mut self, id: ExprId, env: &Env, depth: usize) -> Result<Value, EvalError> {
         self.tick()?;
+        if depth >= self.max_depth {
+            return Err(EvalError::DepthExceeded(self.max_depth));
+        }
         self.evaluated[id.index()] = true;
         match self.program.kind(id) {
             ExprKind::Var(v) => match env.lookup(*v) {
@@ -281,21 +302,21 @@ impl Machine<'_> {
                 env: env.clone(),
             }))),
             ExprKind::App { func, arg } => {
-                let fv = self.eval(*func, env)?;
-                let av = self.eval(*arg, env)?;
+                let fv = self.eval(*func, env, depth + 1)?;
+                let av = self.eval(*arg, env, depth + 1)?;
                 match fv {
                     Value::Closure(c) => {
                         self.trace.calls.push((*func, c.label));
                         let inner = c.env.bind(c.param, av);
-                        self.eval(c.body, &inner)
+                        self.eval(c.body, &inner, depth + 1)
                     }
                     other => self.type_error(id, format!("applied non-function {other:?}")),
                 }
             }
             ExprKind::Let { binder, rhs, body } => {
-                let rv = self.eval(*rhs, env)?;
+                let rv = self.eval(*rhs, env, depth + 1)?;
                 let inner = env.bind(*binder, rv);
-                self.eval(*body, &inner)
+                self.eval(*body, &inner, depth + 1)
             }
             ExprKind::LetRec {
                 binder,
@@ -311,25 +332,25 @@ impl Machine<'_> {
                     return self.type_error(id, "letrec rhs is not a lambda");
                 };
                 let inner = env.bind_rec(*binder, *label, *param, *lam_body);
-                self.eval(*body, &inner)
+                self.eval(*body, &inner, depth + 1)
             }
             ExprKind::If {
                 cond,
                 then_branch,
                 else_branch,
-            } => match self.eval(*cond, env)? {
-                Value::Bool(true) => self.eval(*then_branch, env),
-                Value::Bool(false) => self.eval(*else_branch, env),
+            } => match self.eval(*cond, env, depth + 1)? {
+                Value::Bool(true) => self.eval(*then_branch, env, depth + 1),
+                Value::Bool(false) => self.eval(*else_branch, env, depth + 1),
                 other => self.type_error(id, format!("if on non-boolean {other:?}")),
             },
             ExprKind::Record(items) => {
                 let mut vals = Vec::with_capacity(items.len());
                 for &e in items.iter() {
-                    vals.push(self.eval(e, env)?);
+                    vals.push(self.eval(e, env, depth + 1)?);
                 }
                 Ok(Value::Record(vals.into()))
             }
-            ExprKind::Proj { index, tuple } => match self.eval(*tuple, env)? {
+            ExprKind::Proj { index, tuple } => match self.eval(*tuple, env, depth + 1)? {
                 Value::Record(vals) => match vals.get(*index as usize) {
                     Some(v) => Ok(v.clone()),
                     None => self.type_error(id, "projection index out of range"),
@@ -339,7 +360,7 @@ impl Machine<'_> {
             ExprKind::Con { con, args } => {
                 let mut vals = Vec::with_capacity(args.len());
                 for &e in args.iter() {
-                    vals.push(self.eval(e, env)?);
+                    vals.push(self.eval(e, env, depth + 1)?);
                 }
                 Ok(Value::Con {
                     con: *con,
@@ -351,7 +372,7 @@ impl Machine<'_> {
                 arms,
                 default,
             } => {
-                let sv = self.eval(*scrutinee, env)?;
+                let sv = self.eval(*scrutinee, env, depth + 1)?;
                 let Value::Con { con, args } = &sv else {
                     return self.type_error(id, format!("case on non-datatype {sv:?}"));
                 };
@@ -361,18 +382,18 @@ impl Machine<'_> {
                         for (&b, v) in arm.binders.iter().zip(args.iter()) {
                             inner = inner.bind(b, v.clone());
                         }
-                        return self.eval(arm.body, &inner);
+                        return self.eval(arm.body, &inner, depth + 1);
                     }
                 }
                 match default {
-                    Some(d) => self.eval(*d, env),
+                    Some(d) => self.eval(*d, env, depth + 1),
                     None => Err(EvalError::MatchFailure(id)),
                 }
             }
             ExprKind::Prim { op, args } => {
                 let mut vals = Vec::with_capacity(args.len());
                 for &e in args.iter() {
-                    vals.push(self.eval(e, env)?);
+                    vals.push(self.eval(e, env, depth + 1)?);
                 }
                 self.prim(id, *op, &vals)
             }
@@ -526,6 +547,7 @@ mod tests {
             EvalOptions {
                 fuel: 1000,
                 inputs: vec![10, 20],
+                max_depth: None,
             },
         )
         .unwrap();
@@ -553,12 +575,42 @@ mod tests {
                 &p,
                 EvalOptions {
                     fuel: 1000,
-                    inputs: vec![]
+                    inputs: vec![],
+                    max_depth: None,
                 }
             )
             .unwrap_err(),
             EvalError::OutOfFuel
         );
+    }
+
+    #[test]
+    fn depth_limit_is_a_structured_error() {
+        // Deep recursion that plain fuel would let run much further.
+        let p = parse("fun down n = if n = 0 then 0 else down (n - 1); down 200").unwrap();
+        assert_eq!(
+            eval(
+                &p,
+                EvalOptions {
+                    fuel: 1_000_000,
+                    inputs: vec![],
+                    max_depth: Some(64),
+                }
+            )
+            .unwrap_err(),
+            EvalError::DepthExceeded(64)
+        );
+        // The same program under a generous limit still finishes.
+        let out = eval(
+            &p,
+            EvalOptions {
+                fuel: 1_000_000,
+                inputs: vec![],
+                max_depth: Some(10_000),
+            },
+        )
+        .unwrap();
+        assert!(matches!(out.value, Value::Int(0)));
     }
 
     #[test]

@@ -101,6 +101,18 @@ impl RuleCode {
         }
     }
 
+    /// Whether `stcfa opt` has a lowering pass that can act on this
+    /// finding: dead-application elision for `STCFA001`, called-once
+    /// inlining for `STCFA003`, useless-parameter pruning for
+    /// `STCFA004`. Fixable findings carry `"fixable":true` in the JSON
+    /// report.
+    pub fn fixable(self) -> bool {
+        matches!(
+            self,
+            RuleCode::FlowDeadApplication | RuleCode::CalledOnceInline | RuleCode::UselessParameter
+        )
+    }
+
     /// All rules, in code order.
     pub fn all() -> [RuleCode; 8] {
         [

@@ -48,6 +48,7 @@
 #![warn(missing_docs)]
 
 pub mod diag;
+pub mod evidence;
 pub mod explain;
 pub mod render;
 pub mod rules;

@@ -37,20 +37,28 @@ pub fn render_text(diags: &[Diagnostic]) -> String {
 ///
 /// ```json
 /// [
-///   {"code":"STCFA004","severity":"warning","expr":7,"span":{"line":3,"col":12,"end_line":3,"end_col":13},"message":"parameter `b` is never used"}
+///   {"code":"STCFA004","severity":"warning","fixable":true,"expr":7,"span":{"line":3,"col":12,"end_line":3,"end_col":13},"message":"parameter `b` is never used"}
 /// ]
 /// ```
 ///
 /// `span` is `null` when the program carries no source positions.
+/// `fixable` appears (always `true`) exactly on the findings a
+/// `stcfa opt` pass can act on — see [`RuleCode::fixable`](crate::diag::RuleCode::fixable).
 pub fn render_json(diags: &[Diagnostic]) -> String {
     let mut out = String::from("[");
     for (i, d) in diags.iter().enumerate() {
         out.push_str(if i == 0 { "\n" } else { ",\n" });
+        let fixable = if d.code.fixable() {
+            "\"fixable\":true,"
+        } else {
+            ""
+        };
         let _ = write!(
             out,
-            "  {{\"code\":\"{}\",\"severity\":\"{}\",\"expr\":{},\"span\":",
+            "  {{\"code\":\"{}\",\"severity\":\"{}\",{}\"expr\":{},\"span\":",
             d.code,
             d.severity,
+            fixable,
             d.expr.index()
         );
         match d.span {
@@ -127,6 +135,10 @@ mod tests {
         assert!(json.contains(r#"\"quote\""#), "{json}");
         assert!(json.contains(r#"\\ backslash\nnewline"#), "{json}");
         assert!(json.contains("\"span\":null"), "{json}");
+        assert!(
+            json.contains("\"severity\":\"warning\",\"fixable\":true,\"expr\":7"),
+            "{json}"
+        );
         assert!(json.ends_with("]\n"), "{json}");
         assert_eq!(render_json(&[]), "[]\n");
     }

@@ -13,11 +13,12 @@ use std::cell::OnceCell;
 use stcfa_apps::called_once::{CallSites, CalledOnce};
 use stcfa_apps::effects::effects;
 use stcfa_cfa0::Cfa0;
-use stcfa_core::{Analysis, Answer, Query, QueryEngine};
+use stcfa_core::{Analysis, QueryEngine};
 use stcfa_lambda::{ExprId, ExprKind, Label, Program};
 use stcfa_rules::{dominated_redundant, mixed_purity, ExtDb};
 
 use crate::diag::{Diagnostic, RuleCode};
+use crate::evidence;
 
 /// Knobs for one lint run.
 #[derive(Clone, Debug)]
@@ -115,57 +116,32 @@ pub fn lint(
     let threads = opts.threads.max(1);
 
     // --- STCFA001 / STCFA006: applications whose operator has an empty
-    // label set. Answered as one batch so the configured thread count is
-    // actually exercised; answers are positional, so order is stable.
-    let apps = program.app_sites();
-    let queries: Vec<Query> = apps
-        .iter()
-        .map(|&a| Query::call_targets(program, a).expect("app site"))
-        .collect();
-    let answers = engine.batch(&queries, threads);
-    let mut dead_candidates: Vec<(ExprId, ExprId)> = Vec::new();
-    for (&app, answer) in apps.iter().zip(&answers) {
-        let Answer::Labels(labels) = answer else {
-            unreachable!("LabelsOf answers Labels")
-        };
-        if !labels.is_empty() {
-            continue;
-        }
-        let ExprKind::App { func, .. } = program.kind(app) else {
-            unreachable!("app site")
-        };
-        match program.kind(*func) {
-            // The operator is structurally a non-function value: the
-            // application is stuck, no oracle needed.
-            ExprKind::Lit(_) | ExprKind::Record(_) | ExprKind::Con { .. } => {
-                out.push(Diagnostic::at(
-                    RuleCode::StuckApplication,
-                    app,
-                    program,
-                    "stuck application: the operator is a non-function value".to_string(),
-                ));
-            }
-            _ => dead_candidates.push((app, *func)),
-        }
+    // label set, split by the shared evidence module (one batch, so the
+    // configured thread count is actually exercised; answers are
+    // positional, so order is stable).
+    let apps = evidence::app_evidence(program, engine, threads);
+    for app in apps.stuck {
+        out.push(Diagnostic::at(
+            RuleCode::StuckApplication,
+            app,
+            program,
+            "stuck application: the operator is a non-function value".to_string(),
+        ));
     }
-    // Cross-check candidates against the cubic CFA before reporting:
-    // under the default ≈₁ policy the engine over-approximates, so an
-    // empty set here implies an empty exact set — but under `Forget` it
-    // does not, and this oracle pass keeps the rule sound everywhere.
-    // The oracle is shared lazily with STCFA007/008 below: at most one
-    // cubic run per lint invocation, and none when no rule needs it.
+    // Cross-check candidates against the cubic CFA before reporting (see
+    // `evidence::confirm_flow_dead` for the soundness argument). The
+    // oracle is shared lazily with STCFA007/008 below: at most one cubic
+    // run per lint invocation, and none when no rule needs it.
     let cfa_cell: OnceCell<Cfa0> = OnceCell::new();
-    if !dead_candidates.is_empty() {
+    if !apps.flow_dead.is_empty() {
         let cfa = cfa_cell.get_or_init(|| Cfa0::analyze(program));
-        for (app, func) in dead_candidates {
-            if cfa.labels(program, func).is_empty() {
-                out.push(Diagnostic::at(
-                    RuleCode::FlowDeadApplication,
-                    app,
-                    program,
-                    "flow-dead application: no abstraction flows to the operator".to_string(),
-                ));
-            }
+        for c in evidence::confirm_flow_dead(program, cfa, &apps.flow_dead) {
+            out.push(Diagnostic::at(
+                RuleCode::FlowDeadApplication,
+                c.app,
+                program,
+                "flow-dead application: no abstraction flows to the operator".to_string(),
+            ));
         }
     }
 
@@ -175,50 +151,32 @@ pub fn lint(
     let sites = CalledOnce::via_engine(program, engine);
     let escaping = engine.labels_of(program.root());
     for l in program.all_labels() {
-        let lam = program.lam_of_label(l);
         // Lambdas introduced by desugaring (`$…` parameters) are not the
         // user's code; neither rule should point at them.
-        let machinery = match program.kind(lam) {
-            ExprKind::Lam { param, .. } => program.var_name(*param).starts_with('$'),
-            _ => false,
-        };
-        if machinery {
+        if evidence::is_machinery(program, program.lam_of_label(l)) {
             continue;
         }
-        match sites.of(l) {
-            CallSites::None => {
-                if escaping.binary_search(&l).is_err() {
-                    out.push(diag_never_invoked(program, l));
-                }
-            }
-            CallSites::One(site) => {
-                out.push(Diagnostic::at(
-                    RuleCode::CalledOnceInline,
-                    lam,
-                    program,
-                    format!(
-                        "abstraction {} is called exactly once (at {}); inline candidate",
-                        lam_name(program, l),
-                        place(program, site)
-                    ),
-                ));
-            }
-            CallSites::Many => {}
+        if matches!(sites.of(l), CallSites::None) && escaping.binary_search(&l).is_err() {
+            out.push(diag_never_invoked(program, l));
         }
     }
+    for (l, site) in evidence::called_once_evidence(program, engine) {
+        out.push(Diagnostic::at(
+            RuleCode::CalledOnceInline,
+            program.lam_of_label(l),
+            program,
+            format!(
+                "abstraction {} is called exactly once (at {}); inline candidate",
+                lam_name(program, l),
+                place(program, site)
+            ),
+        ));
+    }
 
-    // --- STCFA004: parameters with no occurrence. Names beginning with
-    // `_` (user-declared intent) or `$` (desugaring machinery) are exempt.
-    for e in program.exprs() {
-        if let ExprKind::Lam { param, .. } = program.kind(e) {
-            let name = program.var_name(*param);
-            if name.starts_with('_') || name.starts_with('$') {
-                continue;
-            }
-            if engine.occurrences_of(*param).next().is_none() {
-                out.push(diag_useless_param(program, *param, e));
-            }
-        }
+    // --- STCFA004: parameters with no occurrence, exemptions applied by
+    // the shared evidence module.
+    for (lam, param) in evidence::useless_param_evidence(program, engine) {
+        out.push(diag_useless_param(program, param, lam));
     }
 
     // --- STCFA005: effectful closures escaping to the program result.

@@ -1,0 +1,167 @@
+//! The differential oracle: the CBV evaluator run on both programs.
+//!
+//! The rewrite passes argue soundness statically; this module checks it
+//! dynamically, the way the analysis itself is checked against the
+//! evaluator's ground-truth call traces. Values are compared structurally
+//! rather than by `==` because labels renumber across rebuilds: two
+//! closures agree as closures, everything else must match exactly.
+//!
+//! Fuel and depth are *monotone* under the rewrites — an optimized
+//! program performs a subset of the original's work (elided sites never
+//! ran, an inlined `let` costs no more than the application it replaces,
+//! a pruned argument was a value) — which fixes the asymmetric exhaustion
+//! policy: an original that exhausts its budget licenses anything, an
+//! optimized program that exhausts a budget the original lived within is
+//! a real disagreement.
+
+use stcfa_lambda::eval::{eval, EvalError, EvalOptions, Value};
+use stcfa_lambda::Program;
+
+/// How the two runs agreed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Agreement {
+    /// Both succeeded with structurally equal values and identical
+    /// outputs.
+    Values,
+    /// Both failed with the same kind of error.
+    Errors,
+    /// The original exhausted its fuel or depth budget; the optimized
+    /// program is allowed any outcome (it got further on the same
+    /// budget).
+    OriginalExhausted,
+}
+
+/// Runs both programs under the same options and compares outcomes.
+/// `Err` carries a human-readable description of the disagreement.
+pub fn check(
+    original: &Program,
+    optimized: &Program,
+    options: &EvalOptions,
+) -> Result<Agreement, String> {
+    let a = eval(original, options.clone());
+    let b = eval(optimized, options.clone());
+    match (a, b) {
+        (Ok(a), Ok(b)) => {
+            if !values_agree(&a.value, &b.value) {
+                Err(format!(
+                    "values differ: original {:?}, optimized {:?}",
+                    a.value, b.value
+                ))
+            } else if a.outputs != b.outputs {
+                Err(format!(
+                    "outputs differ: original {:?}, optimized {:?}",
+                    a.outputs, b.outputs
+                ))
+            } else {
+                Ok(Agreement::Values)
+            }
+        }
+        (Err(ea), Err(eb)) => {
+            if error_kind(&ea) == error_kind(&eb) {
+                Ok(Agreement::Errors)
+            } else if exhausted(&ea) {
+                Ok(Agreement::OriginalExhausted)
+            } else {
+                Err(format!("errors differ: original {ea}, optimized {eb}"))
+            }
+        }
+        (Err(ea), Ok(_)) if exhausted(&ea) => Ok(Agreement::OriginalExhausted),
+        (Err(ea), Ok(_)) => Err(format!(
+            "original failed ({ea}) but the optimized program succeeded"
+        )),
+        (Ok(_), Err(eb)) => Err(format!(
+            "optimized program failed ({eb}) where the original succeeded"
+        )),
+    }
+}
+
+/// Structural value equality, label-blind for closures.
+pub fn values_agree(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Int(x), Value::Int(y)) => x == y,
+        (Value::Bool(x), Value::Bool(y)) => x == y,
+        (Value::Unit, Value::Unit) => true,
+        (Value::Closure(_), Value::Closure(_)) => true,
+        (Value::Record(xs), Value::Record(ys)) => {
+            xs.len() == ys.len() && xs.iter().zip(ys.iter()).all(|(x, y)| values_agree(x, y))
+        }
+        (Value::Con { con: ca, args: xs }, Value::Con { con: cb, args: ys }) => {
+            ca == cb
+                && xs.len() == ys.len()
+                && xs.iter().zip(ys.iter()).all(|(x, y)| values_agree(x, y))
+        }
+        _ => false,
+    }
+}
+
+fn exhausted(e: &EvalError) -> bool {
+    matches!(e, EvalError::OutOfFuel | EvalError::DepthExceeded(_))
+}
+
+fn error_kind(e: &EvalError) -> &'static str {
+    match e {
+        EvalError::OutOfFuel | EvalError::DepthExceeded(_) => "exhausted",
+        EvalError::TypeError { .. } => "type-error",
+        EvalError::DivByZero(_) => "div-by-zero",
+        EvalError::MatchFailure(_) => "match-failure",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> Program {
+        Program::parse(src).expect("parses")
+    }
+
+    #[test]
+    fn identical_programs_agree() {
+        let p = parse("(fn x => x + 1) 41");
+        assert_eq!(
+            check(&p, &p, &EvalOptions::default()),
+            Ok(Agreement::Values)
+        );
+    }
+
+    #[test]
+    fn closures_agree_regardless_of_label() {
+        let a = parse("fn x => x");
+        let b = parse("let val u = fn y => y in fn x => x end");
+        assert_eq!(
+            check(&a, &b, &EvalOptions::default()),
+            Ok(Agreement::Values)
+        );
+    }
+
+    #[test]
+    fn differing_values_are_reported() {
+        let a = parse("1 + 1");
+        let b = parse("1 + 2");
+        assert!(check(&a, &b, &EvalOptions::default()).is_err());
+    }
+
+    #[test]
+    fn original_exhaustion_licenses_anything() {
+        let spin = parse("fun spin n = spin n; spin 0");
+        let done = parse("42");
+        let opts = EvalOptions {
+            fuel: 1_000,
+            ..EvalOptions::default()
+        };
+        assert_eq!(check(&spin, &done, &opts), Ok(Agreement::OriginalExhausted));
+        assert_eq!(check(&spin, &spin, &opts), Ok(Agreement::Errors));
+        // The other direction is a genuine disagreement.
+        assert!(check(&done, &spin, &opts).is_err());
+    }
+
+    #[test]
+    fn matching_error_kinds_agree() {
+        let a = parse("1 div 0");
+        let b = parse("2 div 0");
+        assert_eq!(
+            check(&a, &b, &EvalOptions::default()),
+            Ok(Agreement::Errors)
+        );
+    }
+}

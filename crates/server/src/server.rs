@@ -33,6 +33,7 @@ use std::time::{Duration, Instant};
 use stcfa_core::{Analysis, AnalysisOptions, DatatypePolicy, QueryEngine};
 use stcfa_lambda::{ExprId, ExprKind, Label, Program};
 use stcfa_lint::{lint, Diagnostic, LintOptions};
+use stcfa_opt::{optimize_with, OptOptions, Pass, PassSet};
 use stcfa_rules::ExtDb;
 use stcfa_session::{LinkError, LinkReport, Module, Workspace};
 
@@ -267,6 +268,15 @@ impl Server {
                 }
                 self.op_rule(request, &deadline)
             }
+            "opt" => {
+                if version != PROTOCOL_VERSION_SESSION {
+                    return Err(RequestError::new(
+                        ErrorKind::Proto,
+                        "`opt` is a protocol-2 op: it requires \"v\":2",
+                    ));
+                }
+                self.op_opt(request, &deadline)
+            }
             "evict" => self.op_evict(request),
             "stats" => Ok(self.op_stats()),
             "session/open" => self.op_session_open(request, &deadline),
@@ -281,7 +291,7 @@ impl Server {
             other => Err(RequestError::new(
                 ErrorKind::Proto,
                 format!(
-                    "unknown op `{other}` (expected analyze|query|lint|rule|evict|stats|shutdown \
+                    "unknown op `{other}` (expected analyze|query|lint|rule|opt|evict|stats|shutdown \
                      or session/open|session/update|session/query|session/lint|session/close)"
                 ),
             )),
@@ -545,6 +555,67 @@ impl Server {
         };
         deadline.check("after rule")?;
         Ok(result)
+    }
+
+    /// `opt` (protocol 2): runs the flow-directed lowering pipeline
+    /// (docs/OPT.md) against a snapshot and returns the decision report,
+    /// with `"emit":true` adding the optimized program's source. Round 1
+    /// reuses the snapshot's frozen engine; the result object is the
+    /// CLI's `--report json` object, parsed — the two surfaces cannot
+    /// drift apart.
+    fn op_opt(&self, request: &Json, deadline: &Deadline) -> Result<Json, RequestError> {
+        let mut options = OptOptions::default();
+        if let Some(passes) = request.get("passes") {
+            let Json::Arr(items) = passes else {
+                return Err(RequestError::new(
+                    ErrorKind::Proto,
+                    "`passes` must be an array of pass names",
+                ));
+            };
+            let mut set = PassSet::empty();
+            for item in items {
+                let name = item.as_str().ok_or_else(|| {
+                    RequestError::new(ErrorKind::Proto, "`passes` must be an array of pass names")
+                })?;
+                let pass = Pass::from_name(name).ok_or_else(|| {
+                    RequestError::new(ErrorKind::Proto, format!("unknown pass `{name}`"))
+                })?;
+                set = set.with(pass);
+            }
+            options.passes = set;
+        }
+        if let Some(v) = request.get("max_rounds") {
+            options.max_rounds = v.as_u64().ok_or_else(|| {
+                RequestError::new(
+                    ErrorKind::Proto,
+                    "`max_rounds` must be a non-negative integer",
+                )
+            })? as usize;
+        }
+        if let Some(v) = request.get("budget") {
+            options.budget = v.as_u64().ok_or_else(|| {
+                RequestError::new(ErrorKind::Proto, "`budget` must be a non-negative integer")
+            })? as usize;
+        }
+        let emit = matches!(request.get("emit"), Some(Json::Bool(true)));
+        let snapshot = self.resolve_snapshot(request, deadline)?;
+        deadline.check("before opt")?;
+        let active = (self.in_flight.load(Ordering::SeqCst) as usize).max(1);
+        options.threads = (self.options.threads / active).max(1);
+        let out = optimize_with(&snapshot.program, &snapshot.engine, &options)
+            .map_err(|e| RequestError::new(ErrorKind::Analysis, e.to_string()))?;
+        deadline.check("after opt")?;
+        let Ok(Json::Obj(mut result)) = Json::parse(out.report.to_json().trim_end()) else {
+            unreachable!("OptReport::to_json emits one JSON object")
+        };
+        result.push((
+            "performed".to_owned(),
+            Json::num(out.report.performed_total() as u64),
+        ));
+        if emit {
+            result.push(("source".to_owned(), Json::str(out.program.to_source())));
+        }
+        Ok(Json::Obj(result))
     }
 
     fn op_evict(&self, request: &Json) -> Result<Json, RequestError> {
@@ -1679,10 +1750,15 @@ fn diagnostics_json(diags: &[Diagnostic], report: Option<&LinkReport>) -> Json {
             let mut pairs = vec![
                 ("code", Json::str(d.code.as_str())),
                 ("severity", Json::str(d.severity.as_str())),
+            ];
+            if d.code.fixable() {
+                pairs.push(("fixable", Json::Bool(true)));
+            }
+            pairs.extend([
                 ("expr", Json::num(d.expr.index() as u64)),
                 ("span", span),
                 ("message", Json::str(d.message.clone())),
-            ];
+            ]);
             if let Some(report) = report {
                 let module = match report.module_of_expr(d.expr) {
                     Some(name) => Json::str(name),
@@ -2050,6 +2126,66 @@ mod tests {
                 .and_then(|a| a[0].as_str()),
             Some("λy#1")
         );
+    }
+
+    #[test]
+    fn opt_op_requires_protocol_two() {
+        let s = server();
+        let r = call(&s, r#"{"op":"opt","source":"(fn x => x) 1"}"#);
+        assert_eq!(r.get("ok"), Some(&Json::Bool(false)));
+        let msg = r
+            .get("error")
+            .and_then(|e| e.get("message"))
+            .and_then(Json::as_str)
+            .unwrap();
+        assert!(msg.contains("\"v\":2"), "{msg}");
+    }
+
+    #[test]
+    fn opt_round_trip_reuses_snapshot() {
+        let s = server();
+        let r = call(
+            &s,
+            r#"{"v":1,"op":"analyze","source":"let val f = fn x => x + 1 in f 41 end"}"#,
+        );
+        let digest = r
+            .get("result")
+            .and_then(|res| res.get("snapshot"))
+            .and_then(Json::as_str)
+            .expect("digest")
+            .to_owned();
+        let o = call(
+            &s,
+            &format!(r#"{{"v":2,"op":"opt","snapshot":"{digest}","emit":true}}"#),
+        );
+        let result = o.get("result").unwrap_or_else(|| panic!("{o:?}"));
+        assert!(result.get("performed").and_then(Json::as_u64) >= Some(1));
+        let before = result.get("nodes_before").and_then(Json::as_u64).unwrap();
+        let after = result.get("nodes_after").and_then(Json::as_u64).unwrap();
+        assert!(after < before, "{o:?}");
+        let source = result.get("source").and_then(Json::as_str).expect("emit");
+        assert!(source.contains("41"), "{source}");
+        assert!(!result
+            .get("passes")
+            .and_then(Json::as_arr)
+            .expect("passes")
+            .is_empty());
+    }
+
+    #[test]
+    fn opt_rejects_unknown_pass() {
+        let s = server();
+        let r = call(
+            &s,
+            r#"{"v":2,"op":"opt","source":"1 + 1","passes":["fuse-loops"]}"#,
+        );
+        assert_eq!(r.get("ok"), Some(&Json::Bool(false)));
+        let msg = r
+            .get("error")
+            .and_then(|e| e.get("message"))
+            .and_then(Json::as_str)
+            .unwrap();
+        assert!(msg.contains("unknown pass"), "{msg}");
     }
 
     #[test]

@@ -105,6 +105,7 @@ mod tests {
             EvalOptions {
                 fuel: 10_000_000,
                 inputs: vec![],
+                max_depth: None,
             },
         )
         .unwrap();
@@ -150,6 +151,7 @@ mod tests {
             EvalOptions {
                 fuel: 10_000_000,
                 inputs: vec![],
+                max_depth: None,
             },
         )
         .unwrap();

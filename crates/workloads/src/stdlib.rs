@@ -155,6 +155,7 @@ mod tests {
             EvalOptions {
                 fuel: 10_000_000,
                 inputs: vec![],
+                max_depth: None,
             },
         )
         .unwrap();

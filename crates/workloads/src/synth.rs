@@ -415,6 +415,7 @@ mod tests {
                 EvalOptions {
                     fuel: 1_000_000,
                     inputs: vec![],
+                    max_depth: None,
                 },
             )
             .unwrap_or_else(|e| panic!("seed {seed}: {e}"));

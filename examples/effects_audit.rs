@@ -54,6 +54,7 @@ fn main() {
         EvalOptions {
             fuel: 10_000_000,
             inputs: vec![],
+            max_depth: None,
         },
     )
     .expect("life terminates");

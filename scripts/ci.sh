@@ -38,7 +38,7 @@ echo "== lint: machine-readable corpus report is stable =="
 # `stcfa lint --format json` over the whole corpus, digested. The digest is
 # pinned so a renderer or rule change that shifts any diagnostic shows up
 # here as well as in tests/lint_snapshot.rs (which pins the same reports).
-LINT_DIGEST_WANT="3311874151"
+LINT_DIGEST_WANT="2806481834"
 lint_report="$(for f in corpus/*.ml; do
   echo "== $f"
   ./target/release/stcfa lint "$f" --format json --threads 1
@@ -78,6 +78,35 @@ echo "-- corpus rules digest ok ($RULES_DIGEST_GOT)"
 
 echo "== rules: clippy on the rule crate (warnings are errors) =="
 cargo clippy -p stcfa-rules --all-targets --offline -- -D warnings
+
+echo "== opt: corpus differential gate at several worker counts =="
+# The optimizer must agree with the CBV evaluator on every corpus program
+# under all 16 pass combinations, never grow a program, and never create
+# warning-severity findings — at every thread count, since evidence
+# batching must not change any rewrite decision.
+for t in 1 2 8; do
+  echo "-- STCFA_QUERY_THREADS=$t"
+  STCFA_QUERY_THREADS=$t cargo test -q --offline --test opt_differential
+done
+
+echo "== opt: pretty-printer round-trip gate =="
+# `--emit` output must re-parse to the same arena (size, label count,
+# per-abstraction shape) and print as a fixed point.
+cargo test -q --offline --test pretty_roundtrip
+
+echo "== opt: clippy on the optimizer crate (warnings are errors) =="
+cargo clippy -p stcfa-opt --all-targets --offline -- -D warnings
+
+echo "== opt: CLI smoke (dead_code.ml must shrink) =="
+opt_json="$(./target/release/stcfa opt corpus/dead_code.ml --report json)"
+echo "$opt_json"
+opt_before="$(printf '%s' "$opt_json" | sed -n 's/.*"nodes_before":\([0-9]*\).*/\1/p')"
+opt_after="$(printf '%s' "$opt_json" | sed -n 's/.*"nodes_after":\([0-9]*\).*/\1/p')"
+[ -n "$opt_before" ] && [ -n "$opt_after" ] && [ "$opt_after" -lt "$opt_before" ] \
+  || { echo "opt smoke: dead_code.ml did not shrink (${opt_before:-?} -> ${opt_after:-?})" >&2; exit 1; }
+./target/release/stcfa opt corpus/dead_code.ml --emit >/dev/null \
+  || { echo "opt smoke: --emit failed" >&2; exit 1; }
+echo "-- opt smoke ok ($opt_before -> $opt_after nodes)"
 
 echo "== server: stdio smoke round-trip =="
 # A full analyze -> warm analyze -> query -> lint -> shutdown conversation

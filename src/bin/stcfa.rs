@@ -30,6 +30,15 @@
 //!                      print the declarative rule definition behind a
 //!                      diagnostic code (see docs/RULES.md)
 //!
+//! OPT MODE
+//!   stcfa opt <FILE|-> [--passes name,...] [--emit] [--report text|json]
+//!             [--max-rounds <n>] [--budget <n>] [--threads <n>]
+//!                      flow-directed lowering over the frozen query
+//!                      engine: dead-app elision, called-once inlining,
+//!                      useless-parameter pruning, direct-call facts;
+//!                      --emit prints the optimized program (report to
+//!                      stderr); see docs/OPT.md
+//!
 //! RULE MODE
 //!   stcfa rule <FILE|-> --name dominators|taint [--sources l,l,...]
 //!              [--expr <n>]
@@ -193,6 +202,7 @@ fn usage() -> &'static str {
      \t[--max-nodes <n>] [--fuel <n>]\n\
      \tor: stcfa lint <FILE|-> [--format text|json] [--policy ...] [--threads <n>]\n\
      \tor: stcfa lint --explain <CODE>\n\
+     \tor: stcfa opt <FILE|-> [--passes name,...] [--emit] [--report text|json] [--max-rounds <n>] [--budget <n>] [--threads <n>]\n\
      \tor: stcfa rule <FILE|-> --name dominators|taint [--sources l,l,...] [--expr <n>] [--policy ...]\n\
      \tor: stcfa serve [--stdio|--addr HOST:PORT] [--threads <n>] [--shards <n>] [--cache-capacity <bytes>] [--cache-dir <path>]\n\
      \t\t[--deadline-ms <n>] [--max-inflight <n>] [--conn-inflight <n>] [--transport fleet|threaded] [--summary]\n\
@@ -463,6 +473,94 @@ fn run_lint(args: &[String]) -> Result<(), CliError> {
         if diags.is_empty() {
             eprintln!("{path}: no diagnostics");
         }
+    }
+    Ok(())
+}
+
+/// `stcfa opt <FILE|-> [--passes name,...] [--emit] [--report text|json]
+/// [--max-rounds <n>] [--budget <n>] [--threads <n>]`: run the
+/// flow-directed lowering pipeline (docs/OPT.md) and print the decision
+/// report — or, with `--emit`, the optimized program itself (the report
+/// then goes to stderr so stdout stays parseable).
+fn run_opt(args: &[String]) -> Result<(), CliError> {
+    use stcfa::opt::{optimize, OptOptions, Pass, PassSet};
+
+    let mut path = None;
+    let mut passes = PassSet::all();
+    let mut emit = false;
+    let mut json = false;
+    let mut max_rounds = None;
+    let mut budget = None;
+    let mut threads = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--passes" => {
+                let list = it.next().ok_or_else(|| {
+                    CliError::BadValue(
+                        "--passes needs a comma-separated pass list (e.g. dead-app,inline-once)"
+                            .to_owned(),
+                    )
+                })?;
+                let mut set = PassSet::empty();
+                for name in list.split(',').filter(|n| !n.is_empty()) {
+                    let pass = Pass::from_name(name).ok_or_else(|| {
+                        CliError::BadValue(format!(
+                            "unknown pass `{name}` (expected one of {})",
+                            Pass::all().map(Pass::name).join(", ")
+                        ))
+                    })?;
+                    set = set.with(pass);
+                }
+                passes = set;
+            }
+            "--emit" => emit = true,
+            "--report" => {
+                json = match it.next().map(String::as_str) {
+                    Some("json") => true,
+                    Some("text") => false,
+                    other => {
+                        return Err(CliError::BadValue(format!(
+                            "unknown report format {other:?}"
+                        )))
+                    }
+                };
+            }
+            "--max-rounds" => max_rounds = Some(flag_value::<usize>(&mut it, "--max-rounds")?),
+            "--budget" => budget = Some(flag_value::<usize>(&mut it, "--budget")?),
+            "--threads" => threads = Some(flag_value::<usize>(&mut it, "--threads")?),
+            other if path.is_none() && !other.starts_with("--") => {
+                path = Some(other.to_owned());
+            }
+            other => {
+                return Err(CliError::Usage(format!(
+                    "unexpected argument `{other}`\n{}",
+                    usage()
+                )))
+            }
+        }
+    }
+    let path = path.ok_or_else(|| CliError::Usage(usage().to_owned()))?;
+    let source = read_source(&path)?;
+    let program = Program::parse(&source).map_err(|e| format!("{path}: {e}"))?;
+    let defaults = OptOptions::default();
+    let options = OptOptions {
+        passes,
+        max_rounds: max_rounds.unwrap_or(defaults.max_rounds),
+        budget: budget.unwrap_or(defaults.budget),
+        threads: threads.unwrap_or_else(QueryEngine::default_threads),
+    };
+    let out = optimize(&program, &options).map_err(|e| e.to_string())?;
+    let rendered = if json {
+        out.report.to_json()
+    } else {
+        out.report.to_text()
+    };
+    if emit {
+        print!("{}", out.program.to_source());
+        eprint!("{rendered}");
+    } else {
+        print!("{rendered}");
     }
     Ok(())
 }
@@ -1085,6 +1183,7 @@ fn run() -> Result<(), CliError> {
     }
     match args.first().map(String::as_str) {
         Some("lint") => return run_lint(&args[1..]),
+        Some("opt") => return run_opt(&args[1..]),
         Some("rule") => return run_rule(&args[1..]),
         Some("serve") => return run_serve(&args[1..]),
         Some("client") => return run_client(&args[1..]),
@@ -1318,6 +1417,7 @@ fn run() -> Result<(), CliError> {
                     EvalOptions {
                         fuel: options.fuel,
                         inputs: vec![],
+                        max_depth: None,
                     },
                 )
                 .map_err(|e| e.to_string())?;

@@ -14,6 +14,10 @@
 //!   control-flow graph and its queries.
 //! - [`apps`] — linear-time CFA-consuming applications (effects, k-limited,
 //!   called-once, inlining).
+//! - [`opt`] — the flow-directed optimizer backend: lowering passes
+//!   (dead-application elision, called-once inlining, useless-parameter
+//!   pruning, known-call specialization) driven by the frozen engine,
+//!   with the evaluator as differential oracle (`stcfa opt`).
 //! - [`rules`] — the Datalog-flavoured rule layer: declarative programs
 //!   over zero-copy views of the frozen engine, evaluated semi-naively
 //!   at the same `O(E·L/64)` arithmetic (`stcfa rule`,
@@ -48,6 +52,7 @@ pub use stcfa_core as core;
 pub use stcfa_graph as graph;
 pub use stcfa_lambda as lambda;
 pub use stcfa_lint as lint;
+pub use stcfa_opt as opt;
 pub use stcfa_persist as persist;
 pub use stcfa_rules as rules;
 pub use stcfa_sba as sba;

@@ -51,6 +51,7 @@ fn corpus_evaluates() {
             EvalOptions {
                 fuel: 5_000_000,
                 inputs: vec![],
+                max_depth: None,
             },
         )
         .unwrap_or_else(|e| panic!("{name}: {e}"));
@@ -70,6 +71,7 @@ fn corpus_analyses_are_consistent() {
             EvalOptions {
                 fuel: 5_000_000,
                 inputs: vec![],
+                max_depth: None,
             },
         )
         .unwrap();

@@ -36,6 +36,7 @@ fn check_every_dynamic_call_is_predicted(seed: u64) -> TestCaseResult {
         EvalOptions {
             fuel: 2_000_000,
             inputs: vec![],
+            max_depth: None,
         },
     )
     .expect("generated programs terminate");
@@ -91,6 +92,7 @@ fn check_every_dynamic_effect_is_predicted(seed: u64) -> TestCaseResult {
         EvalOptions {
             fuel: 2_000_000,
             inputs: vec![],
+            max_depth: None,
         },
     )
     .expect("terminates");
@@ -154,6 +156,7 @@ fn check_liveness_is_sound_and_precise(seed: u64) -> TestCaseResult {
         EvalOptions {
             fuel: 2_000_000,
             inputs: vec![],
+            max_depth: None,
         },
     )
     .expect("terminates");

@@ -49,8 +49,11 @@ proptest! {
     fn well_typed_programs_do_not_go_wrong(seed in any::<u64>()) {
         let p = program_for(seed);
         TypedProgram::infer(&p).expect("generated programs are well-typed");
-        match eval(&p, EvalOptions { fuel: 2_000_000, inputs: vec![] }) {
-            Ok(_) | Err(EvalError::OutOfFuel) | Err(EvalError::DivByZero(_)) => {}
+        match eval(&p, EvalOptions { fuel: 2_000_000, inputs: vec![], max_depth: None }) {
+            Ok(_)
+            | Err(EvalError::OutOfFuel)
+            | Err(EvalError::DepthExceeded(_))
+            | Err(EvalError::DivByZero(_)) => {}
             Err(e @ (EvalError::TypeError { .. } | EvalError::MatchFailure(_))) => {
                 panic!("well-typed program went wrong (seed {seed}): {e}")
             }
