@@ -1,0 +1,72 @@
+-- Demand locality for the precision scheduler (docs/PRECISION.md):
+-- one datatype-backed dispatch cluster — the only suspicious flow in
+-- the file — surrounded by independent pure pipelines. The
+-- dispatcher's demand cone stays inside its own cluster, so the
+-- cone-restricted cubic confirmation prices a fraction of a
+-- whole-program cubic run (EXPERIMENTS.md E17):
+--   stcfa corpus/dispatch_table.ml --call-sites --precision
+datatype handler = H of (int -> int) | Skip;
+fun pick h = fn d => case h of H(f) => f | Skip => d;
+val table = H(fn a => a + 3);
+val fallback = fn z => z * 2;
+
+fun inc x = x + 1;
+fun dbl x = x + x;
+fun sq x = x * x;
+fun sub1 x = x - 1;
+
+fun twice f = fn x => f (f x);
+fun quad f = twice (twice f);
+val p1 = quad inc 10 + twice inc 3;
+
+fun compose f = fn g => fn x => f (g x);
+val p2 = compose dbl inc 5 + compose inc dbl 7;
+
+fun apply3 f = fn x => f (f (f x));
+val p3 = apply3 sq 2 + apply3 inc 9;
+
+fun iter f = fn x => f (f x);
+val p4 = iter sub1 8 + iter dbl 6;
+
+fun pipe x = fn f => f x;
+val p5 = pipe 4 sq + pipe 11 sub1;
+
+fun fold2 f = fn a => fn b => f a + f b;
+val p6 = fold2 inc 1 2 + fold2 dbl 3 4;
+
+fun flip f = fn a => fn b => f b a;
+fun minus a = fn b => a - b;
+val p7 = flip minus 1 9 + flip minus 2 8;
+
+fun add2 a = fn b => a + b;
+fun on f = fn g => fn a => fn b => f (g a) (g b);
+val p8 = on add2 sq 2 3 + on add2 inc 4 5;
+
+fun chain f = fn g => fn x => g (f (g x));
+val p9 = chain inc sq 3 + chain dbl sub1 5;
+
+fun delta x = x;
+val p10 = delta delta 12;
+
+fun church2 f = fn x => f (f x);
+fun church3 f = fn x => f (church2 f x);
+val p11 = church3 inc 0 + church2 sq 2;
+
+fun wrapcall f = fn x => pipe x f;
+val p12 = wrapcall inc 41 + wrapcall sq 6;
+
+fun both f = fn x => f x + f (f x);
+val p13 = both inc 5 + both dbl 3;
+
+fun ladder f = fn g => fn h => fn x => f (g (h x));
+val p14 = ladder inc dbl sq 2 + ladder sq sub1 inc 7;
+
+fun rot f = fn a => fn b => fn c => f c a b;
+fun tri a = fn b => fn c => a + b - c;
+val p15 = rot tri 1 2 3 + rot tri 4 5 6;
+
+fun dub g = fn x => g (g (g (g x)));
+val p16 = dub inc 10 + dub sub1 20;
+
+pick table fallback 10 + p1 + p2 + p3 + p4 + p5 + p6 + p7
+  + p8 + p9 + p10 + p11 + p12 + p13 + p14 + p15 + p16

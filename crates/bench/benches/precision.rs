@@ -1,0 +1,155 @@
+//! Adaptive precision scheduler economics (EXPERIMENTS.md E17): what a
+//! graded answer costs relative to the two extremes it interpolates
+//! between — the always-linear Tier 0 lookup and a whole-program cubic
+//! re-analysis.
+//!
+//! Three measurements over the largest corpus program (plus a budget
+//! sweep):
+//!
+//! 1. `tier0_all_sites` — the frozen engine answering every query site.
+//!    The floor the scheduler must not disturb for unsuspicious sites.
+//! 2. `cubic_whole` vs `cubic_cone` — full `Cfa0` against the
+//!    cone-restricted run the scheduler actually escalates to. The
+//!    acceptance bar: the cone run stays **under 25 %** of the
+//!    whole-program time (compare the two `min_ns` records in
+//!    `BENCH_precision.json`; `cone_expr_fraction_milli` explains why).
+//! 3. `scheduled_all_sites/<budget>` — the scheduler over every site at
+//!    budget 0 (never escalate), the default, and unlimited. Counters
+//!    report how many sites escalated (`cone_runs`) and refined
+//!    (`refined`), so the escalated fraction is `cone_runs / sites`.
+
+use stcfa_cfa0::Cfa0;
+use stcfa_core::{Analysis, QueryEngine};
+use stcfa_devkit::bench::{BenchmarkId, Criterion};
+use stcfa_devkit::{criterion_group, criterion_main};
+use stcfa_lambda::{ExprId, ExprKind, Program};
+use stcfa_precision::{demand_cone, PrecisionScheduler, SuspicionIndex};
+use std::hint::black_box;
+
+fn corpus() -> Vec<(String, Program)> {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../corpus");
+    let mut files: Vec<_> = std::fs::read_dir(dir)
+        .expect("corpus dir")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "ml"))
+        .collect();
+    files.sort();
+    files
+        .into_iter()
+        .map(|p| {
+            let name = p.file_stem().unwrap().to_string_lossy().into_owned();
+            let src = std::fs::read_to_string(&p).expect("readable");
+            (name, Program::parse(&src).expect("corpus parses"))
+        })
+        .collect()
+}
+
+/// The query sites the scheduler serves: the root plus every
+/// application's operator (the `--call-sites` surface).
+fn sites(p: &Program) -> Vec<ExprId> {
+    let mut out = vec![p.root()];
+    for app in p.app_sites() {
+        if let ExprKind::App { func, .. } = p.kind(app) {
+            out.push(*func);
+        }
+    }
+    out
+}
+
+fn bench_precision(c: &mut Criterion) {
+    let (name, program) = corpus()
+        .into_iter()
+        .max_by_key(|(_, p)| p.size())
+        .expect("non-empty corpus");
+    let analysis = Analysis::run(&program).expect("corpus analyzes");
+    let engine = QueryEngine::freeze(&analysis);
+    engine.prepare();
+    let suspicion = SuspicionIndex::build(&analysis, &engine);
+    let all_sites = sites(&program);
+
+    let mut group = c.benchmark_group("precision");
+    group.sample_size(10);
+
+    group.bench_with_input(
+        BenchmarkId::new("tier0_all_sites", &name),
+        &all_sites,
+        |b, sites| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for &e in sites {
+                    total += engine.labels_of(e).len();
+                }
+                black_box(total)
+            })
+        },
+    );
+    group.counter("sites", all_sites.len() as u64);
+
+    group.bench_with_input(BenchmarkId::new("cubic_whole", &name), &program, |b, p| {
+        b.iter(|| black_box(Cfa0::analyze(p).labels(p, p.root()).len()))
+    });
+
+    // The cone the scheduler would actually charge for: the most
+    // suspicious site's slice (ties broken by site order, so the pick
+    // is deterministic).
+    let worst = all_sites
+        .iter()
+        .copied()
+        .max_by_key(|&e| suspicion.of_expr(&engine, e))
+        .expect("at least the root");
+    let cone = demand_cone(&program, &engine, &[engine.node_of_expr(worst).index()]);
+    group.bench_with_input(
+        BenchmarkId::new("cubic_cone", &name),
+        &(&program, &cone),
+        |b, (p, cone)| {
+            b.iter(|| black_box(Cfa0::analyze_within(p, &cone.exprs).labels(p, worst).len()))
+        },
+    );
+    group.counter("cone_nodes", cone.node_count as u64);
+    group.counter(
+        "cone_expr_fraction_milli",
+        (cone.expr_fraction(&program) * 1000.0) as u64,
+    );
+
+    for (label, budget) in [
+        ("budget0", 0usize),
+        ("default", PrecisionScheduler::DEFAULT_BUDGET),
+        ("unlimited", usize::MAX),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("scheduled_all_sites", format!("{name}/{label}")),
+            &all_sites,
+            |b, sites| {
+                b.iter(|| {
+                    // A fresh scheduler per iteration: memoization would
+                    // otherwise collapse every run after the first into
+                    // lookups and undersell the escalation cost.
+                    let sched =
+                        PrecisionScheduler::new(suspicion.clone(), analysis.policy(), budget);
+                    let mut total = 0usize;
+                    for &e in sites {
+                        total += sched.labels_of(&program, &engine, e).0.len();
+                    }
+                    black_box((total, sched.stats().cone_runs))
+                })
+            },
+        );
+        let sched = PrecisionScheduler::new(suspicion.clone(), analysis.policy(), budget);
+        for &e in &all_sites {
+            sched.labels_of(&program, &engine, e);
+        }
+        let stats = sched.stats();
+        group.counter("sites", all_sites.len() as u64);
+        group.counter("cone_runs", stats.cone_runs);
+        group.counter("refined", stats.refined);
+        group.counter(
+            "escalated_fraction_milli",
+            (stats.cone_runs * 1000) / all_sites.len().max(1) as u64,
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_precision);
+criterion_main!(benches);

@@ -36,20 +36,43 @@ pub struct Cfa0Stats {
 }
 
 /// The result of running standard CFA: the full `L(e)` table.
+///
+/// Set storage is one flat word arena — `wps` words per set variable,
+/// expressions `0..n` then binders — rather than a `BitSet` per
+/// variable. One allocation instead of `n + v` keeps the solver's setup
+/// cost out of the measurement when a demand cone restricts the run to
+/// a small slice of a large program (the precision scheduler's Tier 2).
 #[derive(Clone, Debug)]
 pub struct Cfa0 {
     sites: SiteTable,
-    /// Per expression occurrence: reaching creation sites.
-    expr_sets: Vec<BitSet>,
-    /// Per binder: reaching creation sites.
-    var_sets: Vec<BitSet>,
+    /// Flat per-variable site sets (see the type docs).
+    words: Vec<u64>,
+    /// Words per set variable.
+    wps: usize,
+    /// Expression count: binder `v` lives at variable `n_exprs + v`.
+    n_exprs: usize,
     stats: Cfa0Stats,
 }
 
 impl Cfa0 {
     /// Runs the analysis to fixpoint.
     pub fn analyze(program: &Program) -> Cfa0 {
-        Solver::new(program).run()
+        Solver::new(program).run(None)
+    }
+
+    /// Runs the analysis with constraints installed only for the
+    /// expressions in `exprs` (a bit per `ExprId` index).
+    ///
+    /// The result is the least fixpoint of the restricted constraint
+    /// system, so every set is a subset of the whole-program answer. It
+    /// *equals* the whole-program answer at a variable `x` exactly when
+    /// `exprs` is closed under flow into `x` — every expression whose
+    /// constraint can (transitively) write into `x`'s set is present.
+    /// Callers (the precision scheduler's demand cones) are responsible
+    /// for that closure; sets of variables outside the cone are
+    /// meaningless and must not be read.
+    pub fn analyze_within(program: &Program, exprs: &BitSet) -> Cfa0 {
+        Solver::new(program).run(Some(exprs))
     }
 
     /// The site numbering used by this result.
@@ -57,31 +80,41 @@ impl Cfa0 {
         &self.sites
     }
 
-    /// The creation sites reaching expression `e`.
-    pub fn site_set(&self, e: ExprId) -> &BitSet {
-        &self.expr_sets[e.index()]
+    /// The creation sites reaching expression `e`, as backing words
+    /// (bit `s` of the slice = site `s` reaches).
+    pub fn site_set(&self, e: ExprId) -> &[u64] {
+        let base = e.index() * self.wps;
+        &self.words[base..base + self.wps]
     }
 
-    /// The creation sites reaching binder `v`.
-    pub fn var_site_set(&self, v: VarId) -> &BitSet {
-        &self.var_sets[v.index()]
+    /// The creation sites reaching binder `v`, as backing words.
+    pub fn var_site_set(&self, v: VarId) -> &[u64] {
+        let base = (self.n_exprs + v.index()) * self.wps;
+        &self.words[base..base + self.wps]
     }
 
     /// `L(e)`: the abstraction labels reaching `e`, sorted.
     pub fn labels(&self, program: &Program, e: ExprId) -> Vec<Label> {
-        self.labels_of_set(program, self.site_set(e))
+        self.labels_of_words(program, self.site_set(e))
     }
 
     /// Labels reaching binder `v`, sorted.
     pub fn var_labels(&self, program: &Program, v: VarId) -> Vec<Label> {
-        self.labels_of_set(program, self.var_site_set(v))
+        self.labels_of_words(program, self.var_site_set(v))
     }
 
-    fn labels_of_set(&self, program: &Program, set: &BitSet) -> Vec<Label> {
-        let mut out: Vec<Label> = set
-            .iter()
-            .filter_map(|s| self.sites.label_of_site(program, s))
-            .collect();
+    fn labels_of_words(&self, program: &Program, words: &[u64]) -> Vec<Label> {
+        let mut out: Vec<Label> = Vec::new();
+        for (wi, &word) in words.iter().enumerate() {
+            let mut w = word;
+            while w != 0 {
+                let b = w.trailing_zeros() as usize;
+                w &= w - 1;
+                if let Some(l) = self.sites.label_of_site(program, wi * 64 + b) {
+                    out.push(l);
+                }
+            }
+        }
         out.sort_unstable();
         out
     }
@@ -114,8 +147,13 @@ enum Listener {
 struct Solver<'a> {
     program: &'a Program,
     sites: SiteTable,
-    /// Set per set-variable: exprs `0..n`, then binders `n..n+v`.
-    sets: Vec<BitSet>,
+    /// Words per set variable.
+    wps: usize,
+    /// Flat set storage: exprs `0..n`, then binders `n..n+v`, `wps`
+    /// words each — a single allocation however many variables there
+    /// are, so a cone-restricted run's setup stays O(n) words written,
+    /// not O(n) heap allocations.
+    words: Vec<u64>,
     edges: Vec<Vec<u32>>,
     listeners: Vec<Listener>,
     /// Listener ids watching each set variable.
@@ -131,11 +169,12 @@ impl<'a> Solver<'a> {
         let n = program.size();
         let v = program.var_count();
         let sites = SiteTable::build(program);
-        let nsites = sites.len();
+        let wps = sites.len().div_ceil(64);
         Solver {
             program,
             sites,
-            sets: (0..n + v).map(|_| BitSet::new(nsites)).collect(),
+            wps,
+            words: vec![0; (n + v) * wps],
             edges: vec![Vec::new(); n + v],
             listeners: Vec::new(),
             watchers: vec![Vec::new(); n + v],
@@ -166,28 +205,38 @@ impl<'a> Solver<'a> {
         self.propagate(from, to);
     }
 
-    /// Unions `sets[from]` into `sets[to]`; enqueues `to` on change.
+    /// Unions `from`'s set into `to`'s; enqueues `to` on change.
     fn propagate(&mut self, from: u32, to: u32) {
         if from == to {
             return;
         }
         self.stats.propagations += 1;
-        let (from, to) = (from as usize, to as usize);
-        // Split-borrow the two sets.
-        let changed = if from < to {
-            let (a, b) = self.sets.split_at_mut(to);
-            b[0].union_with(&a[from])
+        let wps = self.wps;
+        let (f, t) = (from as usize * wps, to as usize * wps);
+        // Split-borrow the two word runs.
+        let (dst, src) = if f < t {
+            let (a, b) = self.words.split_at_mut(t);
+            (&mut b[..wps], &a[f..f + wps])
         } else {
-            let (a, b) = self.sets.split_at_mut(from);
-            a[to].union_with(&b[0])
+            let (a, b) = self.words.split_at_mut(f);
+            (&mut a[t..t + wps], &b[..wps])
         };
+        let mut changed = false;
+        for (d, &s) in dst.iter_mut().zip(src) {
+            let next = *d | s;
+            changed |= next != *d;
+            *d = next;
+        }
         if changed {
-            self.worklist.push(to);
+            self.worklist.push(to as usize);
         }
     }
 
     fn seed(&mut self, var: u32, site: usize) {
-        if self.sets[var as usize].insert(site) {
+        let w = var as usize * self.wps + site / 64;
+        let mask = 1u64 << (site % 64);
+        if self.words[w] & mask == 0 {
+            self.words[w] |= mask;
             self.worklist.push(var as usize);
         }
     }
@@ -199,8 +248,13 @@ impl<'a> Solver<'a> {
         self.watchers[watch as usize].push(id);
     }
 
-    fn install_constraints(&mut self) {
+    fn install_constraints(&mut self, mask: Option<&BitSet>) {
         for e in self.program.exprs() {
+            if let Some(m) = mask {
+                if !m.contains(e.index()) {
+                    continue;
+                }
+            }
             let ev = self.expr_var(e);
             match self.program.kind(e) {
                 ExprKind::Var(v) => {
@@ -275,8 +329,8 @@ impl<'a> Solver<'a> {
         }
     }
 
-    fn run(mut self) -> Cfa0 {
-        self.install_constraints();
+    fn run(mut self, mask: Option<&BitSet>) -> Cfa0 {
+        self.install_constraints(mask);
         while let Some(u) = self.worklist.pop() {
             self.stats.activations += 1;
             // (a) propagate along subset edges.
@@ -290,8 +344,8 @@ impl<'a> Solver<'a> {
             let watcher_ids = self.watchers[u].clone();
             for lid in watcher_ids {
                 // Collect sites not yet handled by this listener.
-                let fresh: Vec<usize> = self.sets[u]
-                    .iter()
+                let fresh: Vec<usize> = self
+                    .set_bits(u)
                     .filter(|&s| !self.handled[lid as usize].contains(s))
                     .collect();
                 for s in fresh {
@@ -302,10 +356,26 @@ impl<'a> Solver<'a> {
         }
         Cfa0 {
             sites: self.sites,
-            var_sets: self.sets.split_off(self.program.size()),
-            expr_sets: self.sets,
+            words: self.words,
+            wps: self.wps,
+            n_exprs: self.program.size(),
             stats: self.stats,
         }
+    }
+
+    /// Iterates the site indices present in variable `u`'s set.
+    fn set_bits(&self, u: usize) -> impl Iterator<Item = usize> + '_ {
+        let base = u * self.wps;
+        self.words[base..base + self.wps]
+            .iter()
+            .enumerate()
+            .flat_map(|(wi, &word)| {
+                std::iter::successors((word != 0).then_some(word), |w| {
+                    let w = w & (w - 1);
+                    (w != 0).then_some(w)
+                })
+                .map(move |w| wi * 64 + w.trailing_zeros() as usize)
+            })
     }
 
     fn fire(&mut self, lid: u32, site: usize) {
@@ -469,6 +539,27 @@ mod tests {
             s.dynamic_edges >= 2,
             "at least APP-1/APP-2 for the outer app"
         );
+    }
+
+    #[test]
+    fn restricted_run_brackets_the_full_run() {
+        let p = Program::parse("(fn x => x x) (fn y => y)").unwrap();
+        let full = Cfa0::analyze(&p);
+        // The full mask reproduces the unrestricted answer everywhere.
+        let mut all = BitSet::new(p.size());
+        for e in p.exprs() {
+            all.insert(e.index());
+        }
+        let same = Cfa0::analyze_within(&p, &all);
+        for e in p.exprs() {
+            assert_eq!(same.labels(&p, e), full.labels(&p, e));
+        }
+        // The empty mask installs nothing: every set is empty.
+        let none = Cfa0::analyze_within(&p, &BitSet::new(p.size()));
+        for e in p.exprs() {
+            assert!(none.labels(&p, e).is_empty());
+        }
+        assert!(none.stats().activations <= full.stats().activations);
     }
 
     #[test]

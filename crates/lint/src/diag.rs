@@ -134,6 +134,38 @@ impl fmt::Display for RuleCode {
     }
 }
 
+/// How certain the linter is that a finding is real, derived from the
+/// degradation detector's certificates — never from heuristics alone.
+///
+/// `Proven` means the finding holds under full cubic 0CFA: the rule's
+/// evidence is structural/syntactic, cross-checked against the cubic
+/// oracle, or drawn from engine answers the detector certifies exact
+/// (suspicion 0). `Likely` means the evidence passed through an
+/// over-approximated label set that escalation did not certify.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Confidence {
+    /// Holds under the exact analysis too.
+    Proven,
+    /// Sound reading of an over-approximate answer; not certified.
+    Likely,
+}
+
+impl Confidence {
+    /// The lowercase name used in the JSON renderer.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Confidence::Proven => "proven",
+            Confidence::Likely => "likely",
+        }
+    }
+}
+
+impl fmt::Display for Confidence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// One diagnostic: a rule firing at one expression occurrence.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Diagnostic {
@@ -142,6 +174,11 @@ pub struct Diagnostic {
     /// Severity (always `code.severity()`; stored so renderers need no
     /// lookup and future per-run overrides stay possible).
     pub severity: Severity,
+    /// How certain the finding is (see [`Confidence`]). Defaults from
+    /// [`RuleCode::proven_by_construction`]; rules whose evidence rides
+    /// on unconfirmed engine answers upgrade via [`Diagnostic::proven`]
+    /// only when the detector certifies the relevant cone.
+    pub confidence: Confidence,
     /// The flagged occurrence.
     pub expr: ExprId,
     /// Source span of the occurrence, when the program was parsed from
@@ -151,16 +188,46 @@ pub struct Diagnostic {
     pub message: String,
 }
 
+impl RuleCode {
+    /// Whether this rule's evidence is exact without any detector
+    /// certificate: STCFA004/006 are syntactic/structural facts, and
+    /// STCFA001/007/008 confirm every finding against the cubic CFA
+    /// oracle before reporting. STCFA002/003/005 read raw engine label
+    /// sets, so their confidence depends on the queried cones.
+    pub fn proven_by_construction(self) -> bool {
+        matches!(
+            self,
+            RuleCode::FlowDeadApplication
+                | RuleCode::UselessParameter
+                | RuleCode::StuckApplication
+                | RuleCode::TaintedEffectfulFlow
+                | RuleCode::DominatedRedundantApplication
+        )
+    }
+}
+
 impl Diagnostic {
-    /// Builds a diagnostic at `expr`, pulling span and severity from the
-    /// program and rule.
+    /// Builds a diagnostic at `expr`, pulling span, severity and the
+    /// baseline confidence from the program and rule.
     pub fn at(code: RuleCode, expr: ExprId, program: &Program, message: String) -> Diagnostic {
         Diagnostic {
             code,
             severity: code.severity(),
+            confidence: if code.proven_by_construction() {
+                Confidence::Proven
+            } else {
+                Confidence::Likely
+            },
             expr,
             span: program.span(expr),
             message,
         }
+    }
+
+    /// Upgrades the finding to [`Confidence::Proven`] — the caller holds
+    /// a detector certificate for the engine answers the rule consumed.
+    pub fn proven(mut self) -> Diagnostic {
+        self.confidence = Confidence::Proven;
+        self
     }
 }

@@ -54,8 +54,9 @@ pub mod render;
 pub mod rules;
 pub mod rules_backed;
 
+pub use diag::Confidence;
 pub use diag::{Diagnostic, RuleCode, Severity};
 pub use explain::explain;
 pub use render::{render_json, render_text};
-pub use rules::{lint, LintOptions};
+pub use rules::{lint, lint_with_suspicion, LintOptions};
 pub use rules_backed::{lint_rule_backed, RULE_BACKED_CODES};

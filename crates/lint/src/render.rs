@@ -37,13 +37,17 @@ pub fn render_text(diags: &[Diagnostic]) -> String {
 ///
 /// ```json
 /// [
-///   {"code":"STCFA004","severity":"warning","fixable":true,"expr":7,"span":{"line":3,"col":12,"end_line":3,"end_col":13},"message":"parameter `b` is never used"}
+///   {"code":"STCFA004","severity":"warning","confidence":"proven","fixable":true,"expr":7,"span":{"line":3,"col":12,"end_line":3,"end_col":13},"message":"parameter `b` is never used"}
 /// ]
 /// ```
 ///
 /// `span` is `null` when the program carries no source positions.
-/// `fixable` appears (always `true`) exactly on the findings a
-/// `stcfa opt` pass can act on — see [`RuleCode::fixable`](crate::diag::RuleCode::fixable).
+/// `confidence` is `"proven"` when the finding holds under full cubic
+/// CFA (oracle-confirmed, syntactic, or certified by the degradation
+/// detector) and `"likely"` otherwise — see
+/// [`Confidence`](crate::diag::Confidence). `fixable` appears (always
+/// `true`) exactly on the findings a `stcfa opt` pass can act on — see
+/// [`RuleCode::fixable`](crate::diag::RuleCode::fixable).
 pub fn render_json(diags: &[Diagnostic]) -> String {
     let mut out = String::from("[");
     for (i, d) in diags.iter().enumerate() {
@@ -55,9 +59,10 @@ pub fn render_json(diags: &[Diagnostic]) -> String {
         };
         let _ = write!(
             out,
-            "  {{\"code\":\"{}\",\"severity\":\"{}\",{}\"expr\":{},\"span\":",
+            "  {{\"code\":\"{}\",\"severity\":\"{}\",\"confidence\":\"{}\",{}\"expr\":{},\"span\":",
             d.code,
             d.severity,
+            d.confidence,
             fixable,
             d.expr.index()
         );
@@ -106,6 +111,7 @@ mod tests {
         Diagnostic {
             code: RuleCode::UselessParameter,
             severity: Severity::Warning,
+            confidence: crate::diag::Confidence::Proven,
             expr: ExprId::from_index(7),
             span,
             message: "parameter `b` is never used".to_string(),
@@ -136,7 +142,9 @@ mod tests {
         assert!(json.contains(r#"\\ backslash\nnewline"#), "{json}");
         assert!(json.contains("\"span\":null"), "{json}");
         assert!(
-            json.contains("\"severity\":\"warning\",\"fixable\":true,\"expr\":7"),
+            json.contains(
+                "\"severity\":\"warning\",\"confidence\":\"proven\",\"fixable\":true,\"expr\":7"
+            ),
             "{json}"
         );
         assert!(json.ends_with("]\n"), "{json}");

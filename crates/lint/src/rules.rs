@@ -15,6 +15,7 @@ use stcfa_apps::effects::effects;
 use stcfa_cfa0::Cfa0;
 use stcfa_core::{Analysis, QueryEngine};
 use stcfa_lambda::{ExprId, ExprKind, Label, Program};
+use stcfa_precision::SuspicionIndex;
 use stcfa_rules::{dominated_redundant, mixed_purity, ExtDb};
 
 use crate::diag::{Diagnostic, RuleCode};
@@ -60,14 +61,27 @@ pub(crate) fn place(program: &Program, e: ExprId) -> String {
 /// The STCFA002 diagnostic for label `l`. Shared by the hand-fused
 /// linter and the rule-engine backend so the two are byte-identical by
 /// construction; the differential test then checks the *logic* agrees.
-pub(crate) fn diag_never_invoked(program: &Program, l: Label) -> Diagnostic {
+/// Proven when the whole snapshot is suspicion-free: the engine then
+/// equals the exact analysis, so absence of call sites is exact absence
+/// (under `Forget` the engine can also *cut* flow, so engine-absence
+/// alone does not prove anything).
+pub(crate) fn diag_never_invoked(
+    program: &Program,
+    suspicion: &SuspicionIndex,
+    l: Label,
+) -> Diagnostic {
     let lam = program.lam_of_label(l);
-    Diagnostic::at(
+    let d = Diagnostic::at(
         RuleCode::NeverInvokedAbstraction,
         lam,
         program,
         format!("abstraction {} is never invoked", lam_name(program, l)),
-    )
+    );
+    if suspicion.all_exact() {
+        d.proven()
+    } else {
+        d
+    }
 }
 
 /// The STCFA004 diagnostic for parameter `param` of abstraction `lam`.
@@ -84,10 +98,17 @@ pub(crate) fn diag_useless_param(
     )
 }
 
-/// The STCFA005 diagnostic for label `l`.
-pub(crate) fn diag_escaping_effectful(program: &Program, l: Label) -> Diagnostic {
+/// The STCFA005 diagnostic for label `l`. Proven when the program
+/// result's cone is suspicion-free: "escapes" was read off `L(root)`,
+/// and a certified-exact root set cannot carry a spurious label.
+pub(crate) fn diag_escaping_effectful(
+    program: &Program,
+    engine: &QueryEngine,
+    suspicion: &SuspicionIndex,
+    l: Label,
+) -> Diagnostic {
     let lam = program.lam_of_label(l);
-    Diagnostic::at(
+    let d = Diagnostic::at(
         RuleCode::EscapingEffectfulClosure,
         lam,
         program,
@@ -95,7 +116,12 @@ pub(crate) fn diag_escaping_effectful(program: &Program, l: Label) -> Diagnostic
             "effectful closure {} escapes to the program result",
             lam_name(program, l)
         ),
-    )
+    );
+    if suspicion.of_expr(engine, program.root()) == 0 {
+        d.proven()
+    } else {
+        d
+    }
 }
 
 /// Runs every rule and returns the diagnostics sorted by occurrence id,
@@ -104,11 +130,31 @@ pub(crate) fn diag_escaping_effectful(program: &Program, l: Label) -> Diagnostic
 ///
 /// `engine` must be frozen from `analysis` (the effects colouring walks
 /// the analysis graph directly; everything else goes through the
-/// snapshot).
+/// snapshot). The degradation detector's index is built here from that
+/// matched pair; a caller holding an engine whose node table did *not*
+/// come from `analysis` — a disk-warmed linked snapshot rebuilds its
+/// analysis from the replayed program, which does not reproduce the
+/// incrementally linked node table — must use [`lint_with_suspicion`]
+/// and supply the index that was persisted alongside the engine.
 pub fn lint(
     program: &Program,
     analysis: &Analysis,
     engine: &QueryEngine,
+    opts: &LintOptions,
+) -> Vec<Diagnostic> {
+    let suspicion = SuspicionIndex::build(analysis, engine);
+    lint_with_suspicion(program, analysis, engine, &suspicion, opts)
+}
+
+/// [`lint`] with a caller-supplied detector index. `suspicion` must
+/// score `engine`'s condensation (same `comp_count`); `analysis` is
+/// consulted only for program-keyed facts (the effects colouring), so
+/// it may be a rebuild that does not share `engine`'s node table.
+pub fn lint_with_suspicion(
+    program: &Program,
+    analysis: &Analysis,
+    engine: &QueryEngine,
+    suspicion: &SuspicionIndex,
     opts: &LintOptions,
 ) -> Vec<Diagnostic> {
     engine.prepare();
@@ -157,11 +203,11 @@ pub fn lint(
             continue;
         }
         if matches!(sites.of(l), CallSites::None) && escaping.binary_search(&l).is_err() {
-            out.push(diag_never_invoked(program, l));
+            out.push(diag_never_invoked(program, suspicion, l));
         }
     }
     for (l, site) in evidence::called_once_evidence(program, engine) {
-        out.push(Diagnostic::at(
+        let mut d = Diagnostic::at(
             RuleCode::CalledOnceInline,
             program.lam_of_label(l),
             program,
@@ -170,7 +216,17 @@ pub fn lint(
                 lam_name(program, l),
                 place(program, site)
             ),
-        ));
+        );
+        // "Exactly once" is exact when the one site's operator set is
+        // certified: the site then really invokes `l` (not a congruence
+        // artifact), and over-approximation already rules out unseen
+        // extra sites.
+        if let ExprKind::App { func, .. } = program.kind(site) {
+            if suspicion.of_expr(engine, *func) == 0 {
+                d = d.proven();
+            }
+        }
+        out.push(d);
     }
 
     // --- STCFA004: parameters with no occurrence, exemptions applied by
@@ -188,7 +244,7 @@ pub fn lint(
             let lam = program.lam_of_label(l);
             if let ExprKind::Lam { body, .. } = program.kind(lam) {
                 if eff.is_effectful(*body) {
-                    out.push(diag_escaping_effectful(program, l));
+                    out.push(diag_escaping_effectful(program, engine, suspicion, l));
                 }
             }
         }

@@ -35,16 +35,19 @@ pub fn lint_rule_backed(
     engine: &QueryEngine,
 ) -> Vec<Diagnostic> {
     engine.prepare();
+    // Same detector index the hand-fused path grades with, so the two
+    // backends agree on `confidence` byte for byte.
+    let suspicion = stcfa_precision::SuspicionIndex::build(analysis, engine);
     let db = ExtDb::new(program, analysis, engine);
     let mut out = Vec::new();
     for l in never_invoked(&db) {
-        out.push(diag_never_invoked(program, l));
+        out.push(diag_never_invoked(program, &suspicion, l));
     }
     for (v, lam) in useless_param(&db) {
         out.push(diag_useless_param(program, v, lam));
     }
     for l in escaping_effectful(&db) {
-        out.push(diag_escaping_effectful(program, l));
+        out.push(diag_escaping_effectful(program, engine, &suspicion, l));
     }
     out.sort_by_key(|d| (d.expr.index(), d.code));
     out

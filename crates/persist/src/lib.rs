@@ -27,7 +27,11 @@
 //! bitsets if the full sweep has run, and the build-phase statistics —
 //! plus the original source text, so the loader can re-derive anything
 //! not persisted (the reverse CSR, the condensation DAG, the program
-//! itself for lint).
+//! itself for lint). Version 2 adds two optional sections: the
+//! precision detector's per-component **suspicion index** (so a warm
+//! restart grades query precision without rebuilding the analysis) and
+//! a **flavor** marker for *linked* session snapshots, whose "source"
+//! is a module manifest rather than a single program text.
 //!
 //! # Versioning and corruption policy
 //!
@@ -38,9 +42,13 @@
 //! (`Fnv1a::digest_parts(source, [policy, engine])`); the decoder
 //! recomputes it from the decoded source and discriminants, so a file
 //! renamed over the wrong key — intact but mislabeled — surfaces as
-//! [`PersistError::DigestMismatch`]. Everything past those gates is still
-//! untrusted: section shapes are re-validated structurally by
-//! [`QueryEngine::from_parts`].
+//! [`PersistError::DigestMismatch`]. Linked session snapshots are the
+//! one exception: their address is the *session digest*, a chain digest
+//! over module names/contents/imports that only the linker can compute,
+//! so for them the decoder relies on the integrity trailer plus the
+//! cache layer's own key-vs-header check and manifest comparison.
+//! Everything past those gates is still untrusted: section shapes are
+//! re-validated structurally by [`QueryEngine::from_parts`].
 //!
 //! Decoding **never panics and never returns a wrong answer**: every
 //! failure mode is a structured [`PersistError`], and the caller's
@@ -64,7 +72,8 @@ pub const MAGIC: [u8; 8] = *b"STCFSNAP";
 
 /// Current format version. Bump on any layout change; old files then
 /// decode to [`PersistError::VersionSkew`] and are rebuilt, not migrated.
-pub const FORMAT_VERSION: u32 = 1;
+/// Version 2: suspicion-index and linked-flavor sections.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// File extension used by [`file_name`] (without the dot).
 pub const EXTENSION: &str = "stcfa";
@@ -89,6 +98,11 @@ const SEC_OCC_OFFSETS: u32 = 8;
 const SEC_OCC_EXPRS: u32 = 9;
 const SEC_SUMMARIES: u32 = 10;
 const SEC_STATS: u32 = 11;
+const SEC_SUSPICION: u32 = 12;
+const SEC_FLAVOR: u32 = 13;
+
+/// [`SEC_FLAVOR`] payload marking a linked session snapshot.
+const FLAVOR_LINKED: u32 = 1;
 
 /// Number of `u64` fields in the persisted [`AnalysisStats`] record.
 const STATS_FIELDS: usize = 9;
@@ -186,10 +200,18 @@ pub struct SnapshotImage<'a> {
     pub policy: u64,
     /// Engine discriminant (part of the address).
     pub engine_disc: u64,
-    /// The exact source text the snapshot was built from.
+    /// The exact source text the snapshot was built from (for linked
+    /// snapshots: the module manifest).
     pub source: &'a str,
     /// The frozen engine to serialize.
     pub engine: &'a QueryEngine,
+    /// The precision detector's per-component suspicion scores, when
+    /// they were computed for this snapshot.
+    pub suspicion: Option<&'a [u32]>,
+    /// Whether this is a *linked* session snapshot: `source` is a
+    /// module manifest and `digest` is the linker's session digest
+    /// (not derivable from the manifest bytes alone).
+    pub linked: bool,
 }
 
 /// A decoded snapshot file: the reassembled engine plus the metadata the
@@ -202,10 +224,17 @@ pub struct DecodedSnapshot {
     pub policy: u64,
     /// Engine discriminant.
     pub engine_disc: u64,
-    /// The original source text (re-parse it for lint-style consumers).
+    /// The original source text (re-parse it for lint-style consumers);
+    /// for linked snapshots, the module manifest.
     pub source: String,
     /// The reassembled, fully re-validated engine.
     pub engine: QueryEngine,
+    /// Persisted suspicion scores, if the file carried them. Length is
+    /// *not* validated against the engine here — the cache layer checks
+    /// it against `comp_count` before use.
+    pub suspicion: Option<Vec<u32>>,
+    /// Whether the file marks itself as a linked session snapshot.
+    pub linked: bool,
 }
 
 // --- encode ----------------------------------------------------------------
@@ -270,7 +299,10 @@ fn stats_from_words(w: &[u64]) -> AnalysisStats {
 /// crate's tests.
 pub fn encode(image: &SnapshotImage<'_>) -> Vec<u8> {
     let parts = image.engine.to_parts();
-    let section_count = 10 + parts.summaries.is_some() as u32;
+    let section_count = 10
+        + parts.summaries.is_some() as u32
+        + image.suspicion.is_some() as u32
+        + image.linked as u32;
     let mut out = Vec::with_capacity(
         HEADER_LEN
             + TRAILER_LEN
@@ -310,6 +342,12 @@ pub fn encode(image: &SnapshotImage<'_>) -> Vec<u8> {
         push_section_u64s(&mut out, SEC_SUMMARIES, rows);
     }
     push_section_u64s(&mut out, SEC_STATS, &stats_words(&parts.base_stats));
+    if let Some(scores) = image.suspicion {
+        push_section_u32s(&mut out, SEC_SUSPICION, scores);
+    }
+    if image.linked {
+        push_section_u32s(&mut out, SEC_FLAVOR, &[FLAVOR_LINKED]);
+    }
 
     let mut h = Fnv1a::new();
     h.write(&out);
@@ -413,7 +451,7 @@ pub fn decode(bytes: &[u8]) -> Result<DecodedSnapshot, PersistError> {
     let label_count = r.u64("header label count")?;
     let section_count = r.u32("header section count")?;
 
-    let mut sections: [Option<&[u8]>; 12] = [None; 12];
+    let mut sections: [Option<&[u8]>; 14] = [None; 14];
     for _ in 0..section_count {
         let tag = r.u32("section tag")?;
         let len = r.u64("section length")?;
@@ -423,7 +461,7 @@ pub fn decode(bytes: &[u8]) -> Result<DecodedSnapshot, PersistError> {
         let payload = r.take(len, "section payload")?;
         let slot = sections
             .get_mut(tag as usize)
-            .filter(|_| (SEC_SOURCE..=SEC_STATS).contains(&tag))
+            .filter(|_| (SEC_SOURCE..=SEC_FLAVOR).contains(&tag))
             .ok_or_else(|| PersistError::Malformed(format!("unknown section tag {tag}")))?;
         if slot.replace(payload).is_some() {
             return Err(PersistError::Malformed(format!(
@@ -445,15 +483,34 @@ pub fn decode(bytes: &[u8]) -> Result<DecodedSnapshot, PersistError> {
     let source = std::str::from_utf8(required(SEC_SOURCE, "source")?)
         .map_err(|e| PersistError::Malformed(format!("source is not UTF-8: {e}")))?
         .to_owned();
+    let linked = match sections[SEC_FLAVOR as usize] {
+        None => false,
+        Some(p) => {
+            let flavor = decode_u32s(p, "flavor")?;
+            match flavor.as_slice() {
+                [FLAVOR_LINKED] => true,
+                other => {
+                    return Err(PersistError::Malformed(format!(
+                        "unknown snapshot flavor {other:?}"
+                    )))
+                }
+            }
+        }
+    };
     // The header digest doubles as the cache address: recompute it from
     // the decoded contents so a file filed under the wrong key is caught
-    // even though its bytes are internally consistent.
-    let computed = Fnv1a::digest_parts(source.as_bytes(), &[policy, engine_disc]);
-    if digest != computed {
-        return Err(PersistError::DigestMismatch {
-            header: digest,
-            computed,
-        });
+    // even though its bytes are internally consistent. Linked session
+    // snapshots are addressed by the linker's session digest, which is
+    // not a function of the manifest bytes alone — for them the cache
+    // layer compares key and manifest itself.
+    if !linked {
+        let computed = Fnv1a::digest_parts(source.as_bytes(), &[policy, engine_disc]);
+        if digest != computed {
+            return Err(PersistError::DigestMismatch {
+                header: digest,
+                computed,
+            });
+        }
     }
 
     let stats = decode_u64s(required(SEC_STATS, "stats")?, "stats")?;
@@ -483,12 +540,18 @@ pub fn decode(bytes: &[u8]) -> Result<DecodedSnapshot, PersistError> {
         generation: generation_plus1.checked_sub(1),
     };
     let engine = QueryEngine::from_parts(parts).map_err(PersistError::Malformed)?;
+    let suspicion = match sections[SEC_SUSPICION as usize] {
+        Some(p) => Some(decode_u32s(p, "suspicion")?),
+        None => None,
+    };
     Ok(DecodedSnapshot {
         digest,
         policy,
         engine_disc,
         source,
         engine,
+        suspicion,
+        linked,
     })
 }
 
@@ -592,6 +655,8 @@ mod tests {
             engine_disc: 0,
             source,
             engine: &engine,
+            suspicion: None,
+            linked: false,
         });
         (digest, bytes)
     }
@@ -647,10 +712,80 @@ mod tests {
                 engine_disc: 0,
                 source: SOURCE,
                 engine: &engine,
+                suspicion: None,
+                linked: false,
             });
             let d = decode(&bytes).expect("decodes");
             assert_eq!(d.engine.generation(), generation);
         }
+    }
+
+    #[test]
+    fn suspicion_scores_round_trip() {
+        let engine = engine_for(SOURCE);
+        let scores: Vec<u32> = (0..engine.comp_count() as u32).rev().collect();
+        let digest = Fnv1a::digest_parts(SOURCE.as_bytes(), &[1, 0]);
+        let bytes = encode(&SnapshotImage {
+            digest,
+            policy: 1,
+            engine_disc: 0,
+            source: SOURCE,
+            engine: &engine,
+            suspicion: Some(&scores),
+            linked: false,
+        });
+        let d = decode(&bytes).expect("decodes");
+        assert_eq!(d.suspicion.as_deref(), Some(scores.as_slice()));
+        assert!(!d.linked);
+        // Files without the section decode to `None`, not empty.
+        let (_, plain) = image_bytes(SOURCE, false);
+        assert_eq!(decode(&plain).unwrap().suspicion, None);
+    }
+
+    #[test]
+    fn linked_snapshots_skip_the_source_digest_gate() {
+        // A linked snapshot's address is the session digest — pick a
+        // value that is deliberately NOT Fnv1a(source, [policy, disc]).
+        let engine = engine_for(SOURCE);
+        let manifest = "session\u{0}main\u{1}fn x => x\u{2}";
+        let session_digest = 0xdead_beef_cafe_f00d_u64;
+        let bytes = encode(&SnapshotImage {
+            digest: session_digest,
+            policy: 1,
+            engine_disc: 0,
+            source: manifest,
+            engine: &engine,
+            suspicion: None,
+            linked: true,
+        });
+        let d = decode(&bytes).expect("linked snapshots decode");
+        assert!(d.linked);
+        assert_eq!(d.digest, session_digest);
+        assert_eq!(d.source, manifest);
+        // The same bytes *without* the flavor section must fail the
+        // digest gate: linked-ness is not assumable.
+        let built = encode(&SnapshotImage {
+            digest: session_digest,
+            policy: 1,
+            engine_disc: 0,
+            source: manifest,
+            engine: &engine,
+            suspicion: None,
+            linked: false,
+        });
+        assert!(matches!(
+            decode(&built).unwrap_err(),
+            PersistError::DigestMismatch { .. }
+        ));
+        // An unknown flavor value is malformed, not silently trusted.
+        let mut evil = bytes;
+        let flavor_at = evil.len() - TRAILER_LEN - 4;
+        evil[flavor_at..flavor_at + 4].copy_from_slice(&7u32.to_le_bytes());
+        resign(&mut evil);
+        assert!(matches!(
+            decode(&evil).unwrap_err(),
+            PersistError::Malformed(_)
+        ));
     }
 
     #[test]

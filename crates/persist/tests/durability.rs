@@ -43,6 +43,8 @@ fn snapshot_bytes(p: &Program, prepare: bool) -> (QueryEngine, Vec<u8>) {
         engine_disc: 0,
         source: &source,
         engine: &engine,
+        suspicion: None,
+        linked: false,
     });
     (engine, bytes)
 }

@@ -1,0 +1,305 @@
+//! Demand cones: the program slice a cone-restricted cubic run needs.
+//!
+//! Tier-2 escalation re-solves standard CFA, but only over the part of
+//! the program that can influence the query — its **demand cone**. The
+//! cone must be *flow-closed*: every constraint that can (transitively)
+//! write into a demanded variable's set must itself be installed, or
+//! the restricted fixpoint under-approximates at the query and an
+//! "escalated" answer would silently drop real flow.
+//!
+//! Closure is a least fixpoint over three rule families:
+//!
+//! 1. **Engine reachability.** The subtransitive graph answers `L(e)`
+//!    by *forward* reachability, and the ≈-congruences only merge —
+//!    every exact path survives — so the nodes forward-reachable from a
+//!    demanded variable over-approximate all of its value sources
+//!    (including, e.g., the arguments of every call site that can write
+//!    a demanded parameter, reached through the `dom` chain). Every
+//!    reached node pulls the expressions and binders it carries into
+//!    the cone.
+//! 2. **Watch machinery.** Reachability covers where values come
+//!    *from*, not the sets the solver's listeners *watch*: a demanded
+//!    application pulls in its operator (APP-1/APP-2 watch `L(e₁)`), a
+//!    projection its record, a `case` its scrutinee, and a demanded
+//!    abstraction its body (its result is copied out wherever it is
+//!    applied).
+//! 3. **Writer constructs.** A set is written only by the construct
+//!    that binds or applies it, and that construct must be installed: a
+//!    demanded binder pulls in its owning `fn`/`let`/`letrec`/`case`,
+//!    and a demanded operand pulls in its application (whose listener
+//!    performs the `arg → param` write).
+//!
+//! The fixpoint is monotone over finite sets, `O(cone)` per rule. The
+//! cone is deliberately not minimal — rules 2–3 over-include for
+//! robustness — but it stays proportional to the query's actual flow
+//! neighbourhood, which is exactly when escalation is worth paying for.
+//! The `Forget` policy *cuts* flow at `TopFun` instead of merging, so
+//! rule 1's premise fails there; the scheduler never builds cones under
+//! it.
+
+use stcfa_core::QueryEngine;
+use stcfa_graph::BitSet;
+use stcfa_lambda::{ExprId, ExprKind, Program, VarId};
+
+/// The flow-closed slice serving one query site.
+#[derive(Clone, Debug)]
+pub struct DemandCone {
+    /// Expressions whose constraints the restricted solver installs.
+    pub exprs: BitSet,
+    /// Binders demanded along the way (diagnostic; the solver derives
+    /// binder handling from the expressions).
+    pub binders: BitSet,
+    /// Engine graph nodes visited — the budget unit: what the scheduler
+    /// charges for escalating this query.
+    pub node_count: usize,
+}
+
+impl DemandCone {
+    /// Fraction of the program's expressions inside the cone.
+    pub fn expr_fraction(&self, program: &Program) -> f64 {
+        if program.size() == 0 {
+            return 0.0;
+        }
+        self.exprs.len() as f64 / program.size() as f64
+    }
+}
+
+/// Per-expression parent and per-binder owner maps, one `O(n)` walk.
+struct Syntax {
+    /// Parent expression of each expression (root: `u32::MAX`).
+    parent: Vec<u32>,
+    /// Owning expression of each binder (`fn`/`let`/`letrec`/`case`).
+    owner: Vec<u32>,
+}
+
+impl Syntax {
+    fn build(program: &Program) -> Syntax {
+        let mut parent = vec![u32::MAX; program.size()];
+        let mut owner = vec![u32::MAX; program.var_count()];
+        for e in program.exprs() {
+            let ei = e.index() as u32;
+            let mut child = |c: ExprId| parent[c.index()] = ei;
+            let mut binder = |v: VarId| owner[v.index()] = ei;
+            match program.kind(e) {
+                ExprKind::Var(_) | ExprKind::Lit(_) => {}
+                ExprKind::Lam { param, body, .. } => {
+                    binder(*param);
+                    child(*body);
+                }
+                ExprKind::App { func, arg } => {
+                    child(*func);
+                    child(*arg);
+                }
+                ExprKind::Let {
+                    binder: b,
+                    rhs,
+                    body,
+                } => {
+                    binder(*b);
+                    child(*rhs);
+                    child(*body);
+                }
+                ExprKind::LetRec {
+                    binder: b,
+                    lambda,
+                    body,
+                } => {
+                    binder(*b);
+                    child(*lambda);
+                    child(*body);
+                }
+                ExprKind::If {
+                    cond,
+                    then_branch,
+                    else_branch,
+                } => {
+                    child(*cond);
+                    child(*then_branch);
+                    child(*else_branch);
+                }
+                ExprKind::Record(items) => items.iter().copied().for_each(&mut child),
+                ExprKind::Proj { tuple, .. } => child(*tuple),
+                ExprKind::Con { args, .. } => args.iter().copied().for_each(&mut child),
+                ExprKind::Case {
+                    scrutinee,
+                    arms,
+                    default,
+                } => {
+                    child(*scrutinee);
+                    for arm in arms.iter() {
+                        arm.binders.iter().copied().for_each(&mut binder);
+                        child(arm.body);
+                    }
+                    if let Some(d) = default {
+                        child(*d);
+                    }
+                }
+                ExprKind::Prim { args, .. } => args.iter().copied().for_each(&mut child),
+            }
+        }
+        Syntax { parent, owner }
+    }
+}
+
+/// Computes the flow-closed demand cone of the engine nodes `roots`
+/// (typically the query expression's node).
+pub fn demand_cone(program: &Program, engine: &QueryEngine, roots: &[usize]) -> DemandCone {
+    let n = engine.csr().node_count();
+    let syntax = Syntax::build(program);
+    // Expressions/binders carried by each engine node: congruence can
+    // put several occurrences on one node (all occurrences of a binder
+    // share its node, for instance).
+    let mut exprs_at: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for e in program.exprs() {
+        exprs_at[engine.node_of_expr(e).index()].push(e.index() as u32);
+    }
+    let mut binders_at: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for i in 0..program.var_count() {
+        binders_at[engine.node_of_binder(VarId::from_index(i)).index()].push(i as u32);
+    }
+
+    let mut node_in = BitSet::new(n);
+    let mut expr_in = BitSet::new(program.size());
+    let mut binder_in = BitSet::new(program.var_count().max(1));
+    let mut node_work: Vec<usize> = Vec::new();
+    let mut expr_work: Vec<u32> = Vec::new();
+    let mut binder_work: Vec<u32> = Vec::new();
+    for &r in roots {
+        if node_in.insert(r) {
+            node_work.push(r);
+        }
+    }
+    loop {
+        if let Some(u) = node_work.pop() {
+            // Rule 1: sources of sources.
+            for &s in engine.csr().succs(u) {
+                if node_in.insert(s as usize) {
+                    node_work.push(s as usize);
+                }
+            }
+            for &e in &exprs_at[u] {
+                if expr_in.insert(e as usize) {
+                    expr_work.push(e);
+                }
+            }
+            for &v in &binders_at[u] {
+                if binder_in.insert(v as usize) {
+                    binder_work.push(v);
+                }
+            }
+            continue;
+        }
+        if let Some(v) = binder_work.pop() {
+            let bn = engine.node_of_binder(VarId::from_index(v as usize)).index();
+            if node_in.insert(bn) {
+                node_work.push(bn);
+            }
+            // Rule 3: the owning construct installs this binder's edges.
+            let o = syntax.owner[v as usize];
+            if o != u32::MAX && expr_in.insert(o as usize) {
+                expr_work.push(o);
+            }
+            continue;
+        }
+        if let Some(e) = expr_work.pop() {
+            let id = ExprId::from_index(e as usize);
+            let en = engine.node_of_expr(id).index();
+            if node_in.insert(en) {
+                node_work.push(en);
+            }
+            let mut need_expr = |x: ExprId, w: &mut Vec<u32>| {
+                if expr_in.insert(x.index()) {
+                    w.push(x.index() as u32);
+                }
+            };
+            // Rule 2: watch machinery.
+            match program.kind(id) {
+                ExprKind::App { func, .. } => need_expr(*func, &mut expr_work),
+                ExprKind::Lam { param, body, .. } => {
+                    need_expr(*body, &mut expr_work);
+                    if binder_in.insert(param.index()) {
+                        binder_work.push(param.index() as u32);
+                    }
+                }
+                ExprKind::Proj { tuple, .. } => need_expr(*tuple, &mut expr_work),
+                ExprKind::Case { scrutinee, .. } => need_expr(*scrutinee, &mut expr_work),
+                ExprKind::Var(v) if binder_in.insert(v.index()) => {
+                    binder_work.push(v.index() as u32);
+                }
+                _ => {}
+            }
+            // Rule 3: a demanded operand's application performs the
+            // `arg → param` write and must be live.
+            let p = syntax.parent[e as usize];
+            if p != u32::MAX {
+                let pid = ExprId::from_index(p as usize);
+                if matches!(program.kind(pid), ExprKind::App { arg, .. } if *arg == id) {
+                    need_expr(pid, &mut expr_work);
+                }
+            }
+            continue;
+        }
+        break;
+    }
+    DemandCone {
+        node_count: node_in.len(),
+        exprs: expr_in,
+        binders: binder_in,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stcfa_cfa0::Cfa0;
+    use stcfa_core::Analysis;
+
+    fn cone_at_root(src: &str) -> (Program, QueryEngine, DemandCone) {
+        let p = Program::parse(src).unwrap();
+        let a = Analysis::run(&p).unwrap();
+        let e = QueryEngine::freeze(&a);
+        let root = e.node_of_expr(p.root()).index();
+        let cone = demand_cone(&p, &e, &[root]);
+        (p, e, cone)
+    }
+
+    #[test]
+    fn cone_restricted_run_matches_the_full_oracle_at_the_root() {
+        for src in [
+            "(fn x => x x) (fn y => y)",
+            "fun id x = x;\nval a = id (fn u => u);\nval b = id (fn v => v);\na",
+            "datatype wrap = W of (int -> int);\ncase W(fn x => x) of W(f) => f",
+            "#1 ((fn x => x), (fn y => y))",
+            "if true then fn x => x else fn y => y",
+            "fun f x = x; f (fn a => a) (fn b => b)",
+        ] {
+            let (p, _, cone) = cone_at_root(src);
+            let full = Cfa0::analyze(&p);
+            let restricted = Cfa0::analyze_within(&p, &cone.exprs);
+            assert_eq!(
+                restricted.labels(&p, p.root()),
+                full.labels(&p, p.root()),
+                "cone not flow-closed for {src:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn local_flow_yields_a_proper_sub_cone() {
+        // The result only touches `h`; the sibling definition `g` (and
+        // its inner call) stays outside the cone.
+        let src = "\
+            let val g = fn a => (fn b => b) a in\n\
+            let val h = fn c => c in h h end end";
+        let (p, _, cone) = cone_at_root(src);
+        let full = Cfa0::analyze(&p);
+        let restricted = Cfa0::analyze_within(&p, &cone.exprs);
+        assert_eq!(restricted.labels(&p, p.root()), full.labels(&p, p.root()));
+        assert!(
+            cone.exprs.len() < p.size(),
+            "expected a proper slice, got {}/{}",
+            cone.exprs.len(),
+            p.size()
+        );
+    }
+}

@@ -40,8 +40,10 @@ use std::time::Instant;
 
 use stcfa_core::{Analysis, AnalysisOptions, DatatypePolicy, QueryEngine};
 use stcfa_devkit::hash::Fnv1a;
+use stcfa_lambda::session::SessionProgram;
 use stcfa_lambda::Program;
 use stcfa_persist::{DecodedSnapshot, SnapshotImage};
+use stcfa_precision::{PrecisionScheduler, SuspicionIndex};
 
 use crate::proto::policy_from_disc;
 
@@ -98,11 +100,20 @@ pub struct Snapshot {
     /// into the persisted header.
     policy_disc: u64,
     engine_disc: u64,
-    /// Whether the disk tier may persist this snapshot. Session-linked
-    /// snapshots are not persistable: their "source" is a workspace
-    /// manifest, not parseable program text, so a disk-loaded copy could
-    /// not rebuild its program or analysis.
-    persistable: bool,
+    /// Whether this snapshot's `source` is a session *manifest* rather
+    /// than program text. Linked snapshots persist under the linked
+    /// flavor: a disk load replays the manifest through
+    /// [`SessionProgram`] — the exact path the linker took — to
+    /// reconstruct an identical program arena.
+    linked: bool,
+    /// The degradation detector's per-component scores, computed at
+    /// build time (or adopted from the persisted image) and shared with
+    /// the write-behind and the scheduler. Lazily rebuilt — via the
+    /// analysis — only for pre-v2 disk images that carried no scores.
+    suspicion: OnceLock<Result<SuspicionIndex, String>>,
+    /// The per-snapshot precision scheduler (escalation memo + budget),
+    /// created on the first graded query against this snapshot.
+    scheduler: OnceLock<Result<PrecisionScheduler, String>>,
 }
 
 impl Snapshot {
@@ -118,6 +129,7 @@ impl Snapshot {
         policy_disc: u64,
         engine_disc: u64,
     ) -> Snapshot {
+        let suspicion = SuspicionIndex::build(&analysis, &engine);
         Snapshot {
             program,
             analysis: OnceLock::from(Ok(analysis)),
@@ -127,47 +139,65 @@ impl Snapshot {
             policy,
             policy_disc,
             engine_disc,
-            persistable: true,
+            linked: false,
+            suspicion: OnceLock::from(Ok(suspicion)),
+            scheduler: OnceLock::new(),
         }
     }
 
-    /// A session's linked snapshot: kept in memory only (its source is a
-    /// workspace manifest, not program text — see [`Snapshot::built`]).
+    /// A session's linked snapshot. Its `source` is the workspace
+    /// manifest (not program text); it persists under the linked flavor,
+    /// so `session/open` on a previously seen workspace digest warms
+    /// from the disk tier instead of re-freezing.
     pub fn linked(
         program: Program,
         analysis: Analysis,
         engine: QueryEngine,
         manifest: String,
         build_ns: u64,
+        policy: DatatypePolicy,
+        policy_disc: u64,
     ) -> Snapshot {
+        let suspicion = SuspicionIndex::build(&analysis, &engine);
         Snapshot {
             program,
             analysis: OnceLock::from(Ok(analysis)),
             engine,
             source: manifest,
             build_ns,
-            policy: DatatypePolicy::default(),
-            policy_disc: 0,
+            policy,
+            policy_disc,
             engine_disc: 0,
-            persistable: false,
+            linked: true,
+            suspicion: OnceLock::from(Ok(suspicion)),
+            scheduler: OnceLock::new(),
         }
     }
 
     /// Reconstructs a snapshot from a decoded disk image: re-parses the
     /// program from the stored source (deterministic, so expression ids
-    /// match the engine's) and leaves the analysis to lazy rebuild.
+    /// match the engine's) and leaves the analysis to lazy rebuild. A
+    /// linked image's source is a session manifest instead: the modules
+    /// are replayed through [`SessionProgram`], the linker's own path,
+    /// which yields the identical arena the engine was frozen from.
     fn from_disk(decoded: DecodedSnapshot) -> Result<Snapshot, String> {
         let DecodedSnapshot {
             policy: policy_disc,
             engine_disc,
             source,
             engine,
+            suspicion,
+            linked,
             ..
         } = decoded;
         let policy = policy_from_disc(policy_disc)
             .ok_or_else(|| format!("unknown persisted policy discriminant {policy_disc}"))?;
-        let program = Program::parse(&source)
-            .map_err(|e| format!("persisted source no longer parses: {e}"))?;
+        let program = if linked {
+            program_from_manifest(&source)?
+        } else {
+            Program::parse(&source)
+                .map_err(|e| format!("persisted source no longer parses: {e}"))?
+        };
         // The engine was frozen from *this* source (the content digest
         // pins it), so its index arrays must agree with the re-parse;
         // check the cheap shape facts rather than trust the file.
@@ -186,6 +216,15 @@ impl Snapshot {
                 program.label_count()
             ));
         }
+        // Adopt the persisted detector scores when they fit this engine;
+        // a missing or mis-sized section (pre-v2 file) falls back to a
+        // lazy rebuild through the analysis.
+        let suspicion = match suspicion {
+            Some(scores) if scores.len() == engine.comp_count() => {
+                OnceLock::from(Ok(SuspicionIndex::from_raw(scores)))
+            }
+            _ => OnceLock::new(),
+        };
         Ok(Snapshot {
             program,
             analysis: OnceLock::new(),
@@ -195,7 +234,9 @@ impl Snapshot {
             policy,
             policy_disc,
             engine_disc,
-            persistable: true,
+            linked,
+            suspicion,
+            scheduler: OnceLock::new(),
         })
     }
 
@@ -224,6 +265,57 @@ impl Snapshot {
     /// been forced yet). Test/stats hook.
     pub fn analysis_resident(&self) -> bool {
         matches!(self.analysis.get(), Some(Ok(_)))
+    }
+
+    /// The datatype policy this snapshot was analyzed under.
+    pub fn policy(&self) -> DatatypePolicy {
+        self.policy
+    }
+
+    /// The degradation detector's index for this snapshot. Present from
+    /// build time for fresh snapshots and adopted from the persisted
+    /// image on disk loads; only a pre-v2 image forces the (memoized)
+    /// analysis rebuild this consults the node table through.
+    pub fn try_suspicion(&self) -> Result<&SuspicionIndex, String> {
+        self.suspicion
+            .get_or_init(|| {
+                // A linked engine's node table comes from incremental
+                // linking; a fresh analysis of the replayed program does
+                // not reproduce it, so the detector cannot be rebuilt
+                // here. Every linked image persists its scores, so this
+                // only trips on a hand-truncated file.
+                if self.linked {
+                    return Err("persisted linked snapshot carries no detector scores; \
+                         reopen the session to rebuild it"
+                        .to_string());
+                }
+                let analysis = self.try_analysis()?;
+                Ok(SuspicionIndex::build(analysis, &self.engine))
+            })
+            .as_ref()
+            .map_err(String::clone)
+    }
+
+    /// The persisted form of the detector scores, if already computed
+    /// (never forces a rebuild — the write-behind must stay cheap).
+    fn suspicion_raw(&self) -> Option<&[u32]> {
+        match self.suspicion.get() {
+            Some(Ok(idx)) => Some(idx.as_slice()),
+            _ => None,
+        }
+    }
+
+    /// The precision scheduler for this snapshot, created on first use.
+    /// The first caller's `budget` wins (the daemon passes its single
+    /// configured `--precision-budget`, so there is no ambiguity).
+    pub fn try_scheduler(&self, budget: usize) -> Result<&PrecisionScheduler, String> {
+        self.scheduler
+            .get_or_init(|| {
+                let suspicion = self.try_suspicion()?.clone();
+                Ok(PrecisionScheduler::new(suspicion, self.policy, budget))
+            })
+            .as_ref()
+            .map_err(String::clone)
     }
 
     /// The byte cost this snapshot is accounted at in the store.
@@ -605,15 +697,14 @@ impl SnapshotStore {
     /// memory, and the next restart simply rebuilds.
     fn persist(&self, key: SnapshotKey, snapshot: &Snapshot) {
         let Some(dir) = &self.disk else { return };
-        if !snapshot.persistable {
-            return;
-        }
         let bytes = stcfa_persist::encode(&SnapshotImage {
             digest: key.0,
             policy: snapshot.policy_disc,
             engine_disc: snapshot.engine_disc,
             source: &snapshot.source,
             engine: &snapshot.engine,
+            suspicion: snapshot.suspicion_raw(),
+            linked: snapshot.linked,
         });
         match stcfa_persist::save_atomic(dir, key.0, &bytes) {
             Ok(_) => {
@@ -632,10 +723,9 @@ impl SnapshotStore {
     /// fit the capacity. `keep` (the entry just inserted) survives even if
     /// it alone exceeds capacity, so oversized programs still get served.
     ///
-    /// With a disk tier, evicting a persistable snapshot is a *demotion*:
-    /// no tombstone is recorded, because the digest stays answerable —
-    /// a later lookup re-promotes it from its file instead of reporting
-    /// a stale handle.
+    /// With a disk tier, eviction is a *demotion*: no tombstone is
+    /// recorded, because the digest stays answerable — a later lookup
+    /// re-promotes it from its file instead of reporting a stale handle.
     fn evict_to_capacity(&self, inner: &mut Inner, keep: u64) {
         while inner.bytes > self.capacity_bytes {
             let victim = inner
@@ -650,13 +740,11 @@ impl SnapshotStore {
                 .min()
                 .map(|(_, k)| k);
             let Some(victim) = victim else { break };
-            if let Some(Slot::Ready {
-                snapshot, bytes, ..
-            }) = inner.map.remove(&victim)
-            {
+            if let Some(Slot::Ready { bytes, .. }) = inner.map.remove(&victim) {
                 inner.bytes -= bytes;
-                let demoted = self.disk.is_some() && snapshot.persistable;
-                if !demoted {
+                // With a disk tier every snapshot (linked included) is
+                // persistable, so eviction is always a demotion there.
+                if self.disk.is_none() {
                     inner.tombstone(victim);
                 }
                 self.evictions.fetch_add(1, Ordering::Relaxed);
@@ -840,6 +928,27 @@ impl SnapshotStore {
             .evicted
             .len()
     }
+}
+
+/// Replays a persisted session manifest (`"session\0"` then one
+/// `name\x01source\x02` entry per module, in link order) through
+/// [`SessionProgram::define`] — the linker's own growth path — so the
+/// reconstructed arena is expression-for-expression identical to the one
+/// the persisted engine was frozen from.
+fn program_from_manifest(manifest: &str) -> Result<Program, String> {
+    let rest = manifest
+        .strip_prefix("session\u{0}")
+        .ok_or_else(|| "linked snapshot carries no session manifest".to_string())?;
+    let mut session = SessionProgram::new();
+    for entry in rest.split_terminator('\u{2}') {
+        let (name, source) = entry
+            .split_once('\u{1}')
+            .ok_or_else(|| "malformed session manifest entry".to_string())?;
+        session
+            .define(source)
+            .map_err(|e| format!("persisted module `{name}` no longer parses: {e}"))?;
+    }
+    Ok(session.program().clone())
 }
 
 /// Rejects a hit whose cached source differs from the request's: a 64-bit
@@ -1246,32 +1355,60 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
     }
 
+    fn build_linked(manifest: &str) -> Snapshot {
+        // Replay the manifest exactly the way a disk load would, so the
+        // persisted engine indexes the arena the replay reconstructs.
+        let program = super::program_from_manifest(manifest).unwrap();
+        let analysis = Analysis::run(&program).unwrap();
+        let engine = QueryEngine::freeze(&analysis);
+        engine.prepare();
+        Snapshot::linked(
+            program,
+            analysis,
+            engine,
+            manifest.to_owned(),
+            0,
+            DatatypePolicy::default(),
+            0,
+        )
+    }
+
     #[test]
-    fn linked_snapshots_stay_out_of_the_disk_tier() {
+    fn linked_snapshots_persist_and_warm_reload() {
         let dir = disk_dir("linked");
-        let store = SnapshotStore::with_disk(usize::MAX, Some(dir.clone()));
-        let manifest = "session\u{0}m\u{1}fn x => x\u{2}";
+        let manifest = "session\u{0}lib\u{1}val id = fn x => x\u{2}\
+                        main\u{1}id (fn y => y)\u{2}";
         let key = SnapshotKey::derive(manifest, 0, 0);
-        store
-            .get_or_build(key, manifest, || {
-                let program = Program::parse("fn x => x").unwrap();
-                let analysis = Analysis::run(&program).unwrap();
-                let engine = QueryEngine::freeze(&analysis);
-                Ok(Snapshot::linked(
-                    program,
-                    analysis,
-                    engine,
-                    manifest.to_owned(),
-                    0,
-                ))
-            })
+        let cold_sets = {
+            let store = SnapshotStore::with_disk(usize::MAX, Some(dir.clone()));
+            let (snap, cached) = store
+                .get_or_build(key, manifest, || Ok(build_linked(manifest)))
+                .unwrap();
+            assert!(!cached);
+            let s = store.stats();
+            assert_eq!((s.misses, s.disk_writes), (1, 1), "{s:?}");
+            assert!(
+                dir.join(stcfa_persist::file_name(key.0)).exists(),
+                "linked snapshots must persist under the linked flavor"
+            );
+            snap.engine.all_label_sets()
+        };
+        // A fresh store — the restarted daemon — serves the session
+        // digest without re-linking or re-freezing anything.
+        let store = SnapshotStore::with_disk(usize::MAX, Some(dir.clone()));
+        let (snap, cached) = store
+            .get_or_build(key, manifest, || panic!("warm reopen must not rebuild"))
             .unwrap();
+        assert!(cached, "a disk hit reports cached");
+        assert_eq!(snap.source, manifest);
+        assert_eq!(snap.engine.all_label_sets(), cold_sets);
+        // The detector scores rode along: no analysis rebuild is needed
+        // to grade queries against the reloaded snapshot.
+        assert!(!snap.analysis_resident());
+        snap.try_suspicion().expect("persisted scores adopted");
+        assert!(!snap.analysis_resident(), "scores must come from the file");
         let s = store.stats();
-        assert_eq!(s.disk_writes, 0, "{s:?}");
-        assert!(
-            !dir.join(stcfa_persist::file_name(key.0)).exists(),
-            "a session manifest is not program text and must not persist"
-        );
+        assert_eq!((s.misses, s.disk_hits), (0, 1), "{s:?}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

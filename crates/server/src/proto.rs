@@ -165,6 +165,19 @@ pub fn policy_from_disc(disc: u64) -> Option<DatatypePolicy> {
     }
 }
 
+/// The stable discriminant for `policy` ([`parse_policy`]'s second
+/// component, keyed by the enum instead of the wire name). Session
+/// snapshots derive their persisted header from the workspace's policy,
+/// which arrives as the enum.
+pub fn policy_to_disc(policy: DatatypePolicy) -> u64 {
+    match policy {
+        DatatypePolicy::Congruence1 => 0,
+        DatatypePolicy::Congruence2 => 1,
+        DatatypePolicy::Exact => 2,
+        DatatypePolicy::Forget => 3,
+    }
+}
+
 /// Builds the success response line for `id`, under protocol version
 /// `v` (the version the request was handled under).
 pub fn ok_response(v: u64, id: Json, result: Json) -> Json {

@@ -32,7 +32,7 @@ use std::time::{Duration, Instant};
 
 use stcfa_core::{Analysis, AnalysisOptions, DatatypePolicy, QueryEngine};
 use stcfa_lambda::{ExprId, ExprKind, Label, Program};
-use stcfa_lint::{lint, Diagnostic, LintOptions};
+use stcfa_lint::{lint_with_suspicion, Diagnostic, LintOptions};
 use stcfa_opt::{optimize_with, OptOptions, Pass, PassSet};
 use stcfa_rules::ExtDb;
 use stcfa_session::{LinkError, LinkReport, Module, Workspace};
@@ -42,8 +42,8 @@ use crate::conn::{Conn, ConnLimits, Frame};
 use crate::json::Json;
 use crate::poll::{Acceptor, Backoff, Parker};
 use crate::proto::{
-    err_response, ok_response, parse_policy, Deadline, ErrorKind, RequestError, PROTOCOL_VERSION,
-    PROTOCOL_VERSION_SESSION,
+    err_response, ok_response, parse_policy, policy_to_disc, Deadline, ErrorKind, RequestError,
+    PROTOCOL_VERSION, PROTOCOL_VERSION_SESSION,
 };
 use crate::shard::{Completion, FleetStats, ShardPool, Task};
 
@@ -76,6 +76,11 @@ pub struct ServerOptions {
     /// connection and lets TCP push back — no response is ever shed for
     /// staying under it.
     pub conn_inflight: usize,
+    /// Per-snapshot escalation budget, in engine nodes, for the adaptive
+    /// precision scheduler (`--precision-budget`). Each Tier-2 cone run
+    /// charges its cone's node count; at zero remaining, graded answers
+    /// degrade to the subtransitive tier with an honest `approx` class.
+    pub precision_budget: usize,
 }
 
 impl Default for ServerOptions {
@@ -88,6 +93,7 @@ impl Default for ServerOptions {
             shards: 0,
             max_inflight: 1024,
             conn_inflight: 64,
+            precision_budget: stcfa_precision::PrecisionScheduler::DEFAULT_BUDGET,
         }
     }
 }
@@ -257,7 +263,7 @@ impl Server {
         }
         match op {
             "analyze" => self.op_analyze(request, &deadline),
-            "query" => self.op_query(request, &deadline),
+            "query" => self.op_query(request, &deadline, version),
             "lint" => self.op_lint(request, &deadline),
             "rule" => {
                 if version != PROTOCOL_VERSION_SESSION {
@@ -413,20 +419,83 @@ impl Server {
         ]))
     }
 
-    fn op_query(&self, request: &Json, deadline: &Deadline) -> Result<Json, RequestError> {
+    fn op_query(
+        &self,
+        request: &Json,
+        deadline: &Deadline,
+        version: u64,
+    ) -> Result<Json, RequestError> {
         let kind = request
             .get("kind")
             .and_then(Json::as_str)
             .ok_or_else(|| RequestError::new(ErrorKind::Proto, "`query` needs `kind`"))?
             .to_owned();
+        let graded = precision_param(request, version)?;
         let snapshot = self.resolve_snapshot(request, deadline)?;
         deadline.check("before query")?;
         let program = &snapshot.program;
-        let result = query_result(&kind, request, program, &snapshot.engine, || {
-            Ok(program.root())
-        })?;
+        let result = if graded {
+            self.graded_query_result(&kind, request, &snapshot, || Ok(program.root()))?
+        } else {
+            query_result(&kind, request, program, &snapshot.engine, || {
+                Ok(program.root())
+            })?
+        };
         deadline.check("after query")?;
         Ok(tag_kind(kind, result))
+    }
+
+    /// Answers a `"precision":true` query through the snapshot's tier
+    /// scheduler: the label set is the best certified refinement and the
+    /// response carries its [`PrecisionInfo`] grade.
+    fn graded_query_result(
+        &self,
+        kind: &str,
+        request: &Json,
+        snapshot: &Snapshot,
+        default_expr: impl FnOnce() -> Result<ExprId, RequestError>,
+    ) -> Result<Json, RequestError> {
+        let scheduler = snapshot
+            .try_scheduler(self.options.precision_budget)
+            .map_err(|e| RequestError::new(ErrorKind::Analysis, e))?;
+        let program = &snapshot.program;
+        let (labels, info) = match kind {
+            "label-set" => {
+                let expr = match request.get("expr") {
+                    None => default_expr()?,
+                    Some(v) => expr_param(v, program, "expr")?,
+                };
+                scheduler.labels_of(program, &snapshot.engine, expr)
+            }
+            "call-targets" => {
+                let site = expr_param(
+                    request.get("site").ok_or_else(|| {
+                        RequestError::new(ErrorKind::Proto, "`call-targets` needs `site`")
+                    })?,
+                    program,
+                    "site",
+                )?;
+                scheduler
+                    .call_targets(program, &snapshot.engine, site)
+                    .ok_or_else(|| {
+                        RequestError::new(
+                            ErrorKind::Proto,
+                            format!("expression {} is not an application site", site.index()),
+                        )
+                    })?
+            }
+            other => {
+                return Err(RequestError::new(
+                    ErrorKind::Proto,
+                    format!("`precision` grades label-set and call-targets queries, not `{other}`"),
+                ))
+            }
+        };
+        let Json::Obj(mut pairs) = labels_json(program, &labels) else {
+            unreachable!("labels_json returns an object")
+        };
+        pairs.push(("precision".to_owned(), precision_json(info)));
+        Ok(Json::Obj(pairs))
     }
 
     fn op_lint(&self, request: &Json, deadline: &Deadline) -> Result<Json, RequestError> {
@@ -444,15 +513,26 @@ impl Server {
     /// Disk-warmed snapshots rebuild their analysis lazily here; a
     /// rebuild failure (which cannot happen for a snapshot that was built
     /// by this daemon configuration) surfaces as a structured error.
+    ///
+    /// The detector index comes from the snapshot, never from the
+    /// rebuilt analysis: a warm *linked* engine's node table is the
+    /// product of incremental linking, which a fresh analysis of the
+    /// replayed program does not reproduce, so only the persisted
+    /// scores fit it (the rebuilt analysis is still fine for the
+    /// program-keyed effects colouring the lint rules consult).
     fn lint_snapshot(&self, snapshot: &Snapshot) -> Result<Vec<Diagnostic>, RequestError> {
         let analysis = snapshot
             .try_analysis()
             .map_err(|e| RequestError::new(ErrorKind::Analysis, e.clone()))?;
+        let suspicion = snapshot
+            .try_suspicion()
+            .map_err(|e| RequestError::new(ErrorKind::Analysis, e))?;
         let active = (self.in_flight.load(Ordering::SeqCst) as usize).max(1);
-        Ok(lint(
+        Ok(lint_with_suspicion(
             &snapshot.program,
             analysis,
             &snapshot.engine,
+            suspicion,
             &LintOptions {
                 threads: (self.options.threads / active).max(1),
             },
@@ -554,6 +634,36 @@ impl Server {
             }
         };
         deadline.check("after rule")?;
+        // Opt-in grade for the whole derivation: rules read the engine's
+        // label sets as their EDB, so if no component of this snapshot
+        // carries suspicion the engine equals full cubic CFA and every
+        // derived fact is exact; otherwise the rule's answer inherits the
+        // engine's (sound) over-approximation.
+        if precision_param(request, PROTOCOL_VERSION_SESSION)? {
+            let suspicion = snapshot
+                .try_suspicion()
+                .map_err(|e| RequestError::new(ErrorKind::Analysis, e))?;
+            let class = if suspicion.all_exact() {
+                stcfa_precision::PrecisionClass::Exact
+            } else {
+                stcfa_precision::PrecisionClass::Approx
+            };
+            let Json::Obj(mut pairs) = result else {
+                unreachable!("rule results are objects")
+            };
+            pairs.push((
+                "precision".to_owned(),
+                Json::obj(vec![
+                    ("class", Json::str(class.as_str())),
+                    ("tier", Json::num(0)),
+                    (
+                        "suspicious_comps",
+                        Json::num(suspicion.suspicious_comps() as u64),
+                    ),
+                ]),
+            ));
+            return Ok(Json::Obj(pairs));
+        }
         Ok(result)
     }
 
@@ -740,12 +850,15 @@ impl Server {
                     let linked = workspace.freeze().expect("caller links before caching");
                     let (program, analysis, engine, _report) = linked.into_parts();
                     engine.prepare();
+                    let policy = workspace.options().policy;
                     Ok(Snapshot::linked(
                         program,
                         analysis,
                         engine,
                         manifest.to_owned(),
                         started.elapsed().as_nanos() as u64,
+                        policy,
+                        policy_to_disc(policy),
                     ))
                 })
                 .map_err(|e| RequestError::new(ErrorKind::Analysis, e))?;
@@ -898,6 +1011,9 @@ impl Server {
             .and_then(Json::as_str)
             .ok_or_else(|| RequestError::new(ErrorKind::Proto, "`session/query` needs `kind`"))?
             .to_owned();
+        // Session ops are gated to protocol 2 in dispatch, so the flag
+        // is always admissible here.
+        let graded = precision_param(request, PROTOCOL_VERSION_SESSION)?;
         let (snapshot, report, binder) = {
             let sessions = self.sessions.lock().expect("session registry poisoned");
             let entry = sessions.get(&id).ok_or_else(|| unknown_session(&id))?;
@@ -918,6 +1034,12 @@ impl Server {
                         "`name` applies only to `label-set` queries",
                     ));
                 }
+                if graded {
+                    return Err(RequestError::new(
+                        ErrorKind::Proto,
+                        "`precision` grades expression queries; it does not combine with `name`",
+                    ));
+                }
                 let var = var.ok_or_else(|| {
                     RequestError::new(
                         ErrorKind::Proto,
@@ -926,6 +1048,14 @@ impl Server {
                 })?;
                 labels_json(program, &engine.labels_of_binder(var))
             }
+            None if graded => self.graded_query_result(&kind, request, &snapshot, || {
+                report.default_value().ok_or_else(|| {
+                    RequestError::new(
+                        ErrorKind::Proto,
+                        "session has no trailing value expression; pass `expr` or `name`",
+                    )
+                })
+            })?,
             None => query_result(&kind, request, program, engine, || {
                 report.default_value().ok_or_else(|| {
                     RequestError::new(
@@ -1586,6 +1716,37 @@ fn modules_param(request: &Json, field: &str) -> Result<Vec<(String, String)>, R
         .collect()
 }
 
+/// Reads the opt-in `"precision"` flag. Grading is a protocol-2
+/// surface: requests without the flag (every protocol-1 transcript) are
+/// answered byte-identically to a daemon without the scheduler.
+fn precision_param(request: &Json, version: u64) -> Result<bool, RequestError> {
+    match request.get("precision") {
+        None => Ok(false),
+        Some(Json::Bool(b)) => {
+            if *b && version != PROTOCOL_VERSION_SESSION {
+                return Err(RequestError::new(
+                    ErrorKind::Proto,
+                    "`precision` is a protocol-2 field: it requires \"v\":2",
+                ));
+            }
+            Ok(*b)
+        }
+        Some(_) => Err(RequestError::new(
+            ErrorKind::Proto,
+            "`precision` must be a boolean",
+        )),
+    }
+}
+
+/// Renders one answer's precision grade.
+fn precision_json(info: stcfa_precision::PrecisionInfo) -> Json {
+    Json::obj(vec![
+        ("class", Json::str(info.class.as_str())),
+        ("tier", Json::num(info.tier.level() as u64)),
+        ("suspicion", Json::num(info.suspicion as u64)),
+    ])
+}
+
 /// The canonical text a linked snapshot's digest is collision-checked
 /// against: the module names and sources in link order, separated by
 /// control bytes no source can contain ambiguously.
@@ -1750,6 +1911,7 @@ fn diagnostics_json(diags: &[Diagnostic], report: Option<&LinkReport>) -> Json {
             let mut pairs = vec![
                 ("code", Json::str(d.code.as_str())),
                 ("severity", Json::str(d.severity.as_str())),
+                ("confidence", Json::str(d.confidence.as_str())),
             ];
             if d.code.fixable() {
                 pairs.push(("fixable", Json::Bool(true)));

@@ -38,7 +38,7 @@ echo "== lint: machine-readable corpus report is stable =="
 # `stcfa lint --format json` over the whole corpus, digested. The digest is
 # pinned so a renderer or rule change that shifts any diagnostic shows up
 # here as well as in tests/lint_snapshot.rs (which pins the same reports).
-LINT_DIGEST_WANT="2806481834"
+LINT_DIGEST_WANT="1591454845"
 lint_report="$(for f in corpus/*.ml; do
   echo "== $f"
   ./target/release/stcfa lint "$f" --format json --threads 1
@@ -62,7 +62,7 @@ echo "== rules: corpus STCFA007/008 findings are pinned =="
 # The new rule-backed lints, extracted from the corpus-wide JSON report
 # and digested separately from LINT_DIGEST_WANT so a drift in the rule
 # layer is attributed to it directly.
-RULES_DIGEST_WANT="4278055075"
+RULES_DIGEST_WANT="2082882043"
 rules_report="$(for f in corpus/*.ml; do
   echo "== $f"
   ./target/release/stcfa lint "$f" --format json --threads 1 \
@@ -107,6 +107,47 @@ opt_after="$(printf '%s' "$opt_json" | sed -n 's/.*"nodes_after":\([0-9]*\).*/\1
 ./target/release/stcfa opt corpus/dead_code.ml --emit >/dev/null \
   || { echo "opt smoke: --emit failed" >&2; exit 1; }
 echo "-- opt smoke ok ($opt_before -> $opt_after nodes)"
+
+echo "== precision: differential gate at several worker counts =="
+# Every graded answer must be monotone against Tier 0, sound against the
+# cubic oracle, exact-when-claimed, and byte-identically transcribed by
+# two independent scheduler builds — at 1/2/8 threads, since the batch
+# engine underneath must not change an escalation decision.
+for t in 1 2 8; do
+  echo "-- STCFA_QUERY_THREADS=$t"
+  STCFA_QUERY_THREADS=$t cargo test -q --offline --test precision_differential
+done
+
+echo "== precision: corpus --precision labels are pinned =="
+# `stcfa <file> --call-sites --precision` over the whole corpus: grade,
+# tier and suspicion per site. Pinned as a digest (like the lint report)
+# and diffed across thread counts so a nondeterministic escalation or a
+# drifted detector score is caught before the protocol surface ships it.
+PRECISION_DIGEST_WANT="4167118286"
+precision_ref=""
+for t in 1 2 8; do
+  out="$(for f in corpus/*.ml; do
+    echo "== $f"
+    STCFA_QUERY_THREADS=$t ./target/release/stcfa "$f" --call-sites --precision
+  done)"
+  if [ -z "$precision_ref" ]; then
+    precision_ref="$out"
+  elif [ "$out" != "$precision_ref" ]; then
+    echo "precision: --precision output differs between STCFA_QUERY_THREADS=1 and $t" >&2
+    diff <(printf '%s\n' "$precision_ref") <(printf '%s\n' "$out") >&2 || true
+    exit 1
+  fi
+done
+PRECISION_DIGEST_GOT="$(printf '%s\n' "$precision_ref" | cksum | cut -d' ' -f1)"
+if [ "$PRECISION_DIGEST_GOT" != "$PRECISION_DIGEST_WANT" ]; then
+  echo "precision digest drifted: want $PRECISION_DIGEST_WANT got $PRECISION_DIGEST_GOT" >&2
+  printf '%s\n' "$precision_ref" >&2
+  exit 1
+fi
+echo "-- corpus precision digest ok ($PRECISION_DIGEST_GOT, identical at threads 1/2/8)"
+
+echo "== precision: clippy on the scheduler crate (warnings are errors) =="
+cargo clippy -p stcfa-precision --all-targets --offline -- -D warnings
 
 echo "== server: stdio smoke round-trip =="
 # A full analyze -> warm analyze -> query -> lint -> shutdown conversation

@@ -7,6 +7,12 @@
 //!   --summary          program and subtransitive-graph statistics
 //!   --labels           L(root): the abstractions the program can evaluate to
 //!   --call-sites       call targets at every application site
+//!   --precision        grade --labels/--call-sites answers through the
+//!                      adaptive precision scheduler (docs/PRECISION.md):
+//!                      each set is annotated exact|refined|approx with the
+//!                      tier that settled it; requires --analysis sub
+//!   --precision-budget <n>  escalated-node cap for --precision
+//!                      (default 65536)
 //!   --effects          the may-have-side-effects report (paper §8)
 //!   --k-limited <k>    call targets cut off at k with "many" (paper §9)
 //!   --called-once      functions called from exactly one / no call site
@@ -123,6 +129,8 @@ struct Options {
     policy: DatatypePolicy,
     max_nodes: Option<usize>,
     fuel: u64,
+    precision: bool,
+    precision_budget: usize,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -199,13 +207,14 @@ fn usage() -> &'static str {
     "usage: stcfa <FILE|-> [--summary|--labels|--call-sites|--effects|\
      --k-limited <k>|--called-once|--inline|--types|--boundedness|--eval|--live|--witness|--dot]*\n\
      \t[--analysis sub|poly|hybrid|cfa0|sba|unify] [--policy c1|c2|exact|forget]\n\
-     \t[--max-nodes <n>] [--fuel <n>]\n\
+     \t[--max-nodes <n>] [--fuel <n>] [--precision [--precision-budget <n>]]\n\
      \tor: stcfa lint <FILE|-> [--format text|json] [--policy ...] [--threads <n>]\n\
      \tor: stcfa lint --explain <CODE>\n\
      \tor: stcfa opt <FILE|-> [--passes name,...] [--emit] [--report text|json] [--max-rounds <n>] [--budget <n>] [--threads <n>]\n\
      \tor: stcfa rule <FILE|-> --name dominators|taint [--sources l,l,...] [--expr <n>] [--policy ...]\n\
      \tor: stcfa serve [--stdio|--addr HOST:PORT] [--threads <n>] [--shards <n>] [--cache-capacity <bytes>] [--cache-dir <path>]\n\
-     \t\t[--deadline-ms <n>] [--max-inflight <n>] [--conn-inflight <n>] [--transport fleet|threaded] [--summary]\n\
+     \t\t[--deadline-ms <n>] [--max-inflight <n>] [--conn-inflight <n>] [--transport fleet|threaded]\n\
+     \t\t[--precision-budget <n>] [--summary]\n\
      \tor: stcfa client --addr HOST:PORT [--request <json>]\n\
      \tor: stcfa soak --addr HOST:PORT [--connections <n>] [--bursts <n>] [--burst <n>] [--source-file <path>] [--no-warm]\n\
      \tor: stcfa session [FILE...] [--module NAME=PATH]* [--split <n>] [--policy ...] [--lint] [--emit-requests [--update-last]]\n\
@@ -220,6 +229,8 @@ fn parse_args(args: &[String]) -> Result<Options, CliError> {
     let mut policy = DatatypePolicy::Congruence1;
     let mut max_nodes = None;
     let mut fuel = 10_000_000u64;
+    let mut precision = false;
+    let mut precision_budget = stcfa::precision::PrecisionScheduler::DEFAULT_BUDGET;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -252,6 +263,10 @@ fn parse_args(args: &[String]) -> Result<Options, CliError> {
             "--policy" => policy = parse_policy_flag(it.next().map(String::as_str))?,
             "--max-nodes" => max_nodes = Some(flag_value(&mut it, "--max-nodes")?),
             "--fuel" => fuel = flag_value(&mut it, "--fuel")?,
+            "--precision" => precision = true,
+            "--precision-budget" => {
+                precision_budget = flag_value(&mut it, "--precision-budget")?;
+            }
             other if path.is_none() && !other.starts_with("--") => {
                 path = Some(other.to_owned());
             }
@@ -267,6 +282,13 @@ fn parse_args(args: &[String]) -> Result<Options, CliError> {
     if commands.is_empty() {
         commands.push(Command::Summary);
     }
+    if precision && engine != EngineKind::Sub {
+        return Err(CliError::BadValue(
+            "--precision grades the subtransitive engine's answers; \
+             it requires --analysis sub"
+                .to_owned(),
+        ));
+    }
     Ok(Options {
         path,
         commands,
@@ -274,6 +296,8 @@ fn parse_args(args: &[String]) -> Result<Options, CliError> {
         policy,
         max_nodes,
         fuel,
+        precision,
+        precision_budget,
     })
 }
 
@@ -319,6 +343,16 @@ fn parse_capacity(raw: &str) -> Result<usize, CliError> {
     n.checked_shl(shift)
         .filter(|&v| shift == 0 || v >> shift == n)
         .ok_or_else(|| CliError::BadValue(format!("--cache-capacity: `{raw}` overflows")))
+}
+
+/// The `--precision` annotation: grade, answering tier, and detector score.
+fn grade_str(info: stcfa::precision::PrecisionInfo) -> String {
+    format!(
+        "{}, tier {}, suspicion {}",
+        info.class.as_str(),
+        info.tier.level(),
+        info.suspicion
+    )
 }
 
 fn lam_name(program: &Program, l: Label) -> String {
@@ -982,6 +1016,9 @@ fn run_serve(args: &[String]) -> Result<(), CliError> {
             "--deadline-ms" => {
                 options.default_deadline_ms = Some(flag_value(&mut it, "--deadline-ms")?)
             }
+            "--precision-budget" => {
+                options.precision_budget = flag_value(&mut it, "--precision-budget")?
+            }
             "--cache-dir" => {
                 let raw = it.next().ok_or_else(|| {
                     CliError::BadValue(format!("--cache-dir needs a value\n{}", usage()))
@@ -1223,6 +1260,9 @@ fn run() -> Result<(), CliError> {
         .commands
         .iter()
         .any(|c| matches!(c, Command::Labels | Command::CallSites | Command::Summary));
+    // `--precision` routes Sub-engine label queries through the tier
+    // scheduler; the detector index is built once alongside the freeze.
+    let mut scheduler = None;
     let engine = if !needs_engine {
         None
     } else {
@@ -1230,7 +1270,16 @@ fn run() -> Result<(), CliError> {
             EngineKind::Sub => {
                 let a =
                     Analysis::run_with(&program, analysis_options).map_err(|e| e.to_string())?;
-                Engine::Sub(QueryEngine::freeze(&a))
+                let q = QueryEngine::freeze(&a);
+                if options.precision {
+                    let suspicion = stcfa::precision::SuspicionIndex::build(&a, &q);
+                    scheduler = Some(stcfa::precision::PrecisionScheduler::new(
+                        suspicion,
+                        options.policy,
+                        options.precision_budget,
+                    ));
+                }
+                Engine::Sub(q)
             }
             EngineKind::Poly => Engine::Poly(
                 PolyAnalysis::run_with(
@@ -1287,13 +1336,19 @@ fn run() -> Result<(), CliError> {
             }
             Command::Labels => {
                 let engine = engine.as_ref().expect("labels needs the engine");
-                let labels = engine.labels_of(&program, program.root());
+                let (labels, grade) = match (&scheduler, engine) {
+                    (Some(sched), Engine::Sub(q)) => {
+                        let (labels, info) = sched.labels_of(&program, q, program.root());
+                        (labels, format!("  [{}]", grade_str(info)))
+                    }
+                    _ => (engine.labels_of(&program, program.root()), String::new()),
+                };
                 if labels.is_empty() {
-                    println!("L(root) = {{}} (the program's value is not a function)");
+                    println!("L(root) = {{}} (the program's value is not a function){grade}");
                 } else {
                     let names: Vec<String> =
                         labels.iter().map(|&l| lam_name(&program, l)).collect();
-                    println!("L(root) = {{{}}}", names.join(", "));
+                    println!("L(root) = {{{}}}{grade}", names.join(", "));
                 }
             }
             Command::CallSites => {
@@ -1303,12 +1358,16 @@ fn run() -> Result<(), CliError> {
                     let ExprKind::App { func, .. } = program.kind(app) else {
                         unreachable!()
                     };
-                    let names: Vec<String> = engine
-                        .labels_of(&program, *func)
-                        .iter()
-                        .map(|&l| lam_name(&program, l))
-                        .collect();
-                    println!("  site@{}: {{{}}}", app.index(), names.join(", "));
+                    let (labels, grade) = match (&scheduler, engine) {
+                        (Some(sched), Engine::Sub(q)) => {
+                            let (labels, info) = sched.labels_of(&program, q, *func);
+                            (labels, format!("  [{}]", grade_str(info)))
+                        }
+                        _ => (engine.labels_of(&program, *func), String::new()),
+                    };
+                    let names: Vec<String> =
+                        labels.iter().map(|&l| lam_name(&program, l)).collect();
+                    println!("  site@{}: {{{}}}{grade}", app.index(), names.join(", "));
                 }
             }
             Command::Effects => {

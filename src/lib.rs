@@ -22,6 +22,10 @@
 //!   over zero-copy views of the frozen engine, evaluated semi-naively
 //!   at the same `O(E·L/64)` arithmetic (`stcfa rule`,
 //!   `stcfa lint --explain`).
+//! - [`precision`] — the adaptive precision scheduler: degradation
+//!   detector, demand cones, and tiered escalation (subtransitive →
+//!   polyvariant → cone-restricted cubic) with per-answer grades
+//!   (`stcfa --precision`, protocol-v2 `"precision"`).
 //! - [`server`] — the long-running analysis daemon with its
 //!   content-addressed snapshot cache (`stcfa serve`).
 //! - [`session`] — multi-file analysis sessions: named modules, the
@@ -54,6 +58,7 @@ pub use stcfa_lambda as lambda;
 pub use stcfa_lint as lint;
 pub use stcfa_opt as opt;
 pub use stcfa_persist as persist;
+pub use stcfa_precision as precision;
 pub use stcfa_rules as rules;
 pub use stcfa_sba as sba;
 pub use stcfa_server as server;

@@ -101,6 +101,8 @@ fn decoded_corpus_snapshots_answer_identically() {
                     engine_disc: 0,
                     source: &src,
                     engine: &cold,
+                    suspicion: None,
+                    linked: false,
                 });
                 let warm = decode(&bytes)
                     .unwrap_or_else(|e| panic!("{name} (policy {disc}): decode failed: {e}"));

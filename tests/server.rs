@@ -520,6 +520,60 @@ fn restarted_daemon_warms_from_disk_with_identical_answers() {
 }
 
 #[test]
+fn reopened_session_warms_from_disk_without_relinking_the_engine() {
+    let dir = cache_dir("session-restart");
+    let flags = ["--cache-dir", dir.to_str().unwrap()];
+    let open = r#"{"v":2,"id":1,"op":"session/open","session":"s","modules":[{"name":"util","source":"fun id x = x;"},{"name":"main","source":"id (fn u => u)"}]}"#;
+    let queries = [
+        r#"{"v":2,"id":2,"op":"session/query","session":"s","kind":"label-set"}"#,
+        r#"{"v":2,"id":3,"op":"session/query","session":"s","kind":"label-set","precision":true}"#,
+        r#"{"v":2,"id":4,"op":"session/lint","session":"s"}"#,
+    ];
+
+    // First daemon generation: links, persists the linked snapshot, and
+    // answers the conversation.
+    let mut cold = Daemon::spawn_with(2, &flags);
+    let a = cold.roundtrip(open);
+    assert_eq!(field(&a, "ok"), "true", "{a}");
+    assert_eq!(field(&a, "cached"), "false", "{a}");
+    let digest = field(&a, "digest").trim_matches('"').to_owned();
+    let cold_lines: Vec<String> = queries.iter().map(|req| cold.roundtrip(req)).collect();
+    let stats = cold.roundtrip(r#"{"op":"stats"}"#);
+    assert_eq!(field(&stats, "misses"), "1", "{stats}");
+    assert_eq!(field(&stats, "disk_writes"), "1", "{stats}");
+    cold.shutdown();
+    assert!(
+        dir.join(format!("{digest}.stcfa")).is_file(),
+        "linked snapshot not persisted under {digest}"
+    );
+
+    // Restarted daemon: `session/open` on the same workspace digest must
+    // warm-load the engine from disk — zero rebuilds — and the whole
+    // conversation (precision grades included) is byte-identical.
+    let mut warm = Daemon::spawn_with(2, &flags);
+    let b = warm.roundtrip(open);
+    assert_eq!(field(&b, "cached"), "true", "warm reopen rebuilt: {b}");
+    assert_eq!(field(&b, "digest").trim_matches('"'), digest, "{b}");
+    let warm_lines: Vec<String> = queries.iter().map(|req| warm.roundtrip(req)).collect();
+    assert_eq!(warm_lines, cold_lines, "warm answers diverged from cold");
+    let stats = warm.roundtrip(r#"{"op":"stats"}"#);
+    assert_eq!(field(&stats, "misses"), "0", "warm daemon rebuilt: {stats}");
+    assert_eq!(field(&stats, "disk_hits"), "1", "{stats}");
+    assert_eq!(field(&stats, "disk_corrupt"), "0", "{stats}");
+
+    // The warm session stays live: an update relinks only the edited
+    // module, proving the reopened workspace is fully functional.
+    let update = warm.roundtrip(
+        r#"{"v":2,"id":9,"op":"session/update","session":"s","modules":[{"name":"main","source":"id (fn v => v)"}]}"#,
+    );
+    assert_eq!(field(&update, "ok"), "true", "{update}");
+    assert_eq!(field(&update, "reused"), "1", "{update}");
+    assert_eq!(field(&update, "relinked"), "1", "{update}");
+    warm.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn corrupt_cache_files_rebuild_cleanly_end_to_end() {
     let dir = cache_dir("corrupt");
     let flags = ["--cache-dir", dir.to_str().unwrap()];
